@@ -1,0 +1,67 @@
+//! Ablation benchmarks for the design constants DESIGN.md calls out: the
+//! number of central-free-list lists L (§4.3), the lifetime capacity
+//! threshold C (§4.4), and the per-CPU resize interval (§4.1). These
+//! measure the *implementation* cost of each knob (wall-clock per simulated
+//! request); the *metric* ablations live in `examples/allocator_tuning.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wsc_sim_hw::topology::Platform;
+use wsc_tcmalloc::TcmallocConfig;
+use wsc_workload::driver::{self, DriverConfig};
+use wsc_workload::profiles;
+
+const REQUESTS: u64 = 2_000;
+
+fn run_sim(cfg: TcmallocConfig) -> f64 {
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let dcfg = DriverConfig::new(REQUESTS, 42, &platform);
+    let (r, _) = driver::run(&profiles::fleet_mix(), &platform, cfg, &dcfg);
+    r.throughput
+}
+
+fn ablate_cfl_lists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/cfl_lists");
+    group.throughput(Throughput::Elements(REQUESTS));
+    for lists in [1usize, 2, 8, 32] {
+        group.bench_function(BenchmarkId::from_parameter(lists), |b| {
+            let mut cfg = TcmallocConfig::baseline();
+            cfg.cfl_lists = lists;
+            b.iter(|| black_box(run_sim(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_capacity_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/lifetime_threshold");
+    group.throughput(Throughput::Elements(REQUESTS));
+    for threshold in [2u32, 16, 256] {
+        group.bench_function(BenchmarkId::from_parameter(threshold), |b| {
+            let mut cfg = TcmallocConfig::baseline().with_lifetime_filler();
+            cfg.pageheap.capacity_threshold = threshold;
+            b.iter(|| black_box(run_sim(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_resize_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/resize_interval_ms");
+    group.throughput(Throughput::Elements(REQUESTS));
+    for ms in [50u64, 200, 1000] {
+        group.bench_function(BenchmarkId::from_parameter(ms), |b| {
+            let mut cfg = TcmallocConfig::baseline().with_heterogeneous_percpu();
+            cfg.resize_interval_ns = ms * 1_000_000;
+            b.iter(|| black_box(run_sim(cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablate_cfl_lists, ablate_capacity_threshold, ablate_resize_interval
+}
+criterion_main!(ablations);

@@ -1,0 +1,91 @@
+//! Criterion throughput benchmarks: allocator operations per second under a
+//! realistic mixed workload, baseline vs fully-optimized configuration, and
+//! per size band.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::clock::Clock;
+use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_workload::profiles;
+
+const OPS: u64 = 10_000;
+
+/// Mixed malloc/free churn with the fleet size distribution.
+fn churn(tcm: &mut Tcmalloc, clock: &Clock, seed: u64) {
+    let spec = profiles::fleet_mix();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut live: Vec<(u64, u64, CpuId)> = Vec::new();
+    for i in 0..OPS {
+        clock.advance(500);
+        let cpu = CpuId((i % 16) as u32);
+        if live.len() > 2_000 || (!live.is_empty() && rng.gen::<f64>() < 0.45) {
+            let k = rng.gen_range(0..live.len());
+            let (addr, size, _) = live.swap_remove(k);
+            tcm.free(addr, size, cpu);
+        } else {
+            let (size, site) = spec.sample_size(clock.now_ns(), &mut rng);
+            let a = tcm.malloc_with_site(size, cpu, site as u64);
+            live.push((a.addr, size, cpu));
+        }
+        tcm.maintain();
+    }
+    for (addr, size, cpu) in live {
+        tcm.free(addr, size, cpu);
+    }
+}
+
+fn config_throughput(c: &mut Criterion) {
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let mut group = c.benchmark_group("throughput/fleet_churn");
+    group.throughput(Throughput::Elements(OPS));
+    for (name, cfg) in [
+        ("baseline", TcmallocConfig::baseline()),
+        ("optimized", TcmallocConfig::optimized()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let clock = Clock::new();
+                let mut tcm = Tcmalloc::new(cfg, platform.clone(), clock.clone());
+                churn(&mut tcm, &clock, 42);
+                black_box(tcm.live_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn size_band_throughput(c: &mut Criterion) {
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let mut group = c.benchmark_group("throughput/size_band");
+    group.throughput(Throughput::Elements(OPS));
+    for (name, size) in [
+        ("tiny_32B", 32u64),
+        ("small_512B", 512),
+        ("mid_8KiB", 8 << 10),
+        ("big_128KiB", 128 << 10),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let clock = Clock::new();
+            let mut tcm =
+                Tcmalloc::new(TcmallocConfig::baseline(), platform.clone(), clock.clone());
+            b.iter(|| {
+                for i in 0..OPS {
+                    let cpu = CpuId((i % 8) as u32);
+                    let a = tcm.malloc(black_box(size), cpu);
+                    tcm.free(a.addr, size, cpu);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = throughput;
+    config = Criterion::default().sample_size(10);
+    targets = config_throughput, size_band_throughput
+}
+criterion_main!(throughput);

@@ -1,0 +1,144 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p wsc-bench --bin repro -- all
+//! cargo run --release -p wsc-bench --bin repro -- fig10 table2
+//! REPRO_SCALE=full cargo run --release -p wsc-bench --bin repro -- all
+//! ```
+
+use wsc_bench::experiments as ex;
+use wsc_bench::Scale;
+
+const IDS: &[&str] = &[
+    "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9a",
+    "fig9b", "fig10", "fig11", "fig13", "table1", "fig14", "fig15", "fig16",
+    "table2", "fig17", "combined", "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [all | {} ...]", IDS.join(" | "));
+        eprintln!("scale: set REPRO_SCALE=quick|default|full (default: default)");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let scale = Scale::from_env();
+    println!(
+        "# Reproduction run — scale '{}' ({} requests/run, {} seeds, {} fleet machines/arm)\n",
+        scale.name,
+        scale.requests,
+        scale.seeds.len(),
+        scale.fleet_machines
+    );
+    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+        IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &wanted {
+        if !IDS.contains(id) {
+            eprintln!("unknown experiment id: {id} (known: {})", IDS.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    // Table 2 feeds Figure 17; the four single-design fleet deltas feed the
+    // §4.5 rollout composition.
+    let mut table2_result = None;
+    let mut singles: Vec<wsc_fleet::Comparison> = Vec::new();
+
+    for id in wanted {
+        match id {
+            "fig3" => {
+                ex::fig3(&scale);
+            }
+            "fig4" => {
+                ex::fig4(&scale);
+            }
+            "fig5a" => {
+                ex::fig5a(&scale);
+            }
+            "fig5b" => {
+                ex::fig5b(&scale);
+            }
+            "fig6a" => {
+                ex::fig6a(&scale);
+            }
+            "fig6b" => {
+                ex::fig6b(&scale);
+            }
+            "fig7" => {
+                ex::fig7(&scale);
+            }
+            "fig8" => {
+                ex::fig8(&scale);
+            }
+            "fig9a" => {
+                ex::fig9a(&scale);
+            }
+            "fig9b" => {
+                ex::fig9b(&scale);
+            }
+            "fig10" => {
+                let (fleet_mem, _) = ex::fig10(&scale);
+                // Stash a synthetic comparison carrying the memory delta for
+                // the rollout composition (throughput-neutral per the paper).
+                let mut c = wsc_fleet::Comparison::default();
+                c.control.memory_bytes = 100.0;
+                c.experiment.memory_bytes = 100.0 + fleet_mem;
+                c.control.throughput = 100.0;
+                c.experiment.throughput = 100.0;
+                c.control.cpi = 1.0;
+                c.experiment.cpi = 1.0;
+                singles.push(c);
+            }
+            "fig11" => {
+                ex::fig11(&scale);
+            }
+            "fig13" => {
+                ex::fig13(&scale);
+            }
+            "table1" => {
+                let (fleet, _) = ex::table1(&scale);
+                singles.push(fleet);
+            }
+            "fig14" => {
+                let (fleet_mem, _, _) = ex::fig14(&scale);
+                let mut c = wsc_fleet::Comparison::default();
+                c.control.memory_bytes = 100.0;
+                c.experiment.memory_bytes = 100.0 + fleet_mem;
+                c.control.throughput = 100.0;
+                c.experiment.throughput = 100.0;
+                c.control.cpi = 1.0;
+                c.experiment.cpi = 1.0;
+                singles.push(c);
+            }
+            "fig15" => {
+                ex::fig15(&scale);
+            }
+            "fig16" => {
+                ex::fig16(&scale);
+            }
+            "table2" => {
+                let r = ex::table2(&scale);
+                singles.push(r.0);
+                table2_result = Some(r);
+            }
+            "fig17" => {
+                let (fleet, rows) = match table2_result.take() {
+                    Some(r) => r,
+                    None => ex::table2(&scale),
+                };
+                ex::fig17(&fleet, &rows);
+                table2_result = Some((fleet, rows));
+            }
+            "combined" => {
+                ex::combined(&scale, &singles);
+            }
+            "ablations" => {
+                ex::ablations(&scale);
+            }
+            _ => unreachable!("validated above"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! `trace` — record, inspect, and replay allocation traces.
+//!
+//! ```text
+//! # Record 50k events of the disk workload to a file:
+//! cargo run --release -p wsc-bench --bin trace -- record disk 50000 disk.trace
+//!
+//! # Inspect a trace:
+//! cargo run --release -p wsc-bench --bin trace -- info disk.trace
+//!
+//! # Replay it under both configurations and compare:
+//! cargo run --release -p wsc-bench --bin trace -- replay disk.trace
+//! ```
+
+use wsc_sim_hw::topology::Platform;
+use wsc_sim_os::clock::Clock;
+use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_workload::profiles;
+use wsc_workload::trace::{Trace, TraceEvent};
+
+fn usage() -> ! {
+    eprintln!("usage: trace record <workload> <events> <file>");
+    eprintln!("       trace info <file>");
+    eprintln!("       trace replay <file>");
+    eprintln!("workloads: fleet spanner monarch bigtable f1-query disk redis");
+    eprintln!("           data-pipeline image-processing tensorflow spec");
+    std::process::exit(2);
+}
+
+fn workload(name: &str) -> wsc_workload::WorkloadSpec {
+    match name {
+        "fleet" => profiles::fleet_mix(),
+        "spanner" => profiles::spanner(),
+        "monarch" => profiles::monarch(),
+        "bigtable" => profiles::bigtable(),
+        "f1-query" => profiles::f1_query(),
+        "disk" => profiles::disk(),
+        "redis" => profiles::redis(),
+        "data-pipeline" => profiles::data_pipeline(),
+        "image-processing" => profiles::image_processing(),
+        "tensorflow" => profiles::tensorflow(),
+        "spec" => profiles::spec_cpu(0),
+        other => {
+            eprintln!("unknown workload: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() == 4 => {
+            let spec = workload(&args[1]);
+            let events: u64 = args[2].parse().unwrap_or_else(|_| usage());
+            let trace = Trace::record(&spec, events, 42);
+            std::fs::write(&args[3], trace.to_text()).expect("write trace file");
+            println!("wrote {} events to {}", trace.events.len(), args[3]);
+        }
+        Some("info") if args.len() == 2 => {
+            let text = std::fs::read_to_string(&args[1]).expect("read trace file");
+            let trace = Trace::from_text(&text).expect("parse trace");
+            let (mut allocs, mut frees, mut bytes, mut span_ns) = (0u64, 0u64, 0u64, 0u64);
+            for ev in &trace.events {
+                match *ev {
+                    TraceEvent::Alloc { size, .. } => {
+                        allocs += 1;
+                        bytes += size;
+                    }
+                    TraceEvent::Free { .. } => frees += 1,
+                    TraceEvent::Advance { ns } => span_ns += ns,
+                }
+            }
+            println!("trace '{}'", trace.name);
+            println!("  events:        {}", trace.events.len());
+            println!("  allocations:   {allocs}");
+            println!("  frees:         {frees}");
+            println!("  bytes alloc'd: {bytes}");
+            println!("  time span:     {:.3} s", span_ns as f64 / 1e9);
+        }
+        Some("replay") if args.len() == 2 => {
+            let text = std::fs::read_to_string(&args[1]).expect("read trace file");
+            let trace = Trace::from_text(&text).expect("parse trace");
+            let platform = Platform::chiplet("chiplet-64c", 2, 4, 8, 2);
+            println!(
+                "{:<12} {:>10} {:>14} {:>16}",
+                "config", "allocs", "malloc ms", "peak resident"
+            );
+            for (name, cfg) in [
+                ("baseline", TcmallocConfig::baseline()),
+                ("optimized", TcmallocConfig::optimized()),
+            ] {
+                let clock = Clock::new();
+                let mut tcm = Tcmalloc::new(cfg, platform.clone(), clock.clone());
+                let stats = trace.replay(&mut tcm, &clock);
+                println!(
+                    "{name:<12} {:>10} {:>11.2} ms {:>12.1} MiB",
+                    stats.allocs,
+                    stats.malloc_ns / 1e6,
+                    stats.peak_resident_bytes as f64 / (1 << 20) as f64
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

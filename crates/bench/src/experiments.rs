@@ -1,0 +1,966 @@
+//! One reproduction function per table/figure of the paper's evaluation.
+//!
+//! Each function prints a `paper vs measured` table and returns the key
+//! measured values so tests can assert the *shape* criteria from DESIGN.md:
+//! who wins, by roughly what factor, in the same ordering across workloads.
+
+use wsc_fleet::experiment::{
+    run_fleet_ab, run_workload_ab, Comparison, MetricSet,
+};
+use wsc_fleet::population::Population;
+use wsc_fleet::report::{pct, Table};
+use wsc_fleet::rollout;
+use wsc_sim_hw::cost::{AllocPath, CostModel};
+use wsc_sim_hw::latency::{measure, LatencyModel};
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::clock::{Clock, NS_PER_SEC};
+use wsc_tcmalloc::stats::CycleCategory;
+use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_workload::driver::{self, DriverConfig};
+use wsc_workload::{profiles, WorkloadSpec};
+
+use crate::scale::Scale;
+
+/// The chiplet (NUCA) platform every single-workload experiment runs on.
+pub fn chiplet() -> Platform {
+    Platform::chiplet("chiplet-64c", 2, 4, 8, 2)
+}
+
+fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Averages paired A/B comparisons for one workload over the scale's seeds.
+pub fn averaged_ab(
+    spec: &WorkloadSpec,
+    platform: &Platform,
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    scale: &Scale,
+) -> Comparison {
+    let mut acc = Comparison::default();
+    let n = scale.seeds.len() as f64;
+    for &seed in &scale.seeds {
+        let c = run_workload_ab(spec, platform, control, experiment, scale.requests, seed);
+        add_metrics(&mut acc.control, &c.control, 1.0 / n);
+        add_metrics(&mut acc.experiment, &c.experiment, 1.0 / n);
+    }
+    acc
+}
+
+fn add_metrics(into: &mut MetricSet, from: &MetricSet, w: f64) {
+    into.throughput += from.throughput * w;
+    into.memory_bytes += from.memory_bytes * w;
+    into.cpi += from.cpi * w;
+    into.llc_mpki += from.llc_mpki * w;
+    into.dtlb_walk_pct += from.dtlb_walk_pct * w;
+    into.dtlb_miss_rate += from.dtlb_miss_rate * w;
+    into.hugepage_coverage += from.hugepage_coverage * w;
+    into.malloc_frac += from.malloc_frac * w;
+    into.frag_ratio += from.frag_ratio * w;
+}
+
+/// Runs one workload at baseline config and returns the report+allocator.
+fn baseline_run(
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    seed: u64,
+    drain: bool,
+) -> (driver::RunReport, Tcmalloc) {
+    let platform = chiplet();
+    let dcfg = DriverConfig {
+        drain_at_end: drain,
+        ..DriverConfig::new(scale.requests, seed, &platform)
+    };
+    driver::run(spec, &platform, TcmallocConfig::baseline(), &dcfg)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+/// Figure 3: CDF of malloc cycles / allocated memory over the top-N
+/// binaries. Returns `(cycle_coverage_50, memory_coverage_50)`.
+pub fn fig3(_scale: &Scale) -> (f64, f64) {
+    println!("== Figure 3: fleet coverage by top-N binaries ==");
+    let pop = Population::new(2000, 3);
+    let mut t = Table::new(vec!["top-N", "malloc-cycle %", "allocated-mem %"]);
+    for n in [1usize, 5, 10, 20, 30, 40, 50] {
+        t.row(vec![
+            n.to_string(),
+            f2(pop.cycle_coverage(n) * 100.0),
+            f2(pop.memory_coverage(n) * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    let (c50, m50) = (pop.cycle_coverage(50), pop.memory_coverage(50));
+    println!("paper: top 50 binaries cover ~50% of cycles and ~65% of memory");
+    println!("measured: {:.1}% and {:.1}%\n", c50 * 100.0, m50 * 100.0);
+    (c50, m50)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+/// Figure 4: allocation latency per cache tier. Returns measured mean ns by
+/// path in hierarchy order (missing tiers are `None`).
+pub fn fig4(scale: &Scale) -> Vec<Option<f64>> {
+    println!("== Figure 4: allocation latency by tier ==");
+    let platform = chiplet();
+    let clock = Clock::new();
+    let mut tcm = Tcmalloc::new(TcmallocConfig::baseline(), platform.clone(), clock.clone());
+    let spec = profiles::fleet_mix();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+    use rand::Rng;
+    let mut sums = [(0.0f64, 0u64); 5];
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let n = scale.requests * 20;
+    for i in 0..n {
+        clock.advance(200);
+        let (size, site) = spec.sample_size(clock.now_ns(), &mut rng);
+        let cpu = CpuId((i % 16) as u32);
+        let out = tcm.malloc_with_site(size, cpu, site as u64);
+        let idx = AllocPath::ALL.iter().position(|&p| p == out.path).expect("known path");
+        // Subtract the per-op extras so the tier latency itself is reported.
+        let cost = *tcm.cost_model();
+        let extras = cost.prefetch_ns + cost.other_ns;
+        sums[idx].0 += out.ns.min(cost.alloc_path_ns(out.path) + extras) - extras;
+        sums[idx].1 += 1;
+        live.push((out.addr, size));
+        if live.len() > 3000 || rng.gen::<f64>() < 0.3 {
+            let k = rng.gen_range(0..live.len());
+            let (addr, sz) = live.swap_remove(k);
+            tcm.free(addr, sz, cpu);
+        }
+        tcm.maintain();
+    }
+    let paper = [3.1, f64::NAN, f64::NAN, 137.0, 12_916.7];
+    let model = CostModel::production();
+    let mut t = Table::new(vec!["tier", "paper ns", "model ns", "measured ns", "hits"]);
+    let mut out = Vec::new();
+    for (i, &path) in AllocPath::ALL.iter().enumerate() {
+        let (sum, cnt) = sums[i];
+        let mean = (cnt > 0).then(|| sum / cnt as f64);
+        t.row(vec![
+            path.name().to_string(),
+            if paper[i].is_nan() { "(unlabeled)".into() } else { f2(paper[i]) },
+            f2(model.alloc_path_ns(path)),
+            mean.map(f2).unwrap_or_else(|| "-".into()),
+            cnt.to_string(),
+        ]);
+        out.push(mean);
+    }
+    println!("{}", t.render());
+    println!("paper: per-CPU 3.1 ns ... pageheap >137 ns, mmap 12916.7 ns\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5a / 5b
+// ---------------------------------------------------------------------------
+
+/// The workload set used in Figures 5/6: fleet + top-5 apps + SPEC.
+fn fig5_workloads() -> Vec<WorkloadSpec> {
+    let mut v = vec![profiles::fleet_mix()];
+    v.extend(profiles::production_workloads());
+    v.push(profiles::spec_cpu(0));
+    v.push(profiles::spec_cpu(1));
+    v
+}
+
+/// Figure 5a: % of cycles spent in malloc. Returns `(name, pct)` rows.
+pub fn fig5a(scale: &Scale) -> Vec<(String, f64)> {
+    println!("== Figure 5a: malloc cycles (% of total) ==");
+    let paper = [
+        ("fleet", 4.3),
+        ("spanner", 6.0),
+        ("monarch", 10.1),
+        ("bigtable", 7.0),
+        ("f1-query", 5.5),
+        ("disk", 3.6),
+        ("spec-mcf", 0.1),
+        ("spec-omnetpp", 0.1),
+    ];
+    let mut t = Table::new(vec!["workload", "paper %", "measured %"]);
+    let mut rows = Vec::new();
+    for (i, spec) in fig5_workloads().iter().enumerate() {
+        let (r, _) = baseline_run(spec, scale, 42, false);
+        let measured = r.malloc_frac * 100.0;
+        t.row(vec![
+            spec.name.clone(),
+            format!("~{}", paper[i].1),
+            f2(measured),
+        ]);
+        rows.push((spec.name.clone(), measured));
+    }
+    println!("{}", t.render());
+    println!("paper: fleet 4.3%; top-5 apps 3.6-10.1%; SPEC near zero\n");
+    rows
+}
+
+/// Figure 5b: fragmentation ratio (% of live heap), internal + external.
+/// Returns `(name, total_pct, internal_pct)` rows.
+pub fn fig5b(scale: &Scale) -> Vec<(String, f64, f64)> {
+    println!("== Figure 5b: memory fragmentation ratio ==");
+    let mut t = Table::new(vec![
+        "workload",
+        "paper %",
+        "measured %",
+        "external %",
+        "internal %",
+    ]);
+    let paper = ["22.2", "25", "11.2", "30", "20", "42.5", "-", "-"];
+    let mut rows = Vec::new();
+    for (i, spec) in fig5_workloads().iter().enumerate() {
+        let (r, _) = baseline_run(spec, scale, 42, false);
+        let f = r.fragmentation;
+        let total = f.ratio() * 100.0;
+        let internal = if f.live_bytes > 0 {
+            f.internal_bytes as f64 / f.live_bytes as f64 * 100.0
+        } else {
+            0.0
+        };
+        t.row(vec![
+            spec.name.clone(),
+            paper[i].to_string(),
+            f2(total),
+            f2(total - internal),
+            f2(internal),
+        ]);
+        rows.push((spec.name.clone(), total, internal));
+    }
+    println!("{}", t.render());
+    println!("paper: fleet 22.2% (18.8 external + 3.4 internal); apps 11.2-42.5%\n");
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6a / 6b
+// ---------------------------------------------------------------------------
+
+/// Figure 6a: breakdown of malloc cycles by allocator component.
+/// Returns `(category, share)` pairs.
+pub fn fig6a(scale: &Scale) -> Vec<(&'static str, f64)> {
+    println!("== Figure 6a: malloc cycle breakdown ==");
+    let (_, tcm) = baseline_run(&profiles::fleet_mix(), scale, 42, false);
+    let paper = [
+        (CycleCategory::CpuCache, 53.0),
+        (CycleCategory::TransferCache, 3.0),
+        (CycleCategory::CentralFreeList, 12.0),
+        (CycleCategory::PageHeap, 3.0),
+        (CycleCategory::Sampled, 4.0),
+        (CycleCategory::Prefetch, 16.0),
+        (CycleCategory::Other, 9.0),
+    ];
+    let breakdown = tcm.cycles().breakdown();
+    let mut t = Table::new(vec!["component", "paper %", "measured %"]);
+    let mut rows = Vec::new();
+    for (cat, paper_pct) in paper {
+        let measured = breakdown
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, f)| f * 100.0)
+            .unwrap_or(0.0);
+        t.row(vec![cat.name().to_string(), f2(paper_pct), f2(measured)]);
+        rows.push((cat.name(), measured));
+    }
+    println!("{}", t.render());
+    println!("paper: CPUCache 53, Transfer 3, CFL 12, PageHeap 3, Sampled 4, Prefetch 16\n");
+    rows
+}
+
+/// Figure 6b: fragmentation breakdown by source for fleet + top-5 apps.
+/// Returns per-workload `[cpu, transfer, cfl, pageheap, internal]` shares.
+pub fn fig6b(scale: &Scale) -> Vec<(String, [f64; 5])> {
+    println!("== Figure 6b: fragmentation breakdown (% of total frag) ==");
+    let mut specs = vec![profiles::fleet_mix()];
+    specs.extend(profiles::production_workloads());
+    let paper = [
+        "fleet: CFL 29 / PageHeap 51 / Internal 15",
+        "spanner: CFL 17 / PageHeap 64",
+        "monarch: CFL 57 / PageHeap 12",
+        "bigtable: CFL 58",
+        "f1-query: CFL 36 / PageHeap 50",
+        "disk: CFL 47 / PageHeap 39",
+    ];
+    let mut t = Table::new(vec![
+        "workload", "CPUCache", "Transfer", "CFL", "PageHeap", "Internal",
+    ]);
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let (r, _) = baseline_run(spec, scale, 42, false);
+        let shares = r.fragmentation.shares().map(|s| s * 100.0);
+        t.row(vec![
+            spec.name.clone(),
+            f2(shares[0]),
+            f2(shares[1]),
+            f2(shares[2]),
+            f2(shares[3]),
+            f2(shares[4]),
+        ]);
+        rows.push((spec.name.clone(), shares));
+    }
+    println!("{}", t.render());
+    println!("paper rows: {}\n", paper.join("; "));
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// Figure 7: CDF of allocated objects and memory by size. Returns
+/// `(count_below_1k, mem_below_1k, mem_above_8k, mem_above_256k)`.
+pub fn fig7(scale: &Scale) -> (f64, f64, f64, f64) {
+    println!("== Figure 7: distribution of allocated objects ==");
+    // The >256 KiB tail is one allocation in ~200k: run long and merge
+    // several seeds so the sampled tail is populated.
+    let platform = chiplet();
+    let mut profile = wsc_telemetry::gwp::AllocationProfile::new();
+    for &seed in &scale.seeds {
+        let dcfg = DriverConfig::new(scale.requests * 4, seed, &platform);
+        let (_, tcm) =
+            driver::run(&profiles::fleet_mix(), &platform, TcmallocConfig::baseline(), &dcfg);
+        profile.merge(tcm.profile());
+    }
+    let tcm_profile = profile;
+    let p = &tcm_profile;
+    let count_1k = p.size_by_count.fraction_below(1 << 10);
+    let mem_1k = p.size_by_bytes.fraction_below(1 << 10);
+    let mem_8k = p.size_by_bytes.fraction_at_or_above(8 << 10);
+    let mem_256k = p.size_by_bytes.fraction_at_or_above(256 << 10);
+    let mut t = Table::new(vec!["statistic", "paper", "measured"]);
+    t.row(vec!["objects < 1 KiB".into(), "98%".into(), f2(count_1k * 100.0) + "%"]);
+    t.row(vec!["memory < 1 KiB".into(), "28%".into(), f2(mem_1k * 100.0) + "%"]);
+    t.row(vec!["memory > 8 KiB".into(), "50%".into(), f2(mem_8k * 100.0) + "%"]);
+    t.row(vec!["memory > 256 KiB".into(), "22%".into(), f2(mem_256k * 100.0) + "%"]);
+    println!("{}", t.render());
+    println!("(from the allocator's own 2 MiB-period sampled profile)\n");
+    (count_1k, mem_1k, mem_8k, mem_256k)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+/// Figure 8: object lifetime distribution by size, fleet vs SPEC. Returns
+/// `(fleet_small_under_1ms, spec_under_1ms, fleet_diversity, spec_diversity)`
+/// where diversity is the IQR ratio (p75/p25) of small-object lifetimes.
+pub fn fig8(scale: &Scale) -> (f64, f64, f64, f64) {
+    println!("== Figure 8: object lifetime x size (fleet vs SPEC) ==");
+    let stats = |spec: &WorkloadSpec| {
+        // Densify sampling (64 KiB period instead of 2 MiB) so even the
+        // allocation-light SPEC programs produce a usable lifetime profile.
+        let platform = chiplet();
+        let cfg = TcmallocConfig {
+            sample_period_bytes: 64 << 10,
+            ..TcmallocConfig::baseline()
+        };
+        let dcfg = DriverConfig {
+            drain_at_end: true,
+            ..DriverConfig::new(scale.requests * 2, 42, &platform)
+        };
+        let (_, tcm) = driver::run(spec, &platform, cfg, &dcfg);
+        let p = tcm.profile();
+        // Aggregate small sizes (exp 3..=9, i.e. 8 B..1 KiB).
+        let mut small = wsc_telemetry::LogHistogram::new();
+        for e in 3..=9 {
+            small.merge(p.lifetime_for_size_exp(e));
+        }
+        let under_1ms = small.fraction_below(1_000_000);
+        // "Diversity" = lifetime mass in the *middle* decades (1 ms..1 s):
+        // the fleet spreads across them; SPEC is bimodal (instant or
+        // program-long) and has almost none.
+        let middle = small.fraction_below(NS_PER_SEC) - small.fraction_below(1_000_000);
+        (under_1ms, middle)
+    };
+    let (fleet_short, fleet_mid) = stats(&profiles::fleet_mix());
+    let (spec_short, spec_mid) = stats(&profiles::spec_cpu(1));
+    let mut t = Table::new(vec!["metric", "fleet", "spec-cpu"]);
+    t.row(vec![
+        "small objects < 1 ms".into(),
+        f2(fleet_short * 100.0) + "%",
+        f2(spec_short * 100.0) + "%",
+    ]);
+    t.row(vec![
+        "lifetime mass in 1 ms .. 1 s".into(),
+        f2(fleet_mid * 100.0) + "%",
+        f2(spec_mid * 100.0) + "%",
+    ]);
+    println!("{}", t.render());
+    println!("paper: fleet lifetimes are diverse (46% of small objects < 1 ms,");
+    println!("       mass spread across decades); SPEC is bimodal (near-0 or program-long)\n");
+    (fleet_short, spec_short, fleet_mid, spec_mid)
+}
+
+// ---------------------------------------------------------------------------
+// Figures 9a / 9b
+// ---------------------------------------------------------------------------
+
+/// Figure 9a: worker-thread fluctuation of a middle-tier service. Returns
+/// `(min, mean, max)` thread counts.
+pub fn fig9a(scale: &Scale) -> (f64, f64, f64) {
+    println!("== Figure 9a: worker-thread count over time ==");
+    // The paper's trace spans 48 h; the simulation compresses the diurnal
+    // cycle so this run covers ~3 cycles.
+    let mut spec = profiles::middle_tier_service();
+    spec.threads.period_ns = NS_PER_SEC / 8;
+    let platform = chiplet();
+    let dcfg = DriverConfig {
+        load_interval_ns: NS_PER_SEC / 200,
+        ..DriverConfig::new(scale.requests * 2, 42, &platform)
+    };
+    let (r, _) = driver::run(&spec, &platform, TcmallocConfig::baseline(), &dcfg);
+    let samples = r.threads_ts.resample(24);
+    let line: Vec<String> = samples.iter().map(|&(_, v)| format!("{v:.0}")).collect();
+    println!("thread count (24 samples): {}", line.join(" "));
+    let (min, mean, max) = (
+        r.threads_ts.min().unwrap_or(0.0),
+        r.threads_ts.mean().unwrap_or(0.0),
+        r.threads_ts.max().unwrap_or(0.0),
+    );
+    println!(
+        "min {min:.0} / mean {mean:.1} / max {max:.0}  (paper: constant fluctuation from diurnal load and spikes)\n"
+    );
+    (min, mean, max)
+}
+
+/// Figure 9b: per-vCPU cache miss-ratio skew. Returns the miss ratio per
+/// vCPU index (fraction of all misses).
+pub fn fig9b(scale: &Scale) -> Vec<f64> {
+    println!("== Figure 9b: per-vCPU cache miss ratio ==");
+    let mut spec = profiles::middle_tier_service();
+    // Compress the load cycle so the run covers several cycles.
+    spec.threads.period_ns = NS_PER_SEC;
+    spec.threads.base = 6.0;
+    spec.threads.amplitude = 0.8;
+    spec.threads.max = 16;
+    let platform = chiplet();
+    let dcfg = DriverConfig {
+        load_interval_ns: NS_PER_SEC / 100,
+        ..DriverConfig::new(scale.requests * 2, 42, &platform)
+    };
+    let (r, _) = driver::run(&spec, &platform, TcmallocConfig::baseline(), &dcfg);
+    let total: u64 = r.percpu_misses.iter().sum();
+    let ratios: Vec<f64> = r
+        .percpu_misses
+        .iter()
+        .map(|&m| m as f64 / total.max(1) as f64)
+        .collect();
+    let mut t = Table::new(vec!["vCPU", "miss ratio"]);
+    for (i, ratio) in ratios.iter().enumerate() {
+        t.row(vec![i.to_string(), f3(*ratio)]);
+    }
+    println!("{}", t.render());
+    println!("paper: vCPU 0 suffers the most misses; high-index vCPUs are idle\n");
+    ratios
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 (heterogeneous per-CPU caches)
+// ---------------------------------------------------------------------------
+
+/// Workloads in the Figure 10/14 and Table 1/2 rows (paper order), minus the
+/// fleet row which runs through the fleet A/B framework.
+fn eval_workloads() -> Vec<WorkloadSpec> {
+    let mut v = profiles::production_workloads();
+    v.extend(profiles::benchmark_workloads());
+    v
+}
+
+/// Generic per-design evaluation: fleet A/B plus per-workload rows.
+/// Returns `(fleet_comparison, rows)` with one `Comparison` per workload.
+pub fn design_ab(
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    scale: &Scale,
+    skip: &[&str],
+) -> (Comparison, Vec<(String, Comparison)>) {
+    let fleet = run_fleet_ab(control, experiment, &scale.fleet_config(11)).fleet;
+    let platform = chiplet();
+    let mut rows = Vec::new();
+    for spec in eval_workloads() {
+        if skip.contains(&spec.name.as_str()) {
+            rows.push((spec.name.clone(), Comparison::default()));
+            continue;
+        }
+        let c = averaged_ab(&spec, &platform, control, experiment, scale);
+        rows.push((spec.name.clone(), c));
+    }
+    (fleet, rows)
+}
+
+/// Figure 10: memory reduction from heterogeneous per-CPU caches.
+/// Returns `(fleet_mem_pct, rows)` (negative = reduction).
+pub fn fig10(scale: &Scale) -> (f64, Vec<(String, f64)>) {
+    println!("== Figure 10: memory reduction, heterogeneous per-CPU caches ==");
+    let base = TcmallocConfig::baseline();
+    let exp = base.with_heterogeneous_percpu();
+    let (fleet, rows) = design_ab(base, exp, scale, &["redis"]);
+    let paper = [
+        ("fleet", -1.94),
+        ("spanner", -1.2),
+        ("monarch", -2.45),
+        ("bigtable", -1.5),
+        ("f1-query", -0.58),
+        ("disk", -1.0),
+        ("redis", f64::NAN),
+        ("data-pipeline", -2.66),
+        ("image-processing", -2.27),
+        ("tensorflow", -2.08),
+    ];
+    let mut t = Table::new(vec!["workload", "paper mem %", "measured mem %"]);
+    t.row(vec!["fleet".into(), pct(paper[0].1), pct(fleet.memory_pct())]);
+    let mut out = vec![("fleet".to_string(), fleet.memory_pct())];
+    for (i, (name, c)) in rows.iter().enumerate() {
+        let measured = if name == "redis" {
+            "n/a (single-threaded)".to_string()
+        } else {
+            pct(c.memory_pct())
+        };
+        let paper_cell = if paper[i + 1].1.is_nan() {
+            "omitted".to_string()
+        } else {
+            pct(paper[i + 1].1)
+        };
+        t.row(vec![name.clone(), paper_cell, measured]);
+        out.push((name.clone(), c.memory_pct()));
+    }
+    println!("{}", t.render());
+    println!("paper: fleet -1.94%; apps -0.58..-2.45%; benchmarks -2.08..-2.66%; Redis omitted\n");
+    (fleet.memory_pct(), out)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------------
+
+/// Figure 11: intra vs inter cache-domain transfer latency. Returns the
+/// measured ratio.
+pub fn fig11(_scale: &Scale) -> f64 {
+    println!("== Figure 11: cache-to-cache transfer latency (MLC-style) ==");
+    let platform = chiplet();
+    let m = measure(&platform, &LatencyModel::production());
+    let inter = m.inter_domain_ns.expect("chiplet platform");
+    let ratio = inter / m.intra_domain_ns;
+    let mut t = Table::new(vec!["stratum", "paper", "measured ns"]);
+    t.row(vec!["intra-cache-domain".into(), "~40 ns".into(), f2(m.intra_domain_ns)]);
+    t.row(vec!["inter-cache-domain".into(), "2.07x intra".into(), f2(inter)]);
+    println!("{}", t.render());
+    println!("measured ratio: {ratio:.2}x (paper: 2.07x)\n");
+    ratio
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13
+// ---------------------------------------------------------------------------
+
+/// Figure 13: span return rate vs live allocations for high-capacity
+/// classes. Returns `(live_allocations, return_rate)` points.
+pub fn fig13(scale: &Scale) -> Vec<(u32, f64)> {
+    println!("== Figure 13: span return rate vs live allocations ==");
+    // The paper plots the 16-byte class at fleet scale. At simulation scale
+    // the span-level churn concentrates in the mid-capacity classes, so we
+    // aggregate every class with capacity >= 4 and normalize occupancy to a
+    // 512-object span like the paper's 16-byte class.
+    let platform = chiplet();
+    let mut buckets: Vec<(f64, u64)> = vec![(0.0, 0); 513];
+    for spec in [profiles::monarch(), profiles::fleet_mix(), profiles::bigtable()] {
+        let dcfg = DriverConfig::new(scale.requests * 2, 42, &platform);
+        let (_, tcm) = driver::run(&spec, &platform, TcmallocConfig::baseline(), &dcfg);
+        for cl in 0..tcm.table().num_classes() {
+            let info = *tcm.table().info(cl);
+            if info.objects_per_span < 4 {
+                continue;
+            }
+            for (live, rate, count) in tcm.central(cl).obs.iter() {
+                let norm =
+                    (live as u64 * 512 / info.objects_per_span as u64).min(512) as usize;
+                buckets[norm].0 += rate * count as f64;
+                buckets[norm].1 += count;
+            }
+        }
+    }
+    let mut t = Table::new(vec!["live allocations", "return rate %", "observations"]);
+    let mut points = Vec::new();
+    for edges in [0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512].windows(2) {
+        let (lo, hi) = (edges[0], edges[1]);
+        let (mut rel, mut tot) = (0.0f64, 0u64);
+        for a in lo.max(1)..=hi {
+            rel += buckets[a as usize].0;
+            tot += buckets[a as usize].1;
+        }
+        if tot == 0 {
+            continue;
+        }
+        let rate = rel / tot as f64;
+        t.row(vec![
+            format!("{}..{}", lo.max(1), hi),
+            f2(rate * 100.0),
+            tot.to_string(),
+        ]);
+        points.push((hi, rate));
+    }
+    println!("{}", t.render());
+    println!("paper: release probability falls monotonically with live allocations\n");
+    points
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 (NUCA-aware transfer caches)
+// ---------------------------------------------------------------------------
+
+/// Prints a Table-1/Table-2 style table. Returns the fleet comparison and
+/// per-workload comparisons.
+fn print_design_table(
+    title: &str,
+    paper_note: &str,
+    fleet: &Comparison,
+    rows: &[(String, Comparison)],
+    skip: &[&str],
+    tlb: bool,
+) {
+    println!("== {title} ==");
+    let mut t = Table::new(if tlb {
+        vec!["workload", "thr %", "mem %", "CPI %", "walk% b", "walk% a", "miss b", "miss a"]
+    } else {
+        vec!["workload", "thr %", "mem %", "CPI %", "MPKI b", "MPKI a", "", ""]
+    });
+    let mut push = |name: &str, c: &Comparison| {
+        if skip.contains(&name) {
+            t.row(vec![name.into(), "/".into(), "/".into(), "/".into(), "/".into(), "/".into()]);
+            return;
+        }
+        let (b, a) = if tlb {
+            (c.control.dtlb_walk_pct, c.experiment.dtlb_walk_pct)
+        } else {
+            (c.control.llc_mpki, c.experiment.llc_mpki)
+        };
+        let (mb, ma) = (c.control.dtlb_miss_rate, c.experiment.dtlb_miss_rate);
+        let mut row = vec![
+            name.to_string(),
+            pct(c.throughput_pct()),
+            pct(c.memory_pct()),
+            pct(c.cpi_pct()),
+            f3(b),
+            f3(a),
+        ];
+        if tlb {
+            row.push(f3(mb));
+            row.push(f3(ma));
+        }
+        t.row(row);
+    };
+    push("fleet", fleet);
+    for (name, c) in rows {
+        push(name, c);
+    }
+    println!("{}", t.render());
+    println!("{paper_note}\n");
+}
+
+/// Table 1: NUCA-aware transfer caches. Returns `(fleet, rows)`.
+pub fn table1(scale: &Scale) -> (Comparison, Vec<(String, Comparison)>) {
+    let base = TcmallocConfig::baseline();
+    let exp = base.with_nuca_transfer();
+    let (fleet, rows) = design_ab(base, exp, scale, &["redis"]);
+    print_design_table(
+        "Table 1: NUCA-aware transfer caches",
+        "paper: fleet thr +0.32%, mem +0.10%, CPI -0.57%, LLC MPKI 2.52->2.41;\n\
+         apps thr +0.28..+1.72%; benchmarks +1.37..+3.80%; Redis skipped (single-threaded)",
+        &fleet,
+        &rows,
+        &["redis"],
+        false,
+    );
+    (fleet, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 (span prioritization)
+// ---------------------------------------------------------------------------
+
+/// Figure 14: memory reduction from span prioritization.
+/// Returns `(fleet_mem_pct, fleet_frag_pct, rows)`.
+pub fn fig14(scale: &Scale) -> (f64, f64, Vec<(String, f64)>) {
+    println!("== Figure 14: memory reduction, span prioritization ==");
+    let base = TcmallocConfig::baseline();
+    let exp = base.with_span_prioritization();
+    let (fleet, rows) = design_ab(base, exp, scale, &[]);
+    let mut t = Table::new(vec!["workload", "paper mem %", "measured mem %", "frag %"]);
+    let paper = [
+        ("fleet", -1.41),
+        ("spanner", -0.8),
+        ("monarch", -2.76),
+        ("bigtable", -1.3),
+        ("f1-query", -0.34),
+        ("disk", -2.54),
+        ("redis", -0.61),
+        ("data-pipeline", -1.36),
+        ("image-processing", -0.9),
+        ("tensorflow", -1.0),
+    ];
+    t.row(vec![
+        "fleet".into(),
+        pct(paper[0].1),
+        pct(fleet.memory_pct()),
+        pct(fleet.frag_pct()),
+    ]);
+    let mut out = vec![("fleet".to_string(), fleet.memory_pct())];
+    for (i, (name, c)) in rows.iter().enumerate() {
+        t.row(vec![
+            name.clone(),
+            pct(paper[i + 1].1),
+            pct(c.memory_pct()),
+            pct(c.frag_pct()),
+        ]);
+        out.push((name.clone(), c.memory_pct()));
+    }
+    println!("{}", t.render());
+    println!("paper: fleet -1.41%; monarch -2.76%; others -0.34..-2.54%\n");
+    (fleet.memory_pct(), fleet.frag_pct(), out)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15
+// ---------------------------------------------------------------------------
+
+/// Figure 15: pageheap in-use and fragmentation by component. Returns
+/// `(filler_use_share, filler_frag_share)`.
+pub fn fig15(scale: &Scale) -> (f64, f64) {
+    println!("== Figure 15: pageheap component shares ==");
+    let (_, tcm) = baseline_run(&profiles::fleet_mix(), scale, 42, false);
+    let s = tcm.pageheap().stats();
+    let used = s.total_used_bytes().max(1) as f64;
+    let free = s.total_free_bytes().max(1) as f64;
+    let mut t = Table::new(vec!["component", "in-use %", "fragmentation %"]);
+    t.row(vec![
+        "HugeFiller".into(),
+        f2(s.filler_used_bytes as f64 / used * 100.0),
+        f2(s.filler_free_bytes as f64 / free * 100.0),
+    ]);
+    t.row(vec![
+        "HugeRegion".into(),
+        f2(s.region_used_bytes as f64 / used * 100.0),
+        f2(s.region_free_bytes as f64 / free * 100.0),
+    ]);
+    t.row(vec![
+        "HugeCache (+large)".into(),
+        f2(s.large_used_bytes as f64 / used * 100.0),
+        f2(s.cache_bytes as f64 / free * 100.0),
+    ]);
+    println!("{}", t.render());
+    println!("paper: HugeFiller 83.6% of in-use memory, 94.4% of pageheap fragmentation\n");
+    (
+        s.filler_used_bytes as f64 / used,
+        s.filler_free_bytes as f64 / free,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16
+// ---------------------------------------------------------------------------
+
+/// Figure 16: span return rate vs span capacity; returns the Spearman rank
+/// correlation (paper: -0.75).
+pub fn fig16(scale: &Scale) -> f64 {
+    println!("== Figure 16: span return rate vs span capacity ==");
+    // Aggregate span telemetry across the production workloads.
+    let platform = chiplet();
+    let mut per_class: Vec<(f64, u64, u64)> = Vec::new(); // (capacity, created, released)
+    for spec in profiles::production_workloads() {
+        let dcfg = DriverConfig::new(scale.requests, 42, &platform);
+        let (_, tcm) = driver::run(&spec, &platform, TcmallocConfig::baseline(), &dcfg);
+        for cl in 0..tcm.table().num_classes() {
+            let c = tcm.central(cl);
+            if c.spans_created == 0 {
+                continue;
+            }
+            let cap = tcm.table().info(cl).objects_per_span as f64;
+            match per_class.iter_mut().find(|(x, _, _)| *x == cap) {
+                Some(e) => {
+                    e.1 += c.spans_created;
+                    e.2 += c.spans_released;
+                }
+                None => per_class.push((cap, c.spans_created, c.spans_released)),
+            }
+        }
+    }
+    per_class.retain(|&(_, created, _)| created >= 10);
+    per_class.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let xs: Vec<f64> = per_class.iter().map(|&(c, _, _)| c).collect();
+    let ys: Vec<f64> = per_class
+        .iter()
+        .map(|&(_, cr, rel)| rel as f64 / cr as f64)
+        .collect();
+    let rho = wsc_telemetry::stats::spearman(&xs, &ys).unwrap_or(0.0);
+    let mut t = Table::new(vec!["span capacity", "return rate %", "spans"]);
+    for (i, &(cap, created, _)) in per_class.iter().enumerate() {
+        t.row(vec![
+            format!("{cap:.0}"),
+            f2(ys[i] * 100.0),
+            created.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Spearman rho: {rho:.2} (paper: -0.75; strong negative correlation)\n");
+    rho
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 + Figure 17 (lifetime-aware hugepage filler)
+// ---------------------------------------------------------------------------
+
+/// Table 2: lifetime-aware hugepage filler. Returns `(fleet, rows)`.
+pub fn table2(scale: &Scale) -> (Comparison, Vec<(String, Comparison)>) {
+    let base = TcmallocConfig::baseline();
+    let exp = base.with_lifetime_filler();
+    let (fleet, rows) = design_ab(base, exp, scale, &[]);
+    print_design_table(
+        "Table 2: lifetime-aware hugepage filler",
+        "paper: fleet thr +1.02%, mem -0.82%, CPI -6.75%, dTLB walk 9.16->6.22%;\n\
+         apps thr +0.38..+6.29% (disk best, monarch next); benchmarks +1.05..+3.91% (incl. Redis)",
+        &fleet,
+        &rows,
+        &[],
+        true,
+    );
+    (fleet, rows)
+}
+
+/// Figure 17: hugepage coverage and normalized dTLB miss rate from the
+/// Table 2 experiment. Returns `(cov_before, cov_after, norm_miss_after)`.
+pub fn fig17(fleet: &Comparison, rows: &[(String, Comparison)]) -> (f64, f64, f64) {
+    println!("== Figure 17: hugepage coverage & dTLB misses ==");
+    // Coverage averaged over fleet + workloads (the paper reports the
+    // application-average).
+    let mut cov_b = fleet.control.hugepage_coverage;
+    let mut cov_a = fleet.experiment.hugepage_coverage;
+    let mut miss_b = fleet.control.dtlb_miss_rate;
+    let mut miss_a = fleet.experiment.dtlb_miss_rate;
+    for (_, c) in rows {
+        cov_b += c.control.hugepage_coverage;
+        cov_a += c.experiment.hugepage_coverage;
+        miss_b += c.control.dtlb_miss_rate;
+        miss_a += c.experiment.dtlb_miss_rate;
+    }
+    let n = (rows.len() + 1) as f64;
+    let (cov_b, cov_a) = (cov_b / n, cov_a / n);
+    let norm_miss = if miss_b > 0.0 { miss_a / miss_b } else { 1.0 };
+    let mut t = Table::new(vec!["metric", "paper", "measured"]);
+    t.row(vec![
+        "hugepage coverage baseline".into(),
+        "54.4%".into(),
+        f2(cov_b * 100.0) + "%",
+    ]);
+    t.row(vec![
+        "hugepage coverage lifetime-aware".into(),
+        "56.2%".into(),
+        f2(cov_a * 100.0) + "%",
+    ]);
+    t.row(vec![
+        "normalized dTLB miss rate".into(),
+        "1.00 -> 0.839".into(),
+        format!("1.00 -> {norm_miss:.3}"),
+    ]);
+    println!("{}", t.render());
+    println!("paper: coverage 54.4 -> 56.2%; dTLB misses -8.1%\n");
+    (cov_b, cov_a, norm_miss)
+}
+
+// ---------------------------------------------------------------------------
+// §4.5 combined
+// ---------------------------------------------------------------------------
+
+/// §4.5: all four designs combined, plus the multiplicative rollout
+/// composition of the individual fleet deltas.
+/// Returns `(fleet_combined, rollout_estimate)`.
+pub fn combined(
+    scale: &Scale,
+    singles: &[Comparison],
+) -> (Comparison, rollout::RolloutEstimate) {
+    println!("== Section 4.5: all four designs combined ==");
+    let base = TcmallocConfig::baseline();
+    let exp = TcmallocConfig::optimized();
+    let (fleet, rows) = design_ab(base, exp, scale, &[]);
+    print_design_table(
+        "combined A/B (baseline vs fully optimized)",
+        "paper (end-to-end estimate): fleet +1.4% throughput, -3.4% RAM;\n\
+         top-5 apps +0.7..+8.1% throughput, -1.0..-6.3% memory",
+        &fleet,
+        &rows,
+        &[],
+        true,
+    );
+    let est = rollout::combine(singles.iter());
+    println!(
+        "rollout composition of the four independent fleet deltas: thr {:+.2}%, mem {:+.2}% (paper: +1.4%, -3.4%)\n",
+        est.throughput_pct, est.memory_pct
+    );
+    (fleet, est)
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (§4.3 "L = 8 lists are sufficient", §4.4 "C = 16", §5 NUMA)
+// ---------------------------------------------------------------------------
+
+/// Metric ablations over the paper's design constants. Returns
+/// `(label, throughput_pct, memory_pct)` rows.
+pub fn ablations(scale: &Scale) -> Vec<(String, f64, f64)> {
+    println!("== Ablations: design constants ==");
+    let platform = chiplet();
+    let base = TcmallocConfig::baseline();
+    let mut rows = Vec::new();
+    let mut run = |label: String, spec: &WorkloadSpec, exp: TcmallocConfig| {
+        let c = averaged_ab(spec, &platform, base, exp, scale);
+        rows.push((label, c.throughput_pct(), c.memory_pct()));
+    };
+
+    // L: central-free-list lists (monarch has the heaviest span churn).
+    for lists in [1usize, 2, 4, 8, 16] {
+        let mut exp = base;
+        exp.cfl_lists = lists;
+        run(format!("cfl-lists L={lists}"), &profiles::monarch(), exp);
+    }
+    // C: lifetime capacity threshold (disk is the paper's biggest winner).
+    for c_thr in [2u32, 8, 16, 64, 256] {
+        let mut exp = base.with_lifetime_filler();
+        exp.pageheap.capacity_threshold = c_thr;
+        run(format!("lifetime C={c_thr}"), &profiles::disk(), exp);
+    }
+    // Transfer sharding: per-LLC-domain (§4.2) vs per-NUMA-node (§5).
+    run("sharding=domain".into(), &profiles::disk(), base.with_nuca_transfer());
+    run("sharding=node".into(), &profiles::disk(), base.with_numa_transfer());
+
+    let mut t = Table::new(vec!["ablation", "thr %", "mem %"]);
+    for (label, thr, mem) in &rows {
+        t.row(vec![label.clone(), pct(*thr), pct(*mem)]);
+    }
+    println!("{}", t.render());
+    println!("paper: L = 8 suffices (§4.3); C = 16 is acceptable (§4.4);\n\
+              NUMA-node sharding is the §5 extension\n");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_matches_paper_shape() {
+        let (c50, m50) = fig3(&Scale::quick());
+        assert!((c50 - 0.50).abs() < 0.08);
+        assert!((m50 - 0.65).abs() < 0.08);
+    }
+
+    #[test]
+    fn fig11_matches_paper_ratio() {
+        let ratio = fig11(&Scale::quick());
+        assert!((ratio - 2.07).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,15 @@
+//! The reproduction harness: one function per table/figure of the paper's
+//! evaluation, shared between the `repro` binary and the criterion benches.
+//!
+//! Every function prints a paper-vs-measured table (via
+//! [`wsc_fleet::report::Table`]) and returns the measured numbers so
+//! integration tests can assert directions. `EXPERIMENTS.md` quotes the
+//! output of `cargo run --release -p wsc-bench --bin repro -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,97 @@
+//! Experiment scale selection.
+//!
+//! `REPRO_SCALE=quick|default|full` controls how many requests, seeds, and
+//! machines every experiment uses. `quick` is for CI smoke tests; `full` is
+//! what EXPERIMENTS.md quotes.
+
+use wsc_fleet::experiment::FleetExperimentConfig;
+
+/// Experiment sizing knobs.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Human-readable scale name.
+    pub name: &'static str,
+    /// Requests per single-workload run.
+    pub requests: u64,
+    /// Seeds averaged for paired A/B runs.
+    pub seeds: Vec<u64>,
+    /// Machines per arm in fleet experiments.
+    pub fleet_machines: usize,
+    /// Requests per binary in fleet experiments.
+    pub fleet_requests: u64,
+}
+
+impl Scale {
+    /// Reads `REPRO_SCALE` from the environment (default: `default`).
+    pub fn from_env() -> Self {
+        match std::env::var("REPRO_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("full") => Self::full(),
+            _ => Self::default_scale(),
+        }
+    }
+
+    /// CI smoke scale.
+    pub fn quick() -> Self {
+        Self {
+            name: "quick",
+            requests: 6_000,
+            seeds: vec![42],
+            fleet_machines: 3,
+            fleet_requests: 6_000,
+        }
+    }
+
+    /// The everyday scale.
+    pub fn default_scale() -> Self {
+        Self {
+            name: "default",
+            requests: 25_000,
+            seeds: vec![41, 42, 43],
+            fleet_machines: 10,
+            fleet_requests: 15_000,
+        }
+    }
+
+    /// The publication scale used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Self {
+            name: "full",
+            requests: 40_000,
+            seeds: vec![41, 42, 43, 44],
+            fleet_machines: 16,
+            fleet_requests: 25_000,
+        }
+    }
+
+    /// Fleet experiment configuration at this scale.
+    pub fn fleet_config(&self, seed: u64) -> FleetExperimentConfig {
+        FleetExperimentConfig {
+            machines: self.fleet_machines,
+            binaries_per_machine: 2,
+            requests_per_binary: self.fleet_requests,
+            seed,
+            platform_mix: wsc_fleet::experiment::default_platform_mix(),
+            population: 2_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::quick().requests < Scale::default_scale().requests);
+        assert!(Scale::default_scale().requests < Scale::full().requests);
+    }
+
+    #[test]
+    fn fleet_config_carries_scale() {
+        let s = Scale::quick();
+        let c = s.fleet_config(1);
+        assert_eq!(c.machines, s.fleet_machines);
+        assert_eq!(c.requests_per_binary, s.fleet_requests);
+    }
+}

@@ -1,0 +1,365 @@
+//! The fleet A/B experimentation framework (§2.2).
+//!
+//! "For each design, the framework randomly selects 1% of the machines in
+//! the fleet as an experiment group and a separate 1% as a control group.
+//! We apply the change to all the binaries running in the experiment group
+//! and compare their performance with the control group."
+//!
+//! At laptop scale the groups are tens of machines rather than thousands.
+//! To keep the comparison statistically meaningful at that size, arms are
+//! *paired*: each experiment machine has a control twin with the same
+//! platform, binaries, cpusets, and seeds, so the measured delta isolates
+//! the allocator change. (Production pairs statistically by sheer volume.)
+
+use crate::population::Population;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_tcmalloc::TcmallocConfig;
+use wsc_workload::driver::{self, DriverConfig, RunReport};
+use wsc_workload::WorkloadSpec;
+
+/// The metrics an experiment compares, one value per arm.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricSet {
+    /// Requests per busy CPU-second (application productivity).
+    pub throughput: f64,
+    /// Mean resident heap bytes.
+    pub memory_bytes: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// LLC load misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// dTLB walk cycles, % of total.
+    pub dtlb_walk_pct: f64,
+    /// dTLB miss rate (misses / accesses).
+    pub dtlb_miss_rate: f64,
+    /// Hugepage coverage of the heap.
+    pub hugepage_coverage: f64,
+    /// Fraction of cycles inside the allocator.
+    pub malloc_frac: f64,
+    /// Fragmentation ratio (fragmented / live bytes).
+    pub frag_ratio: f64,
+}
+
+impl MetricSet {
+    /// Extracts the metric set from a run report.
+    pub fn from_report(r: &RunReport) -> Self {
+        Self {
+            throughput: r.throughput,
+            memory_bytes: r.avg_resident_bytes,
+            cpi: r.cpi,
+            llc_mpki: r.llc_mpki,
+            dtlb_walk_pct: r.dtlb_walk_pct,
+            dtlb_miss_rate: r.tlb.miss_rate(),
+            hugepage_coverage: r.avg_hugepage_coverage,
+            malloc_frac: r.malloc_frac,
+            frag_ratio: r.fragmentation.ratio(),
+        }
+    }
+
+    fn weighted_add(&mut self, other: &MetricSet, w: f64) {
+        self.throughput += other.throughput * w;
+        self.memory_bytes += other.memory_bytes * w;
+        self.cpi += other.cpi * w;
+        self.llc_mpki += other.llc_mpki * w;
+        self.dtlb_walk_pct += other.dtlb_walk_pct * w;
+        self.dtlb_miss_rate += other.dtlb_miss_rate * w;
+        self.hugepage_coverage += other.hugepage_coverage * w;
+        self.malloc_frac += other.malloc_frac * w;
+        self.frag_ratio += other.frag_ratio * w;
+    }
+}
+
+/// Control vs experiment values with percentage deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// Control-arm metrics.
+    pub control: MetricSet,
+    /// Experiment-arm metrics.
+    pub experiment: MetricSet,
+}
+
+impl Comparison {
+    /// Throughput change, % (positive = experiment faster).
+    pub fn throughput_pct(&self) -> f64 {
+        pct(self.control.throughput, self.experiment.throughput)
+    }
+
+    /// Memory (RAM) change, % (negative = experiment uses less).
+    pub fn memory_pct(&self) -> f64 {
+        pct(self.control.memory_bytes, self.experiment.memory_bytes)
+    }
+
+    /// CPI change, % (negative = experiment stalls less).
+    pub fn cpi_pct(&self) -> f64 {
+        pct(self.control.cpi, self.experiment.cpi)
+    }
+
+    /// dTLB miss-rate change, %.
+    pub fn dtlb_miss_pct(&self) -> f64 {
+        pct(self.control.dtlb_miss_rate, self.experiment.dtlb_miss_rate)
+    }
+
+    /// Fragmentation-ratio change, %.
+    pub fn frag_pct(&self) -> f64 {
+        pct(self.control.frag_ratio, self.experiment.frag_ratio)
+    }
+}
+
+fn pct(control: f64, experiment: f64) -> f64 {
+    wsc_telemetry::stats::percent_change(control, experiment)
+}
+
+/// Fleet-experiment parameters.
+#[derive(Clone, Debug)]
+pub struct FleetExperimentConfig {
+    /// Machines per arm (the paper's "1% of the fleet" scaled down).
+    pub machines: usize,
+    /// Co-located binaries per machine.
+    pub binaries_per_machine: usize,
+    /// Requests simulated per binary.
+    pub requests_per_binary: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Weighted platform mix (heterogeneous fleet, §4.2).
+    pub platform_mix: Vec<(f64, Platform)>,
+    /// Binary population size.
+    pub population: usize,
+}
+
+impl FleetExperimentConfig {
+    /// A quick configuration for tests and CI.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            machines: 4,
+            binaries_per_machine: 2,
+            requests_per_binary: 10_000,
+            seed,
+            platform_mix: default_platform_mix(),
+            population: 200,
+        }
+    }
+
+    /// A fuller configuration for the published numbers.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            machines: 24,
+            binaries_per_machine: 2,
+            requests_per_binary: 30_000,
+            seed,
+            platform_mix: default_platform_mix(),
+            population: 2_000,
+        }
+    }
+}
+
+/// The fleet's platform mix: a majority of chiplet (NUCA) machines plus
+/// older monolithic parts ("a significant portion of our fleet is composed
+/// of platforms with chiplet architectures", §4.2).
+pub fn default_platform_mix() -> Vec<(f64, Platform)> {
+    vec![
+        (0.6, Platform::chiplet("chiplet-64c", 2, 4, 8, 2)),
+        (0.4, Platform::monolithic("mono-28c", 2, 28, 2)),
+    ]
+}
+
+fn sample_platform(mix: &[(f64, Platform)], rng: &mut SmallRng) -> Platform {
+    let total: f64 = mix.iter().map(|&(w, _)| w).sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for (w, p) in mix {
+        pick -= w;
+        if pick <= 0.0 {
+            return p.clone();
+        }
+    }
+    mix.last().expect("non-empty platform mix").1.clone()
+}
+
+/// Partitions a machine's CPUs among co-located binaries (contiguous
+/// cpusets, as the control plane would assign).
+fn cpusets(platform: &Platform, k: usize) -> Vec<Vec<CpuId>> {
+    let per = (platform.num_cpus() / k).clamp(2, 16);
+    (0..k)
+        .map(|i| {
+            let start = (i * per) % platform.num_cpus();
+            (start..start + per)
+                .map(|c| CpuId((c % platform.num_cpus()) as u32))
+                .collect()
+        })
+        .collect()
+}
+
+/// Result of a fleet-wide A/B experiment.
+#[derive(Clone, Debug)]
+pub struct FleetAbResult {
+    /// Cycle-weighted fleet aggregate.
+    pub fleet: Comparison,
+    /// Per-machine comparisons (for dispersion checks).
+    pub machines: Vec<Comparison>,
+}
+
+/// Runs a paired fleet A/B experiment: `control` vs `experiment` allocator
+/// configurations over the same sampled machines, binaries, and seeds.
+pub fn run_fleet_ab(
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    cfg: &FleetExperimentConfig,
+) -> FleetAbResult {
+    let pop = Population::new(cfg.population, cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xab);
+    let mut machines = Vec::new();
+    let mut fleet = Comparison::default();
+    let mut weight_total = 0.0;
+    for m in 0..cfg.machines {
+        let platform = sample_platform(&cfg.platform_mix, &mut rng);
+        let sets = cpusets(&platform, cfg.binaries_per_machine);
+        let mut mc = Comparison::default();
+        let mut mw = 0.0;
+        for (b, cpuset) in sets.into_iter().enumerate() {
+            let bin = &pop.binaries()[pop.sample_by_cycles(&mut rng)];
+            let spec = bin.spec();
+            let seed = cfg.seed ^ (m as u64) << 16 ^ (b as u64) << 8;
+            let dcfg = DriverConfig::new(cfg.requests_per_binary, seed, &platform)
+                .with_cpuset(cpuset);
+            let (rc, _) = driver::run(&spec, &platform, control, &dcfg);
+            let (re, _) = driver::run(&spec, &platform, experiment, &dcfg);
+            let w = bin.cycle_weight;
+            mc.control.weighted_add(&MetricSet::from_report(&rc), w);
+            mc.experiment.weighted_add(&MetricSet::from_report(&re), w);
+            mw += w;
+        }
+        if mw > 0.0 {
+            let inv = 1.0 / mw;
+            let mut scaled = Comparison::default();
+            scaled.control.weighted_add(&mc.control, inv);
+            scaled.experiment.weighted_add(&mc.experiment, inv);
+            fleet.control.weighted_add(&scaled.control, mw);
+            fleet.experiment.weighted_add(&scaled.experiment, mw);
+            weight_total += mw;
+            machines.push(scaled);
+        }
+    }
+    if weight_total > 0.0 {
+        let mut scaled = Comparison::default();
+        scaled
+            .control
+            .weighted_add(&fleet.control, 1.0 / weight_total);
+        scaled
+            .experiment
+            .weighted_add(&fleet.experiment, 1.0 / weight_total);
+        fleet = scaled;
+    }
+    FleetAbResult { fleet, machines }
+}
+
+/// Runs a paired A/B comparison of one named workload on a dedicated
+/// machine (the per-application rows of Tables 1/2 and Figures 10/14).
+pub fn run_workload_ab(
+    spec: &WorkloadSpec,
+    platform: &Platform,
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    requests: u64,
+    seed: u64,
+) -> Comparison {
+    let dcfg = DriverConfig::new(requests, seed, platform);
+    let (rc, _) = driver::run(spec, platform, control, &dcfg);
+    let (re, _) = driver::run(spec, platform, experiment, &dcfg);
+    Comparison {
+        control: MetricSet::from_report(&rc),
+        experiment: MetricSet::from_report(&re),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_configs_have_zero_delta() {
+        let cfg = FleetExperimentConfig {
+            machines: 2,
+            binaries_per_machine: 1,
+            requests_per_binary: 1_000,
+            seed: 3,
+            platform_mix: default_platform_mix(),
+            population: 20,
+        };
+        let r = run_fleet_ab(TcmallocConfig::baseline(), TcmallocConfig::baseline(), &cfg);
+        assert!(r.fleet.throughput_pct().abs() < 1e-9);
+        assert!(r.fleet.memory_pct().abs() < 1e-9);
+        assert_eq!(r.machines.len(), 2);
+    }
+
+    #[test]
+    fn workload_ab_is_paired_and_deterministic() {
+        let p = Platform::chiplet("t", 1, 2, 4, 2);
+        let spec = wsc_workload::profiles::redis();
+        let a = run_workload_ab(
+            &spec,
+            &p,
+            TcmallocConfig::baseline(),
+            TcmallocConfig::optimized(),
+            1_000,
+            5,
+        );
+        let b = run_workload_ab(
+            &spec,
+            &p,
+            TcmallocConfig::baseline(),
+            TcmallocConfig::optimized(),
+            1_000,
+            5,
+        );
+        assert_eq!(a.control, b.control);
+        assert_eq!(a.experiment, b.experiment);
+    }
+
+    #[test]
+    fn comparison_percentages() {
+        let c = Comparison {
+            control: MetricSet {
+                throughput: 100.0,
+                memory_bytes: 1000.0,
+                cpi: 2.0,
+                ..MetricSet::default()
+            },
+            experiment: MetricSet {
+                throughput: 101.4,
+                memory_bytes: 966.0,
+                cpi: 1.9,
+                ..MetricSet::default()
+            },
+        };
+        assert!((c.throughput_pct() - 1.4).abs() < 1e-9);
+        assert!((c.memory_pct() + 3.4).abs() < 1e-9);
+        assert!(c.cpi_pct() < 0.0);
+    }
+
+    #[test]
+    fn platform_mix_sampling() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mix = default_platform_mix();
+        let mut nuca = 0;
+        for _ in 0..1000 {
+            if sample_platform(&mix, &mut rng).is_nuca() {
+                nuca += 1;
+            }
+        }
+        assert!((500..700).contains(&nuca), "nuca share {nuca}");
+    }
+
+    #[test]
+    fn cpusets_are_disjoint_when_room() {
+        let p = Platform::chiplet("t", 2, 4, 8, 2); // 128 CPUs
+        let sets = cpusets(&p, 3);
+        assert_eq!(sets.len(), 3);
+        let mut all: Vec<u32> = sets.iter().flatten().map(|c| c.0).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "no CPU shared between binaries");
+    }
+}

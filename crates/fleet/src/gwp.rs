@@ -1,0 +1,145 @@
+//! Fleet-wide continuous profiling (the paper's §2.2 methodology).
+//!
+//! "GWP randomly selects a small fraction (i.e., 1%-10%) of machines in the
+//! fleet to profile each day, and triggers profile collection remotely on
+//! each machine for a brief period of time." This module reproduces that
+//! discipline: sample a fraction of the machine population, run each sampled
+//! machine's binaries briefly, and merge their allocation profiles into the
+//! fleet-wide distributions behind Figures 7 and 8.
+
+use crate::population::Population;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wsc_sim_hw::topology::Platform;
+use wsc_tcmalloc::TcmallocConfig;
+use wsc_telemetry::gwp::AllocationProfile;
+use wsc_workload::driver::{self, DriverConfig};
+
+/// Parameters of one fleet profiling wave.
+#[derive(Clone, Debug)]
+pub struct GwpConfig {
+    /// Machines in the modeled fleet.
+    pub fleet_machines: usize,
+    /// Fraction of machines profiled this wave (the paper's 1%–10%).
+    pub sample_fraction: f64,
+    /// Requests simulated per profiled binary ("a brief period of time").
+    pub requests_per_binary: u64,
+    /// Binary population size.
+    pub population: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl GwpConfig {
+    /// A small default wave: 10% of a 100-machine fleet.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            fleet_machines: 100,
+            sample_fraction: 0.10,
+            requests_per_binary: 5_000,
+            population: 500,
+            seed,
+        }
+    }
+}
+
+/// Result of a profiling wave.
+#[derive(Debug)]
+pub struct GwpWave {
+    /// Machines actually profiled.
+    pub machines_profiled: usize,
+    /// The merged fleet-wide allocation profile.
+    pub profile: AllocationProfile,
+    /// Fleet-wide malloc cycle share, averaged over profiled binaries.
+    pub malloc_frac: f64,
+}
+
+/// Runs one profiling wave over the fleet.
+pub fn profile_fleet(platform: &Platform, cfg: &GwpConfig) -> GwpWave {
+    let pop = Population::new(cfg.population, cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x91f);
+    let mut profile = AllocationProfile::new();
+    let mut malloc_frac = 0.0;
+    let mut profiled = 0usize;
+    for machine in 0..cfg.fleet_machines {
+        if rng.gen::<f64>() >= cfg.sample_fraction {
+            continue;
+        }
+        profiled += 1;
+        let bin = &pop.binaries()[pop.sample_by_cycles(&mut rng)];
+        let spec = bin.spec();
+        let dcfg = DriverConfig::new(
+            cfg.requests_per_binary,
+            cfg.seed ^ (machine as u64) << 8,
+            platform,
+        );
+        let (report, tcm) =
+            driver::run(&spec, platform, TcmallocConfig::baseline(), &dcfg);
+        profile.merge(tcm.profile());
+        malloc_frac += report.malloc_frac;
+    }
+    GwpWave {
+        machines_profiled: profiled,
+        profile,
+        malloc_frac: if profiled > 0 {
+            malloc_frac / profiled as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_profiles_roughly_the_sample_fraction() {
+        let platform = Platform::chiplet("t", 1, 2, 4, 2);
+        let cfg = GwpConfig {
+            fleet_machines: 60,
+            sample_fraction: 0.15,
+            requests_per_binary: 800,
+            population: 40,
+            seed: 5,
+        };
+        let wave = profile_fleet(&platform, &cfg);
+        assert!(
+            (2..=20).contains(&wave.machines_profiled),
+            "profiled {}",
+            wave.machines_profiled
+        );
+        // The merged profile carries the fleet's small-object dominance.
+        assert!(wave.profile.size_by_count.count() > 0.0);
+        assert!(wave.profile.size_by_count.fraction_below(1 << 10) > 0.9);
+        assert!(wave.malloc_frac > 0.0);
+    }
+
+    #[test]
+    fn zero_fraction_profiles_nothing() {
+        let platform = Platform::chiplet("t", 1, 2, 4, 2);
+        let cfg = GwpConfig {
+            sample_fraction: 0.0,
+            ..GwpConfig::small(1)
+        };
+        let wave = profile_fleet(&platform, &cfg);
+        assert_eq!(wave.machines_profiled, 0);
+        assert_eq!(wave.malloc_frac, 0.0);
+    }
+
+    #[test]
+    fn waves_are_deterministic() {
+        let platform = Platform::chiplet("t", 1, 2, 4, 2);
+        let cfg = GwpConfig {
+            fleet_machines: 30,
+            sample_fraction: 0.2,
+            requests_per_binary: 500,
+            population: 30,
+            seed: 9,
+        };
+        let a = profile_fleet(&platform, &cfg);
+        let b = profile_fleet(&platform, &cfg);
+        assert_eq!(a.machines_profiled, b.machines_profiled);
+        assert_eq!(a.malloc_frac, b.malloc_frac);
+    }
+}

@@ -1,0 +1,176 @@
+//! The fleet binary population (Figure 3).
+//!
+//! §2.2: "The diversity of WSC applications implies that there is no single
+//! killer application to optimize for" — the top 50 binaries cover only
+//! ≈50% of fleet malloc cycles and ≈65% of allocated memory. The population
+//! model reproduces that coverage curve with Zipf-like weights over a few
+//! thousand distinct binaries, each with its own perturbed workload profile.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wsc_workload::profiles;
+use wsc_workload::WorkloadSpec;
+
+/// One binary in the fleet.
+#[derive(Clone, Debug)]
+pub struct Binary {
+    /// Stable binary id (also the profile perturbation seed).
+    pub id: u64,
+    /// Relative share of fleet malloc cycles.
+    pub cycle_weight: f64,
+    /// Relative share of fleet allocated memory.
+    pub memory_weight: f64,
+}
+
+impl Binary {
+    /// The binary's workload profile.
+    pub fn spec(&self) -> WorkloadSpec {
+        profiles::fleet_binary(self.id)
+    }
+}
+
+/// The binary population with Zipf-calibrated weights.
+///
+/// # Example
+///
+/// ```
+/// use wsc_fleet::population::Population;
+///
+/// let pop = Population::new(2000, 42);
+/// let cov = pop.cycle_coverage(50);
+/// assert!(cov > 0.4 && cov < 0.6, "top-50 covers ~50% of cycles");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Population {
+    binaries: Vec<Binary>,
+}
+
+/// Zipf exponent for malloc-cycle weights (top 50 of 2000 ≈ 50%).
+const CYCLE_EXPONENT: f64 = 0.95;
+/// Zipf exponent for memory weights (top 50 of 2000 ≈ 65%).
+const MEMORY_EXPONENT: f64 = 1.10;
+
+impl Population {
+    /// Creates `n` binaries with deterministic ids derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut binaries: Vec<Binary> = (0..n)
+            .map(|rank| {
+                let r = (rank + 1) as f64;
+                // Mild noise keeps the ranking realistic without breaking
+                // the coverage curve.
+                let jitter = rng.gen_range(0.8..1.2);
+                Binary {
+                    id: seed.wrapping_mul(31).wrapping_add(rank as u64),
+                    cycle_weight: r.powf(-CYCLE_EXPONENT) * jitter,
+                    memory_weight: r.powf(-MEMORY_EXPONENT) * jitter,
+                }
+            })
+            .collect();
+        // Normalize.
+        let ct: f64 = binaries.iter().map(|b| b.cycle_weight).sum();
+        let mt: f64 = binaries.iter().map(|b| b.memory_weight).sum();
+        for b in &mut binaries {
+            b.cycle_weight /= ct;
+            b.memory_weight /= mt;
+        }
+        Self { binaries }
+    }
+
+    /// Number of binaries.
+    pub fn len(&self) -> usize {
+        self.binaries.len()
+    }
+
+    /// Is the population empty? (Never true after construction.)
+    pub fn is_empty(&self) -> bool {
+        self.binaries.is_empty()
+    }
+
+    /// The binaries, heaviest malloc users first.
+    pub fn binaries(&self) -> &[Binary] {
+        &self.binaries
+    }
+
+    /// Fraction of fleet malloc cycles covered by the top `n` binaries.
+    pub fn cycle_coverage(&self, n: usize) -> f64 {
+        let mut w: Vec<f64> = self.binaries.iter().map(|b| b.cycle_weight).collect();
+        w.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+        w.iter().take(n).sum()
+    }
+
+    /// Fraction of fleet allocated memory covered by the top `n` binaries.
+    pub fn memory_coverage(&self, n: usize) -> f64 {
+        let mut w: Vec<f64> = self.binaries.iter().map(|b| b.memory_weight).collect();
+        w.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+        w.iter().take(n).sum()
+    }
+
+    /// Samples a binary index proportionally to malloc-cycle weight (how
+    /// machines pick what they run).
+    pub fn sample_by_cycles(&self, rng: &mut SmallRng) -> usize {
+        let mut pick = rng.gen::<f64>();
+        for (i, b) in self.binaries.iter().enumerate() {
+            pick -= b.cycle_weight;
+            if pick <= 0.0 {
+                return i;
+            }
+        }
+        self.binaries.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_matches_figure3() {
+        let pop = Population::new(2000, 1);
+        let c50 = pop.cycle_coverage(50);
+        let m50 = pop.memory_coverage(50);
+        assert!((c50 - 0.50).abs() < 0.07, "cycle coverage {c50}");
+        assert!((m50 - 0.65).abs() < 0.07, "memory coverage {m50}");
+        assert!((pop.cycle_coverage(2000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_killer_application() {
+        // §2.2: no single binary dominates.
+        let pop = Population::new(2000, 2);
+        assert!(pop.cycle_coverage(1) < 0.20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Population::new(100, 9);
+        let b = Population::new(100, 9);
+        assert_eq!(a.binaries[3].id, b.binaries[3].id);
+        assert_eq!(a.binaries[3].cycle_weight, b.binaries[3].cycle_weight);
+    }
+
+    #[test]
+    fn sampling_prefers_heavy_binaries() {
+        let pop = Population::new(100, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[pop.sample_by_cycles(&mut rng)] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[90..].iter().sum();
+        assert!(head > tail * 5, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn binary_specs_are_usable() {
+        let pop = Population::new(10, 5);
+        let spec = pop.binaries()[0].spec();
+        assert!(spec.allocs_per_request > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text table formatting for the `repro` harness output.
+//!
+//! Every figure/table reproduction prints a paper-vs-measured table through
+//! these helpers so EXPERIMENTS.md can quote the output verbatim.
+
+/// A simple fixed-width table builder.
+///
+/// # Example
+///
+/// ```
+/// use wsc_fleet::report::Table;
+///
+/// let mut t = Table::new(vec!["metric", "paper", "measured"]);
+/// t.row(vec!["throughput %".into(), "+1.4".into(), "+1.6".into()]);
+/// let s = t.render();
+/// assert!(s.contains("throughput %"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a signed percentage with two decimals (`+1.40` / `-3.40`).
+pub fn pct(v: f64) -> String {
+    format!("{v:+.2}")
+}
+
+/// Formats bytes with a binary-unit suffix.
+pub fn bytes(v: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = v;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1} {}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer-cell".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("---"));
+        // Columns align: '1' and '2' start at the same offset.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find('2').unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one".into()]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(1.4), "+1.40");
+        assert_eq!(pct(-3.4), "-3.40");
+        assert_eq!(bytes(1536.0), "1.5 KiB");
+        assert_eq!(bytes(3.0 * 1024.0 * 1024.0), "3.0 MiB");
+    }
+}

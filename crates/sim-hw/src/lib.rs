@@ -1,0 +1,39 @@
+//! Simulated warehouse-scale server hardware.
+//!
+//! The paper's evaluation metrics — CPI, LLC load MPKI (Table 1), dTLB load
+//! walk cycles (Table 2), inter-cache-domain transfer latency (Figure 11) —
+//! come from hardware performance counters on heterogeneous production
+//! platforms. This crate provides the simulated equivalents:
+//!
+//! * [`topology::Platform`] — sockets / NUMA nodes / last-level-cache (LLC)
+//!   domains / cores / SMT, including chiplet platforms with multiple LLC
+//!   domains per socket (the NUCA platforms of §4.2),
+//! * [`latency::LatencyModel`] — core-to-core data-transfer latency with the
+//!   2.07× inter- vs intra-domain ratio the paper measures with Intel MLC,
+//! * [`tlb::TlbSim`] — a two-level set-associative LRU dTLB with separate
+//!   4 KiB and 2 MiB entries, used to turn hugepage coverage into walk cycles,
+//! * [`cache::LlcModel`] — per-domain LLC occupancy with cross-domain
+//!   transfer tracking, used to turn allocator placement into LLC misses,
+//! * [`cost::CostModel`] — the cycle/nanosecond constants of Figure 4.
+//!
+//! # Example
+//!
+//! ```
+//! use wsc_sim_hw::topology::Platform;
+//!
+//! let p = Platform::chiplet("milan-like", 2, 4, 8, 2);
+//! assert_eq!(p.num_cpus(), 2 * 4 * 8 * 2);
+//! assert_eq!(p.num_domains(), 2 * 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cost;
+pub mod latency;
+pub mod tlb;
+pub mod topology;
+
+pub use cost::CostModel;
+pub use topology::{CpuId, DomainId, NodeId, Platform, SocketId};

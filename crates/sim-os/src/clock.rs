@@ -1,0 +1,83 @@
+//! The shared simulated clock.
+//!
+//! Every layer — the allocator's background maintenance (the 5-second cache
+//! resizer of §4.1), lifetime telemetry (Figure 8), and the workload driver —
+//! reads the same monotonic nanosecond clock. Only the driver advances it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cheaply-cloneable handle to a monotonic simulated clock (nanoseconds).
+///
+/// # Example
+///
+/// ```
+/// use wsc_sim_os::clock::Clock;
+///
+/// let clock = Clock::new();
+/// let view = clock.clone();
+/// clock.advance(1_500);
+/// assert_eq!(view.now_ns(), 1_500);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    ns: Arc<AtomicU64>,
+}
+
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+
+impl Clock {
+    /// Creates a clock at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `delta_ns` and returns the new time.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        self.ns.fetch_add(delta_ns, Ordering::Relaxed) + delta_ns
+    }
+
+    /// Moves the clock forward to `t_ns` if it is ahead of now; no-op
+    /// otherwise (the clock never goes backwards).
+    pub fn advance_to(&self, t_ns: u64) {
+        self.ns.fetch_max(t_ns, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = Clock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.now_ns(), 10);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(5);
+        assert_eq!(b.now_ns(), 5);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance_to(100);
+        c.advance_to(50);
+        assert_eq!(c.now_ns(), 100);
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulated kernel memory subsystem and scheduler.
+//!
+//! TCMalloc is a userspace allocator, but the paper (§5 "Cooperation with
+//! kernel features") stresses that its performance rests on three kernel
+//! contracts, all of which this crate models:
+//!
+//! * **`mmap` and transparent hugepages** ([`vmm::Vmm`], [`pagetable`]) — the
+//!   pageheap requests zeroed, hugepage-aligned 2 MiB blocks; the kernel
+//!   backs them with hugepages, and *subrelease* breaks a hugepage into base
+//!   pages (losing TLB reach, Figure 17),
+//! * **restartable sequences / virtual CPU IDs** ([`rseq::VcpuRegistry`]) —
+//!   dense per-process vCPU numbering that keeps the per-CPU cache array
+//!   small on machines with hundreds of hyperthreads (§4.1),
+//! * **the cpuset scheduler** ([`sched::Scheduler`]) — WSC applications are
+//!   constrained to a subset of CPUs and their worker-thread count
+//!   fluctuates with load (Figure 9a), which is what biases usage toward
+//!   low-indexed vCPUs (Figure 9b).
+//!
+//! A shared [`clock::Clock`] supplies simulated nanoseconds to every layer.
+//!
+//! # Example
+//!
+//! ```
+//! use wsc_sim_os::vmm::Vmm;
+//! use wsc_sim_os::addr::HUGE_PAGE_BYTES;
+//!
+//! let mut vmm = Vmm::new();
+//! let addr = vmm.mmap(HUGE_PAGE_BYTES);
+//! assert_eq!(addr % HUGE_PAGE_BYTES, 0, "hugepage aligned");
+//! assert!(vmm.page_table().is_huge_backed(addr));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod clock;
+pub mod pagetable;
+pub mod rseq;
+pub mod sched;
+pub mod vmm;
+
+pub use clock::Clock;
+pub use rseq::VcpuRegistry;
+pub use sched::Scheduler;
+pub use vmm::Vmm;

@@ -1,0 +1,288 @@
+//! Page-table backing state: which regions are hugepage-backed.
+//!
+//! The kernel's transparent-hugepage (THP) machinery backs an aligned,
+//! fully-mapped 2 MiB region with a single hugepage. TCMalloc's pageheap can
+//! *subrelease* a partially-free hugepage (`madvise(DONTNEED)` on a
+//! sub-range), which forces the kernel to split it into base pages — freeing
+//! memory but permanently degrading TLB reach for the survivors (§3, §4.4).
+//! [`PageTable`] tracks that state and computes the **hugepage coverage**
+//! metric of Figure 17a: the fraction of resident heap bytes backed by
+//! hugepages.
+
+use crate::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
+use std::collections::HashMap;
+use wsc_sim_hw::tlb::PageSize;
+
+/// Words of the per-hugepage released-page bitmask (256 TCMalloc pages).
+const MASK_WORDS: usize = (TCMALLOC_PAGES_PER_HUGE as usize) / 64;
+
+/// Backing state of one mapped hugepage-sized region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct HugeState {
+    /// Still backed by a single 2 MiB hugepage?
+    huge: bool,
+    /// For broken hugepages: bitmask of *released* (non-resident) TCMalloc
+    /// pages. All-zero while `huge` is true.
+    released: [u64; MASK_WORDS],
+}
+
+impl HugeState {
+    fn new_huge() -> Self {
+        Self {
+            huge: true,
+            released: [0; MASK_WORDS],
+        }
+    }
+
+    fn released_pages(&self) -> u32 {
+        self.released.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        HUGE_PAGE_BYTES - self.released_pages() as u64 * TCMALLOC_PAGE_BYTES
+    }
+}
+
+/// Tracks the backing (huge vs base pages, residency) of every mapped
+/// hugepage-sized region in a process.
+///
+/// # Example
+///
+/// ```
+/// use wsc_sim_os::pagetable::PageTable;
+/// use wsc_sim_os::addr::HUGE_PAGE_BYTES;
+///
+/// let mut pt = PageTable::new();
+/// pt.on_mmap(0, HUGE_PAGE_BYTES);
+/// assert!(pt.is_huge_backed(0));
+/// assert!((pt.hugepage_coverage() - 1.0).abs() < 1e-12);
+/// pt.subrelease(0, 8 * 1024); // break the hugepage
+/// assert!(!pt.is_huge_backed(0));
+/// assert!(pt.hugepage_coverage() < 1.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PageTable {
+    regions: HashMap<u64, HugeState>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn for_each_hugepage(addr: u64, len: u64) -> impl Iterator<Item = u64> {
+        assert!(
+            addr.is_multiple_of(HUGE_PAGE_BYTES) && len.is_multiple_of(HUGE_PAGE_BYTES),
+            "mmap/munmap must be hugepage-granular: addr={addr:#x} len={len:#x}"
+        );
+        (addr / HUGE_PAGE_BYTES)..((addr + len) / HUGE_PAGE_BYTES)
+    }
+
+    /// Registers a new hugepage-aligned mapping; THP backs every 2 MiB of it
+    /// with a hugepage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned arguments or double-mapping.
+    pub fn on_mmap(&mut self, addr: u64, len: u64) {
+        for hp in Self::for_each_hugepage(addr, len) {
+            let prev = self.regions.insert(hp, HugeState::new_huge());
+            assert!(prev.is_none(), "double mmap of hugepage {hp}");
+        }
+    }
+
+    /// Removes a mapping entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned arguments or unmapping an absent region.
+    pub fn on_munmap(&mut self, addr: u64, len: u64) {
+        for hp in Self::for_each_hugepage(addr, len) {
+            assert!(
+                self.regions.remove(&hp).is_some(),
+                "munmap of unmapped hugepage {hp}"
+            );
+        }
+    }
+
+    /// `madvise(DONTNEED)` on a TCMalloc-page-granular sub-range: every
+    /// touched hugepage is split into base pages and the range becomes
+    /// non-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned arguments or if the range is not mapped.
+    pub fn subrelease(&mut self, addr: u64, len: u64) {
+        assert!(
+            addr.is_multiple_of(TCMALLOC_PAGE_BYTES) && len.is_multiple_of(TCMALLOC_PAGE_BYTES),
+            "subrelease must be TCMalloc-page-granular"
+        );
+        let first = addr / TCMALLOC_PAGE_BYTES;
+        let last = (addr + len) / TCMALLOC_PAGE_BYTES;
+        for page in first..last {
+            let hp = page / TCMALLOC_PAGES_PER_HUGE;
+            let state = self
+                .regions
+                .get_mut(&hp)
+                .unwrap_or_else(|| panic!("subrelease of unmapped hugepage {hp}"));
+            state.huge = false;
+            let bit = (page % TCMALLOC_PAGES_PER_HUGE) as usize;
+            state.released[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// The application touches a previously-subreleased range again: the
+    /// kernel faults base pages back in. The hugepage stays broken — the
+    /// kernel does not transparently rebuild it, which is exactly the
+    /// "subrelease leads to performance degradation" effect of §3.
+    pub fn reoccupy(&mut self, addr: u64, len: u64) {
+        let first = addr / TCMALLOC_PAGE_BYTES;
+        let last = (addr + len).div_ceil(TCMALLOC_PAGE_BYTES);
+        for page in first..last {
+            let hp = page / TCMALLOC_PAGES_PER_HUGE;
+            if let Some(state) = self.regions.get_mut(&hp) {
+                let bit = (page % TCMALLOC_PAGES_PER_HUGE) as usize;
+                state.released[bit / 64] &= !(1 << (bit % 64));
+            }
+        }
+    }
+
+    /// Is the hugepage containing `addr` still backed by a real hugepage?
+    pub fn is_huge_backed(&self, addr: u64) -> bool {
+        self.regions
+            .get(&(addr / HUGE_PAGE_BYTES))
+            .is_some_and(|s| s.huge)
+    }
+
+    /// Is `addr` mapped at all?
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.regions.contains_key(&(addr / HUGE_PAGE_BYTES))
+    }
+
+    /// Translation page size for `addr`, for feeding the TLB simulator.
+    /// Unmapped or broken regions translate at base-page granularity.
+    pub fn page_size_of(&self, addr: u64) -> PageSize {
+        if self.is_huge_backed(addr) {
+            PageSize::Huge2M
+        } else {
+            PageSize::Base4K
+        }
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.len() as u64 * HUGE_PAGE_BYTES
+    }
+
+    /// Resident bytes (mapped minus subreleased).
+    pub fn resident_bytes(&self) -> u64 {
+        self.regions.values().map(HugeState::resident_bytes).sum()
+    }
+
+    /// Resident bytes backed by hugepages.
+    pub fn huge_backed_bytes(&self) -> u64 {
+        self.regions
+            .values()
+            .filter(|s| s.huge)
+            .map(HugeState::resident_bytes)
+            .sum()
+    }
+
+    /// Hugepage coverage: fraction of resident bytes backed by hugepages
+    /// (Figure 17a). 0 when nothing is resident.
+    pub fn hugepage_coverage(&self) -> f64 {
+        let resident = self.resident_bytes();
+        if resident == 0 {
+            0.0
+        } else {
+            self.huge_backed_bytes() as f64 / resident as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HP: u64 = HUGE_PAGE_BYTES;
+    const TP: u64 = TCMALLOC_PAGE_BYTES;
+
+    #[test]
+    fn mmap_is_huge_backed() {
+        let mut pt = PageTable::new();
+        pt.on_mmap(HP * 4, HP * 2);
+        assert!(pt.is_huge_backed(HP * 4));
+        assert!(pt.is_huge_backed(HP * 5 + 12345));
+        assert!(!pt.is_mapped(HP * 6));
+        assert_eq!(pt.mapped_bytes(), 2 * HP);
+        assert_eq!(pt.resident_bytes(), 2 * HP);
+        assert!((pt.hugepage_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "double mmap")]
+    fn double_mmap_panics() {
+        let mut pt = PageTable::new();
+        pt.on_mmap(0, HP);
+        pt.on_mmap(0, HP);
+    }
+
+    #[test]
+    #[should_panic(expected = "hugepage-granular")]
+    fn misaligned_mmap_panics() {
+        let mut pt = PageTable::new();
+        pt.on_mmap(4096, HP);
+    }
+
+    #[test]
+    fn subrelease_breaks_hugepage_and_coverage_drops() {
+        let mut pt = PageTable::new();
+        pt.on_mmap(0, 2 * HP);
+        pt.subrelease(0, 4 * TP);
+        assert!(!pt.is_huge_backed(0));
+        assert!(pt.is_huge_backed(HP), "second hugepage untouched");
+        assert_eq!(pt.resident_bytes(), 2 * HP - 4 * TP);
+        let cov = pt.hugepage_coverage();
+        // One of ~two hugepages' worth of resident bytes is huge-backed.
+        assert!(cov > 0.4 && cov < 0.6, "coverage {cov}");
+    }
+
+    #[test]
+    fn reoccupy_restores_residency_not_hugeness() {
+        let mut pt = PageTable::new();
+        pt.on_mmap(0, HP);
+        pt.subrelease(0, HP);
+        assert_eq!(pt.resident_bytes(), 0);
+        pt.reoccupy(0, HP);
+        assert_eq!(pt.resident_bytes(), HP);
+        assert!(!pt.is_huge_backed(0), "THP does not rebuild");
+        assert_eq!(pt.hugepage_coverage(), 0.0);
+    }
+
+    #[test]
+    fn munmap_removes() {
+        let mut pt = PageTable::new();
+        pt.on_mmap(0, HP);
+        pt.on_munmap(0, HP);
+        assert!(!pt.is_mapped(0));
+        assert_eq!(pt.mapped_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn munmap_absent_panics() {
+        let mut pt = PageTable::new();
+        pt.on_munmap(0, HP);
+    }
+
+    #[test]
+    fn page_size_for_tlb() {
+        let mut pt = PageTable::new();
+        pt.on_mmap(0, HP);
+        assert_eq!(pt.page_size_of(100), PageSize::Huge2M);
+        pt.subrelease(0, TP);
+        assert_eq!(pt.page_size_of(100), PageSize::Base4K);
+        assert_eq!(pt.page_size_of(HP * 99), PageSize::Base4K);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the simulated kernel memory subsystem.
+
+use proptest::prelude::*;
+use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGE_BYTES};
+use wsc_sim_os::vmm::Vmm;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mappings_never_overlap_and_stay_aligned(lens in prop::collection::vec(1u64..(64 << 20), 1..40)) {
+        let mut vmm = Vmm::new();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for len in lens {
+            let addr = vmm.mmap(len);
+            prop_assert_eq!(addr % HUGE_PAGE_BYTES, 0);
+            let rounded = len.div_ceil(HUGE_PAGE_BYTES) * HUGE_PAGE_BYTES;
+            for &(a, l) in &ranges {
+                prop_assert!(addr + rounded <= a || a + l <= addr);
+            }
+            ranges.push((addr, rounded));
+        }
+        let total: u64 = ranges.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(vmm.mapped_bytes(), total);
+    }
+
+    #[test]
+    fn residency_accounting_matches_subreleases(
+        hp_count in 1u64..8,
+        cuts in prop::collection::vec((0u64..2048, 1u64..64), 0..12)
+    ) {
+        let mut vmm = Vmm::new();
+        let base = vmm.mmap(hp_count * HUGE_PAGE_BYTES);
+        let pages_total = hp_count * HUGE_PAGE_BYTES / TCMALLOC_PAGE_BYTES;
+        // Track released TCMalloc pages exactly.
+        let mut released = vec![false; pages_total as usize];
+        for (start, len) in cuts {
+            let start = start % pages_total;
+            let len = len.min(pages_total - start);
+            if len == 0 {
+                continue;
+            }
+            vmm.subrelease(
+                base + start * TCMALLOC_PAGE_BYTES,
+                len * TCMALLOC_PAGE_BYTES,
+            );
+            for p in start..start + len {
+                released[p as usize] = true;
+            }
+        }
+        let released_pages = released.iter().filter(|&&r| r).count() as u64;
+        prop_assert_eq!(
+            vmm.page_table().resident_bytes(),
+            (pages_total - released_pages) * TCMALLOC_PAGE_BYTES
+        );
+        // Coverage: only untouched hugepages remain huge-backed.
+        for hp in 0..hp_count {
+            let touched = released
+                [(hp * 256) as usize..((hp + 1) * 256) as usize]
+                .iter()
+                .any(|&r| r);
+            prop_assert_eq!(
+                vmm.page_table().is_huge_backed(base + hp * HUGE_PAGE_BYTES),
+                !touched
+            );
+        }
+    }
+
+    #[test]
+    fn reoccupy_restores_residency_exactly(
+        start in 0u64..200,
+        len in 1u64..56
+    ) {
+        let mut vmm = Vmm::new();
+        let base = vmm.mmap(HUGE_PAGE_BYTES);
+        vmm.subrelease(base, HUGE_PAGE_BYTES);
+        prop_assert_eq!(vmm.page_table().resident_bytes(), 0);
+        vmm.reoccupy(
+            base + start * TCMALLOC_PAGE_BYTES,
+            len * TCMALLOC_PAGE_BYTES,
+        );
+        prop_assert_eq!(
+            vmm.page_table().resident_bytes(),
+            len * TCMALLOC_PAGE_BYTES
+        );
+        // Still broken: reoccupation does not rebuild the hugepage.
+        prop_assert!(!vmm.page_table().is_huge_backed(base));
+    }
+}

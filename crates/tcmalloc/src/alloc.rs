@@ -1,0 +1,642 @@
+//! The allocator façade: `malloc` / `free` across the full cache hierarchy.
+//!
+//! [`Tcmalloc`] wires the tiers of Figure 1 together: per-CPU caches →
+//! transfer cache → central free lists → hugepage-aware pageheap → simulated
+//! OS. Every operation reports which tier satisfied it and the nanoseconds
+//! it cost (Figure 4 calibration), so the workload driver can attribute both
+//! allocator time (Figure 6a) and the downstream locality effects.
+
+use crate::central::CentralFreeList;
+use crate::config::TcmallocConfig;
+use crate::pagemap::PageMap;
+use crate::pageheap::PageHeap;
+use crate::percpu::{FreeOutcome, PerCpuCaches};
+use crate::size_class::SizeClassTable;
+use crate::span::{Span, SpanRegistry, SpanState};
+use crate::stats::{CycleCategory, CycleStats, FragmentationBreakdown};
+use crate::transfer::{TransferCaches, TransferSharding};
+use std::collections::HashMap;
+use wsc_sim_hw::cost::{AllocPath, CostModel};
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+use wsc_sim_os::clock::Clock;
+use wsc_sim_os::rseq::VcpuRegistry;
+use wsc_telemetry::gwp::{AllocationProfile, Sample, Sampler};
+
+/// Result of a [`Tcmalloc::malloc`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AllocOutcome {
+    /// Address of the allocated object.
+    pub addr: u64,
+    /// Bytes actually reserved (size class, or page-rounded for large).
+    pub actual_bytes: u64,
+    /// Deepest tier the request hit.
+    pub path: AllocPath,
+    /// Allocator nanoseconds consumed (including prefetch/sampling).
+    pub ns: f64,
+}
+
+/// Result of a [`Tcmalloc::free`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FreeOutcomeInfo {
+    /// Deepest tier the operation touched.
+    pub path: AllocPath,
+    /// Allocator nanoseconds consumed.
+    pub ns: f64,
+}
+
+/// The warehouse-scale memory allocator.
+///
+/// # Example
+///
+/// ```
+/// use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+/// use wsc_sim_hw::topology::{CpuId, Platform};
+/// use wsc_sim_os::clock::Clock;
+///
+/// let platform = Platform::chiplet("test", 1, 2, 4, 2);
+/// let mut tcm = Tcmalloc::new(TcmallocConfig::optimized(), platform, Clock::new());
+/// let a = tcm.malloc(100, CpuId(0));
+/// assert!(a.actual_bytes >= 100);
+/// tcm.free(a.addr, 100, CpuId(0));
+/// ```
+#[derive(Debug)]
+pub struct Tcmalloc {
+    cfg: TcmallocConfig,
+    cost: CostModel,
+    table: SizeClassTable,
+    platform: Platform,
+    clock: Clock,
+    vcpus: VcpuRegistry,
+    percpu: PerCpuCaches,
+    transfer: TransferCaches,
+    central: Vec<CentralFreeList>,
+    spans: SpanRegistry,
+    pagemap: PageMap,
+    pageheap: PageHeap,
+    sampler: Sampler,
+    profile: AllocationProfile,
+    live_samples: HashMap<u64, (u64, u64, f64)>,
+    cycles: CycleStats,
+    live_requested_bytes: u64,
+    live_objects: u64,
+    internal_frag_bytes: u64,
+    next_resize_ns: u64,
+    next_plunder_ns: u64,
+    next_release_ns: u64,
+    next_decay_ns: u64,
+}
+
+impl Tcmalloc {
+    /// Creates an allocator for one process on the given platform.
+    pub fn new(cfg: TcmallocConfig, platform: Platform, clock: Clock) -> Self {
+        let table = SizeClassTable::production();
+        let percpu = PerCpuCaches::new(&table, cfg.percpu_max_bytes);
+        let transfer = TransferCaches::new(&table, cfg.transfer);
+        let central = (0..table.num_classes())
+            .map(|cl| CentralFreeList::new(cl as u16, *table.info(cl), cfg.cfl_lists))
+            .collect();
+        let now = clock.now_ns();
+        Self {
+            cost: CostModel::production(),
+            percpu,
+            transfer,
+            central,
+            spans: SpanRegistry::new(),
+            pagemap: PageMap::new(),
+            pageheap: PageHeap::new(cfg.pageheap),
+            sampler: Sampler::new(cfg.sample_period_bytes),
+            profile: AllocationProfile::new(),
+            live_samples: HashMap::new(),
+            cycles: CycleStats::new(),
+            live_requested_bytes: 0,
+            live_objects: 0,
+            internal_frag_bytes: 0,
+            next_resize_ns: now + cfg.resize_interval_ns,
+            next_plunder_ns: now + cfg.plunder_interval_ns,
+            next_release_ns: now + cfg.release_interval_ns,
+            next_decay_ns: now + cfg.decay_interval_ns,
+            table,
+            platform,
+            clock,
+            vcpus: VcpuRegistry::new(),
+            cfg,
+        }
+    }
+
+    /// Overrides the cost model (platform calibration).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Allocates `size` bytes on behalf of a thread running on `cpu`.
+    pub fn malloc(&mut self, size: u64, cpu: CpuId) -> AllocOutcome {
+        self.malloc_with_site(size, cpu, 0)
+    }
+
+    /// Like [`malloc`](Self::malloc), tagging sampled allocations with an
+    /// allocation-site id (stands in for the recorded call stack).
+    pub fn malloc_with_site(&mut self, size: u64, cpu: CpuId, site: u64) -> AllocOutcome {
+        let (addr, actual, path) = match self.table.class_for(size) {
+            Some(cl) => self.malloc_small(cl, cpu),
+            None => self.malloc_large(size),
+        };
+        let mut ns = self.cost.alloc_path_ns(path);
+        self.cycles.charge(path.into(), ns);
+        if self.cfg.prefetch && size <= crate::size_class::MAX_SMALL_SIZE {
+            self.cycles
+                .charge(CycleCategory::Prefetch, self.cost.prefetch_ns);
+            ns += self.cost.prefetch_ns;
+        }
+        self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
+        ns += self.cost.other_ns;
+        if self.sampler.should_sample(size.max(1)) {
+            let weight = self.sampler.sample_weight(size.max(1));
+            let now = self.clock.now_ns();
+            self.profile.record_alloc(&Sample {
+                size,
+                site,
+                alloc_time_ns: now,
+                weight,
+            });
+            self.live_samples.insert(addr, (size, now, weight));
+            self.cycles
+                .charge(CycleCategory::Sampled, self.cost.sampled_alloc_ns);
+            ns += self.cost.sampled_alloc_ns;
+        }
+        self.live_requested_bytes += size;
+        self.live_objects += 1;
+        self.internal_frag_bytes += actual - size;
+        AllocOutcome {
+            addr,
+            actual_bytes: actual,
+            path,
+            ns,
+        }
+    }
+
+    /// The transfer-cache shard for a CPU under the active sharding mode.
+    fn shard_of(&self, cpu: CpuId) -> usize {
+        match self.cfg.transfer.sharding {
+            TransferSharding::Central => 0,
+            TransferSharding::Domain => self.platform.domain_of(cpu).index(),
+            TransferSharding::Node => self.platform.node_of(cpu).index(),
+        }
+    }
+
+    fn malloc_small(&mut self, cl: usize, cpu: CpuId) -> (u64, u64, AllocPath) {
+        let vcpu = self.vcpus.vcpu_of(cpu);
+        let shard = self.shard_of(cpu);
+        let info = *self.table.info(cl);
+        if let Some(addr) = self.percpu.alloc(vcpu, cl) {
+            return (addr, info.size, AllocPath::PerCpu);
+        }
+        let batch = info.batch as usize;
+        let mut objs = self.transfer.fetch(shard, cl, batch);
+        let mut path = AllocPath::TransferCache;
+        if objs.len() < batch {
+            let need = batch - objs.len();
+            let (more, deep) = self.central[cl].alloc_batch(
+                need,
+                &mut self.spans,
+                &mut self.pagemap,
+                &mut self.pageheap,
+            );
+            objs.extend(more);
+            path = deep;
+        }
+        let addr = objs.pop().expect("refill batch is never empty");
+        let leftover = self.percpu.refill(vcpu, cl, objs);
+        self.return_objects(shard, cl, leftover, true);
+        (addr, info.size, path)
+    }
+
+    fn malloc_large(&mut self, size: u64) -> (u64, u64, AllocPath) {
+        let pages = size.div_ceil(TCMALLOC_PAGE_BYTES).max(1) as u32;
+        let (addr, path) = self.pageheap.alloc(pages, 1);
+        let span = Span::new_large(addr, pages);
+        let id = self.spans.insert(span);
+        self.pagemap.set_range(addr, pages, id);
+        (addr, pages as u64 * TCMALLOC_PAGE_BYTES, path)
+    }
+
+    /// Frees `addr`, which was allocated with the given requested `size`
+    /// (sized delete) by a thread running on `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double frees, foreign addresses, or a size that maps to a
+    /// different class than the allocation's.
+    pub fn free(&mut self, addr: u64, size: u64, cpu: CpuId) -> FreeOutcomeInfo {
+        if let Some((sz, t, weight)) = self.live_samples.remove(&addr) {
+            let lifetime = self.clock.now_ns().saturating_sub(t);
+            self.profile.record_lifetime(sz, lifetime, weight);
+        }
+        let (actual, path) = match self.table.class_for(size) {
+            Some(cl) => {
+                debug_assert_eq!(
+                    self.pagemap
+                        .span_of(addr)
+                        .map(|id| self.spans.get(id).size_class),
+                    Some(Some(cl as u16)),
+                    "free size does not match the allocation's class"
+                );
+                let vcpu = self.vcpus.vcpu_of(cpu);
+                let shard = self.shard_of(cpu);
+                let info = *self.table.info(cl);
+                let path = match self.percpu.free(vcpu, cl, addr) {
+                    FreeOutcome::Cached => AllocPath::PerCpu,
+                    FreeOutcome::Overflow(batch) => {
+                        self.return_objects(shard, cl, batch, false)
+                    }
+                };
+                (info.size, path)
+            }
+            None => {
+                let id = self
+                    .pagemap
+                    .span_of(addr)
+                    .expect("free of unknown large allocation");
+                let span = self.spans.get(id);
+                assert_eq!(span.state, SpanState::Large, "not a large allocation");
+                assert_eq!(span.start, addr, "large free must use the base address");
+                let pages = span.pages;
+                let span = self.spans.remove(id);
+                debug_assert!(span.size_class.is_none());
+                self.pagemap.clear_range(addr, pages);
+                self.pageheap.dealloc(addr, pages);
+                (pages as u64 * TCMALLOC_PAGE_BYTES, AllocPath::PageHeap)
+            }
+        };
+        let mut ns = self.cost.alloc_path_ns(path);
+        self.cycles.charge(path.into(), ns);
+        self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
+        ns += self.cost.other_ns;
+        self.live_requested_bytes -= size;
+        self.live_objects -= 1;
+        self.internal_frag_bytes -= actual - size;
+        FreeOutcomeInfo { path, ns }
+    }
+
+    /// Pushes surplus objects down the hierarchy (transfer cache, then the
+    /// central free list). Returns the deepest tier touched.
+    fn return_objects(
+        &mut self,
+        shard: usize,
+        cl: usize,
+        objs: Vec<u64>,
+        central_only: bool,
+    ) -> AllocPath {
+        if objs.is_empty() {
+            return AllocPath::TransferCache;
+        }
+        let rest = if central_only {
+            self.transfer.stash_central(cl, objs)
+        } else {
+            self.transfer.stash(shard, cl, objs)
+        };
+        if rest.is_empty() {
+            return AllocPath::TransferCache;
+        }
+        let mut released = false;
+        for addr in rest {
+            let id = self
+                .pagemap
+                .span_of(addr)
+                .expect("cached object lost its span");
+            released |= self.central[cl].dealloc(
+                addr,
+                id,
+                &mut self.spans,
+                &mut self.pagemap,
+                &mut self.pageheap,
+            );
+        }
+        if released {
+            AllocPath::PageHeap
+        } else {
+            AllocPath::CentralFreeList
+        }
+    }
+
+    /// Runs due background maintenance: the §4.1 cache resizer, the §4.2
+    /// transfer-cache plunder, and the pageheap's gradual OS release. The
+    /// workload driver calls this as simulated time advances.
+    pub fn maintain(&mut self) {
+        let now = self.clock.now_ns();
+        if self.cfg.dynamic_percpu && now >= self.next_resize_ns {
+            self.next_resize_ns = now + self.cfg.resize_interval_ns;
+            let evicted = self.percpu.rebalance(
+                self.cfg.resize_top_n,
+                self.cfg.resize_step_bytes,
+                self.cfg.resize_floor_bytes,
+            );
+            for (cl, objs) in evicted {
+                self.return_objects(0, cl, objs, true);
+            }
+        }
+        if self.cfg.transfer.is_sharded() && now >= self.next_plunder_ns {
+            self.next_plunder_ns = now + self.cfg.plunder_interval_ns;
+            let overflow = self.transfer.plunder();
+            for (cl, objs) in overflow {
+                self.return_objects(0, cl, objs, true);
+            }
+        }
+        if now >= self.next_decay_ns {
+            self.next_decay_ns = now + self.cfg.decay_interval_ns;
+            // Idle-cache reclaim: per-CPU caches shed to the transfer tier,
+            // the transfer tier sheds to the central free lists.
+            let evicted = self.percpu.decay();
+            for (cl, objs) in evicted {
+                self.return_objects(0, cl, objs, true);
+            }
+            let evicted = self.transfer.decay();
+            for (cl, objs) in evicted {
+                for addr in objs {
+                    let id = self
+                        .pagemap
+                        .span_of(addr)
+                        .expect("cached object lost its span");
+                    self.central[cl].dealloc(
+                        addr,
+                        id,
+                        &mut self.spans,
+                        &mut self.pagemap,
+                        &mut self.pageheap,
+                    );
+                }
+            }
+        }
+        if now >= self.next_release_ns {
+            self.next_release_ns = now + self.cfg.release_interval_ns;
+            self.pageheap.background_release();
+        }
+    }
+
+    /// Fragmentation snapshot (Figures 5b and 6b).
+    pub fn fragmentation(&self) -> FragmentationBreakdown {
+        FragmentationBreakdown {
+            live_bytes: self.live_requested_bytes,
+            internal_bytes: self.internal_frag_bytes,
+            percpu_bytes: self.percpu.cached_bytes_total(),
+            transfer_bytes: self.transfer.cached_bytes(),
+            central_bytes: self.central.iter().map(|c| c.external_bytes()).sum(),
+            pageheap_bytes: self.pageheap.stats().total_free_bytes(),
+            resident_bytes: self.pageheap.vmm().page_table().resident_bytes(),
+        }
+    }
+
+    /// Application-requested live bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_requested_bytes
+    }
+
+    /// Live object count.
+    pub fn live_objects(&self) -> u64 {
+        self.live_objects
+    }
+
+    /// Resident heap bytes (the RAM metric of the fleet experiments).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pageheap.vmm().page_table().resident_bytes()
+    }
+
+    /// Hugepage coverage of the heap (Figure 17a).
+    pub fn hugepage_coverage(&self) -> f64 {
+        self.pageheap.vmm().page_table().hugepage_coverage()
+    }
+
+    /// Allocator cycle accounting (Figure 6a).
+    pub fn cycles(&self) -> &CycleStats {
+        &self.cycles
+    }
+
+    /// The sampled allocation profile (Figures 7 and 8).
+    pub fn profile(&self) -> &AllocationProfile {
+        &self.profile
+    }
+
+    /// Per-vCPU miss counts (Figure 9b).
+    pub fn percpu_miss_counts(&self) -> Vec<u64> {
+        self.percpu.miss_counts()
+    }
+
+    /// Per-vCPU cache byte budget (inspects the §4.1 resizer's work).
+    pub fn percpu_budget(&self, vcpu: wsc_sim_os::rseq::VcpuId) -> u64 {
+        self.percpu.max_bytes(vcpu)
+    }
+
+    /// The central free list for a class (span telemetry, Figures 13/16).
+    pub fn central(&self, class: usize) -> &CentralFreeList {
+        &self.central[class]
+    }
+
+    /// The size-class table.
+    pub fn table(&self) -> &SizeClassTable {
+        &self.table
+    }
+
+    /// The pageheap (Figure 15 telemetry).
+    pub fn pageheap(&self) -> &PageHeap {
+        &self.pageheap
+    }
+
+    /// The platform this allocator instance runs on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TcmallocConfig {
+        &self.cfg
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Bytes cached in the central transfer arrays (diagnostics).
+    pub fn transfer_central_bytes(&self) -> u64 {
+        self.transfer.central_cached_bytes()
+    }
+
+    /// Number of domain-sharded transfer caches activated (§4.2).
+    pub fn active_transfer_domains(&self) -> usize {
+        self.transfer.active_domains()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(cfg: TcmallocConfig) -> Tcmalloc {
+        Tcmalloc::new(cfg, Platform::chiplet("t", 1, 2, 4, 2), Clock::new())
+    }
+
+    #[test]
+    fn malloc_free_round_trip() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        let a = t.malloc(100, CpuId(0));
+        assert!(a.actual_bytes >= 100);
+        assert!(a.ns > 0.0);
+        assert_eq!(t.live_bytes(), 100);
+        t.free(a.addr, 100, CpuId(0));
+        assert_eq!(t.live_bytes(), 0);
+        assert_eq!(t.live_objects(), 0);
+    }
+
+    #[test]
+    fn first_alloc_cold_then_warm() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        let a = t.malloc(64, CpuId(0));
+        assert_eq!(a.path, AllocPath::Mmap, "cold start reaches the OS");
+        let b = t.malloc(64, CpuId(0));
+        assert_eq!(b.path, AllocPath::PerCpu, "refilled batch serves the rest");
+        assert!(b.ns < a.ns);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_object() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        let a = t.malloc(64, CpuId(0));
+        let _b = t.malloc(64, CpuId(0));
+        t.free(a.addr, 64, CpuId(0));
+        let c = t.malloc(64, CpuId(0));
+        assert_eq!(c.addr, a.addr, "LIFO reuse through the per-CPU cache");
+        assert_eq!(c.path, AllocPath::PerCpu);
+    }
+
+    #[test]
+    fn large_allocation_bypasses_caches() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        let a = t.malloc(1 << 20, CpuId(0));
+        assert!(matches!(a.path, AllocPath::Mmap | AllocPath::PageHeap));
+        assert_eq!(a.actual_bytes, 1 << 20);
+        t.free(a.addr, 1 << 20, CpuId(0));
+        assert_eq!(t.live_bytes(), 0);
+        // A second large allocation of the same size reuses the cached run.
+        let b = t.malloc(1 << 20, CpuId(0));
+        assert_eq!(b.path, AllocPath::PageHeap);
+        t.free(b.addr, 1 << 20, CpuId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_large_panics() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        let a = t.malloc(1 << 20, CpuId(0));
+        t.free(a.addr, 1 << 20, CpuId(0));
+        t.free(a.addr, 1 << 20, CpuId(0));
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        let mut live = Vec::new();
+        for i in 0..2000u64 {
+            let size = 16 + (i % 50) * 24;
+            let a = t.malloc(size, CpuId((i % 8) as u32));
+            live.push((a.addr, size));
+            if i % 3 == 0 {
+                let (addr, sz) = live.swap_remove((i as usize * 7) % live.len());
+                t.free(addr, sz, CpuId((i % 8) as u32));
+            }
+        }
+        let f = t.fragmentation();
+        let accounted = f.live_bytes + f.total_bytes();
+        // Resident = live + fragmentation, up to hugepages parked in the
+        // bounded HugeCache whose residency is page-table-tracked.
+        assert_eq!(f.resident_bytes, accounted, "byte accounting identity");
+        for (addr, sz) in live {
+            t.free(addr, sz, CpuId(0));
+        }
+        assert_eq!(t.live_bytes(), 0);
+        let f = t.fragmentation();
+        assert_eq!(f.internal_bytes, 0);
+    }
+
+    #[test]
+    fn cycle_categories_populated() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        for i in 0..1000u64 {
+            let a = t.malloc(64, CpuId(0));
+            if i % 2 == 0 {
+                t.free(a.addr, 64, CpuId(0));
+            }
+        }
+        let c = t.cycles();
+        assert!(c.ns(CycleCategory::CpuCache) > 0.0);
+        assert!(c.ns(CycleCategory::Prefetch) > 0.0);
+        assert!(c.ns(CycleCategory::PageHeap) > 0.0);
+        // Fast path dominates op counts.
+        assert!(c.ops(CycleCategory::CpuCache) > c.ops(CycleCategory::PageHeap));
+    }
+
+    #[test]
+    fn sampling_records_sizes_and_lifetimes() {
+        let cfg = TcmallocConfig {
+            sample_period_bytes: 1024,
+            ..TcmallocConfig::baseline()
+        };
+        let mut t = alloc(cfg);
+        let clock = t.clock().clone();
+        let mut addrs = Vec::new();
+        for _ in 0..100 {
+            addrs.push(t.malloc(256, CpuId(0)).addr);
+        }
+        clock.advance(5_000);
+        for a in addrs {
+            t.free(a, 256, CpuId(0));
+        }
+        assert!(t.profile().size_by_count.count() > 0.0);
+        let lifetimes = t.profile().lifetime_for_size_exp(8);
+        assert!(lifetimes.count() > 0.0);
+        assert_eq!(lifetimes.quantile(0.5), 4096, "5 µs bucket");
+    }
+
+    #[test]
+    fn nuca_activates_domains_lazily() {
+        let mut t = alloc(TcmallocConfig::baseline().with_nuca_transfer());
+        // CPUs 0 and 8 are in different domains on this chiplet platform.
+        let a = t.malloc(64, CpuId(0));
+        t.free(a.addr, 64, CpuId(0));
+        assert!(t.active_transfer_domains() <= 1);
+    }
+
+    #[test]
+    fn maintain_runs_resizer() {
+        let mut t = alloc(TcmallocConfig::baseline().with_heterogeneous_percpu());
+        let clock = t.clock().clone();
+        // Make vCPU 0 hot and vCPU 1 idle.
+        for _ in 0..1000 {
+            let a = t.malloc(64, CpuId(0));
+            t.free(a.addr, 64, CpuId(0));
+        }
+        let _ = t.malloc(64, CpuId(1));
+        let before = t.percpu_budget(wsc_sim_os::rseq::VcpuId(0));
+        clock.advance(6 * wsc_sim_os::clock::NS_PER_SEC);
+        t.maintain();
+        // Budget may or may not move depending on miss pattern, but maintain
+        // must not corrupt anything; allocate again to verify.
+        let a = t.malloc(64, CpuId(0));
+        t.free(a.addr, 64, CpuId(0));
+        let _ = before;
+    }
+
+    #[test]
+    fn zero_size_malloc_is_valid() {
+        let mut t = alloc(TcmallocConfig::baseline());
+        let a = t.malloc(0, CpuId(0));
+        assert!(a.actual_bytes >= 1);
+        t.free(a.addr, 0, CpuId(0));
+        assert_eq!(t.live_bytes(), 0);
+    }
+}

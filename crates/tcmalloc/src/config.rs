@@ -1,0 +1,172 @@
+//! Allocator configuration: the baseline and the four §4 redesigns.
+//!
+//! Every optimization the paper evaluates is an independent toggle so the
+//! fleet A/B framework can measure each one (Figures 10/14, Tables 1/2) and
+//! their combination (§4.5).
+
+use crate::pageheap::PageHeapConfig;
+use crate::transfer::{TransferConfig, TransferSharding};
+use wsc_sim_os::clock::NS_PER_SEC;
+
+/// Capacity scale factor between production and the simulation.
+///
+/// A production process runs on ~100 hyperthreads with a multi-GiB heap; the
+/// simulation runs ~16 vCPUs with a 50–500 MiB heap. To preserve the ratio
+/// of cache capacity to heap churn — which is what determines how much
+/// object traffic reaches the central free lists and the pageheap — every
+/// byte-capacity knob is divided by this factor. The paper's production
+/// values are documented next to each field.
+pub const CAPACITY_SCALE: u64 = 8;
+
+/// Complete allocator configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcmallocConfig {
+    /// Per-CPU cache byte budget (3 MB baseline; 1.5 MB with the
+    /// heterogeneous design, §4.1).
+    pub percpu_max_bytes: u64,
+    /// Enable usage-based dynamic per-CPU cache sizing (§4.1).
+    pub dynamic_percpu: bool,
+    /// Resize interval (5 s in production).
+    pub resize_interval_ns: u64,
+    /// Caches grown per interval (the paper's "top five").
+    pub resize_top_n: usize,
+    /// Bytes moved per donor/grower pair per interval.
+    pub resize_step_bytes: u64,
+    /// Donors never shrink below this.
+    pub resize_floor_bytes: u64,
+    /// Transfer-cache tier configuration (NUCA sharding, §4.2).
+    pub transfer: TransferConfig,
+    /// Anti-stranding plunder interval for NUCA domain caches.
+    pub plunder_interval_ns: u64,
+    /// Central-free-list span lists: 1 = legacy, 8 = span prioritization
+    /// (§4.3).
+    pub cfl_lists: usize,
+    /// Pageheap policy, including the lifetime-aware filler (§4.4).
+    pub pageheap: PageHeapConfig,
+    /// Allocation sampling period (2 MiB in production).
+    pub sample_period_bytes: u64,
+    /// Issue the next-object prefetch on every small allocation.
+    pub prefetch: bool,
+    /// Background OS-release interval.
+    pub release_interval_ns: u64,
+    /// Idle-cache decay interval (per-CPU and transfer-tier reclaim).
+    pub decay_interval_ns: u64,
+}
+
+impl TcmallocConfig {
+    /// The pre-redesign production baseline: static 3 MB per-CPU caches, a
+    /// singleton transfer cache, a single span list, and the
+    /// most-allocated-first filler of Hunter et al. (OSDI '21).
+    ///
+    /// Background intervals are time-compressed ~10× relative to production
+    /// (the simulation also compresses its diurnal load cycles from hours to
+    /// tens of seconds), so a multi-second simulated run exercises the same
+    /// number of maintenance passes a production process sees over minutes.
+    pub fn baseline() -> Self {
+        Self {
+            percpu_max_bytes: (3 << 20) / CAPACITY_SCALE, // production: 3 MB
+            dynamic_percpu: false,
+            resize_interval_ns: NS_PER_SEC / 5, // production: 5 s
+            resize_top_n: 5,
+            resize_step_bytes: (256 << 10) / CAPACITY_SCALE,
+            resize_floor_bytes: (256 << 10) / CAPACITY_SCALE,
+            transfer: TransferConfig::default(),
+            plunder_interval_ns: NS_PER_SEC / 20,
+            cfl_lists: 1,
+            pageheap: PageHeapConfig::default(),
+            sample_period_bytes: 2 << 20,
+            prefetch: true,
+            release_interval_ns: NS_PER_SEC / 20,
+            decay_interval_ns: NS_PER_SEC / 10, // production: ~1 s
+        }
+    }
+
+    /// All four §4 redesigns enabled (the §4.5 configuration).
+    pub fn optimized() -> Self {
+        Self::baseline()
+            .with_heterogeneous_percpu()
+            .with_nuca_transfer()
+            .with_span_prioritization()
+            .with_lifetime_filler()
+    }
+
+    /// Enables §4.1: dynamic per-CPU cache sizing, with the default budget
+    /// halved from 3 MB to 1.5 MB as in the paper's evaluation.
+    pub fn with_heterogeneous_percpu(mut self) -> Self {
+        self.dynamic_percpu = true;
+        // Production halves 3 MB to 1.5 MB; scaled equivalently here.
+        self.percpu_max_bytes = (3 << 19) / CAPACITY_SCALE;
+        self
+    }
+
+    /// Enables §4.2: NUCA-aware per-LLC-domain transfer caches.
+    pub fn with_nuca_transfer(mut self) -> Self {
+        self.transfer.sharding = TransferSharding::Domain;
+        self
+    }
+
+    /// Enables the §5 NUMA extension: transfer caches sharded per NUMA node
+    /// instead of per LLC domain.
+    pub fn with_numa_transfer(mut self) -> Self {
+        self.transfer.sharding = TransferSharding::Node;
+        self
+    }
+
+    /// Enables §4.3: span prioritization with L = 8 lists.
+    pub fn with_span_prioritization(mut self) -> Self {
+        self.cfl_lists = 8;
+        self
+    }
+
+    /// Enables §4.4: the lifetime-aware hugepage filler with C = 16.
+    pub fn with_lifetime_filler(mut self) -> Self {
+        self.pageheap.lifetime_aware_filler = true;
+        self.pageheap.capacity_threshold = 16;
+        self
+    }
+}
+
+impl Default for TcmallocConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_everything_off() {
+        let c = TcmallocConfig::baseline();
+        assert!(!c.dynamic_percpu);
+        assert!(!c.transfer.is_sharded());
+        assert_eq!(c.cfl_lists, 1);
+        assert!(!c.pageheap.lifetime_aware_filler);
+        assert_eq!(c.percpu_max_bytes, (3 << 20) / CAPACITY_SCALE);
+        assert_eq!(c.sample_period_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn optimized_has_everything_on() {
+        let c = TcmallocConfig::optimized();
+        assert!(c.dynamic_percpu);
+        assert_eq!(c.transfer.sharding, TransferSharding::Domain);
+        assert_eq!(c.cfl_lists, 8);
+        assert!(c.pageheap.lifetime_aware_filler);
+        assert_eq!(c.pageheap.capacity_threshold, 16);
+        assert_eq!(
+            c.percpu_max_bytes,
+            (3 << 19) / CAPACITY_SCALE,
+            "halved from the baseline"
+        );
+    }
+
+    #[test]
+    fn toggles_are_independent() {
+        let c = TcmallocConfig::baseline().with_span_prioritization();
+        assert_eq!(c.cfl_lists, 8);
+        assert!(!c.dynamic_percpu && !c.transfer.is_sharded());
+        assert!(!c.pageheap.lifetime_aware_filler);
+    }
+}

@@ -1,0 +1,676 @@
+//! The hugepage filler (§4.4): packing spans into hugepages.
+//!
+//! The filler serves every page-heap request smaller than a hugepage by
+//! carving it out of partially-filled 2 MiB hugepages. It manages "83.6% of
+//! the total in-use memory and accounts for 94.4% of the page heap
+//! fragmentation" (Figure 15), so its packing policy decides both RAM waste
+//! and hugepage coverage:
+//!
+//! * **Baseline** (Hunter et al., OSDI '21): satisfy a request from the
+//!   hugepage with the *smallest longest-free-range* that still fits,
+//!   breaking ties toward the *most allocations* — densify so that sparse
+//!   hugepages drain and can be returned whole.
+//! * **Lifetime-aware** (§4.4 redesign): additionally segregate spans by
+//!   their statically-known *capacity* (objects per span), a zero-overhead
+//!   proxy for span lifetime (Figure 16, Spearman ≈ −0.75): spans with
+//!   capacity < C (few, large objects — short-lived) get dedicated
+//!   hugepages, away from high-capacity long-lived spans, so their
+//!   hugepages become totally free and are released to the OS *intact*.
+//!
+//! The filler also implements *subrelease* — breaking a partially-free
+//! hugepage to return its free tail to the OS — which trades RAM for TLB
+//! reach (§2.1, Figure 17).
+
+use super::cache::HugeCache;
+use std::collections::HashMap;
+use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
+use wsc_sim_os::vmm::Vmm;
+
+/// TCMalloc pages per hugepage (256).
+pub const HP_PAGES: u32 = TCMALLOC_PAGES_PER_HUGE as u32;
+
+const WORDS: usize = HP_PAGES as usize / 64;
+
+/// Lifetime bucket a span is assigned to (lifetime-aware mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifetimeSet {
+    /// High-capacity spans (capacity ≥ C) and donated large-allocation
+    /// tails: expected long-lived.
+    Long,
+    /// Low-capacity spans (capacity < C): expected short-lived; packed on
+    /// dedicated hugepages that can drain and release whole.
+    Short,
+}
+
+#[derive(Clone, Debug)]
+struct PageTracker {
+    base: u64,
+    used_mask: [u64; WORDS],
+    released_mask: [u64; WORDS],
+    used: u32,
+    /// Live span-allocations on this hugepage.
+    allocations: u32,
+    donated: bool,
+    set: usize,
+    /// Consecutive release passes this tracker has been an idle subrelease
+    /// candidate (adaptive subrelease, Maas et al. \[49\]: give a draining
+    /// hugepage time to become completely free before breaking it).
+    idle_passes: u8,
+    /// Cached longest free run (in pages); list index.
+    lfr: u32,
+    /// Position within `lists[set][lfr]`.
+    pos: u32,
+}
+
+impl PageTracker {
+    fn new(base: u64, set: usize) -> Self {
+        Self {
+            base,
+            used_mask: [0; WORDS],
+            released_mask: [0; WORDS],
+            used: 0,
+            allocations: 0,
+            donated: false,
+            set,
+            idle_passes: 0,
+            lfr: HP_PAGES,
+            pos: 0,
+        }
+    }
+
+    fn used_bit(&self, i: u32) -> bool {
+        self.used_mask[i as usize / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn set_used(&mut self, start: u32, n: u32, v: bool) {
+        for i in start..start + n {
+            let (w, b) = (i as usize / 64, i % 64);
+            if v {
+                debug_assert!(self.used_mask[w] >> b & 1 == 0, "page {i} already used");
+                self.used_mask[w] |= 1 << b;
+            } else {
+                debug_assert!(self.used_mask[w] >> b & 1 == 1, "page {i} not used");
+                self.used_mask[w] &= !(1 << b);
+            }
+        }
+        if v {
+            self.used += n;
+        } else {
+            self.used -= n;
+        }
+    }
+
+    fn released_bit(&self, i: u32) -> bool {
+        self.released_mask[i as usize / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn longest_free_range(&self) -> u32 {
+        let mut best = 0u32;
+        let mut run = 0u32;
+        for i in 0..HP_PAGES {
+            if self.used_bit(i) {
+                run = 0;
+            } else {
+                run += 1;
+                best = best.max(run);
+            }
+        }
+        best
+    }
+
+    fn find_fit(&self, n: u32) -> Option<u32> {
+        let mut run = 0u32;
+        for i in 0..HP_PAGES {
+            if self.used_bit(i) {
+                run = 0;
+            } else {
+                run += 1;
+                if run == n {
+                    return Some(i + 1 - n);
+                }
+            }
+        }
+        None
+    }
+
+    fn free_pages(&self) -> u32 {
+        HP_PAGES - self.used
+    }
+
+    fn released_pages(&self) -> u32 {
+        self.released_mask.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// Counters exposed for Figure 15/16/17 telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FillerStats {
+    /// Pages in live span allocations.
+    pub used_pages: u64,
+    /// Free pages inside partially-filled hugepages (fragmentation).
+    pub free_pages: u64,
+    /// Of those free pages, how many are subreleased (not resident).
+    pub released_pages: u64,
+    /// Tracked (partially-filled) hugepages.
+    pub hugepages: u64,
+    /// Hugepages ever returned whole to the cache.
+    pub freed_whole: u64,
+    /// Pages ever subreleased (cumulative).
+    pub subreleased_total: u64,
+}
+
+/// The hugepage filler.
+#[derive(Clone, Debug)]
+pub struct HugePageFiller {
+    trackers: Vec<Option<PageTracker>>,
+    free_ids: Vec<usize>,
+    by_hugepage: HashMap<u64, usize>,
+    /// `lists[set][lfr]` = tracker ids with that longest free range.
+    lists: Vec<Vec<Vec<usize>>>,
+    lifetime_aware: bool,
+    capacity_threshold: u32,
+    freed_whole: u64,
+    subreleased_total: u64,
+}
+
+impl HugePageFiller {
+    /// Creates a filler. With `lifetime_aware`, spans whose capacity is
+    /// below `capacity_threshold` (the paper's C = 16) are placed on a
+    /// dedicated set of hugepages.
+    pub fn new(lifetime_aware: bool, capacity_threshold: u32) -> Self {
+        Self {
+            trackers: Vec::new(),
+            free_ids: Vec::new(),
+            by_hugepage: HashMap::new(),
+            lists: vec![vec![Vec::new(); HP_PAGES as usize + 1]; 2],
+            lifetime_aware,
+            capacity_threshold,
+            freed_whole: 0,
+            subreleased_total: 0,
+        }
+    }
+
+    fn set_for(&self, span_capacity: u32) -> usize {
+        if self.lifetime_aware && span_capacity < self.capacity_threshold {
+            1 // Short-lived set
+        } else {
+            0
+        }
+    }
+
+    /// The lifetime set a span of the given capacity maps to.
+    pub fn lifetime_set_for(&self, span_capacity: u32) -> LifetimeSet {
+        if self.set_for(span_capacity) == 1 {
+            LifetimeSet::Short
+        } else {
+            LifetimeSet::Long
+        }
+    }
+
+    fn tracker(&self, id: usize) -> &PageTracker {
+        self.trackers[id].as_ref().expect("stale tracker id")
+    }
+
+    fn tracker_mut(&mut self, id: usize) -> &mut PageTracker {
+        self.trackers[id].as_mut().expect("stale tracker id")
+    }
+
+    fn list_remove(&mut self, id: usize) {
+        let (set, lfr, pos) = {
+            let t = self.tracker(id);
+            (t.set, t.lfr, t.pos as usize)
+        };
+        let list = &mut self.lists[set][lfr as usize];
+        list.swap_remove(pos);
+        if pos < list.len() {
+            let moved = list[pos];
+            self.tracker_mut(moved).pos = pos as u32;
+        }
+    }
+
+    fn list_insert(&mut self, id: usize) {
+        let (set, lfr) = {
+            let t = self.tracker(id);
+            (t.set, t.longest_free_range())
+        };
+        let pos = self.lists[set][lfr as usize].len() as u32;
+        self.lists[set][lfr as usize].push(id);
+        let t = self.tracker_mut(id);
+        t.lfr = lfr;
+        t.pos = pos;
+    }
+
+    fn new_tracker(&mut self, base: u64, set: usize) -> usize {
+        let tracker = PageTracker::new(base, set);
+        let id = if let Some(id) = self.free_ids.pop() {
+            self.trackers[id] = Some(tracker);
+            id
+        } else {
+            self.trackers.push(Some(tracker));
+            self.trackers.len() - 1
+        };
+        self.by_hugepage.insert(base / HUGE_PAGE_BYTES, id);
+        id
+    }
+
+    /// Allocates `pages` (< 256) for a span of the given capacity.
+    /// Returns `(addr, mmapped)` — `mmapped` true when a fresh hugepage came
+    /// from the OS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is 0 or ≥ a hugepage.
+    pub fn alloc(
+        &mut self,
+        pages: u32,
+        span_capacity: u32,
+        cache: &mut HugeCache,
+        vmm: &mut Vmm,
+    ) -> (u64, bool) {
+        assert!((1..HP_PAGES).contains(&pages), "filler alloc of {pages} pages");
+        let set = self.set_for(span_capacity);
+        // Baseline policy: smallest longest-free-range that fits, then most
+        // allocations within that list.
+        let mut chosen: Option<usize> = None;
+        for lfr in pages..=HP_PAGES {
+            let list = &self.lists[set][lfr as usize];
+            if list.is_empty() {
+                continue;
+            }
+            chosen = list
+                .iter()
+                .copied()
+                .max_by_key(|&id| self.tracker(id).allocations);
+            break;
+        }
+        let (id, mmapped) = match chosen {
+            Some(id) => (id, false),
+            None => {
+                let (base, from_os) = cache.alloc_run(1, vmm);
+                if !from_os {
+                    // Reused address range: fault it back in.
+                    vmm.reoccupy(base, HUGE_PAGE_BYTES);
+                }
+                let id = self.new_tracker(base, set);
+                self.list_insert(id);
+                (id, from_os)
+            }
+        };
+        self.list_remove(id);
+        let t = self.tracker_mut(id);
+        let off = t.find_fit(pages).expect("chosen tracker must fit");
+        t.set_used(off, pages, true);
+        t.allocations += 1;
+        t.idle_passes = 0;
+        let addr = t.base + off as u64 * TCMALLOC_PAGE_BYTES;
+        // Fault back any subreleased pages we just allocated over.
+        let mut cleared = 0u32;
+        for i in off..off + pages {
+            if t.released_bit(i) {
+                t.released_mask[i as usize / 64] &= !(1 << (i % 64));
+                cleared += 1;
+            }
+        }
+        if cleared > 0 {
+            vmm.reoccupy(addr, pages as u64 * TCMALLOC_PAGE_BYTES);
+        }
+        self.list_insert(id);
+        (addr, mmapped)
+    }
+
+    /// Donates the tail of a large allocation's last hugepage to the filler
+    /// (§4.4: "slack ... is then donated to the hugepage filler"). The head
+    /// `head_pages` are occupied by the large allocation itself.
+    pub fn donate(&mut self, base: u64, head_pages: u32) {
+        assert!(base.is_multiple_of(HUGE_PAGE_BYTES) && (1..HP_PAGES).contains(&head_pages));
+        let id = self.new_tracker(base, 0);
+        let t = self.tracker_mut(id);
+        t.donated = true;
+        t.set_used(0, head_pages, true);
+        t.allocations = 1;
+        self.list_insert(id);
+    }
+
+    /// Releases the donated head when its large allocation is freed.
+    /// The tracker survives if filler allocations still live on the tail.
+    pub fn free_donated_head(
+        &mut self,
+        base: u64,
+        head_pages: u32,
+        cache: &mut HugeCache,
+        vmm: &mut Vmm,
+    ) {
+        let id = *self
+            .by_hugepage
+            .get(&(base / HUGE_PAGE_BYTES))
+            .expect("donated hugepage not tracked");
+        self.list_remove(id);
+        let t = self.tracker_mut(id);
+        assert!(t.donated, "hugepage was not donated");
+        t.set_used(0, head_pages, false);
+        t.allocations -= 1;
+        if t.used == 0 {
+            self.retire(id, cache, vmm);
+        } else {
+            self.list_insert(id);
+        }
+    }
+
+    /// Returns span pages to the filler. A fully-drained hugepage is
+    /// returned *whole* to the hugepage cache (keeping it intact for THP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not a live filler allocation.
+    pub fn dealloc(&mut self, addr: u64, pages: u32, cache: &mut HugeCache, vmm: &mut Vmm) {
+        let hp = addr / HUGE_PAGE_BYTES;
+        let id = *self
+            .by_hugepage
+            .get(&hp)
+            .unwrap_or_else(|| panic!("dealloc of untracked hugepage {hp:#x}"));
+        self.list_remove(id);
+        let t = self.tracker_mut(id);
+        let off = ((addr % HUGE_PAGE_BYTES) / TCMALLOC_PAGE_BYTES) as u32;
+        t.set_used(off, pages, false);
+        t.allocations -= 1;
+        // Note: a dealloc does NOT reset `idle_passes` — a draining
+        // hugepage is the best candidate to eventually release whole.
+        if t.used == 0 {
+            self.retire(id, cache, vmm);
+        } else {
+            self.list_insert(id);
+        }
+    }
+
+    /// Removes a fully-free tracker. An intact hugepage goes to the cache
+    /// for reuse; a *broken* one (subreleased pages, THP backing lost) is
+    /// returned to the OS directly — a fresh `mmap` later yields a pristine
+    /// hugepage, whereas caching the broken one would strand its holes.
+    fn retire(&mut self, id: usize, cache: &mut HugeCache, vmm: &mut Vmm) {
+        let t = self.trackers[id].take().expect("stale tracker id");
+        self.free_ids.push(id);
+        self.by_hugepage.remove(&(t.base / HUGE_PAGE_BYTES));
+        if t.released_pages() > 0 {
+            vmm.munmap(t.base, HUGE_PAGE_BYTES);
+        } else {
+            self.freed_whole += 1;
+            cache.free_run(t.base, 1, vmm);
+        }
+    }
+
+    /// Subreleases up to `target_pages` free pages back to the OS, starting
+    /// from the *emptiest* hugepages (highest longest-free-range), skipping
+    /// donated hugepages. Breaking a hugepage sacrifices its THP backing,
+    /// so a tracker must have been an idle candidate for `grace_passes`
+    /// consecutive passes first (adaptive subrelease, Maas et al. \[49\]) — a
+    /// is actively draining gets the chance to become completely free and be
+    /// released *whole* instead. Returns the number of pages released.
+    pub fn subrelease(&mut self, target_pages: u64, grace_passes: u8, vmm: &mut Vmm) -> u64 {
+        let mut released = 0u64;
+        // Short-set hugepages (set 1) get an 8x longer grace: they exist
+        // precisely because they drain completely and release *whole*, and
+        // breaking one just before it drains destroys that benefit. The
+        // price is that holes pinned by a mispredicted long-lived span stay
+        // resident longer — negligible against production heaps, visible at
+        // simulation scale (see EXPERIMENTS.md).
+        'outer: for set in 0..self.lists.len() {
+            let required = if set == 0 {
+                grace_passes
+            } else {
+                grace_passes.saturating_mul(8).max(8)
+            };
+            for lfr in (1..=HP_PAGES as usize).rev() {
+                // Collect ids first: subreleasing does not move lists
+                // (used_mask is untouched), so iteration stays valid.
+                let ids: Vec<usize> = self.lists[set][lfr].clone();
+                for id in ids {
+                    if released >= target_pages {
+                        break 'outer;
+                    }
+                    {
+                        let t = self.tracker_mut(id);
+                        if t.idle_passes < required {
+                            t.idle_passes = t.idle_passes.saturating_add(1);
+                            continue;
+                        }
+                    }
+                    let budget = (target_pages - released) as u32;
+                    let (base, to_release) = {
+                        let t = self.tracker_mut(id);
+                        if t.donated {
+                            continue;
+                        }
+                        // Release free, not-yet-released pages up to budget.
+                        let mut pages_left = budget;
+                        let mut run: Option<(u32, u32)> = None;
+                        let mut to_release: Vec<(u32, u32)> = Vec::new();
+                        for i in 0..HP_PAGES {
+                            if pages_left == 0 {
+                                break;
+                            }
+                            if !t.used_bit(i) && !t.released_bit(i) {
+                                match run {
+                                    Some((s, ref mut n)) if s + *n == i => *n += 1,
+                                    _ => {
+                                        if let Some(r) = run.take() {
+                                            to_release.push(r);
+                                        }
+                                        run = Some((i, 1));
+                                    }
+                                }
+                                pages_left -= 1;
+                            } else if let Some(r) = run.take() {
+                                to_release.push(r);
+                            }
+                        }
+                        if let Some(r) = run {
+                            to_release.push(r);
+                        }
+                        for &(s, n) in &to_release {
+                            for i in s..s + n {
+                                t.released_mask[i as usize / 64] |= 1 << (i % 64);
+                            }
+                        }
+                        (t.base, to_release)
+                    };
+                    for (s, n) in to_release {
+                        vmm.subrelease(
+                            base + s as u64 * TCMALLOC_PAGE_BYTES,
+                            n as u64 * TCMALLOC_PAGE_BYTES,
+                        );
+                        released += n as u64;
+                        self.subreleased_total += n as u64;
+                    }
+                }
+            }
+        }
+        released
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FillerStats {
+        let mut s = FillerStats {
+            freed_whole: self.freed_whole,
+            subreleased_total: self.subreleased_total,
+            ..FillerStats::default()
+        };
+        for t in self.trackers.iter().flatten() {
+            s.used_pages += t.used as u64;
+            s.free_pages += t.free_pages() as u64;
+            s.released_pages += t.released_pages() as u64;
+            s.hugepages += 1;
+        }
+        s
+    }
+
+    /// Bytes in live filler allocations.
+    pub fn used_bytes(&self) -> u64 {
+        self.stats().used_pages * TCMALLOC_PAGE_BYTES
+    }
+
+    /// Resident free bytes inside tracked hugepages (the filler's
+    /// fragmentation contribution, Figure 15).
+    pub fn free_resident_bytes(&self) -> u64 {
+        let s = self.stats();
+        (s.free_pages - s.released_pages) * TCMALLOC_PAGE_BYTES
+    }
+
+    /// Number of live allocations per tracked hugepage (for telemetry).
+    pub fn allocations_per_hugepage(&self) -> Vec<u32> {
+        self.trackers
+            .iter()
+            .flatten()
+            .map(|t| t.allocations)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (HugePageFiller, HugeCache, Vmm) {
+        (
+            HugePageFiller::new(false, 16),
+            HugeCache::new(0), // no caching: frees go straight to the OS
+            Vmm::new(),
+        )
+    }
+
+    #[test]
+    fn first_alloc_mmaps_then_packs() {
+        let (mut f, mut c, mut vmm) = setup();
+        let (a, mmapped) = f.alloc(10, 100, &mut c, &mut vmm);
+        assert!(mmapped);
+        let (b, mmapped2) = f.alloc(10, 100, &mut c, &mut vmm);
+        assert!(!mmapped2, "same hugepage reused");
+        assert_eq!(b, a + 10 * TCMALLOC_PAGE_BYTES);
+        assert_eq!(f.stats().hugepages, 1);
+        assert_eq!(f.stats().used_pages, 20);
+    }
+
+    #[test]
+    fn dense_packing_prefers_fullest() {
+        let (mut f, mut c, mut vmm) = setup();
+        // Build two hugepages: a dense one (251/256 used, lfr 5) and a
+        // sparse one (100/256 used, lfr 156).
+        let (a1, _) = f.alloc(200, 100, &mut c, &mut vmm);
+        let (a2, _) = f.alloc(251, 100, &mut c, &mut vmm); // no fit on hp1 -> hp2
+        let (_a3, _) = f.alloc(30, 100, &mut c, &mut vmm); // hp1: 230 used
+        f.dealloc(a1, 200, &mut c, &mut vmm); // hp1: 30 used, sparse
+        // A 4-page request must go to the dense hp2 (smallest fitting lfr).
+        let (a4, mm) = f.alloc(4, 100, &mut c, &mut vmm);
+        assert!(!mm);
+        assert_eq!(a4 / HUGE_PAGE_BYTES, a2 / HUGE_PAGE_BYTES);
+    }
+
+    #[test]
+    fn drained_hugepage_returns_whole() {
+        let (mut f, mut c, mut vmm) = setup();
+        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm);
+        let (b, _) = f.alloc(60, 100, &mut c, &mut vmm);
+        f.dealloc(a, 50, &mut c, &mut vmm);
+        assert_eq!(f.stats().hugepages, 1);
+        f.dealloc(b, 60, &mut c, &mut vmm);
+        assert_eq!(f.stats().hugepages, 0);
+        assert_eq!(f.stats().freed_whole, 1);
+        // Cache limit 0 → hugepage munmapped back to the OS intact.
+        assert_eq!(vmm.mapped_bytes(), 0);
+        assert_eq!(vmm.stats().madvise_calls, 0, "no subrelease needed");
+    }
+
+    #[test]
+    fn lifetime_sets_segregate() {
+        let mut f = HugePageFiller::new(true, 16);
+        let mut c = HugeCache::new(0);
+        let mut vmm = Vmm::new();
+        // capacity 512 (small objects, long-lived) vs capacity 1 (huge
+        // objects, short-lived) must land on different hugepages.
+        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm);
+        let (b, _) = f.alloc(4, 1, &mut c, &mut vmm);
+        assert_ne!(a / HUGE_PAGE_BYTES, b / HUGE_PAGE_BYTES);
+        assert_eq!(f.lifetime_set_for(512), LifetimeSet::Long);
+        assert_eq!(f.lifetime_set_for(1), LifetimeSet::Short);
+        assert_eq!(f.stats().hugepages, 2);
+    }
+
+    #[test]
+    fn baseline_mixes_capacities() {
+        let (mut f, mut c, mut vmm) = setup();
+        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm);
+        let (b, _) = f.alloc(4, 1, &mut c, &mut vmm);
+        assert_eq!(a / HUGE_PAGE_BYTES, b / HUGE_PAGE_BYTES, "baseline shares");
+    }
+
+    #[test]
+    fn donation_and_head_free() {
+        let (mut f, mut c, mut vmm) = setup();
+        let base = vmm.mmap(HUGE_PAGE_BYTES);
+        f.donate(base, 64);
+        assert_eq!(f.stats().used_pages, 64);
+        // Filler can allocate from the donated tail.
+        let (a, mm) = f.alloc(10, 100, &mut c, &mut vmm);
+        assert!(!mm);
+        assert_eq!(a / HUGE_PAGE_BYTES, base / HUGE_PAGE_BYTES);
+        // Free the head; tracker survives because of the tail allocation.
+        f.free_donated_head(base, 64, &mut c, &mut vmm);
+        assert_eq!(f.stats().hugepages, 1);
+        f.dealloc(a, 10, &mut c, &mut vmm);
+        assert_eq!(f.stats().hugepages, 0);
+    }
+
+    #[test]
+    fn subrelease_breaks_hugepages_and_frees_ram() {
+        let (mut f, mut c, mut vmm) = setup();
+        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm);
+        let _keep = f.alloc(6, 100, &mut c, &mut vmm);
+        f.dealloc(a, 50, &mut c, &mut vmm);
+        let resident_before = vmm.page_table().resident_bytes();
+        let released = f.subrelease(1000, 0, &mut vmm);
+        assert_eq!(released, 250, "all free pages released");
+        assert_eq!(
+            vmm.page_table().resident_bytes(),
+            resident_before - 250 * TCMALLOC_PAGE_BYTES
+        );
+        assert!(!vmm.page_table().is_huge_backed(a), "hugepage broken");
+        // Released pages remain allocatable; realloc faults them back.
+        let (b, mm) = f.alloc(50, 100, &mut c, &mut vmm);
+        assert!(!mm);
+        assert_eq!(b / HUGE_PAGE_BYTES, a / HUGE_PAGE_BYTES);
+        assert!(
+            vmm.page_table().resident_bytes() > resident_before - 250 * TCMALLOC_PAGE_BYTES
+        );
+        // The remaining free pages are all already released: nothing to do.
+        assert_eq!(f.subrelease(1000, 0, &mut vmm), 0);
+    }
+
+    #[test]
+    fn subrelease_skips_donated() {
+        let (mut f, _c, mut vmm) = setup();
+        let base = vmm.mmap(HUGE_PAGE_BYTES);
+        f.donate(base, 64);
+        assert_eq!(f.subrelease(1000, 0, &mut vmm), 0);
+        assert!(vmm.page_table().is_huge_backed(base));
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked hugepage")]
+    fn foreign_dealloc_panics() {
+        let (mut f, mut c, mut vmm) = setup();
+        f.dealloc(0x123 * HUGE_PAGE_BYTES, 1, &mut c, &mut vmm);
+    }
+
+    #[test]
+    fn stats_consistency() {
+        let (mut f, mut c, mut vmm) = setup();
+        let (_a, _) = f.alloc(100, 32, &mut c, &mut vmm);
+        let (_b, _) = f.alloc(30, 32, &mut c, &mut vmm);
+        let s = f.stats();
+        assert_eq!(s.used_pages + s.free_pages, s.hugepages * HP_PAGES as u64);
+        assert_eq!(f.used_bytes(), 130 * TCMALLOC_PAGE_BYTES);
+        assert_eq!(
+            f.free_resident_bytes(),
+            (s.hugepages * 256 - 130) * TCMALLOC_PAGE_BYTES
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The hugepage-aware pageheap (§4.4): back-end of the allocator.
+//!
+//! Requests are dispatched to three components (Figure 15):
+//!
+//! * [`filler::HugePageFiller`] — anything smaller than a hugepage,
+//! * [`region::HugeRegionSet`] — allocations that slightly exceed a
+//!   hugepage (e.g. 2.1 MiB) which would otherwise strand large slack,
+//! * [`cache::HugeCache`] — hugepage-multiple allocations; the unused tail
+//!   of the last hugepage is *donated* to the filler.
+//!
+//! The pageheap periodically releases memory to the OS "either by releasing
+//! hugepages that are completely free, or by breaking partially-filled
+//! hugepages into smaller pages and subreleasing them" (§2.1) — the former
+//! preserves hugepage coverage, the latter sacrifices it.
+
+pub mod cache;
+pub mod filler;
+pub mod region;
+
+use cache::HugeCache;
+use filler::HugePageFiller;
+use region::HugeRegionSet;
+use std::collections::HashMap;
+use wsc_sim_hw::cost::AllocPath;
+use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
+use wsc_sim_os::vmm::Vmm;
+
+const HP_PAGES: u64 = TCMALLOC_PAGES_PER_HUGE; // 256
+
+/// Pageheap policy knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageHeapConfig {
+    /// Enable the §4.4 lifetime-aware filler.
+    pub lifetime_aware_filler: bool,
+    /// The capacity threshold C separating short- from long-lived spans.
+    pub capacity_threshold: u32,
+    /// HugeCache bound; fully-free hugepages beyond this are unmapped.
+    pub cache_limit_bytes: u64,
+    /// Background release triggers when resident free filler pages exceed
+    /// this many TCMalloc pages.
+    pub free_pages_threshold: u64,
+    /// Maximum pages subreleased per background pass (gradual release,
+    /// §3: "TCMalloc prioritizes keeping hugepages intact by releasing
+    /// memory gradually").
+    pub release_rate_pages: u64,
+    /// Release passes a hugepage must sit idle before it may be broken
+    /// (adaptive subrelease, Maas et al. \[49\]).
+    pub subrelease_grace_passes: u8,
+}
+
+impl Default for PageHeapConfig {
+    fn default() -> Self {
+        Self {
+            lifetime_aware_filler: false,
+            capacity_threshold: 16,
+            cache_limit_bytes: 16 << 20,
+            // Memory-pressure regime: the fleet runs hot, so free pages are
+            // returned to the OS promptly — the continuous gradual release
+            // that erodes hugepage coverage in the §4.4 baseline.
+            free_pages_threshold: 128, // 1 MiB of idle filler pages
+            release_rate_pages: 4096,  // 32 MiB per pass
+            subrelease_grace_passes: 1,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Origin {
+    Filler {
+        pages: u32,
+    },
+    Region {
+        pages: u32,
+    },
+    Large {
+        pages: u32,
+        /// Donated tail pages in the final hugepage (0 = none).
+        tail: u32,
+    },
+}
+
+/// Component-level usage snapshot (Figure 15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageHeapStats {
+    /// Live bytes placed by the filler.
+    pub filler_used_bytes: u64,
+    /// Resident free bytes stranded in partially-filled hugepages.
+    pub filler_free_bytes: u64,
+    /// Live bytes placed in hugepage regions.
+    pub region_used_bytes: u64,
+    /// Free bytes inside mapped regions.
+    pub region_free_bytes: u64,
+    /// Live bytes in hugepage-multiple (cache-served) allocations.
+    pub large_used_bytes: u64,
+    /// Bytes of fully-free hugepages held in the cache.
+    pub cache_bytes: u64,
+}
+
+impl PageHeapStats {
+    /// Total resident free (fragmented) bytes in the pageheap.
+    pub fn total_free_bytes(&self) -> u64 {
+        self.filler_free_bytes + self.region_free_bytes + self.cache_bytes
+    }
+
+    /// Total live bytes the pageheap has placed.
+    pub fn total_used_bytes(&self) -> u64 {
+        self.filler_used_bytes + self.region_used_bytes + self.large_used_bytes
+    }
+}
+
+/// The hugepage-aware pageheap.
+///
+/// # Example
+///
+/// ```
+/// use wsc_tcmalloc::pageheap::{PageHeap, PageHeapConfig};
+///
+/// let mut ph = PageHeap::new(PageHeapConfig::default());
+/// let (addr, _path) = ph.alloc(4, 512); // a 4-page span
+/// ph.dealloc(addr, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageHeap {
+    vmm: Vmm,
+    filler: HugePageFiller,
+    region: HugeRegionSet,
+    cache: HugeCache,
+    origin: HashMap<u64, Origin>,
+    cfg: PageHeapConfig,
+    large_used_pages: u64,
+}
+
+impl PageHeap {
+    /// Creates a pageheap with the given policy.
+    pub fn new(cfg: PageHeapConfig) -> Self {
+        Self {
+            vmm: Vmm::new(),
+            filler: HugePageFiller::new(cfg.lifetime_aware_filler, cfg.capacity_threshold),
+            region: HugeRegionSet::new(),
+            cache: HugeCache::new(cfg.cache_limit_bytes),
+            origin: HashMap::new(),
+            cfg,
+            large_used_pages: 0,
+        }
+    }
+
+    /// Allocates `pages` TCMalloc pages for a span whose class capacity is
+    /// `span_capacity` (large allocations pass 1). Returns the address and
+    /// the deepest path hit ([`AllocPath::Mmap`] when the OS was involved,
+    /// [`AllocPath::PageHeap`] otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn alloc(&mut self, pages: u32, span_capacity: u32) -> (u64, AllocPath) {
+        assert!(pages > 0, "zero-page allocation");
+        let (addr, mmapped, origin) = if (pages as u64) < HP_PAGES {
+            let (addr, mm) =
+                self.filler
+                    .alloc(pages, span_capacity, &mut self.cache, &mut self.vmm);
+            (addr, mm, Origin::Filler { pages })
+        } else if (pages as u64) > HP_PAGES && (pages as u64) < 2 * HP_PAGES {
+            let (addr, mm) = self.region.alloc(pages, &mut self.vmm);
+            (addr, mm, Origin::Region { pages })
+        } else {
+            let hp = (pages as u64).div_ceil(HP_PAGES);
+            let (addr, from_os) = self.cache.alloc_run(hp, &mut self.vmm);
+            if !from_os {
+                self.vmm.reoccupy(addr, hp * HUGE_PAGE_BYTES);
+            }
+            let tail = (hp * HP_PAGES - pages as u64) as u32;
+            if tail > 0 {
+                let last_hp = addr + (hp - 1) * HUGE_PAGE_BYTES;
+                self.filler.donate(last_hp, HP_PAGES as u32 - tail);
+            }
+            self.large_used_pages += pages as u64;
+            (addr, from_os, Origin::Large { pages, tail })
+        };
+        let prev = self.origin.insert(addr, origin);
+        assert!(prev.is_none(), "pageheap double allocation at {addr:#x}");
+        let path = if mmapped {
+            AllocPath::Mmap
+        } else {
+            AllocPath::PageHeap
+        };
+        (addr, path)
+    }
+
+    /// Returns `pages` at `addr` (as handed out by [`alloc`](Self::alloc)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not a live pageheap allocation or the length
+    /// mismatches.
+    pub fn dealloc(&mut self, addr: u64, pages: u32) {
+        let origin = self
+            .origin
+            .remove(&addr)
+            .unwrap_or_else(|| panic!("pageheap dealloc of unknown range {addr:#x}"));
+        match origin {
+            Origin::Filler { pages: p } => {
+                assert_eq!(p, pages, "filler dealloc length mismatch");
+                self.filler
+                    .dealloc(addr, pages, &mut self.cache, &mut self.vmm);
+            }
+            Origin::Region { pages: p } => {
+                assert_eq!(p, pages, "region dealloc length mismatch");
+                self.region.dealloc(addr, pages, &mut self.vmm);
+            }
+            Origin::Large { pages: p, tail } => {
+                assert_eq!(p, pages, "large dealloc length mismatch");
+                let hp = (pages as u64).div_ceil(HP_PAGES);
+                self.large_used_pages -= pages as u64;
+                if tail > 0 {
+                    let full = hp - 1;
+                    if full > 0 {
+                        self.cache.free_run(addr, full, &mut self.vmm);
+                    }
+                    self.filler.free_donated_head(
+                        addr + full * HUGE_PAGE_BYTES,
+                        HP_PAGES as u32 - tail,
+                        &mut self.cache,
+                        &mut self.vmm,
+                    );
+                } else {
+                    self.cache.free_run(addr, hp, &mut self.vmm);
+                }
+            }
+        }
+    }
+
+    /// Background release pass (§2.1): fully-free hugepages already went to
+    /// the bounded cache; when resident free pages stranded in the filler
+    /// exceed the threshold, subrelease up to the configured rate.
+    /// Returns bytes released this pass.
+    pub fn background_release(&mut self) -> u64 {
+        let stats = self.filler.stats();
+        let resident_free = stats.free_pages - stats.released_pages;
+        if resident_free <= self.cfg.free_pages_threshold {
+            return 0;
+        }
+        let excess = resident_free - self.cfg.free_pages_threshold;
+        let target = excess.min(self.cfg.release_rate_pages);
+        self.filler
+            .subrelease(target, self.cfg.subrelease_grace_passes, &mut self.vmm)
+            * TCMALLOC_PAGE_BYTES
+    }
+
+    /// Component-level snapshot (Figure 15).
+    pub fn stats(&self) -> PageHeapStats {
+        PageHeapStats {
+            filler_used_bytes: self.filler.used_bytes(),
+            filler_free_bytes: self.filler.free_resident_bytes(),
+            region_used_bytes: self.region.used_bytes(),
+            region_free_bytes: self.region.free_bytes(),
+            large_used_bytes: self.large_used_pages * TCMALLOC_PAGE_BYTES,
+            cache_bytes: self.cache.cached_bytes(),
+        }
+    }
+
+    /// The filler (telemetry access).
+    pub fn filler(&self) -> &HugePageFiller {
+        &self.filler
+    }
+
+    /// The underlying virtual memory manager.
+    pub fn vmm(&self) -> &Vmm {
+        &self.vmm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PageHeapConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> PageHeap {
+        PageHeap::new(PageHeapConfig::default())
+    }
+
+    #[test]
+    fn small_goes_to_filler() {
+        let mut ph = heap();
+        let (addr, path) = ph.alloc(10, 512);
+        assert_eq!(path, AllocPath::Mmap, "cold heap touches the OS");
+        let (addr2, path2) = ph.alloc(10, 512);
+        assert_eq!(path2, AllocPath::PageHeap, "warm filler");
+        assert_eq!(addr / HUGE_PAGE_BYTES, addr2 / HUGE_PAGE_BYTES);
+        let s = ph.stats();
+        assert_eq!(s.filler_used_bytes, 20 * TCMALLOC_PAGE_BYTES);
+    }
+
+    #[test]
+    fn mid_size_goes_to_region() {
+        let mut ph = heap();
+        // 2.1 MiB ≈ 269 pages.
+        let (_addr, _) = ph.alloc(269, 1);
+        let s = ph.stats();
+        assert_eq!(s.region_used_bytes, 269 * TCMALLOC_PAGE_BYTES);
+        assert_eq!(s.filler_used_bytes, 0);
+    }
+
+    #[test]
+    fn large_with_donation() {
+        let mut ph = heap();
+        // 4.5 MiB = 576 pages = 3 hugepages with a 192-page donated tail
+        // (the paper's own example: 1.5 MB slack from a 4.5 MB allocation).
+        let (addr, _) = ph.alloc(576, 1);
+        let s = ph.stats();
+        assert_eq!(s.large_used_bytes, 576 * TCMALLOC_PAGE_BYTES);
+        // Donated tail shows up as filler free space.
+        assert_eq!(s.filler_free_bytes, 192 * TCMALLOC_PAGE_BYTES);
+        // The filler can place a span on the donated tail.
+        let (span_addr, path) = ph.alloc(20, 512);
+        assert_eq!(path, AllocPath::PageHeap);
+        assert_eq!(
+            span_addr / HUGE_PAGE_BYTES,
+            (addr + 2 * HUGE_PAGE_BYTES) / HUGE_PAGE_BYTES
+        );
+        // Free the large allocation; the donated hugepage survives.
+        ph.dealloc(addr, 576);
+        assert_eq!(ph.stats().large_used_bytes, 0);
+        ph.dealloc(span_addr, 20);
+    }
+
+    #[test]
+    fn exact_hugepage_no_donation() {
+        let mut ph = heap();
+        let (addr, _) = ph.alloc(256, 1);
+        assert_eq!(ph.stats().filler_free_bytes, 0, "no tail to donate");
+        ph.dealloc(addr, 256);
+        // Freed run parks in the cache (within limit) rather than unmapping.
+        assert_eq!(ph.stats().cache_bytes, HUGE_PAGE_BYTES);
+    }
+
+    #[test]
+    fn cache_reuse_after_large_free() {
+        let mut ph = heap();
+        let (a, _) = ph.alloc(512, 1);
+        ph.dealloc(a, 512);
+        let (b, path) = ph.alloc(512, 1);
+        assert_eq!(path, AllocPath::PageHeap, "served from hugepage cache");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown range")]
+    fn unknown_dealloc_panics() {
+        let mut ph = heap();
+        ph.dealloc(0x1000, 1);
+    }
+
+    #[test]
+    fn background_release_respects_threshold_and_rate() {
+        let mut ph = PageHeap::new(PageHeapConfig {
+            free_pages_threshold: 100,
+            release_rate_pages: 50,
+            subrelease_grace_passes: 0,
+            ..PageHeapConfig::default()
+        });
+        // Strand ~250 free pages in one hugepage.
+        let (a, _) = ph.alloc(250, 512);
+        let (b, _) = ph.alloc(5, 512);
+        ph.dealloc(a, 250);
+        let released = ph.background_release();
+        assert_eq!(released, 50 * TCMALLOC_PAGE_BYTES, "rate-limited");
+        // Eventually it stops at the threshold.
+        let mut total = released;
+        for _ in 0..10 {
+            total += ph.background_release();
+        }
+        let s = ph.filler.stats();
+        assert!(s.free_pages - s.released_pages >= 100);
+        assert!(total > 0);
+        ph.dealloc(b, 5);
+    }
+
+    #[test]
+    fn stats_components_are_disjoint() {
+        let mut ph = heap();
+        let (_f, _) = ph.alloc(10, 512);
+        let (_r, _) = ph.alloc(300, 1);
+        let (_l, _) = ph.alloc(512, 1);
+        let s = ph.stats();
+        assert!(s.filler_used_bytes > 0);
+        assert!(s.region_used_bytes > 0);
+        assert!(s.large_used_bytes > 0);
+        assert_eq!(
+            s.total_used_bytes(),
+            (10 + 300 + 512) * TCMALLOC_PAGE_BYTES
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The pagemap: TCMalloc-page index → owning span.
+//!
+//! `free(ptr)` carries no size, so the allocator must recover the owning
+//! span from the address alone. Production TCMalloc uses a 2–3 level radix
+//! tree over page numbers; the simulation uses a hash map with the same
+//! page-granular contract.
+
+use crate::span::SpanId;
+use std::collections::HashMap;
+use wsc_sim_os::addr::tcmalloc_page_index;
+
+/// Page-index → span mapping.
+///
+/// # Example
+///
+/// ```
+/// use wsc_tcmalloc::pagemap::PageMap;
+/// use wsc_tcmalloc::span::SpanId;
+///
+/// let mut pm = PageMap::new();
+/// pm.set_range(0x10000, 4, SpanId(7));
+/// assert_eq!(pm.span_of(0x10000 + 100), Some(SpanId(7)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PageMap {
+    pages: HashMap<u64, SpanId>,
+}
+
+impl PageMap {
+    /// Creates an empty pagemap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `num_pages` TCMalloc pages starting at `addr` as belonging
+    /// to `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page is already registered (overlapping spans are a
+    /// heap-corruption bug).
+    pub fn set_range(&mut self, addr: u64, num_pages: u32, span: SpanId) {
+        let first = tcmalloc_page_index(addr);
+        for p in first..first + num_pages as u64 {
+            let prev = self.pages.insert(p, span);
+            assert!(prev.is_none(), "page {p} already owned by {prev:?}");
+        }
+    }
+
+    /// Unregisters the pages of a span being returned to the pageheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page was not registered.
+    pub fn clear_range(&mut self, addr: u64, num_pages: u32) {
+        let first = tcmalloc_page_index(addr);
+        for p in first..first + num_pages as u64 {
+            assert!(
+                self.pages.remove(&p).is_some(),
+                "clearing unregistered page {p}"
+            );
+        }
+    }
+
+    /// The span owning `addr`, if any.
+    pub fn span_of(&self, addr: u64) -> Option<SpanId> {
+        self.pages.get(&tcmalloc_page_index(addr)).copied()
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+
+    #[test]
+    fn range_lookup() {
+        let mut pm = PageMap::new();
+        pm.set_range(0, 2, SpanId(1));
+        pm.set_range(2 * TCMALLOC_PAGE_BYTES, 1, SpanId(2));
+        assert_eq!(pm.span_of(0), Some(SpanId(1)));
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES + 5), Some(SpanId(1)));
+        assert_eq!(pm.span_of(2 * TCMALLOC_PAGE_BYTES), Some(SpanId(2)));
+        assert_eq!(pm.span_of(3 * TCMALLOC_PAGE_BYTES), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn overlap_detected() {
+        let mut pm = PageMap::new();
+        pm.set_range(0, 2, SpanId(1));
+        pm.set_range(TCMALLOC_PAGE_BYTES, 1, SpanId(2));
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut pm = PageMap::new();
+        pm.set_range(0, 4, SpanId(1));
+        pm.clear_range(0, 4);
+        assert!(pm.is_empty());
+        pm.set_range(0, 4, SpanId(9));
+        assert_eq!(pm.span_of(0), Some(SpanId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn clear_unregistered_detected() {
+        let mut pm = PageMap::new();
+        pm.clear_range(0, 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Size-class table generation.
+//!
+//! §2.1: "allocations of small objects (< 256 KB) are rounded up to one of
+//! 80–90 size classes", trading *internal* fragmentation (slack between the
+//! requested size and the class) against *external* fragmentation (more
+//! classes mean more per-class free lists caching unused memory). The table
+//! here follows the production construction: fine 8-byte spacing for tiny
+//! sizes, geometric ~1.15× growth with coarsening alignment above, spans
+//! sized so that carving waste stays below 12.5%, and middle-tier batch
+//! sizes of `clamp(64 KiB / size, 2, 32)` objects.
+
+use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+
+/// Largest "small" object: 256 KiB. Bigger requests bypass every cache tier
+/// and go straight to the pageheap (§2.1).
+pub const MAX_SMALL_SIZE: u64 = 256 << 10;
+
+/// One size class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeClassInfo {
+    /// Object size in bytes (the rounded-up allocation size).
+    pub size: u64,
+    /// Span length for this class, in TCMalloc pages.
+    pub pages: u32,
+    /// Objects a full span yields (the *span capacity* of §4.4).
+    pub objects_per_span: u32,
+    /// Objects moved per middle-tier transaction (batch size).
+    pub batch: u32,
+}
+
+/// The full size-class table.
+///
+/// # Example
+///
+/// ```
+/// use wsc_tcmalloc::size_class::SizeClassTable;
+///
+/// let t = SizeClassTable::production();
+/// let cl = t.class_for(100).unwrap();
+/// assert!(t.info(cl).size >= 100);
+/// assert!(t.class_for(300 << 10).is_none(), "large objects bypass classes");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SizeClassTable {
+    classes: Vec<SizeClassInfo>,
+}
+
+/// Alignment required for a given size, mirroring the production table's
+/// coarsening steps.
+fn alignment_for(size: u64) -> u64 {
+    match size {
+        0..=512 => 8,
+        513..=1024 => 64,
+        1025..=4096 => 128,
+        4097..=16384 => 512,
+        16385..=65536 => 2048,
+        _ => 4096,
+    }
+}
+
+/// Picks the span length (in TCMalloc pages) for an object size: the
+/// smallest span whose carving waste is below 12.5%, capped at 32 pages.
+fn pages_for(size: u64) -> u32 {
+    for pages in 1..=32u32 {
+        let span_bytes = pages as u64 * TCMALLOC_PAGE_BYTES;
+        if span_bytes < size {
+            continue;
+        }
+        let waste = span_bytes % size;
+        if (waste as f64) / (span_bytes as f64) < 0.125 {
+            return pages;
+        }
+    }
+    32
+}
+
+/// Middle-tier batch size: `clamp(64 KiB / size, 2, 32)` objects.
+fn batch_for(size: u64) -> u32 {
+    ((64 << 10) / size.max(1)).clamp(2, 32) as u32
+}
+
+impl SizeClassTable {
+    /// Builds the production-style table (~85 classes up to 256 KiB).
+    pub fn production() -> Self {
+        let mut classes = Vec::new();
+        let mut size = 8u64;
+        while size <= MAX_SMALL_SIZE {
+            let pages = pages_for(size);
+            let objects = (pages as u64 * TCMALLOC_PAGE_BYTES / size) as u32;
+            classes.push(SizeClassInfo {
+                size,
+                pages,
+                objects_per_span: objects,
+                batch: batch_for(size),
+            });
+            // Geometric growth with alignment coarsening; minimum one
+            // alignment step so the table always advances.
+            let grown = (size as f64 * 1.09) as u64;
+            let align = alignment_for(grown);
+            let next = grown.div_ceil(align) * align;
+            size = next.max(size + alignment_for(size));
+        }
+        // Ensure the table tops out exactly at MAX_SMALL_SIZE.
+        if classes.last().map(|c| c.size) != Some(MAX_SMALL_SIZE) {
+            let pages = pages_for(MAX_SMALL_SIZE);
+            classes.push(SizeClassInfo {
+                size: MAX_SMALL_SIZE,
+                pages,
+                objects_per_span: (pages as u64 * TCMALLOC_PAGE_BYTES / MAX_SMALL_SIZE)
+                    as u32,
+                batch: batch_for(MAX_SMALL_SIZE),
+            });
+        }
+        Self { classes }
+    }
+
+    /// Number of size classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The smallest class whose size fits `size`, or `None` when the request
+    /// exceeds [`MAX_SMALL_SIZE`] (large allocations bypass the caches).
+    /// Zero-byte requests round up to the smallest class.
+    pub fn class_for(&self, size: u64) -> Option<usize> {
+        if size > MAX_SMALL_SIZE {
+            return None;
+        }
+        let idx = self.classes.partition_point(|c| c.size < size);
+        debug_assert!(idx < self.classes.len());
+        Some(idx)
+    }
+
+    /// Metadata for a class index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn info(&self, class: usize) -> &SizeClassInfo {
+        &self.classes[class]
+    }
+
+    /// Iterates all classes in ascending size order.
+    pub fn iter(&self) -> impl Iterator<Item = &SizeClassInfo> {
+        self.classes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SizeClassTable {
+        SizeClassTable::production()
+    }
+
+    #[test]
+    fn class_count_matches_paper_range() {
+        let n = table().num_classes();
+        assert!((75..=95).contains(&n), "paper says 80-90 classes, got {n}");
+    }
+
+    #[test]
+    fn sizes_strictly_increasing_up_to_max() {
+        let t = table();
+        let sizes: Vec<u64> = t.iter().map(|c| c.size).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*sizes.last().unwrap(), MAX_SMALL_SIZE);
+        assert_eq!(sizes[0], 8);
+    }
+
+    #[test]
+    fn class_for_rounds_up() {
+        let t = table();
+        for req in [0u64, 1, 8, 9, 100, 1024, 5000, 100_000, MAX_SMALL_SIZE] {
+            let cl = t.class_for(req).unwrap();
+            let info = t.info(cl);
+            assert!(info.size >= req, "class {} < request {req}", info.size);
+            if cl > 0 {
+                assert!(
+                    t.info(cl - 1).size < req.max(1),
+                    "not the tightest class for {req}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_requests_have_no_class() {
+        let t = table();
+        assert_eq!(t.class_for(MAX_SMALL_SIZE + 1), None);
+        assert_eq!(t.class_for(1 << 30), None);
+    }
+
+    #[test]
+    fn internal_fragmentation_bounded() {
+        // Slack between request and class stays modest (< 30% above the
+        // tiny sizes; absolute 8B below).
+        let t = table();
+        for req in (1..=MAX_SMALL_SIZE).step_by(97) {
+            let info = *t.info(t.class_for(req).unwrap());
+            let slack = info.size - req;
+            assert!(
+                slack <= 8 || (slack as f64) < 0.30 * req as f64,
+                "req {req} -> class {} slack {slack}",
+                info.size
+            );
+        }
+    }
+
+    #[test]
+    fn span_carving_waste_bounded() {
+        let t = table();
+        for c in t.iter() {
+            let span_bytes = c.pages as u64 * TCMALLOC_PAGE_BYTES;
+            let used = c.objects_per_span as u64 * c.size;
+            assert!(used <= span_bytes);
+            let waste = span_bytes - used;
+            assert!(
+                (waste as f64) < 0.125 * span_bytes as f64 || c.pages == 32,
+                "class {} wastes {waste} of {span_bytes}",
+                c.size
+            );
+            assert!(c.objects_per_span >= 1);
+        }
+    }
+
+    #[test]
+    fn batch_sizes_match_rule() {
+        let t = table();
+        for c in t.iter() {
+            assert_eq!(c.batch, ((64u64 << 10) / c.size).clamp(2, 32) as u32);
+        }
+    }
+
+    #[test]
+    fn small_classes_fill_whole_spans() {
+        let t = table();
+        let c8 = t.info(t.class_for(8).unwrap());
+        assert_eq!(c8.objects_per_span, 1024, "8 KiB span / 8 B = 1024 (§4.3)");
+        let c16 = t.info(t.class_for(16).unwrap());
+        assert_eq!(c16.objects_per_span, 512, "512 16-byte objects (§4.3)");
+    }
+
+    #[test]
+    fn capacity_one_classes_exist() {
+        // §4.4: "the leftmost data points show spans allocating large size
+        // classes that can only hold one object."
+        let t = table();
+        assert!(t.iter().any(|c| c.objects_per_span == 1));
+    }
+}

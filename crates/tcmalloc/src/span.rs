@@ -1,0 +1,375 @@
+//! Spans: the unit of memory the central free list manages.
+//!
+//! §2.1: "A span is a collection of contiguous fixed-size regions, aligned
+//! to an 8 KB TCMalloc page... a span contains multiple objects of the same
+//! size class." A span is carved out of hugepages by the pageheap, hands
+//! objects to the central free list, and can only return to the pageheap
+//! when *every* object on it has been freed — the root cause of central-
+//! free-list fragmentation (§4.3).
+
+use crate::size_class::SizeClassInfo;
+use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+
+/// Identifier of a span inside a [`SpanRegistry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a span currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanState {
+    /// On a central-free-list list (has free objects, may have live ones).
+    InFreeList {
+        /// Which priority list (0 = fullest, §4.3).
+        list: u8,
+        /// Position within that list's vector (for O(1) removal).
+        pos: u32,
+    },
+    /// All objects allocated; not on any list.
+    Full,
+    /// A large (>256 KiB) allocation served directly by the pageheap.
+    Large,
+    /// Returned to the pageheap (terminal; id will be recycled).
+    Released,
+}
+
+/// One span: a run of TCMalloc pages carved into equal-size objects.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Base address (TCMalloc-page aligned).
+    pub start: u64,
+    /// Length in TCMalloc pages.
+    pub pages: u32,
+    /// Size class index, or `None` for large allocations.
+    pub size_class: Option<u16>,
+    /// Object size in bytes (class size, or the rounded large size).
+    pub object_size: u64,
+    /// Total objects this span can hold (span capacity, §4.4).
+    pub capacity: u32,
+    /// Currently allocated (live) objects.
+    pub allocated: u32,
+    /// Stack of free object indices.
+    free_objects: Vec<u32>,
+    /// Allocation bitmap for double-free detection.
+    bitmap: Vec<u64>,
+    /// Current bookkeeping state.
+    pub state: SpanState,
+    /// Pending Figure-13 observation: the live-allocation count recorded at
+    /// the last deallocation, resolved when the span is next allocated from
+    /// (not released) or released.
+    pub pending_obs: Option<u32>,
+}
+
+impl Span {
+    /// Creates a small-object span for a size class.
+    pub fn new_small(start: u64, class: u16, info: &SizeClassInfo) -> Self {
+        let capacity = info.objects_per_span;
+        Self {
+            start,
+            pages: info.pages,
+            size_class: Some(class),
+            object_size: info.size,
+            capacity,
+            allocated: 0,
+            free_objects: (0..capacity).rev().collect(),
+            bitmap: vec![0u64; (capacity as usize).div_ceil(64)],
+            state: SpanState::Full, // caller places it on a list
+            pending_obs: None,
+        }
+    }
+
+    /// Creates a large-allocation span covering `pages` TCMalloc pages.
+    pub fn new_large(start: u64, pages: u32) -> Self {
+        Self {
+            start,
+            pages,
+            size_class: None,
+            object_size: pages as u64 * TCMALLOC_PAGE_BYTES,
+            capacity: 1,
+            allocated: 1,
+            free_objects: Vec::new(),
+            bitmap: vec![1u64],
+            state: SpanState::Large,
+            pending_obs: None,
+        }
+    }
+
+    /// Span length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.pages as u64 * TCMALLOC_PAGE_BYTES
+    }
+
+    /// Free objects currently on the span.
+    pub fn free_count(&self) -> u32 {
+        self.free_objects.len() as u32
+    }
+
+    /// Bytes of free objects cached on this span (external fragmentation
+    /// attributable to the central free list).
+    pub fn free_object_bytes(&self) -> u64 {
+        self.free_count() as u64 * self.object_size
+    }
+
+    /// Carving slack: span bytes not covered by any object slot.
+    pub fn carve_waste_bytes(&self) -> u64 {
+        self.bytes() - self.capacity as u64 * self.object_size
+    }
+
+    fn bit(&self, idx: u32) -> bool {
+        self.bitmap[idx as usize / 64] >> (idx % 64) & 1 == 1
+    }
+
+    fn set_bit(&mut self, idx: u32, v: bool) {
+        if v {
+            self.bitmap[idx as usize / 64] |= 1 << (idx % 64);
+        } else {
+            self.bitmap[idx as usize / 64] &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Pops one free object, returning its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span has no free objects (caller must check).
+    pub fn alloc_object(&mut self) -> u64 {
+        let idx = self
+            .free_objects
+            .pop()
+            .expect("alloc_object on exhausted span");
+        debug_assert!(!self.bit(idx), "object {idx} already allocated");
+        self.set_bit(idx, true);
+        self.allocated += 1;
+        self.start + idx as u64 * self.object_size
+    }
+
+    /// Returns an object to the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics on addresses outside the span, unaligned addresses, or double
+    /// free.
+    pub fn dealloc_object(&mut self, addr: u64) {
+        assert!(
+            addr >= self.start && addr < self.start + self.bytes(),
+            "address {addr:#x} outside span at {:#x}",
+            self.start
+        );
+        let off = addr - self.start;
+        assert!(
+            off.is_multiple_of(self.object_size),
+            "misaligned free at offset {off} (object size {})",
+            self.object_size
+        );
+        let idx = (off / self.object_size) as u32;
+        assert!(idx < self.capacity, "object index {idx} out of range");
+        assert!(self.bit(idx), "double free of object {idx}");
+        assert!(self.allocated > 0);
+        self.set_bit(idx, false);
+        self.allocated -= 1;
+        self.free_objects.push(idx);
+    }
+
+    /// True when every object has been returned (span may be released).
+    pub fn is_idle(&self) -> bool {
+        self.allocated == 0
+    }
+}
+
+/// Arena of spans with id recycling.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRegistry {
+    spans: Vec<Option<Span>>,
+    free_ids: Vec<SpanId>,
+    /// Total spans ever created and released, per the Figure 16 telemetry.
+    pub created: u64,
+    /// Total spans returned to the pageheap.
+    pub released: u64,
+}
+
+impl SpanRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a span, returning its id.
+    pub fn insert(&mut self, span: Span) -> SpanId {
+        self.created += 1;
+        if let Some(id) = self.free_ids.pop() {
+            self.spans[id.index()] = Some(span);
+            id
+        } else {
+            self.spans.push(Some(span));
+            SpanId(self.spans.len() as u32 - 1)
+        }
+    }
+
+    /// Removes a span (it returned to the pageheap), yielding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn remove(&mut self, id: SpanId) -> Span {
+        self.released += 1;
+        let span = self.spans[id.index()].take().expect("stale span id");
+        self.free_ids.push(id);
+        span
+    }
+
+    /// Borrows a live span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn get(&self, id: SpanId) -> &Span {
+        self.spans[id.index()].as_ref().expect("stale span id")
+    }
+
+    /// Mutably borrows a live span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn get_mut(&mut self, id: SpanId) -> &mut Span {
+        self.spans[id.index()].as_mut().expect("stale span id")
+    }
+
+    /// Number of live spans.
+    pub fn len(&self) -> usize {
+        self.spans.len() - self.free_ids.len()
+    }
+
+    /// Any live spans?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates live spans.
+    pub fn iter(&self) -> impl Iterator<Item = (SpanId, &Span)> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (SpanId(i as u32), s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_class::SizeClassTable;
+
+    fn small_span() -> Span {
+        let t = SizeClassTable::production();
+        let cl = t.class_for(16).unwrap();
+        Span::new_small(0x10000, cl as u16, t.info(cl))
+    }
+
+    #[test]
+    fn carve_and_return_all() {
+        let mut s = small_span();
+        assert_eq!(s.capacity, 512);
+        let mut addrs = Vec::new();
+        for _ in 0..s.capacity {
+            addrs.push(s.alloc_object());
+        }
+        assert_eq!(s.free_count(), 0);
+        assert_eq!(s.allocated, 512);
+        // Addresses are distinct and within the span.
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 512);
+        for a in &addrs {
+            s.dealloc_object(*a);
+        }
+        assert!(s.is_idle());
+        assert_eq!(s.free_count(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut s = small_span();
+        let a = s.alloc_object();
+        s.dealloc_object(a);
+        s.dealloc_object(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_free_detected() {
+        let mut s = small_span();
+        let a = s.alloc_object();
+        s.dealloc_object(a + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside span")]
+    fn foreign_free_detected() {
+        let mut s = small_span();
+        s.dealloc_object(0xdead0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhausted_alloc_panics() {
+        let t = SizeClassTable::production();
+        let cl = t.class_for(256 << 10).unwrap();
+        let mut s = Span::new_small(0, cl as u16, t.info(cl));
+        for _ in 0..=s.capacity {
+            s.alloc_object();
+        }
+    }
+
+    #[test]
+    fn large_span_is_single_object() {
+        let s = Span::new_large(0x8000, 100);
+        assert_eq!(s.capacity, 1);
+        assert_eq!(s.allocated, 1);
+        assert_eq!(s.size_class, None);
+        assert!(!s.is_idle());
+    }
+
+    #[test]
+    fn registry_recycles_ids() {
+        let mut reg = SpanRegistry::new();
+        let a = reg.insert(small_span());
+        let b = reg.insert(small_span());
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        reg.remove(a);
+        assert_eq!(reg.len(), 1);
+        let c = reg.insert(small_span());
+        assert_eq!(c, a, "id recycled");
+        assert_eq!(reg.created, 3);
+        assert_eq!(reg.released, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_id_detected() {
+        let mut reg = SpanRegistry::new();
+        let a = reg.insert(small_span());
+        reg.remove(a);
+        let _ = reg.get(a);
+    }
+
+    #[test]
+    fn fragmentation_accounting() {
+        let mut s = small_span();
+        let total = s.bytes();
+        let _ = s.alloc_object();
+        assert_eq!(s.free_object_bytes(), (s.capacity as u64 - 1) * 16);
+        assert_eq!(
+            s.carve_waste_bytes(),
+            total - s.capacity as u64 * 16
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Allocator-internal accounting: malloc cycles by component (Figure 6a)
+//! and the fragmentation breakdown (Figures 5b and 6b).
+
+use wsc_sim_hw::cost::AllocPath;
+
+/// Where allocator time goes — the categories of Figure 6a.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CycleCategory {
+    /// Per-CPU cache fast path.
+    CpuCache,
+    /// Transfer cache.
+    TransferCache,
+    /// Central free list.
+    CentralFreeList,
+    /// Pageheap (including OS refills).
+    PageHeap,
+    /// Sampled-allocation stack recording.
+    Sampled,
+    /// Next-object prefetching.
+    Prefetch,
+    /// Unclassified bookkeeping.
+    Other,
+}
+
+impl CycleCategory {
+    /// All categories in the paper's display order.
+    pub const ALL: [CycleCategory; 7] = [
+        CycleCategory::CpuCache,
+        CycleCategory::TransferCache,
+        CycleCategory::CentralFreeList,
+        CycleCategory::PageHeap,
+        CycleCategory::Sampled,
+        CycleCategory::Prefetch,
+        CycleCategory::Other,
+    ];
+
+    /// Display name matching the paper's figure legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleCategory::CpuCache => "CPUCache",
+            CycleCategory::TransferCache => "TransferCache",
+            CycleCategory::CentralFreeList => "CentralFreeList",
+            CycleCategory::PageHeap => "PageHeap",
+            CycleCategory::Sampled => "Sampled",
+            CycleCategory::Prefetch => "Prefetch",
+            CycleCategory::Other => "Other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CycleCategory::CpuCache => 0,
+            CycleCategory::TransferCache => 1,
+            CycleCategory::CentralFreeList => 2,
+            CycleCategory::PageHeap => 3,
+            CycleCategory::Sampled => 4,
+            CycleCategory::Prefetch => 5,
+            CycleCategory::Other => 6,
+        }
+    }
+}
+
+impl From<AllocPath> for CycleCategory {
+    fn from(path: AllocPath) -> Self {
+        match path {
+            AllocPath::PerCpu => CycleCategory::CpuCache,
+            AllocPath::TransferCache => CycleCategory::TransferCache,
+            AllocPath::CentralFreeList => CycleCategory::CentralFreeList,
+            AllocPath::PageHeap | AllocPath::Mmap => CycleCategory::PageHeap,
+        }
+    }
+}
+
+/// Nanoseconds and operation counts per category.
+#[derive(Clone, Debug, Default)]
+pub struct CycleStats {
+    ns: [f64; 7],
+    ops: [u64; 7],
+}
+
+impl CycleStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `ns` to a category.
+    pub fn charge(&mut self, cat: CycleCategory, ns: f64) {
+        self.ns[cat.index()] += ns;
+        self.ops[cat.index()] += 1;
+    }
+
+    /// Nanoseconds attributed to a category.
+    pub fn ns(&self, cat: CycleCategory) -> f64 {
+        self.ns[cat.index()]
+    }
+
+    /// Operations attributed to a category.
+    pub fn ops(&self, cat: CycleCategory) -> u64 {
+        self.ops[cat.index()]
+    }
+
+    /// Total allocator nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.ns.iter().sum()
+    }
+
+    /// Fraction of allocator time per category (Figure 6a). Zero when idle.
+    pub fn breakdown(&self) -> Vec<(CycleCategory, f64)> {
+        let total = self.total_ns();
+        CycleCategory::ALL
+            .iter()
+            .map(|&c| {
+                let f = if total > 0.0 { self.ns(c) / total } else { 0.0 };
+                (c, f)
+            })
+            .collect()
+    }
+
+    /// Merges another stats block.
+    pub fn merge(&mut self, other: &CycleStats) {
+        for i in 0..self.ns.len() {
+            self.ns[i] += other.ns[i];
+            self.ops[i] += other.ops[i];
+        }
+    }
+}
+
+/// Fragmentation snapshot — the decomposition behind Figures 5b and 6b.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FragmentationBreakdown {
+    /// Application-requested live bytes.
+    pub live_bytes: u64,
+    /// Internal fragmentation: slack between request and size class.
+    pub internal_bytes: u64,
+    /// External: objects cached in per-CPU caches.
+    pub percpu_bytes: u64,
+    /// External: objects cached in transfer caches.
+    pub transfer_bytes: u64,
+    /// External: free objects + carving slack on central-free-list spans.
+    pub central_bytes: u64,
+    /// External: resident free pages held by the pageheap.
+    pub pageheap_bytes: u64,
+    /// Resident heap bytes per the (simulated) kernel.
+    pub resident_bytes: u64,
+}
+
+impl FragmentationBreakdown {
+    /// Total external fragmentation.
+    pub fn external_bytes(&self) -> u64 {
+        self.percpu_bytes + self.transfer_bytes + self.central_bytes + self.pageheap_bytes
+    }
+
+    /// Total fragmentation (internal + external).
+    pub fn total_bytes(&self) -> u64 {
+        self.external_bytes() + self.internal_bytes
+    }
+
+    /// Fragmentation ratio: fragmented / live (Figure 5b). Zero when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.live_bytes == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.live_bytes as f64
+        }
+    }
+
+    /// Shares of total fragmentation per source, in the Figure 6b order:
+    /// `[CPUCache, TransferCache, CentralFreeList, PageHeap, Internal]`.
+    pub fn shares(&self) -> [f64; 5] {
+        let total = self.total_bytes().max(1) as f64;
+        [
+            self.percpu_bytes as f64 / total,
+            self.transfer_bytes as f64 / total,
+            self.central_bytes as f64 / total,
+            self.pageheap_bytes as f64 / total,
+            self.internal_bytes as f64 / total,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_breakdown() {
+        let mut s = CycleStats::new();
+        s.charge(CycleCategory::CpuCache, 53.0);
+        s.charge(CycleCategory::Prefetch, 16.0);
+        s.charge(CycleCategory::CentralFreeList, 31.0);
+        assert!((s.total_ns() - 100.0).abs() < 1e-9);
+        let b = s.breakdown();
+        let cpu = b
+            .iter()
+            .find(|(c, _)| *c == CycleCategory::CpuCache)
+            .unwrap()
+            .1;
+        assert!((cpu - 0.53).abs() < 1e-9);
+        assert_eq!(s.ops(CycleCategory::CpuCache), 1);
+    }
+
+    #[test]
+    fn alloc_path_maps_to_category() {
+        assert_eq!(
+            CycleCategory::from(AllocPath::Mmap),
+            CycleCategory::PageHeap
+        );
+        assert_eq!(
+            CycleCategory::from(AllocPath::PerCpu),
+            CycleCategory::CpuCache
+        );
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = CycleStats::new();
+        let mut b = CycleStats::new();
+        a.charge(CycleCategory::Other, 1.0);
+        b.charge(CycleCategory::Other, 2.0);
+        a.merge(&b);
+        assert!((a.ns(CycleCategory::Other) - 3.0).abs() < 1e-9);
+        assert_eq!(a.ops(CycleCategory::Other), 2);
+    }
+
+    #[test]
+    fn fragmentation_ratio_and_shares() {
+        let f = FragmentationBreakdown {
+            live_bytes: 1000,
+            internal_bytes: 34,
+            percpu_bytes: 30,
+            transfer_bytes: 10,
+            central_bytes: 64,
+            pageheap_bytes: 84,
+            resident_bytes: 1222,
+        };
+        assert_eq!(f.external_bytes(), 188);
+        assert!((f.ratio() - 0.222).abs() < 1e-9);
+        let shares = f.shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(shares[3] > shares[2], "pageheap dominates CFL here");
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let s = CycleStats::new();
+        assert_eq!(s.total_ns(), 0.0);
+        assert!(s.breakdown().iter().all(|(_, f)| *f == 0.0));
+        assert_eq!(FragmentationBreakdown::default().ratio(), 0.0);
+    }
+}

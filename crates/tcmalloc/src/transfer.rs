@@ -1,0 +1,440 @@
+//! The middle-tier transfer cache (§4.2), legacy and NUCA-aware.
+//!
+//! The transfer cache holds flat arrays of free-object pointers per size
+//! class, letting memory "flow rapidly between CPUs" — an object freed on
+//! CPU 0 can be handed to CPU 1 without touching spans. On chiplet platforms
+//! that very property hurts: the new owner sits in a different LLC domain
+//! and must pull the object's cache lines across the fabric at 2.07× the
+//! local latency (Figure 11).
+//!
+//! The NUCA-aware redesign (Figure 12) shards the cache per LLC domain, with
+//! the legacy central cache retained as a backing tier, and periodically
+//! *plunders* idle domain caches back into the central one to prevent
+//! stranding. Domain caches are activated lazily, "only as many ... as the
+//! application is scheduled on".
+
+use crate::size_class::SizeClassTable;
+
+#[derive(Clone, Debug)]
+struct ClassArray {
+    objs: Vec<u64>,
+    max_objs: usize,
+    /// Minimum occupancy since the last reclaim pass: objects below the
+    /// low-water mark were provably unused for a whole interval.
+    low_water: usize,
+}
+
+impl ClassArray {
+    fn insert(&mut self, mut objs: Vec<u64>) -> Vec<u64> {
+        let room = self.max_objs.saturating_sub(self.objs.len());
+        let take = room.min(objs.len());
+        let rest = objs.split_off(take);
+        self.objs.extend(objs);
+        rest
+    }
+
+    fn remove(&mut self, n: usize) -> Vec<u64> {
+        let take = n.min(self.objs.len());
+        let out = self.objs.split_off(self.objs.len() - take);
+        self.low_water = self.low_water.min(self.objs.len());
+        out
+    }
+
+    /// Takes the unused residue (the low-water mark) from the cold end and
+    /// resets the mark.
+    fn reclaim(&mut self) -> Vec<u64> {
+        let shed = self.low_water.min(self.objs.len());
+        let out: Vec<u64> = self.objs.drain(..shed).collect();
+        self.low_water = self.objs.len();
+        out
+    }
+}
+
+/// Builds one tier's arrays: capacity is `batches_capacity` batches per
+/// class, additionally byte-capped at `byte_cap` per class so large size
+/// classes do not strand megabytes (production transfer caches are
+/// byte-limited the same way).
+fn new_tier(table_sizes: &[(u64, u32)], batches_capacity: u32, byte_cap: u64) -> Vec<ClassArray> {
+    table_sizes
+        .iter()
+        .map(|&(size, batch)| {
+            let by_batches = (batch as u64) * batches_capacity as u64;
+            let by_bytes = (byte_cap / size).max(1);
+            ClassArray {
+                objs: Vec::new(),
+                max_objs: by_batches.min(by_bytes) as usize,
+                low_water: 0,
+            }
+        })
+        .collect()
+}
+
+/// How the transfer-cache tier is sharded across the machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransferSharding {
+    /// One central cache (the legacy design).
+    #[default]
+    Central,
+    /// One cache per LLC domain, backed by the central cache — the §4.2
+    /// NUCA-aware design.
+    Domain,
+    /// One cache per NUMA node (the §5 "NUMA architecture and beyond"
+    /// extension): coarser than per-domain, but keeps allocations
+    /// node-local on multi-socket parts without per-CCX sharding.
+    Node,
+}
+
+/// Transfer-cache configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferConfig {
+    /// Sharding mode for the tier.
+    pub sharding: TransferSharding,
+    /// Central (legacy) capacity, in batches per size class.
+    pub central_batches: u32,
+    /// Per-shard capacity, in batches per size class (Domain/Node modes).
+    pub domain_batches: u32,
+}
+
+impl TransferConfig {
+    /// Is a sharded (non-central) tier active?
+    pub fn is_sharded(&self) -> bool {
+        self.sharding != TransferSharding::Central
+    }
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self {
+            sharding: TransferSharding::Central,
+            central_batches: 4,
+            domain_batches: 1,
+        }
+    }
+}
+
+/// The transfer-cache tier: a legacy central cache, optionally fronted by
+/// per-LLC-domain (or per-NUMA-node) shard caches.
+///
+/// # Example
+///
+/// ```
+/// use wsc_tcmalloc::size_class::SizeClassTable;
+/// use wsc_tcmalloc::transfer::{TransferCaches, TransferConfig, TransferSharding};
+///
+/// let table = SizeClassTable::production();
+/// let cfg = TransferConfig {
+///     sharding: TransferSharding::Domain,
+///     ..TransferConfig::default()
+/// };
+/// let mut tc = TransferCaches::new(&table, cfg);
+/// let spill = tc.stash(0, 3, vec![0x1000, 0x2000]);
+/// assert!(spill.is_empty());
+/// // The same shard gets its own objects back (cache-domain locality).
+/// assert_eq!(tc.fetch(0, 3, 2).len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TransferCaches {
+    central: Vec<ClassArray>,
+    domains: Vec<Option<Vec<ClassArray>>>,
+    sizes_batches: Vec<(u64, u32)>,
+    cfg: TransferConfig,
+}
+
+impl TransferCaches {
+    /// Creates the tier for a size-class table.
+    pub fn new(table: &SizeClassTable, cfg: TransferConfig) -> Self {
+        let sizes_batches: Vec<(u64, u32)> =
+            table.iter().map(|c| (c.size, c.batch)).collect();
+        Self {
+            central: new_tier(&sizes_batches, cfg.central_batches, 256 << 10),
+            domains: Vec::new(),
+            sizes_batches,
+            cfg,
+        }
+    }
+
+    fn shard_tier(&mut self, shard: usize) -> &mut Vec<ClassArray> {
+        if shard >= self.domains.len() {
+            self.domains.resize_with(shard + 1, || None);
+        }
+        let sizes = &self.sizes_batches;
+        let batches = self.cfg.domain_batches;
+        self.domains[shard].get_or_insert_with(|| new_tier(sizes, batches, 4 << 10))
+    }
+
+    /// Takes up to `n` objects for `class`, preferring the caller's shard
+    /// (LLC domain or NUMA node) in sharded modes. May return fewer than `n`
+    /// (caller goes to the central free list for the remainder).
+    pub fn fetch(&mut self, shard: usize, class: usize, n: usize) -> Vec<u64> {
+        let mut out = if self.cfg.is_sharded() {
+            self.shard_tier(shard)[class].remove(n)
+        } else {
+            Vec::new()
+        };
+        if out.len() < n {
+            let need = n - out.len();
+            out.extend(self.central[class].remove(need));
+        }
+        out
+    }
+
+    /// Deposits freed objects for `class`. Returns the overflow that did not
+    /// fit anywhere (caller pushes it down to the central free list).
+    pub fn stash(&mut self, shard: usize, class: usize, objs: Vec<u64>) -> Vec<u64> {
+        let rest = if self.cfg.is_sharded() {
+            self.shard_tier(shard)[class].insert(objs)
+        } else {
+            objs
+        };
+        if rest.is_empty() {
+            return rest;
+        }
+        self.central[class].insert(rest)
+    }
+
+    /// Deposits objects directly into the central (legacy) cache, bypassing
+    /// any domain tier — used for background evictions that have no owning
+    /// CPU. Returns the overflow.
+    pub fn stash_central(&mut self, class: usize, objs: Vec<u64>) -> Vec<u64> {
+        self.central[class].insert(objs)
+    }
+
+    /// Periodic anti-stranding pass (§4.2: "we periodically release unused
+    /// free objects in these transfer caches"): each domain cache returns
+    /// its low-water residue — objects provably unused for a whole interval
+    /// — to the central cache. Returns objects that did not fit centrally
+    /// (to be returned to the central free list), grouped by class.
+    pub fn plunder(&mut self) -> Vec<(usize, Vec<u64>)> {
+        let mut overflow = Vec::new();
+        if !self.cfg.is_sharded() {
+            return overflow;
+        }
+        for tier in self.domains.iter_mut().flatten() {
+            for (cl, arr) in tier.iter_mut().enumerate() {
+                let moved = arr.reclaim();
+                if moved.is_empty() {
+                    continue;
+                }
+                let rest = self.central[cl].insert(moved);
+                if !rest.is_empty() {
+                    overflow.push((cl, rest));
+                }
+            }
+        }
+        overflow
+    }
+
+    /// Low-water reclaim for the central arrays: objects unused for a whole
+    /// interval return to the central free list. Returns the evicted objects
+    /// grouped by class.
+    pub fn decay(&mut self) -> Vec<(usize, Vec<u64>)> {
+        let mut out: Vec<(usize, Vec<u64>)> = Vec::new();
+        for (cl, arr) in self.central.iter_mut().enumerate() {
+            let objs = arr.reclaim();
+            if !objs.is_empty() {
+                out.push((cl, objs));
+            }
+        }
+        out
+    }
+
+    /// Bytes cached across the whole tier (external fragmentation of the
+    /// transfer cache, Figure 6b).
+    pub fn cached_bytes(&self) -> u64 {
+        let central: u64 = self
+            .central
+            .iter()
+            .zip(&self.sizes_batches)
+            .map(|(a, &(size, _))| a.objs.len() as u64 * size)
+            .sum();
+        let domain: u64 = self
+            .domains
+            .iter()
+            .flatten()
+            .map(|tier| {
+                tier.iter()
+                    .zip(&self.sizes_batches)
+                    .map(|(a, &(size, _))| a.objs.len() as u64 * size)
+                    .sum::<u64>()
+            })
+            .sum();
+        central + domain
+    }
+
+    /// Bytes cached in the central (legacy) arrays only.
+    pub fn central_cached_bytes(&self) -> u64 {
+        self.central
+            .iter()
+            .zip(&self.sizes_batches)
+            .map(|(a, &(size, _))| a.objs.len() as u64 * size)
+            .sum()
+    }
+
+    /// Number of domain caches activated so far.
+    pub fn active_domains(&self) -> usize {
+        self.domains.iter().flatten().count()
+    }
+
+    /// Drains every cached object, grouped by class.
+    pub fn flush_all(&mut self) -> Vec<(usize, Vec<u64>)> {
+        let mut out: Vec<(usize, Vec<u64>)> = Vec::new();
+        for (cl, arr) in self.central.iter_mut().enumerate() {
+            if !arr.objs.is_empty() {
+                out.push((cl, std::mem::take(&mut arr.objs)));
+            }
+        }
+        for tier in self.domains.iter_mut().flatten() {
+            for (cl, arr) in tier.iter_mut().enumerate() {
+                if !arr.objs.is_empty() {
+                    out.push((cl, std::mem::take(&mut arr.objs)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SizeClassTable {
+        SizeClassTable::production()
+    }
+
+    fn legacy() -> TransferCaches {
+        TransferCaches::new(&table(), TransferConfig::default())
+    }
+
+    fn nuca() -> TransferCaches {
+        TransferCaches::new(
+            &table(),
+            TransferConfig {
+                sharding: TransferSharding::Domain,
+                ..TransferConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn legacy_round_trip() {
+        let mut tc = legacy();
+        assert!(tc.stash(0, 1, vec![1, 2, 3]).is_empty());
+        let got = tc.fetch(1, 1, 3);
+        assert_eq!(got.len(), 3, "legacy cache is shared across domains");
+        assert!(tc.fetch(0, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn nuca_prefers_local_domain() {
+        let mut tc = nuca();
+        tc.stash(0, 1, vec![10]);
+        tc.stash(1, 1, vec![20]);
+        // Domain 0 gets its own object first.
+        assert_eq!(tc.fetch(0, 1, 1), vec![10]);
+        assert_eq!(tc.fetch(1, 1, 1), vec![20]);
+    }
+
+    #[test]
+    fn nuca_falls_back_to_central() {
+        let mut tc = nuca();
+        // Overfill domain 0 so the excess lands centrally.
+        let cfg = TransferConfig::default();
+        let batch = table().info(1).batch as usize;
+        let cap = batch * cfg.domain_batches as usize;
+        let objs: Vec<u64> = (0..(cap + 5) as u64).collect();
+        let spill = tc.stash(0, 1, objs);
+        assert!(spill.is_empty(), "central absorbs the domain overflow");
+        // Domain 1 has nothing local but can still pull from central.
+        let got = tc.fetch(1, 1, 3);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn overflow_to_caller_when_everything_full() {
+        let mut tc = legacy();
+        let batch = table().info(1).batch as usize;
+        let central_cap = batch * TransferConfig::default().central_batches as usize;
+        let spill = tc.stash(
+            0,
+            1,
+            (0..(central_cap + 7) as u64).collect(),
+        );
+        assert_eq!(spill.len(), 7, "beyond capacity goes to the caller");
+    }
+
+    #[test]
+    fn fetch_may_return_fewer() {
+        let mut tc = legacy();
+        tc.stash(0, 2, vec![1, 2]);
+        assert_eq!(tc.fetch(0, 2, 10).len(), 2);
+    }
+
+    #[test]
+    fn plunder_moves_half_of_idle_classes() {
+        let mut tc = nuca();
+        tc.stash(0, 1, (0..8u64).collect());
+        // First pass only clears the "touched" mark (the class was active).
+        assert!(tc.plunder().is_empty());
+        // Second pass finds the class idle and moves half centrally.
+        assert!(tc.plunder().is_empty());
+        let got = tc.fetch(3, 1, 4);
+        assert_eq!(got.len(), 4, "idle half is reachable from other domains");
+    }
+
+    #[test]
+    fn plunder_is_noop_for_legacy() {
+        let mut tc = legacy();
+        tc.stash(0, 1, vec![1, 2, 3, 4]);
+        assert!(tc.plunder().is_empty());
+        assert_eq!(tc.fetch(0, 1, 4).len(), 4);
+    }
+
+    #[test]
+    fn lazy_domain_activation() {
+        let mut tc = nuca();
+        assert_eq!(tc.active_domains(), 0);
+        tc.stash(5, 0, vec![1]);
+        assert_eq!(tc.active_domains(), 1, "only the used domain activates");
+    }
+
+    #[test]
+    fn cached_bytes_accounting() {
+        let mut tc = nuca();
+        let size = table().info(4).size;
+        tc.stash(0, 4, vec![1, 2, 3]);
+        assert_eq!(tc.cached_bytes(), 3 * size);
+        let _ = tc.fetch(0, 4, 2);
+        assert_eq!(tc.cached_bytes(), size);
+    }
+
+    #[test]
+    fn decay_reclaims_low_water_residue() {
+        let mut tc = legacy();
+        tc.stash(0, 2, (0..8u64).collect());
+        // First pass: the low-water mark was 0 (array was empty at the
+        // start of the interval), so nothing is reclaimable yet.
+        assert!(tc.decay().is_empty());
+        // Touch 3 objects during the interval: low water = 5.
+        let _ = tc.fetch(0, 2, 3);
+        tc.stash(0, 2, vec![90, 91, 92]);
+        let evicted = tc.decay();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, 2);
+        assert_eq!(evicted[0].1.len(), 5, "unused residue returned");
+        // Fully-idle interval: everything left is residue.
+        let evicted = tc.decay();
+        assert_eq!(evicted[0].1.len(), 3);
+        assert_eq!(tc.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut tc = nuca();
+        tc.stash(0, 1, vec![1, 2]);
+        tc.stash(2, 3, vec![4]);
+        let drained: usize = tc.flush_all().iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(drained, 3);
+        assert_eq!(tc.cached_bytes(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Log2-bucketed weighted histograms.
+//!
+//! The allocator telemetry deals with values spanning ten orders of magnitude
+//! (8-byte objects up to terabyte heaps, microsecond lifetimes up to weeks),
+//! so linear bucketing is useless. [`LogHistogram`] uses one bucket per
+//! power of two, subdivided into a fixed number of linear sub-buckets, which
+//! matches how production TCMalloc telemetry bins sizes and lifetimes.
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// Four sub-buckets bounds the relative quantile error at 1/8 (12.5%), which
+/// is plenty for distribution *shape* studies like the paper's Figures 7/8.
+pub const SUB_BUCKETS: usize = 4;
+
+/// Maximum supported exponent. Values at or above `2^MAX_EXP` saturate into
+/// the last bucket. 2^50 ≈ 1 PiB / ~13 days in nanoseconds, beyond anything
+/// the study records.
+pub const MAX_EXP: usize = 50;
+
+const NUM_SLOTS: usize = MAX_EXP * SUB_BUCKETS;
+
+/// A weighted histogram with logarithmic buckets.
+///
+/// Weights are `f64` so a single histogram can hold either raw counts
+/// (`weight = 1.0`) or byte-weighted tallies (`weight = size as f64`), which
+/// is exactly the distinction between the two curves of the paper's Figure 7
+/// ("Object Count" vs "Memory").
+///
+/// # Example
+///
+/// ```
+/// use wsc_telemetry::histogram::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// h.record(100, 1.0);
+/// h.record(200, 1.0);
+/// assert_eq!(h.count(), 2.0);
+/// let med = h.quantile(0.5);
+/// assert!((64..=256).contains(&med));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    slots: Vec<f64>,
+    total_weight: f64,
+    /// Sum of `value * weight`, for exact means.
+    weighted_sum: f64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![0.0; NUM_SLOTS],
+            total_weight: 0.0,
+            weighted_sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn slot_of(value: u64) -> usize {
+        if value <= 1 {
+            return 0;
+        }
+        let exp = 63 - value.leading_zeros() as usize; // floor(log2(value)) >= 1
+        if exp >= MAX_EXP {
+            return NUM_SLOTS - 1;
+        }
+        // Linear position of `value` within [2^exp, 2^(exp+1)).
+        let base = 1u64 << exp;
+        let frac = ((value - base) as u128 * SUB_BUCKETS as u128 / base as u128) as usize;
+        exp * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
+    }
+
+    /// Lower bound of the given slot.
+    fn slot_lower(slot: usize) -> u64 {
+        let exp = slot / SUB_BUCKETS;
+        let sub = slot % SUB_BUCKETS;
+        let base = 1u64 << exp;
+        base + (base / SUB_BUCKETS as u64) * sub as u64
+    }
+
+    /// Records `value` with the given non-negative `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `weight` is negative or non-finite.
+    pub fn record(&mut self, value: u64, weight: f64) {
+        debug_assert!(weight.is_finite() && weight >= 0.0, "bad weight {weight}");
+        if weight == 0.0 {
+            return;
+        }
+        self.slots[Self::slot_of(value)] += weight;
+        self.total_weight += weight;
+        self.weighted_sum += value as f64 * weight;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Total recorded weight.
+    pub fn count(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Weighted mean of recorded values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total_weight > 0.0).then(|| self.weighted_sum / self.total_weight)
+    }
+
+    /// Smallest recorded value, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest recorded value, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Weighted quantile: the smallest bucket lower-bound `v` such that at
+    /// least `q` of the total weight lies at values `<= v`'s bucket.
+    ///
+    /// Returns 0 for an empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total_weight <= 0.0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total_weight;
+        let mut acc = 0.0;
+        for (i, w) in self.slots.iter().enumerate() {
+            acc += w;
+            if acc >= target && *w > 0.0 {
+                return Self::slot_lower(i);
+            }
+        }
+        self.max.unwrap_or(0)
+    }
+
+    /// Fraction of total weight recorded at values `< threshold`
+    /// (bucket-granular). Returns 0 for an empty histogram.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        let cut = Self::slot_of(threshold);
+        let below: f64 = self.slots[..cut].iter().sum();
+        below / self.total_weight
+    }
+
+    /// Fraction of total weight recorded at values `>= threshold`
+    /// (bucket-granular).
+    pub fn fraction_at_or_above(&self, threshold: u64) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.fraction_below(threshold)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *a += *b;
+        }
+        self.total_weight += other.total_weight;
+        self.weighted_sum += other.weighted_sum;
+        if let Some(m) = other.min {
+            self.min = Some(self.min.map_or(m, |s| s.min(m)));
+        }
+        if let Some(m) = other.max {
+            self.max = Some(self.max.map_or(m, |s| s.max(m)));
+        }
+    }
+
+    /// Iterates over non-empty buckets as `(bucket_lower_bound, weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w > 0.0)
+            .map(|(i, w)| (Self::slot_lower(i), *w))
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.fraction_below(100), 0.0);
+    }
+
+    #[test]
+    fn slot_lower_round_trips() {
+        for v in [1u64, 2, 3, 7, 8, 100, 1024, 1 << 20, (1 << 30) + 12345] {
+            let slot = LogHistogram::slot_of(v);
+            let lower = LogHistogram::slot_lower(slot);
+            assert!(lower <= v, "lower {lower} > value {v}");
+            // Bucket relative width is 1/SUB_BUCKETS of the octave.
+            assert!(v < lower * 2, "value {v} too far above lower {lower}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_data() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v, 1.0);
+        }
+        let q10 = h.quantile(0.10);
+        let q50 = h.quantile(0.50);
+        let q90 = h.quantile(0.90);
+        assert!(q10 <= q50 && q50 <= q90, "{q10} {q50} {q90}");
+        assert!((64..=1024).contains(&q50), "median {q50}");
+    }
+
+    #[test]
+    fn byte_weighting_shifts_distribution() {
+        // Mirrors paper Fig. 7: many small objects, few huge ones.
+        let mut count = LogHistogram::new();
+        let mut bytes = LogHistogram::new();
+        for _ in 0..1000 {
+            count.record(64, 1.0);
+            bytes.record(64, 64.0);
+        }
+        count.record(1 << 20, 1.0);
+        bytes.record(1 << 20, (1u64 << 20) as f64);
+        // By count the small objects dominate; by bytes the 1 MiB one does.
+        assert!(count.fraction_below(1024) > 0.99);
+        assert!(bytes.fraction_below(1024) < 0.1);
+    }
+
+    #[test]
+    fn saturation_at_max_exp() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX, 1.0);
+        assert_eq!(h.count(), 1.0);
+        assert!(h.quantile(1.0) > 0);
+    }
+
+    #[test]
+    fn merge_adds_weight() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10, 2.0);
+        b.record(1000, 3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 5.0);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1000));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record(10, 1.0);
+        h.record(30, 3.0);
+        let mean = h.mean().unwrap();
+        assert!((mean - 25.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn iter_covers_all_weight() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 50, 500, 5000] {
+            h.record(v, 1.5);
+        }
+        let total: f64 = h.iter().map(|(_, w)| w).sum();
+        assert!((total - h.count()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_ignored() {
+        let mut h = LogHistogram::new();
+        h.record(42, 0.0);
+        assert_eq!(h.count(), 0.0);
+        assert_eq!(h.min(), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! A small named-metric registry.
+//!
+//! The allocator, the OS model, and the workload driver all publish counters
+//! and gauges here; the fleet experiment framework snapshots registries from
+//! experiment and control machines and diffs them.
+
+use std::collections::BTreeMap;
+
+/// A snapshot of all metrics at a point in time.
+pub type Snapshot = BTreeMap<String, f64>;
+
+/// Registry of named counters (monotonic) and gauges (set-to-value).
+///
+/// Names are free-form dotted paths, e.g. `"tcmalloc.percpu.miss"`.
+///
+/// # Example
+///
+/// ```
+/// use wsc_telemetry::metrics::MetricRegistry;
+///
+/// let mut m = MetricRegistry::new();
+/// m.add("alloc.count", 2.0);
+/// m.add("alloc.count", 3.0);
+/// m.set("heap.bytes", 1024.0);
+/// assert_eq!(m.get("alloc.count"), 5.0);
+/// assert_eq!(m.get("heap.bytes"), 1024.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricRegistry {
+    values: BTreeMap<String, f64>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: f64) {
+        *self.values.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Current value, or 0 if the metric has never been touched.
+    pub fn get(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.values.clone()
+    }
+
+    /// Merges (sums) another registry into this one — used when aggregating
+    /// per-machine registries fleet-wide.
+    pub fn merge(&mut self, other: &MetricRegistry) {
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0.0) += *v;
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricRegistry::new();
+        m.add("a", 1.0);
+        m.add("a", 2.5);
+        assert_eq!(m.get("a"), 3.5);
+        assert_eq!(m.get("missing"), 0.0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricRegistry::new();
+        m.set("g", 1.0);
+        m.set("g", 9.0);
+        assert_eq!(m.get("g"), 9.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = MetricRegistry::new();
+        let mut b = MetricRegistry::new();
+        a.add("x", 1.0);
+        b.add("x", 2.0);
+        b.add("y", 5.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 5.0);
+    }
+
+    #[test]
+    fn snapshot_is_ordered() {
+        let mut m = MetricRegistry::new();
+        m.add("b", 1.0);
+        m.add("a", 1.0);
+        let keys: Vec<_> = m.snapshot().into_keys().collect();
+        assert_eq!(keys, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,497 @@
+//! The request-level workload driver.
+//!
+//! This is the "application" of the reproduction: it replays a workload
+//! model against one allocator instance on one simulated machine and
+//! produces exactly the metrics the paper's experiments report —
+//! **application productivity** (requests per CPU-second), CPI, LLC load
+//! misses (Table 1), dTLB walk cycles (Table 2), RAM usage, hugepage
+//! coverage (Figure 17), malloc cycle share (Figure 5a), and the per-vCPU
+//! miss telemetry of Figure 9b.
+//!
+//! The driver realizes the paper's core causal chains end-to-end:
+//! objects freed in an LLC domain are warm there, so reallocating them in
+//! the same domain (NUCA transfer caches) avoids remote-LLC transfers; and
+//! the page-table state the pageheap produces (hugepages intact vs
+//! subreleased) feeds the dTLB simulator on every access.
+
+use crate::spec::WorkloadSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use wsc_sim_hw::cache::{LlcAccess, LlcModel, LlcStats};
+use wsc_sim_hw::tlb::{TlbGeometry, TlbSim, TlbStats};
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::clock::{Clock, NS_PER_SEC};
+use wsc_sim_os::sched::Scheduler;
+use wsc_tcmalloc::stats::FragmentationBreakdown;
+use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_telemetry::timeseries::TimeSeries;
+
+/// Instructions charged per malloc/free pair beyond per-request work
+/// (≈40 for the fast path each way, §3).
+const INSTR_PER_ALLOC_PAIR: u64 = 80;
+
+/// Cap on program-long objects retained per process, so "Forever" lifetimes
+/// model a bounded in-memory working set (cache eviction), not a leak.
+const WORKING_SET_MAX_OBJECTS: usize = 60_000;
+const WORKING_SET_MAX_BYTES: u64 = 192 << 20;
+
+/// Driver parameters.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Requests to simulate.
+    pub requests: u64,
+    /// RNG seed (everything is deterministic given it).
+    pub seed: u64,
+    /// CPUs this process is constrained to (the control-plane cpuset).
+    pub cpuset: Vec<CpuId>,
+    /// How often the load level (thread count) is re-evaluated.
+    pub load_interval_ns: u64,
+    /// How often memory/threads time series are recorded.
+    pub record_interval_ns: u64,
+    /// Free every live object at the end (process teardown).
+    pub drain_at_end: bool,
+    /// Probability a free executes on the thread handling the *current*
+    /// request rather than near the allocating CPU — the cross-CPU object
+    /// flow that the transfer cache exists to serve (§4.2).
+    pub remote_free_frac: f64,
+}
+
+impl DriverConfig {
+    /// A sensible default: `requests` on 16 CPUs spread round-robin across
+    /// the platform's LLC domains (large WSC applications "may span across
+    /// multiple cache domains", §4.2).
+    pub fn new(requests: u64, seed: u64, platform: &Platform) -> Self {
+        let n = platform.num_cpus().min(16);
+        // Span a handful of LLC domains, as the control plane would for an
+        // application of this size (§4.2), without scattering over every
+        // chiplet of a large machine.
+        let domains = platform.num_domains().min(4);
+        let per_domain = platform.cpus_per_domain();
+        let cpuset = (0..n)
+            .map(|i| {
+                let d = i % domains;
+                let k = i / domains;
+                CpuId(((d * per_domain + k) % platform.num_cpus()) as u32)
+            })
+            .collect();
+        Self {
+            requests,
+            seed,
+            cpuset,
+            load_interval_ns: NS_PER_SEC / 4,
+            record_interval_ns: NS_PER_SEC / 4,
+            drain_at_end: false,
+            remote_free_frac: 0.5,
+        }
+    }
+
+    /// Uses the given cpuset instead of the default.
+    pub fn with_cpuset(mut self, cpuset: Vec<CpuId>) -> Self {
+        self.cpuset = cpuset;
+        self
+    }
+}
+
+/// Everything one run measures.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Requests completed.
+    pub requests: u64,
+    /// Simulated wall-clock seconds.
+    pub sim_seconds: f64,
+    /// CPU-seconds of work performed (across threads).
+    pub busy_cpu_seconds: f64,
+    /// The productivity metric: requests per busy CPU-second.
+    pub throughput: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Estimated retired instructions.
+    pub instructions: f64,
+    /// LLC counters.
+    pub llc: LlcStats,
+    /// LLC load misses per kilo-instruction (Table 1).
+    pub llc_mpki: f64,
+    /// dTLB counters.
+    pub tlb: TlbStats,
+    /// Fraction of cycles spent in page walks, % (Table 2).
+    pub dtlb_walk_pct: f64,
+    /// Fraction of busy time inside the allocator (Figure 5a).
+    pub malloc_frac: f64,
+    /// Mean resident heap bytes over the run (the RAM metric).
+    pub avg_resident_bytes: f64,
+    /// Peak resident heap bytes.
+    pub peak_resident_bytes: u64,
+    /// Mean hugepage coverage over the run (Figure 17a).
+    pub avg_hugepage_coverage: f64,
+    /// Final fragmentation breakdown (Figures 5b/6b).
+    pub fragmentation: FragmentationBreakdown,
+    /// Worker-thread time series (Figure 9a).
+    pub threads_ts: TimeSeries,
+    /// Resident-bytes time series.
+    pub resident_ts: TimeSeries,
+    /// Per-vCPU miss counts (Figure 9b).
+    pub percpu_misses: Vec<u64>,
+}
+
+struct LiveObject {
+    addr: u64,
+    size: u64,
+    home_cpu: CpuId,
+}
+
+/// Runs `spec` against a fresh allocator configured with `tcm_cfg` on
+/// `platform`. Returns the metrics and the allocator (for telemetry that
+/// lives inside it, e.g. span statistics and sampled profiles).
+pub fn run(
+    spec: &WorkloadSpec,
+    platform: &Platform,
+    tcm_cfg: TcmallocConfig,
+    cfg: &DriverConfig,
+) -> (RunReport, Tcmalloc) {
+    assert!(!cfg.cpuset.is_empty(), "cpuset must be non-empty");
+    let clock = Clock::new();
+    let mut tcm = Tcmalloc::new(tcm_cfg, platform.clone(), clock.clone());
+    let mut sched = Scheduler::new(cfg.cpuset.clone());
+    let mut llc = LlcModel::new(platform.num_domains(), platform.llc_bytes_per_domain());
+    let mut tlb = TlbSim::new(TlbGeometry::server());
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let cost = *tcm.cost_model();
+
+    // Pending frees ordered by deadline; working set of program-long objects.
+    let mut frees: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut objects: Vec<Option<LiveObject>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut working_set: VecDeque<usize> = VecDeque::new();
+    let mut working_set_bytes: u64 = 0;
+    let mut ws_cursor = 0usize;
+
+    let mut busy_ns = 0.0f64;
+    let mut malloc_ns = 0.0f64;
+    let mut walk_ns = 0.0f64;
+    let mut instructions = 0u64;
+    let mut next_load_ns = 0u64;
+    let mut next_record_ns = 0u64;
+    let mut threads_ts = TimeSeries::new("threads");
+    let mut resident_ts = TimeSeries::new("resident");
+    let mut resident_sum = 0.0f64;
+    let mut coverage_sum = 0.0f64;
+    let mut record_count = 0u64;
+    let mut peak_resident = 0u64;
+
+    let store = |objects: &mut Vec<Option<LiveObject>>,
+                     free_slots: &mut Vec<usize>,
+                     obj: LiveObject|
+     -> usize {
+        if let Some(idx) = free_slots.pop() {
+            objects[idx] = Some(obj);
+            idx
+        } else {
+            objects.push(Some(obj));
+            objects.len() - 1
+        }
+    };
+
+    // Touches an object from `cpu`: LLC + dTLB costs, returns stall ns.
+    let mut touch = |tcm: &Tcmalloc,
+                     llc: &mut LlcModel,
+                     tlb: &mut TlbSim,
+                     cpu: CpuId,
+                     addr: u64,
+                     size: u64|
+     -> f64 {
+        let domain = platform.domain_of(cpu);
+        let mut ns = 0.0;
+        // One LLC access per object granule (clamped — large objects are
+        // touched at a sampled set of pages).
+        match llc.access(domain, addr, size.min(256 << 10)) {
+            LlcAccess::Hit => ns += cost.llc_hit_ns,
+            LlcAccess::MissRemote => ns += cost.remote_llc_ns,
+            LlcAccess::MissMemory => ns += cost.mem_ns,
+        }
+        // dTLB: translate up to 4 pages of the object at the page size the
+        // kernel currently backs them with.
+        let pt = tcm.pageheap().vmm().page_table();
+        let pages = (size / (8 << 10)).clamp(1, 4);
+        for p in 0..pages {
+            let a = addr + p * (8 << 10);
+            let out = tlb.access(a, pt.page_size_of(a));
+            match out {
+                wsc_sim_hw::tlb::TlbOutcome::L1Hit => {}
+                wsc_sim_hw::tlb::TlbOutcome::L2Hit => ns += cost.l2_tlb_hit_ns,
+                wsc_sim_hw::tlb::TlbOutcome::Walk => {
+                    ns += cost.tlb_walk_ns;
+                    walk_ns += cost.tlb_walk_ns;
+                }
+            }
+        }
+        ns
+    };
+
+    for _req in 0..cfg.requests {
+        let now = clock.now_ns();
+        // Load / thread-count evaluation.
+        if now >= next_load_ns {
+            next_load_ns = now + cfg.load_interval_ns;
+            let t = spec.threads.at(now, &mut rng).min(cfg.cpuset.len() * 4);
+            sched.set_active_threads(t);
+            threads_ts.push(now, t as f64);
+        }
+        let active = sched.active_threads();
+        let thread = rng.gen_range(0..active);
+        let cpu = sched.cpu_for_thread(thread);
+
+        let mut service_ns = 0.0f64;
+
+        // Process due frees on this thread's CPU (the consumer touches the
+        // object, then frees it — so the data is warm in *this* domain).
+        while let Some(&Reverse((deadline, idx))) = frees.peek() {
+            if deadline > now {
+                break;
+            }
+            frees.pop();
+            let obj = objects[idx].take().expect("object already freed");
+            free_slots.push(idx);
+            // Most frees happen near the allocating CPU (the owning
+            // component); the rest on whichever thread consumes the object.
+            let free_cpu = if rng.gen::<f64>() < cfg.remote_free_frac {
+                cpu
+            } else {
+                obj.home_cpu
+            };
+            service_ns += touch(&tcm, &mut llc, &mut tlb, free_cpu, obj.addr, obj.size);
+            let f = tcm.free(obj.addr, obj.size, free_cpu);
+            service_ns += f.ns;
+            malloc_ns += f.ns;
+            instructions += INSTR_PER_ALLOC_PAIR / 2;
+        }
+
+        // Allocations for this request.
+        let n_allocs = {
+            let base = spec.allocs_per_request.floor() as u64;
+            let frac = spec.allocs_per_request - base as f64;
+            base + u64::from(rng.gen::<f64>() < frac)
+        };
+        for _ in 0..n_allocs {
+            let (size, site) = spec.sample_size(now, &mut rng);
+            let a = tcm.malloc_with_site(size, cpu, site as u64);
+            service_ns += a.ns;
+            malloc_ns += a.ns;
+            instructions += INSTR_PER_ALLOC_PAIR / 2;
+            for _ in 0..spec.accesses_per_object {
+                service_ns += touch(&tcm, &mut llc, &mut tlb, cpu, a.addr, size);
+            }
+            let idx = store(
+                &mut objects,
+                &mut free_slots,
+                LiveObject {
+                    addr: a.addr,
+                    size,
+                    home_cpu: cpu,
+                },
+            );
+            match spec.sample_lifetime(size, site, &mut rng) {
+                Some(lt) => frees.push(Reverse((now + lt, idx))),
+                None => {
+                    working_set.push_back(idx);
+                    working_set_bytes += size;
+                    // Bounded working set: evict oldest beyond the cap.
+                    while working_set.len() > WORKING_SET_MAX_OBJECTS
+                        || working_set_bytes > WORKING_SET_MAX_BYTES
+                    {
+                        let evict = working_set.pop_front().expect("non-empty");
+                        if let Some(obj) = objects[evict].take() {
+                            free_slots.push(evict);
+                            working_set_bytes -= obj.size;
+                            let f = tcm.free(obj.addr, obj.size, cpu);
+                            service_ns += f.ns;
+                            malloc_ns += f.ns;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Working-set re-accesses (long-lived data locality).
+        if !working_set.is_empty() {
+            for _ in 0..spec.working_set_touches {
+                ws_cursor = (ws_cursor + 1 + rng.gen_range(0..working_set.len()))
+                    % working_set.len();
+                if let Some(obj) = objects[working_set[ws_cursor]].as_ref() {
+                    let (addr, size) = (obj.addr, obj.size);
+                    service_ns += touch(&tcm, &mut llc, &mut tlb, cpu, addr, size);
+                }
+            }
+        }
+
+        // Application compute (base IPC of 2 on the simulated core).
+        let base_ns = cost.cycles_to_ns(spec.instr_per_request as f64 / 2.0);
+        service_ns += base_ns;
+        instructions += spec.instr_per_request;
+        busy_ns += service_ns;
+
+        // Open-loop arrival: wall time advances with the offered load.
+        let interarrival = 1e9 / (spec.request_rate_hz * active as f64);
+        clock.advance(interarrival.max(1.0) as u64);
+        tcm.maintain();
+
+        if now >= next_record_ns {
+            next_record_ns = now + cfg.record_interval_ns;
+            let resident = tcm.resident_bytes();
+            resident_ts.push(now, resident as f64);
+            resident_sum += resident as f64;
+            coverage_sum += tcm.hugepage_coverage();
+            record_count += 1;
+            peak_resident = peak_resident.max(resident);
+        }
+    }
+
+    if cfg.drain_at_end {
+        let cpu = cfg.cpuset[0];
+        for obj in objects.iter_mut().filter_map(Option::take) {
+            tcm.free(obj.addr, obj.size, cpu);
+        }
+    }
+
+    let busy_cpu_seconds = busy_ns / 1e9;
+    let sim_seconds = clock.now_ns() as f64 / 1e9;
+    let cycles = cost.ns_to_cycles(busy_ns);
+    let llc_stats = llc.stats();
+    let tlb_stats = tlb.stats();
+    let report = RunReport {
+        workload: spec.name.clone(),
+        requests: cfg.requests,
+        sim_seconds,
+        busy_cpu_seconds,
+        throughput: cfg.requests as f64 / busy_cpu_seconds.max(1e-12),
+        cpi: cycles / (instructions as f64).max(1.0),
+        instructions: instructions as f64,
+        llc: llc_stats,
+        llc_mpki: llc_stats.misses() as f64 * 1000.0 / (instructions as f64).max(1.0),
+        tlb: tlb_stats,
+        dtlb_walk_pct: walk_ns / busy_ns.max(1e-12) * 100.0,
+        malloc_frac: malloc_ns / busy_ns.max(1e-12),
+        avg_resident_bytes: resident_sum / record_count.max(1) as f64,
+        peak_resident_bytes: peak_resident,
+        avg_hugepage_coverage: coverage_sum / record_count.max(1) as f64,
+        fragmentation: tcm.fragmentation(),
+        threads_ts,
+        resident_ts,
+        percpu_misses: tcm.percpu_miss_counts(),
+    };
+    (report, tcm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn platform() -> Platform {
+        Platform::chiplet("test", 1, 2, 4, 2)
+    }
+
+    fn quick(spec: &WorkloadSpec, cfg: TcmallocConfig, seed: u64) -> (RunReport, Tcmalloc) {
+        let p = platform();
+        let dcfg = DriverConfig::new(4_000, seed, &p);
+        run(spec, &p, cfg, &dcfg)
+    }
+
+    #[test]
+    fn fleet_run_produces_sane_metrics() {
+        let (r, tcm) = quick(&profiles::fleet_mix(), TcmallocConfig::baseline(), 1);
+        assert_eq!(r.requests, 4_000);
+        assert!(r.throughput > 0.0);
+        assert!(r.cpi > 0.4 && r.cpi < 10.0, "cpi {}", r.cpi);
+        assert!(r.malloc_frac > 0.005 && r.malloc_frac < 0.30, "malloc {}", r.malloc_frac);
+        assert!(r.avg_resident_bytes > 0.0);
+        assert!(r.llc.accesses > 0 && r.tlb.accesses > 0);
+        assert!(tcm.live_bytes() > 0, "working set persists");
+        assert!(r.fragmentation.ratio() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = quick(&profiles::fleet_mix(), TcmallocConfig::baseline(), 7);
+        let (b, _) = quick(&profiles::fleet_mix(), TcmallocConfig::baseline(), 7);
+        assert_eq!(a.busy_cpu_seconds, b.busy_cpu_seconds);
+        assert_eq!(a.llc, b.llc);
+        assert_eq!(a.tlb, b.tlb);
+        assert_eq!(a.fragmentation, b.fragmentation);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let (a, _) = quick(&profiles::fleet_mix(), TcmallocConfig::baseline(), 1);
+        let (b, _) = quick(&profiles::fleet_mix(), TcmallocConfig::baseline(), 2);
+        assert_ne!(a.busy_cpu_seconds, b.busy_cpu_seconds);
+    }
+
+    #[test]
+    fn spec_has_near_zero_malloc_share() {
+        let (spec_r, _) = quick(&profiles::spec_cpu(0), TcmallocConfig::baseline(), 3);
+        let (fleet_r, _) = quick(&profiles::fleet_mix(), TcmallocConfig::baseline(), 3);
+        assert!(
+            spec_r.malloc_frac < fleet_r.malloc_frac / 3.0,
+            "spec {} vs fleet {}",
+            spec_r.malloc_frac,
+            fleet_r.malloc_frac
+        );
+    }
+
+    #[test]
+    fn drain_empties_heap() {
+        let p = platform();
+        let dcfg = DriverConfig {
+            drain_at_end: true,
+            ..DriverConfig::new(2_000, 5, &p)
+        };
+        let (_r, tcm) = run(&profiles::fleet_mix(), &p, TcmallocConfig::baseline(), &dcfg);
+        assert_eq!(tcm.live_bytes(), 0);
+        assert_eq!(tcm.live_objects(), 0);
+    }
+
+    /// A middle-tier-like spec with time compressed so a short test run
+    /// spans several load cycles.
+    fn bursty_spec() -> WorkloadSpec {
+        let mut spec = profiles::middle_tier_service();
+        spec.threads.base = 5.0;
+        spec.threads.amplitude = 0.9;
+        spec.threads.period_ns = 20_000_000; // 20 ms diurnal cycle
+        spec.threads.spike_prob = 0.10;
+        spec.threads.spike_mult = 3.0;
+        spec.threads.max = 16;
+        spec
+    }
+
+    #[test]
+    fn thread_series_fluctuates() {
+        let p = platform();
+        let dcfg = DriverConfig {
+            load_interval_ns: 1_000_000,
+            ..DriverConfig::new(6_000, 11, &p)
+        };
+        let (r, _) = run(&bursty_spec(), &p, TcmallocConfig::baseline(), &dcfg);
+        assert!(r.threads_ts.len() > 2);
+        assert!(r.threads_ts.max().unwrap() > r.threads_ts.min().unwrap());
+    }
+
+    #[test]
+    fn vcpu_miss_skew_exists() {
+        // Fig 9b: with fluctuating threads, low vCPUs miss more than high.
+        let p = platform();
+        let dcfg = DriverConfig {
+            load_interval_ns: 1_000_000,
+            ..DriverConfig::new(10_000, 13, &p)
+        };
+        let (r, _) = run(&bursty_spec(), &p, TcmallocConfig::baseline(), &dcfg);
+        let m = &r.percpu_misses;
+        assert!(m.len() > 4, "several vCPUs populated");
+        let lo: u64 = m[..2].iter().sum();
+        let hi: u64 = m[m.len() - 2..].iter().sum();
+        assert!(lo > hi, "low vCPUs {lo} vs high {hi}");
+    }
+}

@@ -1,0 +1,470 @@
+//! Workload models: size distributions, size-conditional lifetimes, thread
+//! dynamics, and request structure.
+//!
+//! The paper's evaluation depends on its workloads through four published
+//! characteristics, each of which a [`WorkloadSpec`] parameterizes:
+//!
+//! * the allocated-object **size distribution** (Figure 7: <1 KiB objects
+//!   are 98% of allocations but 28% of bytes; >8 KiB objects are 50% of
+//!   bytes; >256 KiB large allocations are 22%),
+//! * the **lifetime distribution conditional on size** (Figure 8: 46% of
+//!   small objects live under 1 ms, large objects live long, and lifetimes
+//!   are diverse *within* every size),
+//! * **worker-thread dynamics** (Figure 9a: diurnal load plus spikes),
+//! * **request structure** (allocations per request, compute per request,
+//!   access density — §5 notes smaller objects have higher access density).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A size distribution component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizeDist {
+    /// Always the same size.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Smallest size.
+        lo: u64,
+        /// Largest size.
+        hi: u64,
+    },
+    /// Log-uniform in `[lo, hi]`: covers decades evenly, matching the
+    /// heavy-tailed shape of Figure 7.
+    LogUniform {
+        /// Smallest size.
+        lo: u64,
+        /// Largest size.
+        hi: u64,
+    },
+}
+
+impl SizeDist {
+    /// Draws a size.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            SizeDist::Fixed(s) => s,
+            SizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            SizeDist::LogUniform { lo, hi } => {
+                let (l, h) = ((lo.max(1) as f64).ln(), (hi.max(1) as f64).ln());
+                (l + rng.gen::<f64>() * (h - l)).exp() as u64
+            }
+        }
+    }
+}
+
+/// A lifetime distribution component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LifeDist {
+    /// Exponential with the given mean (bursty short-lived objects).
+    Exp {
+        /// Mean lifetime, ns.
+        mean_ns: f64,
+    },
+    /// Log-uniform in `[lo, hi]` ns.
+    LogUniform {
+        /// Shortest lifetime, ns.
+        lo_ns: u64,
+        /// Longest lifetime, ns.
+        hi_ns: u64,
+    },
+    /// Lives until process teardown (program-long).
+    Forever,
+}
+
+impl LifeDist {
+    /// Draws a lifetime in ns; `None` means program-long.
+    pub fn sample(&self, rng: &mut SmallRng) -> Option<u64> {
+        match *self {
+            LifeDist::Exp { mean_ns } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                Some((-u.ln() * mean_ns) as u64)
+            }
+            LifeDist::LogUniform { lo_ns, hi_ns } => {
+                let (l, h) = ((lo_ns.max(1) as f64).ln(), (hi_ns.max(1) as f64).ln());
+                Some((l + rng.gen::<f64>() * (h - l)).exp() as u64)
+            }
+            LifeDist::Forever => None,
+        }
+    }
+}
+
+/// A weighted mixture of lifetime components.
+#[derive(Clone, Debug)]
+pub struct LifetimeMix {
+    components: Vec<(f64, LifeDist)>,
+    total: f64,
+}
+
+impl LifetimeMix {
+    /// Builds a mixture from `(weight, component)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or total weight is not positive.
+    pub fn new(components: Vec<(f64, LifeDist)>) -> Self {
+        let total: f64 = components.iter().map(|&(w, _)| w).sum();
+        assert!(!components.is_empty() && total > 0.0, "bad lifetime mixture");
+        Self { components, total }
+    }
+
+    /// Draws a lifetime; `None` means program-long.
+    pub fn sample(&self, rng: &mut SmallRng) -> Option<u64> {
+        let mut pick = rng.gen::<f64>() * self.total;
+        for &(w, dist) in &self.components {
+            pick -= w;
+            if pick <= 0.0 {
+                return dist.sample(rng);
+            }
+        }
+        self.components.last().expect("non-empty").1.sample(rng)
+    }
+}
+
+/// Size-bucketed lifetime model: mirrors the Figure 8 structure where the
+/// lifetime mixture shifts with object size.
+#[derive(Clone, Debug)]
+pub struct LifetimeModel {
+    /// `(max_size_exclusive, mixture)` in ascending size order; the last
+    /// bucket catches everything.
+    buckets: Vec<(u64, LifetimeMix)>,
+}
+
+impl LifetimeModel {
+    /// Builds the model from ascending `(size_bound, mixture)` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or bounds are not ascending.
+    pub fn new(buckets: Vec<(u64, LifetimeMix)>) -> Self {
+        assert!(!buckets.is_empty(), "need at least one bucket");
+        assert!(
+            buckets.windows(2).all(|w| w[0].0 < w[1].0),
+            "bucket bounds must ascend"
+        );
+        Self { buckets }
+    }
+
+    /// Draws a lifetime for an object of `size` bytes.
+    pub fn sample(&self, size: u64, rng: &mut SmallRng) -> Option<u64> {
+        let mix = self
+            .buckets
+            .iter()
+            .find(|&&(bound, _)| size < bound)
+            .map(|(_, m)| m)
+            .unwrap_or(&self.buckets.last().expect("non-empty").1);
+        mix.sample(rng)
+    }
+}
+
+/// Worker-thread dynamics (Figure 9a): diurnal sinusoid plus load spikes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThreadModel {
+    /// Mean worker threads.
+    pub base: f64,
+    /// Diurnal amplitude as a fraction of `base` (0 = constant).
+    pub amplitude: f64,
+    /// Diurnal period, ns.
+    pub period_ns: u64,
+    /// Per-evaluation probability of a load spike.
+    pub spike_prob: f64,
+    /// Spike multiplier on the current level.
+    pub spike_mult: f64,
+    /// Hard cap (the cpuset size bounds it again downstream).
+    pub max: usize,
+}
+
+impl ThreadModel {
+    /// A constant single thread (Redis is single-threaded, §4.1/§4.2).
+    pub fn single() -> Self {
+        Self {
+            base: 1.0,
+            amplitude: 0.0,
+            period_ns: 1,
+            spike_prob: 0.0,
+            spike_mult: 1.0,
+            max: 1,
+        }
+    }
+
+    /// Thread count at simulated time `t_ns`.
+    pub fn at(&self, t_ns: u64, rng: &mut SmallRng) -> usize {
+        let phase = (t_ns % self.period_ns.max(1)) as f64
+            / self.period_ns.max(1) as f64
+            * std::f64::consts::TAU;
+        let mut level = self.base * (1.0 + self.amplitude * phase.sin());
+        if rng.gen::<f64>() < self.spike_prob {
+            level *= self.spike_mult;
+        }
+        (level.round() as usize).clamp(1, self.max.max(1))
+    }
+}
+
+/// One component of a workload's allocation mixture: an allocation *site
+/// family* with its own size distribution and (optionally) its own lifetime
+/// mixture.
+///
+/// Lifetimes correlate strongly with allocation sites in real servers (the
+/// premise of the profile-guided lifetime work the paper cites in §4.3/§5):
+/// an RPC-scratch site is near-always short-lived while a cache-insert site
+/// is near-always long-lived, even at the same object size. Components with
+/// an explicit lifetime override model that correlation; others fall back to
+/// the workload's size-conditional model.
+#[derive(Clone, Debug)]
+pub struct SizeComponent {
+    /// Relative weight (share of allocations at time-average).
+    pub weight: f64,
+    /// Object-size distribution.
+    pub dist: SizeDist,
+    /// Site-specific lifetime mixture, if this site has one.
+    pub lifetime: Option<LifetimeMix>,
+}
+
+impl SizeComponent {
+    /// A component using the workload-level lifetime model.
+    pub fn new(weight: f64, dist: SizeDist) -> Self {
+        Self {
+            weight,
+            dist,
+            lifetime: None,
+        }
+    }
+
+    /// A component with a site-specific lifetime mixture.
+    pub fn with_lifetime(weight: f64, dist: SizeDist, lifetime: LifetimeMix) -> Self {
+        Self {
+            weight,
+            dist,
+            lifetime: Some(lifetime),
+        }
+    }
+}
+
+/// A complete workload model.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Workload name (matches the paper's figures).
+    pub name: String,
+    /// Weighted allocation-site components.
+    pub size_mix: Vec<SizeComponent>,
+    /// Size-conditional lifetime model.
+    pub lifetime: LifetimeModel,
+    /// Worker-thread dynamics.
+    pub threads: ThreadModel,
+    /// Mean allocations per request.
+    pub allocs_per_request: f64,
+    /// Instructions of application work per request (excluding stalls).
+    pub instr_per_request: u64,
+    /// Times each freshly-allocated object is accessed.
+    pub accesses_per_object: u32,
+    /// Random re-accesses into the long-lived working set per request.
+    pub working_set_touches: u32,
+    /// Per-thread request arrival rate, Hz.
+    pub request_rate_hz: f64,
+    /// Period of the workload's *phase* drift: the size mixture's component
+    /// weights oscillate over this period (query mixes, compactions, batch
+    /// jobs), which is what makes per-class live counts swing and spans
+    /// drain — the churn behind Figures 13 and 16. Zero disables drift.
+    pub phase_period_ns: u64,
+    /// Amplitude of the phase drift in `[0, 1)`.
+    pub phase_strength: f64,
+}
+
+impl WorkloadSpec {
+    /// Phase multiplier for mixture component `i` at time `t_ns`: the
+    /// components wax and wane out of phase with one another.
+    fn phase_weight(&self, i: usize, t_ns: u64) -> f64 {
+        if self.phase_period_ns == 0 || self.phase_strength == 0.0 {
+            return 1.0;
+        }
+        let frac = (t_ns % self.phase_period_ns) as f64 / self.phase_period_ns as f64;
+        let offset = i as f64 / self.size_mix.len() as f64;
+        1.0 + self.phase_strength * ((frac + offset) * std::f64::consts::TAU).sin()
+    }
+
+    /// Draws an object size at time `t_ns` and the index of the component
+    /// (allocation site) it came from.
+    pub fn sample_size(&self, t_ns: u64, rng: &mut SmallRng) -> (u64, usize) {
+        let total: f64 = self
+            .size_mix
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.weight * self.phase_weight(i, t_ns))
+            .sum();
+        let mut pick = rng.gen::<f64>() * total;
+        for (i, c) in self.size_mix.iter().enumerate() {
+            pick -= c.weight * self.phase_weight(i, t_ns);
+            if pick <= 0.0 {
+                return (c.dist.sample(rng).max(1), i);
+            }
+        }
+        let last = self.size_mix.len() - 1;
+        (self.size_mix[last].dist.sample(rng).max(1), last)
+    }
+
+    /// Draws a lifetime for an object of `size` allocated at site
+    /// `component`: the site-specific mixture when the component has one,
+    /// else the size-conditional model.
+    pub fn sample_lifetime(
+        &self,
+        size: u64,
+        component: usize,
+        rng: &mut SmallRng,
+    ) -> Option<u64> {
+        if let Some(mix) = self
+            .size_mix
+            .get(component)
+            .and_then(|c| c.lifetime.as_ref())
+        {
+            mix.sample(rng)
+        } else {
+            self.lifetime.sample(size, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn size_dists_stay_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let u = SizeDist::Uniform { lo: 10, hi: 20 }.sample(&mut r);
+            assert!((10..=20).contains(&u));
+            let l = SizeDist::LogUniform { lo: 8, hi: 1 << 20 }.sample(&mut r);
+            assert!((7..=1 << 20).contains(&l), "log-uniform {l}");
+            assert_eq!(SizeDist::Fixed(99).sample(&mut r), 99);
+        }
+    }
+
+    #[test]
+    fn log_uniform_covers_decades() {
+        let mut r = rng();
+        let dist = SizeDist::LogUniform { lo: 8, hi: 8 << 20 };
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..10_000 {
+            let s = dist.sample(&mut r);
+            if s < 1024 {
+                small += 1;
+            }
+            if s > 1 << 20 {
+                large += 1;
+            }
+        }
+        // Log-uniform: each decade gets similar mass.
+        assert!(small > 2000 && large > 500, "small {small} large {large}");
+    }
+
+    #[test]
+    fn exp_lifetime_mean() {
+        let mut r = rng();
+        let d = LifeDist::Exp { mean_ns: 1000.0 };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut r).unwrap()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean {mean}");
+    }
+
+    #[test]
+    fn forever_is_none() {
+        let mut r = rng();
+        assert_eq!(LifeDist::Forever.sample(&mut r), None);
+    }
+
+    #[test]
+    fn lifetime_model_buckets_by_size() {
+        let model = LifetimeModel::new(vec![
+            (
+                1024,
+                LifetimeMix::new(vec![(1.0, LifeDist::Exp { mean_ns: 100.0 })]),
+            ),
+            (
+                u64::MAX,
+                LifetimeMix::new(vec![(1.0, LifeDist::Forever)]),
+            ),
+        ]);
+        let mut r = rng();
+        assert!(model.sample(64, &mut r).is_some());
+        assert_eq!(model.sample(1 << 20, &mut r), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn lifetime_model_rejects_unsorted() {
+        let mix = LifetimeMix::new(vec![(1.0, LifeDist::Forever)]);
+        let _ = LifetimeModel::new(vec![(100, mix.clone()), (100, mix)]);
+    }
+
+    #[test]
+    fn thread_model_fluctuates_and_clamps() {
+        let m = ThreadModel {
+            base: 20.0,
+            amplitude: 0.5,
+            period_ns: 1_000_000,
+            spike_prob: 0.0,
+            spike_mult: 1.0,
+            max: 64,
+        };
+        let mut r = rng();
+        let peak = m.at(250_000, &mut r); // sin peak
+        let trough = m.at(750_000, &mut r); // sin trough
+        assert!(peak > trough, "peak {peak} vs trough {trough}");
+        assert!(peak <= 64 && trough >= 1);
+        assert_eq!(ThreadModel::single().at(12345, &mut r), 1);
+    }
+
+    #[test]
+    fn spike_multiplies() {
+        let m = ThreadModel {
+            base: 10.0,
+            amplitude: 0.0,
+            period_ns: 1,
+            spike_prob: 1.0,
+            spike_mult: 3.0,
+            max: 100,
+        };
+        let mut r = rng();
+        assert_eq!(m.at(0, &mut r), 30);
+    }
+
+    #[test]
+    fn spec_sampling_is_deterministic_per_seed() {
+        let spec = crate::profiles::fleet_mix();
+        let draw = |seed| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            (0..50)
+                .map(|_| spec.sample_size(0, &mut r).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn phases_shift_the_mixture() {
+        let mut spec = crate::profiles::fleet_mix();
+        spec.phase_period_ns = 1_000_000;
+        spec.phase_strength = 0.9;
+        // The tiny-object component (index 0) peaks at a different time than
+        // mid components, so the share of small objects varies with t.
+        let share_small = |t: u64| {
+            let mut r = SmallRng::seed_from_u64(5);
+            let n = 20_000;
+            (0..n)
+                .filter(|_| spec.sample_size(t, &mut r).0 < 64)
+                .count() as f64
+                / n as f64
+        };
+        let a = share_small(250_000);
+        let b = share_small(750_000);
+        assert!((a - b).abs() > 0.01, "phase drift invisible: {a} vs {b}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests on the allocator's core invariants, driven by arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use warehouse_alloc::sim_hw::topology::{CpuId, Platform};
+use warehouse_alloc::sim_os::clock::Clock;
+use warehouse_alloc::tcmalloc::{Tcmalloc, TcmallocConfig};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate `size` bytes from `cpu`.
+    Malloc { size: u64, cpu: u8 },
+    /// Free the k-th oldest live object from `cpu`.
+    Free { k: u8, cpu: u8 },
+    /// Advance time and run background maintenance.
+    Tick { ms: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (prop_oneof![
+                1u32 => Just(0u64), // zero-size allocations are legal
+                8 => 1u64..4096,
+                2 => 4096u64..(256 << 10),
+                1 => (256u64 << 10)..(4 << 20), // large path
+            ], any::<u8>())
+            .prop_map(|(size, cpu)| Op::Malloc { size, cpu }),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, cpu)| Op::Free { k, cpu }),
+        1 => any::<u8>().prop_map(|ms| Op::Tick { ms }),
+    ]
+}
+
+fn run_ops(cfg: TcmallocConfig, ops: &[Op]) {
+    let platform = Platform::chiplet("t", 1, 2, 4, 2);
+    let clock = Clock::new();
+    let mut tcm = Tcmalloc::new(cfg, platform, clock.clone());
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let mut expected_live_bytes = 0u64;
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Malloc { size, cpu } => {
+                let out = tcm.malloc(size, CpuId(cpu as u32 % 16));
+                // No two live objects may overlap in address space: the
+                // returned object's base must be unused.
+                assert!(
+                    seen.insert(out.addr, size).is_none(),
+                    "address {:#x} handed out twice",
+                    out.addr
+                );
+                assert!(out.actual_bytes >= size);
+                live.push((out.addr, size));
+                expected_live_bytes += size;
+            }
+            Op::Free { k, cpu } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = k as usize % live.len();
+                let (addr, size) = live.swap_remove(idx);
+                seen.remove(&addr);
+                tcm.free(addr, size, CpuId(cpu as u32 % 16));
+                expected_live_bytes -= size;
+            }
+            Op::Tick { ms } => {
+                clock.advance(ms as u64 * 1_000_000);
+                tcm.maintain();
+            }
+        }
+        assert_eq!(tcm.live_bytes(), expected_live_bytes, "live-byte tracking");
+        assert_eq!(tcm.live_objects(), live.len() as u64);
+    }
+    // Full teardown always succeeds and zeroes the accounting.
+    for (addr, size) in live {
+        tcm.free(addr, size, CpuId(0));
+    }
+    assert_eq!(tcm.live_bytes(), 0);
+    assert_eq!(tcm.live_objects(), 0);
+    let f = tcm.fragmentation();
+    assert_eq!(f.internal_bytes, 0);
+    // Identity: with nothing live, everything resident is cached somewhere.
+    assert_eq!(f.resident_bytes, f.total_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocator_invariants_hold_baseline(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_ops(TcmallocConfig::baseline(), &ops);
+    }
+
+    #[test]
+    fn allocator_invariants_hold_optimized(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_ops(TcmallocConfig::optimized(), &ops);
+    }
+
+    #[test]
+    fn alloc_free_round_trip_any_size(size in 0u64..(8 << 20)) {
+        let platform = Platform::chiplet("t", 1, 2, 4, 2);
+        let mut tcm = Tcmalloc::new(TcmallocConfig::baseline(), platform, Clock::new());
+        let a = tcm.malloc(size, CpuId(0));
+        prop_assert!(a.actual_bytes >= size);
+        tcm.free(a.addr, size, CpuId(0));
+        prop_assert_eq!(tcm.live_bytes(), 0);
+    }
+
+    #[test]
+    fn addresses_of_concurrent_objects_never_overlap(
+        sizes in prop::collection::vec(1u64..(512 << 10), 2..100)
+    ) {
+        let platform = Platform::chiplet("t", 1, 2, 4, 2);
+        let mut tcm = Tcmalloc::new(TcmallocConfig::optimized(), platform, Clock::new());
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let a = tcm.malloc(size, CpuId((i % 8) as u32));
+            for &(start, len) in &ranges {
+                prop_assert!(
+                    a.addr + a.actual_bytes <= start || start + len <= a.addr,
+                    "overlap: [{:#x},+{}) vs [{:#x},+{})",
+                    a.addr, a.actual_bytes, start, len
+                );
+            }
+            ranges.push((a.addr, a.actual_bytes));
+        }
+    }
+}
