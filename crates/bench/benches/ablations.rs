@@ -4,8 +4,8 @@
 //! measure the *implementation* cost of each knob (wall-clock per simulated
 //! request); the *metric* ablations live in `examples/allocator_tuning.rs`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use wsc_bench::harness::Harness;
 use wsc_sim_hw::topology::Platform;
 use wsc_tcmalloc::TcmallocConfig;
 use wsc_workload::driver::{self, DriverConfig};
@@ -20,48 +20,47 @@ fn run_sim(cfg: TcmallocConfig) -> f64 {
     r.throughput
 }
 
-fn ablate_cfl_lists(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/cfl_lists");
-    group.throughput(Throughput::Elements(REQUESTS));
+fn ablate_cfl_lists(h: &mut Harness) {
+    h.group("ablation/cfl_lists").throughput_elements(REQUESTS);
     for lists in [1usize, 2, 8, 32] {
-        group.bench_function(BenchmarkId::from_parameter(lists), |b| {
+        h.bench_function(&lists.to_string(), |b| {
             let mut cfg = TcmallocConfig::baseline();
             cfg.cfl_lists = lists;
-            b.iter(|| black_box(run_sim(cfg)))
+            b.iter(|| black_box(run_sim(cfg)));
         });
     }
-    group.finish();
+    h.finish();
 }
 
-fn ablate_capacity_threshold(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/lifetime_threshold");
-    group.throughput(Throughput::Elements(REQUESTS));
+fn ablate_capacity_threshold(h: &mut Harness) {
+    h.group("ablation/lifetime_threshold")
+        .throughput_elements(REQUESTS);
     for threshold in [2u32, 16, 256] {
-        group.bench_function(BenchmarkId::from_parameter(threshold), |b| {
+        h.bench_function(&threshold.to_string(), |b| {
             let mut cfg = TcmallocConfig::baseline().with_lifetime_filler();
             cfg.pageheap.capacity_threshold = threshold;
-            b.iter(|| black_box(run_sim(cfg)))
+            b.iter(|| black_box(run_sim(cfg)));
         });
     }
-    group.finish();
+    h.finish();
 }
 
-fn ablate_resize_interval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/resize_interval_ms");
-    group.throughput(Throughput::Elements(REQUESTS));
+fn ablate_resize_interval(h: &mut Harness) {
+    h.group("ablation/resize_interval_ms")
+        .throughput_elements(REQUESTS);
     for ms in [50u64, 200, 1000] {
-        group.bench_function(BenchmarkId::from_parameter(ms), |b| {
+        h.bench_function(&ms.to_string(), |b| {
             let mut cfg = TcmallocConfig::baseline().with_heterogeneous_percpu();
             cfg.resize_interval_ns = ms * 1_000_000;
-            b.iter(|| black_box(run_sim(cfg)))
+            b.iter(|| black_box(run_sim(cfg)));
         });
     }
-    group.finish();
+    h.finish();
 }
 
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = ablate_cfl_lists, ablate_capacity_threshold, ablate_resize_interval
+fn main() {
+    let mut h = Harness::new(10);
+    ablate_cfl_lists(&mut h);
+    ablate_capacity_threshold(&mut h);
+    ablate_resize_interval(&mut h);
 }
-criterion_main!(ablations);

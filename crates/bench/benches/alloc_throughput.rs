@@ -1,11 +1,10 @@
-//! Criterion throughput benchmarks: allocator operations per second under a
-//! realistic mixed workload, baseline vs fully-optimized configuration, and
-//! per size band.
+//! Throughput benchmarks: allocator operations per second under a realistic
+//! mixed workload, baseline vs fully-optimized configuration, and per size
+//! band.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use wsc_bench::harness::Harness;
+use wsc_prng::SmallRng;
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_sim_os::clock::Clock;
 use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
@@ -37,37 +36,35 @@ fn churn(tcm: &mut Tcmalloc, clock: &Clock, seed: u64) {
     }
 }
 
-fn config_throughput(c: &mut Criterion) {
+fn config_throughput(h: &mut Harness) {
     let platform = Platform::chiplet("bench", 1, 2, 4, 2);
-    let mut group = c.benchmark_group("throughput/fleet_churn");
-    group.throughput(Throughput::Elements(OPS));
+    h.group("throughput/fleet_churn").throughput_elements(OPS);
     for (name, cfg) in [
         ("baseline", TcmallocConfig::baseline()),
         ("optimized", TcmallocConfig::optimized()),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+        h.bench_function(name, |b| {
             b.iter(|| {
                 let clock = Clock::new();
                 let mut tcm = Tcmalloc::new(cfg, platform.clone(), clock.clone());
                 churn(&mut tcm, &clock, 42);
                 black_box(tcm.live_bytes())
-            })
+            });
         });
     }
-    group.finish();
+    h.finish();
 }
 
-fn size_band_throughput(c: &mut Criterion) {
+fn size_band_throughput(h: &mut Harness) {
     let platform = Platform::chiplet("bench", 1, 2, 4, 2);
-    let mut group = c.benchmark_group("throughput/size_band");
-    group.throughput(Throughput::Elements(OPS));
+    h.group("throughput/size_band").throughput_elements(OPS);
     for (name, size) in [
         ("tiny_32B", 32u64),
         ("small_512B", 512),
         ("mid_8KiB", 8 << 10),
         ("big_128KiB", 128 << 10),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+        h.bench_function(name, |b| {
             let clock = Clock::new();
             let mut tcm =
                 Tcmalloc::new(TcmallocConfig::baseline(), platform.clone(), clock.clone());
@@ -77,15 +74,14 @@ fn size_band_throughput(c: &mut Criterion) {
                     let a = tcm.malloc(black_box(size), cpu);
                     tcm.free(a.addr, size, cpu);
                 }
-            })
+            });
         });
     }
-    group.finish();
+    h.finish();
 }
 
-criterion_group! {
-    name = throughput;
-    config = Criterion::default().sample_size(10);
-    targets = config_throughput, size_band_throughput
+fn main() {
+    let mut h = Harness::new(10);
+    config_throughput(&mut h);
+    size_band_throughput(&mut h);
 }
-criterion_main!(throughput);

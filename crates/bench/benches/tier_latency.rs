@@ -1,10 +1,10 @@
-//! Criterion microbenchmarks of the allocator implementation's fast and
-//! slow paths — the wall-clock analogue of the paper's Figure 4 (whose
-//! *simulated* latencies come from the calibrated cost model; this measures
-//! what our Rust implementation actually costs per operation).
+//! Microbenchmarks of the allocator implementation's fast and slow paths —
+//! the wall-clock analogue of the paper's Figure 4 (whose *simulated*
+//! latencies come from the calibrated cost model; this measures what our
+//! Rust implementation actually costs per operation).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use wsc_bench::harness::Harness;
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_sim_os::clock::Clock;
 use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
@@ -18,25 +18,25 @@ fn new_alloc() -> Tcmalloc {
 }
 
 /// Per-CPU fast path: same-size alloc/free ping-pong stays in the front end.
-fn percpu_fast_path(c: &mut Criterion) {
+fn percpu_fast_path(h: &mut Harness) {
     let mut tcm = new_alloc();
     // Warm the cache.
     let w = tcm.malloc(64, CpuId(0));
     tcm.free(w.addr, 64, CpuId(0));
-    c.bench_function("tier/percpu_hit_pair", |b| {
+    h.bench_function("tier/percpu_hit_pair", |b| {
         b.iter(|| {
             let a = tcm.malloc(black_box(64), CpuId(0));
             tcm.free(a.addr, 64, CpuId(0));
-        })
+        });
     });
 }
 
 /// Middle-tier path: frees land on one CPU, allocs on another, so every
 /// operation crosses the transfer cache.
-fn transfer_path(c: &mut Criterion) {
+fn transfer_path(h: &mut Harness) {
     let mut tcm = new_alloc();
     let mut stash = Vec::new();
-    c.bench_function("tier/cross_cpu_pair", |b| {
+    h.bench_function("tier/cross_cpu_pair", |b| {
         b.iter(|| {
             let a = tcm.malloc(black_box(256), CpuId(0));
             stash.push(a.addr);
@@ -45,39 +45,36 @@ fn transfer_path(c: &mut Criterion) {
                     tcm.free(addr, 256, CpuId(9)); // other LLC domain
                 }
             }
-        })
+        });
     });
 }
 
 /// Large-allocation path: straight to the pageheap.
-fn pageheap_path(c: &mut Criterion) {
+fn pageheap_path(h: &mut Harness) {
     let mut tcm = new_alloc();
-    c.bench_function("tier/large_alloc_pair", |b| {
+    h.bench_function("tier/large_alloc_pair", |b| {
         b.iter(|| {
             let a = tcm.malloc(black_box(1 << 20), CpuId(0));
             tcm.free(a.addr, 1 << 20, CpuId(0));
-        })
+        });
     });
 }
 
 /// Cold allocator: every batch construction from a fresh heap (span carve +
 /// hugepage fill + mmap).
-fn cold_start(c: &mut Criterion) {
-    c.bench_function("tier/cold_first_alloc", |b| {
-        b.iter_batched(
-            new_alloc,
-            |mut tcm| {
-                let a = tcm.malloc(black_box(64), CpuId(0));
-                black_box(a.addr);
-            },
-            BatchSize::SmallInput,
-        )
+fn cold_start(h: &mut Harness) {
+    h.bench_function("tier/cold_first_alloc", |b| {
+        b.iter_batched(new_alloc, |mut tcm| {
+            let a = tcm.malloc(black_box(64), CpuId(0));
+            black_box(a.addr);
+        });
     });
 }
 
-criterion_group! {
-    name = tiers;
-    config = Criterion::default().sample_size(20);
-    targets = percpu_fast_path, transfer_path, pageheap_path, cold_start
+fn main() {
+    let mut h = Harness::new(20);
+    percpu_fast_path(&mut h);
+    transfer_path(&mut h);
+    pageheap_path(&mut h);
+    cold_start(&mut h);
 }
-criterion_main!(tiers);

@@ -10,9 +10,27 @@ use wsc_bench::experiments as ex;
 use wsc_bench::Scale;
 
 const IDS: &[&str] = &[
-    "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9a",
-    "fig9b", "fig10", "fig11", "fig13", "table1", "fig14", "fig15", "fig16",
-    "table2", "fig17", "combined", "ablations",
+    "fig3",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "fig13",
+    "table1",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table2",
+    "fig17",
+    "combined",
+    "ablations",
 ];
 
 fn main() {

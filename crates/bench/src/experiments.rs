@@ -4,9 +4,7 @@
 //! measured values so tests can assert the *shape* criteria from DESIGN.md:
 //! who wins, by roughly what factor, in the same ordering across workloads.
 
-use wsc_fleet::experiment::{
-    run_fleet_ab, run_workload_ab, Comparison, MetricSet,
-};
+use wsc_fleet::experiment::{run_fleet_ab, run_workload_ab, Comparison, MetricSet};
 use wsc_fleet::population::Population;
 use wsc_fleet::report::{pct, Table};
 use wsc_fleet::rollout;
@@ -115,8 +113,7 @@ pub fn fig4(scale: &Scale) -> Vec<Option<f64>> {
     let clock = Clock::new();
     let mut tcm = Tcmalloc::new(TcmallocConfig::baseline(), platform.clone(), clock.clone());
     let spec = profiles::fleet_mix();
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
-    use rand::Rng;
+    let mut rng = wsc_prng::SmallRng::seed_from_u64(7);
     let mut sums = [(0.0f64, 0u64); 5];
     let mut live: Vec<(u64, u64)> = Vec::new();
     let n = scale.requests * 20;
@@ -125,7 +122,10 @@ pub fn fig4(scale: &Scale) -> Vec<Option<f64>> {
         let (size, site) = spec.sample_size(clock.now_ns(), &mut rng);
         let cpu = CpuId((i % 16) as u32);
         let out = tcm.malloc_with_site(size, cpu, site as u64);
-        let idx = AllocPath::ALL.iter().position(|&p| p == out.path).expect("known path");
+        let idx = AllocPath::ALL
+            .iter()
+            .position(|&p| p == out.path)
+            .expect("known path");
         // Subtract the per-op extras so the tier latency itself is reported.
         let cost = *tcm.cost_model();
         let extras = cost.prefetch_ns + cost.other_ns;
@@ -148,9 +148,13 @@ pub fn fig4(scale: &Scale) -> Vec<Option<f64>> {
         let mean = (cnt > 0).then(|| sum / cnt as f64);
         t.row(vec![
             path.name().to_string(),
-            if paper[i].is_nan() { "(unlabeled)".into() } else { f2(paper[i]) },
+            if paper[i].is_nan() {
+                "(unlabeled)".into()
+            } else {
+                f2(paper[i])
+            },
             f2(model.alloc_path_ns(path)),
-            mean.map(f2).unwrap_or_else(|| "-".into()),
+            mean.map_or_else(|| "-".into(), f2),
             cnt.to_string(),
         ]);
         out.push(mean);
@@ -264,8 +268,7 @@ pub fn fig6a(scale: &Scale) -> Vec<(&'static str, f64)> {
         let measured = breakdown
             .iter()
             .find(|(c, _)| *c == cat)
-            .map(|(_, f)| f * 100.0)
-            .unwrap_or(0.0);
+            .map_or(0.0, |(_, f)| f * 100.0);
         t.row(vec![cat.name().to_string(), f2(paper_pct), f2(measured)]);
         rows.push((cat.name(), measured));
     }
@@ -324,8 +327,12 @@ pub fn fig7(scale: &Scale) -> (f64, f64, f64, f64) {
     let mut profile = wsc_telemetry::gwp::AllocationProfile::new();
     for &seed in &scale.seeds {
         let dcfg = DriverConfig::new(scale.requests * 4, seed, &platform);
-        let (_, tcm) =
-            driver::run(&profiles::fleet_mix(), &platform, TcmallocConfig::baseline(), &dcfg);
+        let (_, tcm) = driver::run(
+            &profiles::fleet_mix(),
+            &platform,
+            TcmallocConfig::baseline(),
+            &dcfg,
+        );
         profile.merge(tcm.profile());
     }
     let tcm_profile = profile;
@@ -335,10 +342,26 @@ pub fn fig7(scale: &Scale) -> (f64, f64, f64, f64) {
     let mem_8k = p.size_by_bytes.fraction_at_or_above(8 << 10);
     let mem_256k = p.size_by_bytes.fraction_at_or_above(256 << 10);
     let mut t = Table::new(vec!["statistic", "paper", "measured"]);
-    t.row(vec!["objects < 1 KiB".into(), "98%".into(), f2(count_1k * 100.0) + "%"]);
-    t.row(vec!["memory < 1 KiB".into(), "28%".into(), f2(mem_1k * 100.0) + "%"]);
-    t.row(vec!["memory > 8 KiB".into(), "50%".into(), f2(mem_8k * 100.0) + "%"]);
-    t.row(vec!["memory > 256 KiB".into(), "22%".into(), f2(mem_256k * 100.0) + "%"]);
+    t.row(vec![
+        "objects < 1 KiB".into(),
+        "98%".into(),
+        f2(count_1k * 100.0) + "%",
+    ]);
+    t.row(vec![
+        "memory < 1 KiB".into(),
+        "28%".into(),
+        f2(mem_1k * 100.0) + "%",
+    ]);
+    t.row(vec![
+        "memory > 8 KiB".into(),
+        "50%".into(),
+        f2(mem_8k * 100.0) + "%",
+    ]);
+    t.row(vec![
+        "memory > 256 KiB".into(),
+        "22%".into(),
+        f2(mem_256k * 100.0) + "%",
+    ]);
     println!("{}", t.render());
     println!("(from the allocator's own 2 MiB-period sampled profile)\n");
     (count_1k, mem_1k, mem_8k, mem_256k)
@@ -515,7 +538,11 @@ pub fn fig10(scale: &Scale) -> (f64, Vec<(String, f64)>) {
         ("tensorflow", -2.08),
     ];
     let mut t = Table::new(vec!["workload", "paper mem %", "measured mem %"]);
-    t.row(vec!["fleet".into(), pct(paper[0].1), pct(fleet.memory_pct())]);
+    t.row(vec![
+        "fleet".into(),
+        pct(paper[0].1),
+        pct(fleet.memory_pct()),
+    ]);
     let mut out = vec![("fleet".to_string(), fleet.memory_pct())];
     for (i, (name, c)) in rows.iter().enumerate() {
         let measured = if name == "redis" {
@@ -549,8 +576,16 @@ pub fn fig11(_scale: &Scale) -> f64 {
     let inter = m.inter_domain_ns.expect("chiplet platform");
     let ratio = inter / m.intra_domain_ns;
     let mut t = Table::new(vec!["stratum", "paper", "measured ns"]);
-    t.row(vec!["intra-cache-domain".into(), "~40 ns".into(), f2(m.intra_domain_ns)]);
-    t.row(vec!["inter-cache-domain".into(), "2.07x intra".into(), f2(inter)]);
+    t.row(vec![
+        "intra-cache-domain".into(),
+        "~40 ns".into(),
+        f2(m.intra_domain_ns),
+    ]);
+    t.row(vec![
+        "inter-cache-domain".into(),
+        "2.07x intra".into(),
+        f2(inter),
+    ]);
     println!("{}", t.render());
     println!("measured ratio: {ratio:.2}x (paper: 2.07x)\n");
     ratio
@@ -570,7 +605,11 @@ pub fn fig13(scale: &Scale) -> Vec<(u32, f64)> {
     // 512-object span like the paper's 16-byte class.
     let platform = chiplet();
     let mut buckets: Vec<(f64, u64)> = vec![(0.0, 0); 513];
-    for spec in [profiles::monarch(), profiles::fleet_mix(), profiles::bigtable()] {
+    for spec in [
+        profiles::monarch(),
+        profiles::fleet_mix(),
+        profiles::bigtable(),
+    ] {
         let dcfg = DriverConfig::new(scale.requests * 2, 42, &platform);
         let (_, tcm) = driver::run(&spec, &platform, TcmallocConfig::baseline(), &dcfg);
         for cl in 0..tcm.table().num_classes() {
@@ -579,8 +618,7 @@ pub fn fig13(scale: &Scale) -> Vec<(u32, f64)> {
                 continue;
             }
             for (live, rate, count) in tcm.central(cl).obs.iter() {
-                let norm =
-                    (live as u64 * 512 / info.objects_per_span as u64).min(512) as usize;
+                let norm = (live as u64 * 512 / info.objects_per_span as u64).min(512) as usize;
                 buckets[norm].0 += rate * count as f64;
                 buckets[norm].1 += count;
             }
@@ -627,13 +665,24 @@ fn print_design_table(
 ) {
     println!("== {title} ==");
     let mut t = Table::new(if tlb {
-        vec!["workload", "thr %", "mem %", "CPI %", "walk% b", "walk% a", "miss b", "miss a"]
+        vec![
+            "workload", "thr %", "mem %", "CPI %", "walk% b", "walk% a", "miss b", "miss a",
+        ]
     } else {
-        vec!["workload", "thr %", "mem %", "CPI %", "MPKI b", "MPKI a", "", ""]
+        vec![
+            "workload", "thr %", "mem %", "CPI %", "MPKI b", "MPKI a", "", "",
+        ]
     });
     let mut push = |name: &str, c: &Comparison| {
         if skip.contains(&name) {
-            t.row(vec![name.into(), "/".into(), "/".into(), "/".into(), "/".into(), "/".into()]);
+            t.row(vec![
+                name.into(),
+                "/".into(),
+                "/".into(),
+                "/".into(),
+                "/".into(),
+                "/".into(),
+            ]);
             return;
         }
         let (b, a) = if tlb {
@@ -880,10 +929,7 @@ pub fn fig17(fleet: &Comparison, rows: &[(String, Comparison)]) -> (f64, f64, f6
 /// §4.5: all four designs combined, plus the multiplicative rollout
 /// composition of the individual fleet deltas.
 /// Returns `(fleet_combined, rollout_estimate)`.
-pub fn combined(
-    scale: &Scale,
-    singles: &[Comparison],
-) -> (Comparison, rollout::RolloutEstimate) {
+pub fn combined(scale: &Scale, singles: &[Comparison]) -> (Comparison, rollout::RolloutEstimate) {
     println!("== Section 4.5: all four designs combined ==");
     let base = TcmallocConfig::baseline();
     let exp = TcmallocConfig::optimized();
@@ -934,20 +980,32 @@ pub fn ablations(scale: &Scale) -> Vec<(String, f64, f64)> {
         run(format!("lifetime C={c_thr}"), &profiles::disk(), exp);
     }
     // Transfer sharding: per-LLC-domain (§4.2) vs per-NUMA-node (§5).
-    run("sharding=domain".into(), &profiles::disk(), base.with_nuca_transfer());
-    run("sharding=node".into(), &profiles::disk(), base.with_numa_transfer());
+    run(
+        "sharding=domain".into(),
+        &profiles::disk(),
+        base.with_nuca_transfer(),
+    );
+    run(
+        "sharding=node".into(),
+        &profiles::disk(),
+        base.with_numa_transfer(),
+    );
 
     let mut t = Table::new(vec!["ablation", "thr %", "mem %"]);
     for (label, thr, mem) in &rows {
         t.row(vec![label.clone(), pct(*thr), pct(*mem)]);
     }
     println!("{}", t.render());
-    println!("paper: L = 8 suffices (§4.3); C = 16 is acceptable (§4.4);\n\
-              NUMA-node sharding is the §5 extension\n");
+    println!(
+        "paper: L = 8 suffices (§4.3); C = 16 is acceptable (§4.4);\n\
+              NUMA-node sharding is the §5 extension\n"
+    );
     rows
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

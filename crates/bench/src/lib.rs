@@ -1,5 +1,5 @@
 //! The reproduction harness: one function per table/figure of the paper's
-//! evaluation, shared between the `repro` binary and the criterion benches.
+//! evaluation, shared between the `repro` binary and the microbenchmarks.
 //!
 //! Every function prints a paper-vs-measured table (via
 //! [`wsc_fleet::report::Table`]) and returns the measured numbers so
@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod scale;
 
 pub use scale::Scale;

@@ -12,8 +12,7 @@
 //! the allocator change. (Production pairs statistically by sheer volume.)
 
 use crate::population::Population;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use wsc_prng::SmallRng;
 
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_tcmalloc::TcmallocConfig;
@@ -221,8 +220,8 @@ pub fn run_fleet_ab(
             let bin = &pop.binaries()[pop.sample_by_cycles(&mut rng)];
             let spec = bin.spec();
             let seed = cfg.seed ^ (m as u64) << 16 ^ (b as u64) << 8;
-            let dcfg = DriverConfig::new(cfg.requests_per_binary, seed, &platform)
-                .with_cpuset(cpuset);
+            let dcfg =
+                DriverConfig::new(cfg.requests_per_binary, seed, &platform).with_cpuset(cpuset);
             let (rc, _) = driver::run(&spec, &platform, control, &dcfg);
             let (re, _) = driver::run(&spec, &platform, experiment, &dcfg);
             let w = bin.cycle_weight;
@@ -274,6 +273,8 @@ pub fn run_workload_ab(
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

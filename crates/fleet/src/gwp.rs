@@ -8,8 +8,7 @@
 //! fleet-wide distributions behind Figures 7 and 8.
 
 use crate::population::Population;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use wsc_prng::SmallRng;
 use wsc_sim_hw::topology::Platform;
 use wsc_tcmalloc::TcmallocConfig;
 use wsc_telemetry::gwp::AllocationProfile;
@@ -73,8 +72,7 @@ pub fn profile_fleet(platform: &Platform, cfg: &GwpConfig) -> GwpWave {
             cfg.seed ^ (machine as u64) << 8,
             platform,
         );
-        let (report, tcm) =
-            driver::run(&spec, platform, TcmallocConfig::baseline(), &dcfg);
+        let (report, tcm) = driver::run(&spec, platform, TcmallocConfig::baseline(), &dcfg);
         profile.merge(tcm.profile());
         malloc_frac += report.malloc_frac;
     }
@@ -90,6 +88,8 @@ pub fn profile_fleet(platform: &Platform, cfg: &GwpConfig) -> GwpWave {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

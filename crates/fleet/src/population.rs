@@ -6,8 +6,7 @@
 //! model reproduces that coverage curve with Zipf-like weights over a few
 //! thousand distinct binaries, each with its own perturbed workload profile.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use wsc_prng::SmallRng;
 use wsc_workload::profiles;
 use wsc_workload::WorkloadSpec;
 
@@ -126,6 +125,8 @@ impl Population {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -91,6 +91,8 @@ pub fn bytes(v: f64) -> String {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -104,8 +106,8 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[1].starts_with("---"));
         // Columns align: '1' and '2' start at the same offset.
-        let off1 = lines[2].find('1').unwrap();
-        let off2 = lines[3].find('2').unwrap();
+        let off1 = lines[2].find('1').expect("digit present");
+        let off2 = lines[3].find('2').expect("digit present");
         assert_eq!(off1, off2);
     }
 

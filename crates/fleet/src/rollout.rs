@@ -37,6 +37,8 @@ pub fn combine<'a, I: IntoIterator<Item = &'a Comparison>>(deltas: I) -> Rollout
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::experiment::MetricSet;
@@ -79,9 +81,9 @@ mod tests {
         // Four small wins in the paper's ballpark compose to ≈ the §4.5
         // aggregate (1.4% throughput / −3.4% RAM).
         let deltas = [
-            delta(0.0, -1.94), // heterogeneous per-CPU caches (Fig. 10)
-            delta(0.32, 0.10), // NUCA transfer cache (Table 1)
-            delta(0.0, -1.41), // span prioritization (Fig. 14)
+            delta(0.0, -1.94),  // heterogeneous per-CPU caches (Fig. 10)
+            delta(0.32, 0.10),  // NUCA transfer cache (Table 1)
+            delta(0.0, -1.41),  // span prioritization (Fig. 14)
             delta(1.02, -0.82), // lifetime-aware filler (Table 2)
         ];
         let e = combine(deltas.iter());

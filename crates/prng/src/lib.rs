@@ -1,0 +1,376 @@
+//! Seeded, deterministic pseudo-random numbers for the whole workspace.
+//!
+//! Every stochastic component of the reproduction — workload models, the
+//! fleet population, the benchmark drivers — draws from this crate instead
+//! of an external `rand`, for two reasons:
+//!
+//! 1. **Hermetic offline builds.** The container that grows this repo has no
+//!    crates.io access; a vendored PRNG removes the last network-dependent
+//!    build input.
+//! 2. **Determinism as a contract.** Results must be bit-identical given a
+//!    seed (the paper's A/B methodology depends on paired, reproducible
+//!    runs). A local generator pins the stream across toolchain updates;
+//!    `rand` explicitly reserves the right to change value streams between
+//!    versions.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), seeded by expanding a
+//! 64-bit seed through SplitMix64 — the reference seeding procedure. The
+//! API mirrors the subset of `rand` the workspace used, so call sites only
+//! changed their import.
+//!
+//! # Example
+//!
+//! ```
+//! use wsc_prng::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let die = rng.gen_range(1u32..=6);
+//! assert!((1..=6).contains(&die));
+//! let p: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&p));
+//! // Identical seeds give identical streams.
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seed expansion (its equidistribution makes it safe to seed one
+/// generator from another) and available directly for cheap hash-like
+/// mixing.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable generator: xoshiro256++.
+///
+/// Not cryptographic. Period 2^256 − 1; passes BigCrush. The name matches
+/// the `rand::rngs::SmallRng` it replaced so diffs stay readable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// The next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value of `T` (full integer range; `f64`/`f32` in `[0, 1)`).
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform value in `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// A uniform index into a `len`-element collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_range(0..len)
+    }
+}
+
+/// Types that can be drawn uniformly from a [`SmallRng`].
+pub trait FromRng {
+    /// Draws one value.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for u16 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl FromRng for u8 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl FromRng for usize {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges a [`SmallRng`] can sample uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+/// Uniform `u64` in `[0, span)` without modulo bias (Lemire's multiply-shift
+/// with rejection).
+fn bounded_u64(rng: &mut SmallRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Widening multiply maps the 64-bit stream onto [0, span); reject the
+    // low-product region to erase the bias (at most one extra draw on
+    // average for any span).
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                // Sign-extended wrapping difference is the span as unsigned;
+                // wrapping_add folds the offset back into the signed domain.
+                let span = (self.end as i64 as u64).wrapping_sub(self.start as i64 as u64);
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i64 as u64).wrapping_sub(lo as i64 as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let f: $t = rng.gen();
+                let v = self.start + f * (self.end - self.start);
+                // Guard the open upper bound against rounding.
+                if v >= self.end {
+                    <$t>::from_bits(self.end.to_bits() - 1)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+float_range_impls!(f32, f64);
+
+#[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference stream for seed 0 (Vigna's splitmix64.c).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(splitmix64(&mut s), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(123);
+        let mut b = SmallRng::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u32..=7);
+            assert!((3..=7).contains(&w));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.6f64..1.4);
+            assert!((0.6..1.4).contains(&v));
+            let tiny = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(tiny > 0.0 && tiny < 1.0);
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(5u32..=5), 5);
+    }
+
+    #[test]
+    fn all_ints_reachable_in_small_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -1,0 +1,574 @@
+//! Cross-tier conservation audits.
+//!
+//! The allocator hands the audit a [`Snapshot`] — a flat, allocator-neutral
+//! dump of every tier's counts — and the audit proves the conservation laws
+//! that make the simulation's figures trustworthy:
+//!
+//! 1. **Object conservation, per class.** Every object a span has handed
+//!    out is either live in the application (shadow), cached per-CPU, or
+//!    cached in the transfer tier:
+//!    `Σ span.allocated = shadow_live + percpu + transfer`. And every slot
+//!    a span carves exists exactly once:
+//!    `Σ span.capacity = Σ span.allocated + central_free`.
+//! 2. **Span placement.** A span with `A` live allocations must sit on
+//!    occupancy list `max(0, L-1-⌊log2 A⌋)` (§4.3); a `Full` span has no
+//!    free objects; a `Large` span is a single allocated object.
+//! 3. **Pagemap extent.** The pagemap holds exactly one entry per page of
+//!    every live span.
+//! 4. **Byte conservation.** `resident = live + fragmentation` — the
+//!    identity behind Figures 5b/6b.
+//! 5. **Hugepage backing.** For every filler-tracked hugepage,
+//!    `used + free = 256`, released pages are a subset of the free ones,
+//!    and no page is simultaneously used and released.
+
+use crate::report::{ErrorKind, SanitizerReport, Tier};
+use crate::shadow::ShadowState;
+
+/// Where a snapshotted span currently lives (mirror of the allocator's
+/// span state, minus bookkeeping positions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanPlacement {
+    /// On occupancy list `list` of its class's central free list.
+    Freelist {
+        /// The list index (0 = fullest).
+        list: u8,
+    },
+    /// Fully allocated; on no list.
+    Full,
+    /// A large allocation served directly by the pageheap.
+    Large,
+}
+
+/// One live span's occupancy, as reported by the allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span id.
+    pub id: u32,
+    /// Base address.
+    pub start: u64,
+    /// Extent in TCMalloc pages.
+    pub pages: u32,
+    /// Size class (`None` = large).
+    pub size_class: Option<u16>,
+    /// Object slots carved from the span.
+    pub capacity: u32,
+    /// Slots currently handed out (to app or caches).
+    pub allocated: u32,
+    /// Slots on the span's own free stack.
+    pub free_count: u32,
+    /// Current placement.
+    pub placement: SpanPlacement,
+}
+
+/// Per-size-class cached-object counts across the cache tiers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassTierSnapshot {
+    /// The class index.
+    pub class: u16,
+    /// Object size in bytes.
+    pub object_size: u64,
+    /// Objects cached across all per-CPU slabs.
+    pub percpu_objects: u64,
+    /// Objects cached across the transfer tier (central + domain shards).
+    pub transfer_objects: u64,
+    /// The central free list's running free-object counter.
+    pub central_free_objects: u64,
+}
+
+/// One filler-tracked hugepage's page accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HugepageSnapshot {
+    /// Hugepage base address.
+    pub base: u64,
+    /// Pages in live span allocations.
+    pub used_pages: u32,
+    /// Pages free within the hugepage.
+    pub free_pages: u32,
+    /// Of the free pages, how many are subreleased to the OS.
+    pub released_pages: u32,
+    /// Pages marked both used and released (always a bug).
+    pub used_and_released: u32,
+}
+
+/// A flat dump of every tier's state at one instant.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Per-class cache-tier counts, one entry per size class.
+    pub classes: Vec<ClassTierSnapshot>,
+    /// Every live span.
+    pub spans: Vec<SpanSnapshot>,
+    /// Number of occupancy lists (L; 1 = legacy, 8 = §4.3).
+    pub occupancy_lists: usize,
+    /// Pages registered in the pagemap.
+    pub pagemap_pages: u64,
+    /// TCMalloc pages per hugepage (256).
+    pub pages_per_hugepage: u32,
+    /// Every filler-tracked hugepage.
+    pub hugepages: Vec<HugepageSnapshot>,
+    /// Resident bytes per the simulated page table.
+    pub resident_bytes: u64,
+    /// Application-requested live bytes.
+    pub live_bytes: u64,
+    /// Total fragmentation (internal + per-CPU + transfer + central +
+    /// pageheap).
+    pub fragmentation_bytes: u64,
+}
+
+/// The occupancy list a span with `allocated` live objects belongs on —
+/// the §4.3 formula, replicated independently of the allocator.
+pub fn expected_list(allocated: u32, num_lists: usize) -> usize {
+    let top = num_lists - 1;
+    if allocated == 0 {
+        return top;
+    }
+    let log2 = 31 - allocated.leading_zeros() as usize;
+    top.saturating_sub(log2)
+}
+
+/// Runs every conservation check against `snap`, using `shadow` for the
+/// application-side object counts. Returns all violations found; an empty
+/// vector is the proof of conservation.
+pub fn audit(snap: &Snapshot, shadow: &ShadowState) -> Vec<SanitizerReport> {
+    let mut out = Vec::new();
+    audit_classes(snap, shadow, &mut out);
+    audit_spans(snap, &mut out);
+    audit_pagemap(snap, &mut out);
+    audit_bytes(snap, &mut out);
+    audit_hugepages(snap, &mut out);
+    audit_shadow_coverage(snap, shadow, &mut out);
+    out
+}
+
+fn audit_classes(snap: &Snapshot, shadow: &ShadowState, out: &mut Vec<SanitizerReport>) {
+    for c in &snap.classes {
+        let (mut allocated, mut capacity, mut free) = (0u64, 0u64, 0u64);
+        for s in snap.spans.iter().filter(|s| s.size_class == Some(c.class)) {
+            allocated += s.allocated as u64;
+            capacity += s.capacity as u64;
+            free += s.free_count as u64;
+        }
+        let live = shadow.live_count_by_class(Some(c.class));
+        let cached = c.percpu_objects + c.transfer_objects;
+        if allocated != live + cached {
+            out.push(SanitizerReport {
+                kind: ErrorKind::ObjectConservationViolation,
+                tier: Tier::Central,
+                addr: None,
+                size_class: Some(c.class),
+                span: None,
+                detail: format!(
+                    "spans report {allocated} allocated but shadow live {live} + percpu {} + transfer {} = {}",
+                    c.percpu_objects,
+                    c.transfer_objects,
+                    live + cached
+                ),
+            });
+        }
+        if capacity != allocated + free {
+            out.push(SanitizerReport {
+                kind: ErrorKind::ObjectConservationViolation,
+                tier: Tier::Central,
+                addr: None,
+                size_class: Some(c.class),
+                span: None,
+                detail: format!(
+                    "span capacity {capacity} != allocated {allocated} + span-free {free}"
+                ),
+            });
+        }
+        if free != c.central_free_objects {
+            out.push(SanitizerReport {
+                kind: ErrorKind::ObjectConservationViolation,
+                tier: Tier::Central,
+                addr: None,
+                size_class: Some(c.class),
+                span: None,
+                detail: format!(
+                    "central counter says {} free objects, spans hold {free}",
+                    c.central_free_objects
+                ),
+            });
+        }
+    }
+    // Large allocations: one live shadow object per Large span.
+    let large_spans = snap.spans.iter().filter(|s| s.size_class.is_none()).count() as u64;
+    let large_live = shadow.live_count_by_class(None);
+    if large_spans != large_live {
+        out.push(SanitizerReport {
+            kind: ErrorKind::ObjectConservationViolation,
+            tier: Tier::PageHeap,
+            addr: None,
+            size_class: None,
+            span: None,
+            detail: format!("{large_spans} large spans but {large_live} live large objects"),
+        });
+    }
+}
+
+fn audit_spans(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
+    for s in &snap.spans {
+        if s.size_class.is_some() && s.allocated + s.free_count != s.capacity {
+            out.push(span_violation(
+                s,
+                format!(
+                    "allocated {} + free {} != capacity {}",
+                    s.allocated, s.free_count, s.capacity
+                ),
+            ));
+        }
+        match s.placement {
+            SpanPlacement::Freelist { list } => {
+                if s.free_count == 0 {
+                    out.push(span_violation(
+                        s,
+                        "on a free list with no free objects".into(),
+                    ));
+                }
+                let expect = expected_list(s.allocated, snap.occupancy_lists);
+                if list as usize != expect {
+                    out.push(span_violation(
+                        s,
+                        format!(
+                            "on list {list} but {} live allocations belong on list {expect} of {}",
+                            s.allocated, snap.occupancy_lists
+                        ),
+                    ));
+                }
+            }
+            SpanPlacement::Full => {
+                if s.free_count != 0 {
+                    out.push(span_violation(
+                        s,
+                        format!("marked Full with {} free objects", s.free_count),
+                    ));
+                }
+            }
+            SpanPlacement::Large => {
+                if s.size_class.is_some() || s.capacity != 1 || s.allocated != 1 {
+                    out.push(span_violation(s, "malformed large span".into()));
+                }
+            }
+        }
+    }
+}
+
+fn span_violation(s: &SpanSnapshot, detail: String) -> SanitizerReport {
+    SanitizerReport {
+        kind: ErrorKind::SpanOccupancyViolation,
+        tier: Tier::Central,
+        addr: Some(s.start),
+        size_class: s.size_class,
+        span: Some(s.id),
+        detail,
+    }
+}
+
+fn audit_pagemap(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
+    let span_pages: u64 = snap.spans.iter().map(|s| s.pages as u64).sum();
+    if span_pages != snap.pagemap_pages {
+        out.push(SanitizerReport {
+            kind: ErrorKind::PagemapViolation,
+            tier: Tier::PageMap,
+            addr: None,
+            size_class: None,
+            span: None,
+            detail: format!(
+                "pagemap registers {} pages, live spans cover {span_pages}",
+                snap.pagemap_pages
+            ),
+        });
+    }
+}
+
+fn audit_bytes(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
+    let accounted = snap.live_bytes + snap.fragmentation_bytes;
+    if snap.resident_bytes != accounted {
+        out.push(SanitizerReport {
+            kind: ErrorKind::ByteConservationViolation,
+            tier: Tier::PageHeap,
+            addr: None,
+            size_class: None,
+            span: None,
+            detail: format!(
+                "resident {} != live {} + fragmentation {} = {accounted}",
+                snap.resident_bytes, snap.live_bytes, snap.fragmentation_bytes
+            ),
+        });
+    }
+}
+
+fn audit_hugepages(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
+    for hp in &snap.hugepages {
+        let total = hp.used_pages + hp.free_pages;
+        let mut bad = Vec::new();
+        if total != snap.pages_per_hugepage {
+            bad.push(format!(
+                "used {} + free {} != {}",
+                hp.used_pages, hp.free_pages, snap.pages_per_hugepage
+            ));
+        }
+        if hp.released_pages > hp.free_pages {
+            bad.push(format!(
+                "released {} exceeds free {}",
+                hp.released_pages, hp.free_pages
+            ));
+        }
+        if hp.used_and_released != 0 {
+            bad.push(format!(
+                "{} pages both used and released",
+                hp.used_and_released
+            ));
+        }
+        for detail in bad {
+            out.push(SanitizerReport {
+                kind: ErrorKind::HugepageBackingViolation,
+                tier: Tier::PageHeap,
+                addr: Some(hp.base),
+                size_class: None,
+                span: None,
+                detail,
+            });
+        }
+    }
+}
+
+/// Every live shadow object must lie inside some live span of its class.
+fn audit_shadow_coverage(snap: &Snapshot, shadow: &ShadowState, out: &mut Vec<SanitizerReport>) {
+    use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+    let mut extents: Vec<(u64, u64, Option<u16>)> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            (
+                s.start,
+                s.start + s.pages as u64 * TCMALLOC_PAGE_BYTES,
+                s.size_class,
+            )
+        })
+        .collect();
+    extents.sort_unstable();
+    for (addr, obj) in shadow.live_objects() {
+        let covered = match extents.partition_point(|&(start, _, _)| start <= addr) {
+            0 => None,
+            i => Some(extents[i - 1]),
+        };
+        match covered {
+            Some((_, end, class)) if addr < end => {
+                if class != obj.size_class {
+                    out.push(SanitizerReport {
+                        kind: ErrorKind::ObjectConservationViolation,
+                        tier: Tier::Central,
+                        addr: Some(addr),
+                        size_class: obj.size_class,
+                        span: Some(obj.span),
+                        detail: format!(
+                            "live object of class {:?} sits in a span of class {class:?}",
+                            obj.size_class
+                        ),
+                    });
+                }
+            }
+            _ => out.push(SanitizerReport {
+                kind: ErrorKind::ObjectConservationViolation,
+                tier: Tier::PageMap,
+                addr: Some(addr),
+                size_class: obj.size_class,
+                span: Some(obj.span),
+                detail: "live object not covered by any live span".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+
+    /// A minimal consistent world: one class-3 span, one object live in the
+    /// shadow, one per-CPU cached object, the rest free on the span.
+    fn consistent() -> (Snapshot, ShadowState) {
+        let mut shadow = ShadowState::new();
+        shadow.record_alloc(0x10000, 64, Some(3), 0, 0x10000, 2);
+        let snap = Snapshot {
+            classes: vec![ClassTierSnapshot {
+                class: 3,
+                object_size: 64,
+                percpu_objects: 1,
+                transfer_objects: 0,
+                central_free_objects: 254,
+            }],
+            spans: vec![SpanSnapshot {
+                id: 0,
+                start: 0x10000,
+                pages: 2,
+                size_class: Some(3),
+                capacity: 256,
+                allocated: 2,
+                free_count: 254,
+                placement: SpanPlacement::Freelist {
+                    list: expected_list(2, 8) as u8,
+                },
+            }],
+            occupancy_lists: 8,
+            pagemap_pages: 2,
+            pages_per_hugepage: 256,
+            hugepages: vec![HugepageSnapshot {
+                base: 0,
+                used_pages: 2,
+                free_pages: 254,
+                released_pages: 10,
+                used_and_released: 0,
+            }],
+            resident_bytes: 1000,
+            live_bytes: 600,
+            fragmentation_bytes: 400,
+        };
+        (snap, shadow)
+    }
+
+    #[test]
+    fn consistent_world_passes() {
+        let (snap, shadow) = consistent();
+        assert_eq!(audit(&snap, &shadow), Vec::new());
+    }
+
+    #[test]
+    fn expected_list_matches_paper() {
+        assert_eq!(expected_list(0, 8), 7);
+        assert_eq!(expected_list(1, 8), 7);
+        assert_eq!(expected_list(2, 8), 6);
+        assert_eq!(expected_list(4, 8), 5);
+        assert_eq!(expected_list(128, 8), 0);
+        assert_eq!(expected_list(512, 8), 0);
+        assert_eq!(expected_list(1, 1), 0);
+        assert_eq!(expected_list(500, 1), 0);
+    }
+
+    #[test]
+    fn lost_cached_object_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.classes[0].percpu_objects = 0; // object vanished from the cache
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::ObjectConservationViolation));
+    }
+
+    #[test]
+    fn span_leak_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.spans.clear(); // span vanished while objects are live
+        snap.pagemap_pages = 0;
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::ObjectConservationViolation
+                && r.detail.contains("not covered")));
+    }
+
+    #[test]
+    fn central_counter_drift_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.classes[0].central_free_objects = 99;
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::ObjectConservationViolation
+                && r.detail.contains("central counter")));
+    }
+
+    #[test]
+    fn wrong_occupancy_list_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.spans[0].placement = SpanPlacement::Freelist { list: 0 };
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::SpanOccupancyViolation));
+    }
+
+    #[test]
+    fn full_span_with_free_objects_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.spans[0].placement = SpanPlacement::Full;
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::SpanOccupancyViolation && r.detail.contains("Full")));
+    }
+
+    #[test]
+    fn pagemap_drift_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.pagemap_pages = 7;
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::PagemapViolation));
+    }
+
+    #[test]
+    fn byte_conservation_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.resident_bytes += 4096;
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::ByteConservationViolation));
+    }
+
+    #[test]
+    fn hugepage_accounting_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.hugepages[0].used_and_released = 3;
+        snap.hugepages[0].free_pages = 200; // used + free != 256 now too
+        let reports = audit(&snap, &shadow);
+        let hp: Vec<_> = reports
+            .iter()
+            .filter(|r| r.kind == ErrorKind::HugepageBackingViolation)
+            .collect();
+        assert!(hp.len() >= 2, "both the sum and the overlap are flagged");
+    }
+
+    #[test]
+    fn class_mismatch_between_object_and_span_flagged() {
+        let (mut snap, mut shadow) = consistent();
+        // A second span of a different class; plant a live object of class 3
+        // inside it.
+        shadow.record_alloc(0x40000, 64, Some(3), 1, 0x40000, 1);
+        snap.spans.push(SpanSnapshot {
+            id: 1,
+            start: 0x40000,
+            pages: 1,
+            size_class: Some(7),
+            capacity: 8,
+            allocated: 0,
+            free_count: 8,
+            placement: SpanPlacement::Freelist {
+                list: expected_list(0, 8) as u8,
+            },
+        });
+        snap.pagemap_pages += 1;
+        // Keep class-7 books balanced so only the cross-class check fires...
+        snap.classes.push(ClassTierSnapshot {
+            class: 7,
+            object_size: 1024,
+            percpu_objects: 0,
+            transfer_objects: 0,
+            central_free_objects: 8,
+        });
+        // ...but class 3 now has 2 live shadow objects vs 2 allocated slots
+        // (1 live + 1 cached expected): bump the span's books to match.
+        snap.spans[0].allocated = 3;
+        snap.spans[0].free_count = 253;
+        snap.classes[0].central_free_objects = 253;
+        snap.spans[0].placement = SpanPlacement::Freelist {
+            list: expected_list(3, 8) as u8,
+        };
+        let reports = audit(&snap, &shadow);
+        assert!(reports.iter().any(|r| r.detail.contains("span of class")));
+        let _ = TCMALLOC_PAGE_BYTES;
+    }
+}

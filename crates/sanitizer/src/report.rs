@@ -1,0 +1,148 @@
+//! Structured sanitizer findings.
+//!
+//! Every violation the shadow checker or the conservation audit detects
+//! becomes one [`SanitizerReport`]: a machine-checkable record of *what*
+//! went wrong (the [`ErrorKind`]), *where* in the simulated address space,
+//! and *which tier* of the allocator hierarchy owned the state. Tests match
+//! on `kind` exactly; humans read `detail`.
+
+use std::fmt;
+
+/// The class of violation detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorKind {
+    /// An address freed twice without an intervening allocation.
+    DoubleFree,
+    /// A free of an address that was never returned by an allocation
+    /// (aligned object slot, but not live and not previously freed).
+    InvalidFree,
+    /// A free of an interior pointer into a live object.
+    MisalignedFree,
+    /// A sized free whose size maps to a different class than the
+    /// allocation's.
+    WrongSizeClassFree,
+    /// An allocation whose byte range intersects a live object.
+    OverlappingAllocation,
+    /// An operation on an address outside every mapped span.
+    UseOfUnmappedAddress,
+    /// Per-class object counts do not balance across the tiers
+    /// (a span leak, a lost cached object, or a phantom live object).
+    ObjectConservationViolation,
+    /// Resident bytes do not equal live bytes plus fragmentation.
+    ByteConservationViolation,
+    /// A span sits on the wrong occupancy list for its live-allocation
+    /// count, or its list state contradicts its free count.
+    SpanOccupancyViolation,
+    /// The pagemap's page count disagrees with the live spans' extents.
+    PagemapViolation,
+    /// A hugepage's used/free/released page accounting is inconsistent.
+    HugepageBackingViolation,
+}
+
+impl ErrorKind {
+    /// Every kind, for exhaustive test coverage.
+    pub const ALL: [ErrorKind; 11] = [
+        ErrorKind::DoubleFree,
+        ErrorKind::InvalidFree,
+        ErrorKind::MisalignedFree,
+        ErrorKind::WrongSizeClassFree,
+        ErrorKind::OverlappingAllocation,
+        ErrorKind::UseOfUnmappedAddress,
+        ErrorKind::ObjectConservationViolation,
+        ErrorKind::ByteConservationViolation,
+        ErrorKind::SpanOccupancyViolation,
+        ErrorKind::PagemapViolation,
+        ErrorKind::HugepageBackingViolation,
+    ];
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Which allocator tier owned the violated state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// The object-granular shadow heap (moment-of-operation checks).
+    Shadow,
+    /// Per-CPU caches.
+    PerCpu,
+    /// The transfer cache.
+    Transfer,
+    /// Central free lists / spans.
+    Central,
+    /// The hugepage-aware pageheap (filler, region, cache).
+    PageHeap,
+    /// The page → span map.
+    PageMap,
+}
+
+/// One detected violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// The tier whose invariant failed.
+    pub tier: Tier,
+    /// The offending address, when the violation is address-shaped.
+    pub addr: Option<u64>,
+    /// The size class involved, when known (`None` also covers large
+    /// allocations, which have no class).
+    pub size_class: Option<u16>,
+    /// The owning span's id, when known.
+    pub span: Option<u32>,
+    /// Human-readable description with the mismatching quantities.
+    pub detail: String,
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}/{:?}]", self.kind, self.tier)?;
+        if let Some(a) = self.addr {
+            write!(f, " addr={a:#x}")?;
+        }
+        if let Some(c) = self.size_class {
+            write!(f, " class={c}")?;
+        }
+        if let Some(s) = self.span {
+            write!(f, " span={s}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_all_fields() {
+        let r = SanitizerReport {
+            kind: ErrorKind::DoubleFree,
+            tier: Tier::Shadow,
+            addr: Some(0x1000),
+            size_class: Some(3),
+            span: Some(7),
+            detail: "freed twice".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("DoubleFree"));
+        assert!(s.contains("0x1000"));
+        assert!(s.contains("class=3"));
+        assert!(s.contains("span=7"));
+        assert!(s.contains("freed twice"));
+    }
+
+    #[test]
+    fn all_kinds_distinct() {
+        for (i, a) in ErrorKind::ALL.iter().enumerate() {
+            for b in &ErrorKind::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

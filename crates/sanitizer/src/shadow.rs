@@ -1,0 +1,490 @@
+//! The shadow heap: an independent mirror of the simulated address space.
+//!
+//! The shadow tracks two granularities, exactly as the issue of trusting
+//! allocator metadata demands:
+//!
+//! * **8 KiB pages** — which span (id, class, extent) covers each TCMalloc
+//!   page, mirrored from the allocation events themselves rather than read
+//!   out of the allocator's pagemap, so pagemap corruption is observable.
+//! * **Objects** — every address handed to the application, with its size,
+//!   class, and owning span, plus a tombstone for every address the
+//!   application has returned.
+//!
+//! The moment-of-operation checks classify a bad free precisely: a
+//! tombstoned address is a [`ErrorKind::DoubleFree`]; an interior pointer
+//! into a live object is a [`ErrorKind::MisalignedFree`]; an aligned but
+//! never-handed-out slot inside a mapped span is an
+//! [`ErrorKind::InvalidFree`]; an address no span covers is a
+//! [`ErrorKind::UseOfUnmappedAddress`]; a sized free with the wrong class
+//! is a [`ErrorKind::WrongSizeClassFree`]. Allocations are checked for
+//! overlap against every live object and for landing inside mapped pages.
+//!
+//! Tombstones persist after their span is released: the application freeing
+//! an address it no longer owns is a double free regardless of what the
+//! allocator has since done with the range. A tombstone is cleared only
+//! when the allocator legitimately re-hands out that exact address.
+
+use crate::report::{ErrorKind, SanitizerReport, Tier};
+use std::collections::BTreeMap;
+use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+
+/// Shadow record of one live (or tombstoned) object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectShadow {
+    /// Reserved bytes (class size, or the page-rounded large size).
+    pub size: u64,
+    /// Size class, `None` for large allocations.
+    pub size_class: Option<u16>,
+    /// Owning span id at allocation time.
+    pub span: u32,
+}
+
+/// Shadow record of one mapped span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SpanShadow {
+    span: u32,
+    pages: u32,
+    size_class: Option<u16>,
+}
+
+/// Outcome of a shadow free check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FreeCheck {
+    /// The free is valid; the object was moved to the tombstone set.
+    Ok(ObjectShadow),
+    /// The free is invalid; a report was recorded and the caller must not
+    /// mutate allocator state for it.
+    Rejected(ErrorKind),
+}
+
+/// The shadow heap.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowState {
+    /// Span start address → extent. Spans never overlap, so ordering by
+    /// start gives O(log n) point containment.
+    spans: BTreeMap<u64, SpanShadow>,
+    /// Live objects by address.
+    live: BTreeMap<u64, ObjectShadow>,
+    /// Tombstones: addresses the application freed and was not re-given.
+    freed: BTreeMap<u64, ObjectShadow>,
+    reports: Vec<SanitizerReport>,
+    ops: u64,
+}
+
+impl ShadowState {
+    /// Creates an empty shadow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Operations checked so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Live shadow objects.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Live shadow objects of one class (`None` = large allocations).
+    pub fn live_count_by_class(&self, class: Option<u16>) -> u64 {
+        self.live.values().filter(|o| o.size_class == class).count() as u64
+    }
+
+    /// Iterates live objects in address order.
+    pub fn live_objects(&self) -> impl Iterator<Item = (u64, &ObjectShadow)> {
+        self.live.iter().map(|(a, o)| (*a, o))
+    }
+
+    /// Reports recorded so far.
+    pub fn reports(&self) -> &[SanitizerReport] {
+        &self.reports
+    }
+
+    /// Drains the recorded reports.
+    pub fn take_reports(&mut self) -> Vec<SanitizerReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    fn report(
+        &mut self,
+        kind: ErrorKind,
+        addr: u64,
+        class: Option<u16>,
+        span: Option<u32>,
+        detail: String,
+    ) {
+        self.reports.push(SanitizerReport {
+            kind,
+            tier: Tier::Shadow,
+            addr: Some(addr),
+            size_class: class,
+            span,
+            detail,
+        });
+    }
+
+    /// The shadow span covering `addr`, if any.
+    fn span_at(&self, addr: u64) -> Option<(u64, SpanShadow)> {
+        let (&start, s) = self.spans.range(..=addr).next_back()?;
+        (addr < start + s.pages as u64 * TCMALLOC_PAGE_BYTES).then_some((start, *s))
+    }
+
+    /// Mirrors a span the allocator just allocated from. Idempotent per
+    /// (start, extent); a conflicting overlap is itself reported.
+    fn note_span(&mut self, span: u32, start: u64, pages: u32, class: Option<u16>) {
+        let bytes = pages as u64 * TCMALLOC_PAGE_BYTES;
+        if let Some((s_start, s)) = self.span_at(start) {
+            if s_start == start && s.pages == pages {
+                // Same extent: refresh id/class (ids are recycled).
+                self.spans.insert(
+                    start,
+                    SpanShadow {
+                        span,
+                        pages,
+                        size_class: class,
+                    },
+                );
+                return;
+            }
+            // A different extent still covering this start: the old span
+            // must be gone — forget it, then fall through to insert.
+            self.forget_span(s_start);
+        }
+        // Drop any stale shadow spans inside the new extent.
+        let stale: Vec<u64> = self
+            .spans
+            .range(start..start + bytes)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in stale {
+            self.forget_span(s);
+        }
+        self.spans.insert(
+            start,
+            SpanShadow {
+                span,
+                pages,
+                size_class: class,
+            },
+        );
+    }
+
+    /// Forgets a span (it was released to the pageheap). Live objects
+    /// still inside it are leaked spans — reported.
+    pub fn forget_span(&mut self, start: u64) {
+        let Some(s) = self.spans.remove(&start) else {
+            return;
+        };
+        let end = start + s.pages as u64 * TCMALLOC_PAGE_BYTES;
+        let leaked: Vec<(u64, ObjectShadow)> =
+            self.live.range(start..end).map(|(&a, o)| (a, *o)).collect();
+        for (a, o) in leaked {
+            self.live.remove(&a);
+            self.report(
+                ErrorKind::ObjectConservationViolation,
+                a,
+                o.size_class,
+                Some(s.span),
+                format!("span at {start:#x} released with live object at {a:#x}"),
+            );
+        }
+    }
+
+    /// Records an allocation the allocator just performed, checking it
+    /// against the shadow. `span_start`/`span_pages` describe the owning
+    /// span so the page-granular mirror stays current.
+    pub fn record_alloc(
+        &mut self,
+        addr: u64,
+        size: u64,
+        class: Option<u16>,
+        span: u32,
+        span_start: u64,
+        span_pages: u32,
+    ) {
+        self.ops += 1;
+        self.note_span(span, span_start, span_pages, class);
+        if self.span_at(addr).is_none() || self.span_at(addr + size.max(1) - 1).is_none() {
+            self.report(
+                ErrorKind::UseOfUnmappedAddress,
+                addr,
+                class,
+                Some(span),
+                format!("allocation of {size} bytes extends outside mapped spans"),
+            );
+        }
+        // Overlap: the nearest live object at or below addr must end before
+        // addr, and the next one must start at or after addr + size.
+        if let Some((&prev_addr, prev)) = self.live.range(..=addr).next_back() {
+            if prev_addr + prev.size > addr {
+                self.report(
+                    ErrorKind::OverlappingAllocation,
+                    addr,
+                    class,
+                    Some(span),
+                    format!(
+                        "new object [{addr:#x}, +{size}) overlaps live object at {prev_addr:#x} (+{})",
+                        prev.size
+                    ),
+                );
+            }
+        }
+        if let Some((&next_addr, _)) = self.live.range(addr + 1..).next() {
+            if next_addr < addr + size {
+                self.report(
+                    ErrorKind::OverlappingAllocation,
+                    addr,
+                    class,
+                    Some(span),
+                    format!(
+                        "new object [{addr:#x}, +{size}) overlaps live object at {next_addr:#x}"
+                    ),
+                );
+            }
+        }
+        self.freed.remove(&addr);
+        self.live.insert(
+            addr,
+            ObjectShadow {
+                size,
+                size_class: class,
+                span,
+            },
+        );
+    }
+
+    /// Checks a free against the shadow. On `Ok` the object has been moved
+    /// to the tombstone set; on `Rejected` a report was recorded and the
+    /// allocator must skip the operation.
+    pub fn check_free(&mut self, addr: u64, expected_class: Option<u16>) -> FreeCheck {
+        self.ops += 1;
+        if let Some(obj) = self.live.get(&addr).copied() {
+            if obj.size_class != expected_class {
+                self.report(
+                    ErrorKind::WrongSizeClassFree,
+                    addr,
+                    obj.size_class,
+                    Some(obj.span),
+                    format!(
+                        "freed with class {expected_class:?} but allocated as {:?}",
+                        obj.size_class
+                    ),
+                );
+                return FreeCheck::Rejected(ErrorKind::WrongSizeClassFree);
+            }
+            self.live.remove(&addr);
+            self.freed.insert(addr, obj);
+            return FreeCheck::Ok(obj);
+        }
+        if let Some(obj) = self.freed.get(&addr).copied() {
+            self.report(
+                ErrorKind::DoubleFree,
+                addr,
+                obj.size_class,
+                Some(obj.span),
+                "address already freed and not re-allocated since".into(),
+            );
+            return FreeCheck::Rejected(ErrorKind::DoubleFree);
+        }
+        // Interior pointer into a live object?
+        if let Some((&base, obj)) = self.live.range(..=addr).next_back() {
+            if addr < base + obj.size {
+                self.report(
+                    ErrorKind::MisalignedFree,
+                    addr,
+                    obj.size_class,
+                    Some(obj.span),
+                    format!(
+                        "interior pointer into live object at {base:#x} (+{})",
+                        obj.size
+                    ),
+                );
+                return FreeCheck::Rejected(ErrorKind::MisalignedFree);
+            }
+        }
+        match self.span_at(addr) {
+            Some((start, s)) => {
+                self.report(
+                    ErrorKind::InvalidFree,
+                    addr,
+                    s.size_class,
+                    Some(s.span),
+                    format!("address inside span at {start:#x} was never allocated"),
+                );
+                FreeCheck::Rejected(ErrorKind::InvalidFree)
+            }
+            None => {
+                self.report(
+                    ErrorKind::UseOfUnmappedAddress,
+                    addr,
+                    None,
+                    None,
+                    "free of an address no span covers".into(),
+                );
+                FreeCheck::Rejected(ErrorKind::UseOfUnmappedAddress)
+            }
+        }
+    }
+
+    /// Reconciles the page mirror against the spans the allocator reports
+    /// live (called from the audit): shadow spans the allocator no longer
+    /// knows are forgotten, surfacing leaked objects.
+    pub fn retain_spans(&mut self, live_starts: &[u64]) {
+        let keep: std::collections::BTreeSet<u64> = live_starts.iter().copied().collect();
+        let gone: Vec<u64> = self
+            .spans
+            .keys()
+            .copied()
+            .filter(|s| !keep.contains(s))
+            .collect();
+        for s in gone {
+            self.forget_span(s);
+        }
+    }
+
+    /// Total mapped pages in the shadow's mirror.
+    pub fn mapped_pages(&self) -> u64 {
+        self.spans.values().map(|s| s.pages as u64).sum()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    const PG: u64 = TCMALLOC_PAGE_BYTES;
+
+    fn shadow_with_span() -> ShadowState {
+        let mut sh = ShadowState::new();
+        // Span 1: two pages at 0x10000, class 3, 64-byte objects.
+        sh.record_alloc(0x10000, 64, Some(3), 1, 0x10000, 2);
+        sh
+    }
+
+    #[test]
+    fn valid_free_roundtrip() {
+        let mut sh = shadow_with_span();
+        assert!(matches!(sh.check_free(0x10000, Some(3)), FreeCheck::Ok(_)));
+        assert!(sh.reports().is_empty());
+        assert_eq!(sh.live_count(), 0);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut sh = shadow_with_span();
+        let _ = sh.check_free(0x10000, Some(3));
+        let r = sh.check_free(0x10000, Some(3));
+        assert_eq!(r, FreeCheck::Rejected(ErrorKind::DoubleFree));
+        assert_eq!(sh.reports()[0].kind, ErrorKind::DoubleFree);
+        assert_eq!(sh.reports()[0].addr, Some(0x10000));
+    }
+
+    #[test]
+    fn realloc_clears_tombstone() {
+        let mut sh = shadow_with_span();
+        let _ = sh.check_free(0x10000, Some(3));
+        sh.record_alloc(0x10000, 64, Some(3), 1, 0x10000, 2);
+        assert!(matches!(sh.check_free(0x10000, Some(3)), FreeCheck::Ok(_)));
+        assert!(sh.reports().is_empty());
+    }
+
+    #[test]
+    fn misaligned_free_detected() {
+        let mut sh = shadow_with_span();
+        let r = sh.check_free(0x10000 + 8, Some(3));
+        assert_eq!(r, FreeCheck::Rejected(ErrorKind::MisalignedFree));
+    }
+
+    #[test]
+    fn invalid_free_detected() {
+        let mut sh = shadow_with_span();
+        // Aligned slot inside the span, never handed out.
+        let r = sh.check_free(0x10000 + 64, Some(3));
+        assert_eq!(r, FreeCheck::Rejected(ErrorKind::InvalidFree));
+    }
+
+    #[test]
+    fn unmapped_free_detected() {
+        let mut sh = shadow_with_span();
+        let r = sh.check_free(0xdead_0000, None);
+        assert_eq!(r, FreeCheck::Rejected(ErrorKind::UseOfUnmappedAddress));
+    }
+
+    #[test]
+    fn wrong_class_free_detected() {
+        let mut sh = shadow_with_span();
+        let r = sh.check_free(0x10000, Some(9));
+        assert_eq!(r, FreeCheck::Rejected(ErrorKind::WrongSizeClassFree));
+        // The object stays live: the free was rejected.
+        assert_eq!(sh.live_count(), 1);
+    }
+
+    #[test]
+    fn overlapping_allocation_detected() {
+        let mut sh = shadow_with_span();
+        sh.record_alloc(0x10000 + 32, 64, Some(3), 1, 0x10000, 2);
+        assert_eq!(sh.reports()[0].kind, ErrorKind::OverlappingAllocation);
+    }
+
+    #[test]
+    fn overlap_with_following_object_detected() {
+        let mut sh = shadow_with_span();
+        sh.record_alloc(0x10000 - 32 + PG, 64, Some(3), 1, 0x10000, 2);
+        sh.take_reports();
+        // New object whose tail crosses into the existing one.
+        sh.record_alloc(0x10000 - 64 + PG, 128, Some(5), 1, 0x10000, 2);
+        assert!(sh
+            .reports()
+            .iter()
+            .any(|r| r.kind == ErrorKind::OverlappingAllocation));
+    }
+
+    #[test]
+    fn alloc_outside_spans_detected() {
+        let mut sh = ShadowState::new();
+        // Claimed span is one page; the object lands past its end.
+        sh.record_alloc(0x10000 + PG, 64, Some(3), 1, 0x10000, 1);
+        assert_eq!(sh.reports()[0].kind, ErrorKind::UseOfUnmappedAddress);
+    }
+
+    #[test]
+    fn span_release_with_live_object_is_a_leak() {
+        let mut sh = shadow_with_span();
+        sh.forget_span(0x10000);
+        assert_eq!(sh.reports()[0].kind, ErrorKind::ObjectConservationViolation);
+        assert_eq!(sh.live_count(), 0);
+    }
+
+    #[test]
+    fn retain_spans_prunes_stale_mirrors() {
+        let mut sh = shadow_with_span();
+        let _ = sh.check_free(0x10000, Some(3));
+        assert_eq!(sh.mapped_pages(), 2);
+        sh.retain_spans(&[]);
+        assert_eq!(sh.mapped_pages(), 0);
+        assert!(sh.reports().is_empty(), "no live objects were lost");
+    }
+
+    #[test]
+    fn span_reuse_at_same_start_refreshes() {
+        let mut sh = shadow_with_span();
+        let _ = sh.check_free(0x10000, Some(3));
+        // Same extent reused for a different class/span id.
+        sh.record_alloc(0x10000, 128, Some(5), 9, 0x10000, 2);
+        assert!(sh.reports().is_empty());
+        assert!(matches!(sh.check_free(0x10000, Some(5)), FreeCheck::Ok(_)));
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut sh = shadow_with_span();
+        sh.record_alloc(0x10000 + 64, 64, Some(3), 1, 0x10000, 2);
+        sh.record_alloc(0x40000, 3 * PG, None, 2, 0x40000, 3);
+        assert_eq!(sh.live_count_by_class(Some(3)), 2);
+        assert_eq!(sh.live_count_by_class(None), 1);
+        assert_eq!(sh.mapped_pages(), 5);
+    }
+}

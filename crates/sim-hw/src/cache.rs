@@ -276,6 +276,8 @@ impl LlcModel {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

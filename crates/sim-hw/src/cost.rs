@@ -9,10 +9,8 @@
 //! cycles — the paper's central argument being that the latter dwarf the
 //! former.
 
-use serde::{Deserialize, Serialize};
-
 /// Which allocator tier ultimately satisfied an allocation request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AllocPath {
     /// Per-CPU front-end cache fast path.
     PerCpu,
@@ -49,7 +47,7 @@ impl AllocPath {
 }
 
 /// Calibrated latency and cost constants for one platform.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Core clock, GHz (cycles per nanosecond).
     pub freq_ghz: f64,
@@ -144,6 +142,8 @@ impl Default for CostModel {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -158,10 +158,7 @@ mod tests {
     #[test]
     fn tiers_strictly_slower_down_the_hierarchy() {
         let c = CostModel::production();
-        let lat: Vec<f64> = AllocPath::ALL
-            .iter()
-            .map(|&p| c.alloc_path_ns(p))
-            .collect();
+        let lat: Vec<f64> = AllocPath::ALL.iter().map(|&p| c.alloc_path_ns(p)).collect();
         assert!(lat.windows(2).all(|w| w[0] < w[1]), "{lat:?}");
     }
 

@@ -89,12 +89,18 @@ pub fn measure(platform: &Platform, model: &LatencyModel) -> MlcMeasurement {
         }
     }
     MlcMeasurement {
-        intra_domain_ns: if intra.1 > 0 { intra.0 / intra.1 as f64 } else { 0.0 },
+        intra_domain_ns: if intra.1 > 0 {
+            intra.0 / intra.1 as f64
+        } else {
+            0.0
+        },
         inter_domain_ns: (inter.1 > 0).then(|| inter.0 / inter.1 as f64),
     }
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -120,7 +126,9 @@ mod tests {
         let p = Platform::chiplet("x", 1, 2, 2, 2);
         let meas = measure(&p, &LatencyModel::production());
         assert!((meas.intra_domain_ns - 40.0).abs() < 1e-9);
-        let inter = meas.inter_domain_ns.expect("chiplet has inter-domain pairs");
+        let inter = meas
+            .inter_domain_ns
+            .expect("chiplet has inter-domain pairs");
         assert!((inter / meas.intra_domain_ns - 2.07).abs() < 1e-9);
     }
 
@@ -138,10 +146,7 @@ mod tests {
         let m = LatencyModel::production();
         for a in p.cpus() {
             for b in p.cpus() {
-                assert_eq!(
-                    m.core_to_core_ns(&p, a, b),
-                    m.core_to_core_ns(&p, b, a)
-                );
+                assert_eq!(m.core_to_core_ns(&p, a, b), m.core_to_core_ns(&p, b, a));
             }
         }
     }

@@ -54,7 +54,10 @@ struct SetAssocTlb {
 
 impl SetAssocTlb {
     fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries.is_multiple_of(ways), "entries must divide into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         let num_sets = (entries / ways).max(1);
         Self {
             sets: vec![vec![None; ways]; num_sets],
@@ -93,7 +96,7 @@ impl SetAssocTlb {
         }
         let victim = ways
             .iter_mut()
-            .min_by_key(|s| s.map(|(_, used)| used).unwrap_or(0))
+            .min_by_key(|s| s.map_or(0, |(_, used)| used))
             .expect("ways is non-empty");
         *victim = Some((key, tick));
     }
@@ -267,6 +270,8 @@ impl TlbSim {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -7,16 +7,12 @@
 //! the allocator cares about: which logical CPUs share an LLC domain and a
 //! NUMA node.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -63,7 +59,7 @@ id_newtype!(
 /// Logical CPU numbering is dense: CPUs `[0, num_cpus)` are laid out socket-
 /// major, then NUMA node, then domain, then core, then SMT sibling — so all
 /// CPUs of a domain are contiguous.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Platform {
     name: String,
     sockets: u32,
@@ -128,7 +124,15 @@ impl Platform {
         cores_per_domain: u32,
         smt: u32,
     ) -> Self {
-        Self::new(name, sockets, 1, domains_per_socket, cores_per_domain, smt, 32 << 20)
+        Self::new(
+            name,
+            sockets,
+            1,
+            domains_per_socket,
+            cores_per_domain,
+            smt,
+            32 << 20,
+        )
     }
 
     /// The platform name.
@@ -138,7 +142,10 @@ impl Platform {
 
     /// Total logical CPUs.
     pub fn num_cpus(&self) -> usize {
-        (self.sockets * self.nodes_per_socket * self.domains_per_node * self.cores_per_domain
+        (self.sockets
+            * self.nodes_per_socket
+            * self.domains_per_node
+            * self.cores_per_domain
             * self.smt) as usize
     }
 
@@ -244,6 +251,8 @@ pub fn fleet_generations() -> Vec<Platform> {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -56,6 +56,8 @@ pub fn tcmalloc_page_index(addr: u64) -> u64 {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

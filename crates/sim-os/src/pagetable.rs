@@ -10,7 +10,7 @@
 //! hugepages.
 
 use crate::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wsc_sim_hw::tlb::PageSize;
 
 /// Words of the per-hugepage released-page bitmask (256 TCMalloc pages).
@@ -62,7 +62,7 @@ impl HugeState {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
-    regions: HashMap<u64, HugeState>,
+    regions: BTreeMap<u64, HugeState>,
 }
 
 impl PageTable {
@@ -202,6 +202,8 @@ impl PageTable {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -8,14 +8,18 @@
 
 use crate::central::CentralFreeList;
 use crate::config::TcmallocConfig;
-use crate::pagemap::PageMap;
 use crate::pageheap::PageHeap;
+use crate::pagemap::PageMap;
 use crate::percpu::{FreeOutcome, PerCpuCaches};
 use crate::size_class::SizeClassTable;
 use crate::span::{Span, SpanRegistry, SpanState};
 use crate::stats::{CycleCategory, CycleStats, FragmentationBreakdown};
 use crate::transfer::{TransferCaches, TransferSharding};
 use std::collections::HashMap;
+use wsc_sanitizer::{
+    ClassTierSnapshot, HugepageSnapshot, Sanitizer, SanitizerReport, Snapshot, SpanPlacement,
+    SpanSnapshot,
+};
 use wsc_sim_hw::cost::{AllocPath, CostModel};
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
@@ -75,6 +79,7 @@ pub struct Tcmalloc {
     pagemap: PageMap,
     pageheap: PageHeap,
     sampler: Sampler,
+    sanitizer: Sanitizer,
     profile: AllocationProfile,
     live_samples: HashMap<u64, (u64, u64, f64)>,
     cycles: CycleStats,
@@ -106,6 +111,7 @@ impl Tcmalloc {
             pagemap: PageMap::new(),
             pageheap: PageHeap::new(cfg.pageheap),
             sampler: Sampler::new(cfg.sample_period_bytes),
+            sanitizer: Sanitizer::new(cfg.sanitize),
             profile: AllocationProfile::new(),
             live_samples: HashMap::new(),
             cycles: CycleStats::new(),
@@ -168,6 +174,18 @@ impl Tcmalloc {
         self.live_requested_bytes += size;
         self.live_objects += 1;
         self.internal_frag_bytes += actual - size;
+        if self.cfg.sanitize.is_on() {
+            let class = self.table.class_for(size).map(|cl| cl as u16);
+            if let Some(id) = self.pagemap.span_of(addr) {
+                let span = self.spans.get(id);
+                let (start, pages) = (span.start, span.pages);
+                self.sanitizer
+                    .record_alloc(addr, actual, class, id.0, start, pages);
+            }
+            if self.sanitizer.audit_due() {
+                self.audit_now();
+            }
+        }
         AllocOutcome {
             addr,
             actual_bytes: actual,
@@ -226,9 +244,22 @@ impl Tcmalloc {
     ///
     /// # Panics
     ///
-    /// Panics on double frees, foreign addresses, or a size that maps to a
-    /// different class than the allocation's.
+    /// With the sanitizer off, panics on double frees, foreign addresses, or
+    /// a size that maps to a different class than the allocation's. With the
+    /// sanitizer on, those invalid frees are rejected instead: the operation
+    /// becomes a no-op and a [`SanitizerReport`] is queued (retrieve it with
+    /// [`take_sanitizer_reports`](Self::take_sanitizer_reports)).
     pub fn free(&mut self, addr: u64, size: u64, cpu: CpuId) -> FreeOutcomeInfo {
+        if self.cfg.sanitize.is_on() {
+            let expected = self.table.class_for(size).map(|cl| cl as u16);
+            if self.sanitizer.check_free(addr, expected).is_some() {
+                // Invalid free: rejected, reported, and charged nothing.
+                return FreeOutcomeInfo {
+                    path: AllocPath::PerCpu,
+                    ns: 0.0,
+                };
+            }
+        }
         if let Some((sz, t, weight)) = self.live_samples.remove(&addr) {
             let lifetime = self.clock.now_ns().saturating_sub(t);
             self.profile.record_lifetime(sz, lifetime, weight);
@@ -247,9 +278,7 @@ impl Tcmalloc {
                 let info = *self.table.info(cl);
                 let path = match self.percpu.free(vcpu, cl, addr) {
                     FreeOutcome::Cached => AllocPath::PerCpu,
-                    FreeOutcome::Overflow(batch) => {
-                        self.return_objects(shard, cl, batch, false)
-                    }
+                    FreeOutcome::Overflow(batch) => self.return_objects(shard, cl, batch, false),
                 };
                 (info.size, path)
             }
@@ -266,6 +295,7 @@ impl Tcmalloc {
                 debug_assert!(span.size_class.is_none());
                 self.pagemap.clear_range(addr, pages);
                 self.pageheap.dealloc(addr, pages);
+                self.sanitizer.on_span_released(addr);
                 (pages as u64 * TCMALLOC_PAGE_BYTES, AllocPath::PageHeap)
             }
         };
@@ -276,6 +306,9 @@ impl Tcmalloc {
         self.live_requested_bytes -= size;
         self.live_objects -= 1;
         self.internal_frag_bytes -= actual - size;
+        if self.cfg.sanitize.is_on() && self.sanitizer.audit_due() {
+            self.audit_now();
+        }
         FreeOutcomeInfo { path, ns }
     }
 
@@ -305,13 +338,18 @@ impl Tcmalloc {
                 .pagemap
                 .span_of(addr)
                 .expect("cached object lost its span");
-            released |= self.central[cl].dealloc(
+            let span_start = self.spans.get(id).start;
+            let freed = self.central[cl].dealloc(
                 addr,
                 id,
                 &mut self.spans,
                 &mut self.pagemap,
                 &mut self.pageheap,
             );
+            if freed {
+                self.sanitizer.on_span_released(span_start);
+            }
+            released |= freed;
         }
         if released {
             AllocPath::PageHeap
@@ -358,13 +396,17 @@ impl Tcmalloc {
                         .pagemap
                         .span_of(addr)
                         .expect("cached object lost its span");
-                    self.central[cl].dealloc(
+                    let span_start = self.spans.get(id).start;
+                    let freed = self.central[cl].dealloc(
                         addr,
                         id,
                         &mut self.spans,
                         &mut self.pagemap,
                         &mut self.pageheap,
                     );
+                    if freed {
+                        self.sanitizer.on_span_released(span_start);
+                    }
                 }
             }
         }
@@ -372,6 +414,91 @@ impl Tcmalloc {
             self.next_release_ns = now + self.cfg.release_interval_ns;
             self.pageheap.background_release();
         }
+    }
+
+    /// Builds a cross-tier state dump for the sanitizer's conservation
+    /// audit: per-class cached-object counts, every live span with its
+    /// occupancy-list placement, pagemap extent, filler hugepage bitmaps,
+    /// and the byte-accounting terms.
+    fn build_snapshot(&self) -> Snapshot {
+        let percpu = self.percpu.cached_objects_by_class();
+        let transfer = self.transfer.cached_objects_by_class();
+        let classes = (0..self.table.num_classes())
+            .map(|cl| ClassTierSnapshot {
+                class: cl as u16,
+                object_size: self.table.info(cl).size,
+                percpu_objects: percpu[cl],
+                transfer_objects: transfer[cl],
+                central_free_objects: self.central[cl].free_objects(),
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(id, s)| SpanSnapshot {
+                id: id.0,
+                start: s.start,
+                pages: s.pages,
+                size_class: s.size_class,
+                capacity: s.capacity,
+                allocated: s.allocated,
+                free_count: s.free_count(),
+                placement: match s.state {
+                    SpanState::InFreeList { list, .. } => SpanPlacement::Freelist { list },
+                    SpanState::Full | SpanState::Released => SpanPlacement::Full,
+                    SpanState::Large => SpanPlacement::Large,
+                },
+            })
+            .collect();
+        let hugepages = self
+            .pageheap
+            .filler()
+            .hugepage_accounting()
+            .into_iter()
+            .map(|(base, used, free, released, both)| HugepageSnapshot {
+                base,
+                used_pages: used,
+                free_pages: free,
+                released_pages: released,
+                used_and_released: both,
+            })
+            .collect();
+        let frag = self.fragmentation();
+        Snapshot {
+            classes,
+            spans,
+            occupancy_lists: self.cfg.cfl_lists,
+            pagemap_pages: self.pagemap.len() as u64,
+            pages_per_hugepage: wsc_sim_os::addr::TCMALLOC_PAGES_PER_HUGE as u32,
+            hugepages,
+            resident_bytes: frag.resident_bytes,
+            live_bytes: frag.live_bytes,
+            fragmentation_bytes: frag.total_bytes(),
+        }
+    }
+
+    /// Runs a cross-tier conservation audit immediately, regardless of the
+    /// sampling cadence. Returns the number of new violations found (also
+    /// queued as [`SanitizerReport`]s).
+    pub fn audit_now(&mut self) -> usize {
+        let snap = self.build_snapshot();
+        self.sanitizer.run_audit(&snap)
+    }
+
+    /// Sanitizer reports accumulated so far (shadow violations + audit
+    /// findings), in detection order.
+    pub fn sanitizer_reports(&self) -> &[SanitizerReport] {
+        self.sanitizer.reports()
+    }
+
+    /// Drains and returns the accumulated sanitizer reports.
+    pub fn take_sanitizer_reports(&mut self) -> Vec<SanitizerReport> {
+        self.sanitizer.take_reports()
+    }
+
+    /// Number of cross-tier audits run (sampled cadence + explicit calls).
+    pub fn audits_run(&self) -> u64 {
+        self.sanitizer.audits_run()
     }
 
     /// Fragmentation snapshot (Figures 5b and 6b).
@@ -474,6 +601,8 @@ impl Tcmalloc {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

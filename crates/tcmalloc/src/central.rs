@@ -19,8 +19,8 @@
 //! release-probability-vs-occupancy curve and the Figure 16 per-class span
 //! creation/return counts.
 
-use crate::pagemap::PageMap;
 use crate::pageheap::PageHeap;
+use crate::pagemap::PageMap;
 use crate::size_class::SizeClassInfo;
 use crate::span::{Span, SpanId, SpanRegistry, SpanState};
 use wsc_sim_hw::cost::AllocPath;
@@ -196,16 +196,12 @@ impl CentralFreeList {
         let mut deepest = AllocPath::CentralFreeList;
         while out.len() < n {
             // Lowest-indexed non-empty list: the fullest spans.
-            let id = self
-                .lists
-                .iter()
-                .find_map(|l| l.last().copied());
+            let id = self.lists.iter().find_map(|l| l.last().copied());
             let id = match id {
                 Some(id) => id,
                 None => {
                     // Grow: request a fresh span from the pageheap.
-                    let (addr, path) = pageheap
-                        .alloc(self.info.pages, self.info.objects_per_span);
+                    let (addr, path) = pageheap.alloc(self.info.pages, self.info.objects_per_span);
                     deepest = match (deepest, path) {
                         (_, AllocPath::Mmap) | (AllocPath::Mmap, _) => AllocPath::Mmap,
                         _ => AllocPath::PageHeap,
@@ -286,11 +282,16 @@ impl CentralFreeList {
         self.live_spans
     }
 
+    /// The running free-object counter (the central term of the sanitizer's
+    /// object-conservation audit; must equal the spans' summed free counts).
+    pub fn free_objects(&self) -> u64 {
+        self.free_objects
+    }
+
     /// Per-class span return rate (Figure 16): released / created, or `None`
     /// before any span was created.
     pub fn span_return_rate(&self) -> Option<f64> {
-        (self.spans_created > 0)
-            .then(|| self.spans_released as f64 / self.spans_created as f64)
+        (self.spans_created > 0).then(|| self.spans_released as f64 / self.spans_created as f64)
     }
 
     /// The class's static metadata.
@@ -300,6 +301,8 @@ impl CentralFreeList {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pageheap::PageHeapConfig;

@@ -6,6 +6,7 @@
 
 use crate::pageheap::PageHeapConfig;
 use crate::transfer::{TransferConfig, TransferSharding};
+use wsc_sanitizer::SanitizeLevel;
 use wsc_sim_os::clock::NS_PER_SEC;
 
 /// Capacity scale factor between production and the simulation.
@@ -51,6 +52,9 @@ pub struct TcmallocConfig {
     pub release_interval_ns: u64,
     /// Idle-cache decay interval (per-CPU and transfer-tier reclaim).
     pub decay_interval_ns: u64,
+    /// Sanitizer level: shadow-state checking on every operation and
+    /// cross-tier conservation audits (Off for benches, Full for tests).
+    pub sanitize: SanitizeLevel,
 }
 
 impl TcmallocConfig {
@@ -78,6 +82,7 @@ impl TcmallocConfig {
             prefetch: true,
             release_interval_ns: NS_PER_SEC / 20,
             decay_interval_ns: NS_PER_SEC / 10, // production: ~1 s
+            sanitize: SanitizeLevel::Off,
         }
     }
 
@@ -124,6 +129,12 @@ impl TcmallocConfig {
         self.pageheap.capacity_threshold = 16;
         self
     }
+
+    /// Sets the sanitizer level (shadow checks + conservation audits).
+    pub fn with_sanitize(mut self, level: SanitizeLevel) -> Self {
+        self.sanitize = level;
+        self
+    }
 }
 
 impl Default for TcmallocConfig {
@@ -133,6 +144,8 @@ impl Default for TcmallocConfig {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

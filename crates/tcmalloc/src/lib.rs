@@ -47,8 +47,8 @@ pub mod alloc;
 pub mod central;
 pub mod config;
 pub mod memory;
-pub mod pagemap;
 pub mod pageheap;
+pub mod pagemap;
 pub mod percpu;
 pub mod size_class;
 pub mod span;
@@ -58,3 +58,4 @@ pub mod transfer;
 pub use alloc::{AllocOutcome, FreeOutcomeInfo, Tcmalloc};
 pub use config::TcmallocConfig;
 pub use stats::{CycleCategory, CycleStats, FragmentationBreakdown};
+pub use wsc_sanitizer::{ErrorKind, SanitizeLevel, SanitizerReport};

@@ -267,7 +267,10 @@ impl HugePageFiller {
         cache: &mut HugeCache,
         vmm: &mut Vmm,
     ) -> (u64, bool) {
-        assert!((1..HP_PAGES).contains(&pages), "filler alloc of {pages} pages");
+        assert!(
+            (1..HP_PAGES).contains(&pages),
+            "filler alloc of {pages} pages"
+        );
         let set = self.set_for(span_capacity);
         // Baseline policy: smallest longest-free-range that fits, then most
         // allocations within that list.
@@ -515,6 +518,24 @@ impl HugePageFiller {
         (s.free_pages - s.released_pages) * TCMALLOC_PAGE_BYTES
     }
 
+    /// Per-hugepage page accounting for the sanitizer's backing audit:
+    /// `(base, used, free, released, used_and_released)` per tracker.
+    pub fn hugepage_accounting(&self) -> Vec<(u64, u32, u32, u32, u32)> {
+        self.trackers
+            .iter()
+            .flatten()
+            .map(|t| {
+                let overlap = t
+                    .used_mask
+                    .iter()
+                    .zip(&t.released_mask)
+                    .map(|(u, r)| (u & r).count_ones())
+                    .sum();
+                (t.base, t.used, t.free_pages(), t.released_pages(), overlap)
+            })
+            .collect()
+    }
+
     /// Number of live allocations per tracked hugepage (for telemetry).
     pub fn allocations_per_hugepage(&self) -> Vec<u32> {
         self.trackers
@@ -526,6 +547,8 @@ impl HugePageFiller {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -558,7 +581,7 @@ mod tests {
         let (a2, _) = f.alloc(251, 100, &mut c, &mut vmm); // no fit on hp1 -> hp2
         let (_a3, _) = f.alloc(30, 100, &mut c, &mut vmm); // hp1: 230 used
         f.dealloc(a1, 200, &mut c, &mut vmm); // hp1: 30 used, sparse
-        // A 4-page request must go to the dense hp2 (smallest fitting lfr).
+                                              // A 4-page request must go to the dense hp2 (smallest fitting lfr).
         let (a4, mm) = f.alloc(4, 100, &mut c, &mut vmm);
         assert!(!mm);
         assert_eq!(a4 / HUGE_PAGE_BYTES, a2 / HUGE_PAGE_BYTES);
@@ -637,9 +660,7 @@ mod tests {
         let (b, mm) = f.alloc(50, 100, &mut c, &mut vmm);
         assert!(!mm);
         assert_eq!(b / HUGE_PAGE_BYTES, a / HUGE_PAGE_BYTES);
-        assert!(
-            vmm.page_table().resident_bytes() > resident_before - 250 * TCMALLOC_PAGE_BYTES
-        );
+        assert!(vmm.page_table().resident_bytes() > resident_before - 250 * TCMALLOC_PAGE_BYTES);
         // The remaining free pages are all already released: nothing to do.
         assert_eq!(f.subrelease(1000, 0, &mut vmm), 0);
     }

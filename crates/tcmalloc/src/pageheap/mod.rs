@@ -275,6 +275,8 @@ impl PageHeap {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -389,9 +391,6 @@ mod tests {
         assert!(s.filler_used_bytes > 0);
         assert!(s.region_used_bytes > 0);
         assert!(s.large_used_bytes > 0);
-        assert_eq!(
-            s.total_used_bytes(),
-            (10 + 300 + 512) * TCMALLOC_PAGE_BYTES
-        );
+        assert_eq!(s.total_used_bytes(), (10 + 300 + 512) * TCMALLOC_PAGE_BYTES);
     }
 }

@@ -6,7 +6,7 @@
 //! packs such mid-size allocations end-to-end on a contiguous run of
 //! hugepages, ignoring hugepage boundaries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
 use wsc_sim_os::vmm::Vmm;
 
@@ -80,7 +80,7 @@ pub struct HugeRegionSet {
     regions: Vec<Region>,
     /// page-range base address -> (region index, page offset, length) for
     /// deallocation routing.
-    live: HashMap<u64, (usize, u32, u32)>,
+    live: BTreeMap<u64, (usize, u32, u32)>,
 }
 
 impl HugeRegionSet {
@@ -112,8 +112,7 @@ impl HugeRegionSet {
         let mut region = Region::new(base);
         region.set_range(0, pages, true);
         self.regions.push(region);
-        self.live
-            .insert(base, (self.regions.len() - 1, 0, pages));
+        self.live.insert(base, (self.regions.len() - 1, 0, pages));
         (base, true)
     }
 
@@ -166,6 +165,8 @@ impl HugeRegionSet {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -79,6 +79,8 @@ impl PageMap {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;

@@ -236,9 +236,7 @@ impl PerCpuCaches {
                 continue;
             }
             let excess_bytes = slab.capacity_bytes - bytes;
-            let drop_slots = excess_bytes
-                .div_ceil(sizes[cl])
-                .min(cslab.capacity as u64) as u32;
+            let drop_slots = excess_bytes.div_ceil(sizes[cl]).min(cslab.capacity as u64) as u32;
             cslab.capacity -= drop_slots;
             slab.capacity_bytes -= drop_slots as u64 * sizes[cl];
             if cslab.objs.len() as u32 > cslab.capacity {
@@ -257,12 +255,7 @@ impl PerCpuCaches {
     /// budget round-robin from the quietest caches (never below `floor`).
     /// Interval miss counters reset afterwards. Returns evictions to forward
     /// to the transfer cache.
-    pub fn rebalance(
-        &mut self,
-        top_n: usize,
-        step: u64,
-        floor: u64,
-    ) -> Vec<(usize, Vec<u64>)> {
+    pub fn rebalance(&mut self, top_n: usize, step: u64, floor: u64) -> Vec<(usize, Vec<u64>)> {
         let mut populated: Vec<usize> = (0..self.slabs.len())
             .filter(|&i| self.slabs[i].is_some())
             .collect();
@@ -334,16 +327,24 @@ impl PerCpuCaches {
     /// Bytes currently cached across all vCPUs (front-end external
     /// fragmentation).
     pub fn cached_bytes_total(&self) -> u64 {
-        self.slabs
-            .iter()
-            .flatten()
-            .map(|s| s.cached_bytes)
-            .sum()
+        self.slabs.iter().flatten().map(|s| s.cached_bytes).sum()
     }
 
     /// Number of populated vCPU slabs.
     pub fn populated_count(&self) -> usize {
         self.slabs.iter().flatten().count()
+    }
+
+    /// Objects cached per size class across every vCPU slab (the per-CPU
+    /// term of the sanitizer's object-conservation audit).
+    pub fn cached_objects_by_class(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.sizes.len()];
+        for slab in self.slabs.iter().flatten() {
+            for (cl, cslab) in slab.classes.iter().enumerate() {
+                counts[cl] += cslab.objs.len() as u64;
+            }
+        }
+        counts
     }
 
     /// Background idle-cache decay: classes not touched since the previous
@@ -395,6 +396,8 @@ impl PerCpuCaches {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -106,8 +106,7 @@ impl SizeClassTable {
             classes.push(SizeClassInfo {
                 size: MAX_SMALL_SIZE,
                 pages,
-                objects_per_span: (pages as u64 * TCMALLOC_PAGE_BYTES / MAX_SMALL_SIZE)
-                    as u32,
+                objects_per_span: (pages as u64 * TCMALLOC_PAGE_BYTES / MAX_SMALL_SIZE) as u32,
                 batch: batch_for(MAX_SMALL_SIZE),
             });
         }
@@ -147,6 +146,8 @@ impl SizeClassTable {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

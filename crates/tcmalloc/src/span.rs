@@ -261,6 +261,8 @@ impl SpanRegistry {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::size_class::SizeClassTable;
@@ -367,9 +369,6 @@ mod tests {
         let total = s.bytes();
         let _ = s.alloc_object();
         assert_eq!(s.free_object_bytes(), (s.capacity as u64 - 1) * 16);
-        assert_eq!(
-            s.carve_waste_bytes(),
-            total - s.capacity as u64 * 16
-        );
+        assert_eq!(s.carve_waste_bytes(), total - s.capacity as u64 * 16);
     }
 }

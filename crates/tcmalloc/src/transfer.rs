@@ -143,8 +143,7 @@ pub struct TransferCaches {
 impl TransferCaches {
     /// Creates the tier for a size-class table.
     pub fn new(table: &SizeClassTable, cfg: TransferConfig) -> Self {
-        let sizes_batches: Vec<(u64, u32)> =
-            table.iter().map(|c| (c.size, c.batch)).collect();
+        let sizes_batches: Vec<(u64, u32)> = table.iter().map(|c| (c.size, c.batch)).collect();
         Self {
             central: new_tier(&sizes_batches, cfg.central_batches, 256 << 10),
             domains: Vec::new(),
@@ -275,6 +274,19 @@ impl TransferCaches {
         self.domains.iter().flatten().count()
     }
 
+    /// Objects cached per size class across the central arrays and every
+    /// domain shard (the transfer term of the sanitizer's
+    /// object-conservation audit).
+    pub fn cached_objects_by_class(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> = self.central.iter().map(|a| a.objs.len() as u64).collect();
+        for tier in self.domains.iter().flatten() {
+            for (cl, arr) in tier.iter().enumerate() {
+                counts[cl] += arr.objs.len() as u64;
+            }
+        }
+        counts
+    }
+
     /// Drains every cached object, grouped by class.
     pub fn flush_all(&mut self) -> Vec<(usize, Vec<u64>)> {
         let mut out: Vec<(usize, Vec<u64>)> = Vec::new();
@@ -295,6 +307,8 @@ impl TransferCaches {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -355,11 +369,7 @@ mod tests {
         let mut tc = legacy();
         let batch = table().info(1).batch as usize;
         let central_cap = batch * TransferConfig::default().central_batches as usize;
-        let spill = tc.stash(
-            0,
-            1,
-            (0..(central_cap + 7) as u64).collect(),
-        );
+        let spill = tc.stash(0, 1, (0..(central_cap + 7) as u64).collect());
         assert_eq!(spill.len(), 7, "beyond capacity goes to the caller");
     }
 

@@ -1,100 +1,123 @@
 //! Property tests for the allocator's component data structures.
+//!
+//! Deterministic seeded-loop properties (hermetic replacement for the
+//! original proptest strategies).
 
-use proptest::prelude::*;
+use wsc_prng::SmallRng;
 use wsc_tcmalloc::pageheap::{PageHeap, PageHeapConfig};
 use wsc_tcmalloc::size_class::{SizeClassTable, MAX_SMALL_SIZE};
 use wsc_tcmalloc::span::{Span, SpanRegistry};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+// --- size classes ---
 
-    // --- size classes ---
-
-    #[test]
-    fn size_class_roundup_is_sound(req in 0u64..=MAX_SMALL_SIZE) {
-        let t = SizeClassTable::production();
+#[test]
+fn size_class_roundup_is_sound() {
+    let t = SizeClassTable::production();
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0A0 + case);
+        // Half the cases sweep small requests densely; half range freely.
+        let req = if case % 2 == 0 {
+            rng.gen_range(0u64..=64)
+        } else {
+            rng.gen_range(0u64..=MAX_SMALL_SIZE)
+        };
         let cl = t.class_for(req).expect("small request");
         let info = t.info(cl);
         // Sound: class size fits the request.
-        prop_assert!(info.size >= req);
+        assert!(info.size >= req);
         // Tight: the next-smaller class would not fit.
         if cl > 0 {
-            prop_assert!(t.info(cl - 1).size < req.max(1));
+            assert!(t.info(cl - 1).size < req.max(1));
         }
         // Internal slack is bounded (absolute 8 B for tiny, 30% beyond).
         let slack = info.size - req;
-        prop_assert!(slack <= 8 || (slack as f64) < 0.30 * req as f64);
+        assert!(slack <= 8 || (slack as f64) < 0.30 * req as f64);
     }
+}
 
-    #[test]
-    fn size_class_is_monotone(a in 0u64..=MAX_SMALL_SIZE, b in 0u64..=MAX_SMALL_SIZE) {
-        let t = SizeClassTable::production();
+#[test]
+fn size_class_is_monotone() {
+    let t = SizeClassTable::production();
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0A1 + case);
+        let a = rng.gen_range(0u64..=MAX_SMALL_SIZE);
+        let b = rng.gen_range(0u64..=MAX_SMALL_SIZE);
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(t.class_for(lo).unwrap() <= t.class_for(hi).unwrap());
+        let lo_cl = t.class_for(lo).expect("small request");
+        let hi_cl = t.class_for(hi).expect("small request");
+        assert!(lo_cl <= hi_cl);
     }
+}
 
-    // --- spans ---
+// --- spans ---
 
-    #[test]
-    fn span_alloc_free_sequences_preserve_counts(ops in prop::collection::vec(any::<bool>(), 1..600)) {
-        let t = SizeClassTable::production();
-        let cl = t.class_for(64).unwrap();
+#[test]
+fn span_alloc_free_sequences_preserve_counts() {
+    let t = SizeClassTable::production();
+    let cl = t.class_for(64).expect("64 B is a small size");
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0A2 + case);
         let mut span = Span::new_small(0x100000, cl as u16, t.info(cl));
         let capacity = span.capacity;
         let mut live: Vec<u64> = Vec::new();
-        for (i, alloc) in ops.into_iter().enumerate() {
-            if alloc && span.free_count() > 0 {
+        let ops = rng.gen_range(1usize..600);
+        for i in 0..ops {
+            if rng.gen::<bool>() && span.free_count() > 0 {
                 let addr = span.alloc_object();
-                prop_assert!(!live.contains(&addr), "duplicate address");
+                assert!(!live.contains(&addr), "duplicate address");
                 live.push(addr);
             } else if !live.is_empty() {
                 let addr = live.swap_remove(i % live.len());
                 span.dealloc_object(addr);
             }
-            prop_assert_eq!(span.allocated as usize, live.len());
-            prop_assert_eq!(span.allocated + span.free_count(), capacity);
+            assert_eq!(span.allocated as usize, live.len());
+            assert_eq!(span.allocated + span.free_count(), capacity);
         }
     }
+}
 
-    // --- span registry ---
+// --- span registry ---
 
-    #[test]
-    fn registry_ids_stay_distinct(churn in prop::collection::vec(any::<bool>(), 1..200)) {
-        let t = SizeClassTable::production();
-        let cl = t.class_for(16).unwrap();
+#[test]
+fn registry_ids_stay_distinct() {
+    let t = SizeClassTable::production();
+    let cl = t.class_for(16).expect("16 B is a small size");
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0A3 + case);
         let mut reg = SpanRegistry::new();
         let mut live = Vec::new();
-        for (i, insert) in churn.into_iter().enumerate() {
-            if insert || live.is_empty() {
-                let id = reg.insert(Span::new_small(
-                    (i as u64 + 1) << 20,
-                    cl as u16,
-                    t.info(cl),
-                ));
-                prop_assert!(!live.contains(&id));
+        let churn = rng.gen_range(1usize..200);
+        for i in 0..churn {
+            if rng.gen::<bool>() || live.is_empty() {
+                let id = reg.insert(Span::new_small((i as u64 + 1) << 20, cl as u16, t.info(cl)));
+                assert!(!live.contains(&id));
                 live.push(id);
             } else {
                 let id = live.swap_remove(i % live.len());
                 reg.remove(id);
             }
-            prop_assert_eq!(reg.len(), live.len());
+            assert_eq!(reg.len(), live.len());
         }
     }
+}
 
-    // --- pageheap ---
+// --- pageheap ---
 
-    #[test]
-    fn pageheap_ranges_never_overlap(
-        reqs in prop::collection::vec((1u32..600, any::<bool>()), 1..60)
-    ) {
+#[test]
+fn pageheap_ranges_never_overlap() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0A4 + case);
         let mut ph = PageHeap::new(PageHeapConfig::default());
         let mut live: Vec<(u64, u32)> = Vec::new();
-        for (i, (pages, free_one)) in reqs.into_iter().enumerate() {
+        let reqs = rng.gen_range(1usize..60);
+        for i in 0..reqs {
+            let pages = rng.gen_range(1u32..600);
+            let free_one = rng.gen::<bool>();
             let (addr, _) = ph.alloc(pages, 8);
             let bytes = pages as u64 * 8192;
             for &(start, p) in &live {
                 let len = p as u64 * 8192;
-                prop_assert!(
+                assert!(
                     addr + bytes <= start || start + len <= addr,
                     "pageheap handed out overlapping ranges"
                 );
@@ -109,24 +132,27 @@ proptest! {
         for (a, p) in live {
             ph.dealloc(a, p);
         }
-        prop_assert_eq!(ph.stats().total_used_bytes(), 0);
+        assert_eq!(ph.stats().total_used_bytes(), 0);
     }
+}
 
-    #[test]
-    fn pageheap_release_is_safe_at_any_point(
-        pages in prop::collection::vec(1u32..255, 1..40),
-        release_at in 0usize..40
-    ) {
+#[test]
+fn pageheap_release_is_safe_at_any_point() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0A5 + case);
         let mut ph = PageHeap::new(PageHeapConfig {
             free_pages_threshold: 0,
             release_rate_pages: 10_000,
             subrelease_grace_passes: 0,
             ..PageHeapConfig::default()
         });
+        let count = rng.gen_range(1usize..40);
+        let release_at = rng.gen_range(0usize..40);
         let mut live = Vec::new();
-        for (i, p) in pages.iter().enumerate() {
-            let (addr, _) = ph.alloc(*p, 8);
-            live.push((addr, *p));
+        for i in 0..count {
+            let p = rng.gen_range(1u32..255);
+            let (addr, _) = ph.alloc(p, 8);
+            live.push((addr, p));
             if i == release_at {
                 // Free half, then force an aggressive release pass.
                 for (a, pp) in live.split_off(live.len() / 2) {
@@ -139,6 +165,6 @@ proptest! {
         for (a, p) in live {
             ph.dealloc(a, p);
         }
-        prop_assert_eq!(ph.stats().total_used_bytes(), 0);
+        assert_eq!(ph.stats().total_used_bytes(), 0);
     }
 }

@@ -1,40 +1,43 @@
 //! Property tests for the cache tiers: the per-CPU front end, the transfer
 //! tier, and the central free list, driven through their public APIs with
 //! arbitrary operation sequences.
+//!
+//! Deterministic seeded-loop properties (hermetic replacement for the
+//! original proptest strategies).
 
-use proptest::prelude::*;
+use wsc_prng::SmallRng;
+use wsc_sim_os::rseq::VcpuId;
 use wsc_tcmalloc::central::CentralFreeList;
-use wsc_tcmalloc::pagemap::PageMap;
 use wsc_tcmalloc::pageheap::{PageHeap, PageHeapConfig};
+use wsc_tcmalloc::pagemap::PageMap;
 use wsc_tcmalloc::percpu::{FreeOutcome, PerCpuCaches};
 use wsc_tcmalloc::size_class::SizeClassTable;
 use wsc_tcmalloc::span::SpanRegistry;
 use wsc_tcmalloc::transfer::{TransferCaches, TransferConfig, TransferSharding};
-use wsc_sim_os::rseq::VcpuId;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// --- central free list: random batch traffic, both L=1 and L=8 ---
 
-    // --- central free list: random batch traffic, both L=1 and L=8 ---
-
-    #[test]
-    fn central_free_list_conserves_objects(
-        ops in prop::collection::vec((1usize..40, any::<bool>()), 1..120),
-        lists in prop_oneof![Just(1usize), Just(8usize)],
-    ) {
+#[test]
+fn central_free_list_conserves_objects() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7C40 + case);
+        let lists = if case % 2 == 0 { 1 } else { 8 };
         let table = SizeClassTable::production();
-        let cl = table.class_for(48).unwrap();
+        let cl = table.class_for(48).expect("48 B is a small size");
         let mut cfl = CentralFreeList::new(cl as u16, *table.info(cl), lists);
         let mut spans = SpanRegistry::new();
         let mut pagemap = PageMap::new();
         let mut pageheap = PageHeap::new(PageHeapConfig::default());
         let mut live: Vec<u64> = Vec::new();
-        for (i, (n, alloc)) in ops.into_iter().enumerate() {
+        let ops = rng.gen_range(1usize..120);
+        for i in 0..ops {
+            let n = rng.gen_range(1usize..40);
+            let alloc = rng.gen::<bool>();
             if alloc || live.is_empty() {
                 let (objs, _) = cfl.alloc_batch(n, &mut spans, &mut pagemap, &mut pageheap);
-                prop_assert_eq!(objs.len(), n, "batch always filled (grows)");
+                assert_eq!(objs.len(), n, "batch always filled (grows)");
                 for o in &objs {
-                    prop_assert!(!live.contains(o), "duplicate object");
+                    assert!(!live.contains(o), "duplicate object");
                 }
                 live.extend(objs);
             } else {
@@ -45,33 +48,35 @@ proptest! {
             }
             // Conservation: live objects = sum of allocated over spans.
             let allocated: u64 = spans.iter().map(|(_, s)| s.allocated as u64).sum();
-            prop_assert_eq!(allocated as usize, live.len());
+            assert_eq!(allocated as usize, live.len());
         }
         // Drain: every span must return to the pageheap.
         for addr in live {
             let id = pagemap.span_of(addr).expect("live object has a span");
             cfl.dealloc(addr, id, &mut spans, &mut pagemap, &mut pageheap);
         }
-        prop_assert_eq!(cfl.live_spans(), 0);
-        prop_assert_eq!(cfl.external_bytes(), 0);
-        prop_assert!(pagemap.is_empty());
-        prop_assert_eq!(pageheap.stats().total_used_bytes(), 0);
+        assert_eq!(cfl.live_spans(), 0);
+        assert_eq!(cfl.external_bytes(), 0);
+        assert!(pagemap.is_empty());
+        assert_eq!(pageheap.stats().total_used_bytes(), 0);
     }
+}
 
-    // --- per-CPU caches: budget holds under arbitrary traffic ---
+// --- per-CPU caches: budget holds under arbitrary traffic ---
 
-    #[test]
-    fn percpu_budget_is_never_exceeded(
-        ops in prop::collection::vec((0u8..4, 0usize..30, any::<bool>()), 1..300),
-        budget in 1024u64..(1 << 20),
-    ) {
+#[test]
+fn percpu_budget_is_never_exceeded() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7C41 + case);
+        let budget = rng.gen_range(1024u64..(1 << 20));
         let table = SizeClassTable::production();
         let mut caches = PerCpuCaches::new(&table, budget);
         let mut counter = 0u64;
-        for (vcpu, cl, is_alloc) in ops {
-            let vcpu = VcpuId(vcpu as u32);
-            let cl = cl % table.num_classes();
-            if is_alloc {
+        let ops = rng.gen_range(1usize..300);
+        for _ in 0..ops {
+            let vcpu = VcpuId(rng.gen_range(0u32..4));
+            let cl = rng.gen_range(0usize..30) % table.num_classes();
+            if rng.gen::<bool>() {
                 if caches.alloc(vcpu, cl).is_none() {
                     counter += 1;
                     let objs: Vec<u64> = (0..8).map(|i| (counter * 100 + i) << 8).collect();
@@ -81,56 +86,66 @@ proptest! {
                 counter += 1;
                 match caches.free(vcpu, cl, counter << 8) {
                     FreeOutcome::Cached => {}
-                    FreeOutcome::Overflow(objs) => prop_assert!(!objs.is_empty()),
+                    FreeOutcome::Overflow(objs) => assert!(!objs.is_empty()),
                 }
             }
         }
         // The byte budget binds: cached bytes per vCPU stay under budget
         // plus one batch of slack for the largest class in flight.
         let slack = 256 << 10;
-        prop_assert!(
+        assert!(
             caches.cached_bytes_total() <= (budget + slack) * 4,
             "cached {} vs budget {budget}",
             caches.cached_bytes_total()
         );
     }
+}
 
-    // --- transfer tier: objects in == objects out, across sharding modes ---
+// --- transfer tier: objects in == objects out, across sharding modes ---
 
-    #[test]
-    fn transfer_tier_conserves_objects(
-        ops in prop::collection::vec((0usize..4, any::<bool>(), 1usize..20), 1..200),
-        sharding in prop_oneof![
-            Just(TransferSharding::Central),
-            Just(TransferSharding::Domain),
-            Just(TransferSharding::Node),
-        ],
-    ) {
+#[test]
+fn transfer_tier_conserves_objects() {
+    const SHARDINGS: [TransferSharding; 3] = [
+        TransferSharding::Central,
+        TransferSharding::Domain,
+        TransferSharding::Node,
+    ];
+    for case in 0..63u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7C42 + case);
+        let sharding = SHARDINGS[(case % 3) as usize];
         let table = SizeClassTable::production();
-        let cfg = TransferConfig { sharding, ..TransferConfig::default() };
+        let cfg = TransferConfig {
+            sharding,
+            ..TransferConfig::default()
+        };
         let mut tc = TransferCaches::new(&table, cfg);
-        let cl = table.class_for(128).unwrap();
+        let cl = table.class_for(128).expect("128 B is a small size");
         let mut in_tier = 0usize;
         let mut counter = 0u64;
-        for (shard, is_stash, n) in ops {
-            if is_stash {
-                let objs: Vec<u64> = (0..n as u64).map(|i| {
-                    counter += 1;
-                    (counter + i) << 7
-                }).collect();
+        let ops = rng.gen_range(1usize..200);
+        for _ in 0..ops {
+            let shard = rng.gen_range(0usize..4);
+            let n = rng.gen_range(1usize..20);
+            if rng.gen::<bool>() {
+                let objs: Vec<u64> = (0..n as u64)
+                    .map(|i| {
+                        counter += 1;
+                        (counter + i) << 7
+                    })
+                    .collect();
                 let overflow = tc.stash(shard, cl, objs);
                 in_tier += n - overflow.len();
             } else {
                 let got = tc.fetch(shard, cl, n);
-                prop_assert!(got.len() <= n);
+                assert!(got.len() <= n);
                 in_tier -= got.len();
             }
             let expected = in_tier as u64 * table.info(cl).size;
-            prop_assert_eq!(tc.cached_bytes(), expected);
+            assert_eq!(tc.cached_bytes(), expected);
         }
         // Flush accounts for everything still cached.
         let flushed: usize = tc.flush_all().iter().map(|(_, v)| v.len()).sum();
-        prop_assert_eq!(flushed, in_tier);
-        prop_assert_eq!(tc.cached_bytes(), 0);
+        assert_eq!(flushed, in_tier);
+        assert_eq!(tc.cached_bytes(), 0);
     }
 }

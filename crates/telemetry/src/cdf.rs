@@ -79,9 +79,7 @@ impl Cdf {
             return 0;
         }
         let target = q.clamp(0.0, 1.0) * self.total;
-        let idx = self
-            .points
-            .partition_point(|&(_, acc)| acc < target);
+        let idx = self.points.partition_point(|&(_, acc)| acc < target);
         self.points[idx.min(self.points.len() - 1)].0
     }
 
@@ -115,6 +113,8 @@ pub fn top_n_coverage(weights: &[f64]) -> Vec<f64> {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -178,6 +178,8 @@ impl Default for AllocationProfile {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -237,7 +239,10 @@ mod tests {
         assert!(p.size_by_count.fraction_below(1024) > 0.99);
         let by_bytes = p.size_by_bytes.fraction_below(1024);
         // 100 x 2 MiB vs 100 x 64 MiB: small objects carry ~3% of bytes.
-        assert!((by_bytes - 2.0 / 66.0).abs() < 0.01, "byte split {by_bytes}");
+        assert!(
+            (by_bytes - 2.0 / 66.0).abs() < 0.01,
+            "byte split {by_bytes}"
+        );
     }
 
     #[test]

@@ -124,6 +124,8 @@ pub fn percent_change(old: f64, new: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -108,8 +108,7 @@ impl TimeSeries {
             let i0 = self.times.partition_point(|&t| t < lo);
             let i1 = self.times.partition_point(|&t| t < hi);
             if i1 > i0 {
-                let m: f64 =
-                    self.values[i0..i1].iter().sum::<f64>() / (i1 - i0) as f64;
+                let m: f64 = self.values[i0..i1].iter().sum::<f64>() / (i1 - i0) as f64;
                 last = m;
             }
             out.push((lo, last));
@@ -119,6 +118,8 @@ impl TimeSeries {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,15 +1,27 @@
 //! Property tests for the telemetry primitives.
+//!
+//! Deterministic seeded-loop properties (hermetic replacement for the
+//! original proptest strategies).
 
-use proptest::prelude::*;
+use wsc_prng::SmallRng;
 use wsc_telemetry::cdf::{top_n_coverage, Cdf};
 use wsc_telemetry::histogram::LogHistogram;
 use wsc_telemetry::stats::{pearson, spearman};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn vec_u64(
+    rng: &mut SmallRng,
+    range: std::ops::Range<u64>,
+    len: std::ops::Range<usize>,
+) -> Vec<u64> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| rng.gen_range(range.clone())).collect()
+}
 
-    #[test]
-    fn histogram_quantiles_are_monotone(values in prop::collection::vec(1u64..(1 << 40), 1..300)) {
+#[test]
+fn histogram_quantiles_are_monotone() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E10 + case);
+        let values = vec_u64(&mut rng, 1..(1 << 40), 1..300);
         let mut h = LogHistogram::new();
         for v in &values {
             h.record(*v, 1.0);
@@ -17,85 +29,120 @@ proptest! {
         let mut last = 0u64;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
             let cur = h.quantile(q);
-            prop_assert!(cur >= last, "quantile({q}) = {cur} < {last}");
+            assert!(cur >= last, "quantile({q}) = {cur} < {last}");
             last = cur;
         }
         // Quantiles bracket the data (within bucket resolution).
-        let min = *values.iter().min().unwrap();
-        let max = *values.iter().max().unwrap();
-        prop_assert!(h.quantile(0.0) <= min);
-        prop_assert!(h.quantile(1.0) <= max);
-        prop_assert!(h.quantile(1.0) * 2 > max / 2);
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        assert!(h.quantile(0.0) <= min);
+        assert!(h.quantile(1.0) <= max);
+        assert!(h.quantile(1.0) * 2 > max / 2);
     }
+}
 
-    #[test]
-    fn histogram_fractions_partition(values in prop::collection::vec(1u64..(1 << 30), 1..200), cut in 1u64..(1 << 30)) {
+#[test]
+fn histogram_fractions_partition() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E11 + case);
+        let values = vec_u64(&mut rng, 1..(1 << 30), 1..200);
+        let cut = rng.gen_range(1u64..(1 << 30));
         let mut h = LogHistogram::new();
         for v in &values {
             h.record(*v, 2.0);
         }
         let below = h.fraction_below(cut);
         let above = h.fraction_at_or_above(cut);
-        prop_assert!((below + above - 1.0).abs() < 1e-9);
-        prop_assert!((0.0..=1.0).contains(&below));
+        assert!((below + above - 1.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&below));
     }
+}
 
-    #[test]
-    fn histogram_merge_is_additive(a in prop::collection::vec(1u64..(1 << 20), 1..100),
-                                   b in prop::collection::vec(1u64..(1 << 20), 1..100)) {
+#[test]
+fn histogram_merge_is_additive() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E12 + case);
+        let a = vec_u64(&mut rng, 1..(1 << 20), 1..100);
+        let b = vec_u64(&mut rng, 1..(1 << 20), 1..100);
         let mut ha = LogHistogram::new();
         let mut hb = LogHistogram::new();
         let mut hall = LogHistogram::new();
-        for v in &a { ha.record(*v, 1.0); hall.record(*v, 1.0); }
-        for v in &b { hb.record(*v, 1.0); hall.record(*v, 1.0); }
+        for v in &a {
+            ha.record(*v, 1.0);
+            hall.record(*v, 1.0);
+        }
+        for v in &b {
+            hb.record(*v, 1.0);
+            hall.record(*v, 1.0);
+        }
         ha.merge(&hb);
-        prop_assert!((ha.count() - hall.count()).abs() < 1e-9);
-        prop_assert_eq!(ha.quantile(0.5), hall.quantile(0.5));
+        assert!((ha.count() - hall.count()).abs() < 1e-9);
+        assert_eq!(ha.quantile(0.5), hall.quantile(0.5));
     }
+}
 
-    #[test]
-    fn cdf_fraction_is_monotone(values in prop::collection::vec(0u64..10_000, 1..200)) {
+#[test]
+fn cdf_fraction_is_monotone() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E13 + case);
+        let values = vec_u64(&mut rng, 0..10_000, 1..200);
         let cdf = Cdf::from_values(values);
         let mut last = 0.0;
         for x in (0..10_000).step_by(97) {
             let f = cdf.fraction_at_or_below(x);
-            prop_assert!(f >= last - 1e-12);
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!(f >= last - 1e-12);
+            assert!((0.0..=1.0).contains(&f));
             last = f;
         }
-        prop_assert!((cdf.fraction_at_or_below(10_000) - 1.0).abs() < 1e-9);
+        assert!((cdf.fraction_at_or_below(10_000) - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn coverage_curve_is_monotone_and_complete(weights in prop::collection::vec(0.0f64..100.0, 1..100)) {
+#[test]
+fn coverage_curve_is_monotone_and_complete() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E14 + case);
+        let n = rng.gen_range(1usize..100);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..100.0)).collect();
         let cov = top_n_coverage(&weights);
-        prop_assert!(cov.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(cov.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         if weights.iter().any(|&w| w > 0.0) {
-            prop_assert!((cov.last().unwrap() - 1.0).abs() < 1e-9);
+            let final_cov = cov.last().expect("non-empty coverage");
+            assert!((final_cov - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn correlations_are_bounded(pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..100)) {
-        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn correlations_are_bounded() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E15 + case);
+        let n = rng.gen_range(3usize..100);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0f64..100.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0f64..100.0)).collect();
         if let Some(r) = pearson(&xs, &ys) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         }
         if let Some(r) = spearman(&xs, &ys) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         }
     }
+}
 
-    #[test]
-    fn spearman_detects_any_monotone_map(xs in prop::collection::vec(-1000.0f64..1000.0, 3..50)) {
+#[test]
+fn spearman_detects_any_monotone_map() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E16 + case);
+        let n = rng.gen_range(3usize..50);
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0f64..1000.0)).collect();
         // Deduplicate to get a strictly monotone relation.
-        let mut xs = xs;
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite floats"));
         xs.dedup();
-        prop_assume!(xs.len() >= 3);
+        if xs.len() < 3 {
+            continue;
+        }
         let ys: Vec<f64> = xs.iter().map(|x| x.powi(3) + 2.0 * x).collect();
-        let r = spearman(&xs, &ys).unwrap();
-        prop_assert!((r - 1.0).abs() < 1e-9);
+        let r = spearman(&xs, &ys).expect("enough points");
+        assert!((r - 1.0).abs() < 1e-9);
     }
 }

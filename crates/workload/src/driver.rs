@@ -15,10 +15,9 @@
 //! subreleased) feeds the dTLB simulator on every access.
 
 use crate::spec::WorkloadSpec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use wsc_prng::SmallRng;
 use wsc_sim_hw::cache::{LlcAccess, LlcModel, LlcStats};
 use wsc_sim_hw::tlb::{TlbGeometry, TlbSim, TlbStats};
 use wsc_sim_hw::topology::{CpuId, Platform};
@@ -183,8 +182,8 @@ pub fn run(
     let mut peak_resident = 0u64;
 
     let store = |objects: &mut Vec<Option<LiveObject>>,
-                     free_slots: &mut Vec<usize>,
-                     obj: LiveObject|
+                 free_slots: &mut Vec<usize>,
+                 obj: LiveObject|
      -> usize {
         if let Some(idx) = free_slots.pop() {
             objects[idx] = Some(obj);
@@ -318,8 +317,8 @@ pub fn run(
         // Working-set re-accesses (long-lived data locality).
         if !working_set.is_empty() {
             for _ in 0..spec.working_set_touches {
-                ws_cursor = (ws_cursor + 1 + rng.gen_range(0..working_set.len()))
-                    % working_set.len();
+                ws_cursor =
+                    (ws_cursor + 1 + rng.gen_range(0..working_set.len())) % working_set.len();
                 if let Some(obj) = objects[working_set[ws_cursor]].as_ref() {
                     let (addr, size) = (obj.addr, obj.size);
                     service_ns += touch(&tcm, &mut llc, &mut tlb, cpu, addr, size);
@@ -386,6 +385,8 @@ pub fn run(
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::profiles;
@@ -406,7 +407,11 @@ mod tests {
         assert_eq!(r.requests, 4_000);
         assert!(r.throughput > 0.0);
         assert!(r.cpi > 0.4 && r.cpi < 10.0, "cpi {}", r.cpi);
-        assert!(r.malloc_frac > 0.005 && r.malloc_frac < 0.30, "malloc {}", r.malloc_frac);
+        assert!(
+            r.malloc_frac > 0.005 && r.malloc_frac < 0.30,
+            "malloc {}",
+            r.malloc_frac
+        );
         assert!(r.avg_resident_bytes > 0.0);
         assert!(r.llc.accesses > 0 && r.tlb.accesses > 0);
         assert!(tcm.live_bytes() > 0, "working set persists");
@@ -449,7 +454,12 @@ mod tests {
             drain_at_end: true,
             ..DriverConfig::new(2_000, 5, &p)
         };
-        let (_r, tcm) = run(&profiles::fleet_mix(), &p, TcmallocConfig::baseline(), &dcfg);
+        let (_r, tcm) = run(
+            &profiles::fleet_mix(),
+            &p,
+            TcmallocConfig::baseline(),
+            &dcfg,
+        );
         assert_eq!(tcm.live_bytes(), 0);
         assert_eq!(tcm.live_objects(), 0);
     }
@@ -476,7 +486,8 @@ mod tests {
         };
         let (r, _) = run(&bursty_spec(), &p, TcmallocConfig::baseline(), &dcfg);
         assert!(r.threads_ts.len() > 2);
-        assert!(r.threads_ts.max().unwrap() > r.threads_ts.min().unwrap());
+        let (lo, hi) = (r.threads_ts.min(), r.threads_ts.max());
+        assert!(hi.expect("non-empty") > lo.expect("non-empty"));
     }
 
     #[test]

@@ -14,8 +14,7 @@
 //! * **request structure** (allocations per request, compute per request,
 //!   access density — §5 notes smaller objects have higher access density).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use wsc_prng::SmallRng;
 
 /// A size distribution component.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -104,7 +103,10 @@ impl LifetimeMix {
     /// Panics if empty or total weight is not positive.
     pub fn new(components: Vec<(f64, LifeDist)>) -> Self {
         let total: f64 = components.iter().map(|&(w, _)| w).sum();
-        assert!(!components.is_empty() && total > 0.0, "bad lifetime mixture");
+        assert!(
+            !components.is_empty() && total > 0.0,
+            "bad lifetime mixture"
+        );
         Self { components, total }
     }
 
@@ -151,8 +153,7 @@ impl LifetimeModel {
             .buckets
             .iter()
             .find(|&&(bound, _)| size < bound)
-            .map(|(_, m)| m)
-            .unwrap_or(&self.buckets.last().expect("non-empty").1);
+            .map_or(&self.buckets.last().expect("non-empty").1, |(_, m)| m);
         mix.sample(rng)
     }
 }
@@ -189,8 +190,7 @@ impl ThreadModel {
 
     /// Thread count at simulated time `t_ns`.
     pub fn at(&self, t_ns: u64, rng: &mut SmallRng) -> usize {
-        let phase = (t_ns % self.period_ns.max(1)) as f64
-            / self.period_ns.max(1) as f64
+        let phase = (t_ns % self.period_ns.max(1)) as f64 / self.period_ns.max(1) as f64
             * std::f64::consts::TAU;
         let mut level = self.base * (1.0 + self.amplitude * phase.sin());
         if rng.gen::<f64>() < self.spike_prob {
@@ -305,12 +305,7 @@ impl WorkloadSpec {
     /// Draws a lifetime for an object of `size` allocated at site
     /// `component`: the site-specific mixture when the component has one,
     /// else the size-conditional model.
-    pub fn sample_lifetime(
-        &self,
-        size: u64,
-        component: usize,
-        rng: &mut SmallRng,
-    ) -> Option<u64> {
+    pub fn sample_lifetime(&self, size: u64, component: usize, rng: &mut SmallRng) -> Option<u64> {
         if let Some(mix) = self
             .size_mix
             .get(component)
@@ -324,9 +319,10 @@ impl WorkloadSpec {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)
@@ -368,7 +364,9 @@ mod tests {
         let mut r = rng();
         let d = LifeDist::Exp { mean_ns: 1000.0 };
         let n = 20_000;
-        let total: u64 = (0..n).map(|_| d.sample(&mut r).unwrap()).sum();
+        let total: u64 = (0..n)
+            .map(|_| d.sample(&mut r).expect("Exp always samples"))
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 1000.0).abs() < 50.0, "mean {mean}");
     }
@@ -386,10 +384,7 @@ mod tests {
                 1024,
                 LifetimeMix::new(vec![(1.0, LifeDist::Exp { mean_ns: 100.0 })]),
             ),
-            (
-                u64::MAX,
-                LifetimeMix::new(vec![(1.0, LifeDist::Forever)]),
-            ),
+            (u64::MAX, LifetimeMix::new(vec![(1.0, LifeDist::Forever)])),
         ]);
         let mut r = rng();
         assert!(model.sample(64, &mut r).is_some());

@@ -12,12 +12,11 @@
 //! traces are greppable and versionable without extra dependencies.
 
 use crate::spec::WorkloadSpec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::str::FromStr;
+use wsc_prng::SmallRng;
 use wsc_sim_hw::topology::CpuId;
 use wsc_sim_os::clock::Clock;
 use wsc_tcmalloc::Tcmalloc;
@@ -53,7 +52,12 @@ pub enum TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Alloc { id, size, site, cpu } => {
+            TraceEvent::Alloc {
+                id,
+                size,
+                site,
+                cpu,
+            } => {
                 write!(f, "a {id} {size} {site} {cpu}")
             }
             TraceEvent::Free { id, cpu } => write!(f, "f {id} {cpu}"),
@@ -71,7 +75,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -157,11 +165,11 @@ impl Trace {
                 pending.pop();
                 events.push(TraceEvent::Free {
                     id: fid,
-                    cpu: rng.gen_range(0..16),
+                    cpu: rng.gen_range(0u32..16),
                 });
             }
             let (size, site) = spec.sample_size(now, &mut rng);
-            let cpu = rng.gen_range(0..16);
+            let cpu = rng.gen_range(0u32..16);
             events.push(TraceEvent::Alloc {
                 id,
                 size,
@@ -180,7 +188,7 @@ impl Trace {
         for id in rest {
             events.push(TraceEvent::Free {
                 id,
-                cpu: rng.gen_range(0..16),
+                cpu: rng.gen_range(0u32..16),
             });
         }
         Trace {
@@ -197,11 +205,15 @@ impl Trace {
     /// trace bugs, not allocator bugs.
     pub fn replay(&self, tcm: &mut Tcmalloc, clock: &Clock) -> ReplayStats {
         let mut stats = ReplayStats::default();
-        let mut live: std::collections::HashMap<u64, (u64, u64)> =
-            std::collections::HashMap::new();
+        let mut live: std::collections::HashMap<u64, (u64, u64)> = std::collections::HashMap::new();
         for ev in &self.events {
             match *ev {
-                TraceEvent::Alloc { id, size, site, cpu } => {
+                TraceEvent::Alloc {
+                    id,
+                    size,
+                    site,
+                    cpu,
+                } => {
                     let out = tcm.malloc_with_site(size, CpuId(cpu), site as u64);
                     let prev = live.insert(id, (out.addr, size));
                     assert!(prev.is_none(), "trace reuses live id {id}");
@@ -255,18 +267,21 @@ impl Trace {
                 }
                 continue;
             }
-            events.push(line.parse::<TraceEvent>().map_err(|reason| {
-                ParseTraceError {
-                    line: i + 1,
-                    reason,
-                }
-            })?);
+            events.push(
+                line.parse::<TraceEvent>()
+                    .map_err(|reason| ParseTraceError {
+                        line: i + 1,
+                        reason,
+                    })?,
+            );
         }
         Ok(Trace { name, events })
     }
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::profiles;
@@ -311,7 +326,7 @@ mod tests {
 
     #[test]
     fn parse_reports_line_numbers() {
-        let err = Trace::from_text("a 0 64 0 0\nbogus line\n").unwrap_err();
+        let err = Trace::from_text("a 0 64 0 0\nbogus line\n").expect_err("bogus line");
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("line 2"));
     }
@@ -337,8 +352,7 @@ mod tests {
         let trace = Trace::record(&profiles::disk(), 1_500, 13);
         let run = |cfg| {
             let clock = Clock::new();
-            let mut tcm =
-                Tcmalloc::new(cfg, Platform::chiplet("t", 1, 2, 4, 2), clock.clone());
+            let mut tcm = Tcmalloc::new(cfg, Platform::chiplet("t", 1, 2, 4, 2), clock.clone());
             trace.replay(&mut tcm, &clock)
         };
         let a = run(TcmallocConfig::baseline());

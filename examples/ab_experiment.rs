@@ -17,10 +17,22 @@ fn main() {
     let design = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let base = TcmallocConfig::baseline();
     let (name, experiment) = match design.as_str() {
-        "hetero" => ("heterogeneous per-CPU caches (§4.1)", base.with_heterogeneous_percpu()),
-        "nuca" => ("NUCA-aware transfer caches (§4.2)", base.with_nuca_transfer()),
-        "spanprio" => ("span prioritization (§4.3)", base.with_span_prioritization()),
-        "lifetime" => ("lifetime-aware hugepage filler (§4.4)", base.with_lifetime_filler()),
+        "hetero" => (
+            "heterogeneous per-CPU caches (§4.1)",
+            base.with_heterogeneous_percpu(),
+        ),
+        "nuca" => (
+            "NUCA-aware transfer caches (§4.2)",
+            base.with_nuca_transfer(),
+        ),
+        "spanprio" => (
+            "span prioritization (§4.3)",
+            base.with_span_prioritization(),
+        ),
+        "lifetime" => (
+            "lifetime-aware hugepage filler (§4.4)",
+            base.with_lifetime_filler(),
+        ),
         "all" => ("all four designs (§4.5)", TcmallocConfig::optimized()),
         other => {
             eprintln!("unknown design: {other} (hetero|nuca|spanprio|lifetime|all)");

@@ -13,10 +13,16 @@ use warehouse_alloc::tcmalloc::TcmallocConfig;
 fn main() {
     let base = TcmallocConfig::baseline();
     let designs = [
-        ("heterogeneous per-CPU caches", base.with_heterogeneous_percpu()),
+        (
+            "heterogeneous per-CPU caches",
+            base.with_heterogeneous_percpu(),
+        ),
         ("NUCA-aware transfer caches", base.with_nuca_transfer()),
         ("span prioritization", base.with_span_prioritization()),
-        ("lifetime-aware hugepage filler", base.with_lifetime_filler()),
+        (
+            "lifetime-aware hugepage filler",
+            base.with_lifetime_filler(),
+        ),
     ];
     let cfg = FleetExperimentConfig {
         machines: 6,

@@ -42,7 +42,10 @@ fn main() {
 
     println!("live bytes:        {:>12}", tcm.live_bytes());
     println!("resident bytes:    {:>12}", tcm.resident_bytes());
-    println!("hugepage coverage: {:>11.1}%", tcm.hugepage_coverage() * 100.0);
+    println!(
+        "hugepage coverage: {:>11.1}%",
+        tcm.hugepage_coverage() * 100.0
+    );
 
     let f = tcm.fragmentation();
     println!("\nfragmentation breakdown (the paper's Figure 6b):");

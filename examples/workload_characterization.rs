@@ -41,18 +41,36 @@ fn main() {
     let (report, tcm) = driver::run(&spec, &platform, TcmallocConfig::baseline(), &dcfg);
 
     println!("\n-- application productivity --");
-    println!("throughput:       {:>10.0} requests / CPU-second", report.throughput);
+    println!(
+        "throughput:       {:>10.0} requests / CPU-second",
+        report.throughput
+    );
     println!("CPI:              {:>10.2}", report.cpi);
     println!("LLC MPKI:         {:>10.2}", report.llc_mpki);
     println!("dTLB walk cycles: {:>10.2}%", report.dtlb_walk_pct);
-    println!("malloc cycles:    {:>10.2}% (paper fleet-wide: 4.3%)", report.malloc_frac * 100.0);
+    println!(
+        "malloc cycles:    {:>10.2}% (paper fleet-wide: 4.3%)",
+        report.malloc_frac * 100.0
+    );
 
     println!("\n-- memory --");
-    println!("avg resident:     {:>10.1} MiB", report.avg_resident_bytes / (1 << 20) as f64);
-    println!("peak resident:    {:>10.1} MiB", report.peak_resident_bytes as f64 / (1 << 20) as f64);
-    println!("hugepage coverage:{:>10.1}%", report.avg_hugepage_coverage * 100.0);
+    println!(
+        "avg resident:     {:>10.1} MiB",
+        report.avg_resident_bytes / (1 << 20) as f64
+    );
+    println!(
+        "peak resident:    {:>10.1} MiB",
+        report.peak_resident_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "hugepage coverage:{:>10.1}%",
+        report.avg_hugepage_coverage * 100.0
+    );
     let f = report.fragmentation;
-    println!("fragmentation:    {:>10.1}% of live bytes", f.ratio() * 100.0);
+    println!(
+        "fragmentation:    {:>10.1}% of live bytes",
+        f.ratio() * 100.0
+    );
 
     println!("\n-- sampled allocation profile (Figures 7/8) --");
     let p = tcm.profile();

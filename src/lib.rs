@@ -17,6 +17,8 @@
 //! | [`workload`] | `wsc-workload` | workload models for every workload the paper names + the productivity driver |
 //! | [`fleet`] | `wsc-fleet` | Zipf binary population, paired A/B experiments, rollout estimation |
 //! | [`telemetry`] | `wsc-telemetry` | GWP-style sampling, histograms, CDFs, correlation statistics |
+//! | [`sanitizer`] | `wsc-sanitizer` | shadow-state checker, cross-tier conservation audits, structured violation reports |
+//! | [`prng`] | `wsc-prng` | deterministic xoshiro256++ PRNG (the workspace's only randomness source) |
 //!
 //! # Example
 //!
@@ -41,6 +43,8 @@
 #![forbid(unsafe_code)]
 
 pub use wsc_fleet as fleet;
+pub use wsc_prng as prng;
+pub use wsc_sanitizer as sanitizer;
 pub use wsc_sim_hw as sim_hw;
 pub use wsc_sim_os as sim_os;
 pub use wsc_tcmalloc as tcmalloc;

@@ -6,7 +6,7 @@
 
 use warehouse_alloc::fleet::experiment::{run_fleet_ab, run_workload_ab, FleetExperimentConfig};
 use warehouse_alloc::sim_hw::topology::Platform;
-use warehouse_alloc::tcmalloc::TcmallocConfig;
+use warehouse_alloc::tcmalloc::{SanitizeLevel, TcmallocConfig};
 use warehouse_alloc::workload::driver::{self, DriverConfig};
 use warehouse_alloc::workload::profiles;
 
@@ -20,7 +20,10 @@ const REQUESTS: u64 = 12_000;
 fn full_stack_runs_and_accounts_exactly() {
     let p = platform();
     let dcfg = DriverConfig::new(REQUESTS, 42, &p);
-    let (r, tcm) = driver::run(&profiles::fleet_mix(), &p, TcmallocConfig::baseline(), &dcfg);
+    // The sanitizer at Full shadow-checks every operation and audits
+    // cross-tier conservation periodically; the run must stay report-free.
+    let cfg = TcmallocConfig::baseline().with_sanitize(SanitizeLevel::Full);
+    let (r, mut tcm) = driver::run(&profiles::fleet_mix(), &p, cfg, &dcfg);
     assert!(r.throughput > 0.0);
     assert!(r.cpi > 0.4 && r.cpi < 10.0);
     // Byte-accounting identity: resident == live + all fragmentation.
@@ -30,6 +33,10 @@ fn full_stack_runs_and_accounts_exactly() {
         f.live_bytes + f.total_bytes(),
         "accounting identity"
     );
+    assert!(tcm.audits_run() > 0, "periodic audits ran during the drive");
+    assert_eq!(tcm.audit_now(), 0, "end-of-run audit is clean");
+    let reports = tcm.take_sanitizer_reports();
+    assert!(reports.is_empty(), "sanitizer reports: {reports:?}");
 }
 
 #[test]
@@ -58,10 +65,15 @@ fn teardown_leaves_clean_heap_under_every_config() {
             drain_at_end: true,
             ..DriverConfig::new(5_000, 3, &p)
         };
-        let (_, tcm) = driver::run(&profiles::tensorflow(), &p, cfg, &dcfg);
+        // Sanitize every configuration: a full teardown with the shadow
+        // checker on proves no double/invalid frees anywhere in the drive.
+        let cfg = cfg.with_sanitize(SanitizeLevel::Full);
+        let (_, mut tcm) = driver::run(&profiles::tensorflow(), &p, cfg, &dcfg);
         assert_eq!(tcm.live_bytes(), 0);
         assert_eq!(tcm.live_objects(), 0);
         assert_eq!(tcm.fragmentation().internal_bytes, 0);
+        assert_eq!(tcm.audit_now(), 0);
+        assert!(tcm.take_sanitizer_reports().is_empty());
     }
 }
 
@@ -140,8 +152,18 @@ fn spec_has_negligible_malloc_share() {
     // Figure 5a: SPEC benchmarks are unsuitable for allocator studies.
     let p = platform();
     let dcfg = DriverConfig::new(REQUESTS, 5, &p);
-    let (spec_r, _) = driver::run(&profiles::spec_cpu(0), &p, TcmallocConfig::baseline(), &dcfg);
-    let (fleet_r, _) = driver::run(&profiles::fleet_mix(), &p, TcmallocConfig::baseline(), &dcfg);
+    let (spec_r, _) = driver::run(
+        &profiles::spec_cpu(0),
+        &p,
+        TcmallocConfig::baseline(),
+        &dcfg,
+    );
+    let (fleet_r, _) = driver::run(
+        &profiles::fleet_mix(),
+        &p,
+        TcmallocConfig::baseline(),
+        &dcfg,
+    );
     assert!(spec_r.malloc_frac < 0.01);
     assert!(fleet_r.malloc_frac > 0.02);
 }

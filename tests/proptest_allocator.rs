@@ -1,11 +1,15 @@
 //! Property tests on the allocator's core invariants, driven by arbitrary
 //! operation sequences.
+//!
+//! Deterministic seeded-loop properties (hermetic replacement for the
+//! original proptest strategies): each case derives its operation sequence
+//! from a [`wsc_prng::SmallRng`] stream seeded with the case index.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use warehouse_alloc::sim_hw::topology::{CpuId, Platform};
 use warehouse_alloc::sim_os::clock::Clock;
-use warehouse_alloc::tcmalloc::{Tcmalloc, TcmallocConfig};
+use warehouse_alloc::tcmalloc::{SanitizeLevel, Tcmalloc, TcmallocConfig};
+use wsc_prng::SmallRng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -17,21 +21,34 @@ enum Op {
     Tick { ms: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (prop_oneof![
-                1u32 => Just(0u64), // zero-size allocations are legal
-                8 => 1u64..4096,
-                2 => 4096u64..(256 << 10),
-                1 => (256u64 << 10)..(4 << 20), // large path
-            ], any::<u8>())
-            .prop_map(|(size, cpu)| Op::Malloc { size, cpu }),
-        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, cpu)| Op::Free { k, cpu }),
-        1 => any::<u8>().prop_map(|ms| Op::Tick { ms }),
-    ]
+/// Mirrors the original proptest strategy weights: 4 malloc (with a size mix
+/// spanning zero-size, small, mid, and large), 3 free, 1 tick.
+fn sample_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0u32..8) {
+        0..=3 => {
+            let size = match rng.gen_range(0u32..12) {
+                0 => 0, // zero-size allocations are legal
+                1..=8 => rng.gen_range(1u64..4096),
+                9..=10 => rng.gen_range(4096u64..(256 << 10)),
+                _ => rng.gen_range(256u64 << 10..(4 << 20)), // large path
+            };
+            Op::Malloc {
+                size,
+                cpu: rng.gen::<u8>(),
+            }
+        }
+        4..=6 => Op::Free {
+            k: rng.gen::<u8>(),
+            cpu: rng.gen::<u8>(),
+        },
+        _ => Op::Tick {
+            ms: rng.gen::<u8>(),
+        },
+    }
 }
 
 fn run_ops(cfg: TcmallocConfig, ops: &[Op]) {
+    let sanitized = cfg.sanitize.is_on();
     let platform = Platform::chiplet("t", 1, 2, 4, 2);
     let clock = Clock::new();
     let mut tcm = Tcmalloc::new(cfg, platform, clock.clone());
@@ -81,45 +98,95 @@ fn run_ops(cfg: TcmallocConfig, ops: &[Op]) {
     assert_eq!(f.internal_bytes, 0);
     // Identity: with nothing live, everything resident is cached somewhere.
     assert_eq!(f.resident_bytes, f.total_bytes());
+    if sanitized {
+        // A clean run must produce zero shadow reports, and a final
+        // cross-tier audit must find every conservation invariant intact.
+        assert_eq!(tcm.audit_now(), 0, "end-of-run audit found violations");
+        let reports = tcm.take_sanitizer_reports();
+        assert!(reports.is_empty(), "sanitizer reports: {reports:?}");
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn ops_for_case(seed: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(1usize..300);
+    (0..n).map(|_| sample_op(&mut rng)).collect()
+}
 
-    #[test]
-    fn allocator_invariants_hold_baseline(ops in prop::collection::vec(op_strategy(), 1..300)) {
-        run_ops(TcmallocConfig::baseline(), &ops);
+#[test]
+fn allocator_invariants_hold_baseline() {
+    for case in 0..48u64 {
+        run_ops(TcmallocConfig::baseline(), &ops_for_case(0xA110 + case));
     }
+}
 
-    #[test]
-    fn allocator_invariants_hold_optimized(ops in prop::collection::vec(op_strategy(), 1..300)) {
-        run_ops(TcmallocConfig::optimized(), &ops);
+#[test]
+fn allocator_invariants_hold_optimized() {
+    for case in 0..48u64 {
+        run_ops(TcmallocConfig::optimized(), &ops_for_case(0xA111 + case));
     }
+}
 
-    #[test]
-    fn alloc_free_round_trip_any_size(size in 0u64..(8 << 20)) {
+#[test]
+fn allocator_invariants_hold_under_full_sanitizer() {
+    // The tentpole property: with the shadow checker and conservation
+    // audits fully on, arbitrary valid operation sequences never trigger a
+    // single report — on either configuration.
+    for case in 0..24u64 {
+        run_ops(
+            TcmallocConfig::baseline().with_sanitize(SanitizeLevel::Full),
+            &ops_for_case(0xA112 + case),
+        );
+        run_ops(
+            TcmallocConfig::optimized().with_sanitize(SanitizeLevel::Full),
+            &ops_for_case(0xA113 + case),
+        );
+    }
+}
+
+#[test]
+fn allocator_invariants_hold_under_sampled_sanitizer() {
+    for case in 0..12u64 {
+        run_ops(
+            TcmallocConfig::optimized().with_sanitize(SanitizeLevel::Sampled(64)),
+            &ops_for_case(0xA114 + case),
+        );
+    }
+}
+
+#[test]
+fn alloc_free_round_trip_any_size() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA115 + case);
+        let size = rng.gen_range(0u64..(8 << 20));
         let platform = Platform::chiplet("t", 1, 2, 4, 2);
         let mut tcm = Tcmalloc::new(TcmallocConfig::baseline(), platform, Clock::new());
         let a = tcm.malloc(size, CpuId(0));
-        prop_assert!(a.actual_bytes >= size);
+        assert!(a.actual_bytes >= size);
         tcm.free(a.addr, size, CpuId(0));
-        prop_assert_eq!(tcm.live_bytes(), 0);
+        assert_eq!(tcm.live_bytes(), 0);
     }
+}
 
-    #[test]
-    fn addresses_of_concurrent_objects_never_overlap(
-        sizes in prop::collection::vec(1u64..(512 << 10), 2..100)
-    ) {
+#[test]
+fn addresses_of_concurrent_objects_never_overlap() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA116 + case);
+        let n = rng.gen_range(2usize..100);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..(512 << 10))).collect();
         let platform = Platform::chiplet("t", 1, 2, 4, 2);
         let mut tcm = Tcmalloc::new(TcmallocConfig::optimized(), platform, Clock::new());
         let mut ranges: Vec<(u64, u64)> = Vec::new();
         for (i, &size) in sizes.iter().enumerate() {
             let a = tcm.malloc(size, CpuId((i % 8) as u32));
             for &(start, len) in &ranges {
-                prop_assert!(
+                assert!(
                     a.addr + a.actual_bytes <= start || start + len <= a.addr,
                     "overlap: [{:#x},+{}) vs [{:#x},+{})",
-                    a.addr, a.actual_bytes, start, len
+                    a.addr,
+                    a.actual_bytes,
+                    start,
+                    len
                 );
             }
             ranges.push((a.addr, a.actual_bytes));

@@ -1,0 +1,299 @@
+//! The determinism lint.
+//!
+//! Simulation results must be bit-identical given a seed: the paper's A/B
+//! methodology (§3) rests on paired, reproducible runs, and the repo's test
+//! thresholds encode exact expected behaviour. Three things silently break
+//! that contract, and none of them is caught by rustc or clippy:
+//!
+//! 1. **Wall-clock time** — `std::time::Instant` / `SystemTime` instead of
+//!    the simulated `Clock`.
+//! 2. **Ambient randomness** — `thread_rng` (or any OS-seeded generator)
+//!    instead of the seeded `wsc_prng::SmallRng`.
+//! 3. **HashMap iteration order** — `HashMap` iteration is randomized per
+//!    process by SipHash seeding, so any `.iter()`/`.keys()`/`.values()`
+//!    over one leaks nondeterminism into whatever consumes the order.
+//!
+//! The lint scans the deterministic core (`sim-*`, `tcmalloc`, `fleet`,
+//! `sanitizer`, `workload`, `telemetry`, `prng`) line by line. A finding on
+//! a line carrying `lint:allow(<rule>)` — same line or the line above — is
+//! suppressed; the escape hatch exists for provably order-independent
+//! folds, and each use must justify itself in the comment.
+//!
+//! Run with `cargo run -p wsc-tools --bin lint`. Exits nonzero on findings,
+//! so CI can gate on it.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose behaviour must be deterministic. `bench` is deliberately
+/// out of scope: its harness measures real wall-clock time.
+const SCOPED_CRATES: &[&str] = &[
+    "crates/sim-hw",
+    "crates/sim-os",
+    "crates/tcmalloc",
+    "crates/fleet",
+    "crates/sanitizer",
+    "crates/workload",
+    "crates/telemetry",
+    "crates/prng",
+];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    WallClock,
+    AmbientRng,
+    HashMapIter,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::HashMapIter => "hashmap-iter",
+        }
+    }
+}
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: Rule,
+    excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.excerpt.trim()
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for krate in SCOPED_CRATES {
+        let dir = root.join(krate);
+        if !dir.is_dir() {
+            eprintln!("lint: missing crate dir {}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for file in rust_files(&dir) {
+            files_scanned += 1;
+            match std::fs::read_to_string(&file) {
+                Ok(src) => scan_file(&file, &src, &mut findings),
+                Err(e) => {
+                    eprintln!("lint: cannot read {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if findings.is_empty() {
+        println!("determinism lint: {files_scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("determinism lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: the manifest dir's parent when run via cargo, else
+/// the current directory.
+fn repo_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir)
+            .parent()
+            .map_or_else(|| PathBuf::from("."), Path::to_path_buf),
+        None => PathBuf::from("."),
+    }
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn scan_file(path: &Path, src: &str, findings: &mut Vec<Finding>) {
+    let lines: Vec<&str> = src.lines().collect();
+    let hashmaps = hashmap_bindings(&lines);
+    for (i, &line) in lines.iter().enumerate() {
+        let code = strip_comment_and_strings(line);
+        if code.trim().is_empty() {
+            continue;
+        }
+        let mut hit = |rule: Rule| {
+            if !allowed(&lines, i, rule) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule,
+                    excerpt: line.to_string(),
+                });
+            }
+        };
+        if code.contains("std::time::Instant")
+            || code.contains("std::time::SystemTime")
+            || code.contains("Instant::now")
+            || code.contains("SystemTime::now")
+        {
+            hit(Rule::WallClock);
+        }
+        if code.contains("thread_rng") || code.contains("from_entropy") {
+            hit(Rule::AmbientRng);
+        }
+        for name in &hashmaps {
+            if iterates_binding(&code, name) {
+                hit(Rule::HashMapIter);
+                break;
+            }
+        }
+    }
+}
+
+/// Identifiers bound to a `HashMap` anywhere in the file: struct fields and
+/// let-bindings of the form `name: HashMap<...>` or
+/// `let [mut] name ... = HashMap::new()`.
+fn hashmap_bindings(lines: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for &line in lines {
+        let code = strip_comment_and_strings(line);
+        if let Some(pos) = code.find(": HashMap<") {
+            if let Some(name) = ident_ending_at(&code, pos) {
+                out.push(name);
+            }
+        }
+        if code.contains("= HashMap::new()") || code.contains("= HashMap::with_capacity") {
+            if let Some(rest) = code.trim_start().strip_prefix("let ") {
+                let rest = rest.trim_start().trim_start_matches("mut ");
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The identifier whose last character sits just before byte `end`.
+fn ident_ending_at(code: &str, end: usize) -> Option<String> {
+    let head = &code[..end];
+    let start = head
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    let name = &head[start..];
+    (!name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit())).then(|| name.to_string())
+}
+
+/// Does this line iterate the binding (order-sensitive access)?
+fn iterates_binding(code: &str, name: &str) -> bool {
+    const ITERS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain()",
+        ".into_iter()",
+        ".retain(",
+    ];
+    for call in ITERS {
+        let needle = format!("{name}{call}");
+        if code.contains(&needle) {
+            return true;
+        }
+    }
+    // `for x in &map` / `for x in map` / `for x in &mut map`.
+    if let Some(pos) = code.find(" in ") {
+        let tail = code[pos + 4..]
+            .trim_start()
+            .trim_start_matches('&')
+            .trim_start_matches("mut ")
+            .trim_start_matches("self.");
+        let ident: String = tail
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident == name {
+            let after = &tail[ident.len()..];
+            // `for k in map.keys()` already matched above; a bare
+            // `for x in map {` or `for x in &map` is the leak here.
+            if after.trim_start().is_empty() || after.starts_with(' ') || after.starts_with('{') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is the finding suppressed by `lint:allow(<rule>)` on this line or the
+/// line above?
+fn allowed(lines: &[&str], idx: usize, rule: Rule) -> bool {
+    let tag = format!("lint:allow({})", rule.name());
+    lines[idx].contains(&tag) || (idx > 0 && lines[idx - 1].contains(&tag))
+}
+
+/// Drops `//` comments and the contents of string literals, so identifiers
+/// in docs or messages don't trip the scan. (Line-based; multi-line string
+/// literals are rare enough in this workspace not to matter.)
+fn strip_comment_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut prev = '\0';
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '"' && prev != '\\' {
+                in_str = false;
+                out.push('"');
+            }
+            prev = c;
+            continue;
+        }
+        if c == '"' {
+            in_str = true;
+            out.push('"');
+        } else if c == '/' && chars.peek() == Some(&'/') {
+            break;
+        } else {
+            out.push(c);
+        }
+        prev = c;
+    }
+    out
+}
