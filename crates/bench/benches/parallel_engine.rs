@@ -1,0 +1,93 @@
+//! Parallel experiment-engine benchmark: serial vs N-thread wall clock for
+//! a fleet A/B experiment, the canonical-merge determinism check, and the
+//! engine's scheduling/merge overhead. Emits `BENCH_parallel.json`.
+//!
+//! `WSC_THREADS` picks the parallel thread count (default 4);
+//! `REPRO_SCALE` sizes the experiment as everywhere else.
+
+use std::time::Instant;
+use wsc_bench::harness::JsonReport;
+use wsc_bench::parallel::{Engine, Task};
+use wsc_bench::Scale;
+use wsc_fleet::experiment::{try_run_fleet_ab, FleetAbResult};
+use wsc_tcmalloc::TcmallocConfig;
+
+/// Cargo runs benches with cwd = the package dir; anchor the report to the
+/// workspace root so CI finds it at a fixed path.
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+
+fn timed_fleet_ab(engine: &Engine, scale: &Scale) -> (f64, FleetAbResult) {
+    let t = Instant::now();
+    let r = try_run_fleet_ab(
+        engine,
+        TcmallocConfig::baseline(),
+        TcmallocConfig::optimized(),
+        &scale.fleet_config(11),
+    )
+    .unwrap_or_else(|e| panic!("bench fleet A/B aborted: {e}"));
+    (t.elapsed().as_nanos() as f64, r)
+}
+
+/// Engine overhead proxy: schedule + merge a batch of no-op tasks. The
+/// task body is free, so the measured time is chunk claiming, panic
+/// shielding, result collection, and the canonical sort.
+fn merge_overhead_ns(engine: &Engine, tasks: usize) -> f64 {
+    let work = Task::seeded(7, (0..tasks).map(|i| (format!("noop {i}"), i)));
+    let t = Instant::now();
+    let out = engine
+        .run(&work, |task, index| task.payload + index)
+        .unwrap_or_else(|e| panic!("noop batch aborted: {e}"));
+    let elapsed = t.elapsed().as_nanos() as f64;
+    assert_eq!(out.len(), tasks);
+    elapsed
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = std::env::var("WSC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("== parallel engine: fleet A/B, serial vs {threads} threads ==");
+    println!("(scale {}, {cores} cores available)", scale.name);
+
+    let serial_engine = Engine::serial();
+    let parallel_engine = Engine::new(threads);
+
+    // Warm-up run so the first measurement doesn't pay one-time costs.
+    let _ = timed_fleet_ab(&serial_engine, &scale);
+
+    let (serial_ns, serial_result) = timed_fleet_ab(&serial_engine, &scale);
+    let (parallel_ns, parallel_result) = timed_fleet_ab(&parallel_engine, &scale);
+
+    // The determinism contract, asserted on every bench run: the merged
+    // report must be bit-identical regardless of thread count.
+    let identical = format!("{serial_result:?}") == format!("{parallel_result:?}");
+    assert!(identical, "thread-count-dependent result — engine bug");
+
+    let speedup = serial_ns / parallel_ns.max(1.0);
+    let overhead = merge_overhead_ns(&parallel_engine, 1024);
+
+    println!("serial   {serial_ns:>12.0} ns");
+    println!("threads={threads} {parallel_ns:>12.0} ns");
+    println!("speedup  {speedup:>12.2}x  (1024-task engine overhead {overhead:.0} ns)");
+    println!("merged results bit-identical: {identical}");
+
+    let mut report = JsonReport::new();
+    report
+        .text("bench", "parallel_engine/fleet_ab")
+        .text("scale", scale.name)
+        .int("threads", threads as u64)
+        .int("cores_available", cores as u64)
+        .num("serial_ns", serial_ns)
+        .num("parallel_ns", parallel_ns)
+        .num("speedup", speedup)
+        .num("merge_overhead_ns", overhead)
+        .flag("identical", identical);
+    report
+        .write(OUT_PATH)
+        .unwrap_or_else(|e| panic!("writing {OUT_PATH}: {e}"));
+    println!("wrote {OUT_PATH}");
+}

@@ -4,7 +4,12 @@
 //! cargo run --release -p wsc-bench --bin repro -- all
 //! cargo run --release -p wsc-bench --bin repro -- fig10 table2
 //! REPRO_SCALE=full cargo run --release -p wsc-bench --bin repro -- all
+//! cargo run --release -p wsc-bench --bin repro -- --threads 8 all
 //! ```
+//!
+//! `--threads N` (or `WSC_THREADS=N`) shards experiment cells across N
+//! worker threads. Output is bit-identical at any thread count: only the
+//! wall clock changes.
 
 use wsc_bench::experiments as ex;
 use wsc_bench::Scale;
@@ -33,20 +38,54 @@ const IDS: &[&str] = &[
     "ablations",
 ];
 
+/// Strips `--threads N` / `--threads=N` from `args`, returning the
+/// requested thread count if present. Exits with usage on a malformed
+/// value — a typo silently falling back to serial would be misleading.
+fn parse_threads(args: &mut Vec<String>) -> Option<usize> {
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        let (consumed, value) = if args[i] == "--threads" {
+            let v = args.get(i + 1).cloned();
+            (2, v)
+        } else if let Some(v) = args[i].strip_prefix("--threads=") {
+            (1, Some(v.to_string()))
+        } else {
+            i += 1;
+            continue;
+        };
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n >= 1 => threads = Some(n),
+            _ => {
+                eprintln!("--threads expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..i + consumed);
+    }
+    threads
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parse_threads(&mut args);
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [all | {} ...]", IDS.join(" | "));
+        eprintln!("usage: repro [--threads N] [all | {} ...]", IDS.join(" | "));
         eprintln!("scale: set REPRO_SCALE=quick|default|full (default: default)");
+        eprintln!("threads: --threads N or WSC_THREADS=N (results are thread-count-invariant)");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    let scale = Scale::from_env();
+    let mut scale = Scale::from_env();
+    if let Some(n) = threads {
+        scale = scale.with_threads(n);
+    }
     println!(
-        "# Reproduction run — scale '{}' ({} requests/run, {} seeds, {} fleet machines/arm)\n",
+        "# Reproduction run — scale '{}' ({} requests/run, {} seeds, {} fleet machines/arm, {} threads)\n",
         scale.name,
         scale.requests,
         scale.seeds.len(),
-        scale.fleet_machines
+        scale.fleet_machines,
+        scale.engine.threads()
     );
     let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
         IDS.to_vec()

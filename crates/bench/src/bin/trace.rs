@@ -10,7 +10,11 @@
 //! # Replay it under both configurations and compare:
 //! cargo run --release -p wsc-bench --bin trace -- replay disk.trace
 //! ```
+//!
+//! `replay` runs the two configurations as engine tasks (`--threads N` or
+//! `WSC_THREADS`); results print in config order whatever the thread count.
 
+use wsc_bench::parallel::{Engine, Task};
 use wsc_sim_hw::topology::Platform;
 use wsc_sim_os::clock::Clock;
 use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
@@ -18,9 +22,9 @@ use wsc_workload::profiles;
 use wsc_workload::trace::{Trace, TraceEvent};
 
 fn usage() -> ! {
-    eprintln!("usage: trace record <workload> <events> <file>");
-    eprintln!("       trace info <file>");
-    eprintln!("       trace replay <file>");
+    eprintln!("usage: trace [--threads N] record <workload> <events> <file>");
+    eprintln!("       trace [--threads N] info <file>");
+    eprintln!("       trace [--threads N] replay <file>");
     eprintln!("workloads: fleet spanner monarch bigtable f1-query disk redis");
     eprintln!("           data-pipeline image-processing tensorflow spec");
     std::process::exit(2);
@@ -47,7 +51,26 @@ fn workload(name: &str) -> wsc_workload::WorkloadSpec {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = Engine::from_env();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" && i + 1 < args.len() {
+            match args[i + 1].parse::<usize>() {
+                Ok(n) if n >= 1 => engine = Engine::new(n),
+                _ => usage(),
+            }
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--threads=") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => engine = Engine::new(n),
+                _ => usage(),
+            }
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
     match args.first().map(String::as_str) {
         Some("record") if args.len() == 4 => {
             let spec = workload(&args[1]);
@@ -85,13 +108,29 @@ fn main() {
                 "{:<12} {:>10} {:>14} {:>16}",
                 "config", "allocs", "malloc ms", "peak resident"
             );
-            for (name, cfg) in [
+            // Both replays are engine tasks: independent allocator
+            // instances, results merged back in config order.
+            let tasks: Vec<Task<(&str, TcmallocConfig)>> = [
                 ("baseline", TcmallocConfig::baseline()),
                 ("optimized", TcmallocConfig::optimized()),
-            ] {
-                let clock = Clock::new();
-                let mut tcm = Tcmalloc::new(cfg, platform.clone(), clock.clone());
-                let stats = trace.replay(&mut tcm, &clock);
+            ]
+            .into_iter()
+            .map(|(name, cfg)| Task {
+                seed: 42,
+                label: format!("replay {name}"),
+                payload: (name, cfg),
+            })
+            .collect();
+            let rows = engine
+                .run(&tasks, |task, _| {
+                    let (name, cfg) = task.payload;
+                    let clock = Clock::new();
+                    let mut tcm = Tcmalloc::new(cfg, platform.clone(), clock.clone());
+                    let stats = trace.replay(&mut tcm, &clock);
+                    (name, stats)
+                })
+                .unwrap_or_else(|e| panic!("trace replay aborted: {e}"));
+            for (name, stats) in rows {
                 println!(
                     "{name:<12} {:>10} {:>11.2} ms {:>12.1} MiB",
                     stats.allocs,

@@ -4,7 +4,7 @@
 //! measured values so tests can assert the *shape* criteria from DESIGN.md:
 //! who wins, by roughly what factor, in the same ordering across workloads.
 
-use wsc_fleet::experiment::{run_fleet_ab, run_workload_ab, Comparison, MetricSet};
+use wsc_fleet::experiment::{try_run_fleet_ab, Comparison, MetricSet};
 use wsc_fleet::population::Population;
 use wsc_fleet::report::{pct, Table};
 use wsc_fleet::rollout;
@@ -14,7 +14,7 @@ use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_sim_os::clock::{Clock, NS_PER_SEC};
 use wsc_tcmalloc::stats::CycleCategory;
 use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
-use wsc_workload::driver::{self, DriverConfig};
+use wsc_workload::driver::{self, DriverConfig, RunJob};
 use wsc_workload::{profiles, WorkloadSpec};
 
 use crate::scale::Scale;
@@ -32,7 +32,9 @@ fn f3(v: f64) -> String {
     format!("{v:.3}")
 }
 
-/// Averages paired A/B comparisons for one workload over the scale's seeds.
+/// Averages paired A/B comparisons for one workload over the scale's
+/// seeds. All `seeds × {control, experiment}` runs are one engine batch;
+/// arms of a pair share the seed so the pairing isolates the allocator.
 pub fn averaged_ab(
     spec: &WorkloadSpec,
     platform: &Platform,
@@ -40,12 +42,25 @@ pub fn averaged_ab(
     experiment: TcmallocConfig,
     scale: &Scale,
 ) -> Comparison {
-    let mut acc = Comparison::default();
-    let n = scale.seeds.len() as f64;
+    let mut jobs = Vec::with_capacity(scale.seeds.len() * 2);
     for &seed in &scale.seeds {
-        let c = run_workload_ab(spec, platform, control, experiment, scale.requests, seed);
-        add_metrics(&mut acc.control, &c.control, 1.0 / n);
-        add_metrics(&mut acc.experiment, &c.experiment, 1.0 / n);
+        let dcfg = DriverConfig::new(scale.requests, seed, platform);
+        for tcm_cfg in [control, experiment] {
+            jobs.push(RunJob {
+                spec: spec.clone(),
+                platform: platform.clone(),
+                tcm_cfg,
+                dcfg: dcfg.clone(),
+            });
+        }
+    }
+    let metrics = driver::run_batch(&scale.engine, jobs, |r, _| MetricSet::from_report(r))
+        .unwrap_or_else(|e| panic!("averaged A/B aborted: {e}"));
+    let n = scale.seeds.len() as f64;
+    let mut acc = Comparison::default();
+    for pair in metrics.chunks(2) {
+        add_metrics(&mut acc.control, &pair[0], 1.0 / n);
+        add_metrics(&mut acc.experiment, &pair[1], 1.0 / n);
     }
     acc
 }
@@ -75,6 +90,33 @@ fn baseline_run(
         ..DriverConfig::new(scale.requests, seed, &platform)
     };
     driver::run(spec, &platform, TcmallocConfig::baseline(), &dcfg)
+}
+
+/// Runs `specs` at baseline config as one engine batch; `extract` pulls the
+/// per-run values inside the worker so only they cross threads. Results are
+/// in `specs` order regardless of thread count.
+fn baseline_batch<R: Send>(
+    specs: &[WorkloadSpec],
+    scale: &Scale,
+    seed: u64,
+    drain: bool,
+    extract: impl Fn(&driver::RunReport, &Tcmalloc) -> R + Sync,
+) -> Vec<R> {
+    let platform = chiplet();
+    let jobs = specs
+        .iter()
+        .map(|spec| RunJob {
+            spec: spec.clone(),
+            platform: platform.clone(),
+            tcm_cfg: TcmallocConfig::baseline(),
+            dcfg: DriverConfig {
+                drain_at_end: drain,
+                ..DriverConfig::new(scale.requests, seed, &platform)
+            },
+        })
+        .collect();
+    driver::run_batch(&scale.engine, jobs, extract)
+        .unwrap_or_else(|e| panic!("baseline batch aborted: {e}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -192,9 +234,10 @@ pub fn fig5a(scale: &Scale) -> Vec<(String, f64)> {
     ];
     let mut t = Table::new(vec!["workload", "paper %", "measured %"]);
     let mut rows = Vec::new();
-    for (i, spec) in fig5_workloads().iter().enumerate() {
-        let (r, _) = baseline_run(spec, scale, 42, false);
-        let measured = r.malloc_frac * 100.0;
+    let specs = fig5_workloads();
+    let fracs = baseline_batch(&specs, scale, 42, false, |r, _| r.malloc_frac);
+    for (i, (spec, frac)) in specs.iter().zip(&fracs).enumerate() {
+        let measured = frac * 100.0;
         t.row(vec![
             spec.name.clone(),
             format!("~{}", paper[i].1),
@@ -220,9 +263,9 @@ pub fn fig5b(scale: &Scale) -> Vec<(String, f64, f64)> {
     ]);
     let paper = ["22.2", "25", "11.2", "30", "20", "42.5", "-", "-"];
     let mut rows = Vec::new();
-    for (i, spec) in fig5_workloads().iter().enumerate() {
-        let (r, _) = baseline_run(spec, scale, 42, false);
-        let f = r.fragmentation;
+    let specs = fig5_workloads();
+    let frags = baseline_batch(&specs, scale, 42, false, |r, _| r.fragmentation);
+    for (i, (spec, f)) in specs.iter().zip(&frags).enumerate() {
         let total = f.ratio() * 100.0;
         let internal = if f.live_bytes > 0 {
             f.internal_bytes as f64 / f.live_bytes as f64 * 100.0
@@ -295,9 +338,9 @@ pub fn fig6b(scale: &Scale) -> Vec<(String, [f64; 5])> {
         "workload", "CPUCache", "Transfer", "CFL", "PageHeap", "Internal",
     ]);
     let mut rows = Vec::new();
-    for spec in &specs {
-        let (r, _) = baseline_run(spec, scale, 42, false);
-        let shares = r.fragmentation.shares().map(|s| s * 100.0);
+    let all_shares = baseline_batch(&specs, scale, 42, false, |r, _| r.fragmentation.shares());
+    for (spec, shares) in specs.iter().zip(&all_shares) {
+        let shares = shares.map(|s| s * 100.0);
         t.row(vec![
             spec.name.clone(),
             f2(shares[0]),
@@ -324,16 +367,21 @@ pub fn fig7(scale: &Scale) -> (f64, f64, f64, f64) {
     // The >256 KiB tail is one allocation in ~200k: run long and merge
     // several seeds so the sampled tail is populated.
     let platform = chiplet();
+    let jobs: Vec<RunJob> = scale
+        .seeds
+        .iter()
+        .map(|&seed| RunJob {
+            spec: profiles::fleet_mix(),
+            platform: platform.clone(),
+            tcm_cfg: TcmallocConfig::baseline(),
+            dcfg: DriverConfig::new(scale.requests * 4, seed, &platform),
+        })
+        .collect();
+    let profiles_by_seed = driver::run_batch(&scale.engine, jobs, |_, tcm| tcm.profile().clone())
+        .unwrap_or_else(|e| panic!("figure 7 batch aborted: {e}"));
     let mut profile = wsc_telemetry::gwp::AllocationProfile::new();
-    for &seed in &scale.seeds {
-        let dcfg = DriverConfig::new(scale.requests * 4, seed, &platform);
-        let (_, tcm) = driver::run(
-            &profiles::fleet_mix(),
-            &platform,
-            TcmallocConfig::baseline(),
-            &dcfg,
-        );
-        profile.merge(tcm.profile());
+    for p in &profiles_by_seed {
+        profile.merge(p);
     }
     let tcm_profile = profile;
     let p = &tcm_profile;
@@ -376,19 +424,28 @@ pub fn fig7(scale: &Scale) -> (f64, f64, f64, f64) {
 /// where diversity is the IQR ratio (p75/p25) of small-object lifetimes.
 pub fn fig8(scale: &Scale) -> (f64, f64, f64, f64) {
     println!("== Figure 8: object lifetime x size (fleet vs SPEC) ==");
-    let stats = |spec: &WorkloadSpec| {
-        // Densify sampling (64 KiB period instead of 2 MiB) so even the
-        // allocation-light SPEC programs produce a usable lifetime profile.
-        let platform = chiplet();
-        let cfg = TcmallocConfig {
-            sample_period_bytes: 64 << 10,
-            ..TcmallocConfig::baseline()
-        };
-        let dcfg = DriverConfig {
-            drain_at_end: true,
-            ..DriverConfig::new(scale.requests * 2, 42, &platform)
-        };
-        let (_, tcm) = driver::run(spec, &platform, cfg, &dcfg);
+    // Densify sampling (64 KiB period instead of 2 MiB) so even the
+    // allocation-light SPEC programs produce a usable lifetime profile.
+    // Both runs are one engine batch; the histogram aggregation happens
+    // inside each worker so only two (f64, f64) pairs cross threads.
+    let platform = chiplet();
+    let cfg = TcmallocConfig {
+        sample_period_bytes: 64 << 10,
+        ..TcmallocConfig::baseline()
+    };
+    let jobs: Vec<RunJob> = [profiles::fleet_mix(), profiles::spec_cpu(1)]
+        .into_iter()
+        .map(|spec| RunJob {
+            spec,
+            platform: platform.clone(),
+            tcm_cfg: cfg,
+            dcfg: DriverConfig {
+                drain_at_end: true,
+                ..DriverConfig::new(scale.requests * 2, 42, &platform)
+            },
+        })
+        .collect();
+    let stats = driver::run_batch(&scale.engine, jobs, |_, tcm| {
         let p = tcm.profile();
         // Aggregate small sizes (exp 3..=9, i.e. 8 B..1 KiB).
         let mut small = wsc_telemetry::LogHistogram::new();
@@ -401,9 +458,10 @@ pub fn fig8(scale: &Scale) -> (f64, f64, f64, f64) {
         // program-long) and has almost none.
         let middle = small.fraction_below(NS_PER_SEC) - small.fraction_below(1_000_000);
         (under_1ms, middle)
-    };
-    let (fleet_short, fleet_mid) = stats(&profiles::fleet_mix());
-    let (spec_short, spec_mid) = stats(&profiles::spec_cpu(1));
+    })
+    .unwrap_or_else(|e| panic!("figure 8 batch aborted: {e}"));
+    let (fleet_short, fleet_mid) = stats[0];
+    let (spec_short, spec_mid) = stats[1];
     let mut t = Table::new(vec!["metric", "fleet", "spec-cpu"]);
     t.row(vec![
         "small objects < 1 ms".into(),
@@ -498,22 +556,55 @@ fn eval_workloads() -> Vec<WorkloadSpec> {
 
 /// Generic per-design evaluation: fleet A/B plus per-workload rows.
 /// Returns `(fleet_comparison, rows)` with one `Comparison` per workload.
+///
+/// Every per-workload run — `workloads × seeds × {control, experiment}` —
+/// is flattened into one engine batch so the whole table shards across
+/// threads, then folded back per workload in canonical order.
 pub fn design_ab(
     control: TcmallocConfig,
     experiment: TcmallocConfig,
     scale: &Scale,
     skip: &[&str],
 ) -> (Comparison, Vec<(String, Comparison)>) {
-    let fleet = run_fleet_ab(control, experiment, &scale.fleet_config(11)).fleet;
+    let fleet = try_run_fleet_ab(&scale.engine, control, experiment, &scale.fleet_config(11))
+        .unwrap_or_else(|e| panic!("design A/B fleet arm aborted: {e}"))
+        .fleet;
     let platform = chiplet();
+    let specs = eval_workloads();
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        if skip.contains(&spec.name.as_str()) {
+            continue;
+        }
+        for &seed in &scale.seeds {
+            let dcfg = DriverConfig::new(scale.requests, seed, &platform);
+            for tcm_cfg in [control, experiment] {
+                jobs.push(RunJob {
+                    spec: spec.clone(),
+                    platform: platform.clone(),
+                    tcm_cfg,
+                    dcfg: dcfg.clone(),
+                });
+            }
+        }
+    }
+    let metrics = driver::run_batch(&scale.engine, jobs, |r, _| MetricSet::from_report(r))
+        .unwrap_or_else(|e| panic!("design A/B aborted: {e}"));
+    let n = scale.seeds.len() as f64;
+    let mut pairs = metrics.chunks(2);
     let mut rows = Vec::new();
-    for spec in eval_workloads() {
+    for spec in &specs {
         if skip.contains(&spec.name.as_str()) {
             rows.push((spec.name.clone(), Comparison::default()));
             continue;
         }
-        let c = averaged_ab(&spec, &platform, control, experiment, scale);
-        rows.push((spec.name.clone(), c));
+        let mut acc = Comparison::default();
+        for _ in &scale.seeds {
+            let pair = pairs.next().expect("batch covers every (workload, seed)");
+            add_metrics(&mut acc.control, &pair[0], 1.0 / n);
+            add_metrics(&mut acc.experiment, &pair[1], 1.0 / n);
+        }
+        rows.push((spec.name.clone(), acc));
     }
     (fleet, rows)
 }

@@ -14,3 +14,8 @@ pub mod harness;
 pub mod scale;
 
 pub use scale::Scale;
+/// The deterministic parallel execution engine (re-export of
+/// [`wsc_parallel`]): experiments shard across `Scale::engine`'s worker
+/// threads and merge in canonical task order, so every figure and table is
+/// bit-identical at any `--threads` setting.
+pub use wsc_parallel as parallel;

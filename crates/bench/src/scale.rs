@@ -5,6 +5,7 @@
 //! what EXPERIMENTS.md quotes.
 
 use wsc_fleet::experiment::FleetExperimentConfig;
+use wsc_parallel::Engine;
 
 /// Experiment sizing knobs.
 #[derive(Clone, Debug)]
@@ -19,10 +20,14 @@ pub struct Scale {
     pub fleet_machines: usize,
     /// Requests per binary in fleet experiments.
     pub fleet_requests: u64,
+    /// Execution engine experiments submit work through. Thread count
+    /// never changes results (canonical-order merge), only wall-clock.
+    pub engine: Engine,
 }
 
 impl Scale {
     /// Reads `REPRO_SCALE` from the environment (default: `default`).
+    /// The engine honours `WSC_THREADS`.
     pub fn from_env() -> Self {
         match std::env::var("REPRO_SCALE").as_deref() {
             Ok("quick") => Self::quick(),
@@ -39,6 +44,7 @@ impl Scale {
             seeds: vec![42],
             fleet_machines: 3,
             fleet_requests: 6_000,
+            engine: Engine::from_env(),
         }
     }
 
@@ -50,6 +56,7 @@ impl Scale {
             seeds: vec![41, 42, 43],
             fleet_machines: 10,
             fleet_requests: 15_000,
+            engine: Engine::from_env(),
         }
     }
 
@@ -61,7 +68,14 @@ impl Scale {
             seeds: vec![41, 42, 43, 44],
             fleet_machines: 16,
             fleet_requests: 25_000,
+            engine: Engine::from_env(),
         }
+    }
+
+    /// Overrides the execution engine (the `--threads` flag).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = Engine::new(threads);
+        self
     }
 
     /// Fleet experiment configuration at this scale.

@@ -12,10 +12,12 @@
 //! the allocator change. (Production pairs statistically by sheer volume.)
 
 use crate::population::Population;
+use wsc_parallel::{Engine, Task, TaskError};
 use wsc_prng::SmallRng;
 
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_tcmalloc::TcmallocConfig;
+use wsc_telemetry::timeseries::TimeSeries;
 use wsc_workload::driver::{self, DriverConfig, RunReport};
 use wsc_workload::WorkloadSpec;
 
@@ -197,37 +199,119 @@ pub struct FleetAbResult {
     pub fleet: Comparison,
     /// Per-machine comparisons (for dispersion checks).
     pub machines: Vec<Comparison>,
+    /// Control-arm resident-memory samples from every cell, merged in
+    /// canonical task order (longitudinal fleet memory trace).
+    pub resident_ts: TimeSeries,
+}
+
+/// One pre-sampled fleet cell: a (machine, binary) slot with its platform,
+/// cpuset, workload, and cycle weight fixed before any cell executes.
+struct Cell {
+    machine: usize,
+    weight: f64,
+    platform: Platform,
+    cpuset: Vec<CpuId>,
+    spec: WorkloadSpec,
 }
 
 /// Runs a paired fleet A/B experiment: `control` vs `experiment` allocator
 /// configurations over the same sampled machines, binaries, and seeds.
+///
+/// Equivalent to [`try_run_fleet_ab`] with the ambient [`Engine`]
+/// (`WSC_THREADS` or the machine's core count).
+///
+/// # Panics
+///
+/// Panics with the structured [`TaskError`] message (task index, label,
+/// seed) if any cell's simulation panics.
 pub fn run_fleet_ab(
     control: TcmallocConfig,
     experiment: TcmallocConfig,
     cfg: &FleetExperimentConfig,
 ) -> FleetAbResult {
+    match try_run_fleet_ab(&Engine::from_env(), control, experiment, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("fleet A/B experiment aborted: {e}"),
+    }
+}
+
+/// Runs a paired fleet A/B experiment on `engine`, sharding cells across
+/// its worker threads.
+///
+/// Determinism contract: every cell (machine × binary slot) is sampled
+/// serially up front — platform, cpuset, workload, and a
+/// [`wsc_prng::derive_seed`]-derived child seed — before any cell runs, so
+/// the sampled fleet and every per-cell simulation are functions of
+/// `cfg.seed` alone. Results are merged in canonical cell-index order, so
+/// the returned [`FleetAbResult`] is bit-identical for any thread count.
+///
+/// # Errors
+///
+/// Returns the [`TaskError`] naming the lowest-index failing cell (label
+/// and seed included) if any cell's simulation panics.
+pub fn try_run_fleet_ab(
+    engine: &Engine,
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    cfg: &FleetExperimentConfig,
+) -> Result<FleetAbResult, TaskError> {
     let pop = Population::new(cfg.population, cfg.seed);
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xab);
-    let mut machines = Vec::new();
-    let mut fleet = Comparison::default();
-    let mut weight_total = 0.0;
+    // Phase 1 (serial): sample the fleet. The RNG stream here is identical
+    // to the historical serial loop, so the sampled fleet is unchanged.
+    let mut cells = Vec::with_capacity(cfg.machines * cfg.binaries_per_machine);
     for m in 0..cfg.machines {
         let platform = sample_platform(&cfg.platform_mix, &mut rng);
         let sets = cpusets(&platform, cfg.binaries_per_machine);
-        let mut mc = Comparison::default();
-        let mut mw = 0.0;
         for (b, cpuset) in sets.into_iter().enumerate() {
             let bin = &pop.binaries()[pop.sample_by_cycles(&mut rng)];
             let spec = bin.spec();
-            let seed = cfg.seed ^ (m as u64) << 16 ^ (b as u64) << 8;
-            let dcfg =
-                DriverConfig::new(cfg.requests_per_binary, seed, &platform).with_cpuset(cpuset);
-            let (rc, _) = driver::run(&spec, &platform, control, &dcfg);
-            let (re, _) = driver::run(&spec, &platform, experiment, &dcfg);
-            let w = bin.cycle_weight;
-            mc.control.weighted_add(&MetricSet::from_report(&rc), w);
-            mc.experiment.weighted_add(&MetricSet::from_report(&re), w);
+            let label = format!("machine {m} binary {b} ({})", spec.name);
+            let cell = Cell {
+                machine: m,
+                weight: bin.cycle_weight,
+                platform: platform.clone(),
+                cpuset,
+                spec,
+            };
+            cells.push((label, cell));
+        }
+    }
+    let tasks = Task::seeded(cfg.seed, cells);
+    // Phase 2 (parallel): each cell runs its paired control/experiment
+    // simulation on an independent allocator + sim-os instance.
+    let results = engine.run(&tasks, |task, _| {
+        let c = &task.payload;
+        let dcfg = DriverConfig::new(cfg.requests_per_binary, task.seed, &c.platform)
+            .with_cpuset(c.cpuset.clone());
+        let (rc, _) = driver::run(&c.spec, &c.platform, control, &dcfg);
+        let (re, _) = driver::run(&c.spec, &c.platform, experiment, &dcfg);
+        let resident = rc.resident_ts.clone();
+        (
+            MetricSet::from_report(&rc),
+            MetricSet::from_report(&re),
+            resident,
+        )
+    })?;
+    // Phase 3 (serial): merge in canonical cell order — first cycle-weight
+    // normalize within each machine, then cycle-weight the machines into
+    // the fleet aggregate.
+    let mut machines = Vec::new();
+    let mut fleet = Comparison::default();
+    let mut weight_total = 0.0;
+    let mut resident_ts = TimeSeries::new("fleet resident (control)");
+    let mut idx = 0;
+    for m in 0..cfg.machines {
+        let mut mc = Comparison::default();
+        let mut mw = 0.0;
+        while idx < tasks.len() && tasks[idx].payload.machine == m {
+            let (ref rc, ref re, ref resident) = results[idx];
+            let w = tasks[idx].payload.weight;
+            mc.control.weighted_add(rc, w);
+            mc.experiment.weighted_add(re, w);
             mw += w;
+            resident_ts.merge(resident);
+            idx += 1;
         }
         if mw > 0.0 {
             let inv = 1.0 / mw;
@@ -250,11 +334,21 @@ pub fn run_fleet_ab(
             .weighted_add(&fleet.experiment, 1.0 / weight_total);
         fleet = scaled;
     }
-    FleetAbResult { fleet, machines }
+    Ok(FleetAbResult {
+        fleet,
+        machines,
+        resident_ts,
+    })
 }
 
 /// Runs a paired A/B comparison of one named workload on a dedicated
 /// machine (the per-application rows of Tables 1/2 and Figures 10/14).
+///
+/// Equivalent to [`try_run_workload_ab`] with the ambient [`Engine`].
+///
+/// # Panics
+///
+/// Panics with the structured [`TaskError`] message if either arm panics.
 pub fn run_workload_ab(
     spec: &WorkloadSpec,
     platform: &Platform,
@@ -263,13 +357,60 @@ pub fn run_workload_ab(
     requests: u64,
     seed: u64,
 ) -> Comparison {
-    let dcfg = DriverConfig::new(requests, seed, platform);
-    let (rc, _) = driver::run(spec, platform, control, &dcfg);
-    let (re, _) = driver::run(spec, platform, experiment, &dcfg);
-    Comparison {
-        control: MetricSet::from_report(&rc),
-        experiment: MetricSet::from_report(&re),
+    match try_run_workload_ab(
+        &Engine::from_env(),
+        spec,
+        platform,
+        control,
+        experiment,
+        requests,
+        seed,
+    ) {
+        Ok(r) => r,
+        Err(e) => panic!("workload A/B experiment aborted: {e}"),
     }
+}
+
+/// Runs one workload's paired A/B comparison on `engine`: the two arms are
+/// independent tasks sharing the *same* driver seed (pairing isolates the
+/// allocator change), merged control-first regardless of finish order.
+///
+/// # Errors
+///
+/// Returns the [`TaskError`] naming the failing arm if either panics.
+pub fn try_run_workload_ab(
+    engine: &Engine,
+    spec: &WorkloadSpec,
+    platform: &Platform,
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    requests: u64,
+    seed: u64,
+) -> Result<Comparison, TaskError> {
+    let dcfg = DriverConfig::new(requests, seed, platform);
+    // Both arms deliberately share `seed`: the pairing is the experiment.
+    let tasks = vec![
+        Task {
+            seed,
+            label: format!("{} control", spec.name),
+            payload: control,
+        },
+        Task {
+            seed,
+            label: format!("{} experiment", spec.name),
+            payload: experiment,
+        },
+    ];
+    let mut metrics = engine.run(&tasks, |task, _| {
+        let (r, _) = driver::run(spec, platform, task.payload, &dcfg);
+        MetricSet::from_report(&r)
+    })?;
+    let experiment = metrics.pop().expect("two arms submitted");
+    let control = metrics.pop().expect("two arms submitted");
+    Ok(Comparison {
+        control,
+        experiment,
+    })
 }
 
 #[cfg(test)]
@@ -316,6 +457,41 @@ mod tests {
         );
         assert_eq!(a.control, b.control);
         assert_eq!(a.experiment, b.experiment);
+    }
+
+    #[test]
+    fn fleet_ab_is_thread_count_invariant() {
+        let cfg = FleetExperimentConfig {
+            machines: 3,
+            binaries_per_machine: 2,
+            requests_per_binary: 800,
+            seed: 7,
+            platform_mix: default_platform_mix(),
+            population: 30,
+        };
+        let serial = try_run_fleet_ab(
+            &Engine::new(1),
+            TcmallocConfig::baseline(),
+            TcmallocConfig::optimized(),
+            &cfg,
+        )
+        .unwrap();
+        let threaded = try_run_fleet_ab(
+            &Engine::new(4),
+            TcmallocConfig::baseline(),
+            TcmallocConfig::optimized(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{threaded:?}"),
+            "merged fleet result must be bit-identical for any thread count"
+        );
+        assert!(
+            !serial.resident_ts.is_empty(),
+            "telemetry merged from cells"
+        );
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Deterministic parallel execution of independent simulation tasks.
+//!
+//! Every evaluation artifact of the reproduction — fleet A/B experiments,
+//! figure regeneration, multi-seed averages — is a set of *independent*
+//! units of work: one workload replica or one fleet cell, each running its
+//! own `Tcmalloc` + sim-os instance from its own seed. This crate shards
+//! those units across OS threads without giving up the workspace's core
+//! contract that results are bit-identical given a seed:
+//!
+//! 1. **Seeds are derived, never shared.** Each task carries a
+//!    [`wsc_prng::derive_seed`]-produced child seed fixed at submission
+//!    time, so no task's stream depends on which thread runs it or when.
+//! 2. **Merge order is canonical.** Workers steal chunks of the task index
+//!    space, but results are reassembled in task-index order before they
+//!    are returned. `threads = 1` and `threads = N` produce byte-identical
+//!    output.
+//! 3. **Panics are captured, not propagated.** A panicking task poisons the
+//!    run: workers stop claiming work, every spawned thread is joined (the
+//!    pool is scoped — threads cannot leak), and the caller receives a
+//!    structured [`TaskError`] naming the failing task's index, seed, and
+//!    label instead of a hung run or an opaque abort.
+//!
+//! The pool is a scoped-thread fork-join with chunked self-scheduling
+//! (workers claim contiguous chunks of the remaining index space from a
+//! shared cursor), which is work-stealing in the only sense that matters
+//! for coarse simulation tasks: a fast worker drains indices a slow worker
+//! never reached. No external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use wsc_parallel::{Engine, Task};
+//!
+//! let engine = Engine::new(4);
+//! let tasks = Task::seeded(42, (0..8).map(|i| (format!("unit {i}"), i)));
+//! let out = engine
+//!     .run(&tasks, |task, _| task.payload * 2)
+//!     .expect("no task panics");
+//! assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+//! // Identical at any thread count:
+//! let serial = Engine::new(1).run(&tasks, |task, _| task.payload * 2).unwrap();
+//! assert_eq!(out, serial);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV: &str = "WSC_THREADS";
+
+/// Chunks each worker's share of the index space is split into. Smaller
+/// chunks steal better when task durations vary (the last chunks of a slow
+/// worker are picked up by fast ones); larger chunks amortize cursor
+/// contention. 8 keeps the tail short without measurable contention for
+/// the coarse (multi-millisecond) tasks this engine runs.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// One schedulable unit: a payload plus the identity the engine reports it
+/// under (seed and label).
+#[derive(Clone, Debug)]
+pub struct Task<T> {
+    /// The task's private seed; all stochastic behaviour inside the task
+    /// must derive from it.
+    pub seed: u64,
+    /// Human-readable identity used in error reports ("machine 3 binary 1").
+    pub label: String,
+    /// Caller data handed to the task body.
+    pub payload: T,
+}
+
+impl<T> Task<T> {
+    /// Builds a task list whose seeds form a SplitMix64 derivation tree:
+    /// task `i` gets `derive_seed(master, i)`. Labels come with the items.
+    pub fn seeded(master: u64, items: impl IntoIterator<Item = (String, T)>) -> Vec<Self> {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, payload))| Self {
+                seed: wsc_prng::derive_seed(master, i as u64),
+                label,
+                payload,
+            })
+            .collect()
+    }
+}
+
+/// Structured abort: the first (lowest-index) task that panicked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskError {
+    /// Canonical index of the failing task.
+    pub index: usize,
+    /// The failing task's seed — enough to replay it in isolation.
+    pub seed: u64,
+    /// The failing task's label.
+    pub label: String,
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} ({}, seed {:#018x}) panicked: {}",
+            self.index, self.label, self.seed, self.message
+        )
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Deterministic execution counters for one [`Engine::run`] call. All
+/// fields are functions of the task list alone, never of timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Tasks completed.
+    pub tasks: usize,
+    /// Worker threads used (`min(threads, tasks)`).
+    pub workers: usize,
+    /// Chunk size workers claimed from the shared cursor.
+    pub chunk: usize,
+}
+
+/// A deterministic fork-join execution engine with a fixed thread budget.
+///
+/// The engine is a value, not a resource: it holds no threads between
+/// calls. Each [`run`](Engine::run) spawns a scoped pool, executes, joins,
+/// and returns — so dropping an `Engine` can never leak workers, and an
+/// `Engine` can be freely cloned into configuration structs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine running `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded engine (the serial reference execution).
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Thread count from the `WSC_THREADS` environment variable, falling
+    /// back to the machine's available parallelism. Invalid or zero values
+    /// fall back too.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+        Self::new(threads)
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every task and returns the results in task-index
+    /// order, regardless of which thread computed what.
+    ///
+    /// `f` receives the task and its canonical index. If any task panics,
+    /// the run is poisoned (no new work is claimed), all workers are
+    /// joined, and the lowest-index captured failure is returned as a
+    /// [`TaskError`].
+    pub fn run<T, R, F>(&self, tasks: &[Task<T>], f: F) -> Result<Vec<R>, TaskError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&Task<T>, usize) -> R + Sync,
+    {
+        Ok(self.run_with_stats(tasks, f)?.0)
+    }
+
+    /// Like [`run`](Engine::run), additionally returning deterministic
+    /// execution counters.
+    pub fn run_with_stats<T, R, F>(
+        &self,
+        tasks: &[Task<T>],
+        f: F,
+    ) -> Result<(Vec<R>, RunStats), TaskError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&Task<T>, usize) -> R + Sync,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Ok((Vec::new(), RunStats::default()));
+        }
+        let workers = self.threads.min(n);
+        let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
+        let stats = RunStats {
+            tasks: n,
+            workers,
+            chunk,
+        };
+
+        let cursor = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let error: Mutex<Option<TaskError>> = Mutex::new(None);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+
+        let worker = || {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            'claim: while !poisoned.load(Ordering::Acquire) {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (index, task) in tasks.iter().enumerate().take(end).skip(start) {
+                    if poisoned.load(Ordering::Acquire) {
+                        break 'claim;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(task, index))) {
+                        Ok(r) => local.push((index, r)),
+                        Err(payload) => {
+                            record_failure(&error, &poisoned, task, index, payload);
+                            break 'claim;
+                        }
+                    }
+                }
+            }
+            // Lock poisoning is unreachable: every task panic is caught by
+            // catch_unwind before any lock is taken.
+            collected.lock().expect("collector lock").extend(local);
+        };
+
+        if workers == 1 {
+            // Serial reference path: same claiming loop, no threads.
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        if let Some(err) = error.lock().expect("error lock").take() {
+            return Err(err);
+        }
+        // Canonical merge: reorder by task index so output is independent
+        // of scheduling. Every index is present exactly once on the Ok
+        // path (no poisoning means every claimed chunk completed).
+        let mut pairs = collected.into_inner().expect("collector lock");
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(pairs.len(), n, "every task produced one result");
+        Ok((pairs.into_iter().map(|(_, r)| r).collect(), stats))
+    }
+}
+
+/// Records a captured panic, keeping the lowest task index seen so the
+/// reported error is as deterministic as an aborted run can be.
+fn record_failure<T>(
+    error: &Mutex<Option<TaskError>>,
+    poisoned: &AtomicBool,
+    task: &Task<T>,
+    index: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    let mut slot = error.lock().expect("error lock");
+    if slot.as_ref().is_none_or(|e| index < e.index) {
+        *slot = Some(TaskError {
+            index,
+            seed: task.seed,
+            label: task.label.clone(),
+            message,
+        });
+    }
+    poisoned.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn tasks(n: usize) -> Vec<Task<usize>> {
+        Task::seeded(7, (0..n).map(|i| (format!("t{i}"), i)))
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<u64> = Engine::new(4).run(&tasks(0), |t, _| t.seed).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_in_task_order_at_any_thread_count() {
+        let ts = tasks(100);
+        let reference: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = Engine::new(threads)
+                .run(&ts, |t, _| t.payload * t.payload)
+                .unwrap();
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn seeds_form_derivation_tree() {
+        let ts = tasks(5);
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(t.seed, wsc_prng::derive_seed(7, i as u64));
+        }
+        // Distinct children.
+        let mut seeds: Vec<u64> = ts.iter().map(|t| t.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5);
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let out = Engine::new(32)
+            .run(&tasks(3), |t, i| (i, t.payload))
+            .unwrap();
+        assert_eq!(out, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn panic_yields_structured_error() {
+        let ts = tasks(10);
+        let err = Engine::new(4)
+            .run(&ts, |t, _| {
+                if t.payload == 6 {
+                    panic!("injected fault in unit {}", t.payload);
+                }
+                t.payload
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 6);
+        assert_eq!(err.seed, wsc_prng::derive_seed(7, 6));
+        assert_eq!(err.label, "t6");
+        assert!(err.message.contains("injected fault in unit 6"));
+        let shown = err.to_string();
+        assert!(shown.contains("task 6"), "{shown}");
+        assert!(shown.contains("t6"), "{shown}");
+    }
+
+    #[test]
+    fn serial_error_is_lowest_index() {
+        // With one worker the claiming order is the task order, so the
+        // reported failure is exactly the first failing task.
+        let ts = tasks(10);
+        let err = Engine::serial()
+            .run(&ts, |t, _| {
+                assert!(t.payload % 3 != 2, "fault {}", t.payload);
+                t.payload
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 2);
+    }
+
+    #[test]
+    fn engine_is_reusable_after_error() {
+        let engine = Engine::new(4);
+        let ts = tasks(8);
+        assert!(engine
+            .run(&ts, |t, _| {
+                assert!(t.payload != 0, "boom");
+                t.payload
+            })
+            .is_err());
+        let ok = engine.run(&ts, |t, _| t.payload).unwrap();
+        assert_eq!(ok.len(), 8);
+    }
+
+    #[test]
+    fn stats_are_deterministic() {
+        let ts = tasks(100);
+        let (_, a) = Engine::new(4)
+            .run_with_stats(&ts, |t, _| t.payload)
+            .unwrap();
+        let (_, b) = Engine::new(4)
+            .run_with_stats(&ts, |t, _| t.payload)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.tasks, 100);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.chunk, 3); // 100 / (4 workers * 8 chunks)
+    }
+
+    #[test]
+    fn from_env_clamps_to_one() {
+        assert!(Engine::from_env().threads() >= 1);
+        assert_eq!(Engine::new(0).threads(), 1);
+    }
+}

@@ -45,11 +45,44 @@ use std::ops::{Range, RangeInclusive};
 /// generator from another) and available directly for cheap hash-like
 /// mixing.
 pub fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    *state = state.wrapping_add(GAMMA);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// SplitMix64 increment (Weyl constant). Odd, so `master + i * GAMMA` is
+/// injective in `i`: distinct streams never collide on the same state.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derives the `stream`-th child seed of `master` in O(1).
+///
+/// This is the workspace's seed-derivation tree: child `i` is the SplitMix64
+/// output at state `master + i·γ` — i.e. the value a SplitMix64 sequence
+/// seeded at `master` would produce on its `i+1`-th step, reached directly.
+/// Children of distinct `(master, stream)` pairs are decorrelated by the
+/// generator's avalanche mixing, and the derivation composes: a task can
+/// derive grandchildren with `derive_seed(child, j)`.
+///
+/// The parallel experiment engine assigns every unit of work
+/// `derive_seed(master, task_index)`, which is what makes results
+/// independent of execution order and thread count.
+///
+/// # Example
+///
+/// ```
+/// use wsc_prng::derive_seed;
+///
+/// let a = derive_seed(42, 0);
+/// let b = derive_seed(42, 1);
+/// assert_ne!(a, b);
+/// // Deterministic: same tree every time.
+/// assert_eq!(a, derive_seed(42, 0));
+/// ```
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut state = master.wrapping_add(stream.wrapping_mul(GAMMA));
+    splitmix64(&mut state)
 }
 
 /// A small, fast, seedable generator: xoshiro256++.
@@ -288,6 +321,29 @@ mod tests {
         assert_eq!(splitmix64(&mut s), 0xe220_a839_7b1d_cdaf);
         assert_eq!(splitmix64(&mut s), 0x6e78_9e6a_a1b9_65f4);
         assert_eq!(splitmix64(&mut s), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn derive_seed_matches_splitmix_walk() {
+        // Child i equals the (i+1)-th output of a SplitMix64 sequence
+        // seeded at the master — the O(1) jump is exact.
+        let master = 0xfeed_beef;
+        let mut s = master;
+        for i in 0..16u64 {
+            let walked = splitmix64(&mut s);
+            assert_eq!(derive_seed(master, i), walked, "stream {i}");
+        }
+    }
+
+    #[test]
+    fn derive_seed_children_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for master in [0u64, 1, 42, u64::MAX] {
+            for stream in 0..256u64 {
+                seen.insert(derive_seed(master, stream));
+            }
+        }
+        assert_eq!(seen.len(), 4 * 256, "no collisions across small trees");
     }
 
     #[test]

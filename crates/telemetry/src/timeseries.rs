@@ -88,6 +88,41 @@ impl TimeSeries {
         self.times.iter().copied().zip(self.values.iter().copied())
     }
 
+    /// Merges `other` into this series, interleaving samples by timestamp.
+    ///
+    /// The two series may have unequal lengths and disjoint, nested, or
+    /// overlapping time ranges; the result is the sorted union of both
+    /// sample sets. On equal timestamps, `self`'s samples order before
+    /// `other`'s (stable), so merging is deterministic — the parallel
+    /// experiment engine relies on that when it folds per-cell telemetry
+    /// in canonical task order.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        if other.is_empty() {
+            return;
+        }
+        let n = self.len() + other.len();
+        let mut times = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.times.len() && j < other.times.len() {
+            if self.times[i] <= other.times[j] {
+                times.push(self.times[i]);
+                values.push(self.values[i]);
+                i += 1;
+            } else {
+                times.push(other.times[j]);
+                values.push(other.values[j]);
+                j += 1;
+            }
+        }
+        times.extend_from_slice(&self.times[i..]);
+        values.extend_from_slice(&self.values[i..]);
+        times.extend_from_slice(&other.times[j..]);
+        values.extend_from_slice(&other.values[j..]);
+        self.times = times;
+        self.values = values;
+    }
+
     /// Downsamples the series into `buckets` equal time windows, averaging
     /// values inside each window. Empty windows carry the previous value
     /// forward (or 0 before the first sample). Returns an empty vector when
@@ -104,9 +139,16 @@ impl TimeSeries {
         let mut last = self.values[0];
         for b in 0..buckets {
             let lo = start + (b as f64 * width) as u64;
-            let hi = start + ((b + 1) as f64 * width) as u64;
             let i0 = self.times.partition_point(|&t| t < lo);
-            let i1 = self.times.partition_point(|&t| t < hi);
+            // The final bucket is closed on the right: with an open bound
+            // the samples at exactly `end` would fall past every bucket
+            // and be dropped from the resample.
+            let i1 = if b + 1 == buckets {
+                self.times.len()
+            } else {
+                let hi = start + ((b + 1) as f64 * width) as u64;
+                self.times.partition_point(|&t| t < hi)
+            };
             if i1 > i0 {
                 let m: f64 = self.values[i0..i1].iter().sum::<f64>() / (i1 - i0) as f64;
                 last = m;
@@ -170,5 +212,120 @@ mod tests {
     fn resample_empty() {
         let ts = TimeSeries::new("x");
         assert!(ts.resample(10).is_empty());
+        assert_eq!(ts.min(), None);
+        assert_eq!(ts.mean(), None);
+        assert_eq!(ts.max(), None);
+    }
+
+    #[test]
+    fn resample_zero_buckets() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(0, 1.0);
+        assert!(ts.resample(0).is_empty());
+    }
+
+    #[test]
+    fn resample_single_sample() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(1_000, 7.5);
+        let rs = ts.resample(4);
+        assert_eq!(rs.len(), 4);
+        // The lone sample lands in the first bucket and carries forward.
+        for &(_, v) in &rs {
+            assert!((v - 7.5).abs() < 1e-12);
+        }
+        assert_eq!(ts.min(), Some(7.5));
+        assert_eq!(ts.max(), Some(7.5));
+        assert!((ts.mean().unwrap() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_includes_final_sample() {
+        // Regression: the last bucket's right bound used to be open, so a
+        // level change at exactly t == end was silently dropped.
+        let mut ts = TimeSeries::new("x");
+        for t in 0..10u64 {
+            ts.push(t, 1.0);
+        }
+        ts.push(10, 100.0);
+        let rs = ts.resample(5);
+        assert_eq!(rs.len(), 5);
+        let last = rs.last().unwrap().1;
+        assert!(last > 1.0, "final sample included in last bucket: {last}");
+    }
+
+    #[test]
+    fn resample_bucket_count_exceeds_samples() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(0, 1.0);
+        ts.push(100, 3.0);
+        let rs = ts.resample(10);
+        assert_eq!(rs.len(), 10);
+        assert!((rs[0].1 - 1.0).abs() < 1e-12);
+        assert!((rs[9].1 - 3.0).abs() < 1e-12);
+        // Empty middle windows carry the previous level forward.
+        assert!((rs[5].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_unequal_lengths_interleaves_sorted() {
+        let mut a = TimeSeries::new("a");
+        for (t, v) in [(0u64, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)] {
+            a.push(t, v);
+        }
+        let mut b = TimeSeries::new("b");
+        b.push(15, 99.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        let times: Vec<u64> = a.iter().map(|(t, _)| t).collect();
+        assert_eq!(times, vec![0, 10, 15, 20, 30]);
+        assert_eq!(a.value_at(15), Some(99.0));
+        // Merged series still accepts pushes at/after its new end.
+        a.push(30, 5.0);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = TimeSeries::new("a");
+        a.push(5, 1.0);
+        let empty = TimeSeries::new("e");
+        a.merge(&empty);
+        assert_eq!(a.len(), 1);
+        let mut e = TimeSeries::new("e");
+        e.merge(&a);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.value_at(5), Some(1.0));
+    }
+
+    #[test]
+    fn merge_is_stable_on_equal_timestamps() {
+        let mut a = TimeSeries::new("a");
+        a.push(10, 1.0);
+        let mut b = TimeSeries::new("b");
+        b.push(10, 2.0);
+        a.merge(&b);
+        let vals: Vec<f64> = a.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![1.0, 2.0], "self's sample orders first");
+    }
+
+    #[test]
+    fn merge_disjoint_ranges_concatenates() {
+        let mut early = TimeSeries::new("early");
+        early.push(0, 1.0);
+        early.push(1, 2.0);
+        let mut late = TimeSeries::new("late");
+        late.push(100, 3.0);
+        late.push(101, 4.0);
+        // Merging the later range into the earlier works...
+        let mut a = early.clone();
+        a.merge(&late);
+        assert_eq!(a.len(), 4);
+        // ...and merging the earlier into the later re-sorts, which a
+        // sequence of push() calls would reject.
+        let mut b = late;
+        b.merge(&early);
+        let times: Vec<u64> = b.iter().map(|(t, _)| t).collect();
+        assert_eq!(times, vec![0, 1, 100, 101]);
     }
 }

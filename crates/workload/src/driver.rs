@@ -17,6 +17,7 @@
 use crate::spec::WorkloadSpec;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use wsc_parallel::{Engine, Task, TaskError};
 use wsc_prng::SmallRng;
 use wsc_sim_hw::cache::{LlcAccess, LlcModel, LlcStats};
 use wsc_sim_hw::tlb::{TlbGeometry, TlbSim, TlbStats};
@@ -384,6 +385,52 @@ pub fn run(
     (report, tcm)
 }
 
+/// One unit of work for [`run_batch`]: a complete, self-contained run
+/// specification (workload, machine, allocator config, driver knobs).
+#[derive(Clone, Debug)]
+pub struct RunJob {
+    /// Workload to replay.
+    pub spec: WorkloadSpec,
+    /// Machine to replay it on.
+    pub platform: Platform,
+    /// Allocator configuration under test.
+    pub tcm_cfg: TcmallocConfig,
+    /// Driver knobs (including the run's seed).
+    pub dcfg: DriverConfig,
+}
+
+/// Runs a batch of independent jobs on `engine`, returning `extract`'s
+/// value per job **in submission order** regardless of thread count.
+///
+/// Each job builds and drops its own `Tcmalloc` + sim-os instance inside
+/// the worker; only the extracted value crosses threads, so `R` is the
+/// sole `Send` requirement. The task seed is the job's own `dcfg.seed`
+/// (batching never reseeds a run).
+///
+/// # Errors
+///
+/// Returns the [`TaskError`] naming the lowest-index failing job (its
+/// label is `"{workload} seed {seed:#x}"`) if any job panics.
+pub fn run_batch<R: Send>(
+    engine: &Engine,
+    jobs: Vec<RunJob>,
+    extract: impl Fn(&RunReport, &Tcmalloc) -> R + Sync,
+) -> Result<Vec<R>, TaskError> {
+    let tasks: Vec<Task<RunJob>> = jobs
+        .into_iter()
+        .map(|job| Task {
+            seed: job.dcfg.seed,
+            label: format!("{} seed {:#x}", job.spec.name, job.dcfg.seed),
+            payload: job,
+        })
+        .collect();
+    engine.run(&tasks, |task, _| {
+        let j = &task.payload;
+        let (report, tcm) = run(&j.spec, &j.platform, j.tcm_cfg, &j.dcfg);
+        extract(&report, &tcm)
+    })
+}
+
 #[cfg(test)]
 // Tests may unwrap: a panic IS the failure report here.
 #[allow(clippy::unwrap_used)]
@@ -416,6 +463,28 @@ mod tests {
         assert!(r.llc.accesses > 0 && r.tlb.accesses > 0);
         assert!(tcm.live_bytes() > 0, "working set persists");
         assert!(r.fragmentation.ratio() > 0.0);
+    }
+
+    #[test]
+    fn run_batch_is_thread_count_invariant() {
+        let p = platform();
+        let jobs: Vec<RunJob> = (0..4)
+            .map(|i| RunJob {
+                spec: profiles::fleet_mix(),
+                platform: p.clone(),
+                tcm_cfg: TcmallocConfig::baseline(),
+                dcfg: DriverConfig::new(1_000, 10 + i, &p),
+            })
+            .collect();
+        let serial = run_batch(&Engine::new(1), jobs.clone(), |r, _| {
+            (r.throughput, r.avg_resident_bytes)
+        })
+        .unwrap();
+        let threaded = run_batch(&Engine::new(3), jobs, |r, _| {
+            (r.throughput, r.avg_resident_bytes)
+        })
+        .unwrap();
+        assert_eq!(serial, threaded, "submission-order results, bit-identical");
     }
 
     #[test]

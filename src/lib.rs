@@ -18,6 +18,7 @@
 //! | [`fleet`] | `wsc-fleet` | Zipf binary population, paired A/B experiments, rollout estimation |
 //! | [`telemetry`] | `wsc-telemetry` | GWP-style sampling, histograms, CDFs, correlation statistics |
 //! | [`sanitizer`] | `wsc-sanitizer` | shadow-state checker, cross-tier conservation audits, structured violation reports |
+//! | [`parallel`] | `wsc-parallel` | deterministic work-stealing engine: thread-count-invariant parallel experiments |
 //! | [`prng`] | `wsc-prng` | deterministic xoshiro256++ PRNG (the workspace's only randomness source) |
 //!
 //! # Example
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub use wsc_fleet as fleet;
+pub use wsc_parallel as parallel;
 pub use wsc_prng as prng;
 pub use wsc_sanitizer as sanitizer;
 pub use wsc_sim_hw as sim_hw;

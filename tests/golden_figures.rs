@@ -1,0 +1,52 @@
+//! Golden-figure regression suite (tier 1).
+//!
+//! Locks the headline statistics of Figure 7 (allocation size mix),
+//! Figure 8 (lifetime CDF quantiles), and Figure 9a (worker-thread
+//! min/mean/max) at `Scale::quick()` to committed expected values. Every
+//! run is deterministic given the scale's seed, so drift here means an
+//! unintended behavior change somewhere in the allocator, the workload
+//! models, or the experiment engine — not noise.
+//!
+//! The tolerances absorb float-summation reordering from harmless
+//! refactors while still catching real distribution shifts. The values are
+//! thread-count-invariant by the engine's merge-order guarantee, so the
+//! suite passes identically at any `WSC_THREADS`.
+
+use wsc_bench::experiments as ex;
+use wsc_bench::Scale;
+
+#[track_caller]
+fn assert_close(what: &str, measured: f64, golden: f64, tol: f64) {
+    assert!(
+        (measured - golden).abs() <= tol,
+        "{what}: measured {measured:.6}, golden {golden:.6} (tolerance {tol})"
+    );
+}
+
+#[test]
+fn fig7_size_mix_matches_golden() {
+    let (count_1k, mem_1k, mem_8k, mem_256k) = ex::fig7(&Scale::quick());
+    assert_close("objects < 1 KiB", count_1k, 0.9887, 0.002);
+    assert_close("memory < 1 KiB", mem_1k, 0.2661, 0.005);
+    assert_close("memory > 8 KiB", mem_8k, 0.5477, 0.005);
+    assert_close("memory > 256 KiB", mem_256k, 0.2018, 0.005);
+}
+
+#[test]
+// 0.4342 is a measured golden value that happens to sit near LOG10_E.
+#[allow(clippy::approx_constant)]
+fn fig8_lifetime_quantiles_match_golden() {
+    let (fleet_short, spec_short, fleet_mid, spec_mid) = ex::fig8(&Scale::quick());
+    assert_close("fleet small < 1 ms", fleet_short, 0.4342, 0.005);
+    assert_close("spec small < 1 ms", spec_short, 0.5183, 0.005);
+    assert_close("fleet mass 1 ms..1 s", fleet_mid, 0.5658, 0.005);
+    assert_close("spec mass 1 ms..1 s", spec_mid, 0.0442, 0.005);
+}
+
+#[test]
+fn fig9a_thread_counts_match_golden() {
+    let (min, mean, max) = ex::fig9a(&Scale::quick());
+    assert_close("thread count min", min, 12.0, 0.5);
+    assert_close("thread count mean", mean, 24.7, 0.2);
+    assert_close("thread count max", max, 64.0, 0.5);
+}

@@ -1,0 +1,93 @@
+//! Thread-count-invariance suite for the parallel experiment engine: the
+//! same experiment at `threads = 1, 2, 8` must produce byte-identical
+//! merged reports. The comparison serializes each result with `{:?}` and
+//! compares the strings, so any float that shifts by one ULP fails.
+
+use warehouse_alloc::fleet::experiment::{
+    default_platform_mix, try_run_fleet_ab, try_run_workload_ab, FleetExperimentConfig,
+};
+use warehouse_alloc::parallel::Engine;
+use warehouse_alloc::sim_hw::topology::Platform;
+use warehouse_alloc::tcmalloc::TcmallocConfig;
+use warehouse_alloc::workload::profiles;
+
+fn quick_cfg(seed: u64) -> FleetExperimentConfig {
+    FleetExperimentConfig {
+        machines: 3,
+        binaries_per_machine: 2,
+        requests_per_binary: 1_000,
+        seed,
+        platform_mix: default_platform_mix(),
+        population: 40,
+    }
+}
+
+#[test]
+fn fleet_ab_identical_at_threads_1_2_8() {
+    let cfg = quick_cfg(11);
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let r = try_run_fleet_ab(
+                &Engine::new(threads),
+                TcmallocConfig::baseline(),
+                TcmallocConfig::optimized(),
+                &cfg,
+            )
+            .expect("no cell panics");
+            format!("{r:?}")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "threads=1 vs threads=2");
+    assert_eq!(reports[0], reports[2], "threads=1 vs threads=8");
+}
+
+#[test]
+fn workload_ab_identical_at_threads_1_2_8() {
+    let platform = Platform::chiplet("t", 1, 2, 4, 2);
+    let spec = profiles::monarch();
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let c = try_run_workload_ab(
+                &Engine::new(threads),
+                &spec,
+                &platform,
+                TcmallocConfig::baseline(),
+                TcmallocConfig::optimized(),
+                1_500,
+                9,
+            )
+            .expect("no arm panics");
+            format!("{c:?}")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "threads=1 vs threads=2");
+    assert_eq!(reports[0], reports[2], "threads=1 vs threads=8");
+}
+
+#[test]
+fn merged_telemetry_identical_across_thread_counts() {
+    // The resident-memory time series is merged from per-cell series in
+    // canonical order; its sample sequence must not depend on which worker
+    // finished first.
+    let cfg = quick_cfg(23);
+    let serial = try_run_fleet_ab(
+        &Engine::new(1),
+        TcmallocConfig::baseline(),
+        TcmallocConfig::baseline(),
+        &cfg,
+    )
+    .expect("no cell panics");
+    let threaded = try_run_fleet_ab(
+        &Engine::new(4),
+        TcmallocConfig::baseline(),
+        TcmallocConfig::baseline(),
+        &cfg,
+    )
+    .expect("no cell panics");
+    let a: Vec<(u64, f64)> = serial.resident_ts.iter().collect();
+    let b: Vec<(u64, f64)> = threaded.resident_ts.iter().collect();
+    assert!(!a.is_empty(), "cells produced telemetry");
+    assert_eq!(a, b, "merged time series sample-for-sample identical");
+}

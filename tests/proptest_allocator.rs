@@ -193,3 +193,41 @@ fn addresses_of_concurrent_objects_never_overlap() {
         }
     }
 }
+
+#[test]
+fn random_experiment_specs_are_thread_count_invariant() {
+    // Property: for arbitrary (small) fleet experiment specs, the merged
+    // A/B report is byte-identical at 1 worker and at a random 2..=8
+    // workers — the parallel engine's canonical-order merge never leaks
+    // scheduling into results.
+    use warehouse_alloc::fleet::experiment::{
+        default_platform_mix, try_run_fleet_ab, FleetExperimentConfig,
+    };
+    use warehouse_alloc::parallel::Engine;
+    for case in 0..6u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA117 + case);
+        let cfg = FleetExperimentConfig {
+            machines: rng.gen_range(1usize..4),
+            binaries_per_machine: rng.gen_range(1usize..3),
+            requests_per_binary: rng.gen_range(200u64..900),
+            seed: rng.gen::<u64>(),
+            platform_mix: default_platform_mix(),
+            population: rng.gen_range(10usize..50),
+        };
+        let threads = rng.gen_range(2usize..9);
+        let (control, experiment) = if rng.gen::<f64>() < 0.5 {
+            (TcmallocConfig::baseline(), TcmallocConfig::optimized())
+        } else {
+            (TcmallocConfig::optimized(), TcmallocConfig::baseline())
+        };
+        let serial =
+            try_run_fleet_ab(&Engine::new(1), control, experiment, &cfg).expect("no panics");
+        let threaded =
+            try_run_fleet_ab(&Engine::new(threads), control, experiment, &cfg).expect("no panics");
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{threaded:?}"),
+            "case {case}: spec {cfg:?} diverged at {threads} threads"
+        );
+    }
+}

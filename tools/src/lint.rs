@@ -37,6 +37,7 @@ const SCOPED_CRATES: &[&str] = &[
     "crates/workload",
     "crates/telemetry",
     "crates/prng",
+    "crates/parallel",
 ];
 
 #[derive(Clone, Copy, PartialEq, Eq)]
