@@ -1,0 +1,268 @@
+//! Hot-path microbenchmarks: the two most-executed lookups in every
+//! alloc/free — pagemap free-classification (pointer → span) and size-class
+//! selection (size → class) — plus end-to-end malloc-fast-path and mixed
+//! churn throughput. Emits `BENCH_hotpath.json`.
+//!
+//! The pagemap section maps 1M TCMalloc pages (8 GiB of address space) into
+//! both the radix-tree [`PageMap`] and the retired per-page [`HashPageMap`],
+//! asserts that both classify **every** pointer in the lookup stream
+//! identically, then times the same seeded stream against each. The size
+//! mix for the allocation sections follows the Fig. 7 fleet distribution.
+//!
+//! `REPRO_SCALE` sizes the op counts as everywhere else.
+
+use std::hint::black_box;
+use std::time::Instant;
+use wsc_bench::harness::JsonReport;
+use wsc_bench::Scale;
+use wsc_prng::SmallRng;
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+use wsc_sim_os::clock::Clock;
+use wsc_sim_os::vmm::HEAP_BASE;
+use wsc_tcmalloc::pagemap::{HashPageMap, PageMap};
+use wsc_tcmalloc::span::SpanId;
+use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_workload::profiles;
+
+/// Cargo runs benches with cwd = the package dir; anchor the report to the
+/// workspace root so CI finds it at a fixed path.
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+
+/// Mapped extent for the classification benchmark: 1M pages, the scale the
+/// acceptance threshold is defined at. Fixed regardless of `REPRO_SCALE`.
+const MAPPED_PAGES: u64 = 1 << 20;
+
+/// Builds the same span layout (contiguous seeded 1–8 page spans covering
+/// exactly [`MAPPED_PAGES`] pages from `HEAP_BASE`) into both pagemaps.
+/// Returns the maps and the span count.
+fn build_maps(seed: u64) -> (PageMap, HashPageMap, u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut radix = PageMap::new();
+    let mut hash = HashPageMap::new();
+    let mut page = 0u64;
+    let mut spans = 0u64;
+    while page < MAPPED_PAGES {
+        let len = rng.gen_range(1u64..=8).min(MAPPED_PAGES - page) as u32;
+        let addr = HEAP_BASE + page * TCMALLOC_PAGE_BYTES;
+        let id = SpanId(spans as u32);
+        radix.set_range(addr, len, id);
+        hash.set_range(addr, len, id);
+        page += len as u64;
+        spans += 1;
+    }
+    assert_eq!(radix.len() as u64, MAPPED_PAGES);
+    assert_eq!(hash.len() as u64, MAPPED_PAGES);
+    (radix, hash, spans)
+}
+
+/// A seeded pointer stream over the mapped extent (interior pointers, not
+/// just span bases — free() sees arbitrary object addresses).
+fn lookup_stream(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| HEAP_BASE + rng.gen_range(0..MAPPED_PAGES * TCMALLOC_PAGE_BYTES))
+        .collect()
+}
+
+/// Sums classified span ids over the stream — the checksum keeps the
+/// lookups observable so neither loop can be optimized away.
+fn classify_sum_radix(map: &PageMap, addrs: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    for &a in addrs {
+        if let Some(id) = map.span_of(black_box(a)) {
+            sum = sum.wrapping_add(id.0 as u64);
+        }
+    }
+    sum
+}
+
+fn classify_sum_hash(map: &HashPageMap, addrs: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    for &a in addrs {
+        if let Some(id) = map.span_of(black_box(a)) {
+            sum = sum.wrapping_add(id.0 as u64);
+        }
+    }
+    sum
+}
+
+/// Malloc-fast-path throughput: alloc/free pairs over the Fig. 7 size mix.
+/// After warm-up nearly every operation stays in the per-CPU tier.
+fn malloc_fast_path_mops(ops: u64) -> f64 {
+    let spec = profiles::fleet_mix();
+    let mut rng = SmallRng::seed_from_u64(0x407);
+    let clock = Clock::new();
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let mut tcm = Tcmalloc::new(TcmallocConfig::optimized(), platform, clock.clone());
+    // Warm the caches with one pass so the timed loop measures the fast
+    // path, not cold-start pageheap traffic.
+    for i in 0..1_000u64 {
+        let (size, _) = spec.sample_size(clock.now_ns(), &mut rng);
+        let cpu = CpuId((i % 8) as u32);
+        let a = tcm.malloc(size, cpu);
+        tcm.free(a.addr, size, cpu);
+    }
+    let t = Instant::now();
+    for i in 0..ops {
+        let (size, _) = spec.sample_size(clock.now_ns(), &mut rng);
+        let cpu = CpuId((i % 8) as u32);
+        let a = tcm.malloc(black_box(size), cpu);
+        tcm.free(a.addr, size, cpu);
+    }
+    let ns = t.elapsed().as_nanos() as f64;
+    // malloc + free = 2 allocator operations per pair.
+    (2 * ops) as f64 * 1e3 / ns.max(1.0)
+}
+
+/// Mixed churn: a live set with seeded alloc/free interleaving, the shape
+/// the simulator's inner loop actually runs.
+fn churn_mops(ops: u64) -> f64 {
+    let spec = profiles::fleet_mix();
+    let mut rng = SmallRng::seed_from_u64(0xC4);
+    let clock = Clock::new();
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let mut tcm = Tcmalloc::new(TcmallocConfig::optimized(), platform, clock.clone());
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let t = Instant::now();
+    for i in 0..ops {
+        clock.advance(500);
+        let cpu = CpuId((i % 16) as u32);
+        if live.len() > 2_000 || (!live.is_empty() && rng.gen::<f64>() < 0.45) {
+            let k = rng.gen_range(0..live.len());
+            let (addr, size) = live.swap_remove(k);
+            tcm.free(addr, size, cpu);
+        } else {
+            let (size, _) = spec.sample_size(clock.now_ns(), &mut rng);
+            let a = tcm.malloc(black_box(size), cpu);
+            live.push((a.addr, size));
+        }
+        tcm.maintain();
+    }
+    let ns = t.elapsed().as_nanos() as f64;
+    for (addr, size) in live {
+        tcm.free(addr, size, CpuId(0));
+    }
+    ops as f64 * 1e3 / ns.max(1.0)
+}
+
+/// Size-classification throughput for both implementations over the same
+/// seeded size stream: the dense O(1) table vs the retired binary search.
+fn size_class_mops(ops: u64) -> (f64, f64) {
+    let table = wsc_tcmalloc::size_class::SizeClassTable::production();
+    let spec = profiles::fleet_mix();
+    let mut rng = SmallRng::seed_from_u64(0x51);
+    let sizes: Vec<u64> = (0..ops).map(|_| spec.sample_size(0, &mut rng).0).collect();
+    for &s in &sizes {
+        assert_eq!(
+            table.class_for(s),
+            table.class_for_search(s),
+            "lut/search divergence at size {s}"
+        );
+    }
+    let t = Instant::now();
+    let mut sum = 0usize;
+    for &s in &sizes {
+        if let Some(cl) = table.class_for(black_box(s)) {
+            sum = sum.wrapping_add(cl);
+        }
+    }
+    let lut_ns = t.elapsed().as_nanos() as f64;
+    black_box(sum);
+    let t = Instant::now();
+    let mut sum = 0usize;
+    for &s in &sizes {
+        if let Some(cl) = table.class_for_search(black_box(s)) {
+            sum = sum.wrapping_add(cl);
+        }
+    }
+    let search_ns = t.elapsed().as_nanos() as f64;
+    black_box(sum);
+    (
+        ops as f64 * 1e3 / lut_ns.max(1.0),
+        ops as f64 * 1e3 / search_ns.max(1.0),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let lookups = match scale.name {
+        "quick" => 1_000_000usize,
+        "full" => 8_000_000,
+        _ => 4_000_000,
+    };
+    let alloc_ops = scale.requests;
+    println!("== hot-path lookups: radix pagemap vs per-page hash map ==");
+    println!(
+        "(scale {}, {MAPPED_PAGES} mapped pages, {lookups} lookups)",
+        scale.name
+    );
+
+    let (radix, hash, spans) = build_maps(0xF1EE7);
+    let addrs = lookup_stream(0x10C, lookups);
+
+    // Same-run agreement: both structures must classify every pointer in
+    // the stream (and every span base) identically before timing starts.
+    for &a in &addrs {
+        assert_eq!(
+            radix.span_of(a),
+            hash.span_of(a),
+            "radix/hash classification disagree at {a:#x}"
+        );
+    }
+    let agreement = true;
+
+    // Warm-up pass each, then the timed pass over the identical stream.
+    let radix_sum = classify_sum_radix(&radix, &addrs);
+    let t = Instant::now();
+    let radix_sum2 = classify_sum_radix(&radix, &addrs);
+    let radix_ns = t.elapsed().as_nanos() as f64;
+    let hash_sum = classify_sum_hash(&hash, &addrs);
+    let t = Instant::now();
+    let hash_sum2 = classify_sum_hash(&hash, &addrs);
+    let hash_ns = t.elapsed().as_nanos() as f64;
+    assert_eq!(radix_sum, hash_sum, "classification checksums diverge");
+    assert_eq!(radix_sum, radix_sum2);
+    assert_eq!(hash_sum, hash_sum2);
+
+    let radix_mops = addrs.len() as f64 * 1e3 / radix_ns.max(1.0);
+    let hash_mops = addrs.len() as f64 * 1e3 / hash_ns.max(1.0);
+    let classify_speedup = radix_mops / hash_mops.max(f64::MIN_POSITIVE);
+    println!("free-classification  radix {radix_mops:>8.1} Mops/s");
+    println!("free-classification  hash  {hash_mops:>8.1} Mops/s  ({classify_speedup:.2}x)");
+    assert!(
+        classify_speedup >= 3.0,
+        "radix pagemap must be >= 3x the per-page hash map, got {classify_speedup:.2}x"
+    );
+
+    let (lut_mops, search_mops) = size_class_mops(alloc_ops.max(100_000));
+    let lut_speedup = lut_mops / search_mops.max(f64::MIN_POSITIVE);
+    println!("size-class lookup    lut   {lut_mops:>8.1} Mops/s");
+    println!("size-class lookup    search{search_mops:>8.1} Mops/s  ({lut_speedup:.2}x)");
+
+    let fast_mops = malloc_fast_path_mops(alloc_ops);
+    let churn = churn_mops(alloc_ops);
+    println!("malloc fast path     {fast_mops:>8.2} Mops/s");
+    println!("mixed churn          {churn:>8.2} Mops/s");
+
+    let mut report = JsonReport::new();
+    report
+        .text("bench", "hotpath/lookups")
+        .text("scale", scale.name)
+        .int("mapped_pages", MAPPED_PAGES)
+        .int("spans", spans)
+        .int("lookups", addrs.len() as u64)
+        .num("radix_classify_mops", radix_mops)
+        .num("hash_classify_mops", hash_mops)
+        .num("classify_speedup", classify_speedup)
+        .flag("agreement", agreement)
+        .num("lut_classify_mops", lut_mops)
+        .num("search_classify_mops", search_mops)
+        .num("lut_speedup", lut_speedup)
+        .num("malloc_fast_path_mops", fast_mops)
+        .num("mixed_churn_mops", churn);
+    report
+        .write(OUT_PATH)
+        .unwrap_or_else(|e| panic!("writing {OUT_PATH}: {e}"));
+    println!("wrote {OUT_PATH}");
+}

@@ -90,6 +90,15 @@ pub struct HugepageSnapshot {
     pub used_and_released: u32,
 }
 
+/// Occupancy of one radix-pagemap leaf, as reported by the allocator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagemapLeafSnapshot {
+    /// First page number the leaf covers (aligned to the leaf size).
+    pub base_page: u64,
+    /// Pages registered within the leaf.
+    pub pages_used: u64,
+}
+
 /// A flat dump of every tier's state at one instant.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -101,6 +110,12 @@ pub struct Snapshot {
     pub occupancy_lists: usize,
     /// Pages registered in the pagemap.
     pub pagemap_pages: u64,
+    /// Pages covered by one radix-pagemap leaf (0 disables the per-leaf
+    /// audit, for callers without a radix pagemap).
+    pub pages_per_leaf: u64,
+    /// Per-leaf occupancy counters of the radix pagemap, ascending by
+    /// `base_page`, omitting empty leaves.
+    pub pagemap_leaves: Vec<PagemapLeafSnapshot>,
     /// TCMalloc pages per hugepage (256).
     pub pages_per_hugepage: u32,
     /// Every filler-tracked hugepage.
@@ -278,6 +293,81 @@ fn audit_pagemap(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
             ),
         });
     }
+    audit_pagemap_leaves(snap, out);
+}
+
+/// The radix-leaf occupancy audit: every leaf's counter must equal the
+/// number of live-span pages falling inside that leaf's page run, and the
+/// counters must sum to the pagemap total. Walks the reported leaves
+/// against an independently recomputed per-leaf tally of the span
+/// inventory. Skipped when `pages_per_leaf` is 0 (no radix pagemap).
+fn audit_pagemap_leaves(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
+    use std::collections::BTreeMap;
+    use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+    let per_leaf = snap.pages_per_leaf;
+    if per_leaf == 0 {
+        return;
+    }
+    let leaf_sum: u64 = snap.pagemap_leaves.iter().map(|l| l.pages_used).sum();
+    if leaf_sum != snap.pagemap_pages {
+        out.push(SanitizerReport {
+            kind: ErrorKind::PagemapViolation,
+            tier: Tier::PageMap,
+            addr: None,
+            size_class: None,
+            span: None,
+            detail: format!(
+                "leaf occupancy sums to {leaf_sum}, pagemap registers {} pages",
+                snap.pagemap_pages
+            ),
+        });
+    }
+    // Recompute the per-leaf tally from the span inventory (BTreeMap keeps
+    // the walk deterministic), chunking each span at leaf boundaries.
+    let mut expected: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in &snap.spans {
+        let first = s.start / TCMALLOC_PAGE_BYTES;
+        let last = first + s.pages as u64;
+        let mut page = first;
+        while page < last {
+            let leaf_base = (page / per_leaf) * per_leaf;
+            let chunk_end = (leaf_base + per_leaf).min(last);
+            *expected.entry(leaf_base).or_insert(0) += chunk_end - page;
+            page = chunk_end;
+        }
+    }
+    let reported: BTreeMap<u64, u64> = snap
+        .pagemap_leaves
+        .iter()
+        .map(|l| (l.base_page, l.pages_used))
+        .collect();
+    for (&base, &want) in &expected {
+        let got = reported.get(&base).copied().unwrap_or(0);
+        if got != want {
+            out.push(SanitizerReport {
+                kind: ErrorKind::PagemapViolation,
+                tier: Tier::PageMap,
+                addr: Some(base * TCMALLOC_PAGE_BYTES),
+                size_class: None,
+                span: None,
+                detail: format!(
+                    "leaf at page {base} reports {got} pages used, span inventory covers {want}"
+                ),
+            });
+        }
+    }
+    for (&base, &got) in &reported {
+        if !expected.contains_key(&base) && got != 0 {
+            out.push(SanitizerReport {
+                kind: ErrorKind::PagemapViolation,
+                tier: Tier::PageMap,
+                addr: Some(base * TCMALLOC_PAGE_BYTES),
+                size_class: None,
+                span: None,
+                detail: format!("leaf at page {base} reports {got} pages used, no span covers it"),
+            });
+        }
+    }
 }
 
 fn audit_bytes(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
@@ -413,6 +503,11 @@ mod tests {
             }],
             occupancy_lists: 8,
             pagemap_pages: 2,
+            pages_per_leaf: 32768,
+            pagemap_leaves: vec![PagemapLeafSnapshot {
+                base_page: 0,
+                pages_used: 2,
+            }],
             pages_per_hugepage: 256,
             hugepages: vec![HugepageSnapshot {
                 base: 0,
@@ -461,6 +556,7 @@ mod tests {
         let (mut snap, shadow) = consistent();
         snap.spans.clear(); // span vanished while objects are live
         snap.pagemap_pages = 0;
+        snap.pagemap_leaves.clear();
         let reports = audit(&snap, &shadow);
         assert!(reports
             .iter()
@@ -510,6 +606,44 @@ mod tests {
     }
 
     #[test]
+    fn leaf_occupancy_drift_flagged() {
+        // Totals still balance, but one leaf's counter disagrees with the
+        // span inventory: only the per-leaf audit can catch this.
+        let (mut snap, shadow) = consistent();
+        snap.pagemap_leaves[0].pages_used = 1;
+        snap.pagemap_leaves.push(PagemapLeafSnapshot {
+            base_page: 32768,
+            pages_used: 1,
+        });
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::PagemapViolation && r.detail.contains("leaf at page 0")));
+        assert!(reports.iter().any(
+            |r| r.kind == ErrorKind::PagemapViolation && r.detail.contains("no span covers it")
+        ));
+    }
+
+    #[test]
+    fn leaf_sum_drift_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.pagemap_leaves[0].pages_used = 5;
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::PagemapViolation
+                && r.detail.contains("leaf occupancy sums")));
+    }
+
+    #[test]
+    fn zero_pages_per_leaf_skips_leaf_audit() {
+        let (mut snap, shadow) = consistent();
+        snap.pages_per_leaf = 0;
+        snap.pagemap_leaves.clear();
+        assert_eq!(audit(&snap, &shadow), Vec::new());
+    }
+
+    #[test]
     fn byte_conservation_flagged() {
         let (mut snap, shadow) = consistent();
         snap.resident_bytes += 4096;
@@ -551,6 +685,7 @@ mod tests {
             },
         });
         snap.pagemap_pages += 1;
+        snap.pagemap_leaves[0].pages_used += 1;
         // Keep class-7 books balanced so only the cross-class check fires...
         snap.classes.push(ClassTierSnapshot {
             class: 7,

@@ -57,7 +57,8 @@ impl LlcStats {
 struct LruBytes {
     capacity: u64,
     used: u64,
-    /// key -> node index
+    /// key -> node index; order lives in the intrusive head/tail links
+    // lint:allow(hashmap-decl) keyed lookup only; never iterated
     index: HashMap<u64, usize>,
     nodes: Vec<Node>,
     head: usize, // most recent; usize::MAX when empty

@@ -49,6 +49,7 @@ impl std::fmt::Display for VcpuId {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct VcpuRegistry {
+    // lint:allow(hashmap-decl) keyed by CpuId; never iterated
     map: HashMap<CpuId, VcpuId>,
 }
 

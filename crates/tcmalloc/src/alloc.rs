@@ -17,8 +17,8 @@ use crate::stats::{CycleCategory, CycleStats, FragmentationBreakdown};
 use crate::transfer::{TransferCaches, TransferSharding};
 use std::collections::HashMap;
 use wsc_sanitizer::{
-    ClassTierSnapshot, HugepageSnapshot, Sanitizer, SanitizerReport, Snapshot, SpanPlacement,
-    SpanSnapshot,
+    ClassTierSnapshot, HugepageSnapshot, PagemapLeafSnapshot, Sanitizer, SanitizerReport, Snapshot,
+    SpanPlacement, SpanSnapshot,
 };
 use wsc_sim_hw::cost::{AllocPath, CostModel};
 use wsc_sim_hw::topology::{CpuId, Platform};
@@ -81,6 +81,7 @@ pub struct Tcmalloc {
     sampler: Sampler,
     sanitizer: Sanitizer,
     profile: AllocationProfile,
+    // lint:allow(hashmap-decl) keyed by sampled address; never iterated
     live_samples: HashMap<u64, (u64, u64, f64)>,
     cycles: CycleStats,
     live_requested_bytes: u64,
@@ -469,6 +470,16 @@ impl Tcmalloc {
             spans,
             occupancy_lists: self.cfg.cfl_lists,
             pagemap_pages: self.pagemap.len() as u64,
+            pages_per_leaf: crate::pagemap::PAGES_PER_LEAF,
+            pagemap_leaves: self
+                .pagemap
+                .leaf_occupancy()
+                .into_iter()
+                .map(|l| PagemapLeafSnapshot {
+                    base_page: l.base_page,
+                    pages_used: l.pages_used,
+                })
+                .collect(),
             pages_per_hugepage: wsc_sim_os::addr::TCMALLOC_PAGES_PER_HUGE as u32,
             hugepages,
             resident_bytes: frag.resident_bytes,

@@ -57,7 +57,9 @@ pub struct MemoryPool {
     tcm: Tcmalloc,
     clock: Clock,
     /// hugepage index -> backing storage.
+    // lint:allow(hashmap-decl) keyed by hugepage index; never iterated
     frames: HashMap<u64, Box<[u8]>>,
+    // lint:allow(hashmap-decl) keyed by object address; never iterated
     live: HashMap<u64, u64>,
 }
 

@@ -164,6 +164,8 @@ pub struct FillerStats {
 pub struct HugePageFiller {
     trackers: Vec<Option<PageTracker>>,
     free_ids: Vec<usize>,
+    /// Iteration goes through `lists`/`trackers`, never this map.
+    // lint:allow(hashmap-decl) keyed by hugepage base; never iterated
     by_hugepage: HashMap<u64, usize>,
     /// `lists[set][lfr]` = tracker ids with that longest free range.
     lists: Vec<Vec<Vec<usize>>>,

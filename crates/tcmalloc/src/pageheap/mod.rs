@@ -125,6 +125,7 @@ pub struct PageHeap {
     filler: HugePageFiller,
     region: HugeRegionSet,
     cache: HugeCache,
+    // lint:allow(hashmap-decl) keyed by span base address; never iterated
     origin: HashMap<u64, Origin>,
     cfg: PageHeapConfig,
     large_used_pages: u64,

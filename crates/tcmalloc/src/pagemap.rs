@@ -1,15 +1,79 @@
 //! The pagemap: TCMalloc-page index → owning span.
 //!
-//! `free(ptr)` carries no size, so the allocator must recover the owning
-//! span from the address alone. Production TCMalloc uses a 2–3 level radix
-//! tree over page numbers; the simulation uses a hash map with the same
-//! page-granular contract.
+//! `free(ptr)` carries no size information beyond the sized-delete hint, so
+//! the allocator must recover the owning span from the address alone — the
+//! single most-executed lookup in the middle and back tiers. Production
+//! TCMalloc resolves it through a 2–3 level radix tree over page numbers;
+//! the simulation now uses the same structure: a two-level radix tree
+//! ([`PageMap`]) whose root is indexed by the high bits of the TCMalloc page
+//! number and whose leaves each cover a fixed run of
+//! [`PAGES_PER_LEAF`] pages (256 MiB of address space), with
+//!
+//! * a one-entry **last-span hit cache** in front of the tree (span-local
+//!   free bursts resolve without touching the root),
+//! * **batched** `set_range`/`clear_range` that write whole leaf slices
+//!   instead of performing one map operation per page, and
+//! * per-leaf **occupancy counters** the sanitizer audits against the span
+//!   inventory.
+//!
+//! One sim-scale substitution (documented in DESIGN.md §6): production pins
+//! a fixed-size root by bounding the virtual address space at 48 bits; the
+//! simulation instead *windows* the root over the observed root-index range.
+//! The `Vmm` bump-allocates from a canonical heap base, so the window stays
+//! a handful of entries while remaining O(1) — index arithmetic, no search.
+//!
+//! The previous per-page `HashMap` implementation survives as
+//! [`HashPageMap`]: it is the baseline the `hotpath` benchmark compares
+//! against and the oracle its same-run agreement assertion checks, and it
+//! deliberately exposes no iteration order.
 
 use crate::span::SpanId;
+use std::cell::Cell;
 use std::collections::HashMap;
 use wsc_sim_os::addr::tcmalloc_page_index;
 
-/// Page-index → span mapping.
+/// log2 of the pages covered by one radix leaf.
+pub const LEAF_BITS: u32 = 15;
+
+/// TCMalloc pages covered by one radix leaf (32 768 pages = 256 MiB).
+pub const PAGES_PER_LEAF: u64 = 1 << LEAF_BITS;
+
+/// Ceiling on the root window, in leaves. 2^22 leaves cover 1 PiB of
+/// address-space *spread*; a wider spread indicates address corruption, not
+/// a bigger heap.
+const MAX_ROOT_WINDOW: u64 = 1 << 22;
+
+/// Sentinel marking an unregistered page inside a leaf.
+const EMPTY: u32 = u32::MAX;
+
+/// One radix leaf: span ids for a fixed, aligned run of pages.
+#[derive(Clone, Debug)]
+struct Leaf {
+    /// `PAGES_PER_LEAF` slots; `EMPTY` = unregistered.
+    slots: Vec<u32>,
+    /// Registered pages in this leaf (the sanitizer's occupancy term).
+    used: u32,
+}
+
+impl Leaf {
+    fn new() -> Self {
+        Self {
+            slots: vec![EMPTY; PAGES_PER_LEAF as usize],
+            used: 0,
+        }
+    }
+}
+
+/// Occupancy of one radix leaf, exported for the sanitizer's pagemap audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeafOccupancy {
+    /// First page number the leaf covers (aligned to [`PAGES_PER_LEAF`]).
+    pub base_page: u64,
+    /// Registered pages within the leaf.
+    pub pages_used: u64,
+}
+
+/// Two-level radix-tree page-index → span mapping.
 ///
 /// # Example
 ///
@@ -23,7 +87,15 @@ use wsc_sim_os::addr::tcmalloc_page_index;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PageMap {
-    pages: HashMap<u64, SpanId>,
+    /// Leaves, indexed by `root_index - root_base`.
+    root: Vec<Option<Box<Leaf>>>,
+    /// Root index of `root[0]`; meaningful once `root` is non-empty.
+    root_base: u64,
+    /// Registered pages across all leaves.
+    pages: u64,
+    /// Last-span hit cache: `(first_page, last_page, span_id)`. Purely an
+    /// accelerator — never changes lookup results.
+    hit: Cell<Option<(u64, u64, SpanId)>>,
 }
 
 impl PageMap {
@@ -32,13 +104,179 @@ impl PageMap {
         Self::default()
     }
 
+    /// The leaf covering `root_idx`, if the window reaches it and the leaf
+    /// was ever populated.
+    fn leaf(&self, root_idx: u64) -> Option<&Leaf> {
+        if self.root.is_empty() || root_idx < self.root_base {
+            return None;
+        }
+        let off = (root_idx - self.root_base) as usize;
+        self.root.get(off)?.as_deref()
+    }
+
+    /// The leaf covering `root_idx`, growing the root window and allocating
+    /// the leaf on demand.
+    fn leaf_mut(&mut self, root_idx: u64) -> &mut Leaf {
+        if self.root.is_empty() {
+            self.root_base = root_idx;
+        }
+        if root_idx < self.root_base {
+            // Extend the window downward, shifting existing leaves.
+            let grow = (self.root_base - root_idx) as usize;
+            let window = self.root.len() as u64 + grow as u64;
+            assert!(window <= MAX_ROOT_WINDOW, "pagemap root window blow-up");
+            let mut fresh: Vec<Option<Box<Leaf>>> = Vec::with_capacity(self.root.len() + grow);
+            fresh.resize_with(grow, || None);
+            fresh.append(&mut self.root);
+            self.root = fresh;
+            self.root_base = root_idx;
+        }
+        let off = (root_idx - self.root_base) as usize;
+        if off >= self.root.len() {
+            assert!(
+                (off as u64) < MAX_ROOT_WINDOW,
+                "pagemap root window blow-up"
+            );
+            self.root.resize_with(off + 1, || None);
+        }
+        self.root[off].get_or_insert_with(|| Box::new(Leaf::new()))
+    }
+
     /// Registers `num_pages` TCMalloc pages starting at `addr` as belonging
-    /// to `span`.
+    /// to `span`, writing whole leaf slices per iteration.
     ///
     /// # Panics
     ///
     /// Panics if any page is already registered (overlapping spans are a
-    /// heap-corruption bug).
+    /// heap-corruption bug) or if `span` carries the reserved id.
+    pub fn set_range(&mut self, addr: u64, num_pages: u32, span: SpanId) {
+        assert_ne!(span.0, EMPTY, "span id {EMPTY:#x} is reserved");
+        let first = tcmalloc_page_index(addr);
+        let last = first + num_pages as u64;
+        let mut page = first;
+        while page < last {
+            let leaf_end = (page | (PAGES_PER_LEAF - 1)) + 1;
+            let chunk_end = leaf_end.min(last);
+            let leaf = self.leaf_mut(page >> LEAF_BITS);
+            let lo = (page & (PAGES_PER_LEAF - 1)) as usize;
+            let hi = lo + (chunk_end - page) as usize;
+            for (i, slot) in leaf.slots[lo..hi].iter_mut().enumerate() {
+                assert!(
+                    *slot == EMPTY,
+                    "page {} already owned by Some(SpanId({}))",
+                    page + i as u64,
+                    *slot
+                );
+                *slot = span.0;
+            }
+            leaf.used += (hi - lo) as u32;
+            page = chunk_end;
+        }
+        self.pages += num_pages as u64;
+        self.hit.set(Some((first, last - 1, span)));
+    }
+
+    /// Unregisters the pages of a span being returned to the pageheap,
+    /// clearing whole leaf slices per iteration. Invalidates the hit cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page was not registered.
+    pub fn clear_range(&mut self, addr: u64, num_pages: u32) {
+        let first = tcmalloc_page_index(addr);
+        let last = first + num_pages as u64;
+        let mut page = first;
+        while page < last {
+            let leaf_end = (page | (PAGES_PER_LEAF - 1)) + 1;
+            let chunk_end = leaf_end.min(last);
+            let root_idx = page >> LEAF_BITS;
+            let covered = self.leaf(root_idx).is_some();
+            assert!(covered, "clearing unregistered page {page}");
+            let leaf = self.leaf_mut(root_idx);
+            let lo = (page & (PAGES_PER_LEAF - 1)) as usize;
+            let hi = lo + (chunk_end - page) as usize;
+            for (i, slot) in leaf.slots[lo..hi].iter_mut().enumerate() {
+                assert!(
+                    *slot != EMPTY,
+                    "clearing unregistered page {}",
+                    page + i as u64
+                );
+                *slot = EMPTY;
+            }
+            leaf.used -= (hi - lo) as u32;
+            page = chunk_end;
+        }
+        self.pages -= num_pages as u64;
+        self.hit.set(None);
+    }
+
+    /// The span owning `addr`, if any. Hits the one-entry span cache first;
+    /// otherwise two indexed loads (root, leaf).
+    pub fn span_of(&self, addr: u64) -> Option<SpanId> {
+        let page = tcmalloc_page_index(addr);
+        if let Some((first, last, span)) = self.hit.get() {
+            if (first..=last).contains(&page) {
+                return Some(span);
+            }
+        }
+        let leaf = self.leaf(page >> LEAF_BITS)?;
+        let slot = leaf.slots[(page & (PAGES_PER_LEAF - 1)) as usize];
+        if slot == EMPTY {
+            return None;
+        }
+        let span = SpanId(slot);
+        self.hit.set(Some((page, page, span)));
+        Some(span)
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        self.pages as usize
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Occupancy of every populated leaf in ascending `base_page` order —
+    /// the per-leaf counts the sanitizer proves against the span inventory.
+    pub fn leaf_occupancy(&self) -> Vec<LeafOccupancy> {
+        self.root
+            .iter()
+            .enumerate()
+            .filter_map(|(off, leaf)| {
+                leaf.as_deref().map(|l| LeafOccupancy {
+                    base_page: (self.root_base + off as u64) << LEAF_BITS,
+                    pages_used: l.used as u64,
+                })
+            })
+            .filter(|l| l.pages_used > 0)
+            .collect()
+    }
+}
+
+/// The retired per-page `HashMap` pagemap, kept as the `hotpath`
+/// benchmark's baseline and same-run oracle. Same contract as [`PageMap`];
+/// exposes no iteration, so map order can never leak into results.
+#[derive(Clone, Debug, Default)]
+pub struct HashPageMap {
+    // lint:allow(hashmap-decl) key-indexed only; no iteration is exposed
+    pages: HashMap<u64, SpanId>,
+}
+
+impl HashPageMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `num_pages` pages starting at `addr`, one hash insert per
+    /// page (the cost the radix tree's batched writes eliminate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page is already registered.
     pub fn set_range(&mut self, addr: u64, num_pages: u32, span: SpanId) {
         let first = tcmalloc_page_index(addr);
         for p in first..first + num_pages as u64 {
@@ -47,7 +285,7 @@ impl PageMap {
         }
     }
 
-    /// Unregisters the pages of a span being returned to the pageheap.
+    /// Unregisters the pages of a span.
     ///
     /// # Panics
     ///
@@ -119,5 +357,94 @@ mod tests {
     fn clear_unregistered_detected() {
         let mut pm = PageMap::new();
         pm.clear_range(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn clear_unregistered_in_populated_leaf_detected() {
+        let mut pm = PageMap::new();
+        pm.set_range(0, 1, SpanId(1));
+        pm.clear_range(4 * TCMALLOC_PAGE_BYTES, 1);
+    }
+
+    #[test]
+    fn leaf_boundary_straddling_span() {
+        // A span whose page run crosses a leaf boundary must resolve on
+        // both sides and clear cleanly.
+        let start_page = PAGES_PER_LEAF - 3;
+        let addr = start_page * TCMALLOC_PAGE_BYTES;
+        let mut pm = PageMap::new();
+        pm.set_range(addr, 8, SpanId(5));
+        assert_eq!(pm.len(), 8);
+        for p in 0..8u64 {
+            assert_eq!(
+                pm.span_of(addr + p * TCMALLOC_PAGE_BYTES),
+                Some(SpanId(5)),
+                "page {p} of the straddling span"
+            );
+        }
+        assert_eq!(pm.span_of(addr - TCMALLOC_PAGE_BYTES), None);
+        assert_eq!(pm.span_of(addr + 8 * TCMALLOC_PAGE_BYTES), None);
+        let occ = pm.leaf_occupancy();
+        assert_eq!(occ.len(), 2, "two leaves populated");
+        assert_eq!(occ[0].base_page, 0);
+        assert_eq!(occ[0].pages_used, 3);
+        assert_eq!(occ[1].base_page, PAGES_PER_LEAF);
+        assert_eq!(occ[1].pages_used, 5);
+        pm.clear_range(addr, 8);
+        assert!(pm.is_empty());
+        assert!(pm.leaf_occupancy().is_empty());
+    }
+
+    #[test]
+    fn hit_cache_invalidated_on_clear_range() {
+        let mut pm = PageMap::new();
+        pm.set_range(0, 4, SpanId(1));
+        // Prime the cache via a lookup, then clear: the cached range must
+        // not survive into the next lookup.
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES), Some(SpanId(1)));
+        pm.clear_range(0, 4);
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES), None);
+        // Remap under a different span: lookups see the new owner, not a
+        // stale cache entry.
+        pm.set_range(0, 4, SpanId(2));
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES), Some(SpanId(2)));
+    }
+
+    #[test]
+    fn root_window_grows_downward() {
+        // First touch high, then low: the window must extend backwards
+        // without disturbing existing leaves.
+        let high = 40 * PAGES_PER_LEAF * TCMALLOC_PAGE_BYTES;
+        let mut pm = PageMap::new();
+        pm.set_range(high, 2, SpanId(1));
+        pm.set_range(0, 2, SpanId(2));
+        assert_eq!(pm.span_of(high), Some(SpanId(1)));
+        assert_eq!(pm.span_of(0), Some(SpanId(2)));
+        assert_eq!(pm.len(), 4);
+    }
+
+    #[test]
+    fn heap_base_addresses_resolve() {
+        // The Vmm hands out addresses from the canonical heap base; the
+        // root window must land there without preallocating 2^36 entries.
+        let base = wsc_sim_os::vmm::HEAP_BASE;
+        let mut pm = PageMap::new();
+        pm.set_range(base, 256, SpanId(3));
+        assert_eq!(pm.span_of(base + 1000), Some(SpanId(3)));
+        assert_eq!(pm.len(), 256);
+        pm.clear_range(base, 256);
+        assert!(pm.is_empty());
+    }
+
+    #[test]
+    fn hash_pagemap_matches_contract() {
+        let mut pm = HashPageMap::new();
+        pm.set_range(0, 2, SpanId(1));
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES), Some(SpanId(1)));
+        assert_eq!(pm.span_of(2 * TCMALLOC_PAGE_BYTES), None);
+        assert_eq!(pm.len(), 2);
+        pm.clear_range(0, 2);
+        assert!(pm.is_empty());
     }
 }

@@ -84,8 +84,12 @@ impl PerCpuCaches {
             class_caps: table
                 .iter()
                 .map(|c| {
+                    // Clamp in the u64 domain *before* narrowing: `cap as
+                    // u32` on the raw quotient would truncate a large value
+                    // first and clamp the mangled number.
                     let cap = (256u64 << 10) / crate::config::CAPACITY_SCALE / c.size;
-                    (cap as u32).clamp(2, 2048 / crate::config::CAPACITY_SCALE as u32)
+                    let cap = cap.clamp(2, 2048 / crate::config::CAPACITY_SCALE);
+                    u32::try_from(cap).expect("class cap clamped within u32")
                 })
                 .collect(),
             default_max_bytes,
@@ -152,8 +156,10 @@ impl PerCpuCaches {
                 continue;
             }
             let take_bytes = (unused as u64 * sizes[cl]).min(need - reclaimed);
-            let take_slots = take_bytes.div_ceil(sizes[cl]) as u32;
-            let take_slots = take_slots.min(unused);
+            // Stay in u64 until the `unused` bound proves the value fits:
+            // a bare `as u32` would silently wrap for huge byte budgets.
+            let take_slots = take_bytes.div_ceil(sizes[cl]).min(unused as u64);
+            let take_slots = u32::try_from(take_slots).expect("slots bounded by unused: u32");
             cslab.capacity -= take_slots;
             let freed = take_slots as u64 * sizes[cl];
             slab.capacity_bytes -= freed;
@@ -236,7 +242,10 @@ impl PerCpuCaches {
                 continue;
             }
             let excess_bytes = slab.capacity_bytes - bytes;
-            let drop_slots = excess_bytes.div_ceil(sizes[cl]).min(cslab.capacity as u64) as u32;
+            // u64-domain math, bounded by the class's own capacity before
+            // narrowing — an unchecked `as u32` wraps for multi-GiB excess.
+            let drop_slots = excess_bytes.div_ceil(sizes[cl]).min(cslab.capacity as u64);
+            let drop_slots = u32::try_from(drop_slots).expect("slots bounded by capacity: u32");
             cslab.capacity -= drop_slots;
             slab.capacity_bytes -= drop_slots as u64 * sizes[cl];
             if cslab.objs.len() as u32 > cslab.capacity {
@@ -543,6 +552,43 @@ mod tests {
         let total: usize = flushed.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, 3);
         assert_eq!(c.cached_bytes_total(), 0);
+    }
+
+    #[test]
+    fn huge_byte_budget_does_not_wrap_slot_math() {
+        // Regression for the lossy casts: a per-CPU budget large enough
+        // that byte→slot conversions overflow u32 if computed narrowly
+        // (e.g. 64 GiB / 8 B = 2^33 slots). All slot counts must stay
+        // bounded by per-class caps, capacity bytes by the budget, and a
+        // later shrink must not wrap when the excess is multi-GiB.
+        let huge = 64u64 << 30;
+        let mut c = caches(huge);
+        for cl in [0usize, 3, 10] {
+            let _ = c.alloc(V0, cl);
+            let addrs: Vec<u64> = (0..128u64).map(|i| 0x5000_0000 + i * (1 << 20)).collect();
+            let _ = c.refill(V0, cl, addrs);
+        }
+        {
+            let slab = c.slabs[0].as_ref().unwrap();
+            assert!(slab.capacity_bytes <= huge);
+            for (cl, cslab) in slab.classes.iter().enumerate() {
+                assert!(
+                    cslab.capacity <= c.class_caps[cl],
+                    "class {cl} capacity {} above cap {}",
+                    cslab.capacity,
+                    c.class_caps[cl]
+                );
+            }
+        }
+        // Shrinking from a 64 GiB budget to 1 KiB exercises the
+        // excess_bytes.div_ceil path with a quotient far above u32::MAX.
+        let _ = c.set_max_bytes(V0, 1024);
+        let slab = c.slabs[0].as_ref().unwrap();
+        assert!(
+            slab.capacity_bytes <= 1024 || slab.classes.iter().all(|s| s.capacity == 0),
+            "shrink left capacity {} over budget",
+            slab.capacity_bytes
+        );
     }
 
     #[test]

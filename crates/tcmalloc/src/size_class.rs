@@ -43,6 +43,10 @@ pub struct SizeClassInfo {
 #[derive(Clone, Debug)]
 pub struct SizeClassTable {
     classes: Vec<SizeClassInfo>,
+    /// Dense O(1) lookup: `lut[(size + 7) >> 3]` → class index, for every
+    /// `size <= MAX_SMALL_SIZE`. Valid because every class size is a
+    /// multiple of 8, so all sizes in one 8-byte bucket share a class.
+    lut: Vec<u16>,
 }
 
 /// Alignment required for a given size, mirroring the production table's
@@ -110,7 +114,48 @@ impl SizeClassTable {
                 batch: batch_for(MAX_SMALL_SIZE),
             });
         }
-        Self { classes }
+        Self::from_classes(classes)
+    }
+
+    /// Finishes table construction: checks the structural invariants the
+    /// O(1) lookup depends on, then fills the dense table.
+    fn from_classes(classes: Vec<SizeClassInfo>) -> Self {
+        // Structural invariants (release-mode, not debug_assert): the
+        // lookup table is only sound if the class list is strictly
+        // increasing, 8-byte-granular, and tops out exactly at
+        // MAX_SMALL_SIZE. A last-class size below MAX_SMALL_SIZE would turn
+        // `class_for(MAX_SMALL_SIZE)` into an out-of-bounds class index.
+        assert!(!classes.is_empty(), "empty size-class table");
+        assert!(
+            classes.windows(2).all(|w| w[0].size < w[1].size),
+            "size classes must be strictly increasing"
+        );
+        assert!(
+            classes.iter().all(|c| c.size % 8 == 0),
+            "size classes must be multiples of 8"
+        );
+        let largest = classes[classes.len() - 1].size;
+        assert_eq!(
+            largest, MAX_SMALL_SIZE,
+            "largest size class must equal MAX_SMALL_SIZE"
+        );
+        assert!(
+            classes.len() <= u16::MAX as usize,
+            "class index must fit u16"
+        );
+        let buckets = ((MAX_SMALL_SIZE >> 3) + 1) as usize;
+        let mut lut = vec![0u16; buckets];
+        let mut class = 0usize;
+        for (bucket, slot) in lut.iter_mut().enumerate() {
+            // Largest size mapping to this bucket; bucket 0 is size 0,
+            // which rounds up to the smallest class.
+            let size = 8 * bucket as u64;
+            while classes[class].size < size {
+                class += 1;
+            }
+            *slot = class as u16;
+        }
+        Self { classes, lut }
     }
 
     /// Number of size classes.
@@ -121,13 +166,25 @@ impl SizeClassTable {
     /// The smallest class whose size fits `size`, or `None` when the request
     /// exceeds [`MAX_SMALL_SIZE`] (large allocations bypass the caches).
     /// Zero-byte requests round up to the smallest class.
+    ///
+    /// O(1): a single load from the dense table indexed by
+    /// `(size + 7) >> 3`, as in production TCMalloc. In-bounds by
+    /// construction — `from_classes` proves the largest class size equals
+    /// [`MAX_SMALL_SIZE`], so every bucket holds a valid class index.
     pub fn class_for(&self, size: u64) -> Option<usize> {
         if size > MAX_SMALL_SIZE {
             return None;
         }
-        let idx = self.classes.partition_point(|c| c.size < size);
-        debug_assert!(idx < self.classes.len());
-        Some(idx)
+        Some(self.lut[((size + 7) >> 3) as usize] as usize)
+    }
+
+    /// The binary-search classification the dense table replaced. Kept for
+    /// the `hotpath` benchmark baseline and the exhaustive equivalence test.
+    pub fn class_for_search(&self, size: u64) -> Option<usize> {
+        if size > MAX_SMALL_SIZE {
+            return None;
+        }
+        Some(self.classes.partition_point(|c| c.size < size))
     }
 
     /// Metadata for a class index.
@@ -241,6 +298,47 @@ mod tests {
         assert_eq!(c8.objects_per_span, 1024, "8 KiB span / 8 B = 1024 (§4.3)");
         let c16 = t.info(t.class_for(16).unwrap());
         assert_eq!(c16.objects_per_span, 512, "512 16-byte objects (§4.3)");
+    }
+
+    #[test]
+    fn lookup_table_matches_binary_search_exhaustively() {
+        // The dense table and the retired partition_point search must agree
+        // for every representable small size (plus the reject boundary).
+        let t = table();
+        for size in 0..=MAX_SMALL_SIZE + 1 {
+            assert_eq!(
+                t.class_for(size),
+                t.class_for_search(size),
+                "lut/search divergence at size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_at_max_small_size() {
+        // Release-mode boundary contract (the old debug_assert compiled
+        // away): MAX_SMALL_SIZE classifies to the last class,
+        // MAX_SMALL_SIZE + 1 is rejected, and the returned index is
+        // in-bounds for info() even with debug assertions off.
+        let t = table();
+        let cl = t.class_for(MAX_SMALL_SIZE).unwrap();
+        assert_eq!(cl, t.num_classes() - 1);
+        assert_eq!(t.info(cl).size, MAX_SMALL_SIZE);
+        assert_eq!(t.class_for(MAX_SMALL_SIZE + 1), None);
+        assert_eq!(t.class_for_search(MAX_SMALL_SIZE + 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "largest size class must equal MAX_SMALL_SIZE")]
+    fn construction_rejects_short_table() {
+        // The invariant is structural: a table whose largest class drifted
+        // below MAX_SMALL_SIZE fails at construction, not at lookup time.
+        SizeClassTable::from_classes(vec![SizeClassInfo {
+            size: 8,
+            pages: 1,
+            objects_per_span: 1024,
+            batch: 32,
+        }]);
     }
 
     #[test]

@@ -287,6 +287,67 @@ mod tests {
     }
 
     #[test]
+    fn fraction_below_min_is_zero() {
+        // Boundary contract for Figures 7/8: nothing lies below the
+        // smallest recorded value, bucket-granular or not.
+        let mut h = LogHistogram::new();
+        for v in [96u64, 500, 7000, 1 << 18] {
+            h.record(v, 2.0);
+        }
+        let min = h.min().unwrap();
+        assert_eq!(h.fraction_below(min), 0.0);
+        assert_eq!(h.fraction_at_or_above(min), 1.0);
+    }
+
+    #[test]
+    fn below_and_at_or_above_are_complementary_at_bucket_edges() {
+        let mut h = LogHistogram::new();
+        for v in 1..=4096u64 {
+            h.record(v, 1.0);
+        }
+        // Exact powers of two and sub-bucket edges: the two fractions must
+        // sum to 1 and each value must sit on the at-or-above side of its
+        // own bucket edge.
+        for edge in [1u64, 2, 8, 64, 80, 96, 1024, 4096] {
+            let below = h.fraction_below(edge);
+            let above = h.fraction_at_or_above(edge);
+            assert!(
+                ((below + above) - 1.0).abs() < 1e-12,
+                "edge {edge}: {below} + {above} != 1"
+            );
+            // Bucket granularity: everything in edge's own bucket counts as
+            // at-or-above, so `below` never exceeds the exact fraction of
+            // values < edge.
+            let exact = (edge - 1) as f64 / 4096.0;
+            assert!(
+                below <= exact + 1e-12,
+                "edge {edge}: bucket-granular below {below} > exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_return_occupied_bucket_bounds() {
+        let mut h = LogHistogram::new();
+        h.record(48, 1.0);
+        h.record(3000, 5.0);
+        h.record(1 << 22, 0.5);
+        // q=0 is the smallest occupied bucket's lower bound; q=1 the
+        // largest occupied bucket's lower bound.
+        let lo = h.quantile(0.0);
+        let hi = h.quantile(1.0);
+        assert_eq!(lo, LogHistogram::slot_lower(LogHistogram::slot_of(48)));
+        assert_eq!(hi, LogHistogram::slot_lower(LogHistogram::slot_of(1 << 22)));
+        assert!(
+            lo <= 48 && hi <= (1 << 22),
+            "lower bounds never exceed data"
+        );
+        // Out-of-range q clamps rather than extrapolating.
+        assert_eq!(h.quantile(-3.0), lo);
+        assert_eq!(h.quantile(42.0), hi);
+    }
+
+    #[test]
     fn zero_weight_ignored() {
         let mut h = LogHistogram::new();
         h.record(42, 0.0);

@@ -205,6 +205,7 @@ impl Trace {
     /// trace bugs, not allocator bugs.
     pub fn replay(&self, tcm: &mut Tcmalloc, clock: &Clock) -> ReplayStats {
         let mut stats = ReplayStats::default();
+        // lint:allow(hashmap-decl) keyed by trace object id; never iterated
         let mut live: std::collections::HashMap<u64, (u64, u64)> = std::collections::HashMap::new();
         for ev in &self.events {
             match *ev {

@@ -83,14 +83,25 @@ fn engine_is_reusable_after_abort_and_leaks_no_threads() {
             .expect_err("injected panic");
         assert_eq!(err.index, 7, "deterministic failing index each round");
     }
-    // Scoped threads join before `run` returns, so the count must be back
-    // to the baseline immediately — no polling, no leak window.
+    // Scoped threads join before `run` returns, so this engine's workers
+    // are gone already. The process-wide count can still be transiently
+    // inflated by *other* tests' engines running concurrently in this
+    // binary, so allow a short settle window; a genuine leak never drains.
     #[cfg(target_os = "linux")]
-    assert_eq!(
-        thread_count(),
-        before,
-        "worker threads joined after aborted runs"
-    );
+    {
+        let mut now = thread_count();
+        for _ in 0..100 {
+            if now <= before {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            now = thread_count();
+        }
+        assert!(
+            now <= before,
+            "worker threads joined after aborted runs ({now} > baseline {before})"
+        );
+    }
     // And the engine still completes clean work afterwards.
     let tasks = counting_tasks(32);
     let out = engine.run(&tasks, |_, i| i * 2).expect("clean run");

@@ -195,6 +195,91 @@ fn addresses_of_concurrent_objects_never_overlap() {
 }
 
 #[test]
+fn radix_pagemap_matches_btreemap_oracle() {
+    // Property: under arbitrary seeded set/clear/lookup sequences, the
+    // radix-tree pagemap agrees with a BTreeMap oracle on every page —
+    // including ranges straddling leaf boundaries and lookups after the
+    // hit cache has been primed and invalidated.
+    use std::collections::BTreeMap;
+    use warehouse_alloc::sim_os::addr::TCMALLOC_PAGE_BYTES;
+    use warehouse_alloc::tcmalloc::pagemap::{PageMap, PAGES_PER_LEAF};
+    use warehouse_alloc::tcmalloc::span::SpanId;
+
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA118 + case);
+        let mut pm = PageMap::new();
+        let mut oracle: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut live: Vec<(u64, u32, u32)> = Vec::new(); // (first_page, len, id)
+        let mut next_id = 0u32;
+        // Bias the page space around a leaf boundary so straddles happen.
+        let space = 3 * PAGES_PER_LEAF;
+        for _ in 0..rng.gen_range(100usize..400) {
+            match rng.gen_range(0u32..10) {
+                // set_range over a free run
+                0..=4 => {
+                    let first = rng.gen_range(0..space);
+                    let len = rng.gen_range(1u32..64);
+                    if (first..first + len as u64).any(|p| oracle.contains_key(&p)) {
+                        continue; // overlap would (correctly) panic
+                    }
+                    let id = next_id;
+                    next_id += 1;
+                    pm.set_range(first * TCMALLOC_PAGE_BYTES, len, SpanId(id));
+                    for p in first..first + len as u64 {
+                        oracle.insert(p, id);
+                    }
+                    live.push((first, len, id));
+                }
+                // clear_range of a live span
+                5..=6 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let k = rng.gen_range(0..live.len());
+                    let (first, len, _) = live.swap_remove(k);
+                    pm.clear_range(first * TCMALLOC_PAGE_BYTES, len);
+                    for p in first..first + len as u64 {
+                        assert!(oracle.remove(&p).is_some());
+                    }
+                }
+                // random-page lookup (arbitrary offset within the page)
+                _ => {
+                    let page = rng.gen_range(0..space);
+                    let addr = page * TCMALLOC_PAGE_BYTES + rng.gen_range(0..TCMALLOC_PAGE_BYTES);
+                    assert_eq!(
+                        pm.span_of(addr),
+                        oracle.get(&page).map(|&id| SpanId(id)),
+                        "case {case}: lookup at page {page} diverged"
+                    );
+                }
+            }
+            assert_eq!(pm.len(), oracle.len(), "case {case}: page counts diverge");
+        }
+        // Full sweep: every page in the space must classify identically.
+        for page in 0..space {
+            assert_eq!(
+                pm.span_of(page * TCMALLOC_PAGE_BYTES),
+                oracle.get(&page).map(|&id| SpanId(id)),
+                "case {case}: final sweep diverged at page {page}"
+            );
+        }
+        // Leaf occupancy must equal the oracle's per-leaf tally.
+        let mut want: BTreeMap<u64, u64> = BTreeMap::new();
+        for &p in oracle.keys() {
+            *want
+                .entry((p / PAGES_PER_LEAF) * PAGES_PER_LEAF)
+                .or_insert(0) += 1;
+        }
+        let got: BTreeMap<u64, u64> = pm
+            .leaf_occupancy()
+            .into_iter()
+            .map(|l| (l.base_page, l.pages_used))
+            .collect();
+        assert_eq!(got, want, "case {case}: leaf occupancy diverged");
+    }
+}
+
+#[test]
 fn random_experiment_specs_are_thread_count_invariant() {
     // Property: for arbitrary (small) fleet experiment specs, the merged
     // A/B report is byte-identical at 1 worker and at a random 2..=8

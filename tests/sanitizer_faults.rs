@@ -15,8 +15,8 @@ use std::collections::BTreeSet;
 /// [`ErrorKind`] the audit must report for it.
 type CorruptionCase = (&'static str, Box<dyn Fn(&mut Snapshot)>, ErrorKind);
 use warehouse_alloc::sanitizer::{
-    audit, expected_list, ClassTierSnapshot, ErrorKind, HugepageSnapshot, SanitizeLevel,
-    ShadowState, Snapshot, SpanPlacement, SpanSnapshot,
+    audit, expected_list, ClassTierSnapshot, ErrorKind, HugepageSnapshot, PagemapLeafSnapshot,
+    SanitizeLevel, ShadowState, Snapshot, SpanPlacement, SpanSnapshot,
 };
 use warehouse_alloc::sim_hw::topology::{CpuId, Platform};
 use warehouse_alloc::sim_os::clock::Clock;
@@ -168,6 +168,11 @@ fn consistent_world() -> (Snapshot, ShadowState) {
         }],
         occupancy_lists: 8,
         pagemap_pages: 2,
+        pages_per_leaf: 32768,
+        pagemap_leaves: vec![PagemapLeafSnapshot {
+            base_page: 0,
+            pages_used: 2,
+        }],
         pages_per_hugepage: 256,
         hugepages: vec![HugepageSnapshot {
             base: 0,
@@ -217,6 +222,19 @@ fn audit_kind_injections_each_fire_their_kind() {
             "hugepage used/released overlap",
             Box::new(|s: &mut Snapshot| s.hugepages[0].used_and_released = 3),
             ErrorKind::HugepageBackingViolation,
+        ),
+        (
+            "radix leaf occupancy drift",
+            Box::new(|s: &mut Snapshot| {
+                // Totals still balance (2 pages) but the per-leaf split is
+                // wrong: only the leaf-occupancy audit can see it.
+                s.pagemap_leaves[0].pages_used = 1;
+                s.pagemap_leaves.push(PagemapLeafSnapshot {
+                    base_page: 32768,
+                    pages_used: 1,
+                });
+            }),
+            ErrorKind::PagemapViolation,
         ),
     ];
     for (name, corrupt, expected) in cases {

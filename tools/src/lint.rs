@@ -12,6 +12,13 @@
 //! 3. **HashMap iteration order** — `HashMap` iteration is randomized per
 //!    process by SipHash seeding, so any `.iter()`/`.keys()`/`.values()`
 //!    over one leaks nondeterminism into whatever consumes the order.
+//! 4. **HashMap declarations** — deny-by-default: every `HashMap` binding
+//!    in the deterministic core must carry a `lint:allow(hashmap-decl)`
+//!    annotation justifying why its order can never leak (key-indexed
+//!    access only, no iteration exposed). Structures on hot lookup paths
+//!    should prefer indexed arrays — the radix pagemap replaced the
+//!    per-page map precisely so it passes this rule structurally, not by
+//!    accident.
 //!
 //! The lint scans the deterministic core (`sim-*`, `tcmalloc`, `fleet`,
 //! `sanitizer`, `workload`, `telemetry`, `prng`) line by line. A finding on
@@ -45,6 +52,7 @@ enum Rule {
     WallClock,
     AmbientRng,
     HashMapIter,
+    HashMapDecl,
 }
 
 impl Rule {
@@ -53,6 +61,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::AmbientRng => "ambient-rng",
             Rule::HashMapIter => "hashmap-iter",
+            Rule::HashMapDecl => "hashmap-decl",
         }
     }
 }
@@ -178,7 +187,20 @@ fn scan_file(path: &Path, src: &str, findings: &mut Vec<Finding>) {
                 break;
             }
         }
+        if declares_hashmap(&code) {
+            hit(Rule::HashMapDecl);
+        }
     }
+}
+
+/// Does this line *declare* a `HashMap` binding (struct field or `let`)?
+/// Construction inside a struct literal (`field: HashMap::new(),`) is the
+/// declaration's responsibility, not a second finding.
+fn declares_hashmap(code: &str) -> bool {
+    code.contains(": HashMap<")
+        || code.contains("::HashMap<")
+        || (code.trim_start().starts_with("let ")
+            && (code.contains("HashMap::new()") || code.contains("HashMap::with_capacity")))
 }
 
 /// Identifiers bound to a `HashMap` anywhere in the file: struct fields and
