@@ -1,0 +1,177 @@
+//! Event-bus overhead benchmark: the Fig. 7 fleet-mix churn loop under the
+//! three sink configurations the bus supports —
+//!
+//! * `off`    — no consumers at all (`stats_sink` off, no trace, sanitizer
+//!   off): the bus only prices the operation, the cost the hot path pays
+//!   for the refactor,
+//! * `stats`  — the default derived stats view (cycle attribution + GWP
+//!   profile),
+//! * `tee`    — stats fanned out with a bounded Chrome-trace ring, the
+//!   "everything observable" configuration.
+//!
+//! Because sinks are observers, the allocator's *behaviour* must be
+//! bit-identical across all three: the bench asserts the final live set and
+//! resident bytes agree before reporting throughput. Emits
+//! `BENCH_events.json`; `PRE_REFACTOR_CHURN_MOPS` records the same loop
+//! measured at the commit before the event-bus refactor (REPRO_SCALE=quick
+//! reference machine) so the JSON carries the regression context.
+
+use std::hint::black_box;
+use std::time::Instant;
+use wsc_bench::harness::JsonReport;
+use wsc_bench::Scale;
+use wsc_prng::SmallRng;
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::clock::Clock;
+use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_workload::profiles;
+
+/// Cargo runs benches with cwd = the package dir; anchor the report to the
+/// workspace root so CI finds it at a fixed path.
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_events.json");
+
+/// Mixed-churn throughput of the pre-refactor hot path (direct
+/// `CycleStats::charge` calls in the tiers), measured at REPRO_SCALE=quick
+/// on the reference machine. Context for the JSON report, not a wall-clock
+/// gate — absolute Mops/s vary by host.
+const PRE_REFACTOR_CHURN_MOPS: f64 = 3.81;
+
+/// Trace-ring capacity for the `tee` configuration.
+const TRACE_CAPACITY: u32 = 1 << 14;
+
+/// One churn run: the same seeded alloc/free interleaving as the hotpath
+/// bench. Returns (Mops/s, live-set checksum, resident bytes, total cycle
+/// ns) so callers can verify sinks never change behaviour.
+fn churn(ops: u64, cfg: TcmallocConfig) -> (f64, u64, u64, f64) {
+    let spec = profiles::fleet_mix();
+    let mut rng = SmallRng::seed_from_u64(0xC4);
+    let clock = Clock::new();
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let mut tcm = Tcmalloc::new(cfg, platform, clock.clone());
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let t = Instant::now();
+    for i in 0..ops {
+        clock.advance(500);
+        let cpu = CpuId((i % 16) as u32);
+        if live.len() > 2_000 || (!live.is_empty() && rng.gen::<f64>() < 0.45) {
+            let k = rng.gen_range(0..live.len());
+            let (addr, size) = live.swap_remove(k);
+            tcm.free(addr, size, cpu);
+        } else {
+            let (size, _) = spec.sample_size(clock.now_ns(), &mut rng);
+            let a = tcm.malloc(black_box(size), cpu);
+            live.push((a.addr, size));
+        }
+        tcm.maintain();
+    }
+    let ns = t.elapsed().as_nanos() as f64;
+    // FNV-1a over the live set: sinks are observers, so the set must be
+    // identical whatever is attached to the bus.
+    let mut checksum: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(addr, size) in &live {
+        for v in [addr, size] {
+            for b in v.to_le_bytes() {
+                checksum ^= u64::from(b);
+                checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    let resident = tcm.resident_bytes();
+    let total_ns = tcm.cycles().total_ns();
+    for (addr, size) in live {
+        tcm.free(addr, size, CpuId(0));
+    }
+    (ops as f64 * 1e3 / ns.max(1.0), checksum, resident, total_ns)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ops = scale.requests;
+    println!("== event-bus sink overhead: fleet-mix churn, {ops} ops ==");
+
+    let off_cfg = TcmallocConfig::optimized().with_stats_sink(false);
+    let stats_cfg = TcmallocConfig::optimized();
+    let tee_cfg = TcmallocConfig::optimized().with_trace(TRACE_CAPACITY);
+
+    // Interleave A/B/A/B and keep the best of five runs per config so a
+    // stray scheduler hiccup cannot fabricate an overhead signal (quick
+    // scale runs only 6k ops, where single-run noise reaches +-20%).
+    let mut best = [0.0f64; 3];
+    let mut state = [None; 3];
+    for _ in 0..5 {
+        for (slot, cfg) in [(0usize, off_cfg), (1, stats_cfg), (2, tee_cfg)] {
+            let (mops, checksum, resident, total_ns) = churn(ops, cfg);
+            best[slot] = best[slot].max(mops);
+            state[slot] = Some((checksum, resident, total_ns));
+        }
+    }
+    let (off_mops, stats_mops, tee_mops) = (best[0], best[1], best[2]);
+    let (off_state, stats_state, tee_state) = (
+        state[0].expect("ran"),
+        state[1].expect("ran"),
+        state[2].expect("ran"),
+    );
+
+    // Sinks observe; they must not steer. Same live set, same residency.
+    assert_eq!(
+        (off_state.0, off_state.1),
+        (stats_state.0, stats_state.1),
+        "attaching the stats view changed allocator behaviour"
+    );
+    assert_eq!(
+        (off_state.0, off_state.1),
+        (tee_state.0, tee_state.1),
+        "attaching the trace ring changed allocator behaviour"
+    );
+    // The off run must truly be off, and the derived views identical
+    // whether or not a trace ring rides along.
+    assert_eq!(off_state.2, 0.0, "off-sink run still charged cycle stats");
+    assert!(stats_state.2 > 0.0, "stats run derived no cycle stats");
+    assert_eq!(
+        stats_state.2, tee_state.2,
+        "trace fan-out perturbed the derived stats"
+    );
+
+    let stats_overhead = (off_mops / stats_mops.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+    let tee_overhead = (off_mops / tee_mops.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+    let vs_pre = (off_mops / PRE_REFACTOR_CHURN_MOPS - 1.0) * 100.0;
+    println!("churn off           {off_mops:>8.2} Mops/s  ({vs_pre:+.1}% vs pre-refactor ref)");
+    println!(
+        "churn stats         {stats_mops:>8.2} Mops/s  (off pays {stats_overhead:+.1}% to add)"
+    );
+    println!(
+        "churn tee(stats+trace) {tee_mops:>5.2} Mops/s  (off pays {tee_overhead:+.1}% to add)"
+    );
+
+    // Sanity gate (generous: wall-clock noise, shared CI runners): turning
+    // every consumer off cannot be meaningfully slower than deriving full
+    // attribution, and attaching the bounded ring on top of stats must
+    // stay cheap.
+    assert!(
+        off_mops >= stats_mops * 0.90,
+        "off-sink churn ({off_mops:.2} Mops/s) slower than stats-on ({stats_mops:.2} Mops/s)"
+    );
+    assert!(
+        tee_mops >= stats_mops * 0.70,
+        "trace ring on top of stats costs too much: {tee_mops:.2} vs {stats_mops:.2} Mops/s"
+    );
+
+    let mut report = JsonReport::new();
+    report
+        .text("bench", "events/sink-overhead")
+        .text("scale", scale.name)
+        .int("ops", ops)
+        .num("churn_off_mops", off_mops)
+        .num("churn_stats_mops", stats_mops)
+        .num("churn_tee_mops", tee_mops)
+        .num("stats_overhead_pct", stats_overhead)
+        .num("tee_overhead_pct", tee_overhead)
+        .num("pre_refactor_churn_mops", PRE_REFACTOR_CHURN_MOPS)
+        .num("off_vs_pre_refactor_pct", vs_pre)
+        .flag("behaviour_identical_across_sinks", true)
+        .int("trace_capacity", u64::from(TRACE_CAPACITY));
+    report
+        .write(OUT_PATH)
+        .unwrap_or_else(|e| panic!("writing {OUT_PATH}: {e}"));
+    println!("wrote {OUT_PATH}");
+}

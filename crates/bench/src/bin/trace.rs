@@ -9,6 +9,11 @@
 //!
 //! # Replay it under both configurations and compare:
 //! cargo run --release -p wsc-bench --bin trace -- replay disk.trace
+//!
+//! # Export the allocator's cross-tier event stream as Chrome trace JSON
+//! # (open in chrome://tracing or https://ui.perfetto.dev):
+//! cargo run --release -p wsc-bench --bin trace -- --events out.json
+//! cargo run --release -p wsc-bench --bin trace -- events disk 10000 out.json
 //! ```
 //!
 //! `replay` runs the two configurations as engine tasks (`--threads N` or
@@ -18,16 +23,40 @@ use wsc_bench::parallel::{Engine, Task};
 use wsc_sim_hw::topology::Platform;
 use wsc_sim_os::clock::Clock;
 use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_workload::driver::{run, DriverConfig};
 use wsc_workload::profiles;
 use wsc_workload::trace::{Trace, TraceEvent};
+
+/// Events kept by the bounded trace ring for the `events` export (the tail
+/// of the run; older events are dropped deterministically).
+const TRACE_RING_CAPACITY: u32 = 1 << 16;
 
 fn usage() -> ! {
     eprintln!("usage: trace [--threads N] record <workload> <events> <file>");
     eprintln!("       trace [--threads N] info <file>");
     eprintln!("       trace [--threads N] replay <file>");
+    eprintln!("       trace events <workload> <requests> <out.json>");
+    eprintln!("       trace --events <out.json>   (fleet mix, quick scale)");
     eprintln!("workloads: fleet spanner monarch bigtable f1-query disk redis");
     eprintln!("           data-pipeline image-processing tensorflow spec");
     std::process::exit(2);
+}
+
+/// Drives `requests` of `spec` with the bounded trace ring attached and
+/// writes the ring as Chrome trace-event JSON (Perfetto-loadable).
+fn export_events(spec: &wsc_workload::WorkloadSpec, requests: u64, out: &str) {
+    let platform = Platform::chiplet("chiplet-64c", 2, 4, 8, 2);
+    let dcfg = DriverConfig::new(requests, 42, &platform);
+    let cfg = TcmallocConfig::optimized().with_trace(TRACE_RING_CAPACITY);
+    let (_, tcm) = run(spec, &platform, cfg, &dcfg);
+    let ring = tcm.trace().expect("trace ring configured");
+    std::fs::write(out, ring.chrome_trace_json()).expect("write trace JSON");
+    println!(
+        "wrote {} events ({} dropped from the bounded ring) to {out}",
+        ring.len(),
+        ring.dropped()
+    );
+    println!("open in chrome://tracing or https://ui.perfetto.dev");
 }
 
 fn workload(name: &str) -> wsc_workload::WorkloadSpec {
@@ -71,7 +100,17 @@ fn main() {
             i += 1;
         }
     }
+    // `--events <file>` shorthand: fleet mix at quick scale.
+    if args.len() == 2 && args[0] == "--events" {
+        export_events(&profiles::fleet_mix(), 6_000, &args[1]);
+        return;
+    }
     match args.first().map(String::as_str) {
+        Some("events") if args.len() == 4 => {
+            let spec = workload(&args[1]);
+            let requests: u64 = args[2].parse().unwrap_or_else(|_| usage());
+            export_events(&spec, requests, &args[3]);
+        }
         Some("record") if args.len() == 4 => {
             let spec = workload(&args[1]);
             let events: u64 = args[2].parse().unwrap_or_else(|_| usage());

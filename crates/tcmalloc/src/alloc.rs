@@ -8,16 +8,17 @@
 
 use crate::central::CentralFreeList;
 use crate::config::TcmallocConfig;
+use crate::events::{AllocEvent, EventBus, EventSink, SpanRef, TraceRing};
 use crate::pageheap::PageHeap;
 use crate::pagemap::PageMap;
 use crate::percpu::{FreeOutcome, PerCpuCaches};
 use crate::size_class::SizeClassTable;
 use crate::span::{Span, SpanRegistry, SpanState};
-use crate::stats::{CycleCategory, CycleStats, FragmentationBreakdown};
+use crate::stats::{CycleStats, FragmentationBreakdown};
 use crate::transfer::{TransferCaches, TransferSharding};
 use std::collections::HashMap;
 use wsc_sanitizer::{
-    ClassTierSnapshot, HugepageSnapshot, PagemapLeafSnapshot, Sanitizer, SanitizerReport, Snapshot,
+    ClassTierSnapshot, HugepageSnapshot, PagemapLeafSnapshot, SanitizerReport, Snapshot,
     SpanPlacement, SpanSnapshot,
 };
 use wsc_sim_hw::cost::{AllocPath, CostModel};
@@ -25,7 +26,7 @@ use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
 use wsc_sim_os::clock::Clock;
 use wsc_sim_os::rseq::VcpuRegistry;
-use wsc_telemetry::gwp::{AllocationProfile, Sample, Sampler};
+use wsc_telemetry::gwp::{AllocationProfile, Sampler};
 
 /// Result of a [`Tcmalloc::malloc`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,7 +68,6 @@ pub struct FreeOutcomeInfo {
 #[derive(Debug)]
 pub struct Tcmalloc {
     cfg: TcmallocConfig,
-    cost: CostModel,
     table: SizeClassTable,
     platform: Platform,
     clock: Clock,
@@ -79,11 +79,9 @@ pub struct Tcmalloc {
     pagemap: PageMap,
     pageheap: PageHeap,
     sampler: Sampler,
-    sanitizer: Sanitizer,
-    profile: AllocationProfile,
+    bus: EventBus,
     // lint:allow(hashmap-decl) keyed by sampled address; never iterated
     live_samples: HashMap<u64, (u64, u64, f64)>,
-    cycles: CycleStats,
     live_requested_bytes: u64,
     live_objects: u64,
     internal_frag_bytes: u64,
@@ -104,7 +102,6 @@ impl Tcmalloc {
             .collect();
         let now = clock.now_ns();
         Self {
-            cost: CostModel::production(),
             percpu,
             transfer,
             central,
@@ -112,10 +109,8 @@ impl Tcmalloc {
             pagemap: PageMap::new(),
             pageheap: PageHeap::new(cfg.pageheap),
             sampler: Sampler::new(cfg.sample_period_bytes),
-            sanitizer: Sanitizer::new(cfg.sanitize),
-            profile: AllocationProfile::new(),
+            bus: EventBus::new(&cfg, CostModel::production(), clock.clone()),
             live_samples: HashMap::new(),
-            cycles: CycleStats::new(),
             live_requested_bytes: 0,
             live_objects: 0,
             internal_frag_bytes: 0,
@@ -131,9 +126,10 @@ impl Tcmalloc {
         }
     }
 
-    /// Overrides the cost model (platform calibration).
+    /// Overrides the cost model (platform calibration). Rebuilds the event
+    /// bus, so call it before any allocation.
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
-        self.cost = cost;
+        self.bus = EventBus::new(&self.cfg, cost, self.clock.clone());
         self
     }
 
@@ -149,43 +145,56 @@ impl Tcmalloc {
             Some(cl) => self.malloc_small(cl, cpu),
             None => self.malloc_large(size),
         };
-        let mut ns = self.cost.alloc_path_ns(path);
-        self.cycles.charge(path.into(), ns);
-        if self.cfg.prefetch && size <= crate::size_class::MAX_SMALL_SIZE {
-            self.cycles
-                .charge(CycleCategory::Prefetch, self.cost.prefetch_ns);
-            ns += self.cost.prefetch_ns;
-        }
-        self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
-        ns += self.cost.other_ns;
-        if self.sampler.should_sample(size.max(1)) {
+        let prefetched = self.cfg.prefetch && size <= crate::size_class::MAX_SMALL_SIZE;
+        let sampled = self.sampler.should_sample(size.max(1));
+        let pick = if sampled {
             let weight = self.sampler.sample_weight(size.max(1));
             let now = self.clock.now_ns();
-            self.profile.record_alloc(&Sample {
+            self.live_samples.insert(addr, (size, now, weight));
+            Some(AllocEvent::SamplerPick {
+                addr,
                 size,
                 site,
-                alloc_time_ns: now,
+                now_ns: now,
                 weight,
-            });
-            self.live_samples.insert(addr, (size, now, weight));
-            self.cycles
-                .charge(CycleCategory::Sampled, self.cost.sampled_alloc_ns);
-            ns += self.cost.sampled_alloc_ns;
-        }
+            })
+        } else {
+            None
+        };
         self.live_requested_bytes += size;
         self.live_objects += 1;
         self.internal_frag_bytes += actual - size;
-        if self.cfg.sanitize.is_on() {
+        // Shadow payload: populated only when sanitizing, so the fast path
+        // never pays the pagemap lookup.
+        let (class, span) = if self.cfg.sanitize.is_on() {
             let class = self.table.class_for(size).map(|cl| cl as u16);
-            if let Some(id) = self.pagemap.span_of(addr) {
-                let span = self.spans.get(id);
-                let (start, pages) = (span.start, span.pages);
-                self.sanitizer
-                    .record_alloc(addr, actual, class, id.0, start, pages);
-            }
-            if self.sanitizer.audit_due() {
-                self.audit_now();
-            }
+            let span = self.pagemap.span_of(addr).map(|id| {
+                let s = self.spans.get(id);
+                SpanRef {
+                    id: id.0,
+                    start: s.start,
+                    pages: s.pages,
+                }
+            });
+            (class, span)
+        } else {
+            (None, None)
+        };
+        let ns = self.bus.malloc_done(
+            pick,
+            AllocEvent::MallocDone {
+                path,
+                addr,
+                size,
+                actual,
+                prefetched,
+                sampled,
+                class,
+                span,
+            },
+        );
+        if self.cfg.sanitize.is_on() && self.bus.sanitizer_mut().audit_due() {
+            self.audit_now();
         }
         AllocOutcome {
             addr,
@@ -208,11 +217,11 @@ impl Tcmalloc {
         let vcpu = self.vcpus.vcpu_of(cpu);
         let shard = self.shard_of(cpu);
         let info = *self.table.info(cl);
-        if let Some(addr) = self.percpu.alloc(vcpu, cl) {
+        if let Some(addr) = self.percpu.alloc(vcpu, cl, &mut self.bus) {
             return (addr, info.size, AllocPath::PerCpu);
         }
         let batch = info.batch as usize;
-        let mut objs = self.transfer.fetch(shard, cl, batch);
+        let mut objs = self.transfer.fetch(shard, cl, batch, &mut self.bus);
         let mut path = AllocPath::TransferCache;
         if objs.len() < batch {
             let need = batch - objs.len();
@@ -221,22 +230,30 @@ impl Tcmalloc {
                 &mut self.spans,
                 &mut self.pagemap,
                 &mut self.pageheap,
+                &mut self.bus,
             );
             objs.extend(more);
             path = deep;
         }
         let addr = objs.pop().expect("refill batch is never empty");
-        let leftover = self.percpu.refill(vcpu, cl, objs);
+        let leftover = self.percpu.refill(vcpu, cl, objs, &mut self.bus);
         self.return_objects(shard, cl, leftover, true);
         (addr, info.size, path)
     }
 
     fn malloc_large(&mut self, size: u64) -> (u64, u64, AllocPath) {
         let pages = size.div_ceil(TCMALLOC_PAGE_BYTES).max(1) as u32;
-        let (addr, path) = self.pageheap.alloc(pages, 1);
+        let (addr, path) = self.pageheap.alloc(pages, 1, &mut self.bus);
         let span = Span::new_large(addr, pages);
         let id = self.spans.insert(span);
-        self.pagemap.set_range(addr, pages, id);
+        self.bus.emit(AllocEvent::SpanAlloc {
+            id: id.0,
+            start: addr,
+            pages,
+            class: None,
+        });
+        self.pagemap
+            .set_range_traced(addr, pages, id, &mut self.bus);
         (addr, pages as u64 * TCMALLOC_PAGE_BYTES, path)
     }
 
@@ -253,7 +270,12 @@ impl Tcmalloc {
     pub fn free(&mut self, addr: u64, size: u64, cpu: CpuId) -> FreeOutcomeInfo {
         if self.cfg.sanitize.is_on() {
             let expected = self.table.class_for(size).map(|cl| cl as u16);
-            if self.sanitizer.check_free(addr, expected).is_some() {
+            if self
+                .bus
+                .sanitizer_mut()
+                .check_free(addr, expected)
+                .is_some()
+            {
                 // Invalid free: rejected, reported, and charged nothing.
                 return FreeOutcomeInfo {
                     path: AllocPath::PerCpu,
@@ -263,7 +285,11 @@ impl Tcmalloc {
         }
         if let Some((sz, t, weight)) = self.live_samples.remove(&addr) {
             let lifetime = self.clock.now_ns().saturating_sub(t);
-            self.profile.record_lifetime(sz, lifetime, weight);
+            self.bus.emit(AllocEvent::SampledFree {
+                size: sz,
+                lifetime_ns: lifetime,
+                weight,
+            });
         }
         let (actual, path) = match self.table.class_for(size) {
             Some(cl) => {
@@ -277,7 +303,7 @@ impl Tcmalloc {
                 let vcpu = self.vcpus.vcpu_of(cpu);
                 let shard = self.shard_of(cpu);
                 let info = *self.table.info(cl);
-                let path = match self.percpu.free(vcpu, cl, addr) {
+                let path = match self.percpu.free(vcpu, cl, addr, &mut self.bus) {
                     FreeOutcome::Cached => AllocPath::PerCpu,
                     FreeOutcome::Overflow(batch) => self.return_objects(shard, cl, batch, false),
                 };
@@ -294,20 +320,25 @@ impl Tcmalloc {
                 let pages = span.pages;
                 let span = self.spans.remove(id);
                 debug_assert!(span.size_class.is_none());
-                self.pagemap.clear_range(addr, pages);
-                self.pageheap.dealloc(addr, pages);
-                self.sanitizer.on_span_released(addr);
+                // SpanRetire feeds the sanitizer's page mirror via the bus.
+                self.bus.emit(AllocEvent::SpanRetire {
+                    id: id.0,
+                    start: addr,
+                    pages,
+                    class: None,
+                });
+                self.pagemap.clear_range_traced(addr, pages, &mut self.bus);
+                self.pageheap.dealloc(addr, pages, &mut self.bus);
                 (pages as u64 * TCMALLOC_PAGE_BYTES, AllocPath::PageHeap)
             }
         };
-        let mut ns = self.cost.alloc_path_ns(path);
-        self.cycles.charge(path.into(), ns);
-        self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
-        ns += self.cost.other_ns;
+        let ns = self
+            .bus
+            .free_done(AllocEvent::FreeDone { path, addr, size });
         self.live_requested_bytes -= size;
         self.live_objects -= 1;
         self.internal_frag_bytes -= actual - size;
-        if self.cfg.sanitize.is_on() && self.sanitizer.audit_due() {
+        if self.cfg.sanitize.is_on() && self.bus.sanitizer_mut().audit_due() {
             self.audit_now();
         }
         FreeOutcomeInfo { path, ns }
@@ -326,31 +357,32 @@ impl Tcmalloc {
             return AllocPath::TransferCache;
         }
         let rest = if central_only {
-            self.transfer.stash_central(cl, objs)
+            self.transfer.stash_central(cl, objs, &mut self.bus)
         } else {
-            self.transfer.stash(shard, cl, objs)
+            self.transfer.stash(shard, cl, objs, &mut self.bus)
         };
         if rest.is_empty() {
             return AllocPath::TransferCache;
         }
+        self.bus.emit(AllocEvent::CentralReturn {
+            class: cl as u16,
+            count: rest.len() as u32,
+        });
         let mut released = false;
         for addr in rest {
             let id = self
                 .pagemap
                 .span_of(addr)
                 .expect("cached object lost its span");
-            let span_start = self.spans.get(id).start;
-            let freed = self.central[cl].dealloc(
+            // A full drain emits SpanRetire inside, feeding the sanitizer.
+            released |= self.central[cl].dealloc(
                 addr,
                 id,
                 &mut self.spans,
                 &mut self.pagemap,
                 &mut self.pageheap,
+                &mut self.bus,
             );
-            if freed {
-                self.sanitizer.on_span_released(span_start);
-            }
-            released |= freed;
         }
         if released {
             AllocPath::PageHeap
@@ -370,6 +402,7 @@ impl Tcmalloc {
                 self.cfg.resize_top_n,
                 self.cfg.resize_step_bytes,
                 self.cfg.resize_floor_bytes,
+                &mut self.bus,
             );
             for (cl, objs) in evicted {
                 self.return_objects(0, cl, objs, true);
@@ -377,7 +410,7 @@ impl Tcmalloc {
         }
         if self.cfg.transfer.is_sharded() && now >= self.next_plunder_ns {
             self.next_plunder_ns = now + self.cfg.plunder_interval_ns;
-            let overflow = self.transfer.plunder();
+            let overflow = self.transfer.plunder(&mut self.bus);
             for (cl, objs) in overflow {
                 self.return_objects(0, cl, objs, true);
             }
@@ -390,30 +423,31 @@ impl Tcmalloc {
             for (cl, objs) in evicted {
                 self.return_objects(0, cl, objs, true);
             }
-            let evicted = self.transfer.decay();
+            let evicted = self.transfer.decay(&mut self.bus);
             for (cl, objs) in evicted {
+                self.bus.emit(AllocEvent::CentralReturn {
+                    class: cl as u16,
+                    count: objs.len() as u32,
+                });
                 for addr in objs {
                     let id = self
                         .pagemap
                         .span_of(addr)
                         .expect("cached object lost its span");
-                    let span_start = self.spans.get(id).start;
-                    let freed = self.central[cl].dealloc(
+                    self.central[cl].dealloc(
                         addr,
                         id,
                         &mut self.spans,
                         &mut self.pagemap,
                         &mut self.pageheap,
+                        &mut self.bus,
                     );
-                    if freed {
-                        self.sanitizer.on_span_released(span_start);
-                    }
                 }
             }
         }
         if now >= self.next_release_ns {
             self.next_release_ns = now + self.cfg.release_interval_ns;
-            self.pageheap.background_release();
+            self.pageheap.background_release(&mut self.bus);
         }
     }
 
@@ -493,23 +527,23 @@ impl Tcmalloc {
     /// queued as [`SanitizerReport`]s).
     pub fn audit_now(&mut self) -> usize {
         let snap = self.build_snapshot();
-        self.sanitizer.run_audit(&snap)
+        self.bus.sanitizer_mut().run_audit(&snap)
     }
 
     /// Sanitizer reports accumulated so far (shadow violations + audit
     /// findings), in detection order.
     pub fn sanitizer_reports(&self) -> &[SanitizerReport] {
-        self.sanitizer.reports()
+        self.bus.sanitizer().reports()
     }
 
     /// Drains and returns the accumulated sanitizer reports.
     pub fn take_sanitizer_reports(&mut self) -> Vec<SanitizerReport> {
-        self.sanitizer.take_reports()
+        self.bus.sanitizer_mut().take_reports()
     }
 
     /// Number of cross-tier audits run (sampled cadence + explicit calls).
     pub fn audits_run(&self) -> u64 {
-        self.sanitizer.audits_run()
+        self.bus.sanitizer().audits_run()
     }
 
     /// Fragmentation snapshot (Figures 5b and 6b).
@@ -545,14 +579,33 @@ impl Tcmalloc {
         self.pageheap.vmm().page_table().hugepage_coverage()
     }
 
-    /// Allocator cycle accounting (Figure 6a).
+    /// Allocator cycle accounting (Figure 6a) — derived from the event
+    /// stream by the bus's [`StatsView`](crate::stats::StatsView).
     pub fn cycles(&self) -> &CycleStats {
-        &self.cycles
+        self.bus.cycles()
     }
 
-    /// The sampled allocation profile (Figures 7 and 8).
+    /// The sampled allocation profile (Figures 7 and 8) — derived from
+    /// `SamplerPick` / `SampledFree` events.
     pub fn profile(&self) -> &AllocationProfile {
-        &self.profile
+        self.bus.profile()
+    }
+
+    /// The raw event stream, when the config enabled the
+    /// [`Recorder`](crate::events::Recorder) (empty otherwise).
+    pub fn recorded_events(&self) -> &[AllocEvent] {
+        self.bus.recorded()
+    }
+
+    /// The bounded trace ring, when `trace_capacity > 0`.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.bus.trace()
+    }
+
+    /// Attaches an additional [`EventSink`]; it observes every subsequent
+    /// event after the built-in consumers.
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.bus.attach(sink);
     }
 
     /// Per-vCPU miss counts (Figure 9b).
@@ -592,7 +645,7 @@ impl Tcmalloc {
 
     /// The cost model in effect.
     pub fn cost_model(&self) -> &CostModel {
-        &self.cost
+        self.bus.cost()
     }
 
     /// The shared simulated clock.
@@ -616,6 +669,7 @@ impl Tcmalloc {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::stats::CycleCategory;
 
     fn alloc(cfg: TcmallocConfig) -> Tcmalloc {
         Tcmalloc::new(cfg, Platform::chiplet("t", 1, 2, 4, 2), Clock::new())

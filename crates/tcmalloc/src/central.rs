@@ -19,6 +19,7 @@
 //! release-probability-vs-occupancy curve and the Figure 16 per-class span
 //! creation/return counts.
 
+use crate::events::{AllocEvent, EventBus};
 use crate::pageheap::PageHeap;
 use crate::pagemap::PageMap;
 use crate::size_class::SizeClassInfo;
@@ -184,13 +185,16 @@ impl CentralFreeList {
     }
 
     /// Extracts up to `n` objects, growing from the pageheap when every span
-    /// is exhausted. Returns the objects and the deepest tier touched.
+    /// is exhausted. Returns the objects and the deepest tier touched. The
+    /// batch emits one [`AllocEvent::CentralRefill`]; each fresh span emits
+    /// [`AllocEvent::SpanAlloc`] plus its pagemap registration.
     pub fn alloc_batch(
         &mut self,
         n: usize,
         spans: &mut SpanRegistry,
         pagemap: &mut PageMap,
         pageheap: &mut PageHeap,
+        bus: &mut EventBus,
     ) -> (Vec<u64>, AllocPath) {
         let mut out = Vec::with_capacity(n);
         let mut deepest = AllocPath::CentralFreeList;
@@ -201,14 +205,21 @@ impl CentralFreeList {
                 Some(id) => id,
                 None => {
                     // Grow: request a fresh span from the pageheap.
-                    let (addr, path) = pageheap.alloc(self.info.pages, self.info.objects_per_span);
+                    let (addr, path) =
+                        pageheap.alloc(self.info.pages, self.info.objects_per_span, bus);
                     deepest = match (deepest, path) {
                         (_, AllocPath::Mmap) | (AllocPath::Mmap, _) => AllocPath::Mmap,
                         _ => AllocPath::PageHeap,
                     };
                     let span = Span::new_small(addr, self.class, &self.info);
                     let id = spans.insert(span);
-                    pagemap.set_range(addr, self.info.pages, id);
+                    bus.emit(AllocEvent::SpanAlloc {
+                        id: id.0,
+                        start: addr,
+                        pages: self.info.pages,
+                        class: Some(self.class),
+                    });
+                    pagemap.set_range_traced(addr, self.info.pages, id, bus);
                     self.spans_created += 1;
                     self.live_spans += 1;
                     self.free_objects += self.info.objects_per_span as u64;
@@ -228,11 +239,16 @@ impl CentralFreeList {
             self.free_objects -= take as u64;
             self.list_update(spans, id);
         }
+        bus.emit(AllocEvent::CentralRefill {
+            class: self.class,
+            count: out.len() as u32,
+        });
         (out, deepest)
     }
 
     /// Returns one object to its span. When the span drains completely it is
-    /// released to the pageheap; returns `true` in that case.
+    /// released to the pageheap (emitting [`AllocEvent::SpanRetire`], which
+    /// also feeds the sanitizer's page mirror); returns `true` in that case.
     pub fn dealloc(
         &mut self,
         addr: u64,
@@ -240,6 +256,7 @@ impl CentralFreeList {
         spans: &mut SpanRegistry,
         pagemap: &mut PageMap,
         pageheap: &mut PageHeap,
+        bus: &mut EventBus,
     ) -> bool {
         let allocated_after = {
             let span = spans.get_mut(id);
@@ -257,8 +274,14 @@ impl CentralFreeList {
                 self.list_remove(spans, id);
             }
             let span = spans.remove(id);
-            pagemap.clear_range(span.start, span.pages);
-            pageheap.dealloc(span.start, span.pages);
+            bus.emit(AllocEvent::SpanRetire {
+                id: id.0,
+                start: span.start,
+                pages: span.pages,
+                class: Some(self.class),
+            });
+            pagemap.clear_range_traced(span.start, span.pages, bus);
+            pageheap.dealloc(span.start, span.pages, bus);
             self.spans_released += 1;
             self.live_spans -= 1;
             self.free_objects -= span.capacity as u64;
@@ -305,14 +328,18 @@ impl CentralFreeList {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::TcmallocConfig;
     use crate::pageheap::PageHeapConfig;
     use crate::size_class::SizeClassTable;
+    use wsc_sim_hw::cost::CostModel;
+    use wsc_sim_os::clock::Clock;
 
     struct Fixture {
         cfl: CentralFreeList,
         spans: SpanRegistry,
         pagemap: PageMap,
         pageheap: PageHeap,
+        bus: EventBus,
     }
 
     fn fixture(num_lists: usize) -> Fixture {
@@ -323,13 +350,24 @@ mod tests {
             spans: SpanRegistry::new(),
             pagemap: PageMap::new(),
             pageheap: PageHeap::new(PageHeapConfig::default()),
+            bus: EventBus::new(
+                &TcmallocConfig::baseline(),
+                CostModel::production(),
+                Clock::new(),
+            ),
         }
     }
 
     impl Fixture {
         fn alloc(&mut self, n: usize) -> Vec<u64> {
             self.cfl
-                .alloc_batch(n, &mut self.spans, &mut self.pagemap, &mut self.pageheap)
+                .alloc_batch(
+                    n,
+                    &mut self.spans,
+                    &mut self.pagemap,
+                    &mut self.pageheap,
+                    &mut self.bus,
+                )
                 .0
         }
 
@@ -341,6 +379,7 @@ mod tests {
                 &mut self.spans,
                 &mut self.pagemap,
                 &mut self.pageheap,
+                &mut self.bus,
             )
         }
     }

@@ -55,6 +55,16 @@ pub struct TcmallocConfig {
     /// Sanitizer level: shadow-state checking on every operation and
     /// cross-tier conservation audits (Off for benches, Full for tests).
     pub sanitize: SanitizeLevel,
+    /// Feed the event stream into the derived stats view (cycle
+    /// attribution + GWP profile). On by default; benches measuring raw
+    /// allocator throughput turn it off for a true `Off`-sink run.
+    pub stats_sink: bool,
+    /// Keep the last N events in a bounded [`TraceRing`]
+    /// (crate::events::TraceRing) for Chrome-trace export. 0 = off.
+    pub trace_capacity: u32,
+    /// Record the complete raw event stream (tests and tools only — the
+    /// log is unbounded).
+    pub record_events: bool,
 }
 
 impl TcmallocConfig {
@@ -83,6 +93,9 @@ impl TcmallocConfig {
             release_interval_ns: NS_PER_SEC / 20,
             decay_interval_ns: NS_PER_SEC / 10, // production: ~1 s
             sanitize: SanitizeLevel::Off,
+            stats_sink: true,
+            trace_capacity: 0,
+            record_events: false,
         }
     }
 
@@ -135,6 +148,25 @@ impl TcmallocConfig {
         self.sanitize = level;
         self
     }
+
+    /// Enables or disables the derived stats view (cycles + GWP profile).
+    pub fn with_stats_sink(mut self, on: bool) -> Self {
+        self.stats_sink = on;
+        self
+    }
+
+    /// Keeps the last `capacity` events in the trace ring for Chrome-trace
+    /// export (`wsc-bench` `trace --events`).
+    pub fn with_trace(mut self, capacity: u32) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Records the complete raw event stream (unbounded; tests/tools).
+    pub fn with_event_recorder(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
 }
 
 impl Default for TcmallocConfig {
@@ -158,6 +190,21 @@ mod tests {
         assert!(!c.pageheap.lifetime_aware_filler);
         assert_eq!(c.percpu_max_bytes, (3 << 20) / CAPACITY_SCALE);
         assert_eq!(c.sample_period_bytes, 2 << 20);
+        // Sink defaults: attribution on, trace/recorder off.
+        assert!(c.stats_sink);
+        assert_eq!(c.trace_capacity, 0);
+        assert!(!c.record_events);
+    }
+
+    #[test]
+    fn sink_builders_compose() {
+        let c = TcmallocConfig::optimized()
+            .with_stats_sink(false)
+            .with_trace(4096)
+            .with_event_recorder();
+        assert!(!c.stats_sink);
+        assert_eq!(c.trace_capacity, 4096);
+        assert!(c.record_events);
     }
 
     #[test]

@@ -1,0 +1,998 @@
+//! The unified allocator event bus — the attribution spine.
+//!
+//! The paper's core contribution is *attribution*: knowing where malloc's
+//! cycles and bytes go across the per-CPU front end, the transfer cache,
+//! the central free lists, and the hugepage-aware pageheap (§3, Figure 2).
+//! Before this module, that attribution was smeared across the codebase:
+//! `CycleStats::charge` calls, `AllocationProfile` updates, the sanitizer's
+//! shadow feed, and the GWP sampler each hooked the tiers ad-hoc.
+//!
+//! Now every cross-tier boundary emits exactly one [`AllocEvent`] through
+//! the [`EventBus`], and every consumer is a sink over that one stream:
+//!
+//! * [`StatsView`](crate::stats::StatsView) derives [`CycleStats`]
+//!   (Figure 6a) and the GWP [`AllocationProfile`] — cost-model charging
+//!   happens *at emission*, so cycle attribution is consistent by
+//!   construction,
+//! * the sanitizer's shadow state is fed from `MallocDone` / `SpanRetire`
+//!   events instead of hand-placed calls,
+//! * a bounded deterministic [`TraceRing`] exports Chrome trace-event JSON
+//!   (`wsc-bench` `trace --events out.json`, viewable in `chrome://tracing`
+//!   or Perfetto),
+//! * a [`Recorder`] captures the raw stream for the determinism and
+//!   conservation tests, and
+//! * a fan-out [`Tee`] composes further [`EventSink`]s.
+//!
+//! Determinism: timestamps come from the *simulated* [`Clock`], the fan-out
+//! order is fixed (stats → sanitizer → trace → recorder → extra sinks), and
+//! nothing consults the wall clock or ambient randomness — so the event log
+//! of a run is byte-identical across `--threads N` and the golden figures
+//! stay bit-identical.
+//!
+//! The OS-boundary events (`HugepageFill` / `HugepageBreak` /
+//! `HugepageRelease`) mirror every `mmap` / `reoccupy` / `subrelease` /
+//! `munmap` the pageheap issues, in call order — replaying them into a fresh
+//! [`wsc_sim_os::pagetable::PageTable`] reconstructs the kernel's resident
+//! set exactly (the conservation test in `tests/event_stream.rs`).
+
+use crate::config::TcmallocConfig;
+use crate::stats::{CycleStats, StatsView};
+use std::collections::VecDeque;
+use wsc_sanitizer::Sanitizer;
+use wsc_sim_hw::cost::{AllocPath, CostModel};
+use wsc_sim_os::clock::Clock;
+use wsc_telemetry::gwp::AllocationProfile;
+
+/// Why objects left a transfer-cache shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictReason {
+    /// Anti-stranding plunder of an over-full NUCA domain shard (§4.2).
+    Plunder,
+    /// Idle-cache decay reclaim.
+    Decay,
+}
+
+impl EvictReason {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictReason::Plunder => "plunder",
+            EvictReason::Decay => "decay",
+        }
+    }
+}
+
+/// Identity of the span an object lives on, carried by [`AllocEvent::MallocDone`]
+/// for the sanitizer's shadow feed (populated only when sanitizing, so the
+/// fast path never pays the pagemap lookup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRef {
+    /// Span id (the registry index).
+    pub id: u32,
+    /// Span base address.
+    pub start: u64,
+    /// Span length in TCMalloc pages.
+    pub pages: u32,
+}
+
+/// One cross-tier boundary crossing. Every tier emits through the
+/// [`EventBus`] exactly once at each boundary; consumers subscribe as
+/// [`EventSink`]s instead of instrumenting the tiers themselves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AllocEvent {
+    // --- Per-CPU front end (§4.1) ---
+    /// Fast-path hit in a per-CPU cache.
+    PerCpuHit {
+        /// Dense virtual CPU id.
+        vcpu: usize,
+        /// Size class.
+        class: u16,
+    },
+    /// Fast-path miss: the request falls through to the transfer tier.
+    PerCpuMiss {
+        /// Dense virtual CPU id.
+        vcpu: usize,
+        /// Size class.
+        class: u16,
+    },
+    /// A free overflowed the per-CPU cache; a batch is shed to the middle
+    /// tiers.
+    PerCpuOverflow {
+        /// Dense virtual CPU id.
+        vcpu: usize,
+        /// Size class.
+        class: u16,
+        /// Objects shed (the overflow batch).
+        shed: u32,
+    },
+    /// The per-slab resizer stole unused capacity from another size class
+    /// of the same vCPU cache to let `class` grow (§4.1: "we prioritize
+    /// shrinking capacity for larger size classes").
+    ResizerSteal {
+        /// Dense virtual CPU id.
+        vcpu: usize,
+        /// The class whose unused capacity was taken.
+        victim_class: u16,
+        /// The class that grows.
+        class: u16,
+        /// Capacity bytes moved.
+        bytes: u64,
+    },
+    /// Periodic rebalance grew a heavy cache's budget.
+    ResizerGrow {
+        /// Dense virtual CPU id.
+        vcpu: usize,
+        /// Budget bytes added.
+        bytes: u64,
+    },
+    /// Periodic rebalance shrank a donor cache's budget.
+    ResizerShrink {
+        /// Dense virtual CPU id.
+        vcpu: usize,
+        /// Budget bytes removed.
+        bytes: u64,
+    },
+
+    // --- Transfer cache (§4.2) ---
+    /// Objects fetched from a transfer-cache shard.
+    TransferHit {
+        /// NUCA shard index (0 for the singleton central shard).
+        shard: usize,
+        /// Size class.
+        class: u16,
+        /// Objects moved.
+        count: u32,
+    },
+    /// Objects inserted into a transfer-cache shard.
+    TransferInsert {
+        /// NUCA shard index.
+        shard: usize,
+        /// Size class.
+        class: u16,
+        /// Objects moved.
+        count: u32,
+    },
+    /// Objects evicted from a shard (plunder or decay).
+    TransferEvict {
+        /// NUCA shard index.
+        shard: usize,
+        /// Size class.
+        class: u16,
+        /// Objects evicted.
+        count: u32,
+        /// Why they left.
+        reason: EvictReason,
+    },
+
+    // --- Central free lists (§4.3) ---
+    /// The central free list refilled the tiers above with a batch.
+    CentralRefill {
+        /// Size class.
+        class: u16,
+        /// Objects handed up.
+        count: u32,
+    },
+    /// A batch of objects returned to the central free list.
+    CentralReturn {
+        /// Size class.
+        class: u16,
+        /// Objects handed down.
+        count: u32,
+    },
+    /// A span was carved from the pageheap.
+    SpanAlloc {
+        /// Span id.
+        id: u32,
+        /// Base address.
+        start: u64,
+        /// Length in TCMalloc pages.
+        pages: u32,
+        /// Size class, or `None` for a large span.
+        class: Option<u16>,
+    },
+    /// A fully-idle span returned to the pageheap (feeds the sanitizer's
+    /// page mirror).
+    SpanRetire {
+        /// Span id.
+        id: u32,
+        /// Base address.
+        start: u64,
+        /// Length in TCMalloc pages.
+        pages: u32,
+        /// Size class, or `None` for a large span.
+        class: Option<u16>,
+    },
+
+    // --- Hugepage-aware pageheap (§4.4) ---
+    /// The filler placed a small run on a (partially used) hugepage.
+    FillerPlace {
+        /// Run base address.
+        addr: u64,
+        /// Run length in TCMalloc pages.
+        pages: u32,
+    },
+    /// The region allocator placed a medium run (> 1, < 2 hugepages).
+    RegionPlace {
+        /// Run base address.
+        addr: u64,
+        /// Run length in TCMalloc pages.
+        pages: u32,
+    },
+    /// The hugepage cache placed a large run (whole hugepages).
+    CachePlace {
+        /// Run base address.
+        addr: u64,
+        /// Run length in TCMalloc pages.
+        pages: u32,
+    },
+
+    // --- OS boundary (simulated kernel) ---
+    /// Hugepages became resident: a fresh `mmap` (`reused: false`) or a
+    /// `reoccupy` of previously subreleased pages (`reused: true`).
+    HugepageFill {
+        /// Base address.
+        base: u64,
+        /// Extent in bytes.
+        bytes: u64,
+        /// Whether this re-occupies an already-mapped extent.
+        reused: bool,
+    },
+    /// Pages subreleased to the OS, breaking the backing hugepage.
+    HugepageBreak {
+        /// Base address of the subreleased run.
+        base: u64,
+        /// Extent in bytes.
+        bytes: u64,
+    },
+    /// Hugepages unmapped back to the OS.
+    HugepageRelease {
+        /// Base address.
+        base: u64,
+        /// Extent in bytes.
+        bytes: u64,
+    },
+
+    // --- Pagemap ---
+    /// A span's pages were entered into the pagemap.
+    PagemapSet {
+        /// First-page address.
+        addr: u64,
+        /// Pages covered.
+        pages: u32,
+    },
+    /// A span's pages were cleared from the pagemap.
+    PagemapClear {
+        /// First-page address.
+        addr: u64,
+        /// Pages covered.
+        pages: u32,
+    },
+
+    // --- Sampler / operation completion ---
+    /// The GWP sampler picked this allocation (1 per ~2 MiB allocated).
+    SamplerPick {
+        /// Object address.
+        addr: u64,
+        /// Requested bytes.
+        size: u64,
+        /// Allocation-site hash.
+        site: u64,
+        /// Simulated time of the pick.
+        now_ns: u64,
+        /// Inverse sampling probability (objects represented).
+        weight: f64,
+    },
+    /// A sampled object was freed; its lifetime is now known.
+    SampledFree {
+        /// Requested bytes at allocation.
+        size: u64,
+        /// Observed lifetime.
+        lifetime_ns: u64,
+        /// Sampling weight.
+        weight: f64,
+    },
+    /// An allocation completed. Carries everything the derived views need:
+    /// the satisfying tier for cycle charging, the shadow payload for the
+    /// sanitizer, and the byte sizes for conservation.
+    MallocDone {
+        /// Tier that satisfied the request.
+        path: AllocPath,
+        /// Object address.
+        addr: u64,
+        /// Requested bytes.
+        size: u64,
+        /// Bytes actually reserved (size-class rounding).
+        actual: u64,
+        /// Whether the next-object prefetch was issued.
+        prefetched: bool,
+        /// Whether this allocation was sampled.
+        sampled: bool,
+        /// Size class (populated only when sanitizing).
+        class: Option<u16>,
+        /// Span identity (populated only when sanitizing).
+        span: Option<SpanRef>,
+    },
+    /// A free completed.
+    FreeDone {
+        /// Tier that absorbed the free.
+        path: AllocPath,
+        /// Object address.
+        addr: u64,
+        /// Requested bytes at allocation.
+        size: u64,
+    },
+}
+
+impl AllocEvent {
+    /// Discriminant names, in declaration order — the event taxonomy.
+    pub const KINDS: [&'static str; 25] = [
+        "PerCpuHit",
+        "PerCpuMiss",
+        "PerCpuOverflow",
+        "ResizerSteal",
+        "ResizerGrow",
+        "ResizerShrink",
+        "TransferHit",
+        "TransferInsert",
+        "TransferEvict",
+        "CentralRefill",
+        "CentralReturn",
+        "SpanAlloc",
+        "SpanRetire",
+        "FillerPlace",
+        "RegionPlace",
+        "CachePlace",
+        "HugepageFill",
+        "HugepageBreak",
+        "HugepageRelease",
+        "PagemapSet",
+        "PagemapClear",
+        "SamplerPick",
+        "SampledFree",
+        "MallocDone",
+        "FreeDone",
+    ];
+
+    /// This event's discriminant name (an entry of [`Self::KINDS`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AllocEvent::PerCpuHit { .. } => "PerCpuHit",
+            AllocEvent::PerCpuMiss { .. } => "PerCpuMiss",
+            AllocEvent::PerCpuOverflow { .. } => "PerCpuOverflow",
+            AllocEvent::ResizerSteal { .. } => "ResizerSteal",
+            AllocEvent::ResizerGrow { .. } => "ResizerGrow",
+            AllocEvent::ResizerShrink { .. } => "ResizerShrink",
+            AllocEvent::TransferHit { .. } => "TransferHit",
+            AllocEvent::TransferInsert { .. } => "TransferInsert",
+            AllocEvent::TransferEvict { .. } => "TransferEvict",
+            AllocEvent::CentralRefill { .. } => "CentralRefill",
+            AllocEvent::CentralReturn { .. } => "CentralReturn",
+            AllocEvent::SpanAlloc { .. } => "SpanAlloc",
+            AllocEvent::SpanRetire { .. } => "SpanRetire",
+            AllocEvent::FillerPlace { .. } => "FillerPlace",
+            AllocEvent::RegionPlace { .. } => "RegionPlace",
+            AllocEvent::CachePlace { .. } => "CachePlace",
+            AllocEvent::HugepageFill { .. } => "HugepageFill",
+            AllocEvent::HugepageBreak { .. } => "HugepageBreak",
+            AllocEvent::HugepageRelease { .. } => "HugepageRelease",
+            AllocEvent::PagemapSet { .. } => "PagemapSet",
+            AllocEvent::PagemapClear { .. } => "PagemapClear",
+            AllocEvent::SamplerPick { .. } => "SamplerPick",
+            AllocEvent::SampledFree { .. } => "SampledFree",
+            AllocEvent::MallocDone { .. } => "MallocDone",
+            AllocEvent::FreeDone { .. } => "FreeDone",
+        }
+    }
+
+    /// The tier (trace lane) an event belongs to.
+    pub fn tier(&self) -> &'static str {
+        match self {
+            AllocEvent::PerCpuHit { .. }
+            | AllocEvent::PerCpuMiss { .. }
+            | AllocEvent::PerCpuOverflow { .. }
+            | AllocEvent::ResizerSteal { .. }
+            | AllocEvent::ResizerGrow { .. }
+            | AllocEvent::ResizerShrink { .. } => "percpu",
+            AllocEvent::TransferHit { .. }
+            | AllocEvent::TransferInsert { .. }
+            | AllocEvent::TransferEvict { .. } => "transfer",
+            AllocEvent::CentralRefill { .. }
+            | AllocEvent::CentralReturn { .. }
+            | AllocEvent::SpanAlloc { .. }
+            | AllocEvent::SpanRetire { .. } => "central",
+            AllocEvent::FillerPlace { .. }
+            | AllocEvent::RegionPlace { .. }
+            | AllocEvent::CachePlace { .. } => "pageheap",
+            AllocEvent::HugepageFill { .. }
+            | AllocEvent::HugepageBreak { .. }
+            | AllocEvent::HugepageRelease { .. } => "os",
+            AllocEvent::PagemapSet { .. } | AllocEvent::PagemapClear { .. } => "pagemap",
+            AllocEvent::SamplerPick { .. }
+            | AllocEvent::SampledFree { .. }
+            | AllocEvent::MallocDone { .. }
+            | AllocEvent::FreeDone { .. } => "op",
+        }
+    }
+
+    /// The event payload as a Chrome trace-event `args` JSON object.
+    pub fn args_json(&self) -> String {
+        match *self {
+            AllocEvent::PerCpuHit { vcpu, class } | AllocEvent::PerCpuMiss { vcpu, class } => {
+                format!("{{\"vcpu\":{vcpu},\"class\":{class}}}")
+            }
+            AllocEvent::PerCpuOverflow { vcpu, class, shed } => {
+                format!("{{\"vcpu\":{vcpu},\"class\":{class},\"shed\":{shed}}}")
+            }
+            AllocEvent::ResizerSteal {
+                vcpu,
+                victim_class,
+                class,
+                bytes,
+            } => format!(
+                "{{\"vcpu\":{vcpu},\"victim_class\":{victim_class},\"class\":{class},\"bytes\":{bytes}}}"
+            ),
+            AllocEvent::ResizerGrow { vcpu, bytes } | AllocEvent::ResizerShrink { vcpu, bytes } => {
+                format!("{{\"vcpu\":{vcpu},\"bytes\":{bytes}}}")
+            }
+            AllocEvent::TransferHit {
+                shard,
+                class,
+                count,
+            }
+            | AllocEvent::TransferInsert {
+                shard,
+                class,
+                count,
+            } => format!("{{\"shard\":{shard},\"class\":{class},\"count\":{count}}}"),
+            AllocEvent::TransferEvict {
+                shard,
+                class,
+                count,
+                reason,
+            } => format!(
+                "{{\"shard\":{shard},\"class\":{class},\"count\":{count},\"reason\":\"{}\"}}",
+                reason.name()
+            ),
+            AllocEvent::CentralRefill { class, count }
+            | AllocEvent::CentralReturn { class, count } => {
+                format!("{{\"class\":{class},\"count\":{count}}}")
+            }
+            AllocEvent::SpanAlloc {
+                id,
+                start,
+                pages,
+                class,
+            }
+            | AllocEvent::SpanRetire {
+                id,
+                start,
+                pages,
+                class,
+            } => format!(
+                "{{\"id\":{id},\"start\":{start},\"pages\":{pages},\"class\":{}}}",
+                class.map_or_else(|| "null".to_string(), |c| c.to_string())
+            ),
+            AllocEvent::FillerPlace { addr, pages }
+            | AllocEvent::RegionPlace { addr, pages }
+            | AllocEvent::CachePlace { addr, pages } => {
+                format!("{{\"addr\":{addr},\"pages\":{pages}}}")
+            }
+            AllocEvent::HugepageFill {
+                base,
+                bytes,
+                reused,
+            } => format!("{{\"base\":{base},\"bytes\":{bytes},\"reused\":{reused}}}"),
+            AllocEvent::HugepageBreak { base, bytes }
+            | AllocEvent::HugepageRelease { base, bytes } => {
+                format!("{{\"base\":{base},\"bytes\":{bytes}}}")
+            }
+            AllocEvent::PagemapSet { addr, pages } | AllocEvent::PagemapClear { addr, pages } => {
+                format!("{{\"addr\":{addr},\"pages\":{pages}}}")
+            }
+            AllocEvent::SamplerPick {
+                addr,
+                size,
+                site,
+                now_ns,
+                weight,
+            } => format!(
+                "{{\"addr\":{addr},\"size\":{size},\"site\":{site},\"now_ns\":{now_ns},\"weight\":{weight}}}"
+            ),
+            AllocEvent::SampledFree {
+                size,
+                lifetime_ns,
+                weight,
+            } => format!("{{\"size\":{size},\"lifetime_ns\":{lifetime_ns},\"weight\":{weight}}}"),
+            AllocEvent::MallocDone {
+                path,
+                addr,
+                size,
+                actual,
+                prefetched,
+                sampled,
+                ..
+            } => format!(
+                "{{\"path\":\"{}\",\"addr\":{addr},\"size\":{size},\"actual\":{actual},\"prefetched\":{prefetched},\"sampled\":{sampled}}}",
+                path.name()
+            ),
+            AllocEvent::FreeDone { path, addr, size } => format!(
+                "{{\"path\":\"{}\",\"addr\":{addr},\"size\":{size}}}",
+                path.name()
+            ),
+        }
+    }
+}
+
+/// A consumer of the event stream. Sinks receive every event in emission
+/// order with the simulated-clock timestamp; `Send` so an allocator (and
+/// its bus) can move between engine worker threads.
+pub trait EventSink: Send {
+    /// Observes one event.
+    fn on_event(&mut self, ts_ns: u64, ev: &AllocEvent);
+}
+
+/// The no-op sink: observability fully off.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Off;
+
+impl EventSink for Off {
+    fn on_event(&mut self, _ts_ns: u64, _ev: &AllocEvent) {}
+}
+
+/// Fan-out composition of two sinks; nest for more
+/// (`Tee(a, Tee(b, c))`). `A` observes each event before `B`.
+#[derive(Clone, Debug, Default)]
+pub struct Tee<A: EventSink, B: EventSink>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    fn on_event(&mut self, ts_ns: u64, ev: &AllocEvent) {
+        self.0.on_event(ts_ns, ev);
+        self.1.on_event(ts_ns, ev);
+    }
+}
+
+/// Unbounded capture of the raw stream, for tests and tools. (Not for the
+/// hot path of long runs — use [`TraceRing`] there.)
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    events: Vec<AllocEvent>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything recorded so far, in emission order.
+    pub fn events(&self) -> &[AllocEvent] {
+        &self.events
+    }
+}
+
+impl EventSink for Recorder {
+    fn on_event(&mut self, _ts_ns: u64, ev: &AllocEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// A bounded, deterministic ring over the tail of the event stream, with
+/// Chrome trace-event JSON export. Oldest entries drop first; the drop
+/// count is kept so truncation is never silent.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    entries: VecDeque<(u64, AllocEvent)>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring keeping the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: VecDeque::with_capacity(capacity.clamp(1, 1 << 16)),
+            dropped: 0,
+        }
+    }
+
+    /// Entries currently held (timestamp, event), oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &(u64, AllocEvent)> {
+        self.entries.iter()
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Events dropped from the front because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exports the ring as Chrome trace-event JSON (the "JSON Array
+    /// Format" with a `traceEvents` wrapper): one instant event per
+    /// allocator event, `ts` in microseconds of simulated time, one trace
+    /// "thread" lane per tier. Loads in `chrome://tracing` and Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        const LANES: [&str; 7] = [
+            "percpu", "transfer", "central", "pageheap", "os", "pagemap", "op",
+        ];
+        let lane = |tier: &str| LANES.iter().position(|&l| l == tier).unwrap_or(0) + 1;
+        let mut out = String::with_capacity(128 * (self.entries.len() + LANES.len()) + 64);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        for (i, name) in LANES.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{name}\"}}}}",
+                i + 1
+            ));
+        }
+        for (ts, ev) in &self.entries {
+            out.push(',');
+            let us = *ts as f64 / 1000.0;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{us},\"cat\":\"{}\",\"args\":{}}}",
+                ev.kind(),
+                lane(ev.tier()),
+                ev.tier(),
+                ev.args_json()
+            ));
+        }
+        out.push_str(&format!(
+            "],\"otherData\":{{\"dropped\":{},\"captured\":{}}}}}",
+            self.dropped,
+            self.entries.len()
+        ));
+        out
+    }
+}
+
+impl EventSink for TraceRing {
+    fn on_event(&mut self, ts_ns: u64, ev: &AllocEvent) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((ts_ns, *ev));
+    }
+}
+
+/// The bus: owns the built-in consumers (derived stats view, sanitizer
+/// shadow feed, optional trace ring and recorder) plus any attached
+/// [`EventSink`]s, and fans every emitted event out to them in a fixed,
+/// deterministic order.
+///
+/// The bus also *prices* operations: [`malloc_done`](Self::malloc_done) and
+/// [`free_done`](Self::free_done) compute the operation's cost-model
+/// nanoseconds in the same component order as [`StatsView`] charges them,
+/// so the latency the allocator reports and the cycle attribution the
+/// stats view derives can never drift apart.
+pub struct EventBus {
+    cost: CostModel,
+    clock: Clock,
+    stats_enabled: bool,
+    stats: StatsView,
+    sanitizer: Sanitizer,
+    trace: Option<TraceRing>,
+    recorder: Option<Recorder>,
+    extra: Vec<Box<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("stats_enabled", &self.stats_enabled)
+            .field("trace", &self.trace.as_ref().map(TraceRing::len))
+            .field(
+                "recorder",
+                &self.recorder.as_ref().map(|r| r.events().len()),
+            )
+            .field("extra_sinks", &self.extra.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventBus {
+    /// Builds the bus for one allocator instance: sink selection comes from
+    /// `cfg` (`stats_sink`, `trace_capacity`, `record_events`, `sanitize`).
+    pub fn new(cfg: &TcmallocConfig, cost: CostModel, clock: Clock) -> Self {
+        Self {
+            cost,
+            clock,
+            stats_enabled: cfg.stats_sink,
+            stats: StatsView::new(cost),
+            sanitizer: Sanitizer::new(cfg.sanitize),
+            trace: (cfg.trace_capacity > 0).then(|| TraceRing::new(cfg.trace_capacity as usize)),
+            recorder: cfg.record_events.then(Recorder::new),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Emits one event to every sink, in the fixed fan-out order.
+    pub fn emit(&mut self, ev: AllocEvent) {
+        let ts = self.clock.now_ns();
+        if self.stats_enabled {
+            self.stats.on_event(ts, &ev);
+        }
+        match ev {
+            AllocEvent::MallocDone {
+                addr,
+                actual,
+                class,
+                span: Some(span),
+                ..
+            } => self
+                .sanitizer
+                .record_alloc(addr, actual, class, span.id, span.start, span.pages),
+            AllocEvent::SpanRetire { start, .. } => self.sanitizer.on_span_released(start),
+            _ => {}
+        }
+        if let Some(t) = &mut self.trace {
+            t.on_event(ts, &ev);
+        }
+        if let Some(r) = &mut self.recorder {
+            r.on_event(ts, &ev);
+        }
+        for s in &mut self.extra {
+            s.on_event(ts, &ev);
+        }
+    }
+
+    /// Emits an allocation's [`AllocEvent::SamplerPick`] (if sampled) and
+    /// [`AllocEvent::MallocDone`], returning the operation's cost-model
+    /// nanoseconds: path + prefetch + other + sampling, in that order —
+    /// the exact components [`StatsView`] charges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `done` is not a `MallocDone` event.
+    pub fn malloc_done(&mut self, pick: Option<AllocEvent>, done: AllocEvent) -> f64 {
+        let AllocEvent::MallocDone {
+            path,
+            prefetched,
+            sampled,
+            ..
+        } = done
+        else {
+            unreachable!("malloc_done requires a MallocDone event")
+        };
+        if let Some(pick) = pick {
+            debug_assert!(matches!(pick, AllocEvent::SamplerPick { .. }));
+            self.emit(pick);
+        }
+        let mut ns = self.cost.alloc_path_ns(path);
+        if prefetched {
+            ns += self.cost.prefetch_ns;
+        }
+        ns += self.cost.other_ns;
+        if sampled {
+            ns += self.cost.sampled_alloc_ns;
+        }
+        self.emit(done);
+        ns
+    }
+
+    /// Emits a free's [`AllocEvent::FreeDone`], returning the operation's
+    /// cost-model nanoseconds (path + other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `done` is not a `FreeDone` event.
+    pub fn free_done(&mut self, done: AllocEvent) -> f64 {
+        let AllocEvent::FreeDone { path, .. } = done else {
+            unreachable!("free_done requires a FreeDone event")
+        };
+        let ns = self.cost.alloc_path_ns(path) + self.cost.other_ns;
+        self.emit(done);
+        ns
+    }
+
+    /// The cost model the bus prices operations with.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Derived cycle attribution (Figure 6a view).
+    pub fn cycles(&self) -> &CycleStats {
+        self.stats.cycles()
+    }
+
+    /// Derived GWP allocation profile.
+    pub fn profile(&self) -> &AllocationProfile {
+        self.stats.profile()
+    }
+
+    /// The sanitizer (shadow state + audit bookkeeping).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
+    }
+
+    /// Mutable sanitizer access (free checks, audits, report draining).
+    pub fn sanitizer_mut(&mut self) -> &mut Sanitizer {
+        &mut self.sanitizer
+    }
+
+    /// The trace ring, when `trace_capacity > 0`.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// The recorded raw stream, when `record_events` is set (empty
+    /// otherwise).
+    pub fn recorded(&self) -> &[AllocEvent] {
+        self.recorder.as_ref().map_or(&[], Recorder::events)
+    }
+
+    /// Attaches an additional sink; it observes every subsequent event
+    /// after the built-in consumers.
+    pub fn attach(&mut self, sink: Box<dyn EventSink>) {
+        self.extra.push(sink);
+    }
+}
+
+#[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use wsc_sanitizer::SanitizeLevel;
+
+    fn bus(cfg: TcmallocConfig) -> EventBus {
+        EventBus::new(&cfg, CostModel::production(), Clock::new())
+    }
+
+    fn hit() -> AllocEvent {
+        AllocEvent::PerCpuHit { vcpu: 0, class: 3 }
+    }
+
+    fn done(prefetched: bool, sampled: bool) -> AllocEvent {
+        AllocEvent::MallocDone {
+            path: AllocPath::PerCpu,
+            addr: 0x1000,
+            size: 24,
+            actual: 24,
+            prefetched,
+            sampled,
+            class: None,
+            span: None,
+        }
+    }
+
+    #[test]
+    fn malloc_done_prices_exactly_like_the_stats_view() {
+        let c = CostModel::production();
+        let mut b = bus(TcmallocConfig::optimized());
+        let ns = b.malloc_done(None, done(true, false));
+        assert_eq!(ns, c.percpu_hit_ns + c.prefetch_ns + c.other_ns);
+        let charged = b.cycles().total_ns();
+        assert!((charged - ns).abs() < 1e-9, "{charged} vs {ns}");
+        let ns2 = b.free_done(AllocEvent::FreeDone {
+            path: AllocPath::PerCpu,
+            addr: 0x1000,
+            size: 24,
+        });
+        assert_eq!(ns2, c.percpu_hit_ns + c.other_ns);
+    }
+
+    #[test]
+    fn stats_sink_off_still_prices_operations() {
+        let cfg = TcmallocConfig::optimized().with_stats_sink(false);
+        let mut b = bus(cfg);
+        let ns = b.malloc_done(None, done(false, true));
+        assert!(ns > 5000.0, "sampled op priced: {ns}");
+        assert_eq!(b.cycles().total_ns(), 0.0, "view stays zeroed");
+    }
+
+    #[test]
+    fn recorder_captures_in_emission_order() {
+        let cfg = TcmallocConfig::optimized().with_event_recorder();
+        let mut b = bus(cfg);
+        b.emit(hit());
+        b.malloc_done(None, done(false, false));
+        let kinds: Vec<_> = b.recorded().iter().map(AllocEvent::kind).collect();
+        assert_eq!(kinds, ["PerCpuHit", "MallocDone"]);
+    }
+
+    #[test]
+    fn sanitizer_is_fed_from_malloc_done_and_span_retire() {
+        let cfg = TcmallocConfig::optimized().with_sanitize(SanitizeLevel::Full);
+        let mut b = bus(cfg);
+        b.emit(AllocEvent::MallocDone {
+            path: AllocPath::PerCpu,
+            addr: 0x10000,
+            size: 16,
+            actual: 16,
+            prefetched: false,
+            sampled: false,
+            class: Some(1),
+            span: Some(SpanRef {
+                id: 0,
+                start: 0x10000,
+                pages: 1,
+            }),
+        });
+        assert_eq!(b.sanitizer().shadow().live_count(), 1);
+        b.emit(AllocEvent::SpanRetire {
+            id: 0,
+            start: 0x10000,
+            pages: 1,
+            class: Some(1),
+        });
+        // The span vanished with a live object on it: the shadow reports a
+        // leak, and the object is forgotten.
+        assert_eq!(b.sanitizer().shadow().live_count(), 0);
+    }
+
+    #[test]
+    fn tee_fans_out_in_order() {
+        let mut t = Tee(Recorder::new(), Recorder::new());
+        t.on_event(5, &hit());
+        assert_eq!(t.0.events(), t.1.events());
+        assert_eq!(t.0.events().len(), 1);
+    }
+
+    #[test]
+    fn trace_ring_bounds_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        for i in 0..5u64 {
+            r.on_event(i, &hit());
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let ts: Vec<u64> = r.entries().map(|(t, _)| *t).collect();
+        assert_eq!(ts, [3, 4], "oldest dropped first");
+    }
+
+    #[test]
+    fn chrome_trace_json_is_well_formed() {
+        let mut r = TraceRing::new(16);
+        r.on_event(1500, &hit());
+        r.on_event(
+            2500,
+            &AllocEvent::HugepageFill {
+                base: 0x7f00_0000_0000,
+                bytes: 2 << 20,
+                reused: false,
+            },
+        );
+        let json = r.chrome_trace_json();
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"PerCpuHit\""));
+        assert!(json.contains("\"ts\":1.5"), "{json}");
+        assert!(json.contains("\"reused\":false"));
+        assert!(json.contains("\"dropped\":0"));
+        assert!(json.ends_with('}'));
+        // Brace/bracket balance — cheap structural validity check.
+        let (mut depth, mut sq) = (0i64, 0i64);
+        let mut in_str = false;
+        for c in json.chars() {
+            match c {
+                '"' => in_str = !in_str,
+                '{' if !in_str => depth += 1,
+                '}' if !in_str => depth -= 1,
+                '[' if !in_str => sq += 1,
+                ']' if !in_str => sq -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!((depth, sq), (0, 0));
+    }
+
+    #[test]
+    fn every_kind_is_covered_by_the_taxonomy() {
+        assert_eq!(AllocEvent::KINDS.len(), 25);
+        assert!(AllocEvent::KINDS.contains(&hit().kind()));
+    }
+}

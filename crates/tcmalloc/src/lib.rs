@@ -46,6 +46,7 @@
 pub mod alloc;
 pub mod central;
 pub mod config;
+pub mod events;
 pub mod memory;
 pub mod pageheap;
 pub mod pagemap;
@@ -57,5 +58,6 @@ pub mod transfer;
 
 pub use alloc::{AllocOutcome, FreeOutcomeInfo, Tcmalloc};
 pub use config::TcmallocConfig;
-pub use stats::{CycleCategory, CycleStats, FragmentationBreakdown};
+pub use events::{AllocEvent, EventBus, EventSink, Off, Recorder, Tee, TraceRing};
+pub use stats::{CycleCategory, CycleStats, FragmentationBreakdown, StatsView};
 pub use wsc_sanitizer::{ErrorKind, SanitizeLevel, SanitizerReport};

@@ -6,6 +6,7 @@
 //! how "releasing hugepages that are completely free" (§2.1) keeps them
 //! intact (no TLB-hostile subrelease).
 
+use crate::events::{AllocEvent, EventBus};
 use std::collections::BTreeMap;
 use wsc_sim_os::addr::HUGE_PAGE_BYTES;
 use wsc_sim_os::vmm::Vmm;
@@ -36,12 +37,13 @@ impl HugeCache {
     }
 
     /// Allocates a run of `n` hugepages. Returns `(base_addr, from_os)`
-    /// where `from_os` is true when the run had to be mmap'd.
+    /// where `from_os` is true when the run had to be mmap'd (emitting one
+    /// [`AllocEvent::HugepageFill`]).
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
-    pub fn alloc_run(&mut self, n: u64, vmm: &mut Vmm) -> (u64, bool) {
+    pub fn alloc_run(&mut self, n: u64, vmm: &mut Vmm, bus: &mut EventBus) -> (u64, bool) {
         assert!(n > 0, "empty run requested");
         // Best fit: smallest run that satisfies the request.
         let best = self
@@ -60,13 +62,19 @@ impl HugeCache {
             (addr, false)
         } else {
             self.fills += 1;
-            (vmm.mmap(n * HUGE_PAGE_BYTES), true)
+            let base = vmm.mmap(n * HUGE_PAGE_BYTES);
+            bus.emit(AllocEvent::HugepageFill {
+                base,
+                bytes: n * HUGE_PAGE_BYTES,
+                reused: false,
+            });
+            (base, true)
         }
     }
 
     /// Returns a run of `n` hugepages to the cache, coalescing with
     /// neighbours, then trims the cache to its limit by unmapping.
-    pub fn free_run(&mut self, addr: u64, n: u64, vmm: &mut Vmm) {
+    pub fn free_run(&mut self, addr: u64, n: u64, vmm: &mut Vmm, bus: &mut EventBus) {
         assert!(n > 0 && addr.is_multiple_of(HUGE_PAGE_BYTES), "bad run");
         let mut addr = addr;
         let mut n = n;
@@ -86,12 +94,13 @@ impl HugeCache {
         }
         self.runs.insert(addr, n);
         self.cached_hp = self.runs.values().sum();
-        self.trim(vmm);
+        self.trim(vmm, bus);
     }
 
     /// Unmaps runs until the cache is within its limit (largest-run first —
-    /// whole hugepages go back to the OS intact).
-    fn trim(&mut self, vmm: &mut Vmm) {
+    /// whole hugepages go back to the OS intact, each unmap emitting one
+    /// [`AllocEvent::HugepageRelease`]).
+    fn trim(&mut self, vmm: &mut Vmm, bus: &mut EventBus) {
         while self.cached_hp > self.limit_hp {
             let (&addr, &len) = self
                 .runs
@@ -103,6 +112,10 @@ impl HugeCache {
             // Unmap the tail of the largest run.
             let keep = len - drop;
             vmm.munmap(addr + keep * HUGE_PAGE_BYTES, drop * HUGE_PAGE_BYTES);
+            bus.emit(AllocEvent::HugepageRelease {
+                base: addr + keep * HUGE_PAGE_BYTES,
+                bytes: drop * HUGE_PAGE_BYTES,
+            });
             self.runs.remove(&addr);
             if keep > 0 {
                 self.runs.insert(addr, keep);
@@ -112,9 +125,13 @@ impl HugeCache {
     }
 
     /// Releases every cached run to the OS immediately (aggressive release).
-    pub fn release_all(&mut self, vmm: &mut Vmm) {
+    pub fn release_all(&mut self, vmm: &mut Vmm, bus: &mut EventBus) {
         for (addr, len) in std::mem::take(&mut self.runs) {
             vmm.munmap(addr, len * HUGE_PAGE_BYTES);
+            bus.emit(AllocEvent::HugepageRelease {
+                base: addr,
+                bytes: len * HUGE_PAGE_BYTES,
+            });
         }
         self.cached_hp = 0;
     }
@@ -136,15 +153,26 @@ impl HugeCache {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::TcmallocConfig;
+    use wsc_sim_hw::cost::CostModel;
+    use wsc_sim_os::clock::Clock;
 
-    fn setup(limit_hp: u64) -> (HugeCache, Vmm) {
-        (HugeCache::new(limit_hp * HUGE_PAGE_BYTES), Vmm::new())
+    fn setup(limit_hp: u64) -> (HugeCache, Vmm, EventBus) {
+        (
+            HugeCache::new(limit_hp * HUGE_PAGE_BYTES),
+            Vmm::new(),
+            EventBus::new(
+                &TcmallocConfig::baseline(),
+                CostModel::production(),
+                Clock::new(),
+            ),
+        )
     }
 
     #[test]
     fn alloc_mmaps_when_empty() {
-        let (mut c, mut vmm) = setup(8);
-        let (addr, from_os) = c.alloc_run(2, &mut vmm);
+        let (mut c, mut vmm, mut b) = setup(8);
+        let (addr, from_os) = c.alloc_run(2, &mut vmm, &mut b);
         assert!(from_os);
         assert_eq!(addr % HUGE_PAGE_BYTES, 0);
         assert_eq!(c.fills, 1);
@@ -152,11 +180,11 @@ mod tests {
 
     #[test]
     fn free_then_alloc_hits_cache() {
-        let (mut c, mut vmm) = setup(8);
-        let (addr, _) = c.alloc_run(4, &mut vmm);
-        c.free_run(addr, 4, &mut vmm);
+        let (mut c, mut vmm, mut b) = setup(8);
+        let (addr, _) = c.alloc_run(4, &mut vmm, &mut b);
+        c.free_run(addr, 4, &mut vmm, &mut b);
         assert_eq!(c.cached_bytes(), 4 * HUGE_PAGE_BYTES);
-        let (addr2, from_os) = c.alloc_run(2, &mut vmm);
+        let (addr2, from_os) = c.alloc_run(2, &mut vmm, &mut b);
         assert!(!from_os, "served from cache");
         assert_eq!(addr2, addr, "best-fit split from the front");
         assert_eq!(c.cached_bytes(), 2 * HUGE_PAGE_BYTES);
@@ -164,26 +192,26 @@ mod tests {
 
     #[test]
     fn coalescing_merges_neighbours() {
-        let (mut c, mut vmm) = setup(16);
-        let (addr, _) = c.alloc_run(6, &mut vmm);
+        let (mut c, mut vmm, mut b) = setup(16);
+        let (addr, _) = c.alloc_run(6, &mut vmm, &mut b);
         // Free middle, then sides; all must merge into one run of 6.
-        c.free_run(addr + 2 * HUGE_PAGE_BYTES, 2, &mut vmm);
-        c.free_run(addr, 2, &mut vmm);
-        c.free_run(addr + 4 * HUGE_PAGE_BYTES, 2, &mut vmm);
+        c.free_run(addr + 2 * HUGE_PAGE_BYTES, 2, &mut vmm, &mut b);
+        c.free_run(addr, 2, &mut vmm, &mut b);
+        c.free_run(addr + 4 * HUGE_PAGE_BYTES, 2, &mut vmm, &mut b);
         assert_eq!(c.runs.len(), 1);
         assert_eq!(c.runs[&addr], 6);
         // A 6-run alloc succeeds from cache.
-        let (a, from_os) = c.alloc_run(6, &mut vmm);
+        let (a, from_os) = c.alloc_run(6, &mut vmm, &mut b);
         assert!(!from_os);
         assert_eq!(a, addr);
     }
 
     #[test]
     fn trim_unmaps_beyond_limit() {
-        let (mut c, mut vmm) = setup(2);
-        let (addr, _) = c.alloc_run(5, &mut vmm);
+        let (mut c, mut vmm, mut b) = setup(2);
+        let (addr, _) = c.alloc_run(5, &mut vmm, &mut b);
         let mapped_before = vmm.mapped_bytes();
-        c.free_run(addr, 5, &mut vmm);
+        c.free_run(addr, 5, &mut vmm, &mut b);
         assert_eq!(c.cached_bytes(), 2 * HUGE_PAGE_BYTES, "trimmed to limit");
         assert_eq!(
             vmm.mapped_bytes(),
@@ -194,24 +222,24 @@ mod tests {
 
     #[test]
     fn release_all_empties_cache() {
-        let (mut c, mut vmm) = setup(8);
-        let (addr, _) = c.alloc_run(3, &mut vmm);
-        c.free_run(addr, 3, &mut vmm);
-        c.release_all(&mut vmm);
+        let (mut c, mut vmm, mut b) = setup(8);
+        let (addr, _) = c.alloc_run(3, &mut vmm, &mut b);
+        c.free_run(addr, 3, &mut vmm, &mut b);
+        c.release_all(&mut vmm, &mut b);
         assert_eq!(c.cached_bytes(), 0);
         assert_eq!(vmm.mapped_bytes(), 0);
     }
 
     #[test]
     fn best_fit_prefers_smallest() {
-        let (mut c, mut vmm) = setup(64);
-        let (a1, _) = c.alloc_run(8, &mut vmm);
-        let (_spacer, _) = c.alloc_run(1, &mut vmm); // keeps runs non-adjacent
-        let (a2, _) = c.alloc_run(2, &mut vmm);
-        c.free_run(a1, 8, &mut vmm);
-        c.free_run(a2, 2, &mut vmm);
+        let (mut c, mut vmm, mut b) = setup(64);
+        let (a1, _) = c.alloc_run(8, &mut vmm, &mut b);
+        let (_spacer, _) = c.alloc_run(1, &mut vmm, &mut b); // keeps runs non-adjacent
+        let (a2, _) = c.alloc_run(2, &mut vmm, &mut b);
+        c.free_run(a1, 8, &mut vmm, &mut b);
+        c.free_run(a2, 2, &mut vmm, &mut b);
         // Request 2: must take the 2-run, not split the 8-run.
-        let (got, from_os) = c.alloc_run(2, &mut vmm);
+        let (got, from_os) = c.alloc_run(2, &mut vmm, &mut b);
         assert!(!from_os);
         assert_eq!(got, a2);
     }

@@ -22,6 +22,7 @@
 //! reach (§2.1, Figure 17).
 
 use super::cache::HugeCache;
+use crate::events::{AllocEvent, EventBus};
 use std::collections::HashMap;
 use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
 use wsc_sim_os::vmm::Vmm;
@@ -268,6 +269,7 @@ impl HugePageFiller {
         span_capacity: u32,
         cache: &mut HugeCache,
         vmm: &mut Vmm,
+        bus: &mut EventBus,
     ) -> (u64, bool) {
         assert!(
             (1..HP_PAGES).contains(&pages),
@@ -291,10 +293,15 @@ impl HugePageFiller {
         let (id, mmapped) = match chosen {
             Some(id) => (id, false),
             None => {
-                let (base, from_os) = cache.alloc_run(1, vmm);
+                let (base, from_os) = cache.alloc_run(1, vmm, bus);
                 if !from_os {
                     // Reused address range: fault it back in.
                     vmm.reoccupy(base, HUGE_PAGE_BYTES);
+                    bus.emit(AllocEvent::HugepageFill {
+                        base,
+                        bytes: HUGE_PAGE_BYTES,
+                        reused: true,
+                    });
                 }
                 let id = self.new_tracker(base, set);
                 self.list_insert(id);
@@ -318,6 +325,11 @@ impl HugePageFiller {
         }
         if cleared > 0 {
             vmm.reoccupy(addr, pages as u64 * TCMALLOC_PAGE_BYTES);
+            bus.emit(AllocEvent::HugepageFill {
+                base: addr,
+                bytes: pages as u64 * TCMALLOC_PAGE_BYTES,
+                reused: true,
+            });
         }
         self.list_insert(id);
         (addr, mmapped)
@@ -344,6 +356,7 @@ impl HugePageFiller {
         head_pages: u32,
         cache: &mut HugeCache,
         vmm: &mut Vmm,
+        bus: &mut EventBus,
     ) {
         let id = *self
             .by_hugepage
@@ -355,7 +368,7 @@ impl HugePageFiller {
         t.set_used(0, head_pages, false);
         t.allocations -= 1;
         if t.used == 0 {
-            self.retire(id, cache, vmm);
+            self.retire(id, cache, vmm, bus);
         } else {
             self.list_insert(id);
         }
@@ -367,7 +380,14 @@ impl HugePageFiller {
     /// # Panics
     ///
     /// Panics if the range is not a live filler allocation.
-    pub fn dealloc(&mut self, addr: u64, pages: u32, cache: &mut HugeCache, vmm: &mut Vmm) {
+    pub fn dealloc(
+        &mut self,
+        addr: u64,
+        pages: u32,
+        cache: &mut HugeCache,
+        vmm: &mut Vmm,
+        bus: &mut EventBus,
+    ) {
         let hp = addr / HUGE_PAGE_BYTES;
         let id = *self
             .by_hugepage
@@ -381,7 +401,7 @@ impl HugePageFiller {
         // Note: a dealloc does NOT reset `idle_passes` — a draining
         // hugepage is the best candidate to eventually release whole.
         if t.used == 0 {
-            self.retire(id, cache, vmm);
+            self.retire(id, cache, vmm, bus);
         } else {
             self.list_insert(id);
         }
@@ -391,15 +411,19 @@ impl HugePageFiller {
     /// for reuse; a *broken* one (subreleased pages, THP backing lost) is
     /// returned to the OS directly — a fresh `mmap` later yields a pristine
     /// hugepage, whereas caching the broken one would strand its holes.
-    fn retire(&mut self, id: usize, cache: &mut HugeCache, vmm: &mut Vmm) {
+    fn retire(&mut self, id: usize, cache: &mut HugeCache, vmm: &mut Vmm, bus: &mut EventBus) {
         let t = self.trackers[id].take().expect("stale tracker id");
         self.free_ids.push(id);
         self.by_hugepage.remove(&(t.base / HUGE_PAGE_BYTES));
         if t.released_pages() > 0 {
             vmm.munmap(t.base, HUGE_PAGE_BYTES);
+            bus.emit(AllocEvent::HugepageRelease {
+                base: t.base,
+                bytes: HUGE_PAGE_BYTES,
+            });
         } else {
             self.freed_whole += 1;
-            cache.free_run(t.base, 1, vmm);
+            cache.free_run(t.base, 1, vmm, bus);
         }
     }
 
@@ -410,7 +434,13 @@ impl HugePageFiller {
     /// consecutive passes first (adaptive subrelease, Maas et al. \[49\]) — a
     /// is actively draining gets the chance to become completely free and be
     /// released *whole* instead. Returns the number of pages released.
-    pub fn subrelease(&mut self, target_pages: u64, grace_passes: u8, vmm: &mut Vmm) -> u64 {
+    pub fn subrelease(
+        &mut self,
+        target_pages: u64,
+        grace_passes: u8,
+        vmm: &mut Vmm,
+        bus: &mut EventBus,
+    ) -> u64 {
         let mut released = 0u64;
         // Short-set hugepages (set 1) get an 8x longer grace: they exist
         // precisely because they drain completely and release *whole*, and
@@ -483,6 +513,10 @@ impl HugePageFiller {
                             base + s as u64 * TCMALLOC_PAGE_BYTES,
                             n as u64 * TCMALLOC_PAGE_BYTES,
                         );
+                        bus.emit(AllocEvent::HugepageBreak {
+                            base: base + s as u64 * TCMALLOC_PAGE_BYTES,
+                            bytes: n as u64 * TCMALLOC_PAGE_BYTES,
+                        });
                         released += n as u64;
                         self.subreleased_total += n as u64;
                     }
@@ -553,50 +587,58 @@ impl HugePageFiller {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::TcmallocConfig;
+    use wsc_sim_hw::cost::CostModel;
+    use wsc_sim_os::clock::Clock;
 
-    fn setup() -> (HugePageFiller, HugeCache, Vmm) {
+    fn setup() -> (HugePageFiller, HugeCache, Vmm, EventBus) {
         (
             HugePageFiller::new(false, 16),
             HugeCache::new(0), // no caching: frees go straight to the OS
             Vmm::new(),
+            EventBus::new(
+                &TcmallocConfig::baseline(),
+                CostModel::production(),
+                Clock::new(),
+            ),
         )
     }
 
     #[test]
     fn first_alloc_mmaps_then_packs() {
-        let (mut f, mut c, mut vmm) = setup();
-        let (a, mmapped) = f.alloc(10, 100, &mut c, &mut vmm);
+        let (mut f, mut c, mut vmm, mut b) = setup();
+        let (a, mmapped) = f.alloc(10, 100, &mut c, &mut vmm, &mut b);
         assert!(mmapped);
-        let (b, mmapped2) = f.alloc(10, 100, &mut c, &mut vmm);
+        let (b2, mmapped2) = f.alloc(10, 100, &mut c, &mut vmm, &mut b);
         assert!(!mmapped2, "same hugepage reused");
-        assert_eq!(b, a + 10 * TCMALLOC_PAGE_BYTES);
+        assert_eq!(b2, a + 10 * TCMALLOC_PAGE_BYTES);
         assert_eq!(f.stats().hugepages, 1);
         assert_eq!(f.stats().used_pages, 20);
     }
 
     #[test]
     fn dense_packing_prefers_fullest() {
-        let (mut f, mut c, mut vmm) = setup();
+        let (mut f, mut c, mut vmm, mut b) = setup();
         // Build two hugepages: a dense one (251/256 used, lfr 5) and a
         // sparse one (100/256 used, lfr 156).
-        let (a1, _) = f.alloc(200, 100, &mut c, &mut vmm);
-        let (a2, _) = f.alloc(251, 100, &mut c, &mut vmm); // no fit on hp1 -> hp2
-        let (_a3, _) = f.alloc(30, 100, &mut c, &mut vmm); // hp1: 230 used
-        f.dealloc(a1, 200, &mut c, &mut vmm); // hp1: 30 used, sparse
-                                              // A 4-page request must go to the dense hp2 (smallest fitting lfr).
-        let (a4, mm) = f.alloc(4, 100, &mut c, &mut vmm);
+        let (a1, _) = f.alloc(200, 100, &mut c, &mut vmm, &mut b);
+        let (a2, _) = f.alloc(251, 100, &mut c, &mut vmm, &mut b); // no fit on hp1 -> hp2
+        let (_a3, _) = f.alloc(30, 100, &mut c, &mut vmm, &mut b); // hp1: 230 used
+        f.dealloc(a1, 200, &mut c, &mut vmm, &mut b); // hp1: 30 used, sparse
+                                                      // A 4-page request must go to the dense hp2 (smallest fitting lfr).
+        let (a4, mm) = f.alloc(4, 100, &mut c, &mut vmm, &mut b);
         assert!(!mm);
         assert_eq!(a4 / HUGE_PAGE_BYTES, a2 / HUGE_PAGE_BYTES);
     }
 
     #[test]
     fn drained_hugepage_returns_whole() {
-        let (mut f, mut c, mut vmm) = setup();
-        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm);
-        let (b, _) = f.alloc(60, 100, &mut c, &mut vmm);
-        f.dealloc(a, 50, &mut c, &mut vmm);
+        let (mut f, mut c, mut vmm, mut b) = setup();
+        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm, &mut b);
+        let (b2, _) = f.alloc(60, 100, &mut c, &mut vmm, &mut b);
+        f.dealloc(a, 50, &mut c, &mut vmm, &mut b);
         assert_eq!(f.stats().hugepages, 1);
-        f.dealloc(b, 60, &mut c, &mut vmm);
+        f.dealloc(b2, 60, &mut c, &mut vmm, &mut b);
         assert_eq!(f.stats().hugepages, 0);
         assert_eq!(f.stats().freed_whole, 1);
         // Cache limit 0 → hugepage munmapped back to the OS intact.
@@ -607,13 +649,12 @@ mod tests {
     #[test]
     fn lifetime_sets_segregate() {
         let mut f = HugePageFiller::new(true, 16);
-        let mut c = HugeCache::new(0);
-        let mut vmm = Vmm::new();
+        let (_, mut c, mut vmm, mut b) = setup();
         // capacity 512 (small objects, long-lived) vs capacity 1 (huge
         // objects, short-lived) must land on different hugepages.
-        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm);
-        let (b, _) = f.alloc(4, 1, &mut c, &mut vmm);
-        assert_ne!(a / HUGE_PAGE_BYTES, b / HUGE_PAGE_BYTES);
+        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm, &mut b);
+        let (b2, _) = f.alloc(4, 1, &mut c, &mut vmm, &mut b);
+        assert_ne!(a / HUGE_PAGE_BYTES, b2 / HUGE_PAGE_BYTES);
         assert_eq!(f.lifetime_set_for(512), LifetimeSet::Long);
         assert_eq!(f.lifetime_set_for(1), LifetimeSet::Short);
         assert_eq!(f.stats().hugepages, 2);
@@ -621,37 +662,37 @@ mod tests {
 
     #[test]
     fn baseline_mixes_capacities() {
-        let (mut f, mut c, mut vmm) = setup();
-        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm);
-        let (b, _) = f.alloc(4, 1, &mut c, &mut vmm);
-        assert_eq!(a / HUGE_PAGE_BYTES, b / HUGE_PAGE_BYTES, "baseline shares");
+        let (mut f, mut c, mut vmm, mut b) = setup();
+        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm, &mut b);
+        let (b2, _) = f.alloc(4, 1, &mut c, &mut vmm, &mut b);
+        assert_eq!(a / HUGE_PAGE_BYTES, b2 / HUGE_PAGE_BYTES, "baseline shares");
     }
 
     #[test]
     fn donation_and_head_free() {
-        let (mut f, mut c, mut vmm) = setup();
+        let (mut f, mut c, mut vmm, mut b) = setup();
         let base = vmm.mmap(HUGE_PAGE_BYTES);
         f.donate(base, 64);
         assert_eq!(f.stats().used_pages, 64);
         // Filler can allocate from the donated tail.
-        let (a, mm) = f.alloc(10, 100, &mut c, &mut vmm);
+        let (a, mm) = f.alloc(10, 100, &mut c, &mut vmm, &mut b);
         assert!(!mm);
         assert_eq!(a / HUGE_PAGE_BYTES, base / HUGE_PAGE_BYTES);
         // Free the head; tracker survives because of the tail allocation.
-        f.free_donated_head(base, 64, &mut c, &mut vmm);
+        f.free_donated_head(base, 64, &mut c, &mut vmm, &mut b);
         assert_eq!(f.stats().hugepages, 1);
-        f.dealloc(a, 10, &mut c, &mut vmm);
+        f.dealloc(a, 10, &mut c, &mut vmm, &mut b);
         assert_eq!(f.stats().hugepages, 0);
     }
 
     #[test]
     fn subrelease_breaks_hugepages_and_frees_ram() {
-        let (mut f, mut c, mut vmm) = setup();
-        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm);
-        let _keep = f.alloc(6, 100, &mut c, &mut vmm);
-        f.dealloc(a, 50, &mut c, &mut vmm);
+        let (mut f, mut c, mut vmm, mut b) = setup();
+        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm, &mut b);
+        let _keep = f.alloc(6, 100, &mut c, &mut vmm, &mut b);
+        f.dealloc(a, 50, &mut c, &mut vmm, &mut b);
         let resident_before = vmm.page_table().resident_bytes();
-        let released = f.subrelease(1000, 0, &mut vmm);
+        let released = f.subrelease(1000, 0, &mut vmm, &mut b);
         assert_eq!(released, 250, "all free pages released");
         assert_eq!(
             vmm.page_table().resident_bytes(),
@@ -659,35 +700,35 @@ mod tests {
         );
         assert!(!vmm.page_table().is_huge_backed(a), "hugepage broken");
         // Released pages remain allocatable; realloc faults them back.
-        let (b, mm) = f.alloc(50, 100, &mut c, &mut vmm);
+        let (b2, mm) = f.alloc(50, 100, &mut c, &mut vmm, &mut b);
         assert!(!mm);
-        assert_eq!(b / HUGE_PAGE_BYTES, a / HUGE_PAGE_BYTES);
+        assert_eq!(b2 / HUGE_PAGE_BYTES, a / HUGE_PAGE_BYTES);
         assert!(vmm.page_table().resident_bytes() > resident_before - 250 * TCMALLOC_PAGE_BYTES);
         // The remaining free pages are all already released: nothing to do.
-        assert_eq!(f.subrelease(1000, 0, &mut vmm), 0);
+        assert_eq!(f.subrelease(1000, 0, &mut vmm, &mut b), 0);
     }
 
     #[test]
     fn subrelease_skips_donated() {
-        let (mut f, _c, mut vmm) = setup();
+        let (mut f, _c, mut vmm, mut b) = setup();
         let base = vmm.mmap(HUGE_PAGE_BYTES);
         f.donate(base, 64);
-        assert_eq!(f.subrelease(1000, 0, &mut vmm), 0);
+        assert_eq!(f.subrelease(1000, 0, &mut vmm, &mut b), 0);
         assert!(vmm.page_table().is_huge_backed(base));
     }
 
     #[test]
     #[should_panic(expected = "untracked hugepage")]
     fn foreign_dealloc_panics() {
-        let (mut f, mut c, mut vmm) = setup();
-        f.dealloc(0x123 * HUGE_PAGE_BYTES, 1, &mut c, &mut vmm);
+        let (mut f, mut c, mut vmm, mut b) = setup();
+        f.dealloc(0x123 * HUGE_PAGE_BYTES, 1, &mut c, &mut vmm, &mut b);
     }
 
     #[test]
     fn stats_consistency() {
-        let (mut f, mut c, mut vmm) = setup();
-        let (_a, _) = f.alloc(100, 32, &mut c, &mut vmm);
-        let (_b, _) = f.alloc(30, 32, &mut c, &mut vmm);
+        let (mut f, mut c, mut vmm, mut b) = setup();
+        let (_a, _) = f.alloc(100, 32, &mut c, &mut vmm, &mut b);
+        let (_b, _) = f.alloc(30, 32, &mut c, &mut vmm, &mut b);
         let s = f.stats();
         assert_eq!(s.used_pages + s.free_pages, s.hugepages * HP_PAGES as u64);
         assert_eq!(f.used_bytes(), 130 * TCMALLOC_PAGE_BYTES);

@@ -17,6 +17,7 @@ pub mod cache;
 pub mod filler;
 pub mod region;
 
+use crate::events::{AllocEvent, EventBus};
 use cache::HugeCache;
 use filler::HugePageFiller;
 use region::HugeRegionSet;
@@ -114,10 +115,15 @@ impl PageHeapStats {
 ///
 /// ```
 /// use wsc_tcmalloc::pageheap::{PageHeap, PageHeapConfig};
+/// # use wsc_tcmalloc::{config::TcmallocConfig, events::EventBus};
+/// # use wsc_sim_hw::cost::CostModel;
+/// # use wsc_sim_os::clock::Clock;
+/// # let mut bus = EventBus::new(
+/// #     &TcmallocConfig::baseline(), CostModel::production(), Clock::new());
 ///
 /// let mut ph = PageHeap::new(PageHeapConfig::default());
-/// let (addr, _path) = ph.alloc(4, 512); // a 4-page span
-/// ph.dealloc(addr, 4);
+/// let (addr, _path) = ph.alloc(4, 512, &mut bus); // a 4-page span
+/// ph.dealloc(addr, 4, &mut bus);
 /// ```
 #[derive(Clone, Debug)]
 pub struct PageHeap {
@@ -148,26 +154,41 @@ impl PageHeap {
     /// Allocates `pages` TCMalloc pages for a span whose class capacity is
     /// `span_capacity` (large allocations pass 1). Returns the address and
     /// the deepest path hit ([`AllocPath::Mmap`] when the OS was involved,
-    /// [`AllocPath::PageHeap`] otherwise).
+    /// [`AllocPath::PageHeap`] otherwise). Emits one placement event
+    /// ([`AllocEvent::FillerPlace`], [`AllocEvent::RegionPlace`], or
+    /// [`AllocEvent::CachePlace`]) plus any OS-boundary events the chosen
+    /// component produces.
     ///
     /// # Panics
     ///
     /// Panics if `pages` is zero.
-    pub fn alloc(&mut self, pages: u32, span_capacity: u32) -> (u64, AllocPath) {
+    pub fn alloc(
+        &mut self,
+        pages: u32,
+        span_capacity: u32,
+        bus: &mut EventBus,
+    ) -> (u64, AllocPath) {
         assert!(pages > 0, "zero-page allocation");
         let (addr, mmapped, origin) = if (pages as u64) < HP_PAGES {
             let (addr, mm) =
                 self.filler
-                    .alloc(pages, span_capacity, &mut self.cache, &mut self.vmm);
+                    .alloc(pages, span_capacity, &mut self.cache, &mut self.vmm, bus);
+            bus.emit(AllocEvent::FillerPlace { addr, pages });
             (addr, mm, Origin::Filler { pages })
         } else if (pages as u64) > HP_PAGES && (pages as u64) < 2 * HP_PAGES {
-            let (addr, mm) = self.region.alloc(pages, &mut self.vmm);
+            let (addr, mm) = self.region.alloc(pages, &mut self.vmm, bus);
+            bus.emit(AllocEvent::RegionPlace { addr, pages });
             (addr, mm, Origin::Region { pages })
         } else {
             let hp = (pages as u64).div_ceil(HP_PAGES);
-            let (addr, from_os) = self.cache.alloc_run(hp, &mut self.vmm);
+            let (addr, from_os) = self.cache.alloc_run(hp, &mut self.vmm, bus);
             if !from_os {
                 self.vmm.reoccupy(addr, hp * HUGE_PAGE_BYTES);
+                bus.emit(AllocEvent::HugepageFill {
+                    base: addr,
+                    bytes: hp * HUGE_PAGE_BYTES,
+                    reused: true,
+                });
             }
             let tail = (hp * HP_PAGES - pages as u64) as u32;
             if tail > 0 {
@@ -175,6 +196,7 @@ impl PageHeap {
                 self.filler.donate(last_hp, HP_PAGES as u32 - tail);
             }
             self.large_used_pages += pages as u64;
+            bus.emit(AllocEvent::CachePlace { addr, pages });
             (addr, from_os, Origin::Large { pages, tail })
         };
         let prev = self.origin.insert(addr, origin);
@@ -193,7 +215,7 @@ impl PageHeap {
     ///
     /// Panics if the range is not a live pageheap allocation or the length
     /// mismatches.
-    pub fn dealloc(&mut self, addr: u64, pages: u32) {
+    pub fn dealloc(&mut self, addr: u64, pages: u32, bus: &mut EventBus) {
         let origin = self
             .origin
             .remove(&addr)
@@ -202,11 +224,11 @@ impl PageHeap {
             Origin::Filler { pages: p } => {
                 assert_eq!(p, pages, "filler dealloc length mismatch");
                 self.filler
-                    .dealloc(addr, pages, &mut self.cache, &mut self.vmm);
+                    .dealloc(addr, pages, &mut self.cache, &mut self.vmm, bus);
             }
             Origin::Region { pages: p } => {
                 assert_eq!(p, pages, "region dealloc length mismatch");
-                self.region.dealloc(addr, pages, &mut self.vmm);
+                self.region.dealloc(addr, pages, &mut self.vmm, bus);
             }
             Origin::Large { pages: p, tail } => {
                 assert_eq!(p, pages, "large dealloc length mismatch");
@@ -215,16 +237,17 @@ impl PageHeap {
                 if tail > 0 {
                     let full = hp - 1;
                     if full > 0 {
-                        self.cache.free_run(addr, full, &mut self.vmm);
+                        self.cache.free_run(addr, full, &mut self.vmm, bus);
                     }
                     self.filler.free_donated_head(
                         addr + full * HUGE_PAGE_BYTES,
                         HP_PAGES as u32 - tail,
                         &mut self.cache,
                         &mut self.vmm,
+                        bus,
                     );
                 } else {
-                    self.cache.free_run(addr, hp, &mut self.vmm);
+                    self.cache.free_run(addr, hp, &mut self.vmm, bus);
                 }
             }
         }
@@ -234,7 +257,7 @@ impl PageHeap {
     /// the bounded cache; when resident free pages stranded in the filler
     /// exceed the threshold, subrelease up to the configured rate.
     /// Returns bytes released this pass.
-    pub fn background_release(&mut self) -> u64 {
+    pub fn background_release(&mut self, bus: &mut EventBus) -> u64 {
         let stats = self.filler.stats();
         let resident_free = stats.free_pages - stats.released_pages;
         if resident_free <= self.cfg.free_pages_threshold {
@@ -243,7 +266,7 @@ impl PageHeap {
         let excess = resident_free - self.cfg.free_pages_threshold;
         let target = excess.min(self.cfg.release_rate_pages);
         self.filler
-            .subrelease(target, self.cfg.subrelease_grace_passes, &mut self.vmm)
+            .subrelease(target, self.cfg.subrelease_grace_passes, &mut self.vmm, bus)
             * TCMALLOC_PAGE_BYTES
     }
 
@@ -280,17 +303,27 @@ impl PageHeap {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::TcmallocConfig;
+    use wsc_sim_hw::cost::CostModel;
+    use wsc_sim_os::clock::Clock;
 
-    fn heap() -> PageHeap {
-        PageHeap::new(PageHeapConfig::default())
+    fn heap() -> (PageHeap, EventBus) {
+        (
+            PageHeap::new(PageHeapConfig::default()),
+            EventBus::new(
+                &TcmallocConfig::baseline(),
+                CostModel::production(),
+                Clock::new(),
+            ),
+        )
     }
 
     #[test]
     fn small_goes_to_filler() {
-        let mut ph = heap();
-        let (addr, path) = ph.alloc(10, 512);
+        let (mut ph, mut bus) = heap();
+        let (addr, path) = ph.alloc(10, 512, &mut bus);
         assert_eq!(path, AllocPath::Mmap, "cold heap touches the OS");
-        let (addr2, path2) = ph.alloc(10, 512);
+        let (addr2, path2) = ph.alloc(10, 512, &mut bus);
         assert_eq!(path2, AllocPath::PageHeap, "warm filler");
         assert_eq!(addr / HUGE_PAGE_BYTES, addr2 / HUGE_PAGE_BYTES);
         let s = ph.stats();
@@ -299,9 +332,9 @@ mod tests {
 
     #[test]
     fn mid_size_goes_to_region() {
-        let mut ph = heap();
+        let (mut ph, mut bus) = heap();
         // 2.1 MiB ≈ 269 pages.
-        let (_addr, _) = ph.alloc(269, 1);
+        let (_addr, _) = ph.alloc(269, 1, &mut bus);
         let s = ph.stats();
         assert_eq!(s.region_used_bytes, 269 * TCMALLOC_PAGE_BYTES);
         assert_eq!(s.filler_used_bytes, 0);
@@ -309,43 +342,43 @@ mod tests {
 
     #[test]
     fn large_with_donation() {
-        let mut ph = heap();
+        let (mut ph, mut bus) = heap();
         // 4.5 MiB = 576 pages = 3 hugepages with a 192-page donated tail
         // (the paper's own example: 1.5 MB slack from a 4.5 MB allocation).
-        let (addr, _) = ph.alloc(576, 1);
+        let (addr, _) = ph.alloc(576, 1, &mut bus);
         let s = ph.stats();
         assert_eq!(s.large_used_bytes, 576 * TCMALLOC_PAGE_BYTES);
         // Donated tail shows up as filler free space.
         assert_eq!(s.filler_free_bytes, 192 * TCMALLOC_PAGE_BYTES);
         // The filler can place a span on the donated tail.
-        let (span_addr, path) = ph.alloc(20, 512);
+        let (span_addr, path) = ph.alloc(20, 512, &mut bus);
         assert_eq!(path, AllocPath::PageHeap);
         assert_eq!(
             span_addr / HUGE_PAGE_BYTES,
             (addr + 2 * HUGE_PAGE_BYTES) / HUGE_PAGE_BYTES
         );
         // Free the large allocation; the donated hugepage survives.
-        ph.dealloc(addr, 576);
+        ph.dealloc(addr, 576, &mut bus);
         assert_eq!(ph.stats().large_used_bytes, 0);
-        ph.dealloc(span_addr, 20);
+        ph.dealloc(span_addr, 20, &mut bus);
     }
 
     #[test]
     fn exact_hugepage_no_donation() {
-        let mut ph = heap();
-        let (addr, _) = ph.alloc(256, 1);
+        let (mut ph, mut bus) = heap();
+        let (addr, _) = ph.alloc(256, 1, &mut bus);
         assert_eq!(ph.stats().filler_free_bytes, 0, "no tail to donate");
-        ph.dealloc(addr, 256);
+        ph.dealloc(addr, 256, &mut bus);
         // Freed run parks in the cache (within limit) rather than unmapping.
         assert_eq!(ph.stats().cache_bytes, HUGE_PAGE_BYTES);
     }
 
     #[test]
     fn cache_reuse_after_large_free() {
-        let mut ph = heap();
-        let (a, _) = ph.alloc(512, 1);
-        ph.dealloc(a, 512);
-        let (b, path) = ph.alloc(512, 1);
+        let (mut ph, mut bus) = heap();
+        let (a, _) = ph.alloc(512, 1, &mut bus);
+        ph.dealloc(a, 512, &mut bus);
+        let (b, path) = ph.alloc(512, 1, &mut bus);
         assert_eq!(path, AllocPath::PageHeap, "served from hugepage cache");
         assert_eq!(a, b);
     }
@@ -353,8 +386,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown range")]
     fn unknown_dealloc_panics() {
-        let mut ph = heap();
-        ph.dealloc(0x1000, 1);
+        let (mut ph, mut bus) = heap();
+        ph.dealloc(0x1000, 1, &mut bus);
     }
 
     #[test]
@@ -365,29 +398,30 @@ mod tests {
             subrelease_grace_passes: 0,
             ..PageHeapConfig::default()
         });
+        let (_, mut bus) = heap();
         // Strand ~250 free pages in one hugepage.
-        let (a, _) = ph.alloc(250, 512);
-        let (b, _) = ph.alloc(5, 512);
-        ph.dealloc(a, 250);
-        let released = ph.background_release();
+        let (a, _) = ph.alloc(250, 512, &mut bus);
+        let (b, _) = ph.alloc(5, 512, &mut bus);
+        ph.dealloc(a, 250, &mut bus);
+        let released = ph.background_release(&mut bus);
         assert_eq!(released, 50 * TCMALLOC_PAGE_BYTES, "rate-limited");
         // Eventually it stops at the threshold.
         let mut total = released;
         for _ in 0..10 {
-            total += ph.background_release();
+            total += ph.background_release(&mut bus);
         }
         let s = ph.filler.stats();
         assert!(s.free_pages - s.released_pages >= 100);
         assert!(total > 0);
-        ph.dealloc(b, 5);
+        ph.dealloc(b, 5, &mut bus);
     }
 
     #[test]
     fn stats_components_are_disjoint() {
-        let mut ph = heap();
-        let (_f, _) = ph.alloc(10, 512);
-        let (_r, _) = ph.alloc(300, 1);
-        let (_l, _) = ph.alloc(512, 1);
+        let (mut ph, mut bus) = heap();
+        let (_f, _) = ph.alloc(10, 512, &mut bus);
+        let (_r, _) = ph.alloc(300, 1, &mut bus);
+        let (_l, _) = ph.alloc(512, 1, &mut bus);
         let s = ph.stats();
         assert!(s.filler_used_bytes > 0);
         assert!(s.region_used_bytes > 0);

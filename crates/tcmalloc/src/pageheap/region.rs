@@ -6,6 +6,7 @@
 //! packs such mid-size allocations end-to-end on a contiguous run of
 //! hugepages, ignoring hugepage boundaries.
 
+use crate::events::{AllocEvent, EventBus};
 use std::collections::BTreeMap;
 use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
 use wsc_sim_os::vmm::Vmm;
@@ -90,12 +91,13 @@ impl HugeRegionSet {
     }
 
     /// Allocates `pages` TCMalloc pages, first-fit across regions, mapping a
-    /// new region when needed. Returns `(addr, mmapped)`.
+    /// new region when needed (emitting one [`AllocEvent::HugepageFill`]).
+    /// Returns `(addr, mmapped)`.
     ///
     /// # Panics
     ///
     /// Panics if `pages` exceeds a region.
-    pub fn alloc(&mut self, pages: u32, vmm: &mut Vmm) -> (u64, bool) {
+    pub fn alloc(&mut self, pages: u32, vmm: &mut Vmm, bus: &mut EventBus) -> (u64, bool) {
         assert!(
             (1..=REGION_PAGES).contains(&pages),
             "region allocation of {pages} pages out of range"
@@ -109,6 +111,11 @@ impl HugeRegionSet {
             }
         }
         let base = vmm.mmap(REGION_HUGEPAGES * HUGE_PAGE_BYTES);
+        bus.emit(AllocEvent::HugepageFill {
+            base,
+            bytes: REGION_HUGEPAGES * HUGE_PAGE_BYTES,
+            reused: false,
+        });
         let mut region = Region::new(base);
         region.set_range(0, pages, true);
         self.regions.push(region);
@@ -117,12 +124,13 @@ impl HugeRegionSet {
     }
 
     /// Frees a range previously returned by [`alloc`](Self::alloc). Fully
-    /// free regions are unmapped.
+    /// free regions are unmapped (emitting one
+    /// [`AllocEvent::HugepageRelease`]).
     ///
     /// # Panics
     ///
     /// Panics if `addr` is not a live region allocation or `pages` mismatches.
-    pub fn dealloc(&mut self, addr: u64, pages: u32, vmm: &mut Vmm) {
+    pub fn dealloc(&mut self, addr: u64, pages: u32, vmm: &mut Vmm, bus: &mut EventBus) {
         let (idx, off, len) = self
             .live
             .remove(&addr)
@@ -132,6 +140,10 @@ impl HugeRegionSet {
         region.set_range(off, len, false);
         if region.used_pages == 0 {
             vmm.munmap(region.base, REGION_HUGEPAGES * HUGE_PAGE_BYTES);
+            bus.emit(AllocEvent::HugepageRelease {
+                base: region.base,
+                bytes: REGION_HUGEPAGES * HUGE_PAGE_BYTES,
+            });
             // Swap-remove; fix up live entries pointing at the moved region.
             let last = self.regions.len() - 1;
             self.regions.swap_remove(idx);
@@ -169,16 +181,28 @@ impl HugeRegionSet {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::TcmallocConfig;
+    use wsc_sim_hw::cost::CostModel;
+    use wsc_sim_os::clock::Clock;
+
+    fn bus() -> EventBus {
+        EventBus::new(
+            &TcmallocConfig::baseline(),
+            CostModel::production(),
+            Clock::new(),
+        )
+    }
 
     #[test]
     fn packs_end_to_end() {
         let mut rs = HugeRegionSet::new();
         let mut vmm = Vmm::new();
+        let mut bs = bus();
         // 2.1 MiB ≈ 269 pages; three of them fit in one 16-hugepage region.
-        let (a, mmapped) = rs.alloc(269, &mut vmm);
+        let (a, mmapped) = rs.alloc(269, &mut vmm, &mut bs);
         assert!(mmapped);
-        let (b, m2) = rs.alloc(269, &mut vmm);
-        let (c, m3) = rs.alloc(269, &mut vmm);
+        let (b, m2) = rs.alloc(269, &mut vmm, &mut bs);
+        let (c, m3) = rs.alloc(269, &mut vmm, &mut bs);
         assert!(!m2 && !m3, "same region reused");
         assert_eq!(b, a + 269 * TCMALLOC_PAGE_BYTES, "end-to-end packing");
         assert_eq!(c, b + 269 * TCMALLOC_PAGE_BYTES);
@@ -192,8 +216,9 @@ mod tests {
         // region slack is far smaller once a few allocations pack together.
         let mut rs = HugeRegionSet::new();
         let mut vmm = Vmm::new();
+        let mut bs = bus();
         for _ in 0..15 {
-            rs.alloc(269, &mut vmm);
+            rs.alloc(269, &mut vmm, &mut bs);
         }
         let free = rs.free_bytes();
         let per_alloc_slack = free as f64 / 15.0;
@@ -207,10 +232,11 @@ mod tests {
     fn dealloc_reuses_space() {
         let mut rs = HugeRegionSet::new();
         let mut vmm = Vmm::new();
-        let (a, _) = rs.alloc(300, &mut vmm);
-        let (_b, _) = rs.alloc(300, &mut vmm);
-        rs.dealloc(a, 300, &mut vmm);
-        let (c, mmapped) = rs.alloc(300, &mut vmm);
+        let mut bs = bus();
+        let (a, _) = rs.alloc(300, &mut vmm, &mut bs);
+        let (_b, _) = rs.alloc(300, &mut vmm, &mut bs);
+        rs.dealloc(a, 300, &mut vmm, &mut bs);
+        let (c, mmapped) = rs.alloc(300, &mut vmm, &mut bs);
         assert!(!mmapped);
         assert_eq!(c, a, "first-fit reuses the hole");
     }
@@ -219,9 +245,10 @@ mod tests {
     fn empty_region_unmaps() {
         let mut rs = HugeRegionSet::new();
         let mut vmm = Vmm::new();
-        let (a, _) = rs.alloc(400, &mut vmm);
+        let mut bs = bus();
+        let (a, _) = rs.alloc(400, &mut vmm, &mut bs);
         let mapped = vmm.mapped_bytes();
-        rs.dealloc(a, 400, &mut vmm);
+        rs.dealloc(a, 400, &mut vmm, &mut bs);
         assert_eq!(rs.num_regions(), 0);
         assert_eq!(
             vmm.mapped_bytes(),
@@ -234,20 +261,22 @@ mod tests {
     fn unknown_dealloc_panics() {
         let mut rs = HugeRegionSet::new();
         let mut vmm = Vmm::new();
-        rs.dealloc(0x1234, 300, &mut vmm);
+        let mut bs = bus();
+        rs.dealloc(0x1234, 300, &mut vmm, &mut bs);
     }
 
     #[test]
     fn swap_remove_fixes_indices() {
         let mut rs = HugeRegionSet::new();
         let mut vmm = Vmm::new();
+        let mut bs = bus();
         // Fill two regions.
-        let (a, _) = rs.alloc(REGION_PAGES, &mut vmm);
-        let (b, _) = rs.alloc(REGION_PAGES, &mut vmm);
+        let (a, _) = rs.alloc(REGION_PAGES, &mut vmm, &mut bs);
+        let (b, _) = rs.alloc(REGION_PAGES, &mut vmm, &mut bs);
         assert_eq!(rs.num_regions(), 2);
         // Drop the first; the second's live entry must stay valid.
-        rs.dealloc(a, REGION_PAGES, &mut vmm);
-        rs.dealloc(b, REGION_PAGES, &mut vmm);
+        rs.dealloc(a, REGION_PAGES, &mut vmm, &mut bs);
+        rs.dealloc(b, REGION_PAGES, &mut vmm, &mut bs);
         assert_eq!(rs.num_regions(), 0);
     }
 }

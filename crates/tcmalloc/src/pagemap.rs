@@ -210,6 +210,41 @@ impl PageMap {
         self.hit.set(None);
     }
 
+    /// [`set_range`](Self::set_range) plus the
+    /// [`PagemapSet`](crate::events::AllocEvent::PagemapSet) boundary event —
+    /// the form the allocator tiers use. The raw method stays public for
+    /// benchmarks and property tests that exercise the radix structure in
+    /// isolation.
+    pub fn set_range_traced(
+        &mut self,
+        addr: u64,
+        num_pages: u32,
+        span: SpanId,
+        bus: &mut crate::events::EventBus,
+    ) {
+        self.set_range(addr, num_pages, span);
+        bus.emit(crate::events::AllocEvent::PagemapSet {
+            addr,
+            pages: num_pages,
+        });
+    }
+
+    /// [`clear_range`](Self::clear_range) plus the
+    /// [`PagemapClear`](crate::events::AllocEvent::PagemapClear) boundary
+    /// event.
+    pub fn clear_range_traced(
+        &mut self,
+        addr: u64,
+        num_pages: u32,
+        bus: &mut crate::events::EventBus,
+    ) {
+        self.clear_range(addr, num_pages);
+        bus.emit(crate::events::AllocEvent::PagemapClear {
+            addr,
+            pages: num_pages,
+        });
+    }
+
     /// The span owning `addr`, if any. Hits the one-entry span cache first;
     /// otherwise two indexed loads (root, leaf).
     pub fn span_of(&self, addr: u64) -> Option<SpanId> {

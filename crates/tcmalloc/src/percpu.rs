@@ -14,6 +14,7 @@
 //! capacity for larger size classes, since the majority of allocations in
 //! our workloads are smaller objects").
 
+use crate::events::{AllocEvent, EventBus};
 use crate::size_class::SizeClassTable;
 use wsc_sim_os::rseq::VcpuId;
 
@@ -108,27 +109,37 @@ impl PerCpuCaches {
 
     /// Fast-path allocation: pops a cached object, or records an underflow
     /// miss and returns `None` (caller refills from the transfer cache).
-    pub fn alloc(&mut self, vcpu: VcpuId, class: usize) -> Option<u64> {
+    /// Emits the per-CPU hit/miss boundary event.
+    pub fn alloc(&mut self, vcpu: VcpuId, class: usize, bus: &mut EventBus) -> Option<u64> {
         let size = self.sizes[class];
         let slab = self.slab_mut(vcpu);
         slab.classes[class].touched = true;
         match slab.classes[class].objs.pop() {
             Some(addr) => {
                 slab.cached_bytes -= size;
+                bus.emit(AllocEvent::PerCpuHit {
+                    vcpu: vcpu.index(),
+                    class: class as u16,
+                });
                 Some(addr)
             }
             None => {
                 slab.misses_total += 1;
                 slab.misses_interval += 1;
+                bus.emit(AllocEvent::PerCpuMiss {
+                    vcpu: vcpu.index(),
+                    class: class as u16,
+                });
                 None
             }
         }
     }
 
     /// Grows `class`'s capacity by one batch if the byte budget allows,
-    /// stealing *unused* capacity from the largest other class if needed.
-    /// Returns whether the grant succeeded.
-    fn try_grow(&mut self, vcpu: VcpuId, class: usize) -> bool {
+    /// stealing *unused* capacity from the largest other class if needed
+    /// (each steal emits [`AllocEvent::ResizerSteal`]). Returns whether the
+    /// grant succeeded.
+    fn try_grow(&mut self, vcpu: VcpuId, class: usize, bus: &mut EventBus) -> bool {
         let size = self.sizes[class];
         let batch = self.batches[class] as u64;
         let need = batch * size;
@@ -164,6 +175,12 @@ impl PerCpuCaches {
             let freed = take_slots as u64 * sizes[cl];
             slab.capacity_bytes -= freed;
             reclaimed += freed;
+            bus.emit(AllocEvent::ResizerSteal {
+                vcpu: vcpu.index(),
+                victim_class: cl as u16,
+                class: class as u16,
+                bytes: freed,
+            });
         }
         if slab.capacity_bytes + need <= slab.max_bytes {
             slab.classes[class].capacity += batch as u32;
@@ -177,8 +194,14 @@ impl PerCpuCaches {
     /// Refills `class` with a batch fetched from the middle tier after an
     /// underflow. Objects beyond the granted capacity are returned (and go
     /// back to the transfer cache).
-    pub fn refill(&mut self, vcpu: VcpuId, class: usize, mut objs: Vec<u64>) -> Vec<u64> {
-        self.try_grow(vcpu, class);
+    pub fn refill(
+        &mut self,
+        vcpu: VcpuId,
+        class: usize,
+        mut objs: Vec<u64>,
+        bus: &mut EventBus,
+    ) -> Vec<u64> {
+        self.try_grow(vcpu, class, bus);
         let size = self.sizes[class];
         let slab = self.slab_mut(vcpu);
         let cslab = &mut slab.classes[class];
@@ -192,8 +215,15 @@ impl PerCpuCaches {
     }
 
     /// Fast-path free. On overflow the cache sheds one batch of this class
-    /// (including the freed object) for the transfer cache.
-    pub fn free(&mut self, vcpu: VcpuId, class: usize, addr: u64) -> FreeOutcome {
+    /// (including the freed object) for the transfer cache, emitting the
+    /// overflow boundary event.
+    pub fn free(
+        &mut self,
+        vcpu: VcpuId,
+        class: usize,
+        addr: u64,
+        bus: &mut EventBus,
+    ) -> FreeOutcome {
         let size = self.sizes[class];
         let batch = self.batches[class] as usize;
         {
@@ -209,7 +239,7 @@ impl PerCpuCaches {
             slab.misses_interval += 1;
         }
         // Overflow: try to grow; if granted, absorb the object after all.
-        if self.try_grow(vcpu, class) {
+        if self.try_grow(vcpu, class, bus) {
             let slab = self.slab_mut(vcpu);
             slab.classes[class].objs.push(addr);
             slab.cached_bytes += size;
@@ -222,6 +252,11 @@ impl PerCpuCaches {
         let mut out = cslab.objs.split_off(at);
         slab.cached_bytes -= shed as u64 * size;
         out.push(addr);
+        bus.emit(AllocEvent::PerCpuOverflow {
+            vcpu: vcpu.index(),
+            class: class as u16,
+            shed: out.len() as u32,
+        });
         FreeOutcome::Overflow(out)
     }
 
@@ -262,9 +297,16 @@ impl PerCpuCaches {
     /// The heterogeneous resize step (§4.1): the `top_n` caches with the
     /// most misses this interval each try to grow by `step` bytes, stealing
     /// budget round-robin from the quietest caches (never below `floor`).
-    /// Interval miss counters reset afterwards. Returns evictions to forward
-    /// to the transfer cache.
-    pub fn rebalance(&mut self, top_n: usize, step: u64, floor: u64) -> Vec<(usize, Vec<u64>)> {
+    /// Interval miss counters reset afterwards (each budget move emits a
+    /// grow/shrink event pair). Returns evictions to forward to the
+    /// transfer cache.
+    pub fn rebalance(
+        &mut self,
+        top_n: usize,
+        step: u64,
+        floor: u64,
+        bus: &mut EventBus,
+    ) -> Vec<(usize, Vec<u64>)> {
         let mut populated: Vec<usize> = (0..self.slabs.len())
             .filter(|&i| self.slabs[i].is_some())
             .collect();
@@ -299,8 +341,16 @@ impl PerCpuCaches {
             }
             let Some((d, dmax)) = found else { continue };
             evicted.extend(self.set_max_bytes(VcpuId(d as u32), dmax - step));
+            bus.emit(AllocEvent::ResizerShrink {
+                vcpu: d,
+                bytes: step,
+            });
             let gmax = self.slabs[g].as_ref().expect("populated").max_bytes;
             self.slabs[g].as_mut().expect("populated").max_bytes = gmax + step;
+            bus.emit(AllocEvent::ResizerGrow {
+                vcpu: g,
+                bytes: step,
+            });
         }
         for slab in self.slabs.iter_mut().flatten() {
             slab.misses_interval = 0;
@@ -409,9 +459,20 @@ impl PerCpuCaches {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::TcmallocConfig;
+    use wsc_sim_hw::cost::CostModel;
+    use wsc_sim_os::clock::Clock;
 
     fn caches(max_bytes: u64) -> PerCpuCaches {
         PerCpuCaches::new(&SizeClassTable::production(), max_bytes)
+    }
+
+    fn bus() -> EventBus {
+        EventBus::new(
+            &TcmallocConfig::baseline(),
+            CostModel::production(),
+            Clock::new(),
+        )
     }
 
     const V0: VcpuId = VcpuId(0);
@@ -420,23 +481,25 @@ mod tests {
     #[test]
     fn cold_alloc_misses_then_hits_after_refill() {
         let mut c = caches(3 << 20);
-        assert_eq!(c.alloc(V0, 3), None);
+        let mut b = bus();
+        assert_eq!(c.alloc(V0, 3, &mut b), None);
         assert_eq!(c.misses_total(V0), 1);
-        let rest = c.refill(V0, 3, vec![0x1000, 0x2000, 0x3000]);
+        let rest = c.refill(V0, 3, vec![0x1000, 0x2000, 0x3000], &mut b);
         assert!(rest.is_empty());
-        assert_eq!(c.alloc(V0, 3), Some(0x3000), "LIFO order");
-        assert_eq!(c.alloc(V0, 3), Some(0x2000));
+        assert_eq!(c.alloc(V0, 3, &mut b), Some(0x3000), "LIFO order");
+        assert_eq!(c.alloc(V0, 3, &mut b), Some(0x2000));
     }
 
     #[test]
     fn free_caches_until_capacity() {
         let mut c = caches(3 << 20);
+        let mut b = bus();
         // Establish capacity via a refill.
-        c.refill(V0, 0, vec![8]);
+        c.refill(V0, 0, vec![8], &mut b);
         let batch = c.batches[0] as usize;
         let mut overflowed = false;
         for i in 0..10 * batch as u64 {
-            match c.free(V0, 0, 0x100000 + i * 8) {
+            match c.free(V0, 0, 0x100000 + i * 8, &mut b) {
                 FreeOutcome::Cached => {}
                 FreeOutcome::Overflow(objs) => {
                     assert_eq!(objs.len(), batch);
@@ -454,10 +517,11 @@ mod tests {
     #[test]
     fn tiny_budget_overflows() {
         let mut c = caches(64); // 64-byte budget: almost nothing fits
-        c.refill(V0, 0, vec![8]);
+        let mut b = bus();
+        c.refill(V0, 0, vec![8], &mut b);
         let mut saw_overflow = false;
         for i in 1..100u64 {
-            if let FreeOutcome::Overflow(objs) = c.free(V0, 0, i * 8) {
+            if let FreeOutcome::Overflow(objs) = c.free(V0, 0, i * 8, &mut b) {
                 assert!(!objs.is_empty());
                 saw_overflow = true;
                 break;
@@ -470,11 +534,12 @@ mod tests {
     #[test]
     fn budget_is_enforced() {
         let mut c = caches(4096);
+        let mut b = bus();
         // Pump many classes; capacity bytes must never exceed the budget.
         for cl in 0..20 {
-            let _ = c.alloc(V0, cl);
+            let _ = c.alloc(V0, cl, &mut b);
             let addrs: Vec<u64> = (0..64u64).map(|i| 0x40000000 + i * 4096).collect();
-            let _ = c.refill(V0, cl, addrs);
+            let _ = c.refill(V0, cl, addrs, &mut b);
         }
         let slab = c.slabs[0].as_ref().unwrap();
         assert!(
@@ -487,14 +552,16 @@ mod tests {
     #[test]
     fn shrink_evicts_larger_classes_first() {
         let mut c = caches(1 << 20);
+        let mut b = bus();
         // Fill a small class and a large class.
-        c.refill(V0, 0, (0..32u64).map(|i| i * 8).collect());
+        c.refill(V0, 0, (0..32u64).map(|i| i * 8).collect(), &mut b);
         let big_cl = c.sizes.len() - 5;
         let big_sz = c.sizes[big_cl];
         c.refill(
             V0,
             big_cl,
             (0..2u64).map(|i| 0x7000_0000 + i * big_sz).collect(),
+            &mut b,
         );
         let evicted = c.set_max_bytes(V0, 512);
         assert!(!evicted.is_empty());
@@ -505,15 +572,16 @@ mod tests {
     #[test]
     fn rebalance_moves_budget_to_hot_cache() {
         let mut c = caches(1 << 20);
+        let mut b = bus();
         // V0 is hot (many misses); V1 is idle but populated.
         for _ in 0..100 {
-            let _ = c.alloc(V0, 0);
+            let _ = c.alloc(V0, 0, &mut b);
         }
-        let _ = c.alloc(V1, 0);
+        let _ = c.alloc(V1, 0, &mut b);
         c.slabs[1].as_mut().unwrap().misses_interval = 0; // force idle
         let before0 = c.max_bytes(V0);
         let before1 = c.max_bytes(V1);
-        c.rebalance(5, 256 << 10, 128 << 10);
+        c.rebalance(5, 256 << 10, 128 << 10, &mut b);
         assert!(c.max_bytes(V0) > before0, "hot cache grew");
         assert!(c.max_bytes(V1) < before1, "idle cache shrank");
         // Budget conserved.
@@ -523,22 +591,24 @@ mod tests {
     #[test]
     fn rebalance_respects_floor() {
         let mut c = caches(200 << 10);
+        let mut b = bus();
         for _ in 0..10 {
-            let _ = c.alloc(V0, 0);
+            let _ = c.alloc(V0, 0, &mut b);
         }
-        let _ = c.alloc(V1, 0);
+        let _ = c.alloc(V1, 0, &mut b);
         c.slabs[1].as_mut().unwrap().misses_interval = 0;
         // Donor has 200 KiB; floor 128 KiB; step 256 KiB cannot be met.
-        c.rebalance(5, 256 << 10, 128 << 10);
+        c.rebalance(5, 256 << 10, 128 << 10, &mut b);
         assert_eq!(c.max_bytes(V1), 200 << 10, "donor untouched below floor");
     }
 
     #[test]
     fn interval_misses_reset_after_rebalance() {
         let mut c = caches(1 << 20);
-        let _ = c.alloc(V0, 0);
+        let mut b = bus();
+        let _ = c.alloc(V0, 0, &mut b);
         assert_eq!(c.slabs[0].as_ref().unwrap().misses_interval, 1);
-        c.rebalance(5, 64 << 10, 8 << 10);
+        c.rebalance(5, 64 << 10, 8 << 10, &mut b);
         assert_eq!(c.slabs[0].as_ref().unwrap().misses_interval, 0);
         assert_eq!(c.misses_total(V0), 1, "lifetime counter survives");
     }
@@ -546,8 +616,9 @@ mod tests {
     #[test]
     fn flush_returns_everything() {
         let mut c = caches(1 << 20);
-        c.refill(V0, 2, vec![0x100, 0x200]);
-        c.refill(V1, 4, vec![0x300]);
+        let mut b = bus();
+        c.refill(V0, 2, vec![0x100, 0x200], &mut b);
+        c.refill(V1, 4, vec![0x300], &mut b);
         let flushed = c.flush_all();
         let total: usize = flushed.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, 3);
@@ -563,10 +634,11 @@ mod tests {
         // later shrink must not wrap when the excess is multi-GiB.
         let huge = 64u64 << 30;
         let mut c = caches(huge);
+        let mut b = bus();
         for cl in [0usize, 3, 10] {
-            let _ = c.alloc(V0, cl);
+            let _ = c.alloc(V0, cl, &mut b);
             let addrs: Vec<u64> = (0..128u64).map(|i| 0x5000_0000 + i * (1 << 20)).collect();
-            let _ = c.refill(V0, cl, addrs);
+            let _ = c.refill(V0, cl, addrs, &mut b);
         }
         {
             let slab = c.slabs[0].as_ref().unwrap();
@@ -594,8 +666,9 @@ mod tests {
     #[test]
     fn lazy_population() {
         let mut c = caches(1 << 20);
+        let mut b = bus();
         assert_eq!(c.populated_count(), 0);
-        let _ = c.alloc(VcpuId(7), 0);
+        let _ = c.alloc(VcpuId(7), 0, &mut b);
         assert_eq!(c.populated_count(), 1, "only vCPU 7 populated");
     }
 }

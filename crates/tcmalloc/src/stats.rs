@@ -1,7 +1,14 @@
 //! Allocator-internal accounting: malloc cycles by component (Figure 6a)
 //! and the fragmentation breakdown (Figures 5b and 6b).
+//!
+//! Since the event-bus refactor these are *derived views*: [`StatsView`]
+//! subscribes to the [`AllocEvent`](crate::events::AllocEvent) stream and
+//! charges the cost model at emission, so cycle attribution cannot drift
+//! from what the allocator actually reported per operation.
 
-use wsc_sim_hw::cost::AllocPath;
+use crate::events::{AllocEvent, EventSink};
+use wsc_sim_hw::cost::{AllocPath, CostModel};
+use wsc_telemetry::gwp::{AllocationProfile, Sample};
 
 /// Where allocator time goes — the categories of Figure 6a.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -22,32 +29,47 @@ pub enum CycleCategory {
     Other,
 }
 
-impl CycleCategory {
-    /// All categories in the paper's display order.
-    pub const ALL: [CycleCategory; 7] = [
-        CycleCategory::CpuCache,
-        CycleCategory::TransferCache,
-        CycleCategory::CentralFreeList,
-        CycleCategory::PageHeap,
-        CycleCategory::Sampled,
-        CycleCategory::Prefetch,
-        CycleCategory::Other,
-    ];
+/// The single source of truth for the category list: every `(category,
+/// display name)` pair, in the paper's display order. [`CycleCategory::ALL`],
+/// [`CycleCategory::name`], and the [`CycleStats`] array width all derive
+/// from this catalog, so adding a category cannot silently miss one of them
+/// (the `catalog_is_exhaustive` test closes the loop with an exhaustive
+/// match).
+pub const CATALOG: [(CycleCategory, &str); CycleCategory::COUNT] = [
+    (CycleCategory::CpuCache, "CPUCache"),
+    (CycleCategory::TransferCache, "TransferCache"),
+    (CycleCategory::CentralFreeList, "CentralFreeList"),
+    (CycleCategory::PageHeap, "PageHeap"),
+    (CycleCategory::Sampled, "Sampled"),
+    (CycleCategory::Prefetch, "Prefetch"),
+    (CycleCategory::Other, "Other"),
+];
 
-    /// Display name matching the paper's figure legend.
-    pub fn name(self) -> &'static str {
-        match self {
-            CycleCategory::CpuCache => "CPUCache",
-            CycleCategory::TransferCache => "TransferCache",
-            CycleCategory::CentralFreeList => "CentralFreeList",
-            CycleCategory::PageHeap => "PageHeap",
-            CycleCategory::Sampled => "Sampled",
-            CycleCategory::Prefetch => "Prefetch",
-            CycleCategory::Other => "Other",
+impl CycleCategory {
+    /// Number of categories.
+    pub const COUNT: usize = 7;
+
+    /// All categories in the paper's display order (derived from
+    /// [`CATALOG`]).
+    pub const ALL: [CycleCategory; Self::COUNT] = {
+        let mut all = [CycleCategory::CpuCache; Self::COUNT];
+        let mut i = 0;
+        while i < Self::COUNT {
+            all[i] = CATALOG[i].0;
+            i += 1;
         }
+        all
+    };
+
+    /// Display name matching the paper's figure legend (derived from
+    /// [`CATALOG`]).
+    pub fn name(self) -> &'static str {
+        CATALOG[self.index()].1
     }
 
-    fn index(self) -> usize {
+    /// Position in [`CATALOG`] — the exhaustive match that anchors the
+    /// catalog order to the enum.
+    const fn index(self) -> usize {
         match self {
             CycleCategory::CpuCache => 0,
             CycleCategory::TransferCache => 1,
@@ -71,11 +93,16 @@ impl From<AllocPath> for CycleCategory {
     }
 }
 
-/// Nanoseconds and operation counts per category.
-#[derive(Clone, Debug, Default)]
+/// Time and operation counts per category.
+///
+/// Accumulation is **order-independent**: time is stored as integer
+/// picoseconds and converted to nanoseconds only at the query boundary, so
+/// merging per-cell stats from a parallel run yields bit-identical totals
+/// whatever the merge order (f64 summation would not).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CycleStats {
-    ns: [f64; 7],
-    ops: [u64; 7],
+    ps: [u64; CycleCategory::COUNT],
+    ops: [u64; CycleCategory::COUNT],
 }
 
 impl CycleStats {
@@ -84,15 +111,15 @@ impl CycleStats {
         Self::default()
     }
 
-    /// Charges `ns` to a category.
+    /// Charges `ns` to a category (stored with picosecond resolution).
     pub fn charge(&mut self, cat: CycleCategory, ns: f64) {
-        self.ns[cat.index()] += ns;
+        self.ps[cat.index()] += (ns * 1000.0).round() as u64;
         self.ops[cat.index()] += 1;
     }
 
     /// Nanoseconds attributed to a category.
     pub fn ns(&self, cat: CycleCategory) -> f64 {
-        self.ns[cat.index()]
+        self.ps[cat.index()] as f64 / 1000.0
     }
 
     /// Operations attributed to a category.
@@ -102,7 +129,7 @@ impl CycleStats {
 
     /// Total allocator nanoseconds.
     pub fn total_ns(&self) -> f64 {
-        self.ns.iter().sum()
+        self.ps.iter().sum::<u64>() as f64 / 1000.0
     }
 
     /// Fraction of allocator time per category (Figure 6a). Zero when idle.
@@ -117,11 +144,96 @@ impl CycleStats {
             .collect()
     }
 
-    /// Merges another stats block.
+    /// Merges another stats block. Integer addition — commutative and
+    /// associative, so parallel cells can merge in any order.
     pub fn merge(&mut self, other: &CycleStats) {
-        for i in 0..self.ns.len() {
-            self.ns[i] += other.ns[i];
+        for i in 0..self.ps.len() {
+            self.ps[i] += other.ps[i];
             self.ops[i] += other.ops[i];
+        }
+    }
+}
+
+/// The derived attribution view: one [`EventSink`] producing the Figure 6a
+/// cycle breakdown and the GWP allocation profile from the event stream.
+///
+/// Charging lives here, *at emission*: `MallocDone` / `FreeDone` carry the
+/// satisfying tier and the per-op flags, and the view prices them against
+/// its own copy of the [`CostModel`] in the exact component order the bus
+/// used to price the operation — so the `ns` the allocator returned and the
+/// cycles attributed here are identical by construction.
+#[derive(Clone, Debug)]
+pub struct StatsView {
+    cost: CostModel,
+    cycles: CycleStats,
+    profile: AllocationProfile,
+}
+
+impl StatsView {
+    /// A zeroed view pricing against `cost`.
+    pub fn new(cost: CostModel) -> Self {
+        Self {
+            cost,
+            cycles: CycleStats::new(),
+            profile: AllocationProfile::new(),
+        }
+    }
+
+    /// The derived cycle attribution.
+    pub fn cycles(&self) -> &CycleStats {
+        &self.cycles
+    }
+
+    /// The derived allocation profile.
+    pub fn profile(&self) -> &AllocationProfile {
+        &self.profile
+    }
+}
+
+impl EventSink for StatsView {
+    fn on_event(&mut self, _ts_ns: u64, ev: &AllocEvent) {
+        match *ev {
+            AllocEvent::MallocDone {
+                path,
+                prefetched,
+                sampled,
+                ..
+            } => {
+                self.cycles
+                    .charge(path.into(), self.cost.alloc_path_ns(path));
+                if prefetched {
+                    self.cycles
+                        .charge(CycleCategory::Prefetch, self.cost.prefetch_ns);
+                }
+                self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
+                if sampled {
+                    self.cycles
+                        .charge(CycleCategory::Sampled, self.cost.sampled_alloc_ns);
+                }
+            }
+            AllocEvent::FreeDone { path, .. } => {
+                self.cycles
+                    .charge(path.into(), self.cost.alloc_path_ns(path));
+                self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
+            }
+            AllocEvent::SamplerPick {
+                size,
+                site,
+                now_ns,
+                weight,
+                ..
+            } => self.profile.record_alloc(&Sample {
+                size,
+                site,
+                alloc_time_ns: now_ns,
+                weight,
+            }),
+            AllocEvent::SampledFree {
+                size,
+                lifetime_ns,
+                weight,
+            } => self.profile.record_lifetime(size, lifetime_ns, weight),
+            _ => {}
         }
     }
 }
@@ -184,6 +296,7 @@ impl FragmentationBreakdown {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use wsc_prng::SmallRng;
 
     #[test]
     fn charge_and_breakdown() {
@@ -223,6 +336,89 @@ mod tests {
         a.merge(&b);
         assert!((a.ns(CycleCategory::Other) - 3.0).abs() < 1e-9);
         assert_eq!(a.ops(CycleCategory::Other), 2);
+    }
+
+    #[test]
+    fn catalog_is_exhaustive() {
+        // Every category appears in the catalog at its own index, with the
+        // name the exhaustive `name_of` match below expects. Adding a
+        // variant without extending CATALOG fails to compile (COUNT
+        // mismatch); reordering fails here.
+        fn name_of(c: CycleCategory) -> &'static str {
+            match c {
+                CycleCategory::CpuCache => "CPUCache",
+                CycleCategory::TransferCache => "TransferCache",
+                CycleCategory::CentralFreeList => "CentralFreeList",
+                CycleCategory::PageHeap => "PageHeap",
+                CycleCategory::Sampled => "Sampled",
+                CycleCategory::Prefetch => "Prefetch",
+                CycleCategory::Other => "Other",
+            }
+        }
+        for (i, (cat, name)) in CATALOG.iter().enumerate() {
+            assert_eq!(cat.index(), i, "catalog order matches index()");
+            assert_eq!(cat.name(), *name);
+            assert_eq!(*name, name_of(*cat));
+            assert_eq!(CycleCategory::ALL[i], *cat);
+        }
+        assert_eq!(CycleCategory::ALL.len(), CycleCategory::COUNT);
+    }
+
+    /// Satellite: merge across cells is order-independent — integer
+    /// picoseconds cannot drift the way float summation order can.
+    #[test]
+    fn merge_order_property() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED);
+        for _ in 0..200 {
+            let cells: Vec<CycleStats> = (0..8)
+                .map(|_| {
+                    let mut s = CycleStats::new();
+                    for _ in 0..rng.gen_range(1..20u32) {
+                        let cat = CycleCategory::ALL
+                            [rng.gen_range(0..CycleCategory::COUNT as u64) as usize];
+                        // Tenths of ns, like the cost model's calibration.
+                        let ns = rng.gen_range(1..130_000u64) as f64 / 10.0;
+                        s.charge(cat, ns);
+                    }
+                    s
+                })
+                .collect();
+            let mut forward = CycleStats::new();
+            for c in &cells {
+                forward.merge(c);
+            }
+            let mut backward = CycleStats::new();
+            for c in cells.iter().rev() {
+                backward.merge(c);
+            }
+            // Pairwise tree merge, a third order.
+            let mut tree: Vec<CycleStats> = cells.clone();
+            while tree.len() > 1 {
+                let mut next = Vec::new();
+                for pair in tree.chunks(2) {
+                    let mut m = pair[0].clone();
+                    if let Some(b) = pair.get(1) {
+                        m.merge(b);
+                    }
+                    next.push(m);
+                }
+                tree = next;
+            }
+            assert_eq!(forward, backward, "merge order must not matter");
+            assert_eq!(forward, tree[0], "tree merge identical too");
+            assert_eq!(forward.total_ns(), backward.total_ns());
+        }
+    }
+
+    #[test]
+    fn picosecond_storage_is_exact_for_cost_model_values() {
+        // All calibrated constants are tenths of ns; ps storage is exact.
+        let mut s = CycleStats::new();
+        s.charge(CycleCategory::CpuCache, 3.1);
+        s.charge(CycleCategory::CpuCache, 3.1);
+        assert_eq!(s.ns(CycleCategory::CpuCache), 6.2);
+        s.charge(CycleCategory::PageHeap, 12_916.7);
+        assert_eq!(s.ns(CycleCategory::PageHeap), 12_916.7);
     }
 
     #[test]

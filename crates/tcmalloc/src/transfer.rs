@@ -13,6 +13,7 @@
 //! stranding. Domain caches are activated lazily, "only as many ... as the
 //! application is scheduled on".
 
+use crate::events::{AllocEvent, EventBus, EvictReason};
 use crate::size_class::SizeClassTable;
 
 #[derive(Clone, Debug)]
@@ -127,10 +128,14 @@ impl Default for TransferConfig {
 ///     ..TransferConfig::default()
 /// };
 /// let mut tc = TransferCaches::new(&table, cfg);
-/// let spill = tc.stash(0, 3, vec![0x1000, 0x2000]);
+/// # use wsc_tcmalloc::{EventBus, TcmallocConfig};
+/// # use wsc_sim_hw::cost::CostModel;
+/// # use wsc_sim_os::clock::Clock;
+/// # let mut bus = EventBus::new(&TcmallocConfig::baseline(), CostModel::production(), Clock::new());
+/// let spill = tc.stash(0, 3, vec![0x1000, 0x2000], &mut bus);
 /// assert!(spill.is_empty());
 /// // The same shard gets its own objects back (cache-domain locality).
-/// assert_eq!(tc.fetch(0, 3, 2).len(), 2);
+/// assert_eq!(tc.fetch(0, 3, 2, &mut bus).len(), 2);
 /// ```
 #[derive(Clone, Debug)]
 pub struct TransferCaches {
@@ -163,8 +168,9 @@ impl TransferCaches {
 
     /// Takes up to `n` objects for `class`, preferring the caller's shard
     /// (LLC domain or NUMA node) in sharded modes. May return fewer than `n`
-    /// (caller goes to the central free list for the remainder).
-    pub fn fetch(&mut self, shard: usize, class: usize, n: usize) -> Vec<u64> {
+    /// (caller goes to the central free list for the remainder). A non-empty
+    /// result emits one [`AllocEvent::TransferHit`].
+    pub fn fetch(&mut self, shard: usize, class: usize, n: usize, bus: &mut EventBus) -> Vec<u64> {
         let mut out = if self.cfg.is_sharded() {
             self.shard_tier(shard)[class].remove(n)
         } else {
@@ -174,46 +180,90 @@ impl TransferCaches {
             let need = n - out.len();
             out.extend(self.central[class].remove(need));
         }
+        if !out.is_empty() {
+            bus.emit(AllocEvent::TransferHit {
+                shard,
+                class: class as u16,
+                count: out.len() as u32,
+            });
+        }
         out
     }
 
     /// Deposits freed objects for `class`. Returns the overflow that did not
-    /// fit anywhere (caller pushes it down to the central free list).
-    pub fn stash(&mut self, shard: usize, class: usize, objs: Vec<u64>) -> Vec<u64> {
+    /// fit anywhere (caller pushes it down to the central free list). Any
+    /// absorbed objects emit one [`AllocEvent::TransferInsert`] tagged with
+    /// the depositing shard.
+    pub fn stash(
+        &mut self,
+        shard: usize,
+        class: usize,
+        objs: Vec<u64>,
+        bus: &mut EventBus,
+    ) -> Vec<u64> {
+        let total = objs.len();
         let rest = if self.cfg.is_sharded() {
             self.shard_tier(shard)[class].insert(objs)
         } else {
             objs
         };
-        if rest.is_empty() {
-            return rest;
+        let spill = if rest.is_empty() {
+            rest
+        } else {
+            self.central[class].insert(rest)
+        };
+        let kept = total - spill.len();
+        if kept > 0 {
+            bus.emit(AllocEvent::TransferInsert {
+                shard,
+                class: class as u16,
+                count: kept as u32,
+            });
         }
-        self.central[class].insert(rest)
+        spill
     }
 
     /// Deposits objects directly into the central (legacy) cache, bypassing
     /// any domain tier — used for background evictions that have no owning
-    /// CPU. Returns the overflow.
-    pub fn stash_central(&mut self, class: usize, objs: Vec<u64>) -> Vec<u64> {
-        self.central[class].insert(objs)
+    /// CPU (the insert event is tagged shard 0). Returns the overflow.
+    pub fn stash_central(&mut self, class: usize, objs: Vec<u64>, bus: &mut EventBus) -> Vec<u64> {
+        let total = objs.len();
+        let spill = self.central[class].insert(objs);
+        let kept = total - spill.len();
+        if kept > 0 {
+            bus.emit(AllocEvent::TransferInsert {
+                shard: 0,
+                class: class as u16,
+                count: kept as u32,
+            });
+        }
+        spill
     }
 
     /// Periodic anti-stranding pass (§4.2: "we periodically release unused
     /// free objects in these transfer caches"): each domain cache returns
     /// its low-water residue — objects provably unused for a whole interval
     /// — to the central cache. Returns objects that did not fit centrally
-    /// (to be returned to the central free list), grouped by class.
-    pub fn plunder(&mut self) -> Vec<(usize, Vec<u64>)> {
+    /// (to be returned to the central free list), grouped by class. Each
+    /// plundered (shard, class) emits one [`AllocEvent::TransferEvict`].
+    pub fn plunder(&mut self, bus: &mut EventBus) -> Vec<(usize, Vec<u64>)> {
         let mut overflow = Vec::new();
         if !self.cfg.is_sharded() {
             return overflow;
         }
-        for tier in self.domains.iter_mut().flatten() {
+        for (shard, tier) in self.domains.iter_mut().enumerate() {
+            let Some(tier) = tier else { continue };
             for (cl, arr) in tier.iter_mut().enumerate() {
                 let moved = arr.reclaim();
                 if moved.is_empty() {
                     continue;
                 }
+                bus.emit(AllocEvent::TransferEvict {
+                    shard,
+                    class: cl as u16,
+                    count: moved.len() as u32,
+                    reason: EvictReason::Plunder,
+                });
                 let rest = self.central[cl].insert(moved);
                 if !rest.is_empty() {
                     overflow.push((cl, rest));
@@ -225,12 +275,19 @@ impl TransferCaches {
 
     /// Low-water reclaim for the central arrays: objects unused for a whole
     /// interval return to the central free list. Returns the evicted objects
-    /// grouped by class.
-    pub fn decay(&mut self) -> Vec<(usize, Vec<u64>)> {
+    /// grouped by class; each evicted class emits one
+    /// [`AllocEvent::TransferEvict`] (tagged shard 0 — the central arrays).
+    pub fn decay(&mut self, bus: &mut EventBus) -> Vec<(usize, Vec<u64>)> {
         let mut out: Vec<(usize, Vec<u64>)> = Vec::new();
         for (cl, arr) in self.central.iter_mut().enumerate() {
             let objs = arr.reclaim();
             if !objs.is_empty() {
+                bus.emit(AllocEvent::TransferEvict {
+                    shard: 0,
+                    class: cl as u16,
+                    count: objs.len() as u32,
+                    reason: EvictReason::Decay,
+                });
                 out.push((cl, objs));
             }
         }
@@ -311,9 +368,20 @@ impl TransferCaches {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::TcmallocConfig;
+    use wsc_sim_hw::cost::CostModel;
+    use wsc_sim_os::clock::Clock;
 
     fn table() -> SizeClassTable {
         SizeClassTable::production()
+    }
+
+    fn bus() -> EventBus {
+        EventBus::new(
+            &TcmallocConfig::baseline(),
+            CostModel::production(),
+            Clock::new(),
+        )
     }
 
     fn legacy() -> TransferCaches {
@@ -333,116 +401,158 @@ mod tests {
     #[test]
     fn legacy_round_trip() {
         let mut tc = legacy();
-        assert!(tc.stash(0, 1, vec![1, 2, 3]).is_empty());
-        let got = tc.fetch(1, 1, 3);
+        let mut b = bus();
+        assert!(tc.stash(0, 1, vec![1, 2, 3], &mut b).is_empty());
+        let got = tc.fetch(1, 1, 3, &mut b);
         assert_eq!(got.len(), 3, "legacy cache is shared across domains");
-        assert!(tc.fetch(0, 1, 1).is_empty());
+        assert!(tc.fetch(0, 1, 1, &mut b).is_empty());
     }
 
     #[test]
     fn nuca_prefers_local_domain() {
         let mut tc = nuca();
-        tc.stash(0, 1, vec![10]);
-        tc.stash(1, 1, vec![20]);
+        let mut b = bus();
+        tc.stash(0, 1, vec![10], &mut b);
+        tc.stash(1, 1, vec![20], &mut b);
         // Domain 0 gets its own object first.
-        assert_eq!(tc.fetch(0, 1, 1), vec![10]);
-        assert_eq!(tc.fetch(1, 1, 1), vec![20]);
+        assert_eq!(tc.fetch(0, 1, 1, &mut b), vec![10]);
+        assert_eq!(tc.fetch(1, 1, 1, &mut b), vec![20]);
     }
 
     #[test]
     fn nuca_falls_back_to_central() {
         let mut tc = nuca();
+        let mut b = bus();
         // Overfill domain 0 so the excess lands centrally.
         let cfg = TransferConfig::default();
         let batch = table().info(1).batch as usize;
         let cap = batch * cfg.domain_batches as usize;
         let objs: Vec<u64> = (0..(cap + 5) as u64).collect();
-        let spill = tc.stash(0, 1, objs);
+        let spill = tc.stash(0, 1, objs, &mut b);
         assert!(spill.is_empty(), "central absorbs the domain overflow");
         // Domain 1 has nothing local but can still pull from central.
-        let got = tc.fetch(1, 1, 3);
+        let got = tc.fetch(1, 1, 3, &mut b);
         assert_eq!(got.len(), 3);
     }
 
     #[test]
     fn overflow_to_caller_when_everything_full() {
         let mut tc = legacy();
+        let mut b = bus();
         let batch = table().info(1).batch as usize;
         let central_cap = batch * TransferConfig::default().central_batches as usize;
-        let spill = tc.stash(0, 1, (0..(central_cap + 7) as u64).collect());
+        let spill = tc.stash(0, 1, (0..(central_cap + 7) as u64).collect(), &mut b);
         assert_eq!(spill.len(), 7, "beyond capacity goes to the caller");
     }
 
     #[test]
     fn fetch_may_return_fewer() {
         let mut tc = legacy();
-        tc.stash(0, 2, vec![1, 2]);
-        assert_eq!(tc.fetch(0, 2, 10).len(), 2);
+        let mut b = bus();
+        tc.stash(0, 2, vec![1, 2], &mut b);
+        assert_eq!(tc.fetch(0, 2, 10, &mut b).len(), 2);
     }
 
     #[test]
     fn plunder_moves_half_of_idle_classes() {
         let mut tc = nuca();
-        tc.stash(0, 1, (0..8u64).collect());
+        let mut b = bus();
+        tc.stash(0, 1, (0..8u64).collect(), &mut b);
         // First pass only clears the "touched" mark (the class was active).
-        assert!(tc.plunder().is_empty());
+        assert!(tc.plunder(&mut b).is_empty());
         // Second pass finds the class idle and moves half centrally.
-        assert!(tc.plunder().is_empty());
-        let got = tc.fetch(3, 1, 4);
+        assert!(tc.plunder(&mut b).is_empty());
+        let got = tc.fetch(3, 1, 4, &mut b);
         assert_eq!(got.len(), 4, "idle half is reachable from other domains");
     }
 
     #[test]
     fn plunder_is_noop_for_legacy() {
         let mut tc = legacy();
-        tc.stash(0, 1, vec![1, 2, 3, 4]);
-        assert!(tc.plunder().is_empty());
-        assert_eq!(tc.fetch(0, 1, 4).len(), 4);
+        let mut b = bus();
+        tc.stash(0, 1, vec![1, 2, 3, 4], &mut b);
+        assert!(tc.plunder(&mut b).is_empty());
+        assert_eq!(tc.fetch(0, 1, 4, &mut b).len(), 4);
     }
 
     #[test]
     fn lazy_domain_activation() {
         let mut tc = nuca();
+        let mut b = bus();
         assert_eq!(tc.active_domains(), 0);
-        tc.stash(5, 0, vec![1]);
+        tc.stash(5, 0, vec![1], &mut b);
         assert_eq!(tc.active_domains(), 1, "only the used domain activates");
     }
 
     #[test]
     fn cached_bytes_accounting() {
         let mut tc = nuca();
+        let mut b = bus();
         let size = table().info(4).size;
-        tc.stash(0, 4, vec![1, 2, 3]);
+        tc.stash(0, 4, vec![1, 2, 3], &mut b);
         assert_eq!(tc.cached_bytes(), 3 * size);
-        let _ = tc.fetch(0, 4, 2);
+        let _ = tc.fetch(0, 4, 2, &mut b);
         assert_eq!(tc.cached_bytes(), size);
     }
 
     #[test]
     fn decay_reclaims_low_water_residue() {
         let mut tc = legacy();
-        tc.stash(0, 2, (0..8u64).collect());
+        let mut b = bus();
+        tc.stash(0, 2, (0..8u64).collect(), &mut b);
         // First pass: the low-water mark was 0 (array was empty at the
         // start of the interval), so nothing is reclaimable yet.
-        assert!(tc.decay().is_empty());
+        assert!(tc.decay(&mut b).is_empty());
         // Touch 3 objects during the interval: low water = 5.
-        let _ = tc.fetch(0, 2, 3);
-        tc.stash(0, 2, vec![90, 91, 92]);
-        let evicted = tc.decay();
+        let _ = tc.fetch(0, 2, 3, &mut b);
+        tc.stash(0, 2, vec![90, 91, 92], &mut b);
+        let evicted = tc.decay(&mut b);
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].0, 2);
         assert_eq!(evicted[0].1.len(), 5, "unused residue returned");
         // Fully-idle interval: everything left is residue.
-        let evicted = tc.decay();
+        let evicted = tc.decay(&mut b);
         assert_eq!(evicted[0].1.len(), 3);
         assert_eq!(tc.cached_bytes(), 0);
     }
 
     #[test]
+    fn evict_events_carry_shard_and_reason() {
+        let mut tc = nuca();
+        let mut b = EventBus::new(
+            &TcmallocConfig::baseline().with_event_recorder(),
+            CostModel::production(),
+            Clock::new(),
+        );
+        tc.stash(2, 1, (0..8u64).collect(), &mut b);
+        let _ = tc.plunder(&mut b); // clears the touched mark
+        let _ = tc.plunder(&mut b); // moves the idle residue
+        let evicts: Vec<_> = b
+            .recorded()
+            .iter()
+            .filter(|e| matches!(e, AllocEvent::TransferEvict { .. }))
+            .copied()
+            .collect();
+        assert!(
+            evicts.iter().any(|e| matches!(
+                e,
+                AllocEvent::TransferEvict {
+                    shard: 2,
+                    class: 1,
+                    reason: EvictReason::Plunder,
+                    ..
+                }
+            )),
+            "plunder evict tagged with the source shard: {evicts:?}"
+        );
+    }
+
+    #[test]
     fn flush_drains_everything() {
         let mut tc = nuca();
-        tc.stash(0, 1, vec![1, 2]);
-        tc.stash(2, 3, vec![4]);
+        let mut b = bus();
+        tc.stash(0, 1, vec![1, 2], &mut b);
+        tc.stash(2, 3, vec![4], &mut b);
         let drained: usize = tc.flush_all().iter().map(|(_, v)| v.len()).sum();
         assert_eq!(drained, 3);
         assert_eq!(tc.cached_bytes(), 0);

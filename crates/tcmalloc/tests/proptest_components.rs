@@ -4,6 +4,10 @@
 //! original proptest strategies).
 
 use wsc_prng::SmallRng;
+use wsc_sim_hw::cost::CostModel;
+use wsc_sim_os::clock::Clock;
+use wsc_tcmalloc::config::TcmallocConfig;
+use wsc_tcmalloc::events::EventBus;
 use wsc_tcmalloc::pageheap::{PageHeap, PageHeapConfig};
 use wsc_tcmalloc::size_class::{SizeClassTable, MAX_SMALL_SIZE};
 use wsc_tcmalloc::span::{Span, SpanRegistry};
@@ -103,17 +107,26 @@ fn registry_ids_stay_distinct() {
 
 // --- pageheap ---
 
+fn bus() -> EventBus {
+    EventBus::new(
+        &TcmallocConfig::baseline(),
+        CostModel::production(),
+        Clock::new(),
+    )
+}
+
 #[test]
 fn pageheap_ranges_never_overlap() {
     for case in 0..128u64 {
         let mut rng = SmallRng::seed_from_u64(0xC0A4 + case);
         let mut ph = PageHeap::new(PageHeapConfig::default());
+        let mut bus = bus();
         let mut live: Vec<(u64, u32)> = Vec::new();
         let reqs = rng.gen_range(1usize..60);
         for i in 0..reqs {
             let pages = rng.gen_range(1u32..600);
             let free_one = rng.gen::<bool>();
-            let (addr, _) = ph.alloc(pages, 8);
+            let (addr, _) = ph.alloc(pages, 8, &mut bus);
             let bytes = pages as u64 * 8192;
             for &(start, p) in &live {
                 let len = p as u64 * 8192;
@@ -125,12 +138,12 @@ fn pageheap_ranges_never_overlap() {
             live.push((addr, pages));
             if free_one && live.len() > 1 {
                 let (a, p) = live.swap_remove(i % live.len());
-                ph.dealloc(a, p);
+                ph.dealloc(a, p, &mut bus);
             }
         }
         // Everything deallocates cleanly.
         for (a, p) in live {
-            ph.dealloc(a, p);
+            ph.dealloc(a, p, &mut bus);
         }
         assert_eq!(ph.stats().total_used_bytes(), 0);
     }
@@ -146,24 +159,25 @@ fn pageheap_release_is_safe_at_any_point() {
             subrelease_grace_passes: 0,
             ..PageHeapConfig::default()
         });
+        let mut bus = bus();
         let count = rng.gen_range(1usize..40);
         let release_at = rng.gen_range(0usize..40);
         let mut live = Vec::new();
         for i in 0..count {
             let p = rng.gen_range(1u32..255);
-            let (addr, _) = ph.alloc(p, 8);
+            let (addr, _) = ph.alloc(p, 8, &mut bus);
             live.push((addr, p));
             if i == release_at {
                 // Free half, then force an aggressive release pass.
                 for (a, pp) in live.split_off(live.len() / 2) {
-                    ph.dealloc(a, pp);
+                    ph.dealloc(a, pp, &mut bus);
                 }
-                ph.background_release();
+                ph.background_release(&mut bus);
             }
         }
         // Survivors are still intact and freeable.
         for (a, p) in live {
-            ph.dealloc(a, p);
+            ph.dealloc(a, p, &mut bus);
         }
         assert_eq!(ph.stats().total_used_bytes(), 0);
     }

@@ -6,14 +6,26 @@
 //! original proptest strategies).
 
 use wsc_prng::SmallRng;
+use wsc_sim_hw::cost::CostModel;
+use wsc_sim_os::clock::Clock;
 use wsc_sim_os::rseq::VcpuId;
 use wsc_tcmalloc::central::CentralFreeList;
+use wsc_tcmalloc::config::TcmallocConfig;
+use wsc_tcmalloc::events::EventBus;
 use wsc_tcmalloc::pageheap::{PageHeap, PageHeapConfig};
 use wsc_tcmalloc::pagemap::PageMap;
 use wsc_tcmalloc::percpu::{FreeOutcome, PerCpuCaches};
 use wsc_tcmalloc::size_class::SizeClassTable;
 use wsc_tcmalloc::span::SpanRegistry;
 use wsc_tcmalloc::transfer::{TransferCaches, TransferConfig, TransferSharding};
+
+fn bus() -> EventBus {
+    EventBus::new(
+        &TcmallocConfig::baseline(),
+        CostModel::production(),
+        Clock::new(),
+    )
+}
 
 // --- central free list: random batch traffic, both L=1 and L=8 ---
 
@@ -28,13 +40,15 @@ fn central_free_list_conserves_objects() {
         let mut spans = SpanRegistry::new();
         let mut pagemap = PageMap::new();
         let mut pageheap = PageHeap::new(PageHeapConfig::default());
+        let mut bus = bus();
         let mut live: Vec<u64> = Vec::new();
         let ops = rng.gen_range(1usize..120);
         for i in 0..ops {
             let n = rng.gen_range(1usize..40);
             let alloc = rng.gen::<bool>();
             if alloc || live.is_empty() {
-                let (objs, _) = cfl.alloc_batch(n, &mut spans, &mut pagemap, &mut pageheap);
+                let (objs, _) =
+                    cfl.alloc_batch(n, &mut spans, &mut pagemap, &mut pageheap, &mut bus);
                 assert_eq!(objs.len(), n, "batch always filled (grows)");
                 for o in &objs {
                     assert!(!live.contains(o), "duplicate object");
@@ -44,7 +58,7 @@ fn central_free_list_conserves_objects() {
                 let k = (i * 31) % live.len();
                 let addr = live.swap_remove(k);
                 let id = pagemap.span_of(addr).expect("live object has a span");
-                cfl.dealloc(addr, id, &mut spans, &mut pagemap, &mut pageheap);
+                cfl.dealloc(addr, id, &mut spans, &mut pagemap, &mut pageheap, &mut bus);
             }
             // Conservation: live objects = sum of allocated over spans.
             let allocated: u64 = spans.iter().map(|(_, s)| s.allocated as u64).sum();
@@ -53,7 +67,7 @@ fn central_free_list_conserves_objects() {
         // Drain: every span must return to the pageheap.
         for addr in live {
             let id = pagemap.span_of(addr).expect("live object has a span");
-            cfl.dealloc(addr, id, &mut spans, &mut pagemap, &mut pageheap);
+            cfl.dealloc(addr, id, &mut spans, &mut pagemap, &mut pageheap, &mut bus);
         }
         assert_eq!(cfl.live_spans(), 0);
         assert_eq!(cfl.external_bytes(), 0);
@@ -71,20 +85,21 @@ fn percpu_budget_is_never_exceeded() {
         let budget = rng.gen_range(1024u64..(1 << 20));
         let table = SizeClassTable::production();
         let mut caches = PerCpuCaches::new(&table, budget);
+        let mut bus = bus();
         let mut counter = 0u64;
         let ops = rng.gen_range(1usize..300);
         for _ in 0..ops {
             let vcpu = VcpuId(rng.gen_range(0u32..4));
             let cl = rng.gen_range(0usize..30) % table.num_classes();
             if rng.gen::<bool>() {
-                if caches.alloc(vcpu, cl).is_none() {
+                if caches.alloc(vcpu, cl, &mut bus).is_none() {
                     counter += 1;
                     let objs: Vec<u64> = (0..8).map(|i| (counter * 100 + i) << 8).collect();
-                    let _ = caches.refill(vcpu, cl, objs);
+                    let _ = caches.refill(vcpu, cl, objs, &mut bus);
                 }
             } else {
                 counter += 1;
-                match caches.free(vcpu, cl, counter << 8) {
+                match caches.free(vcpu, cl, counter << 8, &mut bus) {
                     FreeOutcome::Cached => {}
                     FreeOutcome::Overflow(objs) => assert!(!objs.is_empty()),
                 }
@@ -119,6 +134,7 @@ fn transfer_tier_conserves_objects() {
             ..TransferConfig::default()
         };
         let mut tc = TransferCaches::new(&table, cfg);
+        let mut bus = bus();
         let cl = table.class_for(128).expect("128 B is a small size");
         let mut in_tier = 0usize;
         let mut counter = 0u64;
@@ -133,10 +149,10 @@ fn transfer_tier_conserves_objects() {
                         (counter + i) << 7
                     })
                     .collect();
-                let overflow = tc.stash(shard, cl, objs);
+                let overflow = tc.stash(shard, cl, objs, &mut bus);
                 in_tier += n - overflow.len();
             } else {
-                let got = tc.fetch(shard, cl, n);
+                let got = tc.fetch(shard, cl, n, &mut bus);
                 assert!(got.len() <= n);
                 in_tier -= got.len();
             }

@@ -19,6 +19,13 @@
 //!    should prefer indexed arrays — the radix pagemap replaced the
 //!    per-page map precisely so it passes this rule structurally, not by
 //!    accident.
+//! 5. **Direct attribution** — `CycleStats::charge` /
+//!    `AllocationProfile::record_alloc` / `record_lifetime` calls outside
+//!    the event-bus-sanctioned paths (`events.rs`, `stats.rs`, and the
+//!    sanitizer/telemetry crates that *implement* the consumers). Cycle
+//!    and profile attribution must flow through `AllocEvent` emission, so
+//!    one stream stays the single source of truth; a tier charging stats
+//!    by hand would silently drift from what the sinks derive.
 //!
 //! The lint scans the deterministic core (`sim-*`, `tcmalloc`, `fleet`,
 //! `sanitizer`, `workload`, `telemetry`, `prng`) line by line. A finding on
@@ -47,12 +54,23 @@ const SCOPED_CRATES: &[&str] = &[
     "crates/parallel",
 ];
 
+/// Paths where direct `charge`/`record_alloc`/`record_lifetime` calls are
+/// legitimate: the event sinks themselves, and the crates that implement
+/// (and unit-test) the consumers the sinks drive.
+const ATTRIBUTION_SANCTIONED: &[&str] = &[
+    "crates/tcmalloc/src/events.rs",
+    "crates/tcmalloc/src/stats.rs",
+    "crates/sanitizer/",
+    "crates/telemetry/",
+];
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Rule {
     WallClock,
     AmbientRng,
     HashMapIter,
     HashMapDecl,
+    DirectAttribution,
 }
 
 impl Rule {
@@ -62,6 +80,7 @@ impl Rule {
             Rule::AmbientRng => "ambient-rng",
             Rule::HashMapIter => "hashmap-iter",
             Rule::HashMapDecl => "hashmap-decl",
+            Rule::DirectAttribution => "direct-attribution",
         }
     }
 }
@@ -190,7 +209,20 @@ fn scan_file(path: &Path, src: &str, findings: &mut Vec<Finding>) {
         if declares_hashmap(&code) {
             hit(Rule::HashMapDecl);
         }
+        if !attribution_sanctioned(path)
+            && (code.contains(".charge(")
+                || code.contains(".record_alloc(")
+                || code.contains(".record_lifetime("))
+        {
+            hit(Rule::DirectAttribution);
+        }
     }
+}
+
+/// Is this file allowed to call the attribution consumers directly?
+fn attribution_sanctioned(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    ATTRIBUTION_SANCTIONED.iter().any(|s| p.contains(s))
 }
 
 /// Does this line *declare* a `HashMap` binding (struct field or `let`)?
