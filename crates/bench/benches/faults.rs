@@ -1,0 +1,183 @@
+//! Fault-injection bench: the Fig. 7 fleet-mix churn loop under seeded
+//! kernel fault storms at three rates — 0 (healthy), 1e-4, and 1e-2 per
+//! syscall — plus a dedicated recovery measurement after a total THP
+//! outage.
+//!
+//! Reported per rate: allocator throughput, end-of-run hugepage coverage,
+//! refused allocations, and injected-fault counts. The recovery phase
+//! measures how much *simulated* time (and how many background maintenance
+//! passes) the khugepaged-style re-promotion needs to clear the degraded
+//! state once the storm window closes. Emits `BENCH_faults.json`.
+//!
+//! The healthy run doubles as a regression guard for the determinism
+//! contract: an all-zero fault plan must inject nothing and refuse nothing.
+
+use std::hint::black_box;
+use std::time::Instant;
+use wsc_bench::harness::JsonReport;
+use wsc_bench::Scale;
+use wsc_prng::SmallRng;
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::clock::{Clock, NS_PER_SEC};
+use wsc_sim_os::faults::{FaultPlan, PPM};
+use wsc_tcmalloc::{Tcmalloc, TcmallocConfig};
+use wsc_workload::profiles;
+
+/// Cargo runs benches with cwd = the package dir; anchor the report to the
+/// workspace root so CI finds it at a fixed path.
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+
+/// Per-syscall fault rates under test, parts per million.
+const RATES_PPM: [u32; 3] = [0, 100, 10_000];
+
+/// Simulated interval between background maintenance passes during the
+/// post-storm recovery measurement.
+const MAINT_INTERVAL_NS: u64 = 10_000_000; // 10 ms
+
+/// One storm-churn run at a uniform per-syscall fault rate.
+struct ChurnOut {
+    mops: f64,
+    coverage: f64,
+    refused: u64,
+    injected: u64,
+}
+
+fn churn(ops: u64, rate_ppm: u32) -> ChurnOut {
+    let spec = profiles::fleet_mix();
+    let mut rng = SmallRng::seed_from_u64(0xFA);
+    let clock = Clock::new();
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let plan = FaultPlan {
+        enomem_ppm: rate_ppm,
+        deny_huge_ppm: rate_ppm,
+        subrelease_fail_ppm: rate_ppm,
+        latency_spike_ppm: rate_ppm,
+        latency_spike_ns: 100_000,
+        ..FaultPlan::off()
+    }
+    .with_seed(0xFA11)
+    .with_storm(0, u64::MAX);
+    let mut tcm = Tcmalloc::new(
+        TcmallocConfig::optimized().with_os_faults(plan),
+        platform,
+        clock.clone(),
+    );
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let mut refused = 0u64;
+    let t = Instant::now();
+    for i in 0..ops {
+        clock.advance(500);
+        let cpu = CpuId((i % 16) as u32);
+        if live.len() > 2_000 || (!live.is_empty() && rng.gen::<f64>() < 0.45) {
+            let k = rng.gen_range(0..live.len());
+            let (addr, size) = live.swap_remove(k);
+            tcm.free(addr, size, cpu);
+        } else {
+            let (size, _) = spec.sample_size(clock.now_ns(), &mut rng);
+            match tcm.try_malloc(black_box(size), cpu) {
+                Ok(a) => live.push((a.addr, size)),
+                // A refusal degrades the request, never the run.
+                Err(_) => refused += 1,
+            }
+        }
+        tcm.maintain();
+    }
+    let ns = t.elapsed().as_nanos() as f64;
+    let coverage = tcm.hugepage_coverage();
+    let stats = tcm.fault_stats();
+    let injected =
+        stats.enomem_injected + stats.huge_denied + stats.subrelease_failed + stats.latency_spikes;
+    for (addr, size) in live {
+        tcm.free(addr, size, CpuId(0));
+    }
+    ChurnOut {
+        mops: ops as f64 * 1e3 / ns.max(1.0),
+        coverage,
+        refused,
+        injected,
+    }
+}
+
+/// Recovery after a total THP outage: every mapping during the storm comes
+/// back 4 KiB-backed; once the window closes, background maintenance
+/// re-promotes. Returns (simulated ns past storm end until the degraded
+/// state clears, maintenance passes that took).
+fn thp_recovery() -> (u64, u64) {
+    let storm_end = NS_PER_SEC;
+    let clock = Clock::new();
+    let plan = FaultPlan {
+        deny_huge_ppm: PPM,
+        ..FaultPlan::off()
+    }
+    .with_seed(7)
+    .with_storm(0, storm_end);
+    let mut tcm = Tcmalloc::new(
+        TcmallocConfig::baseline().with_os_faults(plan),
+        Platform::chiplet("bench", 1, 2, 4, 2),
+        clock.clone(),
+    );
+    let live: Vec<u64> = (0..8).map(|_| tcm.malloc(4 << 20, CpuId(0)).addr).collect();
+    assert!(tcm.os_degraded(), "total outage must degrade the OS layer");
+    assert_eq!(tcm.hugepage_coverage(), 0.0, "no THP backing mid-outage");
+    clock.advance(storm_end - clock.now_ns());
+    let mut passes = 0u64;
+    while tcm.os_degraded() {
+        assert!(passes < 10_000, "re-promotion never converged");
+        clock.advance(MAINT_INTERVAL_NS);
+        tcm.maintain();
+        passes += 1;
+    }
+    let recovery = clock.now_ns() - storm_end;
+    assert_eq!(tcm.hugepage_coverage(), 1.0, "coverage fully rebuilt");
+    for addr in live {
+        tcm.free(addr, 4 << 20, CpuId(0));
+    }
+    (recovery, passes)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ops = scale.requests;
+    println!("== fault-injection: fleet-mix churn under storms, {ops} ops ==");
+
+    let mut report = JsonReport::new();
+    report
+        .text("bench", "faults/storm-churn")
+        .text("scale", scale.name)
+        .int("ops", ops);
+    for rate in RATES_PPM {
+        let out = churn(ops, rate);
+        println!(
+            "rate {rate:>6} ppm  {:>7.2} Mops/s  coverage {:.3}  refused {}  injected {}",
+            out.mops, out.coverage, out.refused, out.injected
+        );
+        if rate == 0 {
+            // The zero plan is the golden-figure contract: nothing fires.
+            assert_eq!(out.injected, 0, "zero-rate plan injected faults");
+            assert_eq!(out.refused, 0, "zero-rate plan refused allocations");
+        }
+        assert!(
+            (0.0..=1.0).contains(&out.coverage),
+            "coverage out of range at {rate} ppm"
+        );
+        report
+            .num(&format!("churn_mops_{rate}ppm"), out.mops)
+            .num(&format!("hugepage_coverage_{rate}ppm"), out.coverage)
+            .int(&format!("refused_allocs_{rate}ppm"), out.refused)
+            .int(&format!("faults_injected_{rate}ppm"), out.injected);
+    }
+
+    let (recovery_ns, passes) = thp_recovery();
+    println!(
+        "thp-outage recovery: {:.1} ms simulated, {passes} maintenance pass(es)",
+        recovery_ns as f64 / 1e6
+    );
+    report
+        .num("thp_recovery_sim_ms", recovery_ns as f64 / 1e6)
+        .int("thp_recovery_maintain_passes", passes)
+        .flag("zero_rate_plan_inert", true);
+    report
+        .write(OUT_PATH)
+        .unwrap_or_else(|e| panic!("writing {OUT_PATH}: {e}"));
+    println!("wrote {OUT_PATH}");
+}

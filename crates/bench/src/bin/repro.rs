@@ -36,6 +36,7 @@ const IDS: &[&str] = &[
     "fig17",
     "combined",
     "ablations",
+    "faults",
 ];
 
 /// Strips `--threads N` / `--threads=N` from `args`, returning the
@@ -194,6 +195,9 @@ fn main() {
             }
             "ablations" => {
                 ex::ablations(&scale);
+            }
+            "faults" => {
+                ex::faults(&scale);
             }
             _ => unreachable!("validated above"),
         }

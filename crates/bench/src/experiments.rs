@@ -1042,6 +1042,87 @@ pub fn combined(scale: &Scale, singles: &[Comparison]) -> (Comparison, rollout::
     (fleet, est)
 }
 
+/// Robustness under injected kernel failure: the Fig. 7 fleet mix driven
+/// through every named fault storm (whole-run window), compared against a
+/// healthy reference run with the same seed. `WSC_FAULT_STORM=<name>`
+/// restricts the sweep to one catalogued storm.
+///
+/// Returns `(storm, throughput relative to healthy %, hugepage coverage,
+/// refused allocations)` per storm.
+pub fn faults(scale: &Scale) -> Vec<(String, f64, f64, u64)> {
+    use wsc_sim_os::faults::FaultPlan;
+    println!("== Fault storms: fleet mix under injected kernel failure ==");
+    let platform = chiplet();
+    let filter = std::env::var("WSC_FAULT_STORM").ok();
+    let names: Vec<&str> = FaultPlan::NAMED
+        .iter()
+        .copied()
+        .filter(|n| filter.as_deref().is_none_or(|f| f == *n))
+        .collect();
+    assert!(
+        !names.is_empty(),
+        "WSC_FAULT_STORM={filter:?} names no catalogued storm (known: {})",
+        FaultPlan::NAMED.join(", ")
+    );
+    let seed = scale.seeds[0];
+    let cfg_for = |name: Option<&str>| {
+        let base = TcmallocConfig::baseline();
+        match name {
+            None => base,
+            Some(n) => base.with_os_faults(
+                FaultPlan::named(n, seed)
+                    .expect("catalogued storm")
+                    .with_storm(0, u64::MAX),
+            ),
+        }
+    };
+    let jobs: Vec<RunJob> = std::iter::once(None)
+        .chain(names.iter().map(|&n| Some(n)))
+        .map(|name| RunJob {
+            spec: profiles::fleet_mix(),
+            platform: platform.clone(),
+            tcm_cfg: cfg_for(name),
+            dcfg: DriverConfig::new(scale.requests, seed, &platform),
+        })
+        .collect();
+    let rows = driver::run_batch(&scale.engine, jobs, |r, tcm| {
+        let s = tcm.fault_stats();
+        (
+            r.throughput,
+            tcm.hugepage_coverage(),
+            r.failed_allocs,
+            s.enomem_injected + s.huge_denied + s.subrelease_failed + s.latency_spikes,
+        )
+    })
+    .unwrap_or_else(|e| panic!("fault-storm batch aborted: {e}"));
+    let healthy = rows[0].0;
+    let mut t = Table::new(vec![
+        "storm",
+        "throughput vs healthy",
+        "hugepage coverage",
+        "refused allocs",
+        "faults injected",
+    ]);
+    let mut out = Vec::new();
+    for (name, &(thr, cov, refused, injected)) in std::iter::once("healthy")
+        .chain(names.iter().copied())
+        .zip(&rows)
+    {
+        let rel = thr / healthy * 100.0;
+        t.row(vec![
+            name.into(),
+            f2(rel) + "%",
+            f3(cov),
+            refused.to_string(),
+            injected.to_string(),
+        ]);
+        out.push((name.to_string(), rel, cov, refused));
+    }
+    println!("{}", t.render());
+    println!("every storm run completes and stays serviceable: refusals degrade the request, never the run\n");
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Ablations (§4.3 "L = 8 lists are sufficient", §4.4 "C = 16", §5 NUMA)
 // ---------------------------------------------------------------------------

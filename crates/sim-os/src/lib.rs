@@ -25,22 +25,28 @@
 //! use wsc_sim_os::addr::HUGE_PAGE_BYTES;
 //!
 //! let mut vmm = Vmm::new();
-//! let addr = vmm.mmap(HUGE_PAGE_BYTES);
-//! assert_eq!(addr % HUGE_PAGE_BYTES, 0, "hugepage aligned");
-//! assert!(vmm.page_table().is_huge_backed(addr));
+//! let grant = vmm.mmap(HUGE_PAGE_BYTES).expect("no fault plan attached");
+//! assert_eq!(grant.addr % HUGE_PAGE_BYTES, 0, "hugepage aligned");
+//! assert!(vmm.page_table().is_huge_backed(grant.addr));
 //! ```
+//!
+//! A fourth contract is that the kernel may *refuse* to cooperate: [`faults`]
+//! models ENOMEM, THP compaction failure, flaky `madvise`, and latency
+//! spikes as a seeded, deterministic [`faults::FaultPlan`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
 pub mod clock;
+pub mod faults;
 pub mod pagetable;
 pub mod rseq;
 pub mod sched;
 pub mod vmm;
 
 pub use clock::Clock;
+pub use faults::{FaultInjector, FaultPlan, FaultStats, OsError};
 pub use rseq::VcpuRegistry;
 pub use sched::Scheduler;
-pub use vmm::Vmm;
+pub use vmm::{MmapGrant, Vmm};

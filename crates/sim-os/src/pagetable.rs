@@ -10,6 +10,7 @@
 //! hugepages.
 
 use crate::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
+use crate::faults::OsError;
 use std::collections::BTreeMap;
 use wsc_sim_hw::tlb::PageSize;
 
@@ -21,6 +22,12 @@ const MASK_WORDS: usize = (TCMALLOC_PAGES_PER_HUGE as usize) / 64;
 struct HugeState {
     /// Still backed by a single 2 MiB hugepage?
     huge: bool,
+    /// THP compaction failed at `mmap` time: the region has always been
+    /// 4 KiB-backed and is eligible for khugepaged-style collapse once it
+    /// is fully resident. Subrelease-broken hugepages (`denied == false`,
+    /// `huge == false`) are *not* eligible — the kernel never transparently
+    /// rebuilds those, which is the §3 degradation story.
+    denied: bool,
     /// For broken hugepages: bitmask of *released* (non-resident) TCMalloc
     /// pages. All-zero while `huge` is true.
     released: [u64; MASK_WORDS],
@@ -30,6 +37,15 @@ impl HugeState {
     fn new_huge() -> Self {
         Self {
             huge: true,
+            denied: false,
+            released: [0; MASK_WORDS],
+        }
+    }
+
+    fn new_denied() -> Self {
+        Self {
+            huge: false,
+            denied: true,
             released: [0; MASK_WORDS],
         }
     }
@@ -56,7 +72,7 @@ impl HugeState {
 /// pt.on_mmap(0, HUGE_PAGE_BYTES);
 /// assert!(pt.is_huge_backed(0));
 /// assert!((pt.hugepage_coverage() - 1.0).abs() < 1e-12);
-/// pt.subrelease(0, 8 * 1024); // break the hugepage
+/// pt.subrelease(0, 8 * 1024).expect("range is mapped"); // break the hugepage
 /// assert!(!pt.is_huge_backed(0));
 /// assert!(pt.hugepage_coverage() < 1.0);
 /// ```
@@ -86,8 +102,27 @@ impl PageTable {
     ///
     /// Panics on misaligned arguments or double-mapping.
     pub fn on_mmap(&mut self, addr: u64, len: u64) {
+        self.on_mmap_backed(addr, len, true);
+    }
+
+    /// Registers a new hugepage-aligned mapping with explicit backing:
+    /// `huge = false` models THP compaction failure, where the kernel grants
+    /// the mapping but backs it with base pages (fully resident, zero
+    /// hugepage coverage) until a later collapse [`promote`]s it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned arguments or double-mapping.
+    ///
+    /// [`promote`]: Self::promote
+    pub fn on_mmap_backed(&mut self, addr: u64, len: u64, huge: bool) {
         for hp in Self::for_each_hugepage(addr, len) {
-            let prev = self.regions.insert(hp, HugeState::new_huge());
+            let state = if huge {
+                HugeState::new_huge()
+            } else {
+                HugeState::new_denied()
+            };
+            let prev = self.regions.insert(hp, state);
             assert!(prev.is_none(), "double mmap of hugepage {hp}");
         }
     }
@@ -110,26 +145,38 @@ impl PageTable {
     /// touched hugepage is split into base pages and the range becomes
     /// non-resident.
     ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::UnmappedRange`] (naming the first offending
+    /// hugepage) if any part of the range is not mapped; nothing is applied
+    /// in that case, so a stray subrelease is reportable, not fatal.
+    ///
     /// # Panics
     ///
-    /// Panics on misaligned arguments or if the range is not mapped.
-    pub fn subrelease(&mut self, addr: u64, len: u64) {
+    /// Panics on misaligned arguments (an allocator bug, not an OS outcome).
+    pub fn subrelease(&mut self, addr: u64, len: u64) -> Result<(), OsError> {
         assert!(
             addr.is_multiple_of(TCMALLOC_PAGE_BYTES) && len.is_multiple_of(TCMALLOC_PAGE_BYTES),
             "subrelease must be TCMalloc-page-granular"
         );
         let first = addr / TCMALLOC_PAGE_BYTES;
         let last = (addr + len) / TCMALLOC_PAGE_BYTES;
+        // Validate the whole range before touching anything: EINVAL leaves
+        // the page table exactly as it was.
         for page in first..last {
             let hp = page / TCMALLOC_PAGES_PER_HUGE;
-            let state = self
-                .regions
-                .get_mut(&hp)
-                .unwrap_or_else(|| panic!("subrelease of unmapped hugepage {hp}"));
+            if !self.regions.contains_key(&hp) {
+                return Err(OsError::UnmappedRange(hp));
+            }
+        }
+        for page in first..last {
+            let hp = page / TCMALLOC_PAGES_PER_HUGE;
+            let state = self.regions.get_mut(&hp).expect("validated above");
             state.huge = false;
             let bit = (page % TCMALLOC_PAGES_PER_HUGE) as usize;
             state.released[bit / 64] |= 1 << (bit % 64);
         }
+        Ok(())
     }
 
     /// The application touches a previously-subreleased range again: the
@@ -146,6 +193,42 @@ impl PageTable {
                 state.released[bit / 64] &= !(1 << (bit % 64));
             }
         }
+    }
+
+    /// khugepaged-style collapse: rebuilds hugepage backing for the region
+    /// containing `addr`, but only if the region was *denied* hugepage
+    /// backing at `mmap` time and is currently fully resident. Returns
+    /// whether the promotion happened. Subrelease-broken hugepages never
+    /// promote (the kernel does not rebuild those, §3).
+    pub fn promote(&mut self, addr: u64) -> bool {
+        match self.regions.get_mut(&(addr / HUGE_PAGE_BYTES)) {
+            Some(s) if s.denied && s.released_pages() == 0 => {
+                s.huge = true;
+                s.denied = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Was the hugepage containing `addr` denied hugepage backing at `mmap`
+    /// time (and not yet collapsed back)?
+    pub fn is_denied(&self, addr: u64) -> bool {
+        self.regions
+            .get(&(addr / HUGE_PAGE_BYTES))
+            .is_some_and(|s| s.denied)
+    }
+
+    /// Is every TCMalloc page of the hugepage containing `addr` resident?
+    pub fn is_fully_resident(&self, addr: u64) -> bool {
+        self.regions
+            .get(&(addr / HUGE_PAGE_BYTES))
+            .is_some_and(|s| s.released_pages() == 0)
+    }
+
+    /// Number of mapped hugepage regions currently denied hugepage backing.
+    pub fn denied_hugepages(&self) -> u64 {
+        self.regions.values().filter(|s| s.denied).count() as u64
     }
 
     /// Is the hugepage containing `addr` still backed by a real hugepage?
@@ -241,7 +324,7 @@ mod tests {
     fn subrelease_breaks_hugepage_and_coverage_drops() {
         let mut pt = PageTable::new();
         pt.on_mmap(0, 2 * HP);
-        pt.subrelease(0, 4 * TP);
+        pt.subrelease(0, 4 * TP).unwrap();
         assert!(!pt.is_huge_backed(0));
         assert!(pt.is_huge_backed(HP), "second hugepage untouched");
         assert_eq!(pt.resident_bytes(), 2 * HP - 4 * TP);
@@ -254,7 +337,7 @@ mod tests {
     fn reoccupy_restores_residency_not_hugeness() {
         let mut pt = PageTable::new();
         pt.on_mmap(0, HP);
-        pt.subrelease(0, HP);
+        pt.subrelease(0, HP).unwrap();
         assert_eq!(pt.resident_bytes(), 0);
         pt.reoccupy(0, HP);
         assert_eq!(pt.resident_bytes(), HP);
@@ -283,7 +366,7 @@ mod tests {
         let mut pt = PageTable::new();
         pt.on_mmap(0, HP);
         assert_eq!(pt.page_size_of(100), PageSize::Huge2M);
-        pt.subrelease(0, TP);
+        pt.subrelease(0, TP).unwrap();
         assert_eq!(pt.page_size_of(100), PageSize::Base4K);
         assert_eq!(pt.page_size_of(HP * 99), PageSize::Base4K);
     }

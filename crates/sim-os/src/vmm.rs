@@ -8,6 +8,8 @@
 //! the cost model can charge them.
 
 use crate::addr::{align_up, HUGE_PAGE_BYTES};
+use crate::clock::Clock;
+use crate::faults::{FaultInjector, FaultPlan, FaultStats, OsError};
 use crate::pagetable::PageTable;
 use std::collections::BTreeSet;
 
@@ -24,11 +26,27 @@ pub struct VmmStats {
     pub mmap_bytes: u64,
 }
 
+/// A successful `mmap`: the granted range plus how the kernel actually
+/// behaved — whether THP backed it with hugepages and any injected latency
+/// excursion (charged through the cost model by the caller).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MmapGrant {
+    /// Hugepage-aligned base address of the mapping.
+    pub addr: u64,
+    /// True if every 2 MiB of the mapping is hugepage-backed; false means
+    /// THP compaction failed and the range came back 4 KiB-backed.
+    pub huge_backed: bool,
+    /// Injected syscall latency beyond the nominal `mmap` cost, ns.
+    pub latency_ns: u64,
+}
+
 /// Simulated per-process virtual memory manager.
 ///
 /// Virtual addresses start at a canonical heap base and grow upward;
 /// `munmap`ed ranges are not recycled (matching how TCMalloc treats its
-/// address space as plentiful on 64-bit).
+/// address space as plentiful on 64-bit). A [`FaultInjector`] can ride
+/// along ([`Vmm::with_faults`]) to deny or degrade calls deterministically;
+/// without one every call succeeds, exactly as before.
 ///
 /// # Example
 ///
@@ -37,9 +55,10 @@ pub struct VmmStats {
 /// use wsc_sim_os::addr::HUGE_PAGE_BYTES;
 ///
 /// let mut vmm = Vmm::new();
-/// let a = vmm.mmap(10); // rounded up to one hugepage
-/// let b = vmm.mmap(3 * HUGE_PAGE_BYTES);
-/// assert_ne!(a, b);
+/// let a = vmm.mmap(10).expect("no fault plan attached"); // rounded up to one hugepage
+/// let b = vmm.mmap(3 * HUGE_PAGE_BYTES).expect("no fault plan attached");
+/// assert_ne!(a.addr, b.addr);
+/// assert!(a.huge_backed);
 /// assert_eq!(vmm.mapped_bytes(), 4 * HUGE_PAGE_BYTES);
 /// ```
 #[derive(Clone, Debug)]
@@ -48,30 +67,65 @@ pub struct Vmm {
     mapped: BTreeSet<u64>, // hugepage indices
     page_table: PageTable,
     stats: VmmStats,
+    faults: Option<FaultInjector>,
 }
 
 /// Base of the simulated heap (an arbitrary canonical user-space address).
 pub const HEAP_BASE: u64 = 0x7f00_0000_0000;
 
 impl Vmm {
-    /// Creates an empty address space.
+    /// Creates an empty address space with an infallible kernel.
     pub fn new() -> Self {
         Self {
             next_addr: HEAP_BASE,
             mapped: BTreeSet::new(),
             page_table: PageTable::new(),
             stats: VmmStats::default(),
+            faults: None,
         }
     }
 
+    /// Creates an empty address space whose kernel injects faults per
+    /// `plan`, judging storm windows against the simulation `clock`.
+    pub fn with_faults(plan: FaultPlan, clock: Clock) -> Self {
+        let mut vmm = Self::new();
+        vmm.faults = Some(FaultInjector::new(plan, clock));
+        vmm
+    }
+
+    /// Injection counters, if a fault plan is attached.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::stats)
+            .unwrap_or_default()
+    }
+
     /// Maps `len` bytes (rounded up to whole hugepages), hugepage-aligned
-    /// and zero-initialized. Returns the base address.
+    /// and zero-initialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::Enomem`] when the fault plan denies the call; the
+    /// address space is unchanged. Without a plan the call always succeeds.
     ///
     /// # Panics
     ///
     /// Panics if `len` is zero.
-    pub fn mmap(&mut self, len: u64) -> u64 {
+    pub fn mmap(&mut self, len: u64) -> Result<MmapGrant, OsError> {
         assert!(len > 0, "mmap of zero bytes");
+        let (huge_backed, latency_ns) = match self.faults.as_mut() {
+            Some(inj) => {
+                let d = inj.on_mmap();
+                if d.deny {
+                    // A failed syscall is still a syscall.
+                    self.stats.mmap_calls += 1;
+                    return Err(OsError::Enomem);
+                }
+                (d.huge_backed, d.latency_ns)
+            }
+            None => (true, 0),
+        };
         let len = align_up(len, HUGE_PAGE_BYTES);
         let addr = self.next_addr;
         self.next_addr += len;
@@ -79,10 +133,14 @@ impl Vmm {
             let inserted = self.mapped.insert(hp);
             debug_assert!(inserted, "bump allocator never reuses addresses");
         }
-        self.page_table.on_mmap(addr, len);
+        self.page_table.on_mmap_backed(addr, len, huge_backed);
         self.stats.mmap_calls += 1;
         self.stats.mmap_bytes += len;
-        addr
+        Ok(MmapGrant {
+            addr,
+            huge_backed,
+            latency_ns,
+        })
     }
 
     /// Unmaps a hugepage-granular range previously returned by [`mmap`].
@@ -107,15 +165,45 @@ impl Vmm {
 
     /// Subreleases (`madvise(DONTNEED)`) a TCMalloc-page-granular range:
     /// memory is returned to the OS but the mapping stays, with any touched
-    /// hugepages broken into base pages.
-    pub fn subrelease(&mut self, addr: u64, len: u64) {
-        self.page_table.subrelease(addr, len);
+    /// hugepages broken into base pages. On success, returns any injected
+    /// latency (ns) for the caller to charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::SubreleaseFailed`] when the fault plan fails the
+    /// call, or [`OsError::UnmappedRange`] for a stray subrelease of an
+    /// unmapped range; residency is unchanged in both cases.
+    pub fn subrelease(&mut self, addr: u64, len: u64) -> Result<u64, OsError> {
+        let latency_ns = match self.faults.as_mut() {
+            Some(inj) => {
+                let d = inj.on_subrelease();
+                if d.fail {
+                    self.stats.madvise_calls += 1;
+                    return Err(OsError::SubreleaseFailed);
+                }
+                d.latency_ns
+            }
+            None => 0,
+        };
+        self.page_table.subrelease(addr, len)?;
         self.stats.madvise_calls += 1;
+        Ok(latency_ns)
     }
 
     /// Marks a range as touched again after subrelease (page-fault back in).
     pub fn reoccupy(&mut self, addr: u64, len: u64) {
         self.page_table.reoccupy(addr, len);
+    }
+
+    /// khugepaged-style collapse attempt on the (denied, fully resident)
+    /// hugepage region containing `addr`. The fault plan may veto it;
+    /// returns whether hugepage backing was rebuilt.
+    pub fn collapse_huge(&mut self, addr: u64) -> bool {
+        if !self.page_table.is_denied(addr) || !self.page_table.is_fully_resident(addr) {
+            return false;
+        }
+        let allowed = self.faults.as_mut().is_none_or(FaultInjector::on_collapse);
+        allowed && self.page_table.promote(addr)
     }
 
     /// Currently mapped bytes.
@@ -145,11 +233,17 @@ impl Default for Vmm {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::faults::PPM;
+
+    /// mmap that must succeed (fault-free or between storms).
+    fn mmap_ok(vmm: &mut Vmm, len: u64) -> u64 {
+        vmm.mmap(len).expect("mmap granted").addr
+    }
 
     #[test]
     fn mmap_alignment_and_rounding() {
         let mut vmm = Vmm::new();
-        let a = vmm.mmap(1);
+        let a = mmap_ok(&mut vmm, 1);
         assert_eq!(a % HUGE_PAGE_BYTES, 0);
         assert_eq!(vmm.mapped_bytes(), HUGE_PAGE_BYTES);
         assert_eq!(vmm.stats().mmap_calls, 1);
@@ -161,7 +255,7 @@ mod tests {
         let mut vmm = Vmm::new();
         let mut ranges = Vec::new();
         for len in [1u64, HUGE_PAGE_BYTES, 5 * HUGE_PAGE_BYTES, 100] {
-            let a = vmm.mmap(len);
+            let a = mmap_ok(&mut vmm, len);
             let l = align_up(len, HUGE_PAGE_BYTES);
             for &(b, bl) in &ranges {
                 assert!(a + l <= b || b + bl <= a, "overlap");
@@ -173,7 +267,7 @@ mod tests {
     #[test]
     fn munmap_releases() {
         let mut vmm = Vmm::new();
-        let a = vmm.mmap(2 * HUGE_PAGE_BYTES);
+        let a = mmap_ok(&mut vmm, 2 * HUGE_PAGE_BYTES);
         vmm.munmap(a, HUGE_PAGE_BYTES);
         assert_eq!(vmm.mapped_bytes(), HUGE_PAGE_BYTES);
         assert!(!vmm.page_table().is_mapped(a));
@@ -184,7 +278,7 @@ mod tests {
     #[should_panic(expected = "unmapped")]
     fn double_munmap_panics() {
         let mut vmm = Vmm::new();
-        let a = vmm.mmap(HUGE_PAGE_BYTES);
+        let a = mmap_ok(&mut vmm, HUGE_PAGE_BYTES);
         vmm.munmap(a, HUGE_PAGE_BYTES);
         vmm.munmap(a, HUGE_PAGE_BYTES);
     }
@@ -192,9 +286,75 @@ mod tests {
     #[test]
     fn subrelease_counts_and_breaks() {
         let mut vmm = Vmm::new();
-        let a = vmm.mmap(HUGE_PAGE_BYTES);
-        vmm.subrelease(a, 8192);
+        let a = mmap_ok(&mut vmm, HUGE_PAGE_BYTES);
+        vmm.subrelease(a, 8192).expect("mapped range");
         assert_eq!(vmm.stats().madvise_calls, 1);
+        assert!(!vmm.page_table().is_huge_backed(a));
+    }
+
+    #[test]
+    fn stray_subrelease_is_an_error_not_a_panic() {
+        // Regression for the old `panic!("subrelease of unmapped hugepage")`:
+        // a stray madvise is reported as EINVAL and changes nothing.
+        let mut vmm = Vmm::new();
+        let a = mmap_ok(&mut vmm, HUGE_PAGE_BYTES);
+        let stray = a + 64 * HUGE_PAGE_BYTES;
+        let err = vmm.subrelease(stray, 8192).expect_err("unmapped range");
+        assert_eq!(err, OsError::UnmappedRange(stray / HUGE_PAGE_BYTES));
+        assert_eq!(vmm.stats().madvise_calls, 0, "failed call not counted");
+        assert!(vmm.page_table().is_huge_backed(a), "mapped state untouched");
+        assert_eq!(vmm.page_table().resident_bytes(), HUGE_PAGE_BYTES);
+    }
+
+    #[test]
+    fn enomem_denial_leaves_address_space_unchanged() {
+        let plan = FaultPlan {
+            enomem_ppm: PPM,
+            ..FaultPlan::off()
+        };
+        let mut vmm = Vmm::with_faults(plan, Clock::new());
+        assert_eq!(vmm.mmap(HUGE_PAGE_BYTES), Err(OsError::Enomem));
+        assert_eq!(vmm.mapped_bytes(), 0);
+        assert_eq!(vmm.stats().mmap_bytes, 0);
+        assert_eq!(vmm.stats().mmap_calls, 1, "the failed syscall counts");
+        assert_eq!(vmm.fault_stats().enomem_injected, 1);
+    }
+
+    #[test]
+    fn denied_backing_then_collapse_recovers_coverage() {
+        let plan = FaultPlan {
+            deny_huge_ppm: PPM,
+            ..FaultPlan::off()
+        }
+        .with_storm(0, 1_000);
+        let clock = Clock::new();
+        let mut vmm = Vmm::with_faults(plan, clock.clone());
+        let g = vmm.mmap(HUGE_PAGE_BYTES).expect("granted");
+        assert!(!g.huge_backed, "THP compaction failed");
+        assert!(!vmm.page_table().is_huge_backed(g.addr));
+        assert_eq!(vmm.page_table().resident_bytes(), HUGE_PAGE_BYTES);
+        assert_eq!(vmm.page_table().hugepage_coverage(), 0.0);
+
+        // During the storm the collapse is vetoed only by collapse_fail_ppm
+        // (zero here), so it succeeds; but prove the storm-window version
+        // too: after the storm, collapse always succeeds.
+        clock.advance(2_000);
+        assert!(vmm.collapse_huge(g.addr), "khugepaged rebuilds the backing");
+        assert!(vmm.page_table().is_huge_backed(g.addr));
+        assert!((vmm.page_table().hugepage_coverage() - 1.0).abs() < 1e-12);
+        assert!(!vmm.collapse_huge(g.addr), "already huge: nothing to do");
+    }
+
+    #[test]
+    fn subrelease_broken_hugepage_never_collapses() {
+        let mut vmm = Vmm::new();
+        let a = mmap_ok(&mut vmm, HUGE_PAGE_BYTES);
+        vmm.subrelease(a, 8192).expect("mapped");
+        vmm.reoccupy(a, 8192);
+        assert!(
+            !vmm.collapse_huge(a),
+            "kernel does not rebuild subrelease-broken hugepages (§3)"
+        );
         assert!(!vmm.page_table().is_huge_backed(a));
     }
 }

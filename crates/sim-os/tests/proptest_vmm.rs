@@ -17,7 +17,7 @@ fn mappings_never_overlap_and_stay_aligned() {
         let n = rng.gen_range(1usize..40);
         for _ in 0..n {
             let len = rng.gen_range(1u64..(64 << 20));
-            let addr = vmm.mmap(len);
+            let addr = vmm.mmap(len).expect("no fault plan").addr;
             assert_eq!(addr % HUGE_PAGE_BYTES, 0);
             let rounded = len.div_ceil(HUGE_PAGE_BYTES) * HUGE_PAGE_BYTES;
             for &(a, l) in &ranges {
@@ -36,7 +36,10 @@ fn residency_accounting_matches_subreleases() {
         let mut rng = SmallRng::seed_from_u64(0x0521 + case);
         let hp_count = rng.gen_range(1u64..8);
         let mut vmm = Vmm::new();
-        let base = vmm.mmap(hp_count * HUGE_PAGE_BYTES);
+        let base = vmm
+            .mmap(hp_count * HUGE_PAGE_BYTES)
+            .expect("no fault plan")
+            .addr;
         let pages_total = hp_count * HUGE_PAGE_BYTES / TCMALLOC_PAGE_BYTES;
         // Track released TCMalloc pages exactly.
         let mut released = vec![false; pages_total as usize];
@@ -50,7 +53,8 @@ fn residency_accounting_matches_subreleases() {
             vmm.subrelease(
                 base + start * TCMALLOC_PAGE_BYTES,
                 len * TCMALLOC_PAGE_BYTES,
-            );
+            )
+            .expect("mapped range");
             for p in start..start + len {
                 released[p as usize] = true;
             }
@@ -80,8 +84,8 @@ fn reoccupy_restores_residency_exactly() {
         let start = rng.gen_range(0u64..200);
         let len = rng.gen_range(1u64..56);
         let mut vmm = Vmm::new();
-        let base = vmm.mmap(HUGE_PAGE_BYTES);
-        vmm.subrelease(base, HUGE_PAGE_BYTES);
+        let base = vmm.mmap(HUGE_PAGE_BYTES).expect("no fault plan").addr;
+        vmm.subrelease(base, HUGE_PAGE_BYTES).expect("mapped range");
         assert_eq!(vmm.page_table().resident_bytes(), 0);
         vmm.reoccupy(
             base + start * TCMALLOC_PAGE_BYTES,

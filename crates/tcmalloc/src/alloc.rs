@@ -9,7 +9,7 @@
 use crate::central::CentralFreeList;
 use crate::config::TcmallocConfig;
 use crate::events::{AllocEvent, EventBus, EventSink, SpanRef, TraceRing};
-use crate::pageheap::PageHeap;
+use crate::pageheap::{AllocError, OsLayer, PageHeap};
 use crate::pagemap::PageMap;
 use crate::percpu::{FreeOutcome, PerCpuCaches};
 use crate::size_class::SizeClassTable;
@@ -26,6 +26,7 @@ use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
 use wsc_sim_os::clock::Clock;
 use wsc_sim_os::rseq::VcpuRegistry;
+use wsc_sim_os::vmm::Vmm;
 use wsc_telemetry::gwp::{AllocationProfile, Sampler};
 
 /// Result of a [`Tcmalloc::malloc`].
@@ -49,6 +50,30 @@ pub struct FreeOutcomeInfo {
     /// Allocator nanoseconds consumed.
     pub ns: f64,
 }
+
+/// A structurally invalid free detected by [`Tcmalloc::try_free`]: the
+/// address is not a live allocation of the given size. (Real TCMalloc
+/// aborts here; [`Tcmalloc::free`] keeps that behaviour by panicking.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FreeError {
+    /// `addr` does not name a live large allocation's base address.
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidFree { addr } => {
+                write!(f, "invalid free of {addr:#x}: not a live allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
 
 /// The warehouse-scale memory allocator.
 ///
@@ -92,7 +117,10 @@ pub struct Tcmalloc {
 }
 
 impl Tcmalloc {
-    /// Creates an allocator for one process on the given platform.
+    /// Creates an allocator for one process on the given platform. The
+    /// config's fault plan and hard limit (if any) are attached to the
+    /// simulated kernel here; with both absent the OS layer is infallible
+    /// and the allocator behaves byte-identically to the pre-fault builds.
     pub fn new(cfg: TcmallocConfig, platform: Platform, clock: Clock) -> Self {
         let table = SizeClassTable::production();
         let percpu = PerCpuCaches::new(&table, cfg.percpu_max_bytes);
@@ -101,13 +129,19 @@ impl Tcmalloc {
             .map(|cl| CentralFreeList::new(cl as u16, *table.info(cl), cfg.cfl_lists))
             .collect();
         let now = clock.now_ns();
+        // Sole kernel construction point in the allocator: the Vmm goes
+        // straight into OsLayer and is never driven directly again.
+        let vmm = cfg
+            .os_faults
+            // lint:allow(infallible-os)
+            .map_or_else(Vmm::new, |p| Vmm::with_faults(p, clock.clone()));
         Self {
             percpu,
             transfer,
             central,
             spans: SpanRegistry::new(),
             pagemap: PageMap::new(),
-            pageheap: PageHeap::new(cfg.pageheap),
+            pageheap: PageHeap::with_kernel(cfg.pageheap, OsLayer::new(vmm, cfg.hard_limit)),
             sampler: Sampler::new(cfg.sample_period_bytes),
             bus: EventBus::new(&cfg, CostModel::production(), clock.clone()),
             live_samples: HashMap::new(),
@@ -134,16 +168,60 @@ impl Tcmalloc {
     }
 
     /// Allocates `size` bytes on behalf of a thread running on `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulated kernel refuses the backing memory (hard
+    /// limit or an exhausted fault storm) — like real `malloc` returning
+    /// null to a caller that never checks. Fault-aware callers use
+    /// [`try_malloc`](Self::try_malloc).
     pub fn malloc(&mut self, size: u64, cpu: CpuId) -> AllocOutcome {
         self.malloc_with_site(size, cpu, 0)
     }
 
+    /// Fallible [`malloc`](Self::malloc): surfaces OS refusal as a
+    /// structured [`AllocError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OsEnomem`] when injected ENOMEM persisted through the
+    /// pageheap's release-and-retry; [`AllocError::HardLimit`] when the
+    /// configured hard limit blocks growth. Allocator state is unchanged on
+    /// error (no events emitted, no accounting moved).
+    pub fn try_malloc(&mut self, size: u64, cpu: CpuId) -> Result<AllocOutcome, AllocError> {
+        self.try_malloc_with_site(size, cpu, 0)
+    }
+
     /// Like [`malloc`](Self::malloc), tagging sampled allocations with an
     /// allocation-site id (stands in for the recorded call stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics on OS refusal; see [`malloc`](Self::malloc).
     pub fn malloc_with_site(&mut self, size: u64, cpu: CpuId, site: u64) -> AllocOutcome {
+        match self.try_malloc_with_site(size, cpu, site) {
+            Ok(outcome) => outcome,
+            // lint:allow(panic-in-prod) the infallible façade over try_malloc:
+            // callers that opted out of fault handling get the abort real
+            // TCMalloc performs when memory is unobtainable.
+            Err(e) => panic!("malloc of {size} bytes failed: {e}"),
+        }
+    }
+
+    /// Fallible [`malloc_with_site`](Self::malloc_with_site).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_malloc`](Self::try_malloc).
+    pub fn try_malloc_with_site(
+        &mut self,
+        size: u64,
+        cpu: CpuId,
+        site: u64,
+    ) -> Result<AllocOutcome, AllocError> {
         let (addr, actual, path) = match self.table.class_for(size) {
-            Some(cl) => self.malloc_small(cl, cpu),
-            None => self.malloc_large(size),
+            Some(cl) => self.malloc_small(cl, cpu)?,
+            None => self.malloc_large(size)?,
         };
         let prefetched = self.cfg.prefetch && size <= crate::size_class::MAX_SMALL_SIZE;
         let sampled = self.sampler.should_sample(size.max(1));
@@ -196,12 +274,12 @@ impl Tcmalloc {
         if self.cfg.sanitize.is_on() && self.bus.sanitizer_mut().audit_due() {
             self.audit_now();
         }
-        AllocOutcome {
+        Ok(AllocOutcome {
             addr,
             actual_bytes: actual,
             path,
             ns,
-        }
+        })
     }
 
     /// The transfer-cache shard for a CPU under the active sharding mode.
@@ -213,37 +291,45 @@ impl Tcmalloc {
         }
     }
 
-    fn malloc_small(&mut self, cl: usize, cpu: CpuId) -> (u64, u64, AllocPath) {
+    fn malloc_small(&mut self, cl: usize, cpu: CpuId) -> Result<(u64, u64, AllocPath), AllocError> {
         let vcpu = self.vcpus.vcpu_of(cpu);
         let shard = self.shard_of(cpu);
         let info = *self.table.info(cl);
         if let Some(addr) = self.percpu.alloc(vcpu, cl, &mut self.bus) {
-            return (addr, info.size, AllocPath::PerCpu);
+            return Ok((addr, info.size, AllocPath::PerCpu));
         }
         let batch = info.batch as usize;
         let mut objs = self.transfer.fetch(shard, cl, batch, &mut self.bus);
         let mut path = AllocPath::TransferCache;
         if objs.len() < batch {
             let need = batch - objs.len();
-            let (more, deep) = self.central[cl].alloc_batch(
+            match self.central[cl].alloc_batch(
                 need,
                 &mut self.spans,
                 &mut self.pagemap,
                 &mut self.pageheap,
                 &mut self.bus,
-            );
-            objs.extend(more);
-            path = deep;
+            ) {
+                Ok((more, deep)) => {
+                    objs.extend(more);
+                    path = deep;
+                }
+                // The pageheap could not grow. Degrade gracefully: any
+                // objects the transfer cache already surrendered still
+                // serve the request; only a truly empty hierarchy errors.
+                Err(e) if objs.is_empty() => return Err(e),
+                Err(_) => {}
+            }
         }
         let addr = objs.pop().expect("refill batch is never empty");
         let leftover = self.percpu.refill(vcpu, cl, objs, &mut self.bus);
         self.return_objects(shard, cl, leftover, true);
-        (addr, info.size, path)
+        Ok((addr, info.size, path))
     }
 
-    fn malloc_large(&mut self, size: u64) -> (u64, u64, AllocPath) {
+    fn malloc_large(&mut self, size: u64) -> Result<(u64, u64, AllocPath), AllocError> {
         let pages = size.div_ceil(TCMALLOC_PAGE_BYTES).max(1) as u32;
-        let (addr, path) = self.pageheap.alloc(pages, 1, &mut self.bus);
+        let (addr, path) = self.pageheap.alloc(pages, 1, &mut self.bus)?;
         let span = Span::new_large(addr, pages);
         let id = self.spans.insert(span);
         self.bus.emit(AllocEvent::SpanAlloc {
@@ -254,7 +340,7 @@ impl Tcmalloc {
         });
         self.pagemap
             .set_range_traced(addr, pages, id, &mut self.bus);
-        (addr, pages as u64 * TCMALLOC_PAGE_BYTES, path)
+        Ok((addr, pages as u64 * TCMALLOC_PAGE_BYTES, path))
     }
 
     /// Frees `addr`, which was allocated with the given requested `size`
@@ -268,6 +354,30 @@ impl Tcmalloc {
     /// becomes a no-op and a [`SanitizerReport`] is queued (retrieve it with
     /// [`take_sanitizer_reports`](Self::take_sanitizer_reports)).
     pub fn free(&mut self, addr: u64, size: u64, cpu: CpuId) -> FreeOutcomeInfo {
+        match self.try_free(addr, size, cpu) {
+            Ok(info) => info,
+            // lint:allow(panic-in-prod) invalid free = heap corruption from
+            // the caller's side; real TCMalloc aborts, and so does the
+            // infallible façade.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`free`](Self::free): structurally invalid large frees
+    /// (unknown address, interior pointer, double free) come back as
+    /// [`FreeError::InvalidFree`] with the allocator state untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`FreeError::InvalidFree`] as above. Small-object corruption is still
+    /// caught by the per-tier invariant checks (panics) or, with the
+    /// sanitizer on, rejected with a queued report.
+    pub fn try_free(
+        &mut self,
+        addr: u64,
+        size: u64,
+        cpu: CpuId,
+    ) -> Result<FreeOutcomeInfo, FreeError> {
         if self.cfg.sanitize.is_on() {
             let expected = self.table.class_for(size).map(|cl| cl as u16);
             if self
@@ -277,10 +387,22 @@ impl Tcmalloc {
                 .is_some()
             {
                 // Invalid free: rejected, reported, and charged nothing.
-                return FreeOutcomeInfo {
+                return Ok(FreeOutcomeInfo {
                     path: AllocPath::PerCpu,
                     ns: 0.0,
-                };
+                });
+            }
+        }
+        if self.table.class_for(size).is_none() {
+            // Validate before any mutation so an invalid large free is a
+            // clean no-op at the Err return. (With the sanitizer on the
+            // shadow check above already rejected and reported it.)
+            let Some(id) = self.pagemap.span_of(addr) else {
+                return Err(FreeError::InvalidFree { addr });
+            };
+            let span = self.spans.get(id);
+            if span.state != SpanState::Large || span.start != addr {
+                return Err(FreeError::InvalidFree { addr });
             }
         }
         if let Some((sz, t, weight)) = self.live_samples.remove(&addr) {
@@ -310,14 +432,12 @@ impl Tcmalloc {
                 (info.size, path)
             }
             None => {
+                // Validated above: the lookup cannot fail here.
                 let id = self
                     .pagemap
                     .span_of(addr)
-                    .expect("free of unknown large allocation");
-                let span = self.spans.get(id);
-                assert_eq!(span.state, SpanState::Large, "not a large allocation");
-                assert_eq!(span.start, addr, "large free must use the base address");
-                let pages = span.pages;
+                    .expect("validated large free lost its span");
+                let pages = self.spans.get(id).pages;
                 let span = self.spans.remove(id);
                 debug_assert!(span.size_class.is_none());
                 // SpanRetire feeds the sanitizer's page mirror via the bus.
@@ -341,7 +461,7 @@ impl Tcmalloc {
         if self.cfg.sanitize.is_on() && self.bus.sanitizer_mut().audit_due() {
             self.audit_now();
         }
-        FreeOutcomeInfo { path, ns }
+        Ok(FreeOutcomeInfo { path, ns })
     }
 
     /// Pushes surplus objects down the hierarchy (transfer cache, then the
@@ -448,6 +568,11 @@ impl Tcmalloc {
         if now >= self.next_release_ns {
             self.next_release_ns = now + self.cfg.release_interval_ns;
             self.pageheap.background_release(&mut self.bus);
+            if let Some(limit) = self.cfg.soft_limit {
+                // Soft limit: synchronously push resident bytes back toward
+                // the limit (bounded release-and-retry inside).
+                self.pageheap.enforce_soft_limit(limit, &mut self.bus);
+            }
         }
     }
 
@@ -577,6 +702,18 @@ impl Tcmalloc {
     /// Hugepage coverage of the heap (Figure 17a).
     pub fn hugepage_coverage(&self) -> f64 {
         self.pageheap.vmm().page_table().hugepage_coverage()
+    }
+
+    /// Injected-fault counters from the simulated kernel (all zero without
+    /// a fault plan).
+    pub fn fault_stats(&self) -> wsc_sim_os::FaultStats {
+        self.pageheap.os().fault_stats()
+    }
+
+    /// True while hugepage backing has been denied for part of the heap and
+    /// the khugepaged re-promotion pass has not yet recovered it.
+    pub fn os_degraded(&self) -> bool {
+        self.pageheap.os().is_degraded()
     }
 
     /// Allocator cycle accounting (Figure 6a) — derived from the event

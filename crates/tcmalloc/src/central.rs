@@ -20,7 +20,7 @@
 //! creation/return counts.
 
 use crate::events::{AllocEvent, EventBus};
-use crate::pageheap::PageHeap;
+use crate::pageheap::{AllocError, PageHeap};
 use crate::pagemap::PageMap;
 use crate::size_class::SizeClassInfo;
 use crate::span::{Span, SpanId, SpanRegistry, SpanState};
@@ -188,6 +188,13 @@ impl CentralFreeList {
     /// is exhausted. Returns the objects and the deepest tier touched. The
     /// batch emits one [`AllocEvent::CentralRefill`]; each fresh span emits
     /// [`AllocEvent::SpanAlloc`] plus its pagemap registration.
+    ///
+    /// # Errors
+    ///
+    /// When the pageheap cannot grow (ENOMEM / hard limit) and *no* objects
+    /// were gathered, the error is surfaced. If some objects were already
+    /// extracted before the refusal, the partial batch is returned — memory
+    /// in hand beats an error the caller would retry anyway.
     pub fn alloc_batch(
         &mut self,
         n: usize,
@@ -195,7 +202,7 @@ impl CentralFreeList {
         pagemap: &mut PageMap,
         pageheap: &mut PageHeap,
         bus: &mut EventBus,
-    ) -> (Vec<u64>, AllocPath) {
+    ) -> Result<(Vec<u64>, AllocPath), AllocError> {
         let mut out = Vec::with_capacity(n);
         let mut deepest = AllocPath::CentralFreeList;
         while out.len() < n {
@@ -206,7 +213,11 @@ impl CentralFreeList {
                 None => {
                     // Grow: request a fresh span from the pageheap.
                     let (addr, path) =
-                        pageheap.alloc(self.info.pages, self.info.objects_per_span, bus);
+                        match pageheap.alloc(self.info.pages, self.info.objects_per_span, bus) {
+                            Ok(placed) => placed,
+                            Err(e) if out.is_empty() => return Err(e),
+                            Err(_) => break, // serve the partial batch
+                        };
                     deepest = match (deepest, path) {
                         (_, AllocPath::Mmap) | (AllocPath::Mmap, _) => AllocPath::Mmap,
                         _ => AllocPath::PageHeap,
@@ -243,7 +254,7 @@ impl CentralFreeList {
             class: self.class,
             count: out.len() as u32,
         });
-        (out, deepest)
+        Ok((out, deepest))
     }
 
     /// Returns one object to its span. When the span drains completely it is
@@ -368,6 +379,7 @@ mod tests {
                     &mut self.pageheap,
                     &mut self.bus,
                 )
+                .unwrap()
                 .0
         }
 

@@ -8,6 +8,7 @@ use crate::pageheap::PageHeapConfig;
 use crate::transfer::{TransferConfig, TransferSharding};
 use wsc_sanitizer::SanitizeLevel;
 use wsc_sim_os::clock::NS_PER_SEC;
+use wsc_sim_os::FaultPlan;
 
 /// Capacity scale factor between production and the simulation.
 ///
@@ -65,6 +66,18 @@ pub struct TcmallocConfig {
     /// Record the complete raw event stream (tests and tools only — the
     /// log is unbounded).
     pub record_events: bool,
+    /// Soft memory limit: when resident bytes exceed it, background
+    /// maintenance synchronously releases free pages back toward the limit
+    /// (TCMalloc's soft-limit semantics). `None` = unlimited.
+    pub soft_limit: Option<u64>,
+    /// Hard memory limit: an mmap that would push resident bytes past it
+    /// fails with [`AllocError::HardLimit`](crate::alloc::AllocError)
+    /// instead of growing the heap. `None` = unlimited.
+    pub hard_limit: Option<u64>,
+    /// Deterministic OS fault plan (ENOMEM, THP denial, flaky madvise,
+    /// latency spikes). `None` = the kernel never fails, which reproduces
+    /// every golden figure byte-identically.
+    pub os_faults: Option<FaultPlan>,
 }
 
 impl TcmallocConfig {
@@ -96,6 +109,9 @@ impl TcmallocConfig {
             stats_sink: true,
             trace_capacity: 0,
             record_events: false,
+            soft_limit: None,
+            hard_limit: None,
+            os_faults: None,
         }
     }
 
@@ -167,6 +183,26 @@ impl TcmallocConfig {
         self.record_events = true;
         self
     }
+
+    /// Sets the soft memory limit (synchronous release-and-retry in
+    /// background maintenance when resident bytes exceed it).
+    pub fn with_soft_limit(mut self, bytes: u64) -> Self {
+        self.soft_limit = Some(bytes);
+        self
+    }
+
+    /// Sets the hard memory limit (mmap past it fails with a structured
+    /// allocation error instead of growing the heap).
+    pub fn with_hard_limit(mut self, bytes: u64) -> Self {
+        self.hard_limit = Some(bytes);
+        self
+    }
+
+    /// Attaches a deterministic OS fault plan to the simulated kernel.
+    pub fn with_os_faults(mut self, plan: FaultPlan) -> Self {
+        self.os_faults = Some(plan);
+        self
+    }
 }
 
 impl Default for TcmallocConfig {
@@ -194,6 +230,22 @@ mod tests {
         assert!(c.stats_sink);
         assert_eq!(c.trace_capacity, 0);
         assert!(!c.record_events);
+        // Failure-model defaults: no limits, no faults — golden figures
+        // depend on the kernel never failing unless explicitly asked to.
+        assert_eq!(c.soft_limit, None);
+        assert_eq!(c.hard_limit, None);
+        assert_eq!(c.os_faults, None);
+    }
+
+    #[test]
+    fn limit_and_fault_builders() {
+        let c = TcmallocConfig::baseline()
+            .with_soft_limit(64 << 20)
+            .with_hard_limit(128 << 20)
+            .with_os_faults(FaultPlan::off().with_seed(7));
+        assert_eq!(c.soft_limit, Some(64 << 20));
+        assert_eq!(c.hard_limit, Some(128 << 20));
+        assert!(c.os_faults.unwrap().is_off());
     }
 
     #[test]

@@ -62,6 +62,25 @@ impl EvictReason {
     }
 }
 
+/// Which OS call a fault or latency excursion hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OsOp {
+    /// `mmap` of fresh hugepages.
+    Mmap,
+    /// `madvise(DONTNEED)` subrelease.
+    Subrelease,
+}
+
+impl OsOp {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OsOp::Mmap => "mmap",
+            OsOp::Subrelease => "subrelease",
+        }
+    }
+}
+
 /// Identity of the span an object lives on, carried by [`AllocEvent::MallocDone`]
 /// for the sanitizer's shadow feed (populated only when sanitizing, so the
 /// fast path never pays the pagemap lookup).
@@ -252,6 +271,56 @@ pub enum AllocEvent {
         bytes: u64,
     },
 
+    // --- OS faults & graceful degradation (§2, §5) ---
+    /// The simulated kernel misbehaved: the call failed (ENOMEM / EAGAIN /
+    /// EINVAL) or took an injected latency excursion.
+    OsFault {
+        /// Which operation was hit.
+        op: OsOp,
+        /// Whether the call failed outright (false = latency spike only).
+        failed: bool,
+        /// Injected latency beyond the nominal syscall cost, ns.
+        latency_ns: u64,
+    },
+    /// `mmap` succeeded but THP compaction failed: the mapping came back
+    /// 4 KiB-backed, lowering hugepage coverage until a collapse re-promotes
+    /// it.
+    BackingDenied {
+        /// Base address of the denied mapping.
+        base: u64,
+        /// Extent in bytes.
+        bytes: u64,
+    },
+    /// A configured memory limit was reached at the OS boundary.
+    LimitHit {
+        /// True for the hard limit (allocation fails), false for the soft
+        /// limit (synchronous release + retry).
+        hard: bool,
+        /// Resident bytes at the moment of the hit.
+        resident: u64,
+        /// The limit, bytes.
+        limit: u64,
+    },
+    /// Synchronous release-and-retry after ENOMEM or a limit hit.
+    ReleaseRetry {
+        /// Retry attempt number (0-based).
+        attempt: u32,
+        /// Bytes released back to the OS before retrying.
+        released_bytes: u64,
+    },
+    /// The pageheap entered degraded mode: at least one injected OS fault
+    /// or denied backing since the last healthy state.
+    Degraded {
+        /// 4 KiB-backed hugepages currently awaiting re-promotion.
+        denied_hugepages: u64,
+    },
+    /// The pageheap recovered: every denied hugepage re-promoted and no
+    /// faults observed since the last maintenance pass.
+    Recovered {
+        /// Hugepages re-promoted over the whole degraded episode.
+        repromoted: u64,
+    },
+
     // --- Pagemap ---
     /// A span's pages were entered into the pagemap.
     PagemapSet {
@@ -325,7 +394,7 @@ pub enum AllocEvent {
 
 impl AllocEvent {
     /// Discriminant names, in declaration order — the event taxonomy.
-    pub const KINDS: [&'static str; 25] = [
+    pub const KINDS: [&'static str; 31] = [
         "PerCpuHit",
         "PerCpuMiss",
         "PerCpuOverflow",
@@ -345,6 +414,12 @@ impl AllocEvent {
         "HugepageFill",
         "HugepageBreak",
         "HugepageRelease",
+        "OsFault",
+        "BackingDenied",
+        "LimitHit",
+        "ReleaseRetry",
+        "Degraded",
+        "Recovered",
         "PagemapSet",
         "PagemapClear",
         "SamplerPick",
@@ -375,6 +450,12 @@ impl AllocEvent {
             AllocEvent::HugepageFill { .. } => "HugepageFill",
             AllocEvent::HugepageBreak { .. } => "HugepageBreak",
             AllocEvent::HugepageRelease { .. } => "HugepageRelease",
+            AllocEvent::OsFault { .. } => "OsFault",
+            AllocEvent::BackingDenied { .. } => "BackingDenied",
+            AllocEvent::LimitHit { .. } => "LimitHit",
+            AllocEvent::ReleaseRetry { .. } => "ReleaseRetry",
+            AllocEvent::Degraded { .. } => "Degraded",
+            AllocEvent::Recovered { .. } => "Recovered",
             AllocEvent::PagemapSet { .. } => "PagemapSet",
             AllocEvent::PagemapClear { .. } => "PagemapClear",
             AllocEvent::SamplerPick { .. } => "SamplerPick",
@@ -405,7 +486,13 @@ impl AllocEvent {
             | AllocEvent::CachePlace { .. } => "pageheap",
             AllocEvent::HugepageFill { .. }
             | AllocEvent::HugepageBreak { .. }
-            | AllocEvent::HugepageRelease { .. } => "os",
+            | AllocEvent::HugepageRelease { .. }
+            | AllocEvent::OsFault { .. }
+            | AllocEvent::BackingDenied { .. }
+            | AllocEvent::LimitHit { .. }
+            | AllocEvent::ReleaseRetry { .. }
+            | AllocEvent::Degraded { .. }
+            | AllocEvent::Recovered { .. } => "os",
             AllocEvent::PagemapSet { .. } | AllocEvent::PagemapClear { .. } => "pagemap",
             AllocEvent::SamplerPick { .. }
             | AllocEvent::SampledFree { .. }
@@ -483,8 +570,32 @@ impl AllocEvent {
                 reused,
             } => format!("{{\"base\":{base},\"bytes\":{bytes},\"reused\":{reused}}}"),
             AllocEvent::HugepageBreak { base, bytes }
-            | AllocEvent::HugepageRelease { base, bytes } => {
+            | AllocEvent::HugepageRelease { base, bytes }
+            | AllocEvent::BackingDenied { base, bytes } => {
                 format!("{{\"base\":{base},\"bytes\":{bytes}}}")
+            }
+            AllocEvent::OsFault {
+                op,
+                failed,
+                latency_ns,
+            } => format!(
+                "{{\"op\":\"{}\",\"failed\":{failed},\"latency_ns\":{latency_ns}}}",
+                op.name()
+            ),
+            AllocEvent::LimitHit {
+                hard,
+                resident,
+                limit,
+            } => format!("{{\"hard\":{hard},\"resident\":{resident},\"limit\":{limit}}}"),
+            AllocEvent::ReleaseRetry {
+                attempt,
+                released_bytes,
+            } => format!("{{\"attempt\":{attempt},\"released_bytes\":{released_bytes}}}"),
+            AllocEvent::Degraded { denied_hugepages } => {
+                format!("{{\"denied_hugepages\":{denied_hugepages}}}")
+            }
+            AllocEvent::Recovered { repromoted } => {
+                format!("{{\"repromoted\":{repromoted}}}")
             }
             AllocEvent::PagemapSet { addr, pages } | AllocEvent::PagemapClear { addr, pages } => {
                 format!("{{\"addr\":{addr},\"pages\":{pages}}}")
@@ -992,7 +1103,35 @@ mod tests {
 
     #[test]
     fn every_kind_is_covered_by_the_taxonomy() {
-        assert_eq!(AllocEvent::KINDS.len(), 25);
+        assert_eq!(AllocEvent::KINDS.len(), 31);
         assert!(AllocEvent::KINDS.contains(&hit().kind()));
+        for fault in [
+            AllocEvent::OsFault {
+                op: OsOp::Mmap,
+                failed: true,
+                latency_ns: 0,
+            },
+            AllocEvent::BackingDenied {
+                base: 0,
+                bytes: 2 << 20,
+            },
+            AllocEvent::LimitHit {
+                hard: false,
+                resident: 10,
+                limit: 5,
+            },
+            AllocEvent::ReleaseRetry {
+                attempt: 0,
+                released_bytes: 4096,
+            },
+            AllocEvent::Degraded {
+                denied_hugepages: 1,
+            },
+            AllocEvent::Recovered { repromoted: 1 },
+        ] {
+            assert!(AllocEvent::KINDS.contains(&fault.kind()), "{fault:?}");
+            assert_eq!(fault.tier(), "os");
+            assert!(fault.args_json().starts_with('{'));
+        }
     }
 }

@@ -56,8 +56,9 @@ pub mod span;
 pub mod stats;
 pub mod transfer;
 
-pub use alloc::{AllocOutcome, FreeOutcomeInfo, Tcmalloc};
+pub use alloc::{AllocOutcome, FreeError, FreeOutcomeInfo, Tcmalloc};
 pub use config::TcmallocConfig;
 pub use events::{AllocEvent, EventBus, EventSink, Off, Recorder, Tee, TraceRing};
+pub use pageheap::{AllocError, OsLayer};
 pub use stats::{CycleCategory, CycleStats, FragmentationBreakdown, StatsView};
 pub use wsc_sanitizer::{ErrorKind, SanitizeLevel, SanitizerReport};

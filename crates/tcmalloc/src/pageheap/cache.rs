@@ -6,10 +6,10 @@
 //! how "releasing hugepages that are completely free" (§2.1) keeps them
 //! intact (no TLB-hostile subrelease).
 
+use super::os::{AllocError, OsLayer};
 use crate::events::{AllocEvent, EventBus};
 use std::collections::BTreeMap;
 use wsc_sim_os::addr::HUGE_PAGE_BYTES;
-use wsc_sim_os::vmm::Vmm;
 
 /// A cache of free hugepage runs with coalescing and a byte limit.
 #[derive(Clone, Debug)]
@@ -40,10 +40,20 @@ impl HugeCache {
     /// where `from_os` is true when the run had to be mmap'd (emitting one
     /// [`AllocEvent::HugepageFill`]).
     ///
+    /// # Errors
+    ///
+    /// Propagates the OS layer's refusal (ENOMEM or the hard limit) when a
+    /// fresh mapping is needed; the cache is unchanged in that case.
+    ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
-    pub fn alloc_run(&mut self, n: u64, vmm: &mut Vmm, bus: &mut EventBus) -> (u64, bool) {
+    pub fn alloc_run(
+        &mut self,
+        n: u64,
+        os: &mut OsLayer,
+        bus: &mut EventBus,
+    ) -> Result<(u64, bool), AllocError> {
         assert!(n > 0, "empty run requested");
         // Best fit: smallest run that satisfies the request.
         let best = self
@@ -59,22 +69,22 @@ impl HugeCache {
             }
             self.cached_hp -= n;
             self.hits += 1;
-            (addr, false)
+            Ok((addr, false))
         } else {
+            let base = os.mmap(n * HUGE_PAGE_BYTES, bus)?;
             self.fills += 1;
-            let base = vmm.mmap(n * HUGE_PAGE_BYTES);
             bus.emit(AllocEvent::HugepageFill {
                 base,
                 bytes: n * HUGE_PAGE_BYTES,
                 reused: false,
             });
-            (base, true)
+            Ok((base, true))
         }
     }
 
     /// Returns a run of `n` hugepages to the cache, coalescing with
     /// neighbours, then trims the cache to its limit by unmapping.
-    pub fn free_run(&mut self, addr: u64, n: u64, vmm: &mut Vmm, bus: &mut EventBus) {
+    pub fn free_run(&mut self, addr: u64, n: u64, os: &mut OsLayer, bus: &mut EventBus) {
         assert!(n > 0 && addr.is_multiple_of(HUGE_PAGE_BYTES), "bad run");
         let mut addr = addr;
         let mut n = n;
@@ -94,24 +104,26 @@ impl HugeCache {
         }
         self.runs.insert(addr, n);
         self.cached_hp = self.runs.values().sum();
-        self.trim(vmm, bus);
+        self.trim_to(self.limit_hp, os, bus);
     }
 
-    /// Unmaps runs until the cache is within its limit (largest-run first —
-    /// whole hugepages go back to the OS intact, each unmap emitting one
-    /// [`AllocEvent::HugepageRelease`]).
-    fn trim(&mut self, vmm: &mut Vmm, bus: &mut EventBus) {
-        while self.cached_hp > self.limit_hp {
+    /// Unmaps runs until at most `limit_hp` hugepages remain cached
+    /// (largest-run first — whole hugepages go back to the OS intact, each
+    /// unmap emitting one [`AllocEvent::HugepageRelease`]). Returns the
+    /// number of hugepages released.
+    fn trim_to(&mut self, limit_hp: u64, os: &mut OsLayer, bus: &mut EventBus) -> u64 {
+        let mut dropped = 0u64;
+        while self.cached_hp > limit_hp {
             let (&addr, &len) = self
                 .runs
                 .iter()
                 .max_by_key(|&(_, &len)| len)
                 .expect("cached_hp > 0 implies runs exist");
-            let excess = self.cached_hp - self.limit_hp;
+            let excess = self.cached_hp - limit_hp;
             let drop = excess.min(len);
             // Unmap the tail of the largest run.
             let keep = len - drop;
-            vmm.munmap(addr + keep * HUGE_PAGE_BYTES, drop * HUGE_PAGE_BYTES);
+            os.munmap(addr + keep * HUGE_PAGE_BYTES, drop * HUGE_PAGE_BYTES);
             bus.emit(AllocEvent::HugepageRelease {
                 base: addr + keep * HUGE_PAGE_BYTES,
                 bytes: drop * HUGE_PAGE_BYTES,
@@ -121,13 +133,22 @@ impl HugeCache {
                 self.runs.insert(addr, keep);
             }
             self.cached_hp -= drop;
+            dropped += drop;
         }
+        dropped
+    }
+
+    /// Releases up to `n` cached hugepages back to the OS (memory-pressure
+    /// response; hugepages stay intact). Returns hugepages released.
+    pub fn release_upto(&mut self, n: u64, os: &mut OsLayer, bus: &mut EventBus) -> u64 {
+        let target = self.cached_hp.saturating_sub(n);
+        self.trim_to(target, os, bus)
     }
 
     /// Releases every cached run to the OS immediately (aggressive release).
-    pub fn release_all(&mut self, vmm: &mut Vmm, bus: &mut EventBus) {
+    pub fn release_all(&mut self, os: &mut OsLayer, bus: &mut EventBus) {
         for (addr, len) in std::mem::take(&mut self.runs) {
-            vmm.munmap(addr, len * HUGE_PAGE_BYTES);
+            os.munmap(addr, len * HUGE_PAGE_BYTES);
             bus.emit(AllocEvent::HugepageRelease {
                 base: addr,
                 bytes: len * HUGE_PAGE_BYTES,
@@ -157,10 +178,10 @@ mod tests {
     use wsc_sim_hw::cost::CostModel;
     use wsc_sim_os::clock::Clock;
 
-    fn setup(limit_hp: u64) -> (HugeCache, Vmm, EventBus) {
+    fn setup(limit_hp: u64) -> (HugeCache, OsLayer, EventBus) {
         (
             HugeCache::new(limit_hp * HUGE_PAGE_BYTES),
-            Vmm::new(),
+            OsLayer::infallible(),
             EventBus::new(
                 &TcmallocConfig::baseline(),
                 CostModel::production(),
@@ -171,8 +192,8 @@ mod tests {
 
     #[test]
     fn alloc_mmaps_when_empty() {
-        let (mut c, mut vmm, mut b) = setup(8);
-        let (addr, from_os) = c.alloc_run(2, &mut vmm, &mut b);
+        let (mut c, mut os, mut b) = setup(8);
+        let (addr, from_os) = c.alloc_run(2, &mut os, &mut b).unwrap();
         assert!(from_os);
         assert_eq!(addr % HUGE_PAGE_BYTES, 0);
         assert_eq!(c.fills, 1);
@@ -180,11 +201,11 @@ mod tests {
 
     #[test]
     fn free_then_alloc_hits_cache() {
-        let (mut c, mut vmm, mut b) = setup(8);
-        let (addr, _) = c.alloc_run(4, &mut vmm, &mut b);
-        c.free_run(addr, 4, &mut vmm, &mut b);
+        let (mut c, mut os, mut b) = setup(8);
+        let (addr, _) = c.alloc_run(4, &mut os, &mut b).unwrap();
+        c.free_run(addr, 4, &mut os, &mut b);
         assert_eq!(c.cached_bytes(), 4 * HUGE_PAGE_BYTES);
-        let (addr2, from_os) = c.alloc_run(2, &mut vmm, &mut b);
+        let (addr2, from_os) = c.alloc_run(2, &mut os, &mut b).unwrap();
         assert!(!from_os, "served from cache");
         assert_eq!(addr2, addr, "best-fit split from the front");
         assert_eq!(c.cached_bytes(), 2 * HUGE_PAGE_BYTES);
@@ -192,29 +213,29 @@ mod tests {
 
     #[test]
     fn coalescing_merges_neighbours() {
-        let (mut c, mut vmm, mut b) = setup(16);
-        let (addr, _) = c.alloc_run(6, &mut vmm, &mut b);
+        let (mut c, mut os, mut b) = setup(16);
+        let (addr, _) = c.alloc_run(6, &mut os, &mut b).unwrap();
         // Free middle, then sides; all must merge into one run of 6.
-        c.free_run(addr + 2 * HUGE_PAGE_BYTES, 2, &mut vmm, &mut b);
-        c.free_run(addr, 2, &mut vmm, &mut b);
-        c.free_run(addr + 4 * HUGE_PAGE_BYTES, 2, &mut vmm, &mut b);
+        c.free_run(addr + 2 * HUGE_PAGE_BYTES, 2, &mut os, &mut b);
+        c.free_run(addr, 2, &mut os, &mut b);
+        c.free_run(addr + 4 * HUGE_PAGE_BYTES, 2, &mut os, &mut b);
         assert_eq!(c.runs.len(), 1);
         assert_eq!(c.runs[&addr], 6);
         // A 6-run alloc succeeds from cache.
-        let (a, from_os) = c.alloc_run(6, &mut vmm, &mut b);
+        let (a, from_os) = c.alloc_run(6, &mut os, &mut b).unwrap();
         assert!(!from_os);
         assert_eq!(a, addr);
     }
 
     #[test]
     fn trim_unmaps_beyond_limit() {
-        let (mut c, mut vmm, mut b) = setup(2);
-        let (addr, _) = c.alloc_run(5, &mut vmm, &mut b);
-        let mapped_before = vmm.mapped_bytes();
-        c.free_run(addr, 5, &mut vmm, &mut b);
+        let (mut c, mut os, mut b) = setup(2);
+        let (addr, _) = c.alloc_run(5, &mut os, &mut b).unwrap();
+        let mapped_before = os.vmm().mapped_bytes();
+        c.free_run(addr, 5, &mut os, &mut b);
         assert_eq!(c.cached_bytes(), 2 * HUGE_PAGE_BYTES, "trimmed to limit");
         assert_eq!(
-            vmm.mapped_bytes(),
+            os.vmm().mapped_bytes(),
             mapped_before - 3 * HUGE_PAGE_BYTES,
             "3 hugepages unmapped"
         );
@@ -222,24 +243,24 @@ mod tests {
 
     #[test]
     fn release_all_empties_cache() {
-        let (mut c, mut vmm, mut b) = setup(8);
-        let (addr, _) = c.alloc_run(3, &mut vmm, &mut b);
-        c.free_run(addr, 3, &mut vmm, &mut b);
-        c.release_all(&mut vmm, &mut b);
+        let (mut c, mut os, mut b) = setup(8);
+        let (addr, _) = c.alloc_run(3, &mut os, &mut b).unwrap();
+        c.free_run(addr, 3, &mut os, &mut b);
+        c.release_all(&mut os, &mut b);
         assert_eq!(c.cached_bytes(), 0);
-        assert_eq!(vmm.mapped_bytes(), 0);
+        assert_eq!(os.vmm().mapped_bytes(), 0);
     }
 
     #[test]
     fn best_fit_prefers_smallest() {
-        let (mut c, mut vmm, mut b) = setup(64);
-        let (a1, _) = c.alloc_run(8, &mut vmm, &mut b);
-        let (_spacer, _) = c.alloc_run(1, &mut vmm, &mut b); // keeps runs non-adjacent
-        let (a2, _) = c.alloc_run(2, &mut vmm, &mut b);
-        c.free_run(a1, 8, &mut vmm, &mut b);
-        c.free_run(a2, 2, &mut vmm, &mut b);
+        let (mut c, mut os, mut b) = setup(64);
+        let (a1, _) = c.alloc_run(8, &mut os, &mut b).unwrap();
+        let (_spacer, _) = c.alloc_run(1, &mut os, &mut b).unwrap(); // keeps runs non-adjacent
+        let (a2, _) = c.alloc_run(2, &mut os, &mut b).unwrap();
+        c.free_run(a1, 8, &mut os, &mut b);
+        c.free_run(a2, 2, &mut os, &mut b);
         // Request 2: must take the 2-run, not split the 8-run.
-        let (got, from_os) = c.alloc_run(2, &mut vmm, &mut b);
+        let (got, from_os) = c.alloc_run(2, &mut os, &mut b).unwrap();
         assert!(!from_os);
         assert_eq!(got, a2);
     }

@@ -22,10 +22,10 @@
 //! reach (§2.1, Figure 17).
 
 use super::cache::HugeCache;
+use super::os::{AllocError, OsLayer};
 use crate::events::{AllocEvent, EventBus};
 use std::collections::HashMap;
 use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
-use wsc_sim_os::vmm::Vmm;
 
 /// TCMalloc pages per hugepage (256).
 pub const HP_PAGES: u32 = TCMALLOC_PAGES_PER_HUGE as u32;
@@ -260,6 +260,11 @@ impl HugePageFiller {
     /// Returns `(addr, mmapped)` — `mmapped` true when a fresh hugepage came
     /// from the OS.
     ///
+    /// # Errors
+    ///
+    /// Propagates the OS layer's refusal when a fresh hugepage is needed;
+    /// filler state is unchanged in that case.
+    ///
     /// # Panics
     ///
     /// Panics if `pages` is 0 or ≥ a hugepage.
@@ -268,9 +273,9 @@ impl HugePageFiller {
         pages: u32,
         span_capacity: u32,
         cache: &mut HugeCache,
-        vmm: &mut Vmm,
+        os: &mut OsLayer,
         bus: &mut EventBus,
-    ) -> (u64, bool) {
+    ) -> Result<(u64, bool), AllocError> {
         assert!(
             (1..HP_PAGES).contains(&pages),
             "filler alloc of {pages} pages"
@@ -293,10 +298,10 @@ impl HugePageFiller {
         let (id, mmapped) = match chosen {
             Some(id) => (id, false),
             None => {
-                let (base, from_os) = cache.alloc_run(1, vmm, bus);
+                let (base, from_os) = cache.alloc_run(1, os, bus)?;
                 if !from_os {
                     // Reused address range: fault it back in.
-                    vmm.reoccupy(base, HUGE_PAGE_BYTES);
+                    os.reoccupy(base, HUGE_PAGE_BYTES);
                     bus.emit(AllocEvent::HugepageFill {
                         base,
                         bytes: HUGE_PAGE_BYTES,
@@ -324,7 +329,7 @@ impl HugePageFiller {
             }
         }
         if cleared > 0 {
-            vmm.reoccupy(addr, pages as u64 * TCMALLOC_PAGE_BYTES);
+            os.reoccupy(addr, pages as u64 * TCMALLOC_PAGE_BYTES);
             bus.emit(AllocEvent::HugepageFill {
                 base: addr,
                 bytes: pages as u64 * TCMALLOC_PAGE_BYTES,
@@ -332,7 +337,7 @@ impl HugePageFiller {
             });
         }
         self.list_insert(id);
-        (addr, mmapped)
+        Ok((addr, mmapped))
     }
 
     /// Donates the tail of a large allocation's last hugepage to the filler
@@ -355,7 +360,7 @@ impl HugePageFiller {
         base: u64,
         head_pages: u32,
         cache: &mut HugeCache,
-        vmm: &mut Vmm,
+        os: &mut OsLayer,
         bus: &mut EventBus,
     ) {
         let id = *self
@@ -368,7 +373,7 @@ impl HugePageFiller {
         t.set_used(0, head_pages, false);
         t.allocations -= 1;
         if t.used == 0 {
-            self.retire(id, cache, vmm, bus);
+            self.retire(id, cache, os, bus);
         } else {
             self.list_insert(id);
         }
@@ -385,7 +390,7 @@ impl HugePageFiller {
         addr: u64,
         pages: u32,
         cache: &mut HugeCache,
-        vmm: &mut Vmm,
+        os: &mut OsLayer,
         bus: &mut EventBus,
     ) {
         let hp = addr / HUGE_PAGE_BYTES;
@@ -401,7 +406,7 @@ impl HugePageFiller {
         // Note: a dealloc does NOT reset `idle_passes` — a draining
         // hugepage is the best candidate to eventually release whole.
         if t.used == 0 {
-            self.retire(id, cache, vmm, bus);
+            self.retire(id, cache, os, bus);
         } else {
             self.list_insert(id);
         }
@@ -411,19 +416,19 @@ impl HugePageFiller {
     /// for reuse; a *broken* one (subreleased pages, THP backing lost) is
     /// returned to the OS directly — a fresh `mmap` later yields a pristine
     /// hugepage, whereas caching the broken one would strand its holes.
-    fn retire(&mut self, id: usize, cache: &mut HugeCache, vmm: &mut Vmm, bus: &mut EventBus) {
+    fn retire(&mut self, id: usize, cache: &mut HugeCache, os: &mut OsLayer, bus: &mut EventBus) {
         let t = self.trackers[id].take().expect("stale tracker id");
         self.free_ids.push(id);
         self.by_hugepage.remove(&(t.base / HUGE_PAGE_BYTES));
         if t.released_pages() > 0 {
-            vmm.munmap(t.base, HUGE_PAGE_BYTES);
+            os.munmap(t.base, HUGE_PAGE_BYTES);
             bus.emit(AllocEvent::HugepageRelease {
                 base: t.base,
                 bytes: HUGE_PAGE_BYTES,
             });
         } else {
             self.freed_whole += 1;
-            cache.free_run(t.base, 1, vmm, bus);
+            cache.free_run(t.base, 1, os, bus);
         }
     }
 
@@ -438,7 +443,7 @@ impl HugePageFiller {
         &mut self,
         target_pages: u64,
         grace_passes: u8,
-        vmm: &mut Vmm,
+        os: &mut OsLayer,
         bus: &mut EventBus,
     ) -> u64 {
         let mut released = 0u64;
@@ -501,18 +506,30 @@ impl HugePageFiller {
                         if let Some(r) = run {
                             to_release.push(r);
                         }
-                        for &(s, n) in &to_release {
-                            for i in s..s + n {
-                                t.released_mask[i as usize / 64] |= 1 << (i % 64);
-                            }
-                        }
                         (t.base, to_release)
                     };
                     for (s, n) in to_release {
-                        vmm.subrelease(
-                            base + s as u64 * TCMALLOC_PAGE_BYTES,
-                            n as u64 * TCMALLOC_PAGE_BYTES,
-                        );
+                        // Commit the released bits only after the kernel
+                        // accepted the madvise — a failed subrelease leaves
+                        // the pages resident, and marking them released
+                        // anyway would break conservation (resident ==
+                        // live + fragmentation).
+                        if os
+                            .subrelease(
+                                base + s as u64 * TCMALLOC_PAGE_BYTES,
+                                n as u64 * TCMALLOC_PAGE_BYTES,
+                                bus,
+                            )
+                            .is_err()
+                        {
+                            // Flaky madvise: skipped this pass, retried on
+                            // the next one.
+                            continue;
+                        }
+                        let t = self.tracker_mut(id);
+                        for i in s..s + n {
+                            t.released_mask[i as usize / 64] |= 1 << (i % 64);
+                        }
                         bus.emit(AllocEvent::HugepageBreak {
                             base: base + s as u64 * TCMALLOC_PAGE_BYTES,
                             bytes: n as u64 * TCMALLOC_PAGE_BYTES,
@@ -591,11 +608,11 @@ mod tests {
     use wsc_sim_hw::cost::CostModel;
     use wsc_sim_os::clock::Clock;
 
-    fn setup() -> (HugePageFiller, HugeCache, Vmm, EventBus) {
+    fn setup() -> (HugePageFiller, HugeCache, OsLayer, EventBus) {
         (
             HugePageFiller::new(false, 16),
             HugeCache::new(0), // no caching: frees go straight to the OS
-            Vmm::new(),
+            OsLayer::infallible(),
             EventBus::new(
                 &TcmallocConfig::baseline(),
                 CostModel::production(),
@@ -606,10 +623,10 @@ mod tests {
 
     #[test]
     fn first_alloc_mmaps_then_packs() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
-        let (a, mmapped) = f.alloc(10, 100, &mut c, &mut vmm, &mut b);
+        let (mut f, mut c, mut os, mut b) = setup();
+        let (a, mmapped) = f.alloc(10, 100, &mut c, &mut os, &mut b).unwrap();
         assert!(mmapped);
-        let (b2, mmapped2) = f.alloc(10, 100, &mut c, &mut vmm, &mut b);
+        let (b2, mmapped2) = f.alloc(10, 100, &mut c, &mut os, &mut b).unwrap();
         assert!(!mmapped2, "same hugepage reused");
         assert_eq!(b2, a + 10 * TCMALLOC_PAGE_BYTES);
         assert_eq!(f.stats().hugepages, 1);
@@ -618,42 +635,42 @@ mod tests {
 
     #[test]
     fn dense_packing_prefers_fullest() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
+        let (mut f, mut c, mut os, mut b) = setup();
         // Build two hugepages: a dense one (251/256 used, lfr 5) and a
         // sparse one (100/256 used, lfr 156).
-        let (a1, _) = f.alloc(200, 100, &mut c, &mut vmm, &mut b);
-        let (a2, _) = f.alloc(251, 100, &mut c, &mut vmm, &mut b); // no fit on hp1 -> hp2
-        let (_a3, _) = f.alloc(30, 100, &mut c, &mut vmm, &mut b); // hp1: 230 used
-        f.dealloc(a1, 200, &mut c, &mut vmm, &mut b); // hp1: 30 used, sparse
-                                                      // A 4-page request must go to the dense hp2 (smallest fitting lfr).
-        let (a4, mm) = f.alloc(4, 100, &mut c, &mut vmm, &mut b);
+        let (a1, _) = f.alloc(200, 100, &mut c, &mut os, &mut b).unwrap();
+        let (a2, _) = f.alloc(251, 100, &mut c, &mut os, &mut b).unwrap(); // no fit on hp1 -> hp2
+        let (_a3, _) = f.alloc(30, 100, &mut c, &mut os, &mut b).unwrap(); // hp1: 230 used
+        f.dealloc(a1, 200, &mut c, &mut os, &mut b); // hp1: 30 used, sparse
+                                                     // A 4-page request must go to the dense hp2 (smallest fitting lfr).
+        let (a4, mm) = f.alloc(4, 100, &mut c, &mut os, &mut b).unwrap();
         assert!(!mm);
         assert_eq!(a4 / HUGE_PAGE_BYTES, a2 / HUGE_PAGE_BYTES);
     }
 
     #[test]
     fn drained_hugepage_returns_whole() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
-        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm, &mut b);
-        let (b2, _) = f.alloc(60, 100, &mut c, &mut vmm, &mut b);
-        f.dealloc(a, 50, &mut c, &mut vmm, &mut b);
+        let (mut f, mut c, mut os, mut b) = setup();
+        let (a, _) = f.alloc(50, 100, &mut c, &mut os, &mut b).unwrap();
+        let (b2, _) = f.alloc(60, 100, &mut c, &mut os, &mut b).unwrap();
+        f.dealloc(a, 50, &mut c, &mut os, &mut b);
         assert_eq!(f.stats().hugepages, 1);
-        f.dealloc(b2, 60, &mut c, &mut vmm, &mut b);
+        f.dealloc(b2, 60, &mut c, &mut os, &mut b);
         assert_eq!(f.stats().hugepages, 0);
         assert_eq!(f.stats().freed_whole, 1);
         // Cache limit 0 → hugepage munmapped back to the OS intact.
-        assert_eq!(vmm.mapped_bytes(), 0);
-        assert_eq!(vmm.stats().madvise_calls, 0, "no subrelease needed");
+        assert_eq!(os.vmm().mapped_bytes(), 0);
+        assert_eq!(os.stats().madvise_calls, 0, "no subrelease needed");
     }
 
     #[test]
     fn lifetime_sets_segregate() {
         let mut f = HugePageFiller::new(true, 16);
-        let (_, mut c, mut vmm, mut b) = setup();
+        let (_, mut c, mut os, mut b) = setup();
         // capacity 512 (small objects, long-lived) vs capacity 1 (huge
         // objects, short-lived) must land on different hugepages.
-        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm, &mut b);
-        let (b2, _) = f.alloc(4, 1, &mut c, &mut vmm, &mut b);
+        let (a, _) = f.alloc(4, 512, &mut c, &mut os, &mut b).unwrap();
+        let (b2, _) = f.alloc(4, 1, &mut c, &mut os, &mut b).unwrap();
         assert_ne!(a / HUGE_PAGE_BYTES, b2 / HUGE_PAGE_BYTES);
         assert_eq!(f.lifetime_set_for(512), LifetimeSet::Long);
         assert_eq!(f.lifetime_set_for(1), LifetimeSet::Short);
@@ -662,73 +679,73 @@ mod tests {
 
     #[test]
     fn baseline_mixes_capacities() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
-        let (a, _) = f.alloc(4, 512, &mut c, &mut vmm, &mut b);
-        let (b2, _) = f.alloc(4, 1, &mut c, &mut vmm, &mut b);
+        let (mut f, mut c, mut os, mut b) = setup();
+        let (a, _) = f.alloc(4, 512, &mut c, &mut os, &mut b).unwrap();
+        let (b2, _) = f.alloc(4, 1, &mut c, &mut os, &mut b).unwrap();
         assert_eq!(a / HUGE_PAGE_BYTES, b2 / HUGE_PAGE_BYTES, "baseline shares");
     }
 
     #[test]
     fn donation_and_head_free() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
-        let base = vmm.mmap(HUGE_PAGE_BYTES);
+        let (mut f, mut c, mut os, mut b) = setup();
+        let base = os.mmap(HUGE_PAGE_BYTES, &mut b).unwrap();
         f.donate(base, 64);
         assert_eq!(f.stats().used_pages, 64);
         // Filler can allocate from the donated tail.
-        let (a, mm) = f.alloc(10, 100, &mut c, &mut vmm, &mut b);
+        let (a, mm) = f.alloc(10, 100, &mut c, &mut os, &mut b).unwrap();
         assert!(!mm);
         assert_eq!(a / HUGE_PAGE_BYTES, base / HUGE_PAGE_BYTES);
         // Free the head; tracker survives because of the tail allocation.
-        f.free_donated_head(base, 64, &mut c, &mut vmm, &mut b);
+        f.free_donated_head(base, 64, &mut c, &mut os, &mut b);
         assert_eq!(f.stats().hugepages, 1);
-        f.dealloc(a, 10, &mut c, &mut vmm, &mut b);
+        f.dealloc(a, 10, &mut c, &mut os, &mut b);
         assert_eq!(f.stats().hugepages, 0);
     }
 
     #[test]
     fn subrelease_breaks_hugepages_and_frees_ram() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
-        let (a, _) = f.alloc(50, 100, &mut c, &mut vmm, &mut b);
-        let _keep = f.alloc(6, 100, &mut c, &mut vmm, &mut b);
-        f.dealloc(a, 50, &mut c, &mut vmm, &mut b);
-        let resident_before = vmm.page_table().resident_bytes();
-        let released = f.subrelease(1000, 0, &mut vmm, &mut b);
+        let (mut f, mut c, mut os, mut b) = setup();
+        let (a, _) = f.alloc(50, 100, &mut c, &mut os, &mut b).unwrap();
+        let _keep = f.alloc(6, 100, &mut c, &mut os, &mut b).unwrap();
+        f.dealloc(a, 50, &mut c, &mut os, &mut b);
+        let resident_before = os.page_table().resident_bytes();
+        let released = f.subrelease(1000, 0, &mut os, &mut b);
         assert_eq!(released, 250, "all free pages released");
         assert_eq!(
-            vmm.page_table().resident_bytes(),
+            os.page_table().resident_bytes(),
             resident_before - 250 * TCMALLOC_PAGE_BYTES
         );
-        assert!(!vmm.page_table().is_huge_backed(a), "hugepage broken");
+        assert!(!os.page_table().is_huge_backed(a), "hugepage broken");
         // Released pages remain allocatable; realloc faults them back.
-        let (b2, mm) = f.alloc(50, 100, &mut c, &mut vmm, &mut b);
+        let (b2, mm) = f.alloc(50, 100, &mut c, &mut os, &mut b).unwrap();
         assert!(!mm);
         assert_eq!(b2 / HUGE_PAGE_BYTES, a / HUGE_PAGE_BYTES);
-        assert!(vmm.page_table().resident_bytes() > resident_before - 250 * TCMALLOC_PAGE_BYTES);
+        assert!(os.page_table().resident_bytes() > resident_before - 250 * TCMALLOC_PAGE_BYTES);
         // The remaining free pages are all already released: nothing to do.
-        assert_eq!(f.subrelease(1000, 0, &mut vmm, &mut b), 0);
+        assert_eq!(f.subrelease(1000, 0, &mut os, &mut b), 0);
     }
 
     #[test]
     fn subrelease_skips_donated() {
-        let (mut f, _c, mut vmm, mut b) = setup();
-        let base = vmm.mmap(HUGE_PAGE_BYTES);
+        let (mut f, _c, mut os, mut b) = setup();
+        let base = os.mmap(HUGE_PAGE_BYTES, &mut b).unwrap();
         f.donate(base, 64);
-        assert_eq!(f.subrelease(1000, 0, &mut vmm, &mut b), 0);
-        assert!(vmm.page_table().is_huge_backed(base));
+        assert_eq!(f.subrelease(1000, 0, &mut os, &mut b), 0);
+        assert!(os.page_table().is_huge_backed(base));
     }
 
     #[test]
     #[should_panic(expected = "untracked hugepage")]
     fn foreign_dealloc_panics() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
-        f.dealloc(0x123 * HUGE_PAGE_BYTES, 1, &mut c, &mut vmm, &mut b);
+        let (mut f, mut c, mut os, mut b) = setup();
+        f.dealloc(0x123 * HUGE_PAGE_BYTES, 1, &mut c, &mut os, &mut b);
     }
 
     #[test]
     fn stats_consistency() {
-        let (mut f, mut c, mut vmm, mut b) = setup();
-        let (_a, _) = f.alloc(100, 32, &mut c, &mut vmm, &mut b);
-        let (_b, _) = f.alloc(30, 32, &mut c, &mut vmm, &mut b);
+        let (mut f, mut c, mut os, mut b) = setup();
+        let (_a, _) = f.alloc(100, 32, &mut c, &mut os, &mut b).unwrap();
+        let (_b, _) = f.alloc(30, 32, &mut c, &mut os, &mut b).unwrap();
         let s = f.stats();
         assert_eq!(s.used_pages + s.free_pages, s.hugepages * HP_PAGES as u64);
         assert_eq!(f.used_bytes(), 130 * TCMALLOC_PAGE_BYTES);

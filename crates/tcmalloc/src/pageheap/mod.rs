@@ -15,11 +15,13 @@
 
 pub mod cache;
 pub mod filler;
+pub mod os;
 pub mod region;
 
 use crate::events::{AllocEvent, EventBus};
 use cache::HugeCache;
 use filler::HugePageFiller;
+pub use os::{AllocError, OsLayer};
 use region::HugeRegionSet;
 use std::collections::HashMap;
 use wsc_sim_hw::cost::AllocPath;
@@ -122,12 +124,12 @@ impl PageHeapStats {
 /// #     &TcmallocConfig::baseline(), CostModel::production(), Clock::new());
 ///
 /// let mut ph = PageHeap::new(PageHeapConfig::default());
-/// let (addr, _path) = ph.alloc(4, 512, &mut bus); // a 4-page span
+/// let (addr, _path) = ph.alloc(4, 512, &mut bus).expect("infallible kernel");
 /// ph.dealloc(addr, 4, &mut bus);
 /// ```
 #[derive(Clone, Debug)]
 pub struct PageHeap {
-    vmm: Vmm,
+    os: OsLayer,
     filler: HugePageFiller,
     region: HugeRegionSet,
     cache: HugeCache,
@@ -137,11 +139,22 @@ pub struct PageHeap {
     large_used_pages: u64,
 }
 
+/// Release-and-retry attempts after a refused backing request before the
+/// failure is surfaced as an [`AllocError`] (bounded backoff: each retry is
+/// preceded by a synchronous emergency release).
+const ENOMEM_RETRIES: u32 = 3;
+
 impl PageHeap {
-    /// Creates a pageheap with the given policy.
+    /// Creates a pageheap on an infallible, unlimited kernel.
     pub fn new(cfg: PageHeapConfig) -> Self {
+        Self::with_kernel(cfg, OsLayer::infallible())
+    }
+
+    /// Creates a pageheap on the given OS layer (fault plan and/or hard
+    /// limit attached).
+    pub fn with_kernel(cfg: PageHeapConfig, os: OsLayer) -> Self {
         Self {
-            vmm: Vmm::new(),
+            os,
             filler: HugePageFiller::new(cfg.lifetime_aware_filler, cfg.capacity_threshold),
             region: HugeRegionSet::new(),
             cache: HugeCache::new(cfg.cache_limit_bytes),
@@ -159,6 +172,17 @@ impl PageHeap {
     /// [`AllocEvent::CachePlace`]) plus any OS-boundary events the chosen
     /// component produces.
     ///
+    /// When the OS refuses a backing request (injected ENOMEM or the hard
+    /// limit), the pageheap synchronously releases everything it can spare
+    /// — the hugepage cache, then the filler's free tails — and retries, up
+    /// to [`ENOMEM_RETRIES`] times (each retry emits one
+    /// [`AllocEvent::ReleaseRetry`]).
+    ///
+    /// # Errors
+    ///
+    /// The final refusal is returned as the [`AllocError`] of the last
+    /// attempt; pageheap state is consistent (nothing placed).
+    ///
     /// # Panics
     ///
     /// Panics if `pages` is zero.
@@ -167,23 +191,55 @@ impl PageHeap {
         pages: u32,
         span_capacity: u32,
         bus: &mut EventBus,
-    ) -> (u64, AllocPath) {
+    ) -> Result<(u64, AllocPath), AllocError> {
         assert!(pages > 0, "zero-page allocation");
+        let mut attempt = 0u32;
+        loop {
+            match self.place(pages, span_capacity, bus) {
+                Ok(placed) => return Ok(placed),
+                Err(err) => {
+                    if attempt >= ENOMEM_RETRIES {
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    let released_bytes = self.emergency_release(bus);
+                    bus.emit(AllocEvent::ReleaseRetry {
+                        attempt,
+                        released_bytes,
+                    });
+                    // Against a hard limit, a retry without reclaimed bytes
+                    // cannot succeed; injected ENOMEM is transient, so the
+                    // bounded retry stands on its own.
+                    if released_bytes == 0 && matches!(err, AllocError::HardLimit { .. }) {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One placement attempt (no retry).
+    fn place(
+        &mut self,
+        pages: u32,
+        span_capacity: u32,
+        bus: &mut EventBus,
+    ) -> Result<(u64, AllocPath), AllocError> {
         let (addr, mmapped, origin) = if (pages as u64) < HP_PAGES {
             let (addr, mm) =
                 self.filler
-                    .alloc(pages, span_capacity, &mut self.cache, &mut self.vmm, bus);
+                    .alloc(pages, span_capacity, &mut self.cache, &mut self.os, bus)?;
             bus.emit(AllocEvent::FillerPlace { addr, pages });
             (addr, mm, Origin::Filler { pages })
         } else if (pages as u64) > HP_PAGES && (pages as u64) < 2 * HP_PAGES {
-            let (addr, mm) = self.region.alloc(pages, &mut self.vmm, bus);
+            let (addr, mm) = self.region.alloc(pages, &mut self.os, bus)?;
             bus.emit(AllocEvent::RegionPlace { addr, pages });
             (addr, mm, Origin::Region { pages })
         } else {
             let hp = (pages as u64).div_ceil(HP_PAGES);
-            let (addr, from_os) = self.cache.alloc_run(hp, &mut self.vmm, bus);
+            let (addr, from_os) = self.cache.alloc_run(hp, &mut self.os, bus)?;
             if !from_os {
-                self.vmm.reoccupy(addr, hp * HUGE_PAGE_BYTES);
+                self.os.reoccupy(addr, hp * HUGE_PAGE_BYTES);
                 bus.emit(AllocEvent::HugepageFill {
                     base: addr,
                     bytes: hp * HUGE_PAGE_BYTES,
@@ -199,6 +255,8 @@ impl PageHeap {
             bus.emit(AllocEvent::CachePlace { addr, pages });
             (addr, from_os, Origin::Large { pages, tail })
         };
+        // Invariant, not resource exhaustion: two live spans at one address
+        // mean corrupted bookkeeping, so this must stay fatal.
         let prev = self.origin.insert(addr, origin);
         assert!(prev.is_none(), "pageheap double allocation at {addr:#x}");
         let path = if mmapped {
@@ -206,7 +264,7 @@ impl PageHeap {
         } else {
             AllocPath::PageHeap
         };
-        (addr, path)
+        Ok((addr, path))
     }
 
     /// Returns `pages` at `addr` (as handed out by [`alloc`](Self::alloc)).
@@ -222,13 +280,15 @@ impl PageHeap {
             .unwrap_or_else(|| panic!("pageheap dealloc of unknown range {addr:#x}"));
         match origin {
             Origin::Filler { pages: p } => {
+                // Invariant asserts: a length mismatch is caller corruption
+                // (free with the wrong size), never an OOM-reachable state.
                 assert_eq!(p, pages, "filler dealloc length mismatch");
                 self.filler
-                    .dealloc(addr, pages, &mut self.cache, &mut self.vmm, bus);
+                    .dealloc(addr, pages, &mut self.cache, &mut self.os, bus);
             }
             Origin::Region { pages: p } => {
                 assert_eq!(p, pages, "region dealloc length mismatch");
-                self.region.dealloc(addr, pages, &mut self.vmm, bus);
+                self.region.dealloc(addr, pages, &mut self.os, bus);
             }
             Origin::Large { pages: p, tail } => {
                 assert_eq!(p, pages, "large dealloc length mismatch");
@@ -237,17 +297,17 @@ impl PageHeap {
                 if tail > 0 {
                     let full = hp - 1;
                     if full > 0 {
-                        self.cache.free_run(addr, full, &mut self.vmm, bus);
+                        self.cache.free_run(addr, full, &mut self.os, bus);
                     }
                     self.filler.free_donated_head(
                         addr + full * HUGE_PAGE_BYTES,
                         HP_PAGES as u32 - tail,
                         &mut self.cache,
-                        &mut self.vmm,
+                        &mut self.os,
                         bus,
                     );
                 } else {
-                    self.cache.free_run(addr, hp, &mut self.vmm, bus);
+                    self.cache.free_run(addr, hp, &mut self.os, bus);
                 }
             }
         }
@@ -255,9 +315,12 @@ impl PageHeap {
 
     /// Background release pass (§2.1): fully-free hugepages already went to
     /// the bounded cache; when resident free pages stranded in the filler
-    /// exceed the threshold, subrelease up to the configured rate.
+    /// exceed the threshold, subrelease up to the configured rate. Also runs
+    /// the khugepaged re-promotion pass over denied-backing hugepages, so
+    /// coverage recovers once THP pressure clears.
     /// Returns bytes released this pass.
     pub fn background_release(&mut self, bus: &mut EventBus) -> u64 {
+        self.os.promote_denied(bus);
         let stats = self.filler.stats();
         let resident_free = stats.free_pages - stats.released_pages;
         if resident_free <= self.cfg.free_pages_threshold {
@@ -266,8 +329,65 @@ impl PageHeap {
         let excess = resident_free - self.cfg.free_pages_threshold;
         let target = excess.min(self.cfg.release_rate_pages);
         self.filler
-            .subrelease(target, self.cfg.subrelease_grace_passes, &mut self.vmm, bus)
+            .subrelease(target, self.cfg.subrelease_grace_passes, &mut self.os, bus)
             * TCMALLOC_PAGE_BYTES
+    }
+
+    /// Soft-limit enforcement (TCMalloc semantics): when resident bytes
+    /// exceed `limit`, synchronously release free memory back toward it with
+    /// bounded backoff — whole cached hugepages first (coverage-preserving),
+    /// then filler subrelease. Emits one [`AllocEvent::LimitHit`] with
+    /// `hard: false` plus one [`AllocEvent::ReleaseRetry`] per attempt.
+    /// Returns bytes released.
+    pub fn enforce_soft_limit(&mut self, limit: u64, bus: &mut EventBus) -> u64 {
+        let resident = self.os.page_table().resident_bytes();
+        if resident <= limit {
+            return 0;
+        }
+        bus.emit(AllocEvent::LimitHit {
+            hard: false,
+            resident,
+            limit,
+        });
+        let mut total = 0u64;
+        for attempt in 1..=ENOMEM_RETRIES {
+            let excess = self.os.page_table().resident_bytes().saturating_sub(limit);
+            if excess == 0 {
+                break;
+            }
+            let mut released =
+                self.cache
+                    .release_upto(excess.div_ceil(HUGE_PAGE_BYTES), &mut self.os, bus)
+                    * HUGE_PAGE_BYTES;
+            let excess = self.os.page_table().resident_bytes().saturating_sub(limit);
+            if excess > 0 {
+                released += self.filler.subrelease(
+                    excess.div_ceil(TCMALLOC_PAGE_BYTES),
+                    0, // soft-limit pressure overrides the subrelease grace
+                    &mut self.os,
+                    bus,
+                ) * TCMALLOC_PAGE_BYTES;
+            }
+            bus.emit(AllocEvent::ReleaseRetry {
+                attempt,
+                released_bytes: released,
+            });
+            total += released;
+            if released == 0 {
+                break; // nothing left to give back
+            }
+        }
+        total
+    }
+
+    /// Emergency synchronous release on a refused backing request: drop the
+    /// whole hugepage cache, then subrelease every free filler page
+    /// (grace-free — staying alive beats preserving THP backing). Returns
+    /// bytes released.
+    fn emergency_release(&mut self, bus: &mut EventBus) -> u64 {
+        let cached = self.cache.cached_bytes();
+        self.cache.release_all(&mut self.os, bus);
+        cached + self.filler.subrelease(u64::MAX, 0, &mut self.os, bus) * TCMALLOC_PAGE_BYTES
     }
 
     /// Component-level snapshot (Figure 15).
@@ -287,9 +407,14 @@ impl PageHeap {
         &self.filler
     }
 
-    /// The underlying virtual memory manager.
+    /// The underlying virtual memory manager (read-only).
     pub fn vmm(&self) -> &Vmm {
-        &self.vmm
+        self.os.vmm()
+    }
+
+    /// The OS boundary layer (degradation state, fault counters).
+    pub fn os(&self) -> &OsLayer {
+        &self.os
     }
 
     /// The active configuration.
@@ -321,9 +446,9 @@ mod tests {
     #[test]
     fn small_goes_to_filler() {
         let (mut ph, mut bus) = heap();
-        let (addr, path) = ph.alloc(10, 512, &mut bus);
+        let (addr, path) = ph.alloc(10, 512, &mut bus).unwrap();
         assert_eq!(path, AllocPath::Mmap, "cold heap touches the OS");
-        let (addr2, path2) = ph.alloc(10, 512, &mut bus);
+        let (addr2, path2) = ph.alloc(10, 512, &mut bus).unwrap();
         assert_eq!(path2, AllocPath::PageHeap, "warm filler");
         assert_eq!(addr / HUGE_PAGE_BYTES, addr2 / HUGE_PAGE_BYTES);
         let s = ph.stats();
@@ -334,7 +459,7 @@ mod tests {
     fn mid_size_goes_to_region() {
         let (mut ph, mut bus) = heap();
         // 2.1 MiB ≈ 269 pages.
-        let (_addr, _) = ph.alloc(269, 1, &mut bus);
+        let (_addr, _) = ph.alloc(269, 1, &mut bus).unwrap();
         let s = ph.stats();
         assert_eq!(s.region_used_bytes, 269 * TCMALLOC_PAGE_BYTES);
         assert_eq!(s.filler_used_bytes, 0);
@@ -345,13 +470,13 @@ mod tests {
         let (mut ph, mut bus) = heap();
         // 4.5 MiB = 576 pages = 3 hugepages with a 192-page donated tail
         // (the paper's own example: 1.5 MB slack from a 4.5 MB allocation).
-        let (addr, _) = ph.alloc(576, 1, &mut bus);
+        let (addr, _) = ph.alloc(576, 1, &mut bus).unwrap();
         let s = ph.stats();
         assert_eq!(s.large_used_bytes, 576 * TCMALLOC_PAGE_BYTES);
         // Donated tail shows up as filler free space.
         assert_eq!(s.filler_free_bytes, 192 * TCMALLOC_PAGE_BYTES);
         // The filler can place a span on the donated tail.
-        let (span_addr, path) = ph.alloc(20, 512, &mut bus);
+        let (span_addr, path) = ph.alloc(20, 512, &mut bus).unwrap();
         assert_eq!(path, AllocPath::PageHeap);
         assert_eq!(
             span_addr / HUGE_PAGE_BYTES,
@@ -366,7 +491,7 @@ mod tests {
     #[test]
     fn exact_hugepage_no_donation() {
         let (mut ph, mut bus) = heap();
-        let (addr, _) = ph.alloc(256, 1, &mut bus);
+        let (addr, _) = ph.alloc(256, 1, &mut bus).unwrap();
         assert_eq!(ph.stats().filler_free_bytes, 0, "no tail to donate");
         ph.dealloc(addr, 256, &mut bus);
         // Freed run parks in the cache (within limit) rather than unmapping.
@@ -376,9 +501,9 @@ mod tests {
     #[test]
     fn cache_reuse_after_large_free() {
         let (mut ph, mut bus) = heap();
-        let (a, _) = ph.alloc(512, 1, &mut bus);
+        let (a, _) = ph.alloc(512, 1, &mut bus).unwrap();
         ph.dealloc(a, 512, &mut bus);
-        let (b, path) = ph.alloc(512, 1, &mut bus);
+        let (b, path) = ph.alloc(512, 1, &mut bus).unwrap();
         assert_eq!(path, AllocPath::PageHeap, "served from hugepage cache");
         assert_eq!(a, b);
     }
@@ -400,8 +525,8 @@ mod tests {
         });
         let (_, mut bus) = heap();
         // Strand ~250 free pages in one hugepage.
-        let (a, _) = ph.alloc(250, 512, &mut bus);
-        let (b, _) = ph.alloc(5, 512, &mut bus);
+        let (a, _) = ph.alloc(250, 512, &mut bus).unwrap();
+        let (b, _) = ph.alloc(5, 512, &mut bus).unwrap();
         ph.dealloc(a, 250, &mut bus);
         let released = ph.background_release(&mut bus);
         assert_eq!(released, 50 * TCMALLOC_PAGE_BYTES, "rate-limited");
@@ -419,9 +544,9 @@ mod tests {
     #[test]
     fn stats_components_are_disjoint() {
         let (mut ph, mut bus) = heap();
-        let (_f, _) = ph.alloc(10, 512, &mut bus);
-        let (_r, _) = ph.alloc(300, 1, &mut bus);
-        let (_l, _) = ph.alloc(512, 1, &mut bus);
+        let (_f, _) = ph.alloc(10, 512, &mut bus).unwrap();
+        let (_r, _) = ph.alloc(300, 1, &mut bus).unwrap();
+        let (_l, _) = ph.alloc(512, 1, &mut bus).unwrap();
         let s = ph.stats();
         assert!(s.filler_used_bytes > 0);
         assert!(s.region_used_bytes > 0);

@@ -6,10 +6,10 @@
 //! packs such mid-size allocations end-to-end on a contiguous run of
 //! hugepages, ignoring hugepage boundaries.
 
+use super::os::{AllocError, OsLayer};
 use crate::events::{AllocEvent, EventBus};
 use std::collections::BTreeMap;
 use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
-use wsc_sim_os::vmm::Vmm;
 
 /// Hugepages per region (4 → 8 MiB of virtual space per region; production
 /// uses 1 GiB regions against TiB heaps — scaled like the cache capacities).
@@ -94,10 +94,20 @@ impl HugeRegionSet {
     /// new region when needed (emitting one [`AllocEvent::HugepageFill`]).
     /// Returns `(addr, mmapped)`.
     ///
+    /// # Errors
+    ///
+    /// Propagates the OS layer's refusal when a new region must be mapped;
+    /// the region set is unchanged in that case.
+    ///
     /// # Panics
     ///
     /// Panics if `pages` exceeds a region.
-    pub fn alloc(&mut self, pages: u32, vmm: &mut Vmm, bus: &mut EventBus) -> (u64, bool) {
+    pub fn alloc(
+        &mut self,
+        pages: u32,
+        os: &mut OsLayer,
+        bus: &mut EventBus,
+    ) -> Result<(u64, bool), AllocError> {
         assert!(
             (1..=REGION_PAGES).contains(&pages),
             "region allocation of {pages} pages out of range"
@@ -107,10 +117,10 @@ impl HugeRegionSet {
                 region.set_range(off, pages, true);
                 let addr = region.base + off as u64 * TCMALLOC_PAGE_BYTES;
                 self.live.insert(addr, (idx, off, pages));
-                return (addr, false);
+                return Ok((addr, false));
             }
         }
-        let base = vmm.mmap(REGION_HUGEPAGES * HUGE_PAGE_BYTES);
+        let base = os.mmap(REGION_HUGEPAGES * HUGE_PAGE_BYTES, bus)?;
         bus.emit(AllocEvent::HugepageFill {
             base,
             bytes: REGION_HUGEPAGES * HUGE_PAGE_BYTES,
@@ -120,7 +130,7 @@ impl HugeRegionSet {
         region.set_range(0, pages, true);
         self.regions.push(region);
         self.live.insert(base, (self.regions.len() - 1, 0, pages));
-        (base, true)
+        Ok((base, true))
     }
 
     /// Frees a range previously returned by [`alloc`](Self::alloc). Fully
@@ -130,7 +140,7 @@ impl HugeRegionSet {
     /// # Panics
     ///
     /// Panics if `addr` is not a live region allocation or `pages` mismatches.
-    pub fn dealloc(&mut self, addr: u64, pages: u32, vmm: &mut Vmm, bus: &mut EventBus) {
+    pub fn dealloc(&mut self, addr: u64, pages: u32, os: &mut OsLayer, bus: &mut EventBus) {
         let (idx, off, len) = self
             .live
             .remove(&addr)
@@ -139,7 +149,7 @@ impl HugeRegionSet {
         let region = &mut self.regions[idx];
         region.set_range(off, len, false);
         if region.used_pages == 0 {
-            vmm.munmap(region.base, REGION_HUGEPAGES * HUGE_PAGE_BYTES);
+            os.munmap(region.base, REGION_HUGEPAGES * HUGE_PAGE_BYTES);
             bus.emit(AllocEvent::HugepageRelease {
                 base: region.base,
                 bytes: REGION_HUGEPAGES * HUGE_PAGE_BYTES,
@@ -196,13 +206,13 @@ mod tests {
     #[test]
     fn packs_end_to_end() {
         let mut rs = HugeRegionSet::new();
-        let mut vmm = Vmm::new();
+        let mut os = OsLayer::infallible();
         let mut bs = bus();
         // 2.1 MiB ≈ 269 pages; three of them fit in one 16-hugepage region.
-        let (a, mmapped) = rs.alloc(269, &mut vmm, &mut bs);
+        let (a, mmapped) = rs.alloc(269, &mut os, &mut bs).unwrap();
         assert!(mmapped);
-        let (b, m2) = rs.alloc(269, &mut vmm, &mut bs);
-        let (c, m3) = rs.alloc(269, &mut vmm, &mut bs);
+        let (b, m2) = rs.alloc(269, &mut os, &mut bs).unwrap();
+        let (c, m3) = rs.alloc(269, &mut os, &mut bs).unwrap();
         assert!(!m2 && !m3, "same region reused");
         assert_eq!(b, a + 269 * TCMALLOC_PAGE_BYTES, "end-to-end packing");
         assert_eq!(c, b + 269 * TCMALLOC_PAGE_BYTES);
@@ -215,10 +225,10 @@ mod tests {
         // wastes ~1.9 MiB; in a shared region the per-allocation share of
         // region slack is far smaller once a few allocations pack together.
         let mut rs = HugeRegionSet::new();
-        let mut vmm = Vmm::new();
+        let mut os = OsLayer::infallible();
         let mut bs = bus();
         for _ in 0..15 {
-            rs.alloc(269, &mut vmm, &mut bs);
+            rs.alloc(269, &mut os, &mut bs).unwrap();
         }
         let free = rs.free_bytes();
         let per_alloc_slack = free as f64 / 15.0;
@@ -231,12 +241,12 @@ mod tests {
     #[test]
     fn dealloc_reuses_space() {
         let mut rs = HugeRegionSet::new();
-        let mut vmm = Vmm::new();
+        let mut os = OsLayer::infallible();
         let mut bs = bus();
-        let (a, _) = rs.alloc(300, &mut vmm, &mut bs);
-        let (_b, _) = rs.alloc(300, &mut vmm, &mut bs);
-        rs.dealloc(a, 300, &mut vmm, &mut bs);
-        let (c, mmapped) = rs.alloc(300, &mut vmm, &mut bs);
+        let (a, _) = rs.alloc(300, &mut os, &mut bs).unwrap();
+        let (_b, _) = rs.alloc(300, &mut os, &mut bs).unwrap();
+        rs.dealloc(a, 300, &mut os, &mut bs);
+        let (c, mmapped) = rs.alloc(300, &mut os, &mut bs).unwrap();
         assert!(!mmapped);
         assert_eq!(c, a, "first-fit reuses the hole");
     }
@@ -244,14 +254,14 @@ mod tests {
     #[test]
     fn empty_region_unmaps() {
         let mut rs = HugeRegionSet::new();
-        let mut vmm = Vmm::new();
+        let mut os = OsLayer::infallible();
         let mut bs = bus();
-        let (a, _) = rs.alloc(400, &mut vmm, &mut bs);
-        let mapped = vmm.mapped_bytes();
-        rs.dealloc(a, 400, &mut vmm, &mut bs);
+        let (a, _) = rs.alloc(400, &mut os, &mut bs).unwrap();
+        let mapped = os.vmm().mapped_bytes();
+        rs.dealloc(a, 400, &mut os, &mut bs);
         assert_eq!(rs.num_regions(), 0);
         assert_eq!(
-            vmm.mapped_bytes(),
+            os.vmm().mapped_bytes(),
             mapped - REGION_HUGEPAGES * HUGE_PAGE_BYTES
         );
     }
@@ -260,23 +270,23 @@ mod tests {
     #[should_panic(expected = "unknown region range")]
     fn unknown_dealloc_panics() {
         let mut rs = HugeRegionSet::new();
-        let mut vmm = Vmm::new();
+        let mut os = OsLayer::infallible();
         let mut bs = bus();
-        rs.dealloc(0x1234, 300, &mut vmm, &mut bs);
+        rs.dealloc(0x1234, 300, &mut os, &mut bs);
     }
 
     #[test]
     fn swap_remove_fixes_indices() {
         let mut rs = HugeRegionSet::new();
-        let mut vmm = Vmm::new();
+        let mut os = OsLayer::infallible();
         let mut bs = bus();
         // Fill two regions.
-        let (a, _) = rs.alloc(REGION_PAGES, &mut vmm, &mut bs);
-        let (b, _) = rs.alloc(REGION_PAGES, &mut vmm, &mut bs);
+        let (a, _) = rs.alloc(REGION_PAGES, &mut os, &mut bs).unwrap();
+        let (b, _) = rs.alloc(REGION_PAGES, &mut os, &mut bs).unwrap();
         assert_eq!(rs.num_regions(), 2);
         // Drop the first; the second's live entry must stay valid.
-        rs.dealloc(a, REGION_PAGES, &mut vmm, &mut bs);
-        rs.dealloc(b, REGION_PAGES, &mut vmm, &mut bs);
+        rs.dealloc(a, REGION_PAGES, &mut os, &mut bs);
+        rs.dealloc(b, REGION_PAGES, &mut os, &mut bs);
         assert_eq!(rs.num_regions(), 0);
     }
 }

@@ -216,6 +216,13 @@ impl EventSink for StatsView {
                     .charge(path.into(), self.cost.alloc_path_ns(path));
                 self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
             }
+            AllocEvent::OsFault { latency_ns, .. } if latency_ns > 0 => {
+                // Injected kernel latency (THP compaction stall, flaky
+                // madvise) is allocator time spent waiting on the OS —
+                // charge it where the paper books mmap cost.
+                self.cycles
+                    .charge(CycleCategory::PageHeap, latency_ns as f64);
+            }
             AllocEvent::SamplerPick {
                 size,
                 site,

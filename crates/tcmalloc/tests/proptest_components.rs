@@ -126,7 +126,7 @@ fn pageheap_ranges_never_overlap() {
         for i in 0..reqs {
             let pages = rng.gen_range(1u32..600);
             let free_one = rng.gen::<bool>();
-            let (addr, _) = ph.alloc(pages, 8, &mut bus);
+            let (addr, _) = ph.alloc(pages, 8, &mut bus).expect("infallible kernel");
             let bytes = pages as u64 * 8192;
             for &(start, p) in &live {
                 let len = p as u64 * 8192;
@@ -165,7 +165,7 @@ fn pageheap_release_is_safe_at_any_point() {
         let mut live = Vec::new();
         for i in 0..count {
             let p = rng.gen_range(1u32..255);
-            let (addr, _) = ph.alloc(p, 8, &mut bus);
+            let (addr, _) = ph.alloc(p, 8, &mut bus).expect("infallible kernel");
             live.push((addr, p));
             if i == release_at {
                 // Free half, then force an aggressive release pass.

@@ -47,8 +47,9 @@ fn central_free_list_conserves_objects() {
             let n = rng.gen_range(1usize..40);
             let alloc = rng.gen::<bool>();
             if alloc || live.is_empty() {
-                let (objs, _) =
-                    cfl.alloc_batch(n, &mut spans, &mut pagemap, &mut pageheap, &mut bus);
+                let (objs, _) = cfl
+                    .alloc_batch(n, &mut spans, &mut pagemap, &mut pageheap, &mut bus)
+                    .expect("infallible kernel");
                 assert_eq!(objs.len(), n, "batch always filled (grows)");
                 for o in &objs {
                     assert!(!live.contains(o), "duplicate object");

@@ -135,6 +135,10 @@ pub struct RunReport {
     pub resident_ts: TimeSeries,
     /// Per-vCPU miss counts (Figure 9b).
     pub percpu_misses: Vec<u64>,
+    /// Allocations the kernel refused (injected ENOMEM / hard limit that
+    /// survived the pageheap's release-and-retry). Always zero without a
+    /// fault plan or memory limit.
+    pub failed_allocs: u64,
 }
 
 struct LiveObject {
@@ -171,6 +175,7 @@ pub fn run(
 
     let mut busy_ns = 0.0f64;
     let mut malloc_ns = 0.0f64;
+    let mut failed_allocs = 0u64;
     let mut walk_ns = 0.0f64;
     let mut instructions = 0u64;
     let mut next_load_ns = 0u64;
@@ -277,7 +282,15 @@ pub fn run(
         };
         for _ in 0..n_allocs {
             let (size, site) = spec.sample_size(now, &mut rng);
-            let a = tcm.malloc_with_site(size, cpu, site as u64);
+            // Fault-aware: a refused allocation drops the request's object
+            // (the workload degrades) instead of aborting the run.
+            let a = match tcm.try_malloc_with_site(size, cpu, site as u64) {
+                Ok(a) => a,
+                Err(_) => {
+                    failed_allocs += 1;
+                    continue;
+                }
+            };
             service_ns += a.ns;
             malloc_ns += a.ns;
             instructions += INSTR_PER_ALLOC_PAIR / 2;
@@ -381,6 +394,7 @@ pub fn run(
         threads_ts,
         resident_ts,
         percpu_misses: tcm.percpu_miss_counts(),
+        failed_allocs,
     };
     (report, tcm)
 }

@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 use wsc_parallel::Engine;
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_sim_os::clock::Clock;
+use wsc_sim_os::faults::{FaultPlan, PPM};
 use wsc_sim_os::pagetable::PageTable;
 use wsc_tcmalloc::events::EvictReason;
 use wsc_tcmalloc::{AllocEvent, SanitizeLevel, Tcmalloc, TcmallocConfig};
@@ -116,12 +117,55 @@ fn directed_workload_emits_every_event_kind() {
         tcm.free(a.addr, 4096, cpu_a);
     }
 
+    // The failure-model kinds (OsFault, BackingDenied, LimitHit,
+    // ReleaseRetry, Degraded, Recovered) can only come from a fault-injected
+    // run: a storm denies THP backing (with a latency spike) while a tiny
+    // soft limit forces release retries, then the storm ends and the
+    // khugepaged pass re-promotes.
+    let fclock = Clock::new();
+    let plan = FaultPlan {
+        deny_huge_ppm: PPM,
+        latency_spike_ppm: PPM,
+        latency_spike_ns: 50_000,
+        ..FaultPlan::off()
+    }
+    .with_storm(0, 1_000);
+    let fcfg = TcmallocConfig::baseline()
+        .with_event_recorder()
+        .with_os_faults(plan)
+        .with_soft_limit(1 << 20);
+    let mut ftcm = Tcmalloc::new(fcfg, platform(), fclock.clone());
+    let big = ftcm.malloc(4 << 20, CpuId(0)); // storm: backing denied, spike
+    assert!(ftcm.os_degraded(), "storm denied THP backing");
+    fclock.advance(wsc_sim_os::clock::NS_PER_SEC);
+    ftcm.maintain(); // post-storm: re-promotion + soft-limit enforcement
+    assert!(!ftcm.os_degraded(), "khugepaged pass re-promoted");
+    ftcm.free(big.addr, 4 << 20, CpuId(0));
+    let fault_seen: BTreeSet<&str> = ftcm
+        .recorded_events()
+        .iter()
+        .map(AllocEvent::kind)
+        .collect();
+    for kind in [
+        "OsFault",
+        "BackingDenied",
+        "LimitHit",
+        "ReleaseRetry",
+        "Degraded",
+        "Recovered",
+    ] {
+        assert!(
+            fault_seen.contains(kind),
+            "fault run never emitted {kind}: saw {fault_seen:?}"
+        );
+    }
+
     let events = tcm.recorded_events();
     let seen: BTreeSet<&str> = events.iter().map(AllocEvent::kind).collect();
     let missing: Vec<&str> = AllocEvent::KINDS
         .iter()
         .copied()
-        .filter(|k| !seen.contains(k))
+        .filter(|k| !seen.contains(k) && !fault_seen.contains(k))
         .collect();
     assert!(
         missing.is_empty(),
@@ -212,7 +256,9 @@ fn replaying_the_stream_reconstructs_the_heap() {
                 bytes,
                 reused: true,
             } => pt.reoccupy(base, bytes),
-            AllocEvent::HugepageBreak { base, bytes } => pt.subrelease(base, bytes),
+            AllocEvent::HugepageBreak { base, bytes } => pt
+                .subrelease(base, bytes)
+                .expect("replayed stream only breaks mapped hugepages"),
             AllocEvent::HugepageRelease { base, bytes } => pt.on_munmap(base, bytes),
             AllocEvent::MallocDone { size, .. } => {
                 live_bytes += i128::from(size);

@@ -8,6 +8,7 @@ use warehouse_alloc::fleet::experiment::{
 };
 use warehouse_alloc::parallel::Engine;
 use warehouse_alloc::sim_hw::topology::Platform;
+use warehouse_alloc::sim_os::faults::FaultPlan;
 use warehouse_alloc::tcmalloc::TcmallocConfig;
 use warehouse_alloc::workload::profiles;
 
@@ -60,6 +61,34 @@ fn workload_ab_identical_at_threads_1_2_8() {
             )
             .expect("no arm panics");
             format!("{c:?}")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "threads=1 vs threads=2");
+    assert_eq!(reports[0], reports[2], "threads=1 vs threads=8");
+}
+
+#[test]
+fn fault_storm_identical_at_threads_1_2_8() {
+    // Fault injection is part of the determinism contract: the same seeded
+    // storm must perturb every cell identically regardless of how the
+    // engine schedules them. Both arms run under an ENOMEM storm wide
+    // enough to cover the whole quick run, so denied mmaps, release-retry
+    // loops, and refused allocations all land in the compared reports.
+    let cfg = quick_cfg(31);
+    let storm = FaultPlan::named("enomem-storm", 0xFA57)
+        .expect("catalogued storm")
+        .with_storm(0, u64::MAX);
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let r = try_run_fleet_ab(
+                &Engine::new(threads),
+                TcmallocConfig::baseline().with_os_faults(storm),
+                TcmallocConfig::optimized().with_os_faults(storm),
+                &cfg,
+            )
+            .expect("faults are refusals, not panics");
+            format!("{r:?}")
         })
         .collect();
     assert_eq!(reports[0], reports[1], "threads=1 vs threads=2");

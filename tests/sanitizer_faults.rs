@@ -120,6 +120,71 @@ fn free_of_unmapped_address_is_rejected() {
 }
 
 #[test]
+fn injected_os_faults_are_never_sanitizer_reports() {
+    // A kernel fault is a refusal, not an allocator bug: under a storm that
+    // denies mmaps, strips THP backing, and breaks subrelease all at once,
+    // the shadow checker and the conservation audits must stay silent —
+    // only *invalid application operations* may ever produce reports.
+    use warehouse_alloc::sim_os::faults::{FaultPlan, PPM};
+    // The ENOMEM rate must beat the pageheap's release-and-retry loop
+    // (4 mmap draws per request) often enough to surface real refusals.
+    let plan = FaultPlan {
+        enomem_ppm: PPM * 3 / 4,
+        deny_huge_ppm: PPM / 2,
+        subrelease_fail_ppm: PPM / 2,
+        latency_spike_ppm: PPM / 4,
+        latency_spike_ns: 50_000,
+        ..FaultPlan::off()
+    }
+    .with_seed(0xBAD05)
+    .with_storm(0, u64::MAX);
+    let clock = Clock::new();
+    let mut tcm = Tcmalloc::new(
+        TcmallocConfig::baseline()
+            .with_sanitize(SanitizeLevel::Full)
+            .with_os_faults(plan)
+            .with_soft_limit(4 << 20),
+        Platform::chiplet("t", 1, 2, 4, 2),
+        clock.clone(),
+    );
+    let mut live = Vec::new();
+    let mut refused = 0u64;
+    for round in 0..200u64 {
+        let size = if round % 3 == 0 {
+            2 << 20
+        } else {
+            64 + round * 16
+        };
+        match tcm.try_malloc(size, CpuId(0)) {
+            Ok(a) => live.push((a.addr, size)),
+            Err(_) => refused += 1,
+        }
+        if live.len() > 12 {
+            let (addr, size) = live.remove(0);
+            tcm.free(addr, size, CpuId(0));
+        }
+        clock.advance(10_000_000);
+        tcm.maintain();
+    }
+    let stats = tcm.fault_stats();
+    assert!(
+        stats.enomem_injected + stats.huge_denied + stats.subrelease_failed > 0,
+        "the storm actually bit: {stats:?}"
+    );
+    assert!(refused > 0, "some allocations were refused outright");
+    assert!(
+        tcm.take_sanitizer_reports().is_empty(),
+        "injected kernel faults masqueraded as allocator bugs"
+    );
+    for (addr, size) in live {
+        tcm.free(addr, size, CpuId(0));
+    }
+    assert_eq!(tcm.live_objects(), 0);
+    assert_eq!(tcm.audit_now(), 0, "conservation holds after the storm");
+    assert!(tcm.take_sanitizer_reports().is_empty());
+}
+
+#[test]
 fn overlapping_allocation_is_reported_by_the_shadow() {
     let mut shadow = ShadowState::new();
     shadow.record_alloc(0x10000, 64, Some(3), 0, 0x10000, 2);

@@ -26,6 +26,14 @@
 //!    and profile attribution must flow through `AllocEvent` emission, so
 //!    one stream stays the single source of truth; a tier charging stats
 //!    by hand would silently drift from what the sinks derive.
+//! 6. **Infallible OS** — deny-by-default: no direct `Vmm` construction or
+//!    `Vmm`/`PageTable` mutation (`mmap`, `munmap`, `subrelease`,
+//!    `reoccupy`, `collapse_huge`, `promote`, `on_mmap*`) outside the OS
+//!    boundary itself (`crates/sim-os/`) and its sanctioned wrapper
+//!    (`crates/tcmalloc/src/pageheap/`, home of `OsLayer`). Every kernel
+//!    call must cross the fault injector so injected ENOMEM, THP denial,
+//!    and the hard limit are enforced — a tier mapping memory directly
+//!    would be invisible to the failure model and to the limit accounting.
 //!
 //! The lint scans the deterministic core (`sim-*`, `tcmalloc`, `fleet`,
 //! `sanitizer`, `workload`, `telemetry`, `prng`) line by line. A finding on
@@ -64,6 +72,29 @@ const ATTRIBUTION_SANCTIONED: &[&str] = &[
     "crates/telemetry/",
 ];
 
+/// Paths allowed to construct or mutate the kernel (`Vmm` / `PageTable`)
+/// directly: the OS boundary itself, and the pageheap's `OsLayer` wrapper
+/// that routes every call through the fault injector and the hard limit.
+const OS_SANCTIONED: &[&str] = &["crates/sim-os/", "crates/tcmalloc/src/pageheap/"];
+
+/// Calls that construct or mutate kernel state. `.mmap(` and `.munmap(`
+/// also cover `OsLayer`'s own methods, which is intentional: outside the
+/// sanctioned paths not even the wrapper may be driven directly — memory
+/// must be requested from the pageheap.
+const OS_MUTATION: &[&str] = &[
+    "Vmm::new(",
+    "Vmm::with_faults(",
+    ".mmap(",
+    ".munmap(",
+    ".on_mmap(",
+    ".on_mmap_backed(",
+    ".on_munmap(",
+    ".subrelease(",
+    ".reoccupy(",
+    ".collapse_huge(",
+    ".promote(",
+];
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Rule {
     WallClock,
@@ -71,6 +102,7 @@ enum Rule {
     HashMapIter,
     HashMapDecl,
     DirectAttribution,
+    InfallibleOs,
 }
 
 impl Rule {
@@ -81,6 +113,7 @@ impl Rule {
             Rule::HashMapIter => "hashmap-iter",
             Rule::HashMapDecl => "hashmap-decl",
             Rule::DirectAttribution => "direct-attribution",
+            Rule::InfallibleOs => "infallible-os",
         }
     }
 }
@@ -216,7 +249,16 @@ fn scan_file(path: &Path, src: &str, findings: &mut Vec<Finding>) {
         {
             hit(Rule::DirectAttribution);
         }
+        if !os_sanctioned(path) && OS_MUTATION.iter().any(|pat| code.contains(pat)) {
+            hit(Rule::InfallibleOs);
+        }
     }
+}
+
+/// Is this file allowed to construct or mutate kernel state directly?
+fn os_sanctioned(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    OS_SANCTIONED.iter().any(|s| p.contains(s))
 }
 
 /// Is this file allowed to call the attribution consumers directly?
