@@ -1,7 +1,8 @@
-//! Fault-injection bench: the Fig. 7 fleet-mix churn loop under seeded
-//! kernel fault storms at three rates — 0 (healthy), 1e-4, and 1e-2 per
-//! syscall — plus a dedicated recovery measurement after a total THP
-//! outage.
+//! Fault-injection bench: the Fig. 7 fleet-mix churn loop (plus a
+//! multi-hugepage span churn that keeps the mmap/subrelease paths busy)
+//! under seeded kernel fault storms at three rates — 0 (healthy), 2.5%,
+//! and 25% per syscall — plus a dedicated recovery measurement after a
+//! total THP outage.
 //!
 //! Reported per rate: allocator throughput, end-of-run hugepage coverage,
 //! refused allocations, and injected-fault counts. The recovery phase
@@ -27,8 +28,15 @@ use wsc_workload::profiles;
 /// workspace root so CI finds it at a fixed path.
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
 
-/// Per-syscall fault rates under test, parts per million.
-const RATES_PPM: [u32; 3] = [0, 100, 10_000];
+/// Per-syscall fault rates under test, parts per million. Syscalls are
+/// rare relative to allocator ops (the caches exist to absorb churn), and
+/// a refusal needs `ENOMEM_RETRIES + 1` consecutive injected failures —
+/// so the storm rates must be aggressive for the matrix to be
+/// non-trivial: the earlier 100/10 000 ppm rates injected *zero* faults
+/// over a quick run, and every cell silently measured the healthy path.
+/// The top rate fails every other syscall (refusal odds 1/16 per fresh
+/// mmap); `main` asserts it provably injects and refuses.
+const RATES_PPM: [u32; 3] = [0, 25_000, 500_000];
 
 /// Simulated interval between background maintenance passes during the
 /// post-storm recovery measurement.
@@ -40,6 +48,7 @@ struct ChurnOut {
     coverage: f64,
     refused: u64,
     injected: u64,
+    stats: wsc_sim_os::FaultStats,
 }
 
 fn churn(ops: u64, rate_ppm: u32) -> ChurnOut {
@@ -57,18 +66,41 @@ fn churn(ops: u64, rate_ppm: u32) -> ChurnOut {
     }
     .with_seed(0xFA11)
     .with_storm(0, u64::MAX);
-    let mut tcm = Tcmalloc::new(
-        TcmallocConfig::optimized().with_os_faults(plan),
-        platform,
-        clock.clone(),
-    );
+    // The defaults' 50 ms release interval never elapses inside a
+    // 500 ns/op churn loop, and the small-object live set fits in the
+    // warmup mmaps — with both quiet, the run makes almost no syscalls and
+    // per-syscall ppm rates have nothing to roll against. Compress the
+    // release interval so background subrelease fires throughout the run;
+    // the large-span churn below keeps the mmap side busy.
+    let mut cfg = TcmallocConfig::optimized().with_os_faults(plan);
+    cfg.release_interval_ns = 200_000; // 200 µs simulated
+    let mut tcm = Tcmalloc::new(cfg, platform, clock.clone());
     let mut live: Vec<(u64, u64)> = Vec::new();
+    let mut large: Vec<(u64, u64)> = Vec::new();
+    let mut held: Vec<(u64, u64)> = Vec::new();
     let mut refused = 0u64;
     let t = Instant::now();
     for i in 0..ops {
         clock.advance(500);
         let cpu = CpuId((i % 16) as u32);
-        if live.len() > 2_000 || (!live.is_empty() && rng.gen::<f64>() < 0.45) {
+        if i % 32 == 0 {
+            // Multi-hugepage spans miss every cache tier, so each round
+            // trip is pageheap traffic. Half are held for the whole run:
+            // the growing footprint cannot be satisfied from recycled
+            // spans, so each held span is a fresh `mmap` the fault plan
+            // gets to roll against; the other half churn through a short
+            // FIFO to keep the free/subrelease side busy.
+            if large.len() >= 8 {
+                let (addr, size) = large.remove(0);
+                tcm.free(addr, size, cpu);
+            }
+            let size = (2 + i % 3) * (2 << 20);
+            match tcm.try_malloc(black_box(size), cpu) {
+                Ok(a) if (i / 32) % 2 == 0 => held.push((a.addr, size)),
+                Ok(a) => large.push((a.addr, size)),
+                Err(_) => refused += 1,
+            }
+        } else if live.len() > 2_000 || (!live.is_empty() && rng.gen::<f64>() < 0.45) {
             let k = rng.gen_range(0..live.len());
             let (addr, size) = live.swap_remove(k);
             tcm.free(addr, size, cpu);
@@ -87,7 +119,7 @@ fn churn(ops: u64, rate_ppm: u32) -> ChurnOut {
     let stats = tcm.fault_stats();
     let injected =
         stats.enomem_injected + stats.huge_denied + stats.subrelease_failed + stats.latency_spikes;
-    for (addr, size) in live {
+    for (addr, size) in live.into_iter().chain(large).chain(held) {
         tcm.free(addr, size, CpuId(0));
     }
     ChurnOut {
@@ -95,6 +127,7 @@ fn churn(ops: u64, rate_ppm: u32) -> ChurnOut {
         coverage,
         refused,
         injected,
+        stats,
     }
 }
 
@@ -137,7 +170,10 @@ fn thp_recovery() -> (u64, u64) {
 
 fn main() {
     let scale = Scale::from_env();
-    let ops = scale.requests;
+    // Floor the op count: syscall volume scales with churn, and the storm
+    // assertions below need enough syscalls for ppm rates to be meaningful
+    // even at quick scale.
+    let ops = scale.requests.max(20_000);
     println!("== fault-injection: fleet-mix churn under storms, {ops} ops ==");
 
     let mut report = JsonReport::new();
@@ -148,13 +184,31 @@ fn main() {
     for rate in RATES_PPM {
         let out = churn(ops, rate);
         println!(
-            "rate {rate:>6} ppm  {:>7.2} Mops/s  coverage {:.3}  refused {}  injected {}",
-            out.mops, out.coverage, out.refused, out.injected
+            "rate {rate:>6} ppm  {:>7.2} Mops/s  coverage {:.3}  refused {}  injected {} \
+             (enomem {} thp {} madvise {} latency {})",
+            out.mops,
+            out.coverage,
+            out.refused,
+            out.injected,
+            out.stats.enomem_injected,
+            out.stats.huge_denied,
+            out.stats.subrelease_failed,
+            out.stats.latency_spikes
         );
         if rate == 0 {
             // The zero plan is the golden-figure contract: nothing fires.
             assert_eq!(out.injected, 0, "zero-rate plan injected faults");
             assert_eq!(out.refused, 0, "zero-rate plan refused allocations");
+        } else {
+            // The storm cells must exercise the degraded paths, not silently
+            // re-measure the healthy run (the bug this matrix shipped with).
+            assert!(out.injected > 0, "no faults injected at {rate} ppm");
+        }
+        if rate == RATES_PPM[RATES_PPM.len() - 1] {
+            assert!(
+                out.refused > 0,
+                "top storm rate never refused an allocation"
+            );
         }
         assert!(
             (0.0..=1.0).contains(&out.coverage),

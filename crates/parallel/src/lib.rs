@@ -45,6 +45,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// lint:lock-order(collected, error) — canonical acquisition order for this
+// file's two mutexes: workers push into `collected` while running, and the
+// merge path takes `error` only after the scope join. Nothing may hold
+// `error` while acquiring `collected`.
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -214,13 +218,21 @@ impl Engine {
 
         let worker = || {
             let mut local: Vec<(usize, R)> = Vec::new();
+            // lint:allow(atomic-ordering) Acquire pairs with the Release
+            // store in record_failure: seeing the flag implies the error
+            // slot write is visible.
             'claim: while !poisoned.load(Ordering::Acquire) {
+                // lint:allow(atomic-ordering) Relaxed: the claim cursor
+                // guards no data, only chunk uniqueness, which fetch_add
+                // gives under any ordering.
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
                 }
                 let end = (start + chunk).min(n);
                 for (index, task) in tasks.iter().enumerate().take(end).skip(start) {
+                    // lint:allow(atomic-ordering) Acquire: same pairing as
+                    // the claim-loop check above.
                     if poisoned.load(Ordering::Acquire) {
                         break 'claim;
                     }
@@ -285,6 +297,8 @@ fn record_failure<T>(
             message,
         });
     }
+    // lint:allow(atomic-ordering) Release publishes the error-slot write
+    // above to the Acquire loads in the claim loop.
     poisoned.store(true, Ordering::Release);
 }
 

@@ -5,6 +5,9 @@
 //! reads the same monotonic nanosecond clock. Only the driver advances it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+// lint:allow(concurrency-readiness) Arc is shared ownership of the single
+// clock word, not synchronization: the driver is the only writer, and every
+// reader tolerates any interleaving of whole-word updates.
 use std::sync::Arc;
 
 /// A cheaply-cloneable handle to a monotonic simulated clock (nanoseconds).
@@ -21,6 +24,8 @@ use std::sync::Arc;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Clock {
+    // lint:allow(concurrency-readiness) see the import note: shared
+    // ownership of one atomic word, no locking.
     ns: Arc<AtomicU64>,
 }
 
@@ -38,17 +43,23 @@ impl Clock {
 
     /// Current simulated time, ns.
     pub fn now_ns(&self) -> u64 {
+        // lint:allow(atomic-ordering) Relaxed: the clock word carries no
+        // other data; readers only need some whole-word value.
         self.ns.load(Ordering::Relaxed)
     }
 
     /// Advances the clock by `delta_ns` and returns the new time.
     pub fn advance(&self, delta_ns: u64) -> u64 {
+        // lint:allow(atomic-ordering) Relaxed: fetch_add is atomic per
+        // word; time ordering comes from the single-writer driver.
         self.ns.fetch_add(delta_ns, Ordering::Relaxed) + delta_ns
     }
 
     /// Moves the clock forward to `t_ns` if it is ahead of now; no-op
     /// otherwise (the clock never goes backwards).
     pub fn advance_to(&self, t_ns: u64) {
+        // lint:allow(atomic-ordering) Relaxed: fetch_max is idempotent and
+        // monotone; no ordering with other memory is implied.
         self.ns.fetch_max(t_ns, Ordering::Relaxed);
     }
 }

@@ -130,6 +130,9 @@ impl CentralFreeList {
 
     fn list_remove(&mut self, spans: &mut SpanRegistry, id: SpanId) {
         let SpanState::InFreeList { list, pos } = spans.get(id).state else {
+            // lint:allow(panic-surface) free-list/span-state disagreement
+            // is allocator-internal corruption, not a recoverable
+            // allocation failure; aborting preserves the crime scene.
             panic!("span not on a list");
         };
         let (list, pos) = (list as usize, pos as usize);
@@ -137,6 +140,8 @@ impl CentralFreeList {
         if pos < self.lists[list].len() {
             let moved = self.lists[list][pos];
             let SpanState::InFreeList { list: ml, pos: _ } = spans.get(moved).state else {
+                // lint:allow(panic-surface) same internal invariant as
+                // above, for the span displaced by swap_remove.
                 panic!("moved span not on a list");
             };
             debug_assert_eq!(ml as usize, list);

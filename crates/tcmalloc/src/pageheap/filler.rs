@@ -80,6 +80,8 @@ impl PageTracker {
     }
 
     fn used_bit(&self, i: u32) -> bool {
+        // lint:allow(panic-surface) i < HP_PAGES by construction, and the
+        // mask is sized HP_PAGES/64 at tracker creation.
         self.used_mask[i as usize / 64] >> (i % 64) & 1 == 1
     }
 
@@ -102,6 +104,7 @@ impl PageTracker {
     }
 
     fn released_bit(&self, i: u32) -> bool {
+        // lint:allow(panic-surface) same fixed-size mask bound as used_bit.
         self.released_mask[i as usize / 64] >> (i % 64) & 1 == 1
     }
 
@@ -324,6 +327,8 @@ impl HugePageFiller {
         let mut cleared = 0u32;
         for i in off..off + pages {
             if t.released_bit(i) {
+                // lint:allow(panic-surface) i < HP_PAGES: the allocation
+                // was just placed inside this tracker's hugepage.
                 t.released_mask[i as usize / 64] &= !(1 << (i % 64));
                 cleared += 1;
             }
@@ -343,6 +348,9 @@ impl HugePageFiller {
     /// Donates the tail of a large allocation's last hugepage to the filler
     /// (§4.4: "slack ... is then donated to the hugepage filler"). The head
     /// `head_pages` are occupied by the large allocation itself.
+    // lint:allow(event-completeness) the owning pageheap emits the
+    // SpanAlloc for the large allocation this donation is the tail of;
+    // a second event here would double-count the hugepage.
     pub fn donate(&mut self, base: u64, head_pages: u32) {
         assert!(base.is_multiple_of(HUGE_PAGE_BYTES) && (1..HP_PAGES).contains(&head_pages));
         let id = self.new_tracker(base, 0);
@@ -397,6 +405,8 @@ impl HugePageFiller {
         let id = *self
             .by_hugepage
             .get(&hp)
+            // lint:allow(panic-surface) an untracked hugepage here means
+            // the pageheap's own bookkeeping is corrupt; abort loudly.
             .unwrap_or_else(|| panic!("dealloc of untracked hugepage {hp:#x}"));
         self.list_remove(id);
         let t = self.tracker_mut(id);
@@ -528,6 +538,8 @@ impl HugePageFiller {
                         }
                         let t = self.tracker_mut(id);
                         for i in s..s + n {
+                            // lint:allow(panic-surface) s + n <= HP_PAGES:
+                            // free ranges never cross a hugepage.
                             t.released_mask[i as usize / 64] |= 1 << (i % 64);
                         }
                         bus.emit(AllocEvent::HugepageBreak {

@@ -277,6 +277,9 @@ impl PageHeap {
         let origin = self
             .origin
             .remove(&addr)
+            // lint:allow(panic-surface) documented panic: an unknown range
+            // is caller heap corruption, and the sanitizer intercepts
+            // invalid frees before they descend this far.
             .unwrap_or_else(|| panic!("pageheap dealloc of unknown range {addr:#x}"));
         match origin {
             Origin::Filler { pages: p } => {

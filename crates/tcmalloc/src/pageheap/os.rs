@@ -149,6 +149,9 @@ impl OsLayer {
 
     /// Unmaps a hugepage-granular range and forgets any denied-backing
     /// bookkeeping for it.
+    // lint:allow(event-completeness) munmap cannot fail in the fault
+    // model; the caller emits the SpanDealloc/Release event for the same
+    // range, so an OsFault here would be noise.
     pub fn munmap(&mut self, addr: u64, len: u64) {
         for hp in 0..align_up(len, HUGE_PAGE_BYTES) / HUGE_PAGE_BYTES {
             self.denied.remove(&(addr + hp * HUGE_PAGE_BYTES));
@@ -197,6 +200,8 @@ impl OsLayer {
     }
 
     /// Faults a subreleased range back in.
+    // lint:allow(event-completeness) infallible in the fault model; the
+    // filler emits HugepageFill { reused: true } for exactly this range.
     pub fn reoccupy(&mut self, addr: u64, len: u64) {
         self.vmm.reoccupy(addr, len);
     }

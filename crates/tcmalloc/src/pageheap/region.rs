@@ -37,6 +37,8 @@ impl Region {
     }
 
     fn bit(&self, i: u32) -> bool {
+        // lint:allow(panic-surface) i < REGION_PAGES; the bitmap is sized
+        // REGION_PAGES/64 at construction.
         self.bitmap[i as usize / 64] >> (i % 64) & 1 == 1
     }
 

@@ -149,6 +149,8 @@ impl PageMap {
     ///
     /// Panics if any page is already registered (overlapping spans are a
     /// heap-corruption bug) or if `span` carries the reserved id.
+    // lint:allow(event-completeness) the pagemap is a lookup index, not an
+    // owning tier: the pageheap emits the SpanAlloc covering this range.
     pub fn set_range(&mut self, addr: u64, num_pages: u32, span: SpanId) {
         assert_ne!(span.0, EMPTY, "span id {EMPTY:#x} is reserved");
         let first = tcmalloc_page_index(addr);
@@ -160,6 +162,8 @@ impl PageMap {
             let leaf = self.leaf_mut(page >> LEAF_BITS);
             let lo = (page & (PAGES_PER_LEAF - 1)) as usize;
             let hi = lo + (chunk_end - page) as usize;
+            // lint:allow(panic-surface) lo < hi <= PAGES_PER_LEAF by the
+            // leaf_end clamp two lines up.
             for (i, slot) in leaf.slots[lo..hi].iter_mut().enumerate() {
                 assert!(
                     *slot == EMPTY,
@@ -182,6 +186,8 @@ impl PageMap {
     /// # Panics
     ///
     /// Panics if a page was not registered.
+    // lint:allow(event-completeness) index maintenance; the pageheap emits
+    // the SpanDealloc covering this range.
     pub fn clear_range(&mut self, addr: u64, num_pages: u32) {
         let first = tcmalloc_page_index(addr);
         let last = first + num_pages as u64;
@@ -195,6 +201,7 @@ impl PageMap {
             let leaf = self.leaf_mut(root_idx);
             let lo = (page & (PAGES_PER_LEAF - 1)) as usize;
             let hi = lo + (chunk_end - page) as usize;
+            // lint:allow(panic-surface) same leaf_end clamp as set_range.
             for (i, slot) in leaf.slots[lo..hi].iter_mut().enumerate() {
                 assert!(
                     *slot != EMPTY,
@@ -255,6 +262,7 @@ impl PageMap {
             }
         }
         let leaf = self.leaf(page >> LEAF_BITS)?;
+        // lint:allow(panic-surface) the mask keeps the index < PAGES_PER_LEAF.
         let slot = leaf.slots[(page & (PAGES_PER_LEAF - 1)) as usize];
         if slot == EMPTY {
             return None;
@@ -312,6 +320,8 @@ impl HashPageMap {
     /// # Panics
     ///
     /// Panics if any page is already registered.
+    // lint:allow(event-completeness) comparison-baseline index (same
+    // contract as the radix pagemap above).
     pub fn set_range(&mut self, addr: u64, num_pages: u32, span: SpanId) {
         let first = tcmalloc_page_index(addr);
         for p in first..first + num_pages as u64 {
@@ -325,6 +335,8 @@ impl HashPageMap {
     /// # Panics
     ///
     /// Panics if a page was not registered.
+    // lint:allow(event-completeness) comparison-baseline index (same
+    // contract as the radix pagemap above).
     pub fn clear_range(&mut self, addr: u64, num_pages: u32) {
         let first = tcmalloc_page_index(addr);
         for p in first..first + num_pages as u64 {

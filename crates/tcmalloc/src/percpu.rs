@@ -262,6 +262,9 @@ impl PerCpuCaches {
 
     /// Sets a vCPU's byte budget, evicting from the largest size classes
     /// first when shrinking. Returns evicted objects grouped by class.
+    // lint:allow(event-completeness) the resizer that drives this emits
+    // ResizerSteal/ResizerShrink with the outcome; emitting here too would
+    // double-count the eviction.
     pub fn set_max_bytes(&mut self, vcpu: VcpuId, bytes: u64) -> Vec<(usize, Vec<u64>)> {
         let sizes = self.sizes.clone();
         let slab = self.slab_mut(vcpu);
@@ -440,6 +443,8 @@ impl PerCpuCaches {
 
     /// Flushes every cached object, grouped by class (used at teardown and
     /// by tests to drain the tier).
+    // lint:allow(event-completeness) teardown drain: evicted objects are
+    // handed back to the caller, whose reinsertion paths emit.
     pub fn flush_all(&mut self) -> Vec<(usize, Vec<u64>)> {
         let mut out = Vec::new();
         for slab in self.slabs.iter_mut().flatten() {

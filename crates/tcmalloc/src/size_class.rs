@@ -134,6 +134,7 @@ impl SizeClassTable {
             classes.iter().all(|c| c.size % 8 == 0),
             "size classes must be multiples of 8"
         );
+        // lint:allow(panic-surface) classes is asserted non-empty above.
         let largest = classes[classes.len() - 1].size;
         assert_eq!(
             largest, MAX_SMALL_SIZE,
@@ -175,6 +176,8 @@ impl SizeClassTable {
         if size > MAX_SMALL_SIZE {
             return None;
         }
+        // lint:allow(panic-surface) size <= MAX_SMALL_SIZE here, and the
+        // LUT is sized for exactly that range (see from_classes).
         Some(self.lut[((size + 7) >> 3) as usize] as usize)
     }
 

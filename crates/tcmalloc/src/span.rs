@@ -122,13 +122,17 @@ impl Span {
     }
 
     fn bit(&self, idx: u32) -> bool {
+        // lint:allow(panic-surface) idx < capacity; the bitmap is sized
+        // capacity/64 at carve time.
         self.bitmap[idx as usize / 64] >> (idx % 64) & 1 == 1
     }
 
     fn set_bit(&mut self, idx: u32, v: bool) {
         if v {
+            // lint:allow(panic-surface) same carve-time bound as bit().
             self.bitmap[idx as usize / 64] |= 1 << (idx % 64);
         } else {
+            // lint:allow(panic-surface) same carve-time bound as bit().
             self.bitmap[idx as usize / 64] &= !(1 << (idx % 64));
         }
     }
@@ -203,6 +207,8 @@ impl SpanRegistry {
     pub fn insert(&mut self, span: Span) -> SpanId {
         self.created += 1;
         if let Some(id) = self.free_ids.pop() {
+            // lint:allow(panic-surface) ids on the free list were minted
+            // by push below, so they index inside the vec.
             self.spans[id.index()] = Some(span);
             id
         } else {
@@ -218,6 +224,8 @@ impl SpanRegistry {
     /// Panics if the id is stale.
     pub fn remove(&mut self, id: SpanId) -> Span {
         self.released += 1;
+        // lint:allow(panic-surface) documented panic: a stale id is
+        // registry corruption, caught by the expect either way.
         let span = self.spans[id.index()].take().expect("stale span id");
         self.free_ids.push(id);
         span
@@ -229,6 +237,7 @@ impl SpanRegistry {
     ///
     /// Panics if the id is stale.
     pub fn get(&self, id: SpanId) -> &Span {
+        // lint:allow(panic-surface) documented panic, as in remove().
         self.spans[id.index()].as_ref().expect("stale span id")
     }
 
@@ -238,6 +247,7 @@ impl SpanRegistry {
     ///
     /// Panics if the id is stale.
     pub fn get_mut(&mut self, id: SpanId) -> &mut Span {
+        // lint:allow(panic-surface) documented panic, as in remove().
         self.spans[id.index()].as_mut().expect("stale span id")
     }
 

@@ -113,7 +113,10 @@ impl CycleStats {
 
     /// Charges `ns` to a category (stored with picosecond resolution).
     pub fn charge(&mut self, cat: CycleCategory, ns: f64) {
+        // lint:allow(panic-surface) cat.index() enumerates CycleCategory,
+        // and both arrays are sized CycleCategory::COUNT.
         self.ps[cat.index()] += (ns * 1000.0).round() as u64;
+        // lint:allow(panic-surface) same enum-sized bound as the line above.
         self.ops[cat.index()] += 1;
     }
 

@@ -345,6 +345,8 @@ impl TransferCaches {
     }
 
     /// Drains every cached object, grouped by class.
+    // lint:allow(event-completeness) teardown drain: evicted objects are
+    // handed back to the caller, whose reinsertion paths emit.
     pub fn flush_all(&mut self) -> Vec<(usize, Vec<u64>)> {
         let mut out: Vec<(usize, Vec<u64>)> = Vec::new();
         for (cl, arr) in self.central.iter_mut().enumerate() {

@@ -1,0 +1,442 @@
+//! A lossless Rust lexer: every byte of the input belongs to exactly one
+//! token, spans are byte ranges into the source, and lexing never fails.
+//!
+//! This is what kills the regex engine's false-positive classes: a pattern
+//! like `Instant::now` inside a string literal, a doc comment, or a
+//! multi-line expression is a [`TokenKind::Str`] / [`TokenKind::LineComment`]
+//! token here, not code — rules only ever look at significant tokens.
+//!
+//! The lexer is deliberately total: malformed input (unterminated strings,
+//! stray bytes) degrades to best-effort tokens instead of an error, because
+//! the analyzer must never be the thing that blocks a build on a file it
+//! merely failed to understand. Totality and span monotonicity are pinned
+//! by the seeded property test in `tools/tests/lexer_props.rs`.
+
+/// What a token is. Trivia (whitespace, comments) is kept in the stream so
+/// the token list partitions the input; rules skip it via
+/// [`TokenKind::is_trivia`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Whitespace run.
+    Ws,
+    /// `// ...` through end of line (doc `///` and `//!` included).
+    LineComment,
+    /// `/* ... */`, nesting-aware.
+    BlockComment,
+    /// `"..."` or `b"..."`, escape-aware.
+    Str,
+    /// `r"..."` / `r#"..."#` / `br##"..."##`.
+    RawStr,
+    /// `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'ident` (not followed by a closing quote).
+    Lifetime,
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (never swallows a `..` range).
+    Num,
+    /// One punctuation byte (`::` is two `:` tokens).
+    Punct,
+    /// A byte (or UTF-8 scalar) the lexer has no category for.
+    Unknown,
+}
+
+impl TokenKind {
+    /// Whitespace and comments: skipped by every rule.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Ws | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// One token: kind plus byte span and 1-based line/column of its start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token category.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column (in bytes) of `start`.
+    pub col: u32,
+}
+
+/// Lexes `src` into a total, span-monotone token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::with_capacity(src.len() / 4 + 8),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always advance");
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, maintaining line/col.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances `n` bytes.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.bytes.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.peek(0);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), b' ' | b'\t' | b'\r' | b'\n')
+                    && self.pos < self.bytes.len()
+                {
+                    self.bump();
+                }
+                TokenKind::Ws
+            }
+            b'/' if self.peek(1) == b'/' => {
+                while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == b'*' => {
+                self.bump_n(2);
+                let mut depth = 1u32;
+                while self.pos < self.bytes.len() && depth > 0 {
+                    if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                        depth += 1;
+                        self.bump_n(2);
+                    } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                        depth -= 1;
+                        self.bump_n(2);
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => self.string(),
+            b'r' | b'b' => self.maybe_prefixed_literal(),
+            b'\'' => self.char_or_lifetime(),
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                self.ident();
+                TokenKind::Ident
+            }
+            b'0'..=b'9' => self.number(),
+            _ => {
+                if c < 0x80 {
+                    self.bump();
+                    if c.is_ascii_punctuation() {
+                        TokenKind::Punct
+                    } else {
+                        TokenKind::Unknown
+                    }
+                } else {
+                    // Consume one whole UTF-8 scalar so spans stay on char
+                    // boundaries.
+                    let ch_len = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .map_or(1, char::len_utf8);
+                    self.bump_n(ch_len);
+                    TokenKind::Unknown
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while matches!(self.peek(0), b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+            && self.pos < self.bytes.len()
+        {
+            self.bump();
+        }
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` — or a plain identifier
+    /// starting with `r`/`b`.
+    fn maybe_prefixed_literal(&mut self) -> TokenKind {
+        let c0 = self.peek(0);
+        let (c1, c2) = (self.peek(1), self.peek(2));
+        if c0 == b'b' && c1 == b'\'' {
+            self.bump();
+            return self.char_body();
+        }
+        if c0 == b'b' && c1 == b'"' {
+            self.bump();
+            return self.string();
+        }
+        let raw_at = if c1 == b'"' || c1 == b'#' {
+            1
+        } else if c0 == b'b' && c1 == b'r' && (c2 == b'"' || c2 == b'#') {
+            2
+        } else {
+            0
+        };
+        if (c0 == b'r' || c0 == b'b') && raw_at > 0 {
+            // Count the `#`s; a raw-string start needs `#* "`.
+            let mut hashes = 0usize;
+            while self.peek(raw_at + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(raw_at + hashes) == b'"' {
+                self.bump_n(raw_at + hashes + 1);
+                loop {
+                    if self.pos >= self.bytes.len() {
+                        break; // unterminated: total anyway
+                    }
+                    if self.peek(0) == b'"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if self.peek(1 + h) != b'#' {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            self.bump_n(1 + hashes);
+                            break;
+                        }
+                    }
+                    self.bump();
+                }
+                return TokenKind::RawStr;
+            }
+        }
+        self.ident();
+        TokenKind::Ident
+    }
+
+    /// A `"…"` body starting at the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `'a'` / `'\n'` vs `'lifetime` — the classic disambiguation: after the
+    /// quote, an identifier not followed by a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let c1 = self.peek(1);
+        if (c1 == b'_' || c1.is_ascii_alphabetic()) && c1 != 0 {
+            // Scan the identifier; if it ends with `'` it was a char like
+            // 'a', otherwise a lifetime.
+            let mut i = 1;
+            while matches!(
+                self.peek(i),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9'
+            ) {
+                i += 1;
+            }
+            if self.peek(i) != b'\'' {
+                self.bump(); // the quote
+                self.ident();
+                return TokenKind::Lifetime;
+            }
+        }
+        self.char_body()
+    }
+
+    /// A char literal starting at the opening quote.
+    fn char_body(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        let mut seen = 0usize;
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump_n(2);
+                    seen += 1;
+                }
+                b'\'' => {
+                    self.bump();
+                    return TokenKind::Char;
+                }
+                b'\n' => return TokenKind::Char, // malformed; stay total
+                _ => {
+                    self.bump();
+                    seen += 1;
+                }
+            }
+            if seen > 12 {
+                // Runaway (an unterminated quote): stop, stay total.
+                return TokenKind::Char;
+            }
+        }
+        TokenKind::Char
+    }
+
+    /// Numeric literal. Consumes digits, `_`, alphanumerics (hex digits and
+    /// suffixes like `u64`/`f32`), a decimal point followed by a digit, and
+    /// an exponent sign — but never a `..` range operator.
+    fn number(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            if matches!(c, b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_') {
+                // `1e-3` / `1E+3`: let the sign ride along with the exponent.
+                let exp = (c == b'e' || c == b'E')
+                    && matches!(self.peek(1), b'+' | b'-')
+                    && self.peek(2).is_ascii_digit();
+                self.bump();
+                if exp {
+                    self.bump(); // the sign
+                }
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| src[t.start..t.end].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn partitions_the_input() {
+        let src = "fn main() { let s = \"Instant::now()\"; } // trailing";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before {t:?}");
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = "let a = \"thread_rng\"; // thread_rng\n/* thread_rng */ let b = 1;";
+        let ids: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| src[t.start..t.end].to_string())
+            .collect();
+        assert_eq!(ids, ["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let x = r#"a "quoted" thing"#; y"##;
+        let t = texts(src);
+        assert!(t.contains(&r##"r#"a "quoted" thing"#"##.to_string()));
+        assert_eq!(t.last().map(String::as_str), Some("y"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(
+            kinds("&'a str 'x' b'y'"),
+            [
+                TokenKind::Punct,
+                TokenKind::Lifetime,
+                TokenKind::Ident,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let t = texts("for i in 0..10 { v[i-1]; }");
+        assert!(t.contains(&"0".to_string()));
+        assert!(t.contains(&"10".to_string()));
+        let dots = t.iter().filter(|s| s.as_str() == ".").count();
+        assert_eq!(dots, 2, "{t:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */ code";
+        let t = texts(src);
+        assert_eq!(t, ["code"]);
+    }
+
+    #[test]
+    fn line_and_col_are_tracked() {
+        let src = "ab\n  cd";
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .collect();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,5 @@
+//! `wsc-tools`: in-tree developer tooling for the warehouse-scale
+//! allocator study. The only resident today is the static analyzer; the
+//! `lint` binary is a thin CLI over [`analyzer::analyze_workspace`].
+
+pub mod analyzer;

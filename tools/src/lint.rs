@@ -1,396 +1,115 @@
-//! The determinism lint.
+//! The `lint` binary: CLI over the token-aware static analyzer in
+//! `wsc_tools::analyzer`.
 //!
-//! Simulation results must be bit-identical given a seed: the paper's A/B
-//! methodology (§3) rests on paired, reproducible runs, and the repo's test
-//! thresholds encode exact expected behaviour. Three things silently break
-//! that contract, and none of them is caught by rustc or clippy:
+//! Usage:
 //!
-//! 1. **Wall-clock time** — `std::time::Instant` / `SystemTime` instead of
-//!    the simulated `Clock`.
-//! 2. **Ambient randomness** — `thread_rng` (or any OS-seeded generator)
-//!    instead of the seeded `wsc_prng::SmallRng`.
-//! 3. **HashMap iteration order** — `HashMap` iteration is randomized per
-//!    process by SipHash seeding, so any `.iter()`/`.keys()`/`.values()`
-//!    over one leaks nondeterminism into whatever consumes the order.
-//! 4. **HashMap declarations** — deny-by-default: every `HashMap` binding
-//!    in the deterministic core must carry a `lint:allow(hashmap-decl)`
-//!    annotation justifying why its order can never leak (key-indexed
-//!    access only, no iteration exposed). Structures on hot lookup paths
-//!    should prefer indexed arrays — the radix pagemap replaced the
-//!    per-page map precisely so it passes this rule structurally, not by
-//!    accident.
-//! 5. **Direct attribution** — `CycleStats::charge` /
-//!    `AllocationProfile::record_alloc` / `record_lifetime` calls outside
-//!    the event-bus-sanctioned paths (`events.rs`, `stats.rs`, and the
-//!    sanitizer/telemetry crates that *implement* the consumers). Cycle
-//!    and profile attribution must flow through `AllocEvent` emission, so
-//!    one stream stays the single source of truth; a tier charging stats
-//!    by hand would silently drift from what the sinks derive.
-//! 6. **Infallible OS** — deny-by-default: no direct `Vmm` construction or
-//!    `Vmm`/`PageTable` mutation (`mmap`, `munmap`, `subrelease`,
-//!    `reoccupy`, `collapse_huge`, `promote`, `on_mmap*`) outside the OS
-//!    boundary itself (`crates/sim-os/`) and its sanctioned wrapper
-//!    (`crates/tcmalloc/src/pageheap/`, home of `OsLayer`). Every kernel
-//!    call must cross the fault injector so injected ENOMEM, THP denial,
-//!    and the hard limit are enforced — a tier mapping memory directly
-//!    would be invisible to the failure model and to the limit accounting.
+//! ```text
+//! cargo run -p wsc-tools --bin lint                # human output, exit 1 on findings
+//! cargo run -p wsc-tools --bin lint -- --json analysis.json
+//! cargo run -p wsc-tools --bin lint -- --json analysis.json --baseline analysis_baseline.json
+//! ```
 //!
-//! The lint scans the deterministic core (`sim-*`, `tcmalloc`, `fleet`,
-//! `sanitizer`, `workload`, `telemetry`, `prng`) line by line. A finding on
-//! a line carrying `lint:allow(<rule>)` — same line or the line above — is
-//! suppressed; the escape hatch exists for provably order-independent
-//! folds, and each use must justify itself in the comment.
+//! `--json PATH` writes the machine-readable report (deterministic:
+//! byte-identical across runs on the same tree). `--baseline PATH` changes
+//! the gate: exit 1 only on findings *new* versus the committed baseline,
+//! so legacy debt can be frozen without letting fresh debt in. A missing
+//! baseline file means everything is new.
 //!
-//! Run with `cargo run -p wsc-tools --bin lint`. Exits nonzero on findings,
-//! so CI can gate on it.
+//! The rules themselves — what is checked and why — are documented in
+//! `tools/src/analyzer/rules.rs` and DESIGN.md §"Static analysis".
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Crates whose behaviour must be deterministic. `bench` is deliberately
-/// out of scope: its harness measures real wall-clock time.
-const SCOPED_CRATES: &[&str] = &[
-    "crates/sim-hw",
-    "crates/sim-os",
-    "crates/tcmalloc",
-    "crates/fleet",
-    "crates/sanitizer",
-    "crates/workload",
-    "crates/telemetry",
-    "crates/prng",
-    "crates/parallel",
-];
-
-/// Paths where direct `charge`/`record_alloc`/`record_lifetime` calls are
-/// legitimate: the event sinks themselves, and the crates that implement
-/// (and unit-test) the consumers the sinks drive.
-const ATTRIBUTION_SANCTIONED: &[&str] = &[
-    "crates/tcmalloc/src/events.rs",
-    "crates/tcmalloc/src/stats.rs",
-    "crates/sanitizer/",
-    "crates/telemetry/",
-];
-
-/// Paths allowed to construct or mutate the kernel (`Vmm` / `PageTable`)
-/// directly: the OS boundary itself, and the pageheap's `OsLayer` wrapper
-/// that routes every call through the fault injector and the hard limit.
-const OS_SANCTIONED: &[&str] = &["crates/sim-os/", "crates/tcmalloc/src/pageheap/"];
-
-/// Calls that construct or mutate kernel state. `.mmap(` and `.munmap(`
-/// also cover `OsLayer`'s own methods, which is intentional: outside the
-/// sanctioned paths not even the wrapper may be driven directly — memory
-/// must be requested from the pageheap.
-const OS_MUTATION: &[&str] = &[
-    "Vmm::new(",
-    "Vmm::with_faults(",
-    ".mmap(",
-    ".munmap(",
-    ".on_mmap(",
-    ".on_mmap_backed(",
-    ".on_munmap(",
-    ".subrelease(",
-    ".reoccupy(",
-    ".collapse_huge(",
-    ".promote(",
-];
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Rule {
-    WallClock,
-    AmbientRng,
-    HashMapIter,
-    HashMapDecl,
-    DirectAttribution,
-    InfallibleOs,
-}
-
-impl Rule {
-    fn name(self) -> &'static str {
-        match self {
-            Rule::WallClock => "wall-clock",
-            Rule::AmbientRng => "ambient-rng",
-            Rule::HashMapIter => "hashmap-iter",
-            Rule::HashMapDecl => "hashmap-decl",
-            Rule::DirectAttribution => "direct-attribution",
-            Rule::InfallibleOs => "infallible-os",
-        }
-    }
-}
-
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: Rule,
-    excerpt: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule.name(),
-            self.excerpt.trim()
-        )
-    }
-}
+use wsc_tools::analyzer;
+use wsc_tools::analyzer::report::Finding;
 
 fn main() -> ExitCode {
-    let root = repo_root();
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for krate in SCOPED_CRATES {
-        let dir = root.join(krate);
-        if !dir.is_dir() {
-            eprintln!("lint: missing crate dir {}", dir.display());
-            return ExitCode::FAILURE;
-        }
-        for file in rust_files(&dir) {
-            files_scanned += 1;
-            match std::fs::read_to_string(&file) {
-                Ok(src) => scan_file(&file, &src, &mut findings),
-                Err(e) => {
-                    eprintln!("lint: cannot read {}: {e}", file.display());
-                    return ExitCode::FAILURE;
-                }
-            }
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json requires a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage("--baseline requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
         }
     }
-    if findings.is_empty() {
-        println!("determinism lint: {files_scanned} files clean");
+
+    let root = repo_root();
+    let analysis = match analyzer::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lint: failed to scan workspace at {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, analysis.to_json()) {
+            eprintln!("lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let gating: Vec<&Finding> = match &baseline {
+        Some(path) => {
+            let baseline_json = std::fs::read_to_string(path).unwrap_or_default();
+            if baseline_json.is_empty() {
+                eprintln!(
+                    "lint: baseline {} missing or empty; treating all findings as new",
+                    path.display()
+                );
+            }
+            analysis.new_vs_baseline(&baseline_json)
+        }
+        None => analysis.findings.iter().collect(),
+    };
+
+    for f in &gating {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            f.file, f.line, f.col, f.rule, f.message
+        );
+        println!("    {}", f.excerpt.trim());
+    }
+
+    let label = if baseline.is_some() {
+        "gating (new vs baseline)"
+    } else {
+        "gating"
+    };
+    println!(
+        "lint: {} files scanned, {} finding(s), {} {label}",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        gating.len()
+    );
+    if gating.is_empty() {
         ExitCode::SUCCESS
     } else {
-        for f in &findings {
-            eprintln!("{f}");
-        }
-        eprintln!("determinism lint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }
 
-/// The workspace root: the manifest dir's parent when run via cargo, else
-/// the current directory.
+fn usage(err: &str) -> ExitCode {
+    eprintln!("lint: {err}");
+    eprintln!("usage: lint [--json PATH] [--baseline PATH]");
+    ExitCode::FAILURE
+}
+
+/// The workspace root: the parent of this crate's manifest dir under
+/// cargo, else the current directory (running the binary from a checkout).
 fn repo_root() -> PathBuf {
     match std::env::var_os("CARGO_MANIFEST_DIR") {
-        Some(dir) => PathBuf::from(dir)
+        Some(dir) => Path::new(&dir)
             .parent()
             .map_or_else(|| PathBuf::from("."), Path::to_path_buf),
         None => PathBuf::from("."),
     }
-}
-
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let p = entry.path();
-            if p.is_dir() {
-                if p.file_name().is_some_and(|n| n == "target") {
-                    continue;
-                }
-                stack.push(p);
-            } else if p.extension().is_some_and(|e| e == "rs") {
-                out.push(p);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-fn scan_file(path: &Path, src: &str, findings: &mut Vec<Finding>) {
-    let lines: Vec<&str> = src.lines().collect();
-    let hashmaps = hashmap_bindings(&lines);
-    for (i, &line) in lines.iter().enumerate() {
-        let code = strip_comment_and_strings(line);
-        if code.trim().is_empty() {
-            continue;
-        }
-        let mut hit = |rule: Rule| {
-            if !allowed(&lines, i, rule) {
-                findings.push(Finding {
-                    file: path.to_path_buf(),
-                    line: i + 1,
-                    rule,
-                    excerpt: line.to_string(),
-                });
-            }
-        };
-        if code.contains("std::time::Instant")
-            || code.contains("std::time::SystemTime")
-            || code.contains("Instant::now")
-            || code.contains("SystemTime::now")
-        {
-            hit(Rule::WallClock);
-        }
-        if code.contains("thread_rng") || code.contains("from_entropy") {
-            hit(Rule::AmbientRng);
-        }
-        for name in &hashmaps {
-            if iterates_binding(&code, name) {
-                hit(Rule::HashMapIter);
-                break;
-            }
-        }
-        if declares_hashmap(&code) {
-            hit(Rule::HashMapDecl);
-        }
-        if !attribution_sanctioned(path)
-            && (code.contains(".charge(")
-                || code.contains(".record_alloc(")
-                || code.contains(".record_lifetime("))
-        {
-            hit(Rule::DirectAttribution);
-        }
-        if !os_sanctioned(path) && OS_MUTATION.iter().any(|pat| code.contains(pat)) {
-            hit(Rule::InfallibleOs);
-        }
-    }
-}
-
-/// Is this file allowed to construct or mutate kernel state directly?
-fn os_sanctioned(path: &Path) -> bool {
-    let p = path.to_string_lossy().replace('\\', "/");
-    OS_SANCTIONED.iter().any(|s| p.contains(s))
-}
-
-/// Is this file allowed to call the attribution consumers directly?
-fn attribution_sanctioned(path: &Path) -> bool {
-    let p = path.to_string_lossy().replace('\\', "/");
-    ATTRIBUTION_SANCTIONED.iter().any(|s| p.contains(s))
-}
-
-/// Does this line *declare* a `HashMap` binding (struct field or `let`)?
-/// Construction inside a struct literal (`field: HashMap::new(),`) is the
-/// declaration's responsibility, not a second finding.
-fn declares_hashmap(code: &str) -> bool {
-    code.contains(": HashMap<")
-        || code.contains("::HashMap<")
-        || (code.trim_start().starts_with("let ")
-            && (code.contains("HashMap::new()") || code.contains("HashMap::with_capacity")))
-}
-
-/// Identifiers bound to a `HashMap` anywhere in the file: struct fields and
-/// let-bindings of the form `name: HashMap<...>` or
-/// `let [mut] name ... = HashMap::new()`.
-fn hashmap_bindings(lines: &[&str]) -> Vec<String> {
-    let mut out = Vec::new();
-    for &line in lines {
-        let code = strip_comment_and_strings(line);
-        if let Some(pos) = code.find(": HashMap<") {
-            if let Some(name) = ident_ending_at(&code, pos) {
-                out.push(name);
-            }
-        }
-        if code.contains("= HashMap::new()") || code.contains("= HashMap::with_capacity") {
-            if let Some(rest) = code.trim_start().strip_prefix("let ") {
-                let rest = rest.trim_start().trim_start_matches("mut ");
-                let name: String = rest
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                if !name.is_empty() {
-                    out.push(name);
-                }
-            }
-        }
-    }
-    out.sort();
-    out.dedup();
-    out
-}
-
-/// The identifier whose last character sits just before byte `end`.
-fn ident_ending_at(code: &str, end: usize) -> Option<String> {
-    let head = &code[..end];
-    let start = head
-        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .map_or(0, |p| p + 1);
-    let name = &head[start..];
-    (!name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit())).then(|| name.to_string())
-}
-
-/// Does this line iterate the binding (order-sensitive access)?
-fn iterates_binding(code: &str, name: &str) -> bool {
-    const ITERS: &[&str] = &[
-        ".iter()",
-        ".iter_mut()",
-        ".keys()",
-        ".values()",
-        ".values_mut()",
-        ".drain()",
-        ".into_iter()",
-        ".retain(",
-    ];
-    for call in ITERS {
-        let needle = format!("{name}{call}");
-        if code.contains(&needle) {
-            return true;
-        }
-    }
-    // `for x in &map` / `for x in map` / `for x in &mut map`.
-    if let Some(pos) = code.find(" in ") {
-        let tail = code[pos + 4..]
-            .trim_start()
-            .trim_start_matches('&')
-            .trim_start_matches("mut ")
-            .trim_start_matches("self.");
-        let ident: String = tail
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        if ident == name {
-            let after = &tail[ident.len()..];
-            // `for k in map.keys()` already matched above; a bare
-            // `for x in map {` or `for x in &map` is the leak here.
-            if after.trim_start().is_empty() || after.starts_with(' ') || after.starts_with('{') {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-/// Is the finding suppressed by `lint:allow(<rule>)` on this line or the
-/// line above?
-fn allowed(lines: &[&str], idx: usize, rule: Rule) -> bool {
-    let tag = format!("lint:allow({})", rule.name());
-    lines[idx].contains(&tag) || (idx > 0 && lines[idx - 1].contains(&tag))
-}
-
-/// Drops `//` comments and the contents of string literals, so identifiers
-/// in docs or messages don't trip the scan. (Line-based; multi-line string
-/// literals are rare enough in this workspace not to matter.)
-fn strip_comment_and_strings(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut prev = '\0';
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '"' && prev != '\\' {
-                in_str = false;
-                out.push('"');
-            }
-            prev = c;
-            continue;
-        }
-        if c == '"' {
-            in_str = true;
-            out.push('"');
-        } else if c == '/' && chars.peek() == Some(&'/') {
-            break;
-        } else {
-            out.push(c);
-        }
-        prev = c;
-    }
-    out
 }

@@ -1,0 +1,108 @@
+//! The findings corpus: small Rust snippets with *expected* findings,
+//! including the false-positive classes the old line-regex engine got
+//! wrong (matches inside strings, doc comments, raw strings, and
+//! multi-line expressions).
+//!
+//! Each `tools/tests/corpus/*.rs` file holds one or more virtual files:
+//!
+//! ```text
+//! //@ file: crates/tcmalloc/src/alloc.rs
+//! fn f() { let t = Instant::now(); } //~ wall-clock
+//! ```
+//!
+//! `//@ file: <rel>` starts a section analyzed under that repo-relative
+//! path (rules are path-sensitive: sanctioned dirs, tier modules). A
+//! trailing `//~ <rule>` marker expects exactly one finding of that rule
+//! on that line, counted within the section. The assertion is exact in
+//! both directions: an unexpected finding fails the test just like a
+//! missing one, which is what makes the false-positive snippets real
+//! regression tests rather than documentation.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use wsc_tools::analyzer::{analyze_files, items::FileModel};
+
+/// (virtual file, line within it, rule name).
+type Key = (String, u32, String);
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Parses one corpus file into virtual file models + expected findings.
+fn parse_corpus(src: &str, name: &str) -> (Vec<FileModel>, BTreeSet<Key>) {
+    let mut models = Vec::new();
+    let mut expected = BTreeSet::new();
+    let mut rel: Option<String> = None;
+    let mut body = String::new();
+    let mut line_in_section = 0u32;
+
+    let mut flush = |rel: &mut Option<String>, body: &mut String| {
+        if let Some(r) = rel.take() {
+            models.push(FileModel::build(r, std::mem::take(body)));
+        } else {
+            assert!(
+                body.trim().is_empty(),
+                "{name}: content before the first `//@ file:` header"
+            );
+            body.clear();
+        }
+    };
+
+    for line in src.lines() {
+        if let Some(r) = line.trim().strip_prefix("//@ file:") {
+            flush(&mut rel, &mut body);
+            rel = Some(r.trim().to_string());
+            line_in_section = 0;
+            continue;
+        }
+        line_in_section += 1;
+        if let Some(p) = line.find("//~") {
+            let rule = line[p + 3..].trim();
+            assert!(!rule.is_empty(), "{name}: empty //~ marker");
+            let r = rel
+                .clone()
+                .unwrap_or_else(|| panic!("{name}: //~ marker before any `//@ file:` header"));
+            expected.insert((r, line_in_section, rule.to_string()));
+        }
+        body.push_str(line);
+        body.push('\n');
+    }
+    flush(&mut rel, &mut body);
+    (models, expected)
+}
+
+#[test]
+fn corpus_findings_match_expectations() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "empty corpus at {}", dir.display());
+
+    for path in entries {
+        let name = path
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let src = std::fs::read_to_string(&path).expect("read corpus file");
+        let (models, expected) = parse_corpus(&src, &name);
+        let analysis = analyze_files(models);
+        let actual: BTreeSet<Key> = analysis
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.rule.to_string()))
+            .collect();
+        let missing: Vec<&Key> = expected.difference(&actual).collect();
+        let surprise: Vec<&Key> = actual.difference(&expected).collect();
+        assert!(
+            missing.is_empty() && surprise.is_empty(),
+            "{name}: corpus mismatch\n  expected but missing: {missing:?}\n  found but unexpected: {surprise:?}\n  all findings: {:#?}",
+            analysis.findings
+        );
+    }
+}

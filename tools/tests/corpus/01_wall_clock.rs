@@ -1,0 +1,14 @@
+//@ file: crates/sim-hw/src/timer.rs
+// False-positive classes the regex engine got wrong: occurrences inside
+// string literals and comments must not fire.
+fn ok() {
+    let s = "Instant::now() inside a string";
+    // Instant::now() inside a line comment
+    /* SystemTime::now() inside a block comment */
+    let _ = s;
+}
+fn bad() {
+    let t = std::time::Instant::now(); //~ wall-clock
+    let s = SystemTime::now(); //~ wall-clock
+    let _ = (t, s);
+}

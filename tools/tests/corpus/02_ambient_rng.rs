@@ -1,0 +1,11 @@
+//@ file: crates/workload/src/gen.rs
+fn ok() {
+    let note = "thread_rng is banned here"; // prose, not code
+    let rng = wsc_prng::SmallRng::seed_from_u64(42);
+    let _ = (note, rng);
+}
+fn bad() {
+    let r = rand::thread_rng(); //~ ambient-rng
+    let s = SmallRng::from_entropy(); //~ ambient-rng
+    let _ = (r, s);
+}

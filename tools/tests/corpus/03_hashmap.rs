@@ -1,0 +1,29 @@
+//@ file: crates/telemetry/src/agg.rs
+struct Justified {
+    // lint:allow(hashmap-decl) key-indexed access only; no iteration leaves
+    by_id: HashMap<u64, u32>,
+}
+struct Bad {
+    counts: HashMap<u64, u32>, //~ hashmap-decl
+}
+impl Justified {
+    fn build() -> Self {
+        // Struct-literal field init is exempt: the field declaration above
+        // is the annotated site.
+        Self { by_id: HashMap::new() }
+    }
+    fn bad_iter(&self) {
+        for (k, v) in &self.by_id {} //~ hashmap-iter
+    }
+    fn ok_lookup(&self) -> Option<&u32> {
+        self.by_id.get(&7)
+    }
+}
+fn bad_let() {
+    let tmp: HashMap<u32, u32> = HashMap::new(); //~ hashmap-decl
+    for v in tmp.values() {} //~ hashmap-iter
+}
+fn ok_prose() {
+    let s = "HashMap::new() and map.iter() in prose";
+    let _ = s;
+}

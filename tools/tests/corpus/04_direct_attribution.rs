@@ -1,0 +1,19 @@
+//@ file: crates/fleet/src/cell.rs
+fn ok_in_string() {
+    let s = "stats.charge(1.0) in prose";
+    let _ = s;
+}
+// The multi-line receiver the old single-line regex could not see.
+fn multi_line(stats: &mut CycleStats) {
+    stats
+        .charge(1.0); //~ direct-attribution
+}
+fn profile(p: &mut AllocationProfile) {
+    p.record_alloc(64); //~ direct-attribution
+    p.record_lifetime(64, 1_000); //~ direct-attribution
+}
+//@ file: crates/sanitizer/src/consume.rs
+// Sanctioned path: the sanitizer implements the consumers the bus drives.
+fn consumer(stats: &mut CycleStats) {
+    stats.charge(2.0);
+}

@@ -1,0 +1,43 @@
+//@ file: crates/tcmalloc/src/shard.rs
+use std::sync::Mutex; //~ concurrency-readiness
+fn bad() {
+    let m = Mutex::new(0); //~ concurrency-readiness
+    std::thread::spawn(|| {}); //~ concurrency-readiness
+    let a = Arc::new(0); //~ concurrency-readiness
+    let _ = (m, a);
+}
+fn ok_prose() {
+    let s = "Mutex and RwLock in prose are fine";
+    let _ = s;
+}
+//@ file: crates/parallel/src/pool.rs
+// Sanctioned module: primitives are fine, but two locks in one body
+// demand a canonical lock-order declaration.
+fn single(a: &Mutex<u32>) {
+    let _g = a.lock();
+}
+fn needs_decl(a: &Mutex<u32>, b: &Mutex<u32>) { //~ concurrency-readiness
+    let _x = a.lock();
+    let _y = b.lock();
+}
+//@ file: crates/parallel/src/pool2.rs
+// lint:lock-order(a, b)
+fn in_order(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let _x = a.lock();
+    let _y = b.lock();
+}
+fn out_of_order(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let _y = b.lock();
+    let _x = a.lock(); //~ concurrency-readiness
+}
+fn undeclared(c: &Mutex<u32>) {
+    let _z = c.lock(); //~ concurrency-readiness
+}
+//@ file: crates/parallel/src/atomics.rs
+fn store(b: &AtomicBool) {
+    b.store(true, Ordering::Release); //~ concurrency-readiness
+    // lint:allow(atomic-ordering) counter only; no other data published
+    b.store(false, Ordering::Relaxed);
+    let cmp = std::cmp::Ordering::Less; // cmp::Ordering variants never fire
+    let _ = cmp;
+}

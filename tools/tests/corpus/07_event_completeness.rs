@@ -1,0 +1,31 @@
+//@ file: crates/tcmalloc/src/events.rs
+pub enum AllocEvent {
+    Used { n: u64 },
+    NeverBuilt { n: u64 }, //~ event-completeness
+}
+//@ file: crates/tcmalloc/src/percpu.rs
+pub struct Cache {
+    x: u64,
+}
+impl Cache {
+    pub fn silent(&mut self) { //~ event-completeness
+        self.x += 1;
+    }
+    pub fn emitting(&mut self, bus: &mut EventBus) {
+        self.x += 1;
+        bus.emit(AllocEvent::Used { n: self.x });
+    }
+    pub fn delegating(&mut self, bus: &mut EventBus) {
+        self.emitting(bus);
+    }
+    pub fn read_only(&self) -> u64 {
+        self.x
+    }
+    fn private_mutator(&mut self) {
+        self.x -= 1;
+    }
+    // lint:allow(event-completeness) index maintenance; the caller emits
+    pub fn justified(&mut self) {
+        self.x = 0;
+    }
+}

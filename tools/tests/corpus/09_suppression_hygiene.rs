@@ -1,0 +1,14 @@
+//@ file: crates/sim-hw/src/quiet.rs
+// lint:allow(wall-clock) stale: nothing below reads the clock //~ suppression-hygiene
+fn quiet() {}
+// lint:allow(panic-in-prod) renamed long ago //~ suppression-hygiene
+fn also_quiet() {}
+// A used annotation is not a finding:
+fn uses_rng() {
+    // lint:allow(ambient-rng) seeded upstream; this draw is derived
+    let r = thread_rng();
+    let _ = r;
+}
+//@ file: crates/parallel/src/dead_decl.rs
+// lint:lock-order(a, b) //~ suppression-hygiene
+fn no_locks_here() {}

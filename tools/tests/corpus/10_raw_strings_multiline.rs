@@ -1,0 +1,17 @@
+//@ file: crates/workload/src/docs.rs
+// The multi-line trap: a single-line scanner sees these lines without the
+// surrounding raw-string/comment context and fires on every one of them.
+fn ok() {
+    let example = r#"
+        let t = Instant::now();
+        let r = thread_rng();
+        let m: HashMap<u32, u32> = HashMap::new();
+        stats.charge(1.0);
+        vmm.mmap(0, 4096);
+        std::thread::spawn(|| {});
+    "#;
+    let nested = /* block comment mentioning SystemTime::now() and
+        panic!("over multiple lines") */
+        42;
+    let _ = (example, nested);
+}
