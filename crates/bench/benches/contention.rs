@@ -1,0 +1,206 @@
+//! Cross-thread free A/B: owner-only vs atomic-list vs message-passing.
+//!
+//! Two deterministic interleaving schedules — a producer→consumer pipeline
+//! (every free remote) and a thread-churn mix (ownership migrates) — are
+//! materialized once per scale, then executed under each
+//! [`FreeArm`], so the three arms replay *identical* operation sequences.
+//! Reported per arm and scenario: wall-clock throughput, remote frees
+//! queued/drained, and the simulated contention nanoseconds the cost model
+//! charged (CAS per atomic-list push, batch posts and adoption locks for
+//! message passing). Emits `BENCH_contention.json`.
+//!
+//! Two families of in-bench gates keep the A/B honest:
+//!
+//! * **Visibility** — the deferred arms must actually go remote (queued >
+//!   0, fully drained, distinct contention charges per arm) while
+//!   owner-only charges nothing; the arms must be *distinguishable* in the
+//!   report, or the fleet A/B would silently compare three copies of the
+//!   same allocator.
+//! * **Overhead bound** — the deferred bookkeeping is O(1) amortized per
+//!   remote free, so the atomic-list arm must retain at least
+//!   [`MIN_REL_THROUGHPUT`] of owner-only churn throughput.
+
+use std::hint::black_box;
+use std::time::Instant;
+use wsc_bench::harness::JsonReport;
+use wsc_bench::Scale;
+use wsc_sim_hw::topology::{CpuId, Platform};
+use wsc_sim_os::clock::Clock;
+use wsc_tcmalloc::interleave::{SchedOp, Schedule};
+use wsc_tcmalloc::{CycleCategory, FreeArm, Tcmalloc, TcmallocConfig};
+
+/// Cargo runs benches with cwd = the package dir; anchor the report to the
+/// workspace root so CI finds it at a fixed path.
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_contention.json");
+
+/// Minimum fraction of owner-only churn throughput the atomic-list arm
+/// must retain (the CI regression gate). The deferred push is one BTree
+/// insert and the drains are amortized over whole lists, so a healthy arm
+/// sits well above this; the 0.40 floor leaves headroom for shared-runner
+/// noise without letting an accidentally quadratic drain slip through.
+const MIN_REL_THROUGHPUT: f64 = 0.40;
+
+/// The three arms under test, in report order.
+const ARMS: [FreeArm; 3] = [
+    FreeArm::OwnerOnly,
+    FreeArm::AtomicList,
+    FreeArm::MessagePassing,
+];
+
+struct ArmOut {
+    mops: f64,
+    queued: u64,
+    drained: u64,
+    in_flight: u64,
+    contention_ns: f64,
+    sim_total_ns: f64,
+}
+
+/// Executes one pre-materialized schedule under `arm`, timing the whole
+/// replay (allocation, frees, maintenance ticks, drains).
+fn run_schedule(arm: FreeArm, sched: &Schedule) -> ArmOut {
+    let clock = Clock::new();
+    let platform = Platform::chiplet("bench", 1, 2, 4, 2);
+    let cfg = TcmallocConfig::optimized().with_free_arm(arm);
+    let mut tcm = Tcmalloc::new(cfg, platform, clock.clone());
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let mut ops = 0u64;
+    let t = Instant::now();
+    for op in &sched.ops {
+        ops += 1;
+        match *op {
+            SchedOp::Malloc { cpu, size } => {
+                let a = tcm.malloc(black_box(size), CpuId(cpu % 16));
+                live.push((a.addr, size));
+            }
+            SchedOp::Free { slot, cpu } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (addr, size) = live.swap_remove(slot as usize % live.len());
+                tcm.free(black_box(addr), size, CpuId(cpu % 16));
+            }
+            SchedOp::Tick { ns } => {
+                clock.advance(ns);
+                tcm.maintain();
+            }
+            SchedOp::Drain => tcm.drain_deferred(),
+        }
+    }
+    let ns = t.elapsed().as_nanos() as f64;
+    for (addr, size) in live {
+        tcm.free(addr, size, CpuId(0));
+    }
+    tcm.drain_deferred();
+    ArmOut {
+        mops: ops as f64 * 1e3 / ns.max(1.0),
+        queued: tcm.deferred().queued_total(),
+        drained: tcm.deferred().drained_total(),
+        in_flight: tcm.deferred().in_flight(),
+        contention_ns: tcm.cycles().ns(CycleCategory::Contention),
+        sim_total_ns: tcm.cycles().total_ns(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ops = scale.requests.max(20_000) as usize;
+    println!("== cross-thread frees: owner-only vs atomic-list vs message-passing, {ops} ops ==");
+
+    // One schedule per scenario, shared by all three arms: the A/B deltas
+    // below are pure mechanism, not workload noise.
+    let scenarios = [
+        (
+            "pipeline",
+            Schedule::producer_consumer(0xC0B7E47, &[0, 1, 2], &[8, 9, 10], ops),
+        ),
+        ("churn", Schedule::thread_churn(0xC1A5B, 16, ops)),
+    ];
+
+    let mut report = JsonReport::new();
+    report
+        .text("bench", "contention/free-arm-ab")
+        .text("scale", scale.name)
+        .int("ops", ops as u64)
+        .num("min_rel_throughput", MIN_REL_THROUGHPUT);
+
+    let mut churn_mops = [0.0f64; 3];
+    for (name, sched) in &scenarios {
+        let mut contention = [0.0f64; 3];
+        for (i, arm) in ARMS.into_iter().enumerate() {
+            let out = run_schedule(arm, sched);
+            println!(
+                "{name:<9} {:<16} {:>7.2} Mops/s  queued {:>7}  drained {:>7}  \
+                 contention {:>12.0} sim-ns  ({:.2}% of sim time)",
+                arm.name(),
+                out.mops,
+                out.queued,
+                out.drained,
+                out.contention_ns,
+                100.0 * out.contention_ns / out.sim_total_ns.max(1.0),
+            );
+            // Visibility gates: the arms must be real and fully drained.
+            assert_eq!(out.in_flight, 0, "{name}/{}: undrained", arm.name());
+            assert_eq!(
+                out.queued,
+                out.drained,
+                "{name}/{}: queue/drain mismatch",
+                arm.name()
+            );
+            if arm == FreeArm::OwnerOnly {
+                assert_eq!(out.queued, 0, "{name}: owner-only queued remotely");
+                assert_eq!(
+                    out.contention_ns, 0.0,
+                    "{name}: owner-only charged contention"
+                );
+            } else {
+                assert!(out.queued > 0, "{name}/{}: never went remote", arm.name());
+                assert!(
+                    out.contention_ns > 0.0,
+                    "{name}/{}: remote traffic charged nothing",
+                    arm.name()
+                );
+            }
+            contention[i] = out.contention_ns;
+            if *name == "churn" {
+                churn_mops[i] = out.mops;
+            }
+            let key = arm.name().replace('-', "_");
+            report
+                .num(&format!("{name}_mops_{key}"), out.mops)
+                .int(&format!("{name}_remote_queued_{key}"), out.queued)
+                .int(&format!("{name}_remote_drained_{key}"), out.drained)
+                .num(
+                    &format!("{name}_contention_sim_ns_{key}"),
+                    out.contention_ns,
+                )
+                .num(&format!("{name}_sim_total_ns_{key}"), out.sim_total_ns);
+        }
+        // The two deferred arms must be mutually distinguishable: one CAS
+        // per push vs batched posts produce different simulated charges on
+        // any schedule with remote traffic.
+        assert!(
+            (contention[1] - contention[2]).abs() > f64::EPSILON,
+            "{name}: atomic-list and message-passing charged identically"
+        );
+    }
+
+    // Overhead gate: atomic-list churn throughput within the stated bound
+    // of owner-only. (Wall-clock, so the bound is deliberately loose; the
+    // simulated contention charges above are the precise signal.)
+    let rel = churn_mops[1] / churn_mops[0].max(f64::EPSILON);
+    println!(
+        "churn throughput: atomic-list retains {rel:.2}x of owner-only \
+         (gate: >= {MIN_REL_THROUGHPUT})"
+    );
+    assert!(
+        rel >= MIN_REL_THROUGHPUT,
+        "atomic-list churn throughput {rel:.2}x below the {MIN_REL_THROUGHPUT} floor"
+    );
+    report.num("churn_atomic_list_rel_throughput", rel);
+
+    report
+        .write(OUT_PATH)
+        .unwrap_or_else(|e| panic!("writing {OUT_PATH}: {e}"));
+    println!("wrote {OUT_PATH}");
+}

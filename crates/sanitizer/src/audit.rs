@@ -5,10 +5,11 @@
 //! that make the simulation's figures trustworthy:
 //!
 //! 1. **Object conservation, per class.** Every object a span has handed
-//!    out is either live in the application (shadow), cached per-CPU, or
-//!    cached in the transfer tier:
-//!    `Σ span.allocated = shadow_live + percpu + transfer`. And every slot
-//!    a span carves exists exactly once:
+//!    out is either live in the application (shadow), cached per-CPU,
+//!    cached in the transfer tier, or parked on a deferred cross-thread
+//!    free list awaiting its owner:
+//!    `Σ span.allocated = shadow_live + percpu + transfer + deferred`.
+//!    And every slot a span carves exists exactly once:
 //!    `Σ span.capacity = Σ span.allocated + central_free`.
 //! 2. **Span placement.** A span with `A` live allocations must sit on
 //!    occupancy list `max(0, L-1-⌊log2 A⌋)` (§4.3); a `Full` span has no
@@ -71,6 +72,9 @@ pub struct ClassTierSnapshot {
     pub percpu_objects: u64,
     /// Objects cached across the transfer tier (central + domain shards).
     pub transfer_objects: u64,
+    /// Objects freed remotely and still parked on deferred lists or
+    /// inboxes (in-flight cross-thread frees; zero under owner-only).
+    pub deferred_objects: u64,
     /// The central free list's running free-object counter.
     pub central_free_objects: u64,
 }
@@ -163,7 +167,7 @@ fn audit_classes(snap: &Snapshot, shadow: &ShadowState, out: &mut Vec<SanitizerR
             free += s.free_count as u64;
         }
         let live = shadow.live_count_by_class(Some(c.class));
-        let cached = c.percpu_objects + c.transfer_objects;
+        let cached = c.percpu_objects + c.transfer_objects + c.deferred_objects;
         if allocated != live + cached {
             out.push(SanitizerReport {
                 kind: ErrorKind::ObjectConservationViolation,
@@ -172,9 +176,10 @@ fn audit_classes(snap: &Snapshot, shadow: &ShadowState, out: &mut Vec<SanitizerR
                 size_class: Some(c.class),
                 span: None,
                 detail: format!(
-                    "spans report {allocated} allocated but shadow live {live} + percpu {} + transfer {} = {}",
+                    "spans report {allocated} allocated but shadow live {live} + percpu {} + transfer {} + deferred {} = {}",
                     c.percpu_objects,
                     c.transfer_objects,
+                    c.deferred_objects,
                     live + cached
                 ),
             });
@@ -487,6 +492,7 @@ mod tests {
                 object_size: 64,
                 percpu_objects: 1,
                 transfer_objects: 0,
+                deferred_objects: 0,
                 central_free_objects: 254,
             }],
             spans: vec![SpanSnapshot {
@@ -692,6 +698,7 @@ mod tests {
             object_size: 1024,
             percpu_objects: 0,
             transfer_objects: 0,
+            deferred_objects: 0,
             central_free_objects: 8,
         });
         // ...but class 3 now has 2 live shadow objects vs 2 allocated slots

@@ -7,7 +7,8 @@
 //! allocator time (Figure 6a) and the downstream locality effects.
 
 use crate::central::CentralFreeList;
-use crate::config::TcmallocConfig;
+use crate::config::{FreeArm, TcmallocConfig};
+use crate::deferred::{DeferredFrees, QueuedVia};
 use crate::events::{AllocEvent, EventBus, EventSink, SpanRef, TraceRing};
 use crate::pageheap::{AllocError, OsLayer, PageHeap};
 use crate::pagemap::PageMap;
@@ -104,6 +105,7 @@ pub struct Tcmalloc {
     pagemap: PageMap,
     pageheap: PageHeap,
     sampler: Sampler,
+    deferred: DeferredFrees,
     bus: EventBus,
     // lint:allow(hashmap-decl) keyed by sampled address; never iterated
     live_samples: HashMap<u64, (u64, u64, f64)>,
@@ -143,6 +145,7 @@ impl Tcmalloc {
             pagemap: PageMap::new(),
             pageheap: PageHeap::with_kernel(cfg.pageheap, OsLayer::new(vmm, cfg.hard_limit)),
             sampler: Sampler::new(cfg.sample_period_bytes),
+            deferred: DeferredFrees::new(cfg.free_arm, table.num_classes()),
             bus: EventBus::new(&cfg, CostModel::production(), clock.clone()),
             live_samples: HashMap::new(),
             live_requested_bytes: 0,
@@ -298,10 +301,25 @@ impl Tcmalloc {
         if let Some(addr) = self.percpu.alloc(vcpu, cl, &mut self.bus) {
             return Ok((addr, info.size, AllocPath::PerCpu));
         }
+        // Per-CPU miss: the first deterministic drain point. The missing
+        // vCPU adopts every batch posted to its inbox before refilling.
+        if self.cfg.free_arm == FreeArm::MessagePassing {
+            let inbound = self.deferred.drain_inbox(vcpu.index() as u32);
+            for (class, objs) in inbound {
+                self.adopt_drained(vcpu.index(), shard, class as usize, objs);
+            }
+        }
         let batch = info.batch as usize;
         let mut objs = self.transfer.fetch(shard, cl, batch, &mut self.bus);
         let mut path = AllocPath::TransferCache;
         if objs.len() < batch {
+            // Central refill: the second drain point. Deferred objects of
+            // this class rejoin the middle tiers before the pageheap is
+            // asked for fresh spans.
+            if self.cfg.free_arm != FreeArm::OwnerOnly {
+                let drained = self.deferred.drain_class(cl as u16);
+                self.adopt_drained(vcpu.index(), shard, cl, drained);
+            }
             let need = batch - objs.len();
             match self.central[cl].alloc_batch(
                 need,
@@ -311,6 +329,9 @@ impl Tcmalloc {
                 &mut self.bus,
             ) {
                 Ok((more, deep)) => {
+                    if self.cfg.free_arm != FreeArm::OwnerOnly {
+                        self.claim_spans(&more, vcpu.index() as u32);
+                    }
                     objs.extend(more);
                     path = deep;
                 }
@@ -425,9 +446,52 @@ impl Tcmalloc {
                 let vcpu = self.vcpus.vcpu_of(cpu);
                 let shard = self.shard_of(cpu);
                 let info = *self.table.info(cl);
-                let path = match self.percpu.free(vcpu, cl, addr, &mut self.bus) {
-                    FreeOutcome::Cached => AllocPath::PerCpu,
-                    FreeOutcome::Overflow(batch) => self.return_objects(shard, cl, batch, false),
+                // Ownership check: a free issued against a span another
+                // vCPU refilled from is routed through the deferred-free
+                // arm instead of the local cache.
+                let remote = if self.cfg.free_arm == FreeArm::OwnerOnly {
+                    None
+                } else {
+                    self.pagemap.span_of(addr).and_then(|id| {
+                        let s = self.spans.get(id);
+                        s.owner
+                            .filter(|&o| o != vcpu.index() as u32)
+                            .map(|o| (id.0, o))
+                    })
+                };
+                let path = if let Some((span_id, owner)) = remote {
+                    let via = self.deferred.queue_remote(
+                        vcpu.index() as u32,
+                        owner,
+                        cl as u16,
+                        span_id,
+                        addr,
+                    );
+                    self.bus.emit(AllocEvent::RemoteFreeQueued {
+                        vcpu: vcpu.index(),
+                        owner: owner as usize,
+                        class: cl as u16,
+                        addr,
+                    });
+                    let sync_ns = match via {
+                        QueuedVia::Cas => self.bus.cost().atomic_cas_ns,
+                        QueuedVia::Batched => self.bus.cost().msg_batch_ns,
+                        QueuedVia::Buffered => 0.0,
+                    };
+                    if sync_ns > 0.0 {
+                        self.bus.emit(AllocEvent::ContentionCharged {
+                            vcpu: vcpu.index(),
+                            ns: sync_ns,
+                        });
+                    }
+                    AllocPath::PerCpu
+                } else {
+                    match self.percpu.free(vcpu, cl, addr, &mut self.bus) {
+                        FreeOutcome::Cached => AllocPath::PerCpu,
+                        FreeOutcome::Overflow(batch) => {
+                            self.return_objects(shard, cl, batch, false)
+                        }
+                    }
                 };
                 (info.size, path)
             }
@@ -462,6 +526,55 @@ impl Tcmalloc {
             self.audit_now();
         }
         Ok(FreeOutcomeInfo { path, ns })
+    }
+
+    /// Tags the spans backing `objs` with the refilling vCPU (latest
+    /// refiller wins) — the ownership the remote-free router consults.
+    fn claim_spans(&mut self, objs: &[u64], vcpu: u32) {
+        for &addr in objs {
+            if let Some(id) = self.pagemap.span_of(addr) {
+                self.spans.get_mut(id).owner = Some(vcpu);
+            }
+        }
+    }
+
+    /// Adopts one class's batch of drained remote frees: emits the drain
+    /// event, charges the list-detach cost, and returns the objects to the
+    /// middle tiers.
+    fn adopt_drained(&mut self, vcpu: usize, shard: usize, cl: usize, objs: Vec<u64>) {
+        if objs.is_empty() {
+            return;
+        }
+        self.bus.emit(AllocEvent::RemoteFreeDrained {
+            vcpu,
+            class: cl as u16,
+            count: objs.len() as u32,
+        });
+        let detach_ns = self.bus.cost().contended_lock_ns;
+        self.bus.emit(AllocEvent::ContentionCharged {
+            vcpu,
+            ns: detach_ns,
+        });
+        self.return_objects(shard, cl, objs, true);
+    }
+
+    /// Drains every deferred remote free — partial message batches
+    /// included — back into the middle tiers: the full-barrier drain the
+    /// transfer-plunder pass runs, also available to tests and shutdown
+    /// paths. A no-op under the owner-only arm.
+    pub fn drain_deferred(&mut self) {
+        if self.cfg.free_arm == FreeArm::OwnerOnly {
+            return;
+        }
+        let batches = self.deferred.flush_outbox();
+        if batches > 0 {
+            let ns = self.bus.cost().msg_batch_ns * batches as f64;
+            self.bus.emit(AllocEvent::ContentionCharged { vcpu: 0, ns });
+        }
+        let drained = self.deferred.drain_all();
+        for (class, objs) in drained {
+            self.adopt_drained(0, 0, class as usize, objs);
+        }
     }
 
     /// Pushes surplus objects down the hierarchy (transfer cache, then the
@@ -534,6 +647,9 @@ impl Tcmalloc {
             for (cl, objs) in overflow {
                 self.return_objects(0, cl, objs, true);
             }
+            // Plunder: the third drain point — a full-barrier adoption of
+            // everything still parked, partial batches included.
+            self.drain_deferred();
         }
         if now >= self.next_decay_ns {
             self.next_decay_ns = now + self.cfg.decay_interval_ns;
@@ -583,12 +699,14 @@ impl Tcmalloc {
     fn build_snapshot(&self) -> Snapshot {
         let percpu = self.percpu.cached_objects_by_class();
         let transfer = self.transfer.cached_objects_by_class();
+        let deferred = self.deferred.in_flight_by_class();
         let classes = (0..self.table.num_classes())
             .map(|cl| ClassTierSnapshot {
                 class: cl as u16,
                 object_size: self.table.info(cl).size,
                 percpu_objects: percpu[cl],
                 transfer_objects: transfer[cl],
+                deferred_objects: deferred[cl],
                 central_free_objects: self.central[cl].free_objects(),
             })
             .collect();
@@ -677,6 +795,13 @@ impl Tcmalloc {
 
     /// Fragmentation snapshot (Figures 5b and 6b).
     pub fn fragmentation(&self) -> FragmentationBreakdown {
+        let deferred_bytes = self
+            .deferred
+            .in_flight_by_class()
+            .iter()
+            .enumerate()
+            .map(|(cl, &n)| n * self.table.info(cl).size)
+            .sum();
         FragmentationBreakdown {
             live_bytes: self.live_requested_bytes,
             internal_bytes: self.internal_frag_bytes,
@@ -684,8 +809,15 @@ impl Tcmalloc {
             transfer_bytes: self.transfer.cached_bytes(),
             central_bytes: self.central.iter().map(|c| c.external_bytes()).sum(),
             pageheap_bytes: self.pageheap.stats().total_free_bytes(),
+            deferred_bytes,
             resident_bytes: self.pageheap.vmm().page_table().resident_bytes(),
         }
+    }
+
+    /// The deferred-free state: in-flight counts and queue/drain totals
+    /// for the cross-thread free arms.
+    pub fn deferred(&self) -> &DeferredFrees {
+        &self.deferred
     }
 
     /// Application-requested live bytes.

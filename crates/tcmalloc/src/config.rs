@@ -20,6 +20,35 @@ use wsc_sim_os::FaultPlan;
 /// values are documented next to each field.
 pub const CAPACITY_SCALE: u64 = 8;
 
+/// How a free issued by a thread that does not own the object's span is
+/// handled (the cross-thread free mechanism).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FreeArm {
+    /// Every free is treated as local, whatever CPU issues it — the
+    /// pre-ownership behaviour, and the byte-identical default.
+    #[default]
+    OwnerOnly,
+    /// rpmalloc-style per-span deferred lists: each remote free pushes the
+    /// object onto the owning span's list with one contended CAS; the
+    /// owner adopts whole lists at central-refill and plunder drain points.
+    AtomicList,
+    /// snmalloc-style batched message passing: remote frees accumulate in
+    /// a sender-side batch and are posted to the owner's inbox when full;
+    /// the owner drains its inbox on a per-CPU cache miss and at plunder.
+    MessagePassing,
+}
+
+impl FreeArm {
+    /// Short display name (bench/report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FreeArm::OwnerOnly => "owner-only",
+            FreeArm::AtomicList => "atomic-list",
+            FreeArm::MessagePassing => "message-passing",
+        }
+    }
+}
+
 /// Complete allocator configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TcmallocConfig {
@@ -78,6 +107,9 @@ pub struct TcmallocConfig {
     /// latency spikes). `None` = the kernel never fails, which reproduces
     /// every golden figure byte-identically.
     pub os_faults: Option<FaultPlan>,
+    /// Cross-thread free mechanism. [`FreeArm::OwnerOnly`] (the default)
+    /// keeps the pre-ownership behaviour byte-identical.
+    pub free_arm: FreeArm,
 }
 
 impl TcmallocConfig {
@@ -112,6 +144,7 @@ impl TcmallocConfig {
             soft_limit: None,
             hard_limit: None,
             os_faults: None,
+            free_arm: FreeArm::OwnerOnly,
         }
     }
 
@@ -203,6 +236,12 @@ impl TcmallocConfig {
         self.os_faults = Some(plan);
         self
     }
+
+    /// Selects the cross-thread free mechanism (see [`FreeArm`]).
+    pub fn with_free_arm(mut self, arm: FreeArm) -> Self {
+        self.free_arm = arm;
+        self
+    }
 }
 
 impl Default for TcmallocConfig {
@@ -235,6 +274,23 @@ mod tests {
         assert_eq!(c.soft_limit, None);
         assert_eq!(c.hard_limit, None);
         assert_eq!(c.os_faults, None);
+        // Ownership routing defaults to pass-through: remote frees behave
+        // exactly like local ones unless an arm is opted into.
+        assert_eq!(c.free_arm, FreeArm::OwnerOnly);
+    }
+
+    #[test]
+    fn free_arm_builder_and_names() {
+        let c = TcmallocConfig::optimized().with_free_arm(FreeArm::AtomicList);
+        assert_eq!(c.free_arm, FreeArm::AtomicList);
+        assert_eq!(
+            TcmallocConfig::optimized().free_arm,
+            FreeArm::OwnerOnly,
+            "optimized() must not silently change free semantics"
+        );
+        assert_eq!(FreeArm::OwnerOnly.name(), "owner-only");
+        assert_eq!(FreeArm::AtomicList.name(), "atomic-list");
+        assert_eq!(FreeArm::MessagePassing.name(), "message-passing");
     }
 
     #[test]

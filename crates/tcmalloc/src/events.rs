@@ -390,11 +390,44 @@ pub enum AllocEvent {
         /// Requested bytes at allocation.
         size: u64,
     },
+
+    // --- Cross-thread frees (ownership & deferred lists) ---
+    /// A free issued by a non-owner vCPU was queued onto the owning span's
+    /// deferred list (atomic-list arm) or the owner's inbox (message-passing
+    /// arm) instead of the local per-CPU cache.
+    RemoteFreeQueued {
+        /// The vCPU that issued the free.
+        vcpu: usize,
+        /// The vCPU that owns the object's span.
+        owner: usize,
+        /// Size class.
+        class: u16,
+        /// Object address.
+        addr: u64,
+    },
+    /// A batch of deferred remote frees was adopted by the owning side at a
+    /// deterministic drain point and returned to the middle tiers.
+    RemoteFreeDrained {
+        /// The vCPU performing the drain (the adopting side).
+        vcpu: usize,
+        /// Size class.
+        class: u16,
+        /// Objects drained.
+        count: u32,
+    },
+    /// Synchronization cost charged for cross-thread traffic: a contended
+    /// CAS, a message-batch handoff, or a deferred-list detach.
+    ContentionCharged {
+        /// The vCPU paying the cost.
+        vcpu: usize,
+        /// Cost-model nanoseconds charged.
+        ns: f64,
+    },
 }
 
 impl AllocEvent {
     /// Discriminant names, in declaration order — the event taxonomy.
-    pub const KINDS: [&'static str; 31] = [
+    pub const KINDS: [&'static str; 34] = [
         "PerCpuHit",
         "PerCpuMiss",
         "PerCpuOverflow",
@@ -426,6 +459,9 @@ impl AllocEvent {
         "SampledFree",
         "MallocDone",
         "FreeDone",
+        "RemoteFreeQueued",
+        "RemoteFreeDrained",
+        "ContentionCharged",
     ];
 
     /// This event's discriminant name (an entry of [`Self::KINDS`]).
@@ -462,6 +498,9 @@ impl AllocEvent {
             AllocEvent::SampledFree { .. } => "SampledFree",
             AllocEvent::MallocDone { .. } => "MallocDone",
             AllocEvent::FreeDone { .. } => "FreeDone",
+            AllocEvent::RemoteFreeQueued { .. } => "RemoteFreeQueued",
+            AllocEvent::RemoteFreeDrained { .. } => "RemoteFreeDrained",
+            AllocEvent::ContentionCharged { .. } => "ContentionCharged",
         }
     }
 
@@ -473,7 +512,9 @@ impl AllocEvent {
             | AllocEvent::PerCpuOverflow { .. }
             | AllocEvent::ResizerSteal { .. }
             | AllocEvent::ResizerGrow { .. }
-            | AllocEvent::ResizerShrink { .. } => "percpu",
+            | AllocEvent::ResizerShrink { .. }
+            | AllocEvent::RemoteFreeQueued { .. }
+            | AllocEvent::RemoteFreeDrained { .. } => "percpu",
             AllocEvent::TransferHit { .. }
             | AllocEvent::TransferInsert { .. }
             | AllocEvent::TransferEvict { .. } => "transfer",
@@ -497,7 +538,8 @@ impl AllocEvent {
             AllocEvent::SamplerPick { .. }
             | AllocEvent::SampledFree { .. }
             | AllocEvent::MallocDone { .. }
-            | AllocEvent::FreeDone { .. } => "op",
+            | AllocEvent::FreeDone { .. }
+            | AllocEvent::ContentionCharged { .. } => "op",
         }
     }
 
@@ -630,6 +672,18 @@ impl AllocEvent {
                 "{{\"path\":\"{}\",\"addr\":{addr},\"size\":{size}}}",
                 path.name()
             ),
+            AllocEvent::RemoteFreeQueued {
+                vcpu,
+                owner,
+                class,
+                addr,
+            } => format!("{{\"vcpu\":{vcpu},\"owner\":{owner},\"class\":{class},\"addr\":{addr}}}"),
+            AllocEvent::RemoteFreeDrained { vcpu, class, count } => {
+                format!("{{\"vcpu\":{vcpu},\"class\":{class},\"count\":{count}}}")
+            }
+            AllocEvent::ContentionCharged { vcpu, ns } => {
+                format!("{{\"vcpu\":{vcpu},\"ns\":{ns}}}")
+            }
         }
     }
 }
@@ -1103,7 +1157,7 @@ mod tests {
 
     #[test]
     fn every_kind_is_covered_by_the_taxonomy() {
-        assert_eq!(AllocEvent::KINDS.len(), 31);
+        assert_eq!(AllocEvent::KINDS.len(), 34);
         assert!(AllocEvent::KINDS.contains(&hit().kind()));
         for fault in [
             AllocEvent::OsFault {
@@ -1133,5 +1187,31 @@ mod tests {
             assert_eq!(fault.tier(), "os");
             assert!(fault.args_json().starts_with('{'));
         }
+    }
+
+    #[test]
+    fn remote_free_kinds_join_the_taxonomy() {
+        let queued = AllocEvent::RemoteFreeQueued {
+            vcpu: 3,
+            owner: 0,
+            class: 7,
+            addr: 0x2000,
+        };
+        let drained = AllocEvent::RemoteFreeDrained {
+            vcpu: 0,
+            class: 7,
+            count: 4,
+        };
+        let charged = AllocEvent::ContentionCharged { vcpu: 3, ns: 10.0 };
+        for ev in [queued, drained, charged] {
+            assert!(AllocEvent::KINDS.contains(&ev.kind()), "{ev:?}");
+            assert!(ev.args_json().starts_with('{'));
+        }
+        // Queue/drain traffic belongs to the front-end lane (it replaces
+        // per-CPU frees); the synchronization charge is an op-level cost.
+        assert_eq!(queued.tier(), "percpu");
+        assert_eq!(drained.tier(), "percpu");
+        assert_eq!(charged.tier(), "op");
+        assert!(queued.args_json().contains("\"owner\":0"));
     }
 }

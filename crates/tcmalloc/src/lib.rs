@@ -46,7 +46,9 @@
 pub mod alloc;
 pub mod central;
 pub mod config;
+pub mod deferred;
 pub mod events;
+pub mod interleave;
 pub mod memory;
 pub mod pageheap;
 pub mod pagemap;
@@ -57,7 +59,8 @@ pub mod stats;
 pub mod transfer;
 
 pub use alloc::{AllocOutcome, FreeError, FreeOutcomeInfo, Tcmalloc};
-pub use config::TcmallocConfig;
+pub use config::{FreeArm, TcmallocConfig};
+pub use deferred::{DeferredFrees, QueuedVia, MSG_BATCH};
 pub use events::{AllocEvent, EventBus, EventSink, Off, Recorder, Tee, TraceRing};
 pub use pageheap::{AllocError, OsLayer};
 pub use stats::{CycleCategory, CycleStats, FragmentationBreakdown, StatsView};

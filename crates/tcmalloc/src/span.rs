@@ -60,6 +60,10 @@ pub struct Span {
     bitmap: Vec<u64>,
     /// Current bookkeeping state.
     pub state: SpanState,
+    /// Owning vCPU: the simulated thread that most recently refilled its
+    /// per-CPU cache from this span. `None` until claimed (or always, under
+    /// the owner-only free arm, which never tags ownership).
+    pub owner: Option<u32>,
     /// Pending Figure-13 observation: the live-allocation count recorded at
     /// the last deallocation, resolved when the span is next allocated from
     /// (not released) or released.
@@ -80,6 +84,7 @@ impl Span {
             free_objects: (0..capacity).rev().collect(),
             bitmap: vec![0u64; (capacity as usize).div_ceil(64)],
             state: SpanState::Full, // caller places it on a list
+            owner: None,
             pending_obs: None,
         }
     }
@@ -96,6 +101,7 @@ impl Span {
             free_objects: Vec::new(),
             bitmap: vec![1u64],
             state: SpanState::Large,
+            owner: None,
             pending_obs: None,
         }
     }

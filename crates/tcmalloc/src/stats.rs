@@ -27,6 +27,11 @@ pub enum CycleCategory {
     Prefetch,
     /// Unclassified bookkeeping.
     Other,
+    /// Cross-thread free synchronization: contended CAS pushes, message
+    /// batch handoffs, deferred-list detaches. Appended after the paper's
+    /// seven Figure-6a categories so their order (and every golden figure
+    /// derived from it) is untouched.
+    Contention,
 }
 
 /// The single source of truth for the category list: every `(category,
@@ -43,11 +48,12 @@ pub const CATALOG: [(CycleCategory, &str); CycleCategory::COUNT] = [
     (CycleCategory::Sampled, "Sampled"),
     (CycleCategory::Prefetch, "Prefetch"),
     (CycleCategory::Other, "Other"),
+    (CycleCategory::Contention, "Contention"),
 ];
 
 impl CycleCategory {
     /// Number of categories.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All categories in the paper's display order (derived from
     /// [`CATALOG`]).
@@ -78,6 +84,7 @@ impl CycleCategory {
             CycleCategory::Sampled => 4,
             CycleCategory::Prefetch => 5,
             CycleCategory::Other => 6,
+            CycleCategory::Contention => 7,
         }
     }
 }
@@ -219,6 +226,9 @@ impl EventSink for StatsView {
                     .charge(path.into(), self.cost.alloc_path_ns(path));
                 self.cycles.charge(CycleCategory::Other, self.cost.other_ns);
             }
+            AllocEvent::ContentionCharged { ns, .. } => {
+                self.cycles.charge(CycleCategory::Contention, ns);
+            }
             AllocEvent::OsFault { latency_ns, .. } if latency_ns > 0 => {
                 // Injected kernel latency (THP compaction stall, flaky
                 // madvise) is allocator time spent waiting on the OS —
@@ -263,6 +273,9 @@ pub struct FragmentationBreakdown {
     pub central_bytes: u64,
     /// External: resident free pages held by the pageheap.
     pub pageheap_bytes: u64,
+    /// External: objects freed remotely and still parked on deferred lists
+    /// or inboxes (in-flight cross-thread frees, zero under owner-only).
+    pub deferred_bytes: u64,
     /// Resident heap bytes per the (simulated) kernel.
     pub resident_bytes: u64,
 }
@@ -270,7 +283,11 @@ pub struct FragmentationBreakdown {
 impl FragmentationBreakdown {
     /// Total external fragmentation.
     pub fn external_bytes(&self) -> u64 {
-        self.percpu_bytes + self.transfer_bytes + self.central_bytes + self.pageheap_bytes
+        self.percpu_bytes
+            + self.transfer_bytes
+            + self.central_bytes
+            + self.pageheap_bytes
+            + self.deferred_bytes
     }
 
     /// Total fragmentation (internal + external).
@@ -289,10 +306,13 @@ impl FragmentationBreakdown {
 
     /// Shares of total fragmentation per source, in the Figure 6b order:
     /// `[CPUCache, TransferCache, CentralFreeList, PageHeap, Internal]`.
+    /// Deferred remote-free bytes are front-end-cached objects in spirit
+    /// (they await adoption by the owner's caches), so they fold into the
+    /// CPUCache share rather than widening the figure.
     pub fn shares(&self) -> [f64; 5] {
         let total = self.total_bytes().max(1) as f64;
         [
-            self.percpu_bytes as f64 / total,
+            (self.percpu_bytes + self.deferred_bytes) as f64 / total,
             self.transfer_bytes as f64 / total,
             self.central_bytes as f64 / total,
             self.pageheap_bytes as f64 / total,
@@ -363,6 +383,7 @@ mod tests {
                 CycleCategory::Sampled => "Sampled",
                 CycleCategory::Prefetch => "Prefetch",
                 CycleCategory::Other => "Other",
+                CycleCategory::Contention => "Contention",
             }
         }
         for (i, (cat, name)) in CATALOG.iter().enumerate() {
@@ -440,6 +461,7 @@ mod tests {
             transfer_bytes: 10,
             central_bytes: 64,
             pageheap_bytes: 84,
+            deferred_bytes: 0,
             resident_bytes: 1222,
         };
         assert_eq!(f.external_bytes(), 188);
@@ -447,6 +469,37 @@ mod tests {
         let shares = f.shares();
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(shares[3] > shares[2], "pageheap dominates CFL here");
+    }
+
+    #[test]
+    fn deferred_bytes_count_as_front_end_fragmentation() {
+        let f = FragmentationBreakdown {
+            live_bytes: 1000,
+            internal_bytes: 34,
+            percpu_bytes: 30,
+            transfer_bytes: 10,
+            central_bytes: 64,
+            pageheap_bytes: 84,
+            deferred_bytes: 16,
+            resident_bytes: 1238,
+        };
+        assert_eq!(f.external_bytes(), 204);
+        let shares = f.shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(
+            (shares[0] - 46.0 / f.total_bytes() as f64).abs() < 1e-9,
+            "deferred folds into the CPUCache share"
+        );
+    }
+
+    #[test]
+    fn contention_charges_flow_into_their_own_category() {
+        let mut v = StatsView::new(CostModel::production());
+        v.on_event(0, &AllocEvent::ContentionCharged { vcpu: 2, ns: 10.0 });
+        v.on_event(0, &AllocEvent::ContentionCharged { vcpu: 0, ns: 45.0 });
+        assert_eq!(v.cycles().ns(CycleCategory::Contention), 55.0);
+        assert_eq!(v.cycles().ops(CycleCategory::Contention), 2);
+        assert_eq!(v.cycles().ns(CycleCategory::Other), 0.0);
     }
 
     #[test]

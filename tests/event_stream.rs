@@ -19,7 +19,7 @@ use wsc_sim_os::clock::Clock;
 use wsc_sim_os::faults::{FaultPlan, PPM};
 use wsc_sim_os::pagetable::PageTable;
 use wsc_tcmalloc::events::EvictReason;
-use wsc_tcmalloc::{AllocEvent, SanitizeLevel, Tcmalloc, TcmallocConfig};
+use wsc_tcmalloc::{AllocEvent, FreeArm, SanitizeLevel, Tcmalloc, TcmallocConfig};
 use wsc_workload::driver::{run, run_batch, DriverConfig, RunJob};
 use wsc_workload::profiles;
 
@@ -160,12 +160,38 @@ fn directed_workload_emits_every_event_kind() {
         );
     }
 
+    // The cross-thread kinds (RemoteFreeQueued, RemoteFreeDrained,
+    // ContentionCharged) only exist once a deferred free arm is active: a
+    // pipeline mini-run allocates on CpuId(0) — whose central refills claim
+    // span ownership — frees from CpuId(8), and drains.
+    let rclock = Clock::new();
+    let rcfg = TcmallocConfig::optimized()
+        .with_event_recorder()
+        .with_free_arm(FreeArm::AtomicList);
+    let mut rtcm = Tcmalloc::new(rcfg, platform(), rclock.clone());
+    let remote_live: Vec<_> = (0..64).map(|_| rtcm.malloc(256, CpuId(0))).collect();
+    for a in &remote_live {
+        rtcm.free(a.addr, 256, CpuId(8));
+    }
+    rtcm.drain_deferred();
+    let remote_seen: BTreeSet<&str> = rtcm
+        .recorded_events()
+        .iter()
+        .map(AllocEvent::kind)
+        .collect();
+    for kind in ["RemoteFreeQueued", "RemoteFreeDrained", "ContentionCharged"] {
+        assert!(
+            remote_seen.contains(kind),
+            "pipeline run never emitted {kind}: saw {remote_seen:?}"
+        );
+    }
+
     let events = tcm.recorded_events();
     let seen: BTreeSet<&str> = events.iter().map(AllocEvent::kind).collect();
     let missing: Vec<&str> = AllocEvent::KINDS
         .iter()
         .copied()
-        .filter(|k| !seen.contains(k) && !fault_seen.contains(k))
+        .filter(|k| !seen.contains(k) && !fault_seen.contains(k) && !remote_seen.contains(k))
         .collect();
     assert!(
         missing.is_empty(),

@@ -280,6 +280,59 @@ fn radix_pagemap_matches_btreemap_oracle() {
 }
 
 #[test]
+fn random_interleavings_replay_bit_identical_and_match_the_oracle() {
+    // Property: for arbitrary seeded ownership/free-site schedules,
+    // (a) replaying the same schedule twice under a deferred free arm is
+    // bit-identical (fingerprint of the complete event stream included),
+    // (b) the deferred arms' final heap agrees with the owner-only oracle
+    // on the live set and its accounting, (c) the settling drain leaves
+    // nothing in flight, and (d) the full sanitizer stays silent.
+    use warehouse_alloc::tcmalloc::interleave::{replay, Schedule};
+    use warehouse_alloc::tcmalloc::FreeArm;
+    for case in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA119 + case);
+        let cpus = rng.gen_range(2u32..16);
+        let ops = rng.gen_range(100usize..600);
+        let sched = if rng.gen::<f64>() < 0.5 {
+            let split = rng.gen_range(1..cpus);
+            let producers: Vec<u32> = (0..split).collect();
+            let consumers: Vec<u32> = (split..cpus).collect();
+            Schedule::producer_consumer(rng.gen::<u64>(), &producers, &consumers, ops)
+        } else {
+            Schedule::thread_churn(rng.gen::<u64>(), cpus, ops)
+        };
+        let platform = Platform::chiplet("t", 1, 2, 4, 2);
+        let oracle = replay(
+            TcmallocConfig::optimized().with_sanitize(SanitizeLevel::Full),
+            platform.clone(),
+            &sched,
+        );
+        assert_eq!(oracle.sanitizer_findings, 0, "case {case}: oracle dirty");
+        for arm in [FreeArm::AtomicList, FreeArm::MessagePassing] {
+            let cfg = TcmallocConfig::optimized()
+                .with_free_arm(arm)
+                .with_sanitize(SanitizeLevel::Full);
+            let a = replay(cfg, platform.clone(), &sched);
+            let b = replay(cfg, platform.clone(), &sched);
+            assert_eq!(a, b, "case {case}/{}: replay diverged", arm.name());
+            assert_eq!(
+                (a.live_objects, a.live_bytes, &a.live_sizes),
+                (oracle.live_objects, oracle.live_bytes, &oracle.live_sizes),
+                "case {case}/{}: live set diverged from the owner-only oracle",
+                arm.name()
+            );
+            assert_eq!(a.in_flight, 0, "case {case}/{}: undrained", arm.name());
+            assert_eq!(
+                a.sanitizer_findings,
+                0,
+                "case {case}/{}: sanitizer findings",
+                arm.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn random_experiment_specs_are_thread_count_invariant() {
     // Property: for arbitrary (small) fleet experiment specs, the merged
     // A/B report is byte-identical at 1 worker and at a random 2..=8

@@ -217,6 +217,7 @@ fn consistent_world() -> (Snapshot, ShadowState) {
             object_size: 64,
             percpu_objects: 1,
             transfer_objects: 0,
+            deferred_objects: 0,
             central_free_objects: 254,
         }],
         spans: vec![SpanSnapshot {

@@ -131,11 +131,13 @@ const ATTRIBUTION_SANCTIONED: &[&str] = &[
 /// that routes every call through the fault injector and the hard limit.
 const OS_SANCTIONED: &[&str] = &["crates/sim-os/", "crates/tcmalloc/src/pageheap/"];
 
-/// Modules sanctioned to hold concurrency primitives. Everything else in
-/// the deterministic core must stay single-threaded until the
-/// contention-real allocator core lands (ROADMAP item 1), at which point
-/// its shard modules join this list.
-const CONCURRENCY_SANCTIONED: &[&str] = &["crates/parallel/"];
+/// Modules sanctioned to hold concurrency primitives: the experiment
+/// engine, and the deferred cross-thread free module — the contention-real
+/// piece of the allocator core (ROADMAP item 1), whose per-span lists and
+/// message inboxes are the one place the simulated allocator legitimately
+/// models shared mutable state. Everything else in the deterministic core
+/// stays single-threaded.
+const CONCURRENCY_SANCTIONED: &[&str] = &["crates/parallel/", "crates/tcmalloc/src/deferred"];
 
 /// Method names that mutate kernel state (see [`OS_SANCTIONED`]).
 const OS_MUTATION_METHODS: &[&str] = &[

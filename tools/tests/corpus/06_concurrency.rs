@@ -41,3 +41,16 @@ fn store(b: &AtomicBool) {
     let cmp = std::cmp::Ordering::Less; // cmp::Ordering variants never fire
     let _ = cmp;
 }
+//@ file: crates/tcmalloc/src/deferred.rs
+// The deferred cross-thread free module is sanctioned: per-span lists and
+// message inboxes are the allocator's one legitimate shared-state model.
+// lint:lock-order(span_lists, inboxes)
+fn park(span_lists: &Mutex<u32>, inboxes: &Mutex<u32>) {
+    let _l = span_lists.lock();
+    let _i = inboxes.lock();
+}
+fn counters(n: &AtomicU64) {
+    // lint:allow(atomic-ordering) monotonic counter; no data published
+    n.fetch_add(1, Ordering::Relaxed);
+    n.fetch_add(1, Ordering::AcqRel); //~ concurrency-readiness
+}
