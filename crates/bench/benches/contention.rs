@@ -4,10 +4,21 @@
 //! (every free remote) and a thread-churn mix (ownership migrates) — are
 //! materialized once per scale, then executed under each
 //! [`FreeArm`], so the three arms replay *identical* operation sequences.
-//! Reported per arm and scenario: wall-clock throughput, remote frees
-//! queued/drained, and the simulated contention nanoseconds the cost model
-//! charged (CAS per atomic-list push, batch posts and adoption locks for
-//! message passing). Emits `BENCH_contention.json`.
+//! Reported per arm and scenario: wall-clock throughput, **sim-time
+//! throughput** (ops per simulated-charged nanosecond — the number the
+//! cost model actually stands behind), remote frees queued/drained, and
+//! the simulated contention nanoseconds charged (CAS per atomic-list
+//! push, batch posts and adoption locks for message passing). Emits
+//! `BENCH_contention.json`.
+//!
+//! Wall clock and sim time can *disagree* here, and the wall number is
+//! the misleading one: a committed run showed atomic-list at 2.66 wall
+//! Mops/s vs 1.22 for owner-only — "faster" — while the same run charged
+//! the atomic arm 248 µs of extra simulated contention. Host-side
+//! bookkeeping differences (BTree churn keeping allocator structures
+//! cache-warm) swamp the mechanism cost the bench exists to measure, so
+//! the regression gate below is on the sim-normalized ratio, which is
+//! deterministic for a given schedule.
 //!
 //! Two families of in-bench gates keep the A/B honest:
 //!
@@ -34,11 +45,13 @@ use wsc_tcmalloc::{CycleCategory, FreeArm, Tcmalloc, TcmallocConfig};
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_contention.json");
 
 /// Minimum fraction of owner-only churn throughput the atomic-list arm
-/// must retain (the CI regression gate). The deferred push is one BTree
-/// insert and the drains are amortized over whole lists, so a healthy arm
-/// sits well above this; the 0.40 floor leaves headroom for shared-runner
-/// noise without letting an accidentally quadratic drain slip through.
-const MIN_REL_THROUGHPUT: f64 = 0.40;
+/// must retain in **simulated time** (the CI regression gate). The
+/// deferred push charges one CAS and the drains are amortized over whole
+/// lists, so the contention surcharge stays a small slice of total
+/// simulated cycles; the ratio is deterministic for a given schedule
+/// (machine noise cannot move it), so the floor sits just under the
+/// measured value and any mechanism regression trips it immediately.
+const MIN_REL_THROUGHPUT: f64 = 0.85;
 
 /// The three arms under test, in report order.
 const ARMS: [FreeArm; 3] = [
@@ -49,6 +62,7 @@ const ARMS: [FreeArm; 3] = [
 
 struct ArmOut {
     mops: f64,
+    sim_mops: f64,
     queued: u64,
     drained: u64,
     in_flight: u64,
@@ -92,13 +106,15 @@ fn run_schedule(arm: FreeArm, sched: &Schedule) -> ArmOut {
         tcm.free(addr, size, CpuId(0));
     }
     tcm.drain_deferred();
+    let sim_total_ns = tcm.cycles().total_ns();
     ArmOut {
         mops: ops as f64 * 1e3 / ns.max(1.0),
+        sim_mops: ops as f64 * 1e3 / sim_total_ns.max(1.0),
         queued: tcm.deferred().queued_total(),
         drained: tcm.deferred().drained_total(),
         in_flight: tcm.deferred().in_flight(),
         contention_ns: tcm.cycles().ns(CycleCategory::Contention),
-        sim_total_ns: tcm.cycles().total_ns(),
+        sim_total_ns,
     }
 }
 
@@ -125,15 +141,17 @@ fn main() {
         .num("min_rel_throughput", MIN_REL_THROUGHPUT);
 
     let mut churn_mops = [0.0f64; 3];
+    let mut churn_sim_mops = [0.0f64; 3];
     for (name, sched) in &scenarios {
         let mut contention = [0.0f64; 3];
         for (i, arm) in ARMS.into_iter().enumerate() {
             let out = run_schedule(arm, sched);
             println!(
-                "{name:<9} {:<16} {:>7.2} Mops/s  queued {:>7}  drained {:>7}  \
-                 contention {:>12.0} sim-ns  ({:.2}% of sim time)",
+                "{name:<9} {:<16} {:>7.2} wall Mops/s  {:>7.2} sim Mops/s  queued {:>7}  \
+                 drained {:>7}  contention {:>12.0} sim-ns  ({:.2}% of sim time)",
                 arm.name(),
                 out.mops,
+                out.sim_mops,
                 out.queued,
                 out.drained,
                 out.contention_ns,
@@ -164,10 +182,12 @@ fn main() {
             contention[i] = out.contention_ns;
             if *name == "churn" {
                 churn_mops[i] = out.mops;
+                churn_sim_mops[i] = out.sim_mops;
             }
             let key = arm.name().replace('-', "_");
             report
                 .num(&format!("{name}_mops_{key}"), out.mops)
+                .num(&format!("{name}_sim_mops_{key}"), out.sim_mops)
                 .int(&format!("{name}_remote_queued_{key}"), out.queued)
                 .int(&format!("{name}_remote_drained_{key}"), out.drained)
                 .num(
@@ -185,19 +205,30 @@ fn main() {
         );
     }
 
-    // Overhead gate: atomic-list churn throughput within the stated bound
-    // of owner-only. (Wall-clock, so the bound is deliberately loose; the
-    // simulated contention charges above are the precise signal.)
-    let rel = churn_mops[1] / churn_mops[0].max(f64::EPSILON);
+    // Overhead gate, in simulated time: owner-only and atomic-list replay
+    // the identical schedule, so the sim-throughput ratio is exactly the
+    // cost model's verdict on the deferred mechanism — deterministic, and
+    // immune to the host-side cache effects that once let the atomic arm
+    // post a *higher* wall throughput than owner-only while being charged
+    // 248 µs of extra contention. The wall ratio is still reported (and
+    // printed) so the artifact shows both clocks side by side.
+    let rel_sim = churn_sim_mops[1] / churn_sim_mops[0].max(f64::EPSILON);
+    let rel_wall = churn_mops[1] / churn_mops[0].max(f64::EPSILON);
     println!(
-        "churn throughput: atomic-list retains {rel:.2}x of owner-only \
-         (gate: >= {MIN_REL_THROUGHPUT})"
+        "churn throughput: atomic-list retains {rel_sim:.3}x of owner-only in sim time \
+         (gate: >= {MIN_REL_THROUGHPUT}; wall ratio {rel_wall:.2}x, reported ungated)"
     );
     assert!(
-        rel >= MIN_REL_THROUGHPUT,
-        "atomic-list churn throughput {rel:.2}x below the {MIN_REL_THROUGHPUT} floor"
+        rel_sim >= MIN_REL_THROUGHPUT,
+        "atomic-list sim-time churn throughput {rel_sim:.3}x below the {MIN_REL_THROUGHPUT} floor"
     );
-    report.num("churn_atomic_list_rel_throughput", rel);
+    assert!(
+        rel_sim <= 1.0 + f64::EPSILON,
+        "atomic-list cannot beat owner-only on charged sim time, got {rel_sim:.3}x"
+    );
+    report
+        .num("churn_atomic_list_rel_throughput_sim", rel_sim)
+        .num("churn_atomic_list_rel_throughput_wall", rel_wall);
 
     report
         .write(OUT_PATH)

@@ -34,9 +34,15 @@ const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.
 /// so the storm rates must be aggressive for the matrix to be
 /// non-trivial: the earlier 100/10 000 ppm rates injected *zero* faults
 /// over a quick run, and every cell silently measured the healthy path.
-/// The top rate fails every other syscall (refusal odds 1/16 per fresh
-/// mmap); `main` asserts it provably injects and refuses.
-const RATES_PPM: [u32; 3] = [0, 25_000, 500_000];
+/// The mid rate matters too: at the 25 000 ppm this matrix shipped with,
+/// refusal odds per fresh mmap were 0.025⁴ ≈ 4·10⁻⁷ — the cell injected
+/// faults but *could not* refuse, so `refused_allocs_25000ppm` was
+/// structurally zero while looking like a measurement. At 250 000 ppm the
+/// odds are 0.25⁴ ≈ 0.39% per fresh mmap, which the held-span pressure
+/// below turns into a deterministic nonzero refusal count at every scale;
+/// the top rate fails every other syscall (refusal odds 1/16). `main`
+/// asserts both storm cells provably inject *and* refuse.
+const RATES_PPM: [u32; 3] = [0, 250_000, 500_000];
 
 /// Simulated interval between background maintenance passes during the
 /// post-storm recovery measurement.
@@ -83,20 +89,22 @@ fn churn(ops: u64, rate_ppm: u32) -> ChurnOut {
     for i in 0..ops {
         clock.advance(500);
         let cpu = CpuId((i % 16) as u32);
-        if i % 32 == 0 {
+        if i % 16 == 0 {
             // Multi-hugepage spans miss every cache tier, so each round
             // trip is pageheap traffic. Half are held for the whole run:
             // the growing footprint cannot be satisfied from recycled
             // spans, so each held span is a fresh `mmap` the fault plan
             // gets to roll against; the other half churn through a short
-            // FIFO to keep the free/subrelease side busy.
+            // FIFO to keep the free/subrelease side busy. One span per 16
+            // ops (not 32) keeps enough fresh mmaps in even a quick run
+            // that the mid-rate refusal odds produce a nonzero count.
             if large.len() >= 8 {
                 let (addr, size) = large.remove(0);
                 tcm.free(addr, size, cpu);
             }
             let size = (2 + i % 3) * (2 << 20);
             match tcm.try_malloc(black_box(size), cpu) {
-                Ok(a) if (i / 32) % 2 == 0 => held.push((a.addr, size)),
+                Ok(a) if (i / 16) % 2 == 0 => held.push((a.addr, size)),
                 Ok(a) => large.push((a.addr, size)),
                 Err(_) => refused += 1,
             }
@@ -203,11 +211,13 @@ fn main() {
             // The storm cells must exercise the degraded paths, not silently
             // re-measure the healthy run (the bug this matrix shipped with).
             assert!(out.injected > 0, "no faults injected at {rate} ppm");
-        }
-        if rate == RATES_PPM[RATES_PPM.len() - 1] {
+            // Every storm cell must also *refuse*: a rate whose compound
+            // refusal odds round to zero is measuring the healthy
+            // allocation path with extra latency, not graceful degradation
+            // (the mid-rate bug this matrix shipped with).
             assert!(
                 out.refused > 0,
-                "top storm rate never refused an allocation"
+                "{rate} ppm storm never refused an allocation"
             );
         }
         assert!(

@@ -21,6 +21,11 @@
 //! 5. **Hugepage backing.** For every filler-tracked hugepage,
 //!    `used + free = 256`, released pages are a subset of the free ones,
 //!    and no page is simultaneously used and released.
+//! 6. **Metadata arena occupancy.** The span registry's slab pools must be
+//!    tiled exactly by the carved regions (`pool = reserved + retired`, for
+//!    both the free-stack entry pool and the bitmap word pool), every live
+//!    span must occupy exactly one arena slot, and the reserved regions
+//!    must be large enough to hold every live span's free stack.
 
 use crate::report::{ErrorKind, SanitizerReport, Tier};
 use crate::shadow::ShadowState;
@@ -103,6 +108,30 @@ pub struct PagemapLeafSnapshot {
     pub pages_used: u64,
 }
 
+/// Occupancy of the allocator's span-metadata slab arena (free-stack and
+/// double-free-bitmap pools tiled by per-span-id regions), as reported by
+/// the allocator. The all-zero default describes an empty arena, which is
+/// consistent with an empty span inventory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaSnapshot {
+    /// Span-id slots ever minted (live + recyclable).
+    pub slots_total: u64,
+    /// Slots currently occupied by live spans.
+    pub slots_live: u64,
+    /// Entries in the free-stack pool.
+    pub free_pool_entries: u64,
+    /// Words in the double-free-bitmap pool.
+    pub bitmap_pool_words: u64,
+    /// Σ region capacity over all slots (live and recyclable).
+    pub reserved_entries: u64,
+    /// Σ region bitmap words over all slots.
+    pub reserved_words: u64,
+    /// Pool entries stranded by regions re-carved at a larger capacity.
+    pub retired_entries: u64,
+    /// Pool words stranded the same way.
+    pub retired_words: u64,
+}
+
 /// A flat dump of every tier's state at one instant.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -131,6 +160,8 @@ pub struct Snapshot {
     /// Total fragmentation (internal + per-CPU + transfer + central +
     /// pageheap).
     pub fragmentation_bytes: u64,
+    /// Span-metadata arena occupancy.
+    pub arena: ArenaSnapshot,
 }
 
 /// The occupancy list a span with `allocated` live objects belongs on —
@@ -154,8 +185,60 @@ pub fn audit(snap: &Snapshot, shadow: &ShadowState) -> Vec<SanitizerReport> {
     audit_pagemap(snap, &mut out);
     audit_bytes(snap, &mut out);
     audit_hugepages(snap, &mut out);
+    audit_arena(snap, &mut out);
     audit_shadow_coverage(snap, shadow, &mut out);
     out
+}
+
+/// The metadata-arena conservation audit: the slab pools must be exactly
+/// tiled by carved regions, the live-slot count must match the span
+/// inventory, and the reserved regions must be big enough to hold every
+/// live span's free stack.
+fn audit_arena(snap: &Snapshot, out: &mut Vec<SanitizerReport>) {
+    let a = &snap.arena;
+    let mut bad = Vec::new();
+    if a.free_pool_entries != a.reserved_entries + a.retired_entries {
+        bad.push(format!(
+            "free pool holds {} entries, regions account for reserved {} + retired {}",
+            a.free_pool_entries, a.reserved_entries, a.retired_entries
+        ));
+    }
+    if a.bitmap_pool_words != a.reserved_words + a.retired_words {
+        bad.push(format!(
+            "bitmap pool holds {} words, regions account for reserved {} + retired {}",
+            a.bitmap_pool_words, a.reserved_words, a.retired_words
+        ));
+    }
+    if a.slots_live > a.slots_total {
+        bad.push(format!(
+            "{} live slots exceed {} minted",
+            a.slots_live, a.slots_total
+        ));
+    }
+    let live_spans = snap.spans.len() as u64;
+    if a.slots_live != live_spans {
+        bad.push(format!(
+            "arena reports {} live slots, span inventory holds {live_spans}",
+            a.slots_live
+        ));
+    }
+    let needed: u64 = snap.spans.iter().map(|s| s.capacity as u64).sum();
+    if a.reserved_entries < needed {
+        bad.push(format!(
+            "reserved regions hold {} entries, live spans need {needed}",
+            a.reserved_entries
+        ));
+    }
+    for detail in bad {
+        out.push(SanitizerReport {
+            kind: ErrorKind::ArenaConservationViolation,
+            tier: Tier::Central,
+            addr: None,
+            size_class: None,
+            span: None,
+            detail,
+        });
+    }
 }
 
 fn audit_classes(snap: &Snapshot, shadow: &ShadowState, out: &mut Vec<SanitizerReport>) {
@@ -525,6 +608,18 @@ mod tests {
             resident_bytes: 1000,
             live_bytes: 600,
             fragmentation_bytes: 400,
+            // One live span of capacity 256: one slot, a 256-entry region,
+            // ⌈256/64⌉ = 4 bitmap words, nothing retired.
+            arena: ArenaSnapshot {
+                slots_total: 1,
+                slots_live: 1,
+                free_pool_entries: 256,
+                bitmap_pool_words: 4,
+                reserved_entries: 256,
+                reserved_words: 4,
+                retired_entries: 0,
+                retired_words: 0,
+            },
         };
         (snap, shadow)
     }
@@ -646,6 +741,60 @@ mod tests {
         let (mut snap, shadow) = consistent();
         snap.pages_per_leaf = 0;
         snap.pagemap_leaves.clear();
+        assert_eq!(audit(&snap, &shadow), Vec::new());
+    }
+
+    #[test]
+    fn arena_pool_tiling_drift_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.arena.free_pool_entries += 7; // storage nothing accounts for
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::ArenaConservationViolation
+                && r.detail.contains("free pool")));
+    }
+
+    #[test]
+    fn arena_live_slot_drift_flagged() {
+        let (mut snap, shadow) = consistent();
+        snap.arena.slots_live = 2; // phantom live slot
+        let reports = audit(&snap, &shadow);
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::ArenaConservationViolation
+                && r.detail.contains("live slots exceed")));
+        assert!(reports
+            .iter()
+            .any(|r| r.kind == ErrorKind::ArenaConservationViolation
+                && r.detail.contains("span inventory")));
+    }
+
+    #[test]
+    fn arena_undersized_reservation_flagged() {
+        let (mut snap, shadow) = consistent();
+        // Regions shrink below what the live span's free stack needs, with
+        // the pools shrunk to match so only the reservation check fires.
+        snap.arena.reserved_entries = 100;
+        snap.arena.free_pool_entries = 100;
+        let reports = audit(&snap, &shadow);
+        let arena: Vec<_> = reports
+            .iter()
+            .filter(|r| r.kind == ErrorKind::ArenaConservationViolation)
+            .collect();
+        assert_eq!(arena.len(), 1);
+        assert!(arena[0].detail.contains("live spans need 256"));
+    }
+
+    #[test]
+    fn retired_storage_balances_the_pools() {
+        // A re-carved region leaves retired storage behind; the audit must
+        // accept pools larger than the reservations by exactly that much.
+        let (mut snap, shadow) = consistent();
+        snap.arena.free_pool_entries += 64;
+        snap.arena.retired_entries = 64;
+        snap.arena.bitmap_pool_words += 1;
+        snap.arena.retired_words = 1;
         assert_eq!(audit(&snap, &shadow), Vec::new());
     }
 

@@ -30,8 +30,8 @@ mod report;
 mod shadow;
 
 pub use audit::{
-    audit, expected_list, ClassTierSnapshot, HugepageSnapshot, PagemapLeafSnapshot, Snapshot,
-    SpanPlacement, SpanSnapshot,
+    audit, expected_list, ArenaSnapshot, ClassTierSnapshot, HugepageSnapshot, PagemapLeafSnapshot,
+    Snapshot, SpanPlacement, SpanSnapshot,
 };
 pub use report::{ErrorKind, SanitizerReport, Tier};
 pub use shadow::{FreeCheck, ObjectShadow, ShadowState};

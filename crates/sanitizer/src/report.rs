@@ -37,11 +37,15 @@ pub enum ErrorKind {
     PagemapViolation,
     /// A hugepage's used/free/released page accounting is inconsistent.
     HugepageBackingViolation,
+    /// The span-metadata slab arena's pools are not exactly tiled by the
+    /// carved regions, or its live-slot count contradicts the span
+    /// inventory.
+    ArenaConservationViolation,
 }
 
 impl ErrorKind {
     /// Every kind, for exhaustive test coverage.
-    pub const ALL: [ErrorKind; 11] = [
+    pub const ALL: [ErrorKind; 12] = [
         ErrorKind::DoubleFree,
         ErrorKind::InvalidFree,
         ErrorKind::MisalignedFree,
@@ -53,6 +57,7 @@ impl ErrorKind {
         ErrorKind::SpanOccupancyViolation,
         ErrorKind::PagemapViolation,
         ErrorKind::HugepageBackingViolation,
+        ErrorKind::ArenaConservationViolation,
     ];
 }
 

@@ -11,7 +11,7 @@ use crate::config::{FreeArm, TcmallocConfig};
 use crate::deferred::{DeferredFrees, QueuedVia};
 use crate::events::{AllocEvent, EventBus, EventSink, SpanRef, TraceRing};
 use crate::pageheap::{AllocError, OsLayer, PageHeap};
-use crate::pagemap::PageMap;
+use crate::pagemap::Pagemap;
 use crate::percpu::{FreeOutcome, PerCpuCaches};
 use crate::size_class::SizeClassTable;
 use crate::span::{Span, SpanRegistry, SpanState};
@@ -102,7 +102,7 @@ pub struct Tcmalloc {
     transfer: TransferCaches,
     central: Vec<CentralFreeList>,
     spans: SpanRegistry,
-    pagemap: PageMap,
+    pagemap: Pagemap,
     pageheap: PageHeap,
     sampler: Sampler,
     deferred: DeferredFrees,
@@ -142,7 +142,7 @@ impl Tcmalloc {
             transfer,
             central,
             spans: SpanRegistry::new(),
-            pagemap: PageMap::new(),
+            pagemap: Pagemap::new(cfg.pagemap_arm),
             pageheap: PageHeap::with_kernel(cfg.pageheap, OsLayer::new(vmm, cfg.hard_limit)),
             sampler: Sampler::new(cfg.sample_period_bytes),
             deferred: DeferredFrees::new(cfg.free_arm, table.num_classes()),
@@ -426,13 +426,17 @@ impl Tcmalloc {
                 return Err(FreeError::InvalidFree { addr });
             }
         }
-        if let Some((sz, t, weight)) = self.live_samples.remove(&addr) {
-            let lifetime = self.clock.now_ns().saturating_sub(t);
-            self.bus.emit(AllocEvent::SampledFree {
-                size: sz,
-                lifetime_ns: lifetime,
-                weight,
-            });
+        // The emptiness check keeps the common case (nothing sampled live)
+        // off the hash probe entirely.
+        if !self.live_samples.is_empty() {
+            if let Some((sz, t, weight)) = self.live_samples.remove(&addr) {
+                let lifetime = self.clock.now_ns().saturating_sub(t);
+                self.bus.emit(AllocEvent::SampledFree {
+                    size: sz,
+                    lifetime_ns: lifetime,
+                    weight,
+                });
+            }
         }
         let (actual, path) = match self.table.class_for(size) {
             Some(cl) => {
@@ -628,6 +632,9 @@ impl Tcmalloc {
     /// transfer-cache plunder, and the pageheap's gradual OS release. The
     /// workload driver calls this as simulated time advances.
     pub fn maintain(&mut self) {
+        // Maintenance is a drain point: any fast-path aggregates the bus is
+        // holding (batched-emission mode) land before background events.
+        self.bus.flush_fastpath();
         let now = self.clock.now_ns();
         if self.cfg.dynamic_percpu && now >= self.next_resize_ns {
             self.next_resize_ns = now + self.cfg.resize_interval_ns;
@@ -762,6 +769,19 @@ impl Tcmalloc {
             resident_bytes: frag.resident_bytes,
             live_bytes: frag.live_bytes,
             fragmentation_bytes: frag.total_bytes(),
+            arena: {
+                let a = self.spans.arena_stats();
+                wsc_sanitizer::ArenaSnapshot {
+                    slots_total: a.slots_total,
+                    slots_live: a.slots_live,
+                    free_pool_entries: a.free_pool_entries,
+                    bitmap_pool_words: a.bitmap_pool_words,
+                    reserved_entries: a.reserved_entries,
+                    reserved_words: a.reserved_words,
+                    retired_entries: a.retired_entries,
+                    retired_words: a.retired_words,
+                }
+            },
         }
     }
 
@@ -854,8 +874,23 @@ impl Tcmalloc {
 
     /// Allocator cycle accounting (Figure 6a) — derived from the event
     /// stream by the bus's [`StatsView`](crate::stats::StatsView).
+    ///
+    /// Under batched fast-path emission
+    /// ([`TcmallocConfig::batch_fastpath_events`]) counts charged since the
+    /// last drain point are still pending; call
+    /// [`flush_events`](Self::flush_events) (or [`maintain`](Self::maintain))
+    /// first for exact totals.
     pub fn cycles(&self) -> &CycleStats {
         self.bus.cycles()
+    }
+
+    /// Flushes any pending batched fast-path aggregates to the event
+    /// sinks. A no-op unless `batch_fastpath_events` is engaged; call
+    /// before reading [`cycles`](Self::cycles) mid-run.
+    // Bus plumbing: drains already-attributed counts, touches no tier
+    // state itself.
+    pub fn flush_events(&mut self) {
+        self.bus.flush_fastpath();
     }
 
     /// The sampled allocation profile (Figures 7 and 8) — derived from
@@ -877,8 +912,8 @@ impl Tcmalloc {
 
     /// Attaches an additional [`EventSink`]; it observes every subsequent
     /// event after the built-in consumers.
-    // lint:allow(event-completeness) bus plumbing: registers an observer,
-    // touches no tier state to attribute.
+    // Bus plumbing: registers an observer, touches no tier state to
+    // attribute.
     pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
         self.bus.attach(sink);
     }
@@ -1004,6 +1039,39 @@ mod tests {
         let a = t.malloc(1 << 20, CpuId(0));
         t.free(a.addr, 1 << 20, CpuId(0));
         t.free(a.addr, 1 << 20, CpuId(0));
+    }
+
+    #[test]
+    fn batched_emission_changes_no_observable_numbers() {
+        // The same churn under per-op and batched emission: every returned
+        // address and priced ns must match op-for-op, and after a drain
+        // point the integer cycle ledgers must be bit-identical.
+        let mut per_op = alloc(TcmallocConfig::optimized());
+        let mut batched = alloc(TcmallocConfig::optimized().with_batched_fastpath_events(true));
+        let mut live = Vec::new();
+        for i in 0..3000u64 {
+            let size = 16 + (i % 40) * 24;
+            let cpu = CpuId((i % 4) as u32);
+            let a = per_op.malloc(size, cpu);
+            let b = batched.malloc(size, cpu);
+            assert_eq!((a.addr, a.path), (b.addr, b.path));
+            assert_eq!(a.ns, b.ns, "pricing drifted at op {i}");
+            live.push((a.addr, size, cpu));
+            if i % 3 == 0 {
+                let (addr, sz, c) = live.swap_remove((i as usize * 7) % live.len());
+                let fa = per_op.free(addr, sz, c);
+                let fb = batched.free(addr, sz, c);
+                assert_eq!(fa.ns, fb.ns);
+            }
+        }
+        batched.flush_events();
+        assert_eq!(per_op.cycles(), batched.cycles());
+        assert_eq!(per_op.live_bytes(), batched.live_bytes());
+        assert_eq!(per_op.resident_bytes(), batched.resident_bytes());
+        assert!(
+            batched.cycles().ops(CycleCategory::CpuCache) > 1000,
+            "churn exercised the fast path"
+        );
     }
 
     #[test]

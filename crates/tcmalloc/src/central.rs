@@ -21,7 +21,7 @@
 
 use crate::events::{AllocEvent, EventBus};
 use crate::pageheap::{AllocError, PageHeap};
-use crate::pagemap::PageMap;
+use crate::pagemap::Pagemap;
 use crate::size_class::SizeClassInfo;
 use crate::span::{Span, SpanId, SpanRegistry, SpanState};
 use wsc_sim_hw::cost::AllocPath;
@@ -204,7 +204,7 @@ impl CentralFreeList {
         &mut self,
         n: usize,
         spans: &mut SpanRegistry,
-        pagemap: &mut PageMap,
+        pagemap: &mut Pagemap,
         pageheap: &mut PageHeap,
         bus: &mut EventBus,
     ) -> Result<(Vec<u64>, AllocPath), AllocError> {
@@ -244,14 +244,10 @@ impl CentralFreeList {
                 }
             };
             self.resolve_obs(spans, id, false);
-            let take = {
-                let span = spans.get_mut(id);
-                let take = (n - out.len()).min(span.free_count() as usize);
-                for _ in 0..take {
-                    out.push(span.alloc_object());
-                }
-                take
-            };
+            let take = (n - out.len()).min(spans.get(id).free_count() as usize);
+            for _ in 0..take {
+                out.push(spans.alloc_object(id));
+            }
             self.free_objects -= take as u64;
             self.list_update(spans, id);
         }
@@ -270,14 +266,18 @@ impl CentralFreeList {
         addr: u64,
         id: SpanId,
         spans: &mut SpanRegistry,
-        pagemap: &mut PageMap,
+        pagemap: &mut Pagemap,
         pageheap: &mut PageHeap,
         bus: &mut EventBus,
     ) -> bool {
+        debug_assert_eq!(
+            spans.get(id).size_class,
+            Some(self.class),
+            "span class mismatch"
+        );
+        spans.dealloc_object(id, addr);
         let allocated_after = {
             let span = spans.get_mut(id);
-            debug_assert_eq!(span.size_class, Some(self.class), "span class mismatch");
-            span.dealloc_object(addr);
             let a = span.allocated;
             span.pending_obs = Some(span.pending_obs.map_or(a.max(1), |p| p.max(a.max(1))));
             a
@@ -353,7 +353,7 @@ mod tests {
     struct Fixture {
         cfl: CentralFreeList,
         spans: SpanRegistry,
-        pagemap: PageMap,
+        pagemap: Pagemap,
         pageheap: PageHeap,
         bus: EventBus,
     }
@@ -364,7 +364,7 @@ mod tests {
         Fixture {
             cfl: CentralFreeList::new(cl as u16, *table.info(cl), num_lists),
             spans: SpanRegistry::new(),
-            pagemap: PageMap::new(),
+            pagemap: Pagemap::default(),
             pageheap: PageHeap::new(PageHeapConfig::default()),
             bus: EventBus::new(
                 &TcmallocConfig::baseline(),

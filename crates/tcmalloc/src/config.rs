@@ -49,6 +49,29 @@ impl FreeArm {
     }
 }
 
+/// Which pagemap structure backs the page-index → span lookup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PagemapArm {
+    /// Two-level radix tree over page numbers — production TCMalloc's
+    /// layout, and the byte-identical default.
+    #[default]
+    Radix,
+    /// Aligned-segment address masking (`ptr & SEGMENT_MASK` → slot),
+    /// rpmalloc/mimalloc-style: one flat segment-aligned window, a lookup
+    /// is pure address arithmetic plus a single bounds-checked load.
+    Masking,
+}
+
+impl PagemapArm {
+    /// Short display name (bench/report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            PagemapArm::Radix => "radix",
+            PagemapArm::Masking => "masking",
+        }
+    }
+}
+
 /// Complete allocator configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TcmallocConfig {
@@ -110,6 +133,17 @@ pub struct TcmallocConfig {
     /// Cross-thread free mechanism. [`FreeArm::OwnerOnly`] (the default)
     /// keeps the pre-ownership behaviour byte-identical.
     pub free_arm: FreeArm,
+    /// Pagemap structure for the address → span lookup. Both arms are
+    /// contract-identical; [`PagemapArm::Radix`] is the default.
+    pub pagemap_arm: PagemapArm,
+    /// Batch fast-path event emission: per-CPU hit counters and fast-path
+    /// completion charges accumulate in the bus and flush as aggregate
+    /// events at drain points, instead of one `emit` per operation.
+    /// Batching only engages while no sink observes individual events
+    /// (no trace ring, no recorder, no extra sinks, sanitizer off), so any
+    /// recorded event stream — and therefore replay byte-identity — is
+    /// unchanged. Off by default.
+    pub batch_fastpath_events: bool,
 }
 
 impl TcmallocConfig {
@@ -145,6 +179,8 @@ impl TcmallocConfig {
             hard_limit: None,
             os_faults: None,
             free_arm: FreeArm::OwnerOnly,
+            pagemap_arm: PagemapArm::Radix,
+            batch_fastpath_events: false,
         }
     }
 
@@ -242,6 +278,18 @@ impl TcmallocConfig {
         self.free_arm = arm;
         self
     }
+
+    /// Selects the pagemap structure (see [`PagemapArm`]).
+    pub fn with_pagemap_arm(mut self, arm: PagemapArm) -> Self {
+        self.pagemap_arm = arm;
+        self
+    }
+
+    /// Enables or disables batched fast-path event emission.
+    pub fn with_batched_fastpath_events(mut self, on: bool) -> Self {
+        self.batch_fastpath_events = on;
+        self
+    }
 }
 
 impl Default for TcmallocConfig {
@@ -277,6 +325,26 @@ mod tests {
         // Ownership routing defaults to pass-through: remote frees behave
         // exactly like local ones unless an arm is opted into.
         assert_eq!(c.free_arm, FreeArm::OwnerOnly);
+        // Hot-path structure defaults: the radix tree and per-op emission
+        // stay the byte-identical reference behaviour.
+        assert_eq!(c.pagemap_arm, PagemapArm::Radix);
+        assert!(!c.batch_fastpath_events);
+    }
+
+    #[test]
+    fn pagemap_arm_builder_and_names() {
+        let c = TcmallocConfig::optimized().with_pagemap_arm(PagemapArm::Masking);
+        assert_eq!(c.pagemap_arm, PagemapArm::Masking);
+        assert_eq!(
+            TcmallocConfig::optimized().pagemap_arm,
+            PagemapArm::Radix,
+            "optimized() must not silently change the lookup structure"
+        );
+        assert_eq!(PagemapArm::Radix.name(), "radix");
+        assert_eq!(PagemapArm::Masking.name(), "masking");
+        let b = TcmallocConfig::baseline().with_batched_fastpath_events(true);
+        assert!(b.batch_fastpath_events);
+        assert!(!TcmallocConfig::optimized().batch_fastpath_events);
     }
 
     #[test]

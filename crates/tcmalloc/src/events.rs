@@ -101,6 +101,9 @@ pub struct SpanRef {
 pub enum AllocEvent {
     // --- Per-CPU front end (§4.1) ---
     /// Fast-path hit in a per-CPU cache.
+    // lint:allow(event-completeness) the per-CPU tier reports hits via
+    // EventBus::percpu_hit so batching can coalesce them; the bus itself
+    // constructs PerCpuHit when emission is per-op.
     PerCpuHit {
         /// Dense virtual CPU id.
         vcpu: usize,
@@ -423,11 +426,39 @@ pub enum AllocEvent {
         /// Cost-model nanoseconds charged.
         ns: f64,
     },
+
+    // --- Batched fast-path emission (drain-point aggregates) ---
+    /// Aggregate of fast-path [`AllocEvent::PerCpuHit`]s for one
+    /// `(vcpu, class)`, flushed at a drain point while batched emission
+    /// ([`TcmallocConfig::batch_fastpath_events`]) is engaged.
+    // lint:allow(event-completeness) constructed by the bus's own flush
+    // (sink plumbing by design): tiers report hits via
+    // EventBus::percpu_hit, never by building the aggregate themselves.
+    PerCpuHitBatch {
+        /// Virtual CPU id.
+        vcpu: usize,
+        /// Size class.
+        class: u16,
+        /// Hits represented.
+        count: u64,
+    },
+    /// Aggregate of fast-path operation completions flushed at a drain
+    /// point while batched emission is engaged: `mallocs` unsampled
+    /// per-CPU-path [`AllocEvent::MallocDone`]s and `frees` per-CPU-path
+    /// [`AllocEvent::FreeDone`]s that were counted instead of emitted.
+    FastPathFlush {
+        /// Unsampled per-CPU-path allocations represented.
+        mallocs: u64,
+        /// How many of `mallocs` issued the next-object prefetch.
+        prefetched: u64,
+        /// Per-CPU-path frees represented.
+        frees: u64,
+    },
 }
 
 impl AllocEvent {
     /// Discriminant names, in declaration order — the event taxonomy.
-    pub const KINDS: [&'static str; 34] = [
+    pub const KINDS: [&'static str; 36] = [
         "PerCpuHit",
         "PerCpuMiss",
         "PerCpuOverflow",
@@ -462,6 +493,8 @@ impl AllocEvent {
         "RemoteFreeQueued",
         "RemoteFreeDrained",
         "ContentionCharged",
+        "PerCpuHitBatch",
+        "FastPathFlush",
     ];
 
     /// This event's discriminant name (an entry of [`Self::KINDS`]).
@@ -501,6 +534,8 @@ impl AllocEvent {
             AllocEvent::RemoteFreeQueued { .. } => "RemoteFreeQueued",
             AllocEvent::RemoteFreeDrained { .. } => "RemoteFreeDrained",
             AllocEvent::ContentionCharged { .. } => "ContentionCharged",
+            AllocEvent::PerCpuHitBatch { .. } => "PerCpuHitBatch",
+            AllocEvent::FastPathFlush { .. } => "FastPathFlush",
         }
     }
 
@@ -514,7 +549,8 @@ impl AllocEvent {
             | AllocEvent::ResizerGrow { .. }
             | AllocEvent::ResizerShrink { .. }
             | AllocEvent::RemoteFreeQueued { .. }
-            | AllocEvent::RemoteFreeDrained { .. } => "percpu",
+            | AllocEvent::RemoteFreeDrained { .. }
+            | AllocEvent::PerCpuHitBatch { .. } => "percpu",
             AllocEvent::TransferHit { .. }
             | AllocEvent::TransferInsert { .. }
             | AllocEvent::TransferEvict { .. } => "transfer",
@@ -539,7 +575,8 @@ impl AllocEvent {
             | AllocEvent::SampledFree { .. }
             | AllocEvent::MallocDone { .. }
             | AllocEvent::FreeDone { .. }
-            | AllocEvent::ContentionCharged { .. } => "op",
+            | AllocEvent::ContentionCharged { .. }
+            | AllocEvent::FastPathFlush { .. } => "op",
         }
     }
 
@@ -684,6 +721,14 @@ impl AllocEvent {
             AllocEvent::ContentionCharged { vcpu, ns } => {
                 format!("{{\"vcpu\":{vcpu},\"ns\":{ns}}}")
             }
+            AllocEvent::PerCpuHitBatch { vcpu, class, count } => {
+                format!("{{\"vcpu\":{vcpu},\"class\":{class},\"count\":{count}}}")
+            }
+            AllocEvent::FastPathFlush {
+                mallocs,
+                prefetched,
+                frees,
+            } => format!("{{\"mallocs\":{mallocs},\"prefetched\":{prefetched},\"frees\":{frees}}}"),
         }
     }
 }
@@ -833,6 +878,46 @@ impl EventSink for TraceRing {
     }
 }
 
+/// Pending fast-path aggregates while batched emission
+/// ([`TcmallocConfig::batch_fastpath_events`]) is engaged: per-(vcpu,
+/// class) hit counts plus operation-completion totals, flushed as
+/// [`AllocEvent::PerCpuHitBatch`] / [`AllocEvent::FastPathFlush`] at the
+/// next drain point. Counting here instead of emitting is what takes the
+/// per-op event fan-out off the per-CPU hit path.
+#[derive(Clone, Debug, Default)]
+struct FastPathBatcher {
+    /// `hits[vcpu][class]`, grown on demand and drained in `(vcpu, class)`
+    /// order so the flushed aggregate stream is deterministic.
+    hits: Vec<Vec<u64>>,
+    /// Total pending hit count (fast emptiness check).
+    pending_hits: u64,
+    /// Pending unsampled per-CPU-path `MallocDone`s.
+    mallocs: u64,
+    /// How many of `mallocs` issued the next-object prefetch.
+    prefetched: u64,
+    /// Pending per-CPU-path `FreeDone`s.
+    frees: u64,
+}
+
+impl FastPathBatcher {
+    fn record_hit(&mut self, vcpu: usize, class: u16) {
+        if self.hits.len() <= vcpu {
+            self.hits.resize(vcpu + 1, Vec::new());
+        }
+        let row = &mut self.hits[vcpu];
+        let c = usize::from(class);
+        if row.len() <= c {
+            row.resize(c + 1, 0);
+        }
+        row[c] += 1;
+        self.pending_hits += 1;
+    }
+
+    fn has_pending(&self) -> bool {
+        self.pending_hits > 0 || self.mallocs > 0 || self.frees > 0
+    }
+}
+
 /// The bus: owns the built-in consumers (derived stats view, sanitizer
 /// shadow feed, optional trace ring and recorder) plus any attached
 /// [`EventSink`]s, and fans every emitted event out to them in a fixed,
@@ -852,6 +937,7 @@ pub struct EventBus {
     trace: Option<TraceRing>,
     recorder: Option<Recorder>,
     extra: Vec<Box<dyn EventSink>>,
+    batch: Option<FastPathBatcher>,
 }
 
 impl std::fmt::Debug for EventBus {
@@ -864,6 +950,7 @@ impl std::fmt::Debug for EventBus {
                 &self.recorder.as_ref().map(|r| r.events().len()),
             )
             .field("extra_sinks", &self.extra.len())
+            .field("batching", &self.batch.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -881,11 +968,83 @@ impl EventBus {
             trace: (cfg.trace_capacity > 0).then(|| TraceRing::new(cfg.trace_capacity as usize)),
             recorder: cfg.record_events.then(Recorder::new),
             extra: Vec::new(),
+            // Batched emission requires the sanitizer off: the shadow heap
+            // is fed per-op MallocDone payloads an aggregate cannot carry.
+            batch: (cfg.batch_fastpath_events && !cfg.sanitize.is_on())
+                .then(FastPathBatcher::default),
         }
     }
 
-    /// Emits one event to every sink, in the fixed fan-out order.
+    /// Whether batched fast-path emission is currently engaged.
+    pub fn batching(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Emits one event to every sink, in the fixed fan-out order. Any
+    /// pending fast-path aggregates flush first, so batched counts always
+    /// precede the slow-path event that interrupted them.
     pub fn emit(&mut self, ev: AllocEvent) {
+        self.flush_fastpath();
+        self.dispatch(ev);
+    }
+
+    /// Flushes pending fast-path aggregates (batched-emission mode) as
+    /// [`AllocEvent::PerCpuHitBatch`] events in `(vcpu, class)` order
+    /// followed by one [`AllocEvent::FastPathFlush`]. No-op when batching
+    /// is disengaged or nothing is pending.
+    pub fn flush_fastpath(&mut self) {
+        let Some(b) = &mut self.batch else {
+            return;
+        };
+        if !b.has_pending() {
+            return;
+        }
+        let mut hits = std::mem::take(&mut b.hits);
+        let (mallocs, prefetched, frees) = (b.mallocs, b.prefetched, b.frees);
+        b.pending_hits = 0;
+        b.mallocs = 0;
+        b.prefetched = 0;
+        b.frees = 0;
+        for (vcpu, row) in hits.iter().enumerate() {
+            for (class, &count) in row.iter().enumerate() {
+                if count > 0 {
+                    self.dispatch(AllocEvent::PerCpuHitBatch {
+                        vcpu,
+                        class: class as u16,
+                        count,
+                    });
+                }
+            }
+        }
+        if mallocs > 0 || frees > 0 {
+            self.dispatch(AllocEvent::FastPathFlush {
+                mallocs,
+                prefetched,
+                frees,
+            });
+        }
+        // Hand the zeroed table back so row capacity is reused next round.
+        if let Some(b) = &mut self.batch {
+            for row in &mut hits {
+                row.fill(0);
+            }
+            b.hits = hits;
+        }
+    }
+
+    /// Records one per-CPU fast-path hit: counted for the next drain-point
+    /// flush while batching is engaged, otherwise an immediate
+    /// [`AllocEvent::PerCpuHit`] emission.
+    pub fn percpu_hit(&mut self, vcpu: usize, class: u16) {
+        if let Some(b) = &mut self.batch {
+            b.record_hit(vcpu, class);
+        } else {
+            self.emit(AllocEvent::PerCpuHit { vcpu, class });
+        }
+    }
+
+    /// The raw fan-out, without the flush-first preamble.
+    fn dispatch(&mut self, ev: AllocEvent) {
         let ts = self.clock.now_ns();
         if self.stats_enabled {
             self.stats.on_event(ts, &ev);
@@ -919,6 +1078,12 @@ impl EventBus {
     /// nanoseconds: path + prefetch + other + sampling, in that order —
     /// the exact components [`StatsView`] charges.
     ///
+    /// While batched emission is engaged, an unsampled per-CPU-path
+    /// completion is *counted* instead of emitted (the aggregate flushes at
+    /// the next drain point and charges identically); the returned
+    /// nanoseconds never change. Sampled operations always emit per-op so
+    /// the allocation profile sees every pick.
+    ///
     /// # Panics
     ///
     /// Panics if `done` is not a `MallocDone` event.
@@ -932,10 +1097,6 @@ impl EventBus {
         else {
             unreachable!("malloc_done requires a MallocDone event")
         };
-        if let Some(pick) = pick {
-            debug_assert!(matches!(pick, AllocEvent::SamplerPick { .. }));
-            self.emit(pick);
-        }
         let mut ns = self.cost.alloc_path_ns(path);
         if prefetched {
             ns += self.cost.prefetch_ns;
@@ -944,12 +1105,27 @@ impl EventBus {
         if sampled {
             ns += self.cost.sampled_alloc_ns;
         }
+        if pick.is_none() && !sampled && matches!(path, AllocPath::PerCpu) {
+            if let Some(b) = &mut self.batch {
+                b.mallocs += 1;
+                if prefetched {
+                    b.prefetched += 1;
+                }
+                return ns;
+            }
+        }
+        if let Some(pick) = pick {
+            debug_assert!(matches!(pick, AllocEvent::SamplerPick { .. }));
+            self.emit(pick);
+        }
         self.emit(done);
         ns
     }
 
     /// Emits a free's [`AllocEvent::FreeDone`], returning the operation's
-    /// cost-model nanoseconds (path + other).
+    /// cost-model nanoseconds (path + other). While batched emission is
+    /// engaged, a per-CPU-path free is counted instead of emitted, exactly
+    /// like [`malloc_done`](Self::malloc_done).
     ///
     /// # Panics
     ///
@@ -959,6 +1135,12 @@ impl EventBus {
             unreachable!("free_done requires a FreeDone event")
         };
         let ns = self.cost.alloc_path_ns(path) + self.cost.other_ns;
+        if matches!(path, AllocPath::PerCpu) {
+            if let Some(b) = &mut self.batch {
+                b.frees += 1;
+                return ns;
+            }
+        }
         self.emit(done);
         ns
     }
@@ -1000,8 +1182,12 @@ impl EventBus {
     }
 
     /// Attaches an additional sink; it observes every subsequent event
-    /// after the built-in consumers.
+    /// after the built-in consumers. Attached sinks expect the per-op
+    /// stream, so any pending fast-path aggregates flush first and batched
+    /// emission disengages for the rest of this bus's life.
     pub fn attach(&mut self, sink: Box<dyn EventSink>) {
+        self.flush_fastpath();
+        self.batch = None;
         self.extra.push(sink);
     }
 }
@@ -1157,7 +1343,7 @@ mod tests {
 
     #[test]
     fn every_kind_is_covered_by_the_taxonomy() {
-        assert_eq!(AllocEvent::KINDS.len(), 34);
+        assert_eq!(AllocEvent::KINDS.len(), 36);
         assert!(AllocEvent::KINDS.contains(&hit().kind()));
         for fault in [
             AllocEvent::OsFault {
@@ -1213,5 +1399,151 @@ mod tests {
         assert_eq!(drained.tier(), "percpu");
         assert_eq!(charged.tier(), "op");
         assert!(queued.args_json().contains("\"owner\":0"));
+    }
+
+    #[test]
+    fn batch_kinds_join_the_taxonomy() {
+        let hits = AllocEvent::PerCpuHitBatch {
+            vcpu: 1,
+            class: 3,
+            count: 128,
+        };
+        let flush = AllocEvent::FastPathFlush {
+            mallocs: 80,
+            prefetched: 80,
+            frees: 48,
+        };
+        for ev in [hits, flush] {
+            assert!(AllocEvent::KINDS.contains(&ev.kind()), "{ev:?}");
+            assert!(ev.args_json().starts_with('{'));
+        }
+        // Aggregates live in the lane of the events they stand for.
+        assert_eq!(hits.tier(), "percpu");
+        assert_eq!(flush.tier(), "op");
+        assert!(hits.args_json().contains("\"count\":128"));
+        assert!(flush.args_json().contains("\"frees\":48"));
+    }
+
+    #[test]
+    fn batched_fastpath_charges_identical_cycle_totals() {
+        let per_op = TcmallocConfig::optimized();
+        let batched = per_op.with_batched_fastpath_events(true);
+        let mut a = bus(per_op);
+        let mut b = bus(batched);
+        assert!(!a.batching());
+        assert!(b.batching());
+        for i in 0..137u64 {
+            let prefetched = i % 3 != 0;
+            for bus in [&mut a, &mut b] {
+                bus.percpu_hit((i % 4) as usize, (i % 7) as u16);
+                let ns_a = bus.malloc_done(None, done(prefetched, false));
+                assert!(ns_a > 0.0);
+                if i % 2 == 0 {
+                    bus.free_done(AllocEvent::FreeDone {
+                        path: AllocPath::PerCpu,
+                        addr: 0x1000 + i,
+                        size: 24,
+                    });
+                }
+            }
+        }
+        // Mid-stream the batched view lags; at the drain point the integer
+        // picosecond ledgers are bit-identical, ops counts included.
+        b.flush_fastpath();
+        assert_eq!(a.cycles(), b.cycles());
+    }
+
+    #[test]
+    fn batched_mode_flushes_aggregates_before_slow_path_events() {
+        let cfg = TcmallocConfig::optimized()
+            .with_event_recorder()
+            .with_batched_fastpath_events(true);
+        let mut b = bus(cfg);
+        b.percpu_hit(0, 3);
+        b.percpu_hit(0, 3);
+        b.percpu_hit(1, 5);
+        b.malloc_done(None, done(true, false));
+        b.free_done(AllocEvent::FreeDone {
+            path: AllocPath::PerCpu,
+            addr: 0x1000,
+            size: 24,
+        });
+        // A slow-path event interrupts: pending aggregates must land first,
+        // in (vcpu, class) order.
+        b.emit(AllocEvent::CentralRefill { class: 3, count: 8 });
+        let kinds: Vec<_> = b.recorded().iter().map(AllocEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "PerCpuHitBatch",
+                "PerCpuHitBatch",
+                "FastPathFlush",
+                "CentralRefill"
+            ]
+        );
+        assert_eq!(
+            b.recorded()[0],
+            AllocEvent::PerCpuHitBatch {
+                vcpu: 0,
+                class: 3,
+                count: 2
+            }
+        );
+        assert_eq!(
+            b.recorded()[2],
+            AllocEvent::FastPathFlush {
+                mallocs: 1,
+                prefetched: 1,
+                frees: 1
+            }
+        );
+    }
+
+    #[test]
+    fn sampled_operations_bypass_the_batcher() {
+        let cfg = TcmallocConfig::optimized()
+            .with_event_recorder()
+            .with_batched_fastpath_events(true);
+        let mut b = bus(cfg);
+        b.percpu_hit(0, 3);
+        let pick = AllocEvent::SamplerPick {
+            addr: 0x1000,
+            size: 24,
+            site: 7,
+            now_ns: 0,
+            weight: 1.0,
+        };
+        b.malloc_done(Some(pick), done(false, true));
+        let kinds: Vec<_> = b.recorded().iter().map(AllocEvent::kind).collect();
+        // The pending hit flushes ahead of the sampled op's per-op events,
+        // and the profile still sees the pick.
+        assert_eq!(kinds, ["PerCpuHitBatch", "SamplerPick", "MallocDone"]);
+        assert_eq!(b.profile().size_by_count.count(), 1.0);
+    }
+
+    #[test]
+    fn attaching_a_sink_disengages_batching() {
+        let cfg = TcmallocConfig::optimized()
+            .with_event_recorder()
+            .with_batched_fastpath_events(true);
+        let mut b = bus(cfg);
+        b.percpu_hit(0, 3);
+        assert!(b.batching());
+        b.attach(Box::new(Off));
+        assert!(!b.batching());
+        b.percpu_hit(0, 3);
+        let kinds: Vec<_> = b.recorded().iter().map(AllocEvent::kind).collect();
+        // The pre-attach hit flushed as an aggregate; afterwards the stream
+        // is per-op again.
+        assert_eq!(kinds, ["PerCpuHitBatch", "PerCpuHit"]);
+    }
+
+    #[test]
+    fn sanitizer_keeps_emission_per_op() {
+        let cfg = TcmallocConfig::optimized()
+            .with_sanitize(SanitizeLevel::Full)
+            .with_batched_fastpath_events(true);
+        let b = bus(cfg);
+        assert!(!b.batching(), "shadow feed needs per-op payloads");
     }
 }

@@ -15,15 +15,16 @@
 
 pub mod cache;
 pub mod filler;
+mod origin;
 pub mod os;
 pub mod region;
 
 use crate::events::{AllocEvent, EventBus};
 use cache::HugeCache;
 use filler::HugePageFiller;
+use origin::{Origin, OriginTable};
 pub use os::{AllocError, OsLayer};
 use region::HugeRegionSet;
-use std::collections::HashMap;
 use wsc_sim_hw::cost::AllocPath;
 use wsc_sim_os::addr::{HUGE_PAGE_BYTES, TCMALLOC_PAGES_PER_HUGE, TCMALLOC_PAGE_BYTES};
 use wsc_sim_os::vmm::Vmm;
@@ -65,21 +66,6 @@ impl Default for PageHeapConfig {
             subrelease_grace_passes: 1,
         }
     }
-}
-
-#[derive(Clone, Copy, Debug)]
-enum Origin {
-    Filler {
-        pages: u32,
-    },
-    Region {
-        pages: u32,
-    },
-    Large {
-        pages: u32,
-        /// Donated tail pages in the final hugepage (0 = none).
-        tail: u32,
-    },
 }
 
 /// Component-level usage snapshot (Figure 15).
@@ -133,8 +119,7 @@ pub struct PageHeap {
     filler: HugePageFiller,
     region: HugeRegionSet,
     cache: HugeCache,
-    // lint:allow(hashmap-decl) keyed by span base address; never iterated
-    origin: HashMap<u64, Origin>,
+    origin: OriginTable,
     cfg: PageHeapConfig,
     large_used_pages: u64,
 }
@@ -158,7 +143,7 @@ impl PageHeap {
             filler: HugePageFiller::new(cfg.lifetime_aware_filler, cfg.capacity_threshold),
             region: HugeRegionSet::new(),
             cache: HugeCache::new(cfg.cache_limit_bytes),
-            origin: HashMap::new(),
+            origin: OriginTable::default(),
             cfg,
             large_used_pages: 0,
         }
@@ -257,8 +242,8 @@ impl PageHeap {
         };
         // Invariant, not resource exhaustion: two live spans at one address
         // mean corrupted bookkeeping, so this must stay fatal.
-        let prev = self.origin.insert(addr, origin);
-        assert!(prev.is_none(), "pageheap double allocation at {addr:#x}");
+        let fresh = self.origin.insert(addr, origin);
+        assert!(fresh, "pageheap double allocation at {addr:#x}");
         let path = if mmapped {
             AllocPath::Mmap
         } else {
@@ -276,7 +261,7 @@ impl PageHeap {
     pub fn dealloc(&mut self, addr: u64, pages: u32, bus: &mut EventBus) {
         let origin = self
             .origin
-            .remove(&addr)
+            .remove(addr)
             // lint:allow(panic-surface) documented panic: an unknown range
             // is caller heap corruption, and the sanitizer intercepts
             // invalid frees before they descend this far.

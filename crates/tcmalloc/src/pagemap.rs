@@ -26,11 +26,22 @@
 //! [`HashPageMap`]: it is the baseline the `hotpath` benchmark compares
 //! against and the oracle its same-run agreement assertion checks, and it
 //! deliberately exposes no iteration order.
+//!
+//! A second production-shaped arm, [`MaskingPageMap`], resolves the same
+//! lookup rpmalloc/mimalloc-style: addresses are grouped into
+//! **aligned segments** (`addr & SEGMENT_MASK` names the segment base) and
+//! the map keeps one flat, segment-aligned window of per-page slots, so a
+//! lookup is pure address arithmetic plus a single bounds-checked load —
+//! no root indirection. [`Pagemap`] is the config-selected dispatch the
+//! allocator tiers hold; `benches/hotpath.rs` races the two arms against
+//! each other (and the hash baseline) with an every-pointer agreement
+//! assertion.
 
+use crate::config::PagemapArm;
 use crate::span::SpanId;
 use std::cell::Cell;
 use std::collections::HashMap;
-use wsc_sim_os::addr::tcmalloc_page_index;
+use wsc_sim_os::addr::{tcmalloc_page_index, TCMALLOC_PAGE_BYTES};
 
 /// log2 of the pages covered by one radix leaf.
 pub const LEAF_BITS: u32 = 15;
@@ -299,6 +310,344 @@ impl PageMap {
     }
 }
 
+/// log2 of the pages in one masking segment. Kept equal to [`LEAF_BITS`] on
+/// purpose: a masking segment and a radix leaf then cover identical aligned
+/// page runs, so [`MaskingPageMap::leaf_occupancy`] reports the exact shape
+/// the sanitizer's per-leaf audit already proves — the arms differ only in
+/// how a lookup reaches the slot.
+pub const SEGMENT_BITS: u32 = LEAF_BITS;
+
+/// TCMalloc pages per masking segment (32 768 pages = 256 MiB).
+pub const PAGES_PER_SEGMENT: u64 = 1 << SEGMENT_BITS;
+
+/// Address mask selecting the aligned-segment base of a pointer:
+/// `addr & SEGMENT_MASK` is the first byte of the segment that owns `addr`,
+/// rpmalloc/mimalloc-style. The slot lookup below is the page-granular form
+/// of the same arithmetic.
+pub const SEGMENT_MASK: u64 = !(PAGES_PER_SEGMENT * TCMALLOC_PAGE_BYTES - 1);
+
+/// Ceiling on the masking window, in segments. 2^12 segments cover 1 TiB of
+/// address-space *spread*, far beyond what the bump-allocating `Vmm` ever
+/// produces; a wider spread indicates address corruption.
+const MAX_SEGMENT_WINDOW: u64 = 1 << 12;
+
+/// Aligned-segment address-masking pagemap: one flat, segment-aligned window
+/// of per-page slots.
+///
+/// Where the radix arm walks root → leaf, this arm masks the address down to
+/// its segment (`addr & SEGMENT_MASK`) and indexes a single contiguous slot
+/// array whose base is segment-aligned, so `span_of` is subtract, compare,
+/// load. The trade is contiguity: the window spans the whole observed
+/// segment range, so a sparse heap pays O(spread) memory where the radix
+/// tree pays O(touched leaves). The `Vmm` bump-allocates densely, which is
+/// exactly the regime this layout is built for.
+///
+/// Contract-identical to [`PageMap`]: same overlap/unregistered panics, same
+/// reserved-id assert, same one-entry hit-cache semantics, same
+/// [`LeafOccupancy`] export (see [`SEGMENT_BITS`]).
+///
+/// # Example
+///
+/// ```
+/// use wsc_tcmalloc::pagemap::MaskingPageMap;
+/// use wsc_tcmalloc::span::SpanId;
+///
+/// let mut pm = MaskingPageMap::new();
+/// pm.set_range(0x10000, 4, SpanId(7));
+/// assert_eq!(pm.span_of(0x10000 + 100), Some(SpanId(7)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MaskingPageMap {
+    /// Per-page slots for the covered window; `EMPTY` = unregistered.
+    slots: Vec<u32>,
+    /// First page of the window, aligned to [`PAGES_PER_SEGMENT`];
+    /// meaningful once `slots` is non-empty.
+    base_page: u64,
+    /// Registered pages per segment (the sanitizer's occupancy term),
+    /// `slots.len() / PAGES_PER_SEGMENT` entries.
+    seg_used: Vec<u32>,
+    /// Registered pages across the window.
+    pages: u64,
+    /// Last-span hit cache, identical semantics to [`PageMap::span_of`]'s.
+    hit: Cell<Option<(u64, u64, SpanId)>>,
+}
+
+impl MaskingPageMap {
+    /// Creates an empty pagemap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the window (in whole segments, either direction) to cover
+    /// pages `[first, last)`.
+    fn ensure_window(&mut self, first: u64, last: u64) {
+        let lo = first & !(PAGES_PER_SEGMENT - 1);
+        let hi = ((last - 1) | (PAGES_PER_SEGMENT - 1)) + 1;
+        if self.slots.is_empty() {
+            self.base_page = lo;
+        }
+        let new_lo = lo.min(self.base_page);
+        let new_hi = hi.max(self.base_page + self.slots.len() as u64);
+        let segments = (new_hi - new_lo) >> SEGMENT_BITS;
+        assert!(
+            segments <= MAX_SEGMENT_WINDOW,
+            "masking pagemap window blow-up"
+        );
+        if new_lo < self.base_page {
+            // Extend downward: prepend empty segments, shifting the window.
+            let grow = (self.base_page - new_lo) as usize;
+            let mut fresh = vec![EMPTY; grow + self.slots.len()];
+            // lint:allow(panic-surface) fresh was sized grow + len one
+            // line up.
+            fresh[grow..].copy_from_slice(&self.slots);
+            self.slots = fresh;
+            let seg_grow = grow >> SEGMENT_BITS;
+            let mut seg_fresh = vec![0u32; seg_grow + self.seg_used.len()];
+            // lint:allow(panic-surface) same sizing for the segment
+            // counters.
+            seg_fresh[seg_grow..].copy_from_slice(&self.seg_used);
+            self.seg_used = seg_fresh;
+            self.base_page = new_lo;
+        }
+        let want = (new_hi - self.base_page) as usize;
+        if want > self.slots.len() {
+            self.slots.resize(want, EMPTY);
+            self.seg_used.resize(want >> SEGMENT_BITS, 0);
+        }
+    }
+
+    /// Registers `num_pages` TCMalloc pages starting at `addr` as belonging
+    /// to `span`, writing one contiguous slot slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page is already registered (overlapping spans are a
+    /// heap-corruption bug) or if `span` carries the reserved id.
+    // lint:allow(event-completeness) lookup index, not an owning tier: the
+    // pageheap emits the SpanAlloc covering this range.
+    pub fn set_range(&mut self, addr: u64, num_pages: u32, span: SpanId) {
+        assert_ne!(span.0, EMPTY, "span id {EMPTY:#x} is reserved");
+        let first = tcmalloc_page_index(addr);
+        let last = first + num_pages as u64;
+        self.ensure_window(first, last);
+        let lo = (first - self.base_page) as usize;
+        let hi = (last - self.base_page) as usize;
+        // lint:allow(panic-surface) ensure_window covers [first, last).
+        for (i, slot) in self.slots[lo..hi].iter_mut().enumerate() {
+            assert!(
+                *slot == EMPTY,
+                "page {} already owned by Some(SpanId({}))",
+                first + i as u64,
+                *slot
+            );
+            *slot = span.0;
+        }
+        for page in first..last {
+            // lint:allow(panic-surface) seg index < window segments.
+            self.seg_used[((page - self.base_page) >> SEGMENT_BITS) as usize] += 1;
+        }
+        self.pages += num_pages as u64;
+        self.hit.set(Some((first, last - 1, span)));
+    }
+
+    /// Unregisters the pages of a span being returned to the pageheap.
+    /// Invalidates the hit cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page was not registered.
+    // lint:allow(event-completeness) index maintenance; the pageheap emits
+    // the SpanDealloc covering this range.
+    pub fn clear_range(&mut self, addr: u64, num_pages: u32) {
+        let first = tcmalloc_page_index(addr);
+        let last = first + num_pages as u64;
+        let end = self.base_page + self.slots.len() as u64;
+        assert!(
+            !self.slots.is_empty() && first >= self.base_page && last <= end,
+            "clearing unregistered page {first}"
+        );
+        let lo = (first - self.base_page) as usize;
+        let hi = (last - self.base_page) as usize;
+        // lint:allow(panic-surface) bounds proved by the assert above.
+        for (i, slot) in self.slots[lo..hi].iter_mut().enumerate() {
+            assert!(
+                *slot != EMPTY,
+                "clearing unregistered page {}",
+                first + i as u64
+            );
+            *slot = EMPTY;
+        }
+        for page in first..last {
+            // lint:allow(panic-surface) seg index < window segments.
+            self.seg_used[((page - self.base_page) >> SEGMENT_BITS) as usize] -= 1;
+        }
+        self.pages -= num_pages as u64;
+        self.hit.set(None);
+    }
+
+    /// The span owning `addr`, if any: hit cache, then window-relative
+    /// arithmetic and a single bounds-checked load.
+    pub fn span_of(&self, addr: u64) -> Option<SpanId> {
+        let page = tcmalloc_page_index(addr);
+        if let Some((first, last, span)) = self.hit.get() {
+            if (first..=last).contains(&page) {
+                return Some(span);
+            }
+        }
+        let off = page.wrapping_sub(self.base_page);
+        let slot = *self.slots.get(off as usize)?;
+        if slot == EMPTY {
+            return None;
+        }
+        let span = SpanId(slot);
+        self.hit.set(Some((page, page, span)));
+        Some(span)
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        self.pages as usize
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Occupancy of every non-empty segment in ascending `base_page` order.
+    /// Segments alias radix leaves exactly (see [`SEGMENT_BITS`]), so the
+    /// sanitizer audits this output unchanged.
+    pub fn leaf_occupancy(&self) -> Vec<LeafOccupancy> {
+        self.seg_used
+            .iter()
+            .enumerate()
+            .filter(|(_, used)| **used > 0)
+            .map(|(i, used)| LeafOccupancy {
+                base_page: self.base_page + ((i as u64) << SEGMENT_BITS),
+                pages_used: *used as u64,
+            })
+            .collect()
+    }
+}
+
+/// The config-selected pagemap arm the allocator tiers hold: the two-level
+/// radix tree or the aligned-segment masking map, one predictable branch in
+/// front of contract-identical implementations.
+#[derive(Clone, Debug)]
+pub enum Pagemap {
+    /// Two-level radix tree ([`PageMap`]).
+    Radix(PageMap),
+    /// Aligned-segment address masking ([`MaskingPageMap`]).
+    Masking(MaskingPageMap),
+}
+
+impl Pagemap {
+    /// Creates the arm named by `arm`.
+    pub fn new(arm: PagemapArm) -> Self {
+        match arm {
+            PagemapArm::Radix => Self::Radix(PageMap::new()),
+            PagemapArm::Masking => Self::Masking(MaskingPageMap::new()),
+        }
+    }
+
+    /// The configured arm.
+    pub fn arm(&self) -> PagemapArm {
+        match self {
+            Self::Radix(_) => PagemapArm::Radix,
+            Self::Masking(_) => PagemapArm::Masking,
+        }
+    }
+
+    /// Registers `num_pages` pages starting at `addr` as owned by `span`.
+    // lint:allow(event-completeness) arm dispatch over lookup indexes; the
+    // pageheap emits the SpanAlloc covering this range.
+    pub fn set_range(&mut self, addr: u64, num_pages: u32, span: SpanId) {
+        match self {
+            Self::Radix(pm) => pm.set_range(addr, num_pages, span),
+            Self::Masking(pm) => pm.set_range(addr, num_pages, span),
+        }
+    }
+
+    /// Unregisters the pages of a span.
+    // lint:allow(event-completeness) arm dispatch over lookup indexes; the
+    // pageheap emits the SpanRetire covering this range.
+    pub fn clear_range(&mut self, addr: u64, num_pages: u32) {
+        match self {
+            Self::Radix(pm) => pm.clear_range(addr, num_pages),
+            Self::Masking(pm) => pm.clear_range(addr, num_pages),
+        }
+    }
+
+    /// [`set_range`](Self::set_range) plus the
+    /// [`PagemapSet`](crate::events::AllocEvent::PagemapSet) boundary event.
+    pub fn set_range_traced(
+        &mut self,
+        addr: u64,
+        num_pages: u32,
+        span: SpanId,
+        bus: &mut crate::events::EventBus,
+    ) {
+        self.set_range(addr, num_pages, span);
+        bus.emit(crate::events::AllocEvent::PagemapSet {
+            addr,
+            pages: num_pages,
+        });
+    }
+
+    /// [`clear_range`](Self::clear_range) plus the
+    /// [`PagemapClear`](crate::events::AllocEvent::PagemapClear) boundary
+    /// event.
+    pub fn clear_range_traced(
+        &mut self,
+        addr: u64,
+        num_pages: u32,
+        bus: &mut crate::events::EventBus,
+    ) {
+        self.clear_range(addr, num_pages);
+        bus.emit(crate::events::AllocEvent::PagemapClear {
+            addr,
+            pages: num_pages,
+        });
+    }
+
+    /// The span owning `addr`, if any.
+    #[inline]
+    pub fn span_of(&self, addr: u64) -> Option<SpanId> {
+        match self {
+            Self::Radix(pm) => pm.span_of(addr),
+            Self::Masking(pm) => pm.span_of(addr),
+        }
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Radix(pm) => pm.len(),
+            Self::Masking(pm) => pm.len(),
+        }
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy of every populated leaf/segment in ascending `base_page`
+    /// order (identical shape under both arms; see [`SEGMENT_BITS`]).
+    pub fn leaf_occupancy(&self) -> Vec<LeafOccupancy> {
+        match self {
+            Self::Radix(pm) => pm.leaf_occupancy(),
+            Self::Masking(pm) => pm.leaf_occupancy(),
+        }
+    }
+}
+
+impl Default for Pagemap {
+    fn default() -> Self {
+        Self::new(PagemapArm::default())
+    }
+}
+
 /// The retired per-page `HashMap` pagemap, kept as the `hotpath`
 /// benchmark's baseline and same-run oracle. Same contract as [`PageMap`];
 /// exposes no iteration, so map order can never leak into results.
@@ -482,6 +831,132 @@ mod tests {
         assert_eq!(pm.len(), 256);
         pm.clear_range(base, 256);
         assert!(pm.is_empty());
+    }
+
+    #[test]
+    fn masking_range_lookup() {
+        let mut pm = MaskingPageMap::new();
+        pm.set_range(0, 2, SpanId(1));
+        pm.set_range(2 * TCMALLOC_PAGE_BYTES, 1, SpanId(2));
+        assert_eq!(pm.span_of(0), Some(SpanId(1)));
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES + 5), Some(SpanId(1)));
+        assert_eq!(pm.span_of(2 * TCMALLOC_PAGE_BYTES), Some(SpanId(2)));
+        assert_eq!(pm.span_of(3 * TCMALLOC_PAGE_BYTES), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn masking_overlap_detected() {
+        let mut pm = MaskingPageMap::new();
+        pm.set_range(0, 2, SpanId(1));
+        pm.set_range(TCMALLOC_PAGE_BYTES, 1, SpanId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn masking_clear_unregistered_detected() {
+        let mut pm = MaskingPageMap::new();
+        pm.clear_range(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn masking_clear_unregistered_in_window_detected() {
+        let mut pm = MaskingPageMap::new();
+        pm.set_range(0, 1, SpanId(1));
+        pm.clear_range(4 * TCMALLOC_PAGE_BYTES, 1);
+    }
+
+    #[test]
+    fn masking_segment_boundary_straddling_span() {
+        // Same scenario as the radix leaf-straddle test: segments alias
+        // leaves, so the occupancy export must match shape-for-shape.
+        let start_page = PAGES_PER_SEGMENT - 3;
+        let addr = start_page * TCMALLOC_PAGE_BYTES;
+        let mut pm = MaskingPageMap::new();
+        pm.set_range(addr, 8, SpanId(5));
+        assert_eq!(pm.len(), 8);
+        for p in 0..8u64 {
+            assert_eq!(
+                pm.span_of(addr + p * TCMALLOC_PAGE_BYTES),
+                Some(SpanId(5)),
+                "page {p} of the straddling span"
+            );
+        }
+        assert_eq!(pm.span_of(addr - TCMALLOC_PAGE_BYTES), None);
+        assert_eq!(pm.span_of(addr + 8 * TCMALLOC_PAGE_BYTES), None);
+        let occ = pm.leaf_occupancy();
+        assert_eq!(occ.len(), 2, "two segments populated");
+        assert_eq!(occ[0].base_page, 0);
+        assert_eq!(occ[0].pages_used, 3);
+        assert_eq!(occ[1].base_page, PAGES_PER_SEGMENT);
+        assert_eq!(occ[1].pages_used, 5);
+        pm.clear_range(addr, 8);
+        assert!(pm.is_empty());
+        assert!(pm.leaf_occupancy().is_empty());
+    }
+
+    #[test]
+    fn masking_hit_cache_invalidated_on_clear_range() {
+        let mut pm = MaskingPageMap::new();
+        pm.set_range(0, 4, SpanId(1));
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES), Some(SpanId(1)));
+        pm.clear_range(0, 4);
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES), None);
+        pm.set_range(0, 4, SpanId(2));
+        assert_eq!(pm.span_of(TCMALLOC_PAGE_BYTES), Some(SpanId(2)));
+    }
+
+    #[test]
+    fn masking_window_grows_downward() {
+        // First touch high, then low: the flat window must extend backwards
+        // in whole segments without disturbing existing slots.
+        let high = 40 * PAGES_PER_SEGMENT * TCMALLOC_PAGE_BYTES;
+        let mut pm = MaskingPageMap::new();
+        pm.set_range(high, 2, SpanId(1));
+        pm.set_range(0, 2, SpanId(2));
+        assert_eq!(pm.span_of(high), Some(SpanId(1)));
+        assert_eq!(pm.span_of(0), Some(SpanId(2)));
+        assert_eq!(pm.len(), 4);
+    }
+
+    #[test]
+    fn masking_heap_base_addresses_resolve() {
+        let base = wsc_sim_os::vmm::HEAP_BASE;
+        let mut pm = MaskingPageMap::new();
+        pm.set_range(base, 256, SpanId(3));
+        assert_eq!(pm.span_of(base + 1000), Some(SpanId(3)));
+        assert_eq!(pm.len(), 256);
+        pm.clear_range(base, 256);
+        assert!(pm.is_empty());
+    }
+
+    #[test]
+    fn segment_mask_names_the_segment_base() {
+        // The documented pointer arithmetic: addr & SEGMENT_MASK is the
+        // first byte of the 256 MiB segment owning addr.
+        let seg_bytes = PAGES_PER_SEGMENT * TCMALLOC_PAGE_BYTES;
+        let base = wsc_sim_os::vmm::HEAP_BASE;
+        assert_eq!(base & SEGMENT_MASK, base - base % seg_bytes);
+        assert_eq!((base + seg_bytes - 1) & SEGMENT_MASK, base & SEGMENT_MASK);
+        assert_eq!(
+            (base + seg_bytes) & SEGMENT_MASK,
+            (base & SEGMENT_MASK) + seg_bytes
+        );
+    }
+
+    #[test]
+    fn dispatch_wrapper_selects_arm() {
+        for arm in [PagemapArm::Radix, PagemapArm::Masking] {
+            let mut pm = Pagemap::new(arm);
+            assert_eq!(pm.arm(), arm);
+            pm.set_range(0, 4, SpanId(1));
+            assert_eq!(pm.span_of(2 * TCMALLOC_PAGE_BYTES), Some(SpanId(1)));
+            assert_eq!(pm.len(), 4);
+            assert_eq!(pm.leaf_occupancy().len(), 1);
+            pm.clear_range(0, 4);
+            assert!(pm.is_empty());
+        }
     }
 
     #[test]

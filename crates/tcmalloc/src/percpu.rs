@@ -117,10 +117,9 @@ impl PerCpuCaches {
         match slab.classes[class].objs.pop() {
             Some(addr) => {
                 slab.cached_bytes -= size;
-                bus.emit(AllocEvent::PerCpuHit {
-                    vcpu: vcpu.index(),
-                    class: class as u16,
-                });
+                // Batched when the bus is in batched-emission mode; a
+                // per-op PerCpuHit otherwise.
+                bus.percpu_hit(vcpu.index(), class as u16);
                 Some(addr)
             }
             None => {

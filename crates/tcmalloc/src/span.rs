@@ -6,6 +6,26 @@
 //! objects to the central free list, and can only return to the pageheap
 //! when *every* object on it has been freed — the root cause of central-
 //! free-list fragmentation (§4.3).
+//!
+//! # Arena-backed metadata
+//!
+//! A span's variable-size metadata — the free-object stack and the
+//! double-free bitmap — does not live inside [`Span`]. Both are carved from
+//! dense pools owned by the [`SpanRegistry`]'s [`SlabArena`], indexed by
+//! `SpanId`-addressed regions. This removes two heap allocations (and two
+//! frees) from every span's create/release cycle and keeps the per-object
+//! hot path (`alloc_object` / `dealloc_object`) inside two flat arrays
+//! instead of chasing per-span `Vec` headers. Regions are recycled with
+//! their span id: a recycled id whose region capacity suffices reuses its
+//! storage in place, so steady-state churn performs no pool growth at all.
+//!
+//! The free stack preserves exact `Vec`-push/pop LIFO semantics (stack top
+//! at the high end of the live prefix), so object address reuse — which the
+//! golden figures depend on — is bit-for-bit unchanged. The invariant
+//! `free stack length == capacity - allocated` holds at every step, which
+//! is why [`Span`] needs no separate free-count field and the sanitizer can
+//! audit the arena against the span inventory (see
+//! [`SpanRegistry::arena_stats`]).
 
 use crate::size_class::SizeClassInfo;
 use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
@@ -40,7 +60,11 @@ pub enum SpanState {
 }
 
 /// One span: a run of TCMalloc pages carved into equal-size objects.
-#[derive(Clone, Debug)]
+///
+/// Pure scalar record — the free stack and bitmap live in the registry's
+/// [`SlabArena`], so object alloc/free goes through
+/// [`SpanRegistry::alloc_object`] / [`SpanRegistry::dealloc_object`].
+#[derive(Clone, Copy, Debug)]
 pub struct Span {
     /// Base address (TCMalloc-page aligned).
     pub start: u64,
@@ -54,10 +78,6 @@ pub struct Span {
     pub capacity: u32,
     /// Currently allocated (live) objects.
     pub allocated: u32,
-    /// Stack of free object indices.
-    free_objects: Vec<u32>,
-    /// Allocation bitmap for double-free detection.
-    bitmap: Vec<u64>,
     /// Current bookkeeping state.
     pub state: SpanState,
     /// Owning vCPU: the simulated thread that most recently refilled its
@@ -73,16 +93,13 @@ pub struct Span {
 impl Span {
     /// Creates a small-object span for a size class.
     pub fn new_small(start: u64, class: u16, info: &SizeClassInfo) -> Self {
-        let capacity = info.objects_per_span;
         Self {
             start,
             pages: info.pages,
             size_class: Some(class),
             object_size: info.size,
-            capacity,
+            capacity: info.objects_per_span,
             allocated: 0,
-            free_objects: (0..capacity).rev().collect(),
-            bitmap: vec![0u64; (capacity as usize).div_ceil(64)],
             state: SpanState::Full, // caller places it on a list
             owner: None,
             pending_obs: None,
@@ -98,8 +115,6 @@ impl Span {
             object_size: pages as u64 * TCMALLOC_PAGE_BYTES,
             capacity: 1,
             allocated: 1,
-            free_objects: Vec::new(),
-            bitmap: vec![1u64],
             state: SpanState::Large,
             owner: None,
             pending_obs: None,
@@ -111,9 +126,11 @@ impl Span {
         self.pages as u64 * TCMALLOC_PAGE_BYTES
     }
 
-    /// Free objects currently on the span.
+    /// Free objects currently on the span. Derived from the scalar
+    /// invariant `free stack length == capacity - allocated`, so reading it
+    /// never touches the arena.
     pub fn free_count(&self) -> u32 {
-        self.free_objects.len() as u32
+        self.capacity - self.allocated
     }
 
     /// Bytes of free objects cached on this span (external fragmentation
@@ -127,76 +144,144 @@ impl Span {
         self.bytes() - self.capacity as u64 * self.object_size
     }
 
-    fn bit(&self, idx: u32) -> bool {
-        // lint:allow(panic-surface) idx < capacity; the bitmap is sized
-        // capacity/64 at carve time.
-        self.bitmap[idx as usize / 64] >> (idx % 64) & 1 == 1
-    }
-
-    fn set_bit(&mut self, idx: u32, v: bool) {
-        if v {
-            // lint:allow(panic-surface) same carve-time bound as bit().
-            self.bitmap[idx as usize / 64] |= 1 << (idx % 64);
-        } else {
-            // lint:allow(panic-surface) same carve-time bound as bit().
-            self.bitmap[idx as usize / 64] &= !(1 << (idx % 64));
-        }
-    }
-
-    /// Pops one free object, returning its address.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the span has no free objects (caller must check).
-    pub fn alloc_object(&mut self) -> u64 {
-        let idx = self
-            .free_objects
-            .pop()
-            .expect("alloc_object on exhausted span");
-        debug_assert!(!self.bit(idx), "object {idx} already allocated");
-        self.set_bit(idx, true);
-        self.allocated += 1;
-        self.start + idx as u64 * self.object_size
-    }
-
-    /// Returns an object to the span.
-    ///
-    /// # Panics
-    ///
-    /// Panics on addresses outside the span, unaligned addresses, or double
-    /// free.
-    pub fn dealloc_object(&mut self, addr: u64) {
-        assert!(
-            addr >= self.start && addr < self.start + self.bytes(),
-            "address {addr:#x} outside span at {:#x}",
-            self.start
-        );
-        let off = addr - self.start;
-        assert!(
-            off.is_multiple_of(self.object_size),
-            "misaligned free at offset {off} (object size {})",
-            self.object_size
-        );
-        let idx = (off / self.object_size) as u32;
-        assert!(idx < self.capacity, "object index {idx} out of range");
-        assert!(self.bit(idx), "double free of object {idx}");
-        assert!(self.allocated > 0);
-        self.set_bit(idx, false);
-        self.allocated -= 1;
-        self.free_objects.push(idx);
-    }
-
     /// True when every object has been returned (span may be released).
     pub fn is_idle(&self) -> bool {
         self.allocated == 0
     }
 }
 
-/// Arena of spans with id recycling.
+/// A `SpanId`-indexed region descriptor into the [`SlabArena`] pools. The
+/// descriptor outlives the span: when an id is recycled, a region whose
+/// capacity suffices is reused in place.
+#[derive(Clone, Copy, Debug, Default)]
+struct SlabSlot {
+    /// First entry of this span's free-stack region in `free_pool`.
+    free_off: u32,
+    /// First word of this span's bitmap region in `bm_pool`.
+    bm_off: u32,
+    /// Object capacity the region was carved for (reuse threshold).
+    region_cap: u32,
+}
+
+/// Dense slab storage for span metadata: one pool of free-stack entries and
+/// one pool of bitmap words, tiled exactly by the per-id regions described
+/// in `slots` (the conservation law [`SpanRegistry::arena_stats`] exports).
+#[derive(Clone, Debug, Default)]
+struct SlabArena {
+    /// Free-object-stack storage for every region, back to back.
+    free_pool: Vec<u32>,
+    /// Double-free-bitmap storage for every region, back to back.
+    bm_pool: Vec<u64>,
+    /// Region descriptor per span-id slot.
+    slots: Vec<SlabSlot>,
+    /// Free-pool entries stranded by regions re-carved at a larger
+    /// capacity (the abandoned storage the conservation audit must still
+    /// account for).
+    retired_entries: u64,
+    /// Bitmap-pool words stranded the same way.
+    retired_words: u64,
+}
+
+impl SlabArena {
+    /// Words a region of `cap` objects needs in the bitmap pool.
+    fn words_for(cap: u32) -> usize {
+        (cap as usize).div_ceil(64)
+    }
+
+    /// Ensures slot `idx` owns a region of at least `cap` objects, carving
+    /// fresh pool storage only when the recycled region is too small, then
+    /// resets the region for a new span of `cap` objects: a full descending
+    /// free stack (`Vec`-identical pop order 0, 1, 2, …) and a zeroed
+    /// bitmap.
+    fn reset_region(&mut self, idx: usize, cap: u32) {
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, SlabSlot::default());
+        }
+        if self.slots[idx].region_cap < cap {
+            // An undersized region is abandoned in place, not compacted:
+            // record its storage so the pools stay fully accounted.
+            self.retired_entries += self.slots[idx].region_cap as u64;
+            self.retired_words += Self::words_for(self.slots[idx].region_cap) as u64;
+            let free_off = self.free_pool.len();
+            let bm_off = self.bm_pool.len();
+            assert!(
+                free_off + cap as usize <= u32::MAX as usize,
+                "slab arena free pool overflow"
+            );
+            self.free_pool.resize(free_off + cap as usize, 0);
+            self.bm_pool.resize(bm_off + Self::words_for(cap), 0);
+            self.slots[idx] = SlabSlot {
+                free_off: free_off as u32,
+                bm_off: bm_off as u32,
+                region_cap: cap,
+            };
+        }
+        let slot = self.slots[idx];
+        let lo = slot.free_off as usize;
+        // Stack layout: position i holds index capacity-1-i, so the stack
+        // top (the live prefix's last entry) pops object 0 first — exactly
+        // the retired `(0..capacity).rev().collect()` Vec.
+        for i in 0..cap {
+            // lint:allow(panic-surface) lo + cap <= free_pool.len() by the
+            // region carve above.
+            self.free_pool[lo + i as usize] = cap - 1 - i;
+        }
+        let wlo = slot.bm_off as usize;
+        // lint:allow(panic-surface) the carve sized bm_pool to wlo +
+        // words_for(region_cap).
+        for w in &mut self.bm_pool[wlo..wlo + Self::words_for(slot.region_cap)] {
+            *w = 0;
+        }
+    }
+
+    fn bit(&self, slot: SlabSlot, idx: u32) -> bool {
+        // lint:allow(panic-surface) idx < region_cap; the region is sized
+        // at reset_region time.
+        self.bm_pool[slot.bm_off as usize + idx as usize / 64] >> (idx % 64) & 1 == 1
+    }
+
+    fn set_bit(&mut self, slot: SlabSlot, idx: u32, v: bool) {
+        let w = slot.bm_off as usize + idx as usize / 64;
+        if v {
+            // Same region bound as bit().
+            self.bm_pool[w] |= 1 << (idx % 64);
+        } else {
+            self.bm_pool[w] &= !(1 << (idx % 64));
+        }
+    }
+}
+
+/// Occupancy of the registry's slab arena, exported for the sanitizer's
+/// conservation audit: the pools must be tiled exactly by the carved
+/// regions, and live spans must fit the regions their ids own.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Span-id slots ever minted (live + recyclable).
+    pub slots_total: u64,
+    /// Live spans occupying their slots.
+    pub slots_live: u64,
+    /// Entries in the free-stack pool.
+    pub free_pool_entries: u64,
+    /// Words in the bitmap pool.
+    pub bitmap_pool_words: u64,
+    /// Σ region capacity over all slots. Together with `retired_entries`
+    /// this must equal `free_pool_entries`.
+    pub reserved_entries: u64,
+    /// Σ region bitmap words over all slots. Together with `retired_words`
+    /// this must equal `bitmap_pool_words`.
+    pub reserved_words: u64,
+    /// Pool entries stranded by regions re-carved at a larger capacity.
+    pub retired_entries: u64,
+    /// Pool words stranded the same way.
+    pub retired_words: u64,
+}
+
+/// Arena of spans with id recycling and slab-pooled metadata.
 #[derive(Clone, Debug, Default)]
 pub struct SpanRegistry {
     spans: Vec<Option<Span>>,
     free_ids: Vec<SpanId>,
+    arena: SlabArena,
     /// Total spans ever created and released, per the Figure 16 telemetry.
     pub created: u64,
     /// Total spans returned to the pageheap.
@@ -209,10 +294,17 @@ impl SpanRegistry {
         Self::default()
     }
 
-    /// Inserts a span, returning its id.
+    /// Inserts a span, returning its id. Carves (or reuses) the id's arena
+    /// region and initializes its free stack and bitmap from the span's
+    /// scalar state (`new_small`: all free; `new_large`: the single object
+    /// already allocated).
     pub fn insert(&mut self, span: Span) -> SpanId {
+        debug_assert!(
+            span.allocated == 0 || (span.size_class.is_none() && span.allocated == span.capacity),
+            "inserted spans are freshly carved"
+        );
         self.created += 1;
-        if let Some(id) = self.free_ids.pop() {
+        let id = if let Some(id) = self.free_ids.pop() {
             // lint:allow(panic-surface) ids on the free list were minted
             // by push below, so they index inside the vec.
             self.spans[id.index()] = Some(span);
@@ -220,10 +312,20 @@ impl SpanRegistry {
         } else {
             self.spans.push(Some(span));
             SpanId(self.spans.len() as u32 - 1)
+        };
+        self.arena.reset_region(id.index(), span.capacity);
+        if span.allocated > 0 {
+            // Large span: capacity 1, already allocated — mark it.
+            // lint:allow(panic-surface) reset_region just sized slots for
+            // this id.
+            let slot = self.arena.slots[id.index()];
+            self.arena.set_bit(slot, 0, true);
         }
+        id
     }
 
-    /// Removes a span (it returned to the pageheap), yielding it.
+    /// Removes a span (it returned to the pageheap), yielding its scalar
+    /// record. The arena region stays with the id for reuse.
     ///
     /// # Panics
     ///
@@ -257,6 +359,88 @@ impl SpanRegistry {
         self.spans[id.index()].as_mut().expect("stale span id")
     }
 
+    /// Pops one free object off span `id`, returning its address: one read
+    /// from the free-stack pool, one bit set, two scalar bumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale or the span has no free objects (caller
+    /// must check).
+    pub fn alloc_object(&mut self, id: SpanId) -> u64 {
+        // lint:allow(panic-surface) documented panic, as in get().
+        let span = self.spans[id.index()].as_mut().expect("stale span id");
+        assert!(
+            span.allocated < span.capacity,
+            "alloc_object on exhausted span"
+        );
+        // lint:allow(panic-surface) live ids always own a slot: insert()
+        // carves one per id.
+        let slot = self.arena.slots[id.index()];
+        let top = slot.free_off as usize + span.free_count() as usize - 1;
+        // top < free_off + region_cap.
+        let idx = self.arena.free_pool[top];
+        debug_assert!(!self.arena.bit(slot, idx), "object {idx} already allocated");
+        span.allocated += 1;
+        let addr = span.start + idx as u64 * span.object_size;
+        self.arena.set_bit(slot, idx, true);
+        addr
+    }
+
+    /// Peeks the object index on top of span `id`'s free stack without
+    /// popping it (`None` when the span is exhausted). This is the
+    /// read-only arena probe the hot-path benches race against the retired
+    /// per-span `Vec` layout: one dense `spans` read plus one dense
+    /// `free_pool` read, no per-span heap chase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn peek_free(&self, id: SpanId) -> Option<u32> {
+        // Documented panic, as in get().
+        let span = self.spans[id.index()].as_ref().expect("stale span id");
+        if span.free_count() == 0 {
+            return None;
+        }
+        let slot = self.arena.slots[id.index()];
+        let top = slot.free_off as usize + span.free_count() as usize - 1;
+        // top < free_off + region_cap.
+        Some(self.arena.free_pool[top])
+    }
+
+    /// Returns an object to span `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale, on addresses outside the span, unaligned
+    /// addresses, or double free.
+    pub fn dealloc_object(&mut self, id: SpanId, addr: u64) {
+        // lint:allow(panic-surface) documented panic, as in get().
+        let span = self.spans[id.index()].as_mut().expect("stale span id");
+        assert!(
+            addr >= span.start && addr < span.start + span.bytes(),
+            "address {addr:#x} outside span at {:#x}",
+            span.start
+        );
+        let off = addr - span.start;
+        assert!(
+            off.is_multiple_of(span.object_size),
+            "misaligned free at offset {off} (object size {})",
+            span.object_size
+        );
+        let idx = (off / span.object_size) as u32;
+        assert!(idx < span.capacity, "object index {idx} out of range");
+        // lint:allow(panic-surface) live ids always own a slot: insert()
+        // carves one per id.
+        let slot = self.arena.slots[id.index()];
+        assert!(self.arena.bit(slot, idx), "double free of object {idx}");
+        assert!(span.allocated > 0);
+        span.allocated -= 1;
+        let top = slot.free_off as usize + span.free_count() as usize - 1;
+        // free_count <= capacity <= region_cap.
+        self.arena.free_pool[top] = idx;
+        self.arena.set_bit(slot, idx, false);
+    }
+
     /// Number of live spans.
     pub fn len(&self) -> usize {
         self.spans.len() - self.free_ids.len()
@@ -274,6 +458,26 @@ impl SpanRegistry {
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|s| (SpanId(i as u32), s)))
     }
+
+    /// Arena occupancy for the sanitizer's conservation audit: pool sizes
+    /// and the per-slot reservations that must tile them exactly.
+    pub fn arena_stats(&self) -> ArenaStats {
+        let (mut entries, mut words) = (0u64, 0u64);
+        for slot in &self.arena.slots {
+            entries += slot.region_cap as u64;
+            words += SlabArena::words_for(slot.region_cap) as u64;
+        }
+        ArenaStats {
+            slots_total: self.spans.len() as u64,
+            slots_live: self.len() as u64,
+            free_pool_entries: self.arena.free_pool.len() as u64,
+            bitmap_pool_words: self.arena.bm_pool.len() as u64,
+            reserved_entries: entries,
+            reserved_words: words,
+            retired_entries: self.arena.retired_entries,
+            retired_words: self.arena.retired_words,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,50 +493,89 @@ mod tests {
         Span::new_small(0x10000, cl as u16, t.info(cl))
     }
 
+    /// Registry with one small span, the fixture most tests drive.
+    fn registry_with_span() -> (SpanRegistry, SpanId) {
+        let mut reg = SpanRegistry::new();
+        let id = reg.insert(small_span());
+        (reg, id)
+    }
+
     #[test]
     fn carve_and_return_all() {
-        let mut s = small_span();
-        assert_eq!(s.capacity, 512);
+        let (mut reg, id) = registry_with_span();
+        assert_eq!(reg.get(id).capacity, 512);
         let mut addrs = Vec::new();
-        for _ in 0..s.capacity {
-            addrs.push(s.alloc_object());
+        for _ in 0..reg.get(id).capacity {
+            addrs.push(reg.alloc_object(id));
         }
-        assert_eq!(s.free_count(), 0);
-        assert_eq!(s.allocated, 512);
+        assert_eq!(reg.get(id).free_count(), 0);
+        assert_eq!(reg.get(id).allocated, 512);
         // Addresses are distinct and within the span.
         let mut sorted = addrs.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 512);
         for a in &addrs {
-            s.dealloc_object(*a);
+            reg.dealloc_object(id, *a);
         }
-        assert!(s.is_idle());
-        assert_eq!(s.free_count(), 512);
+        assert!(reg.get(id).is_idle());
+        assert_eq!(reg.get(id).free_count(), 512);
+    }
+
+    #[test]
+    fn lifo_reuse_order_is_vec_identical() {
+        // The arena stack must pop objects in ascending-index order from a
+        // fresh span, and return the most recently freed object first —
+        // the exact semantics of the retired per-span Vec (address reuse
+        // determinism the golden figures depend on).
+        let (mut reg, id) = registry_with_span();
+        let a0 = reg.alloc_object(id);
+        let a1 = reg.alloc_object(id);
+        let base = reg.get(id).start;
+        let osize = reg.get(id).object_size;
+        assert_eq!(a0, base, "fresh span hands out object 0 first");
+        assert_eq!(a1, base + osize, "then object 1");
+        reg.dealloc_object(id, a0);
+        assert_eq!(reg.alloc_object(id), a0, "LIFO: last freed, first reused");
+    }
+
+    #[test]
+    fn peek_free_tracks_the_stack_top_without_popping() {
+        let (mut reg, id) = registry_with_span();
+        assert_eq!(reg.peek_free(id), Some(0), "fresh span: object 0 on top");
+        assert_eq!(reg.peek_free(id), Some(0), "peeking does not pop");
+        let a0 = reg.alloc_object(id);
+        assert_eq!(reg.peek_free(id), Some(1), "after popping 0, 1 is next");
+        for _ in 1..reg.get(id).capacity {
+            reg.alloc_object(id);
+        }
+        assert_eq!(reg.peek_free(id), None, "exhausted span has no top");
+        reg.dealloc_object(id, a0);
+        assert_eq!(reg.peek_free(id), Some(0), "freed object returns on top");
     }
 
     #[test]
     #[should_panic(expected = "double free")]
     fn double_free_detected() {
-        let mut s = small_span();
-        let a = s.alloc_object();
-        s.dealloc_object(a);
-        s.dealloc_object(a);
+        let (mut reg, id) = registry_with_span();
+        let a = reg.alloc_object(id);
+        reg.dealloc_object(id, a);
+        reg.dealloc_object(id, a);
     }
 
     #[test]
     #[should_panic(expected = "misaligned")]
     fn misaligned_free_detected() {
-        let mut s = small_span();
-        let a = s.alloc_object();
-        s.dealloc_object(a + 1);
+        let (mut reg, id) = registry_with_span();
+        let a = reg.alloc_object(id);
+        reg.dealloc_object(id, a + 1);
     }
 
     #[test]
     #[should_panic(expected = "outside span")]
     fn foreign_free_detected() {
-        let mut s = small_span();
-        s.dealloc_object(0xdead0000);
+        let (mut reg, id) = registry_with_span();
+        reg.dealloc_object(id, 0xdead0000);
     }
 
     #[test]
@@ -340,34 +583,83 @@ mod tests {
     fn exhausted_alloc_panics() {
         let t = SizeClassTable::production();
         let cl = t.class_for(256 << 10).unwrap();
-        let mut s = Span::new_small(0, cl as u16, t.info(cl));
-        for _ in 0..=s.capacity {
-            s.alloc_object();
+        let mut reg = SpanRegistry::new();
+        let id = reg.insert(Span::new_small(0, cl as u16, t.info(cl)));
+        for _ in 0..=reg.get(id).capacity {
+            reg.alloc_object(id);
         }
     }
 
     #[test]
     fn large_span_is_single_object() {
-        let s = Span::new_large(0x8000, 100);
+        let mut reg = SpanRegistry::new();
+        let id = reg.insert(Span::new_large(0x8000, 100));
+        let s = *reg.get(id);
         assert_eq!(s.capacity, 1);
         assert_eq!(s.allocated, 1);
         assert_eq!(s.size_class, None);
         assert!(!s.is_idle());
+        // The single object frees and double-free-detects through the
+        // arena bitmap like any other.
+        reg.dealloc_object(id, 0x8000);
+        assert!(reg.get(id).is_idle());
     }
 
     #[test]
-    fn registry_recycles_ids() {
+    fn registry_recycles_ids_and_regions() {
         let mut reg = SpanRegistry::new();
         let a = reg.insert(small_span());
         let b = reg.insert(small_span());
         assert_ne!(a, b);
         assert_eq!(reg.len(), 2);
+        let before = reg.arena_stats();
         reg.remove(a);
         assert_eq!(reg.len(), 1);
         let c = reg.insert(small_span());
         assert_eq!(c, a, "id recycled");
         assert_eq!(reg.created, 3);
         assert_eq!(reg.released, 1);
+        // Same capacity through the same slot: the arena reused the region
+        // in place, no pool growth.
+        assert_eq!(
+            reg.arena_stats().free_pool_entries,
+            before.free_pool_entries
+        );
+        assert_eq!(
+            reg.arena_stats().bitmap_pool_words,
+            before.bitmap_pool_words
+        );
+        // A reused region starts clean: full carve works again.
+        for _ in 0..reg.get(c).capacity {
+            reg.alloc_object(c);
+        }
+        assert_eq!(reg.get(c).free_count(), 0);
+    }
+
+    #[test]
+    fn undersized_region_is_recarved() {
+        // Recycle a capacity-1 (large) span's id into a 512-object small
+        // span: the region must grow, and the conservation law must keep
+        // holding.
+        let mut reg = SpanRegistry::new();
+        let a = reg.insert(Span::new_large(0x8000, 100));
+        reg.dealloc_object(a, 0x8000);
+        reg.remove(a);
+        let b = reg.insert(small_span());
+        assert_eq!(b, a, "id recycled");
+        for _ in 0..512 {
+            reg.alloc_object(b);
+        }
+        let stats = reg.arena_stats();
+        assert_eq!(stats.retired_entries, 1, "capacity-1 region abandoned");
+        assert_eq!(
+            stats.free_pool_entries,
+            stats.reserved_entries + stats.retired_entries
+        );
+        assert_eq!(
+            stats.bitmap_pool_words,
+            stats.reserved_words + stats.retired_words
+        );
     }
 
     #[test]
@@ -381,10 +673,30 @@ mod tests {
 
     #[test]
     fn fragmentation_accounting() {
-        let mut s = small_span();
-        let total = s.bytes();
-        let _ = s.alloc_object();
+        let (mut reg, id) = registry_with_span();
+        let total = reg.get(id).bytes();
+        let _ = reg.alloc_object(id);
+        let s = reg.get(id);
         assert_eq!(s.free_object_bytes(), (s.capacity as u64 - 1) * 16);
         assert_eq!(s.carve_waste_bytes(), total - s.capacity as u64 * 16);
+    }
+
+    #[test]
+    fn arena_stats_conservation() {
+        let mut reg = SpanRegistry::new();
+        assert_eq!(reg.arena_stats(), ArenaStats::default());
+        let a = reg.insert(small_span());
+        let _b = reg.insert(Span::new_large(0x9000_0000, 4));
+        let stats = reg.arena_stats();
+        assert_eq!(stats.slots_total, 2);
+        assert_eq!(stats.slots_live, 2);
+        assert_eq!(stats.free_pool_entries, 512 + 1);
+        assert_eq!(stats.reserved_entries, 512 + 1);
+        assert_eq!(stats.bitmap_pool_words, 8 + 1);
+        assert_eq!(stats.reserved_words, 8 + 1);
+        reg.remove(a);
+        let stats = reg.arena_stats();
+        assert_eq!(stats.slots_live, 1, "region stays reserved for reuse");
+        assert_eq!(stats.free_pool_entries, stats.reserved_entries);
     }
 }

@@ -127,6 +127,22 @@ impl CycleStats {
         self.ops[cat.index()] += 1;
     }
 
+    /// Charges `n` operations of `ns` nanoseconds each in one step —
+    /// exactly equivalent to `n` [`charge`](Self::charge) calls, because
+    /// the ledger is integral picoseconds: `n * round(ns * 1000)` is the
+    /// same total the per-op path accumulates. This is how batched
+    /// fast-path aggregates land without drifting from per-op pricing.
+    pub fn charge_n(&mut self, cat: CycleCategory, ns: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        // lint:allow(panic-surface) cat.index() enumerates CycleCategory,
+        // and both arrays are sized CycleCategory::COUNT.
+        self.ps[cat.index()] += n * (ns * 1000.0).round() as u64;
+        // lint:allow(panic-surface) same enum-sized bound as the line above.
+        self.ops[cat.index()] += n;
+    }
+
     /// Nanoseconds attributed to a category.
     pub fn ns(&self, cat: CycleCategory) -> f64 {
         self.ps[cat.index()] as f64 / 1000.0
@@ -228,6 +244,24 @@ impl EventSink for StatsView {
             }
             AllocEvent::ContentionCharged { ns, .. } => {
                 self.cycles.charge(CycleCategory::Contention, ns);
+            }
+            AllocEvent::FastPathFlush {
+                mallocs,
+                prefetched,
+                frees,
+            } => {
+                // The drain-point aggregate of unsampled per-CPU-path
+                // completions: charge the identical components the per-op
+                // arms above would have, `mallocs + frees` times.
+                self.cycles.charge_n(
+                    CycleCategory::CpuCache,
+                    self.cost.alloc_path_ns(AllocPath::PerCpu),
+                    mallocs + frees,
+                );
+                self.cycles
+                    .charge_n(CycleCategory::Prefetch, self.cost.prefetch_ns, prefetched);
+                self.cycles
+                    .charge_n(CycleCategory::Other, self.cost.other_ns, mallocs + frees);
             }
             AllocEvent::OsFault { latency_ns, .. } if latency_ns > 0 => {
                 // Injected kernel latency (THP compaction stall, flaky

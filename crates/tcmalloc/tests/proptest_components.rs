@@ -61,19 +61,21 @@ fn span_alloc_free_sequences_preserve_counts() {
     let cl = t.class_for(64).expect("64 B is a small size");
     for case in 0..128u64 {
         let mut rng = SmallRng::seed_from_u64(0xC0A2 + case);
-        let mut span = Span::new_small(0x100000, cl as u16, t.info(cl));
-        let capacity = span.capacity;
+        let mut reg = SpanRegistry::new();
+        let id = reg.insert(Span::new_small(0x100000, cl as u16, t.info(cl)));
+        let capacity = reg.get(id).capacity;
         let mut live: Vec<u64> = Vec::new();
         let ops = rng.gen_range(1usize..600);
         for i in 0..ops {
-            if rng.gen::<bool>() && span.free_count() > 0 {
-                let addr = span.alloc_object();
+            if rng.gen::<bool>() && reg.get(id).free_count() > 0 {
+                let addr = reg.alloc_object(id);
                 assert!(!live.contains(&addr), "duplicate address");
                 live.push(addr);
             } else if !live.is_empty() {
                 let addr = live.swap_remove(i % live.len());
-                span.dealloc_object(addr);
+                reg.dealloc_object(id, addr);
             }
+            let span = reg.get(id);
             assert_eq!(span.allocated as usize, live.len());
             assert_eq!(span.allocated + span.free_count(), capacity);
         }
@@ -180,5 +182,144 @@ fn pageheap_release_is_safe_at_any_point() {
             ph.dealloc(a, p, &mut bus);
         }
         assert_eq!(ph.stats().total_used_bytes(), 0);
+    }
+}
+
+// --- pagemaps (differential: radix vs masking vs oracle) ---
+
+/// Races the radix [`PageMap`] and the address-masking [`MaskingPageMap`]
+/// against a `BTreeMap<page, SpanId>` oracle over seeded
+/// set/clear/lookup interleavings. The schedule is built to hit the
+/// arms' sharp edges:
+///
+/// * **hit-cache staleness** — every clear first primes the one-entry
+///   hit cache with a successful lookup inside the doomed span, then
+///   asserts the lookup is `None` after the clear and that a remap of
+///   the same pages under a fresh id is returned (not the stale cache);
+/// * **segment-boundary addresses** — a quarter of placements are pinned
+///   to straddle a `PAGES_PER_SEGMENT` boundary, and every case ends
+///   with probes at each boundary ± 1 byte;
+/// * **downward window growth** — odd cases map near the top of the
+///   roamed extent first, so both arms must re-anchor their windows
+///   below the first mapping.
+#[test]
+fn pagemap_arms_agree_with_btreemap_oracle() {
+    use std::collections::BTreeMap;
+    use wsc_sim_os::addr::TCMALLOC_PAGE_BYTES;
+    use wsc_sim_os::vmm::HEAP_BASE;
+    use wsc_tcmalloc::pagemap::{MaskingPageMap, PageMap, PAGES_PER_SEGMENT};
+    use wsc_tcmalloc::span::SpanId;
+
+    /// Page extent the cases roam over: 8 masking segments.
+    const WINDOW_PAGES: u64 = 8 * PAGES_PER_SEGMENT;
+
+    let addr_of = |page: u64| HEAP_BASE + page * TCMALLOC_PAGE_BYTES;
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x9A6E + case);
+        let mut radix = PageMap::new();
+        let mut mask = MaskingPageMap::new();
+        let mut oracle: BTreeMap<u64, SpanId> = BTreeMap::new();
+        let mut live: Vec<(u64, u32, SpanId)> = Vec::new();
+        let mut next_id = 0u32;
+        // Odd cases anchor the windows high first: every later mapping
+        // grows the root/segment window downward.
+        if case % 2 == 1 {
+            let page = WINDOW_PAGES - 1;
+            radix.set_range(addr_of(page), 1, SpanId(next_id));
+            mask.set_range(addr_of(page), 1, SpanId(next_id));
+            oracle.insert(page, SpanId(next_id));
+            live.push((page, 1, SpanId(next_id)));
+            next_id += 1;
+        }
+        for _ in 0..300 {
+            match rng.gen_range(0u32..10) {
+                0..=3 => {
+                    // Map a fresh span; a quarter of placements straddle a
+                    // segment boundary on purpose.
+                    let len = rng.gen_range(1u32..=40);
+                    let page = if rng.gen_range(0u32..4) == 0 {
+                        let seg = rng.gen_range(1u64..WINDOW_PAGES / PAGES_PER_SEGMENT);
+                        (seg * PAGES_PER_SEGMENT).saturating_sub(len as u64 / 2 + 1)
+                    } else {
+                        rng.gen_range(0..WINDOW_PAGES - len as u64)
+                    };
+                    if (page..page + len as u64).any(|p| oracle.contains_key(&p)) {
+                        continue; // placement collides with a live span
+                    }
+                    let id = SpanId(next_id);
+                    next_id += 1;
+                    radix.set_range(addr_of(page), len, id);
+                    mask.set_range(addr_of(page), len, id);
+                    for p in page..page + len as u64 {
+                        oracle.insert(p, id);
+                    }
+                    live.push((page, len, id));
+                }
+                4..=5 => {
+                    // Clear a live span — after priming the hit caches with
+                    // a successful lookup inside it.
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let k = rng.gen_range(0..live.len());
+                    let (page, len, id) = live.swap_remove(k);
+                    let inside = addr_of(page) + rng.gen_range(0..len as u64 * TCMALLOC_PAGE_BYTES);
+                    assert_eq!(radix.span_of(inside), Some(id));
+                    assert_eq!(mask.span_of(inside), Some(id));
+                    radix.clear_range(addr_of(page), len);
+                    mask.clear_range(addr_of(page), len);
+                    for p in page..page + len as u64 {
+                        oracle.remove(&p);
+                    }
+                    // The primed hit cache must not resurrect the span.
+                    assert_eq!(radix.span_of(inside), None, "stale radix hit cache");
+                    assert_eq!(mask.span_of(inside), None, "stale masking hit cache");
+                    // Remap the same pages under a fresh id: lookups must
+                    // see the new owner, not the cached old one.
+                    if rng.gen::<bool>() {
+                        let id2 = SpanId(next_id);
+                        next_id += 1;
+                        radix.set_range(addr_of(page), len, id2);
+                        mask.set_range(addr_of(page), len, id2);
+                        for p in page..page + len as u64 {
+                            oracle.insert(p, id2);
+                        }
+                        live.push((page, len, id2));
+                        assert_eq!(radix.span_of(inside), Some(id2), "stale radix remap");
+                        assert_eq!(mask.span_of(inside), Some(id2), "stale masking remap");
+                    }
+                }
+                _ => {
+                    // Random interior-pointer lookup, all three must agree.
+                    let a = HEAP_BASE + rng.gen_range(0..WINDOW_PAGES * TCMALLOC_PAGE_BYTES);
+                    let page = (a - HEAP_BASE) / TCMALLOC_PAGE_BYTES;
+                    let want = oracle.get(&page).copied();
+                    assert_eq!(radix.span_of(a), want, "radix vs oracle at {a:#x}");
+                    assert_eq!(mask.span_of(a), want, "masking vs oracle at {a:#x}");
+                }
+            }
+        }
+        // Closing sweep: segment boundaries ± 1 byte, plus first/last byte
+        // of every live span.
+        let mut probes: Vec<u64> = Vec::new();
+        for seg in 0..=WINDOW_PAGES / PAGES_PER_SEGMENT {
+            let b = addr_of(seg * PAGES_PER_SEGMENT);
+            probes.push(b);
+            if seg > 0 {
+                probes.push(b - 1);
+            }
+        }
+        for &(page, len, _) in &live {
+            probes.push(addr_of(page));
+            probes.push(addr_of(page) + len as u64 * TCMALLOC_PAGE_BYTES - 1);
+        }
+        for a in probes {
+            let page = (a - HEAP_BASE) / TCMALLOC_PAGE_BYTES;
+            let want = oracle.get(&page).copied();
+            assert_eq!(radix.span_of(a), want, "radix vs oracle at probe {a:#x}");
+            assert_eq!(mask.span_of(a), want, "masking vs oracle at probe {a:#x}");
+        }
+        assert_eq!(radix.len(), mask.len(), "mapped-page counts diverge");
+        assert_eq!(radix.len() as u64, oracle.len() as u64);
     }
 }

@@ -13,7 +13,7 @@ use wsc_tcmalloc::central::CentralFreeList;
 use wsc_tcmalloc::config::TcmallocConfig;
 use wsc_tcmalloc::events::EventBus;
 use wsc_tcmalloc::pageheap::{PageHeap, PageHeapConfig};
-use wsc_tcmalloc::pagemap::PageMap;
+use wsc_tcmalloc::pagemap::Pagemap;
 use wsc_tcmalloc::percpu::{FreeOutcome, PerCpuCaches};
 use wsc_tcmalloc::size_class::SizeClassTable;
 use wsc_tcmalloc::span::SpanRegistry;
@@ -38,7 +38,7 @@ fn central_free_list_conserves_objects() {
         let cl = table.class_for(48).expect("48 B is a small size");
         let mut cfl = CentralFreeList::new(cl as u16, *table.info(cl), lists);
         let mut spans = SpanRegistry::new();
-        let mut pagemap = PageMap::new();
+        let mut pagemap = Pagemap::default();
         let mut pageheap = PageHeap::new(PageHeapConfig::default());
         let mut bus = bus();
         let mut live: Vec<u64> = Vec::new();

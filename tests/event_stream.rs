@@ -186,12 +186,42 @@ fn directed_workload_emits_every_event_kind() {
         );
     }
 
+    // The drain-point aggregates (PerCpuHitBatch, FastPathFlush) only exist
+    // while batched fast-path emission is engaged: a mini-run with the
+    // batcher on, churning one class and flushing at a maintenance pass.
+    let bclock = Clock::new();
+    let bcfg = TcmallocConfig::optimized()
+        .with_event_recorder()
+        .with_batched_fastpath_events(true);
+    let mut btcm = Tcmalloc::new(bcfg, platform(), bclock.clone());
+    for _ in 0..64 {
+        let a = btcm.malloc(256, CpuId(0));
+        btcm.free(a.addr, 256, CpuId(0));
+    }
+    btcm.flush_events();
+    let batch_seen: BTreeSet<&str> = btcm
+        .recorded_events()
+        .iter()
+        .map(AllocEvent::kind)
+        .collect();
+    for kind in ["PerCpuHitBatch", "FastPathFlush"] {
+        assert!(
+            batch_seen.contains(kind),
+            "batched run never emitted {kind}: saw {batch_seen:?}"
+        );
+    }
+
     let events = tcm.recorded_events();
     let seen: BTreeSet<&str> = events.iter().map(AllocEvent::kind).collect();
     let missing: Vec<&str> = AllocEvent::KINDS
         .iter()
         .copied()
-        .filter(|k| !seen.contains(k) && !fault_seen.contains(k) && !remote_seen.contains(k))
+        .filter(|k| {
+            !seen.contains(k)
+                && !fault_seen.contains(k)
+                && !remote_seen.contains(k)
+                && !batch_seen.contains(k)
+        })
         .collect();
     assert!(
         missing.is_empty(),

@@ -15,8 +15,8 @@ use std::collections::BTreeSet;
 /// [`ErrorKind`] the audit must report for it.
 type CorruptionCase = (&'static str, Box<dyn Fn(&mut Snapshot)>, ErrorKind);
 use warehouse_alloc::sanitizer::{
-    audit, expected_list, ClassTierSnapshot, ErrorKind, HugepageSnapshot, PagemapLeafSnapshot,
-    SanitizeLevel, ShadowState, Snapshot, SpanPlacement, SpanSnapshot,
+    audit, expected_list, ArenaSnapshot, ClassTierSnapshot, ErrorKind, HugepageSnapshot,
+    PagemapLeafSnapshot, SanitizeLevel, ShadowState, Snapshot, SpanPlacement, SpanSnapshot,
 };
 use warehouse_alloc::sim_hw::topology::{CpuId, Platform};
 use warehouse_alloc::sim_os::clock::Clock;
@@ -250,6 +250,18 @@ fn consistent_world() -> (Snapshot, ShadowState) {
         resident_bytes: 1000,
         live_bytes: 600,
         fragmentation_bytes: 400,
+        // One live span of capacity 256: one slot, a 256-entry region,
+        // ⌈256/64⌉ = 4 bitmap words, nothing retired.
+        arena: ArenaSnapshot {
+            slots_total: 1,
+            slots_live: 1,
+            free_pool_entries: 256,
+            bitmap_pool_words: 4,
+            reserved_entries: 256,
+            reserved_words: 4,
+            retired_entries: 0,
+            retired_words: 0,
+        },
     };
     (snap, shadow)
 }
@@ -302,6 +314,11 @@ fn audit_kind_injections_each_fire_their_kind() {
             }),
             ErrorKind::PagemapViolation,
         ),
+        (
+            "metadata arena pool drift",
+            Box::new(|s: &mut Snapshot| s.arena.free_pool_entries += 7),
+            ErrorKind::ArenaConservationViolation,
+        ),
     ];
     for (name, corrupt, expected) in cases {
         let (mut snap, shadow) = consistent_world();
@@ -339,6 +356,7 @@ fn every_error_kind_fires_at_least_once() {
         |s| s.spans[0].placement = SpanPlacement::Full,
         |s| s.pagemap_pages = 0,
         |s| s.hugepages[0].released_pages = 255,
+        |s| s.arena.slots_live = 0,
     ] {
         let (mut snap, shadow) = consistent_world();
         corrupt(&mut snap);
