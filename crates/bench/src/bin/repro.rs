@@ -5,11 +5,17 @@
 //! cargo run --release -p wsc-bench --bin repro -- fig10 table2
 //! REPRO_SCALE=full cargo run --release -p wsc-bench --bin repro -- all
 //! cargo run --release -p wsc-bench --bin repro -- --threads 8 all
+//! cargo run --release -p wsc-bench --bin repro -- --shards 4 fleet
 //! ```
 //!
 //! `--threads N` (or `WSC_THREADS=N`) shards experiment cells across N
 //! worker threads. Output is bit-identical at any thread count: only the
 //! wall clock changes.
+//!
+//! `--shards P` runs the `fleet` streaming survey across P child
+//! *processes*, each re-executing this binary over one leaf-aligned span
+//! of the fleet (`WSC_SHARD=<shard>/<shards>`) and piping its folded
+//! constant-size summary back. Output is byte-identical to `--shards 1`.
 
 use wsc_bench::experiments as ex;
 use wsc_bench::Scale;
@@ -39,41 +45,53 @@ const IDS: &[&str] = &[
     "faults",
 ];
 
-/// Strips `--threads N` / `--threads=N` from `args`, returning the
-/// requested thread count if present. Exits with usage on a malformed
-/// value — a typo silently falling back to serial would be misleading.
-fn parse_threads(args: &mut Vec<String>) -> Option<usize> {
-    let mut threads = None;
+/// Strips `--<name> N` / `--<name>=N` from `args`, returning the requested
+/// count if present. Exits with usage on a malformed value — a typo
+/// silently falling back to the default would be misleading.
+fn parse_count_flag(args: &mut Vec<String>, name: &str) -> Option<usize> {
+    let long = format!("--{name}");
+    let eq = format!("--{name}=");
+    let mut parsed = None;
     let mut i = 0;
     while i < args.len() {
-        let (consumed, value) = if args[i] == "--threads" {
+        let (consumed, value) = if args[i] == long {
             let v = args.get(i + 1).cloned();
             (2, v)
-        } else if let Some(v) = args[i].strip_prefix("--threads=") {
+        } else if let Some(v) = args[i].strip_prefix(&eq) {
             (1, Some(v.to_string()))
         } else {
             i += 1;
             continue;
         };
         match value.as_deref().map(str::parse::<usize>) {
-            Some(Ok(n)) if n >= 1 => threads = Some(n),
+            Some(Ok(n)) if n >= 1 => parsed = Some(n),
             _ => {
-                eprintln!("--threads expects a positive integer");
+                eprintln!("--{name} expects a positive integer");
                 std::process::exit(2);
             }
         }
         args.drain(i..i + consumed);
     }
-    threads
+    parsed
 }
 
 fn main() {
+    // Shard children fold their survey span and emit a framed payload;
+    // nothing else in this binary runs in that role.
+    if ex::shard_child_main() {
+        return;
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = parse_threads(&mut args);
+    let threads = parse_count_flag(&mut args, "threads");
+    let shards = parse_count_flag(&mut args, "shards").unwrap_or(1);
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--threads N] [all | {} ...]", IDS.join(" | "));
-        eprintln!("scale: set REPRO_SCALE=quick|default|full (default: default)");
+        eprintln!(
+            "usage: repro [--threads N] [--shards P] [all | fleet | {} ...]",
+            IDS.join(" | ")
+        );
+        eprintln!("scale: set REPRO_SCALE=quick|default|full|fleet (default: default)");
         eprintln!("threads: --threads N or WSC_THREADS=N (results are thread-count-invariant)");
+        eprintln!("shards: --shards P runs the fleet survey across P processes (byte-identical)");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let mut scale = Scale::from_env();
@@ -93,9 +111,14 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
+    // `fleet` is requestable by name but deliberately not part of `all`:
+    // at warehouse scale it would dominate the whole reproduction run.
     for id in &wanted {
-        if !IDS.contains(id) {
-            eprintln!("unknown experiment id: {id} (known: {})", IDS.join(", "));
+        if !IDS.contains(id) && *id != "fleet" {
+            eprintln!(
+                "unknown experiment id: {id} (known: fleet, {})",
+                IDS.join(", ")
+            );
             std::process::exit(2);
         }
     }
@@ -198,6 +221,9 @@ fn main() {
             }
             "faults" => {
                 ex::faults(&scale);
+            }
+            "fleet" => {
+                ex::fleet(&scale, shards);
             }
             _ => unreachable!("validated above"),
         }

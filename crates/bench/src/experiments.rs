@@ -4,7 +4,7 @@
 //! measured values so tests can assert the *shape* criteria from DESIGN.md:
 //! who wins, by roughly what factor, in the same ordering across workloads.
 
-use wsc_fleet::experiment::{try_run_fleet_ab, Comparison, MetricSet};
+use wsc_fleet::experiment::{try_run_fleet_ab, CellSummary, Comparison, MetricSet};
 use wsc_fleet::population::Population;
 use wsc_fleet::report::{pct, Table};
 use wsc_fleet::rollout;
@@ -1173,6 +1173,130 @@ pub fn ablations(scale: &Scale) -> Vec<(String, f64, f64)> {
               NUMA-node sharding is the §5 extension\n"
     );
     rows
+}
+
+// ---------------------------------------------------------------------------
+// Fleet survey (the streaming 10⁵-machine engine)
+// ---------------------------------------------------------------------------
+
+/// Master seed of the streaming fleet survey (shared by the parent and
+/// every shard child, so spans fold the same fleet).
+pub const SURVEY_SEED: u64 = 0xF1EE7;
+
+/// If this process is a shard child (`WSC_SHARD` set by a parent), folds
+/// this shard's leaf-aligned survey span, emits the framed summary payload
+/// on stdout, and returns `true` — the caller must then exit without doing
+/// anything else. Binaries that fan out shard processes call this first
+/// thing in `main`.
+///
+/// The child rebuilds its configuration from the environment
+/// (`REPRO_SCALE`, `WSC_THREADS`), which the parent pins explicitly when
+/// spawning, so parent and children always agree on the fold tree.
+pub fn shard_child_main() -> bool {
+    let Some(role) = wsc_parallel::proc::ShardRole::from_env() else {
+        return false;
+    };
+    let scale = Scale::from_env();
+    let cfg = scale.survey_config(SURVEY_SEED);
+    let span = wsc_parallel::process_shard_span(cfg.machines, role.shard, role.shards);
+    let summary = wsc_fleet::experiment::try_run_fleet_survey_span(
+        &scale.engine,
+        TcmallocConfig::baseline(),
+        TcmallocConfig::optimized(),
+        &cfg,
+        span,
+    )
+    .unwrap_or_else(|e| panic!("survey shard {} aborted: {e}", role.shard));
+    println!("{}", wsc_parallel::proc::encode_payload(&summary.encode()));
+    true
+}
+
+/// Computes the fleet-survey summary at `scale`, either in-process
+/// (`shards <= 1`) or by fanning out `shards` child processes that each
+/// fold one leaf-aligned span and stream their constant-size summary back
+/// over a pipe. Byte-identical either way.
+pub fn fleet_summary(scale: &Scale, shards: usize) -> CellSummary {
+    let cfg = scale.survey_config(SURVEY_SEED);
+    if shards <= 1 {
+        return wsc_fleet::experiment::try_run_fleet_survey(
+            &scale.engine,
+            TcmallocConfig::baseline(),
+            TcmallocConfig::optimized(),
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("fleet survey aborted: {e}"))
+        .summary;
+    }
+    let exe = std::env::current_exe().expect("own executable path");
+    let extra_env = vec![
+        ("REPRO_SCALE".to_string(), scale.name.to_string()),
+        (
+            "WSC_THREADS".to_string(),
+            scale.engine.threads().to_string(),
+        ),
+    ];
+    let payloads =
+        wsc_parallel::proc::run_shard_processes(&exe, &["fleet".to_string()], &extra_env, shards)
+            .unwrap_or_else(|e| panic!("fleet survey shards aborted: {e}"));
+    let mut acc = CellSummary::new();
+    for (i, p) in payloads.iter().enumerate() {
+        let part =
+            CellSummary::decode(p).unwrap_or_else(|e| panic!("shard {i} payload malformed: {e}"));
+        acc.merge(&part);
+    }
+    acc
+}
+
+/// The streaming fleet survey: 50%-wave rollout of the optimized allocator
+/// across the surveyed fleet, folded online into a constant-size summary.
+/// Prints a per-metric table (not-yet-enrolled control vs enrolled
+/// experiment machines) and returns the fleet comparison plus the summary.
+///
+/// Everything printed derives from the folded summary alone, so stdout is
+/// byte-identical whether the fold ran serially, threaded, or sharded
+/// across processes.
+pub fn fleet(scale: &Scale, shards: usize) -> (Comparison, CellSummary) {
+    let cfg = scale.survey_config(SURVEY_SEED);
+    println!(
+        "== Fleet survey: {} machines, {} binaries, rollout 50% wave ==",
+        cfg.machines, cfg.population
+    );
+    let summary = fleet_summary(scale, shards);
+    let fleet = summary.fleet();
+    let mut t = Table::new(vec!["metric", "control", "experiment", "delta %"]);
+    t.row(vec![
+        "throughput (req/cpu-s)".into(),
+        f2(fleet.control.throughput),
+        f2(fleet.experiment.throughput),
+        pct(fleet.throughput_pct()),
+    ]);
+    t.row(vec![
+        "resident bytes".into(),
+        f2(fleet.control.memory_bytes),
+        f2(fleet.experiment.memory_bytes),
+        pct(fleet.memory_pct()),
+    ]);
+    t.row(vec![
+        "cpi".into(),
+        f3(fleet.control.cpi),
+        f3(fleet.experiment.cpi),
+        pct(fleet.cpi_pct()),
+    ]);
+    t.row(vec![
+        "fragmentation ratio".into(),
+        f3(fleet.control.frag_ratio),
+        f3(fleet.experiment.frag_ratio),
+        pct(fleet.frag_pct()),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "machines {} (control {}, experiment {}) | resident samples {}\n",
+        summary.cells,
+        summary.control.metrics[0].count(),
+        summary.experiment.metrics[0].count(),
+        summary.resident.samples()
+    );
+    (fleet, summary)
 }
 
 #[cfg(test)]

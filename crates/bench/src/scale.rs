@@ -1,10 +1,11 @@
 //! Experiment scale selection.
 //!
-//! `REPRO_SCALE=quick|default|full` controls how many requests, seeds, and
-//! machines every experiment uses. `quick` is for CI smoke tests; `full` is
-//! what EXPERIMENTS.md quotes.
+//! `REPRO_SCALE=quick|default|full|fleet` controls how many requests,
+//! seeds, and machines every experiment uses. `quick` is for CI smoke
+//! tests; `full` is what EXPERIMENTS.md quotes; `fleet` is the 10⁵-machine
+//! streaming survey tier behind `BENCH_fleet.json`.
 
-use wsc_fleet::experiment::FleetExperimentConfig;
+use wsc_fleet::experiment::{FleetExperimentConfig, FleetSurveyConfig};
 use wsc_parallel::Engine;
 
 /// Experiment sizing knobs.
@@ -20,6 +21,13 @@ pub struct Scale {
     pub fleet_machines: usize,
     /// Requests per binary in fleet experiments.
     pub fleet_requests: u64,
+    /// Machines in the streaming fleet survey.
+    pub survey_machines: usize,
+    /// Requests simulated per survey machine (short probes — the survey
+    /// gets statistical power from machine count, not run length).
+    pub survey_requests: u64,
+    /// Binary population behind the survey.
+    pub survey_population: usize,
     /// Execution engine experiments submit work through. Thread count
     /// never changes results (canonical-order merge), only wall-clock.
     pub engine: Engine,
@@ -32,6 +40,7 @@ impl Scale {
         match std::env::var("REPRO_SCALE").as_deref() {
             Ok("quick") => Self::quick(),
             Ok("full") => Self::full(),
+            Ok("fleet") => Self::fleet(),
             _ => Self::default_scale(),
         }
     }
@@ -44,6 +53,9 @@ impl Scale {
             seeds: vec![42],
             fleet_machines: 3,
             fleet_requests: 6_000,
+            survey_machines: 600,
+            survey_requests: 64,
+            survey_population: 300,
             engine: Engine::from_env(),
         }
     }
@@ -56,6 +68,9 @@ impl Scale {
             seeds: vec![41, 42, 43],
             fleet_machines: 10,
             fleet_requests: 15_000,
+            survey_machines: 20_000,
+            survey_requests: 48,
+            survey_population: 2_000,
             engine: Engine::from_env(),
         }
     }
@@ -68,7 +83,22 @@ impl Scale {
             seeds: vec![41, 42, 43, 44],
             fleet_machines: 16,
             fleet_requests: 25_000,
+            survey_machines: 40_000,
+            survey_requests: 40,
+            survey_population: 4_000,
             engine: Engine::from_env(),
+        }
+    }
+
+    /// The warehouse tier: a 10⁵-machine streaming survey. Only the survey
+    /// knobs grow — the paired A/B experiments stay at the everyday scale.
+    pub fn fleet() -> Self {
+        Self {
+            name: "fleet",
+            survey_machines: 100_000,
+            survey_requests: 32,
+            survey_population: 10_000,
+            ..Self::default_scale()
         }
     }
 
@@ -87,6 +117,20 @@ impl Scale {
             seed,
             platform_mix: wsc_fleet::experiment::default_platform_mix(),
             population: 2_000,
+        }
+    }
+
+    /// Streaming fleet-survey configuration at this scale. The rollout
+    /// stage is pinned to the 50% wave so both arms carry real weight.
+    pub fn survey_config(&self, seed: u64) -> FleetSurveyConfig {
+        FleetSurveyConfig {
+            machines: self.survey_machines,
+            requests_per_machine: self.survey_requests,
+            seed,
+            platform_mix: wsc_fleet::experiment::default_platform_mix(),
+            population: self.survey_population,
+            diurnal_period_ns: 1_000_000,
+            rollout_stage: 2,
         }
     }
 }
@@ -109,5 +153,16 @@ mod tests {
         let c = s.fleet_config(1);
         assert_eq!(c.machines, s.fleet_machines);
         assert_eq!(c.requests_per_binary, s.fleet_requests);
+    }
+
+    #[test]
+    fn fleet_tier_surveys_warehouse_scale() {
+        let s = Scale::fleet();
+        assert_eq!(s.survey_machines, 100_000);
+        let c = s.survey_config(7);
+        assert_eq!(c.machines, 100_000);
+        assert_eq!(c.requests_per_machine, s.survey_requests);
+        // The paired A/B experiments stay at the everyday scale.
+        assert_eq!(s.fleet_machines, Scale::default_scale().fleet_machines);
     }
 }

@@ -1,0 +1,39 @@
+//! End-to-end test of the process-shard protocol: `repro fleet --shards 2`
+//! re-executes the repro binary per shard (`WSC_SHARD=<s>/<P>`), pipes
+//! each shard's folded summary back, and must print stdout byte-identical
+//! to the in-process run.
+
+use std::process::Command;
+
+fn run_repro(extra: &[&str]) -> String {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let out = Command::new(exe)
+        .env("REPRO_SCALE", "quick")
+        .env("WSC_THREADS", "2")
+        .env_remove("WSC_SHARD")
+        .arg("fleet")
+        .args(extra)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro {extra:?} failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn fleet_shards_match_serial_stdout() {
+    let serial = run_repro(&[]);
+    assert!(
+        serial.contains("Fleet survey"),
+        "survey table missing:\n{serial}"
+    );
+    let sharded = run_repro(&["--shards", "2"]);
+    assert_eq!(
+        serial, sharded,
+        "2-shard fleet survey must print byte-identical output"
+    );
+}

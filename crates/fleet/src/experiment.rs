@@ -10,16 +10,31 @@
 //! *paired*: each experiment machine has a control twin with the same
 //! platform, binaries, cpusets, and seeds, so the measured delta isolates
 //! the allocator change. (Production pairs statistically by sheer volume.)
+//!
+//! # Streaming aggregation
+//!
+//! The experiment engine never materializes per-machine results. Each cell
+//! folds its pair of run reports into a constant-size [`CellSummary`]
+//! (integer [`MetricSummary`] accumulators per metric per arm plus a
+//! fixed-bucket resident-bytes series), and summaries merge exactly —
+//! associatively *and* commutatively — so any thread or process partition
+//! of the fleet produces bit-identical bytes. Memory is
+//! O(metrics × buckets), independent of machine count: 10⁵ machines cost
+//! the same resident footprint as 10².
 
-use crate::population::Population;
-use wsc_parallel::{Engine, Task, TaskError};
-use wsc_prng::SmallRng;
+use crate::population::{CycleSampler, Population};
+use crate::rollout::RolloutSchedule;
+use wsc_parallel::{Engine, FoldSpan, Task, TaskError};
+use wsc_prng::{derive_seed, SmallRng};
 
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_tcmalloc::TcmallocConfig;
-use wsc_telemetry::timeseries::TimeSeries;
+use wsc_telemetry::summary::{quantize_weight, BucketSeries, MetricSummary};
 use wsc_workload::driver::{self, DriverConfig, RunReport};
 use wsc_workload::WorkloadSpec;
+
+/// Number of scalar metrics in a [`MetricSet`] (the summary array width).
+pub const METRIC_COUNT: usize = 9;
 
 /// The metrics an experiment compares, one value per arm.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -60,16 +75,206 @@ impl MetricSet {
         }
     }
 
-    fn weighted_add(&mut self, other: &MetricSet, w: f64) {
-        self.throughput += other.throughput * w;
-        self.memory_bytes += other.memory_bytes * w;
-        self.cpi += other.cpi * w;
-        self.llc_mpki += other.llc_mpki * w;
-        self.dtlb_walk_pct += other.dtlb_walk_pct * w;
-        self.dtlb_miss_rate += other.dtlb_miss_rate * w;
-        self.hugepage_coverage += other.hugepage_coverage * w;
-        self.malloc_frac += other.malloc_frac * w;
-        self.frag_ratio += other.frag_ratio * w;
+    /// The metrics as a fixed array, in declaration order (the layout the
+    /// per-arm summary accumulators index by).
+    pub fn to_array(&self) -> [f64; METRIC_COUNT] {
+        [
+            self.throughput,
+            self.memory_bytes,
+            self.cpi,
+            self.llc_mpki,
+            self.dtlb_walk_pct,
+            self.dtlb_miss_rate,
+            self.hugepage_coverage,
+            self.malloc_frac,
+            self.frag_ratio,
+        ]
+    }
+
+    /// Rebuilds a metric set from [`to_array`](Self::to_array) order.
+    pub fn from_array(a: [f64; METRIC_COUNT]) -> Self {
+        Self {
+            throughput: a[0],
+            memory_bytes: a[1],
+            cpi: a[2],
+            llc_mpki: a[3],
+            dtlb_walk_pct: a[4],
+            dtlb_miss_rate: a[5],
+            hugepage_coverage: a[6],
+            malloc_frac: a[7],
+            frag_ratio: a[8],
+        }
+    }
+}
+
+/// One arm's streaming accumulators: a [`MetricSummary`] per metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArmSummary {
+    /// Accumulators, indexed by [`MetricSet::to_array`] position.
+    pub metrics: [MetricSummary; METRIC_COUNT],
+}
+
+impl ArmSummary {
+    /// An empty arm.
+    pub fn new() -> Self {
+        Self {
+            metrics: std::array::from_fn(|_| MetricSummary::new()),
+        }
+    }
+
+    /// Folds one cell's metric set in with fixed-point weight `weight_q`.
+    pub fn record(&mut self, set: &MetricSet, weight_q: u64) {
+        for (acc, v) in self.metrics.iter_mut().zip(set.to_array()) {
+            acc.record(v, weight_q);
+        }
+    }
+
+    /// Exact merge (bit-identical for any fold order).
+    pub fn merge(&mut self, other: &ArmSummary) {
+        for (acc, o) in self.metrics.iter_mut().zip(&other.metrics) {
+            acc.merge(o);
+        }
+    }
+
+    /// The cycle-weighted fleet means as a [`MetricSet`].
+    pub fn weighted_means(&self) -> MetricSet {
+        MetricSet::from_array(std::array::from_fn(|i| {
+            self.metrics[i].weighted_mean().unwrap_or(0.0)
+        }))
+    }
+}
+
+impl Default for ArmSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The constant-size folded state of a fleet experiment: both arms'
+/// metric accumulators plus a fixed-bucket resident-bytes series.
+///
+/// This is the unit the streaming engine folds per cell, merges across
+/// threads in canonical leaf order, and streams between shard processes —
+/// its byte encoding ([`encode`](Self::encode)) is the determinism
+/// contract's observable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSummary {
+    /// Cells folded in so far.
+    pub cells: u64,
+    /// Control-arm accumulators.
+    pub control: ArmSummary,
+    /// Experiment-arm accumulators.
+    pub experiment: ArmSummary,
+    /// Control-arm resident-bytes samples, bucketed on normalized run time
+    /// (the longitudinal fleet memory trace, at fixed size).
+    pub resident: BucketSeries,
+}
+
+impl CellSummary {
+    /// An empty summary (the fold identity).
+    pub fn new() -> Self {
+        Self {
+            cells: 0,
+            control: ArmSummary::new(),
+            experiment: ArmSummary::new(),
+            resident: BucketSeries::new(),
+        }
+    }
+
+    /// Folds one paired cell: control and experiment reports sharing the
+    /// same seed and cpuset, weighted by the binary's cycle share.
+    pub fn fold_pair(&mut self, control: &RunReport, experiment: &RunReport, weight_q: u64) {
+        self.cells += 1;
+        self.control
+            .record(&MetricSet::from_report(control), weight_q);
+        self.experiment
+            .record(&MetricSet::from_report(experiment), weight_q);
+        self.resident.record(&control.resident_ts);
+    }
+
+    /// Folds one single-arm cell (the survey path, where rollout waves —
+    /// not pairing — decide which arm a machine runs).
+    pub fn fold_arm(&mut self, experiment_arm: bool, report: &RunReport, weight_q: u64) {
+        self.cells += 1;
+        let set = MetricSet::from_report(report);
+        if experiment_arm {
+            self.experiment.record(&set, weight_q);
+        } else {
+            self.control.record(&set, weight_q);
+        }
+        self.resident.record(&report.resident_ts);
+    }
+
+    /// Exact merge: associative and commutative, so any thread or shard
+    /// partition folds to identical bytes.
+    pub fn merge(&mut self, other: &CellSummary) {
+        self.cells += other.cells;
+        self.control.merge(&other.control);
+        self.experiment.merge(&other.experiment);
+        self.resident.merge(&other.resident);
+    }
+
+    /// The cycle-weighted fleet comparison.
+    pub fn fleet(&self) -> Comparison {
+        Comparison {
+            control: self.control.weighted_means(),
+            experiment: self.experiment.weighted_means(),
+        }
+    }
+
+    /// Serializes to the canonical little-endian byte layout (the shard
+    /// wire format and the determinism observable).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.cells.to_le_bytes());
+        for arm in [&self.control, &self.experiment] {
+            for m in &arm.metrics {
+                m.encode_into(&mut out);
+            }
+        }
+        self.resident.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes [`encode`](Self::encode) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the bytes are truncated, malformed, or
+    /// carry trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut cur = bytes;
+        if cur.len() < 8 {
+            return Err("cell summary truncated before cell count".to_string());
+        }
+        let (head, rest) = cur.split_at(8);
+        let cells = u64::from_le_bytes(head.try_into().expect("split_at(8)"));
+        cur = rest;
+        let mut arm = || -> Result<ArmSummary, String> {
+            let mut out = ArmSummary::new();
+            for m in &mut out.metrics {
+                *m = MetricSummary::decode_from(&mut cur)?;
+            }
+            Ok(out)
+        };
+        let control = arm()?;
+        let experiment = arm()?;
+        let resident = BucketSeries::decode_from(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(format!("{} trailing bytes after cell summary", cur.len()));
+        }
+        Ok(Self {
+            cells,
+            control,
+            experiment,
+            resident,
+        })
+    }
+}
+
+impl Default for CellSummary {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -197,18 +402,16 @@ fn cpusets(platform: &Platform, k: usize) -> Vec<Vec<CpuId>> {
 pub struct FleetAbResult {
     /// Cycle-weighted fleet aggregate.
     pub fleet: Comparison,
-    /// Per-machine comparisons (for dispersion checks).
-    pub machines: Vec<Comparison>,
-    /// Control-arm resident-memory samples from every cell, merged in
-    /// canonical task order (longitudinal fleet memory trace).
-    pub resident_ts: TimeSeries,
+    /// The streamed constant-size fold state (dispersion via quantiles,
+    /// longitudinal resident trace via `summary.resident`).
+    pub summary: CellSummary,
 }
 
 /// One pre-sampled fleet cell: a (machine, binary) slot with its platform,
-/// cpuset, workload, and cycle weight fixed before any cell executes.
+/// cpuset, workload, and fixed-point cycle weight fixed before any cell
+/// executes.
 struct Cell {
-    machine: usize,
-    weight: f64,
+    weight_q: u64,
     platform: Platform,
     cpuset: Vec<CpuId>,
     spec: WorkloadSpec,
@@ -235,15 +438,20 @@ pub fn run_fleet_ab(
     }
 }
 
-/// Runs a paired fleet A/B experiment on `engine`, sharding cells across
+/// Runs a paired fleet A/B experiment on `engine`, streaming cells through
 /// its worker threads.
 ///
 /// Determinism contract: every cell (machine × binary slot) is sampled
-/// serially up front — platform, cpuset, workload, and a
-/// [`wsc_prng::derive_seed`]-derived child seed — before any cell runs, so
-/// the sampled fleet and every per-cell simulation are functions of
-/// `cfg.seed` alone. Results are merged in canonical cell-index order, so
-/// the returned [`FleetAbResult`] is bit-identical for any thread count.
+/// serially up front — platform, cpuset, workload, and cycle weight —
+/// from the same RNG stream the historical serial loop used, and each cell
+/// simulates under a [`wsc_prng::derive_seed`]-derived child seed, so the
+/// sampled fleet and every per-cell run are functions of `cfg.seed` alone.
+/// Cells fold into exact-integer [`CellSummary`] accumulators merged in
+/// canonical leaf order, so the returned [`FleetAbResult`] is bit-identical
+/// for any thread count. Note the old two-level weighting (normalize per
+/// machine, then weight machines) collapses algebraically to the flat
+/// cycle-weighted mean the fold computes: Σ_m w_m·(Σ_b w·v / w_m) / Σ w
+/// = Σ w·v / Σ w.
 ///
 /// # Errors
 ///
@@ -268,8 +476,7 @@ pub fn try_run_fleet_ab(
             let spec = bin.spec();
             let label = format!("machine {m} binary {b} ({})", spec.name);
             let cell = Cell {
-                machine: m,
-                weight: bin.cycle_weight,
+                weight_q: quantize_weight(bin.cycle_weight),
                 platform: platform.clone(),
                 cpuset,
                 spec,
@@ -277,68 +484,188 @@ pub fn try_run_fleet_ab(
             cells.push((label, cell));
         }
     }
-    let tasks = Task::seeded(cfg.seed, cells);
-    // Phase 2 (parallel): each cell runs its paired control/experiment
-    // simulation on an independent allocator + sim-os instance.
-    let results = engine.run(&tasks, |task, _| {
-        let c = &task.payload;
-        let dcfg = DriverConfig::new(cfg.requests_per_binary, task.seed, &c.platform)
-            .with_cpuset(c.cpuset.clone());
-        let (rc, _) = driver::run(&c.spec, &c.platform, control, &dcfg);
-        let (re, _) = driver::run(&c.spec, &c.platform, experiment, &dcfg);
-        let resident = rc.resident_ts.clone();
-        (
-            MetricSet::from_report(&rc),
-            MetricSet::from_report(&re),
-            resident,
-        )
-    })?;
-    // Phase 3 (serial): merge in canonical cell order — first cycle-weight
-    // normalize within each machine, then cycle-weight the machines into
-    // the fleet aggregate.
-    let mut machines = Vec::new();
-    let mut fleet = Comparison::default();
-    let mut weight_total = 0.0;
-    let mut resident_ts = TimeSeries::new("fleet resident (control)");
-    let mut idx = 0;
-    for m in 0..cfg.machines {
-        let mut mc = Comparison::default();
-        let mut mw = 0.0;
-        while idx < tasks.len() && tasks[idx].payload.machine == m {
-            let (ref rc, ref re, ref resident) = results[idx];
-            let w = tasks[idx].payload.weight;
-            mc.control.weighted_add(rc, w);
-            mc.experiment.weighted_add(re, w);
-            mw += w;
-            resident_ts.merge(resident);
-            idx += 1;
-        }
-        if mw > 0.0 {
-            let inv = 1.0 / mw;
-            let mut scaled = Comparison::default();
-            scaled.control.weighted_add(&mc.control, inv);
-            scaled.experiment.weighted_add(&mc.experiment, inv);
-            fleet.control.weighted_add(&scaled.control, mw);
-            fleet.experiment.weighted_add(&scaled.experiment, mw);
-            weight_total += mw;
-            machines.push(scaled);
-        }
-    }
-    if weight_total > 0.0 {
-        let mut scaled = Comparison::default();
-        scaled
-            .control
-            .weighted_add(&fleet.control, 1.0 / weight_total);
-        scaled
-            .experiment
-            .weighted_add(&fleet.experiment, 1.0 / weight_total);
-        fleet = scaled;
-    }
+    // Phase 2 (streamed): each cell runs its paired control/experiment
+    // simulation on an independent allocator + sim-os instance and folds
+    // into the worker's local summary; leaf summaries merge in canonical
+    // order.
+    let summary = engine.fold_seeded(
+        cfg.seed,
+        FoldSpan::all(cells.len()),
+        CellSummary::new,
+        |acc, i, seed| {
+            let c = &cells[i].1;
+            let dcfg = DriverConfig::new(cfg.requests_per_binary, seed, &c.platform)
+                .with_cpuset(c.cpuset.clone());
+            let (rc, _) = driver::run(&c.spec, &c.platform, control, &dcfg);
+            let (re, _) = driver::run(&c.spec, &c.platform, experiment, &dcfg);
+            acc.fold_pair(&rc, &re, c.weight_q);
+        },
+        |acc, other| acc.merge(&other),
+        |i| cells[i].0.clone(),
+    )?;
     Ok(FleetAbResult {
-        fleet,
-        machines,
-        resident_ts,
+        fleet: summary.fleet(),
+        summary,
     })
+}
+
+/// Fleet-survey parameters: the 10⁵-machine single-arm-per-machine scan.
+///
+/// Unlike the paired A/B, a survey runs *one* simulation per machine; the
+/// staged rollout wave ([`RolloutSchedule::staged`]) decides which arm each
+/// machine is enrolled in, the way production actually deploys changes.
+#[derive(Clone, Debug)]
+pub struct FleetSurveyConfig {
+    /// Machines to survey.
+    pub machines: usize,
+    /// Requests simulated on each machine.
+    pub requests_per_machine: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Weighted platform mix (heterogeneous fleet, §4.2).
+    pub platform_mix: Vec<(f64, Platform)>,
+    /// Binary population size.
+    pub population: usize,
+    /// Diurnal load period (machines get timezone-spread phase offsets).
+    pub diurnal_period_ns: u64,
+    /// Rollout wave that has landed (index into the staged schedule;
+    /// 2 = the 50% wave, giving balanced arms).
+    pub rollout_stage: usize,
+}
+
+impl FleetSurveyConfig {
+    /// A quick configuration for tests and CI.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            machines: 600,
+            requests_per_machine: 64,
+            seed,
+            platform_mix: default_platform_mix(),
+            population: 300,
+            diurnal_period_ns: 1_000_000,
+            rollout_stage: 2,
+        }
+    }
+}
+
+/// Result of a fleet survey.
+#[derive(Clone, Debug)]
+pub struct FleetSurveyResult {
+    /// Cycle-weighted comparison of enrolled vs not-yet-enrolled machines.
+    pub fleet: Comparison,
+    /// The streamed constant-size fold state.
+    pub summary: CellSummary,
+}
+
+/// One survey machine, generated as a pure function of (seed, index).
+struct SurveyCell {
+    weight_q: u64,
+    platform: Platform,
+    cpuset: Vec<CpuId>,
+    spec: WorkloadSpec,
+}
+
+/// Generates machine `m`'s survey cell from its own derived RNG — no
+/// serial sampling pass, no materialized cell list. This is what makes the
+/// survey's memory constant in machine count: shard `s` of `P` can
+/// generate exactly its own machines.
+fn survey_cell(
+    cfg: &FleetSurveyConfig,
+    pop: &Population,
+    sampler: &CycleSampler,
+    m: usize,
+) -> SurveyCell {
+    let mut rng = SmallRng::seed_from_u64(derive_seed(cfg.seed ^ 0xf1ee7, m as u64));
+    let platform = sample_platform(&cfg.platform_mix, &mut rng);
+    let bin = &pop.binaries()[sampler.sample(&mut rng)];
+    let mut spec = bin.spec();
+    // Diurnal load: one shared period, per-machine phase (timezone spread),
+    // and enough amplitude that the curve is visible in short runs.
+    spec.threads.period_ns = cfg.diurnal_period_ns;
+    spec.threads.phase_ns = rng.gen_range(0..cfg.diurnal_period_ns.max(1));
+    spec.threads.amplitude = spec.threads.amplitude.max(0.35);
+    let cpuset = cpusets(&platform, 1)
+        .into_iter()
+        .next()
+        .expect("one cpuset requested");
+    SurveyCell {
+        weight_q: quantize_weight(bin.cycle_weight),
+        platform,
+        cpuset,
+        spec,
+    }
+}
+
+/// Runs the full fleet survey on `engine`. Equivalent to
+/// [`try_run_fleet_survey_span`] over the whole machine range.
+///
+/// # Errors
+///
+/// Returns the [`TaskError`] naming the lowest-index failing machine if
+/// any machine's simulation panics.
+pub fn try_run_fleet_survey(
+    engine: &Engine,
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    cfg: &FleetSurveyConfig,
+) -> Result<FleetSurveyResult, TaskError> {
+    let summary = try_run_fleet_survey_span(
+        engine,
+        control,
+        experiment,
+        cfg,
+        FoldSpan::all(cfg.machines),
+    )?;
+    Ok(FleetSurveyResult {
+        fleet: summary.fleet(),
+        summary,
+    })
+}
+
+/// Runs the survey over `span` (a leaf-aligned machine sub-range) — the
+/// shard-process entry point. Merging the returned summaries in shard
+/// order reproduces the single-process fold byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if `span.total` disagrees with `cfg.machines` (the fold tree is
+/// a function of the total, so a mismatched span would silently misalign
+/// shard boundaries).
+///
+/// # Errors
+///
+/// Returns the [`TaskError`] naming the lowest-index failing machine if
+/// any machine's simulation panics.
+pub fn try_run_fleet_survey_span(
+    engine: &Engine,
+    control: TcmallocConfig,
+    experiment: TcmallocConfig,
+    cfg: &FleetSurveyConfig,
+    span: FoldSpan,
+) -> Result<CellSummary, TaskError> {
+    assert_eq!(
+        span.total, cfg.machines,
+        "survey span must cover the configured fleet"
+    );
+    let pop = Population::new(cfg.population, cfg.seed);
+    let sampler = pop.cycle_sampler();
+    let schedule = RolloutSchedule::staged(cfg.seed ^ 0x5706e);
+    engine.fold_seeded(
+        cfg.seed,
+        span,
+        CellSummary::new,
+        |acc, m, seed| {
+            let cell = survey_cell(cfg, &pop, &sampler, m);
+            let dcfg = DriverConfig::new(cfg.requests_per_machine, seed, &cell.platform)
+                .with_cpuset(cell.cpuset.clone());
+            let enrolled = schedule.enrolled(cfg.rollout_stage, m as u64);
+            let arm = if enrolled { experiment } else { control };
+            let (r, _) = driver::run(&cell.spec, &cell.platform, arm, &dcfg);
+            acc.fold_arm(enrolled, &r, cell.weight_q);
+        },
+        |acc, other| acc.merge(&other),
+        |m| format!("survey machine {m}"),
+    )
 }
 
 /// Runs a paired A/B comparison of one named workload on a dedicated
@@ -432,7 +759,8 @@ mod tests {
         let r = run_fleet_ab(TcmallocConfig::baseline(), TcmallocConfig::baseline(), &cfg);
         assert!(r.fleet.throughput_pct().abs() < 1e-9);
         assert!(r.fleet.memory_pct().abs() < 1e-9);
-        assert_eq!(r.machines.len(), 2);
+        assert_eq!(r.summary.cells, 2, "one cell per machine × binary slot");
+        assert_eq!(r.summary.control, r.summary.experiment);
     }
 
     #[test]
@@ -488,10 +816,73 @@ mod tests {
             format!("{threaded:?}"),
             "merged fleet result must be bit-identical for any thread count"
         );
+        assert_eq!(serial.summary.encode(), threaded.summary.encode());
         assert!(
-            !serial.resident_ts.is_empty(),
-            "telemetry merged from cells"
+            serial.summary.resident.samples() > 0,
+            "telemetry folded from cells"
         );
+    }
+
+    #[test]
+    fn cell_summary_codec_roundtrips() {
+        let cfg = FleetExperimentConfig {
+            machines: 2,
+            binaries_per_machine: 2,
+            requests_per_binary: 500,
+            seed: 11,
+            platform_mix: default_platform_mix(),
+            population: 25,
+        };
+        let r = run_fleet_ab(
+            TcmallocConfig::baseline(),
+            TcmallocConfig::optimized(),
+            &cfg,
+        );
+        let bytes = r.summary.encode();
+        let back = CellSummary::decode(&bytes).unwrap();
+        assert_eq!(back, r.summary);
+        assert_eq!(back.encode(), bytes);
+        assert!(CellSummary::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(CellSummary::decode(&extra).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn survey_spans_compose_to_the_full_fold() {
+        let cfg = FleetSurveyConfig {
+            machines: 40,
+            requests_per_machine: 24,
+            seed: 13,
+            platform_mix: default_platform_mix(),
+            population: 30,
+            diurnal_period_ns: 500_000,
+            rollout_stage: 2,
+        };
+        let engine = Engine::new(2);
+        let control = TcmallocConfig::baseline();
+        let experiment = TcmallocConfig::optimized();
+        let whole = try_run_fleet_survey(&engine, control, experiment, &cfg).unwrap();
+        for shards in [2usize, 3] {
+            let mut merged = CellSummary::new();
+            for s in 0..shards {
+                let span = wsc_parallel::process_shard_span(cfg.machines, s, shards);
+                let part =
+                    try_run_fleet_survey_span(&engine, control, experiment, &cfg, span).unwrap();
+                merged.merge(&part);
+            }
+            assert_eq!(
+                merged.encode(),
+                whole.summary.encode(),
+                "{shards}-shard survey must be byte-identical to the whole fold"
+            );
+        }
+        assert_eq!(whole.summary.cells, 40);
+        // The 50% wave puts a meaningful share of machines in each arm.
+        let ctrl = whole.summary.control.metrics[0].count();
+        let exp = whole.summary.experiment.metrics[0].count();
+        assert_eq!(ctrl + exp, 40);
+        assert!(ctrl >= 8 && exp >= 8, "arms balanced-ish: {ctrl}/{exp}");
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! * [`population`] — the Zipf-weighted binary population (Figure 3),
 //! * [`gwp`] — fleet-wide continuous profiling waves (§2.2 methodology),
 //! * [`experiment`] — paired fleet-wide and per-workload A/B runs yielding
-//!   the deltas of Figures 10/14 and Tables 1/2,
-//! * [`rollout`] — the §4.5 multiplicative composition of the four designs,
+//!   the deltas of Figures 10/14 and Tables 1/2, plus the streaming
+//!   10⁵-machine survey (constant-size [`experiment::CellSummary`] folds),
+//! * [`rollout`] — the §4.5 multiplicative composition of the four designs
+//!   and the staged canary→100% wave schedule,
 //! * [`report`] — fixed-width table output used by the `repro` harness.
 //!
 //! # Example
@@ -37,5 +39,8 @@ pub mod population;
 pub mod report;
 pub mod rollout;
 
-pub use experiment::{Comparison, FleetExperimentConfig, MetricSet};
+pub use experiment::{
+    CellSummary, Comparison, FleetExperimentConfig, FleetSurveyConfig, MetricSet,
+};
 pub use population::Population;
+pub use rollout::RolloutSchedule;

@@ -4,8 +4,15 @@
 //! two-year period", so the paper estimates their aggregate impact by
 //! combining each design's relative improvement. [`combine`] implements
 //! that composition: relative deltas compose multiplicatively.
+//!
+//! [`RolloutSchedule`] models the *mechanics* of that gradual rollout: a
+//! staged wave plan (canary → 1% → 10% → 50% → 100%) where each machine's
+//! enrollment wave is a deterministic hash of its identity, so wave
+//! membership is monotone — a machine enrolled at 10% stays enrolled at
+//! 50% and 100%.
 
 use crate::experiment::Comparison;
+use wsc_prng::derive_seed;
 
 /// The aggregate effect of a sequence of independently-measured changes.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -33,6 +40,82 @@ pub fn combine<'a, I: IntoIterator<Item = &'a Comparison>>(deltas: I) -> Rollout
         throughput_pct: (throughput - 1.0) * 100.0,
         memory_pct: (memory - 1.0) * 100.0,
         cpi_pct: (cpi - 1.0) * 100.0,
+    }
+}
+
+/// One wave of a staged rollout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RolloutStage {
+    /// Human label ("canary", "10%", ...).
+    pub name: &'static str,
+    /// Fraction of the fleet enrolled once this wave lands, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// A staged rollout plan: monotone fleet fractions, deterministic
+/// per-machine enrollment.
+///
+/// Enrollment draws a unit-interval value from a hash of
+/// `(schedule seed, machine id)`; a machine is enrolled in wave `w` iff
+/// its draw falls below `stages[w].fraction`. Because the draw is fixed
+/// per machine and fractions are non-decreasing, enrollment never churns:
+/// later waves strictly grow the enrolled set.
+#[derive(Clone, Debug)]
+pub struct RolloutSchedule {
+    /// The wave plan, fractions non-decreasing.
+    stages: Vec<RolloutStage>,
+    /// Seed namespacing the per-machine enrollment hash.
+    seed: u64,
+}
+
+impl RolloutSchedule {
+    /// The paper's gradual-rollout shape: canary 1% → 10% → 50% → 100%.
+    pub fn staged(seed: u64) -> Self {
+        Self {
+            stages: vec![
+                RolloutStage {
+                    name: "canary",
+                    fraction: 0.01,
+                },
+                RolloutStage {
+                    name: "10%",
+                    fraction: 0.10,
+                },
+                RolloutStage {
+                    name: "50%",
+                    fraction: 0.50,
+                },
+                RolloutStage {
+                    name: "100%",
+                    fraction: 1.0,
+                },
+            ],
+            seed,
+        }
+    }
+
+    /// The wave plan.
+    pub fn stages(&self) -> &[RolloutStage] {
+        &self.stages
+    }
+
+    /// The machine's fixed unit-interval enrollment draw.
+    fn draw(&self, machine: u64) -> f64 {
+        // 53 mantissa bits of the derived seed → uniform in [0, 1).
+        (derive_seed(self.seed, machine) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Is `machine` enrolled once wave `stage` has landed?
+    pub fn enrolled(&self, stage: usize, machine: u64) -> bool {
+        let fraction = self.stages.get(stage).map_or(1.0, |s| s.fraction);
+        self.draw(machine) < fraction
+    }
+
+    /// The first wave that enrolls `machine`, or `None` if no wave does
+    /// (impossible when the final wave is 100%).
+    pub fn wave_of(&self, machine: u64) -> Option<usize> {
+        let d = self.draw(machine);
+        self.stages.iter().position(|s| d < s.fraction)
     }
 }
 
@@ -89,5 +172,48 @@ mod tests {
         let e = combine(deltas.iter());
         assert!((e.throughput_pct - 1.34).abs() < 0.05, "{e:?}");
         assert!((e.memory_pct + 4.03).abs() < 0.1, "{e:?}");
+    }
+
+    #[test]
+    fn staged_waves_enroll_monotone_fractions() {
+        let sched = RolloutSchedule::staged(7);
+        let machines = 20_000u64;
+        let mut prev = 0usize;
+        for (w, stage) in sched.stages().iter().enumerate() {
+            let enrolled = (0..machines).filter(|&m| sched.enrolled(w, m)).count();
+            assert!(enrolled >= prev, "wave {w} shrank the enrolled set");
+            let frac = enrolled as f64 / machines as f64;
+            assert!(
+                (frac - stage.fraction).abs() < 0.01,
+                "wave {w} ({}) enrolled {frac}, want {}",
+                stage.name,
+                stage.fraction
+            );
+            prev = enrolled;
+        }
+        assert_eq!(prev, machines as usize, "final wave covers the fleet");
+    }
+
+    #[test]
+    fn enrollment_never_churns() {
+        let sched = RolloutSchedule::staged(11);
+        for m in 0..5_000u64 {
+            let first = sched.wave_of(m).unwrap();
+            for w in 0..sched.stages().len() {
+                assert_eq!(sched.enrolled(w, m), w >= first, "machine {m} wave {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let a = RolloutSchedule::staged(3);
+        let b = RolloutSchedule::staged(3);
+        let c = RolloutSchedule::staged(4);
+        let waves_a: Vec<_> = (0..100).map(|m| a.wave_of(m)).collect();
+        let waves_b: Vec<_> = (0..100).map(|m| b.wave_of(m)).collect();
+        let waves_c: Vec<_> = (0..100).map(|m| c.wave_of(m)).collect();
+        assert_eq!(waves_a, waves_b);
+        assert_ne!(waves_a, waves_c, "different seeds give different canaries");
     }
 }

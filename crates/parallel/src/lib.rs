@@ -26,6 +26,26 @@
 //! for coarse simulation tasks: a fast worker drains indices a slow worker
 //! never reached. No external dependencies.
 //!
+//! # Streaming folds (the two-level shard tree)
+//!
+//! [`Engine::run`] collects one result per task — O(tasks) memory. For
+//! fleet-scale work (10⁵ cells) the engine instead *folds*:
+//! [`Engine::fold_seeded`] partitions the index space into at most
+//! [`MAX_FOLD_LEAVES`] contiguous **leaves** (a pure function of the total
+//! count, never of thread or shard count), workers claim whole leaves and
+//! fold them locally into a fresh accumulator, and a streaming reducer
+//! merges completed leaf accumulators in canonical leaf order. Memory is
+//! O(workers + pending leaves) accumulators, independent of the index
+//! count, and the merge sequence is the same left fold over leaves at any
+//! thread count — byte-identical to serial for *any* merge function.
+//!
+//! The same leaf tree extends across **processes**: [`proc`] assigns each
+//! shard a leaf-aligned sub-span ([`process_shard_span`]) and streams the
+//! folded accumulator back over a pipe. A parent that merges shard blocks
+//! in shard order performs the identical leaf-order reduction, provided the
+//! merge is associative — which the integer telemetry summaries
+//! (`wsc_telemetry::summary`) guarantee exactly, not just approximately.
+//!
 //! # Example
 //!
 //! ```
@@ -45,14 +65,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-// lint:lock-order(collected, error) — canonical acquisition order for this
-// file's two mutexes: workers push into `collected` while running, and the
-// merge path takes `error` only after the scope join. Nothing may hold
-// `error` while acquiring `collected`.
+// lint:lock-order(collected, reduced, error) — canonical acquisition order
+// for this file's mutexes: workers push into `collected` (run path) or
+// `reduced` (fold path) while running, and `error` is only ever taken on
+// the failure path or after the scope join. Nothing may hold `error` while
+// acquiring `collected` or `reduced`, and the run/fold paths never touch
+// each other's collector.
+use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub mod proc;
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "WSC_THREADS";
@@ -239,7 +264,14 @@ impl Engine {
                     match catch_unwind(AssertUnwindSafe(|| f(task, index))) {
                         Ok(r) => local.push((index, r)),
                         Err(payload) => {
-                            record_failure(&error, &poisoned, task, index, payload);
+                            record_failure(
+                                &error,
+                                &poisoned,
+                                index,
+                                task.seed,
+                                task.label.clone(),
+                                payload,
+                            );
                             break 'claim;
                         }
                     }
@@ -274,13 +306,224 @@ impl Engine {
     }
 }
 
-/// Records a captured panic, keeping the lowest task index seen so the
+/// Maximum leaves in the fold shard tree. The leaf partition is a pure
+/// function of the index count alone, so serial, threaded, and
+/// process-sharded folds all reduce the *same* leaves in the same order.
+/// 256 bounds reducer memory (≤ 256 pending accumulators worst case) while
+/// leaving enough leaves for every realistic worker count to stay busy.
+pub const MAX_FOLD_LEAVES: usize = 256;
+
+/// Number of leaves the fold tree uses for `total` indices: one per index
+/// up to [`MAX_FOLD_LEAVES`], then fixed.
+pub fn fold_leaf_count(total: usize) -> usize {
+    total.min(MAX_FOLD_LEAVES)
+}
+
+/// Half-open index range `[lo, hi)` of leaf `leaf` for `total` indices.
+/// Leaves partition `0..total` contiguously and near-evenly.
+pub fn fold_leaf_bounds(total: usize, leaf: usize) -> (usize, usize) {
+    let s = fold_leaf_count(total).max(1);
+    (leaf * total / s, (leaf + 1) * total / s)
+}
+
+/// Leaf-aligned sub-span of the fold tree owned by `shard` of `shards`
+/// processes: shard `s` owns leaf group `[s·S/P, (s+1)·S/P)`. Because shard
+/// boundaries coincide with leaf boundaries, a parent that merges shard
+/// accumulators in shard order reproduces the exact leaf-order reduction a
+/// single process performs (given an associative merge).
+pub fn process_shard_span(total: usize, shard: usize, shards: usize) -> FoldSpan {
+    let s = fold_leaf_count(total);
+    let p = shards.max(1);
+    let first = shard.min(p) * s / p;
+    let last = (shard + 1).min(p) * s / p;
+    let lo = fold_leaf_bounds(total, first).0;
+    let hi = fold_leaf_bounds(total, last).0;
+    FoldSpan { total, lo, hi }
+}
+
+/// A contiguous slice `[lo, hi)` of a fold's global index space `0..total`.
+/// The *global* total travels with the span so every process computes the
+/// same leaf partition (and the same derived seeds) regardless of which
+/// slice it folds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FoldSpan {
+    /// Global index count of the whole fold.
+    pub total: usize,
+    /// First index (inclusive) this span folds.
+    pub lo: usize,
+    /// End index (exclusive) this span folds.
+    pub hi: usize,
+}
+
+impl FoldSpan {
+    /// The full span `[0, total)`.
+    pub fn all(total: usize) -> Self {
+        Self {
+            total,
+            lo: 0,
+            hi: total,
+        }
+    }
+
+    /// Does this span cover no indices?
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+}
+
+/// Streaming reducer state: completed leaf accumulators are merged into
+/// `acc` as soon as they arrive in canonical order; out-of-order leaves
+/// wait in `pending` (bounded by the leaf count).
+struct FoldState<A> {
+    next: usize,
+    acc: Option<A>,
+    pending: BTreeMap<usize, A>,
+}
+
+impl Engine {
+    /// Folds `span`'s indices into a single accumulator across this
+    /// engine's workers: the streaming counterpart of
+    /// [`run`](Engine::run), with O(workers + pending leaves) memory
+    /// instead of O(tasks).
+    ///
+    /// `step(acc, index, seed)` folds one index into a leaf accumulator;
+    /// `seed` is `derive_seed(master, index)` — the same derivation
+    /// [`Task::seeded`] uses, and a function of the *global* index, so
+    /// process shards folding sub-spans see identical seeds. `merge`
+    /// combines two leaf accumulators; `label_of` names an index for error
+    /// reports (only invoked on failure).
+    ///
+    /// Determinism contract: the leaf partition depends only on
+    /// `span.total`, and completed leaves are merged in ascending leaf
+    /// order, so the result is byte-identical at any thread count for any
+    /// (even non-associative, non-commutative) `merge`. Splitting a fold
+    /// across *processes* via [`process_shard_span`] additionally requires
+    /// `merge` to be associative — exact for the integer summaries in
+    /// `wsc_telemetry::summary`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TaskError`] naming the lowest-index failing unit if
+    /// any `step` panics.
+    pub fn fold_seeded<A, E, S, M, L>(
+        &self,
+        master: u64,
+        span: FoldSpan,
+        empty: E,
+        step: S,
+        merge: M,
+        label_of: L,
+    ) -> Result<A, TaskError>
+    where
+        A: Send,
+        E: Fn() -> A + Sync,
+        S: Fn(&mut A, usize, u64) + Sync,
+        M: Fn(&mut A, A) + Sync,
+        L: Fn(usize) -> String + Sync,
+    {
+        // Leaves of the global tree restricted to this span. Leaf order is
+        // global, so a sub-span reduces its leaves in the same relative
+        // order the full fold would.
+        let lo = span.lo.min(span.total);
+        let hi = span.hi.min(span.total);
+        let leaves: Vec<(usize, usize)> = (0..fold_leaf_count(span.total))
+            .map(|leaf| fold_leaf_bounds(span.total, leaf))
+            .map(|(a, b)| (a.max(lo), b.min(hi)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        if leaves.is_empty() {
+            return Ok(empty());
+        }
+        let workers = self.threads.min(leaves.len());
+        let cursor = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let error: Mutex<Option<TaskError>> = Mutex::new(None);
+        let reduced: Mutex<FoldState<A>> = Mutex::new(FoldState {
+            next: 0,
+            acc: None,
+            pending: BTreeMap::new(),
+        });
+
+        let worker = || {
+            // lint:allow(atomic-ordering) Acquire pairs with the Release
+            // store in record_failure: seeing the flag implies the error
+            // slot write is visible.
+            'claim: while !poisoned.load(Ordering::Acquire) {
+                // lint:allow(atomic-ordering) Relaxed: the claim cursor
+                // guards no data, only leaf uniqueness, which fetch_add
+                // gives under any ordering.
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= leaves.len() {
+                    break;
+                }
+                let (leaf_lo, leaf_hi) = leaves[k];
+                let mut acc = empty();
+                for index in leaf_lo..leaf_hi {
+                    // lint:allow(atomic-ordering) Acquire: same pairing as
+                    // the claim-loop check above.
+                    if poisoned.load(Ordering::Acquire) {
+                        break 'claim;
+                    }
+                    let seed = wsc_prng::derive_seed(master, index as u64);
+                    let fold_one = catch_unwind(AssertUnwindSafe(|| step(&mut acc, index, seed)));
+                    if let Err(payload) = fold_one {
+                        record_failure(&error, &poisoned, index, seed, label_of(index), payload);
+                        break 'claim;
+                    }
+                }
+                // Submit the completed leaf and drain everything that is
+                // now ready, in canonical leaf order. Lock poisoning is
+                // unreachable: step panics are caught above, and `merge` /
+                // `empty` are required not to panic (a panic here would
+                // abort the process, never deadlock it — the lock is not
+                // reacquired on the unwind path).
+                let mut st = reduced.lock().expect("reduce lock");
+                st.pending.insert(k, acc);
+                while let Some(block) = {
+                    let next = st.next;
+                    st.pending.remove(&next)
+                } {
+                    match st.acc.as_mut() {
+                        None => st.acc = Some(block),
+                        Some(root) => merge(root, block),
+                    }
+                    st.next += 1;
+                }
+            }
+        };
+
+        if workers == 1 {
+            // Serial reference path: claims leaves in ascending order, so
+            // the reducer never buffers more than one block.
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        if let Some(err) = error.lock().expect("error lock").take() {
+            return Err(err);
+        }
+        let st = reduced.into_inner().expect("reduce lock");
+        debug_assert!(
+            st.pending.is_empty() && st.next == leaves.len(),
+            "every leaf reduced on the Ok path"
+        );
+        Ok(st.acc.unwrap_or_else(empty))
+    }
+}
+
+/// Records a captured panic, keeping the lowest unit index seen so the
 /// reported error is as deterministic as an aborted run can be.
-fn record_failure<T>(
+fn record_failure(
     error: &Mutex<Option<TaskError>>,
     poisoned: &AtomicBool,
-    task: &Task<T>,
     index: usize,
+    seed: u64,
+    label: String,
     payload: Box<dyn std::any::Any + Send>,
 ) {
     let message = payload
@@ -292,8 +535,8 @@ fn record_failure<T>(
     if slot.as_ref().is_none_or(|e| index < e.index) {
         *slot = Some(TaskError {
             index,
-            seed: task.seed,
-            label: task.label.clone(),
+            seed,
+            label,
             message,
         });
     }
@@ -418,5 +661,118 @@ mod tests {
     fn from_env_clamps_to_one() {
         assert!(Engine::from_env().threads() >= 1);
         assert_eq!(Engine::new(0).threads(), 1);
+    }
+
+    /// Folds indices into a Vec with a deliberately non-commutative merge
+    /// (concatenation): any reordering of the reduction would show.
+    fn concat_fold(engine: &Engine, span: FoldSpan) -> Vec<(usize, u64)> {
+        engine
+            .fold_seeded(
+                9,
+                span,
+                Vec::new,
+                |acc, i, seed| acc.push((i, seed)),
+                |a, mut b| a.append(&mut b),
+                |i| format!("unit {i}"),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn fold_is_thread_count_invariant_even_for_ordered_merges() {
+        let reference: Vec<(usize, u64)> = (0..500)
+            .map(|i| (i, wsc_prng::derive_seed(9, i as u64)))
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = concat_fold(&Engine::new(threads), FoldSpan::all(500));
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_leaf_partition_is_a_function_of_total_alone() {
+        for total in [1usize, 7, 255, 256, 257, 100_000] {
+            let s = fold_leaf_count(total);
+            assert!((1..=MAX_FOLD_LEAVES).contains(&s));
+            assert_eq!(fold_leaf_bounds(total, 0).0, 0);
+            assert_eq!(fold_leaf_bounds(total, s - 1).1, total);
+            for leaf in 1..s {
+                assert_eq!(
+                    fold_leaf_bounds(total, leaf - 1).1,
+                    fold_leaf_bounds(total, leaf).0,
+                    "leaves tile 0..{total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_over_shard_spans_composes_to_the_full_fold() {
+        // Concatenation is associative (though not commutative), so
+        // merging leaf-aligned shard spans in shard order must reproduce
+        // the full fold exactly — the process-shard contract, in-process.
+        let full = concat_fold(&Engine::new(4), FoldSpan::all(351));
+        for shards in [1usize, 2, 3, 4] {
+            let mut merged = Vec::new();
+            for s in 0..shards {
+                let span = process_shard_span(351, s, shards);
+                let mut part = concat_fold(&Engine::new(2), span);
+                merged.append(&mut part);
+            }
+            assert_eq!(merged, full, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn fold_empty_span_returns_identity() {
+        let out = concat_fold(&Engine::new(4), FoldSpan::all(0));
+        assert!(out.is_empty());
+        let out = concat_fold(
+            &Engine::new(4),
+            FoldSpan {
+                total: 10,
+                lo: 4,
+                hi: 4,
+            },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fold_panic_yields_structured_error() {
+        let err = Engine::new(4)
+            .fold_seeded(
+                7,
+                FoldSpan::all(40),
+                || 0u64,
+                |acc, i, _| {
+                    assert!(i != 23, "injected fault in unit {i}");
+                    *acc += 1;
+                },
+                |a, b| *a += b,
+                |i| format!("cell {i}"),
+            )
+            .unwrap_err();
+        assert_eq!(err.index, 23);
+        assert_eq!(err.seed, wsc_prng::derive_seed(7, 23));
+        assert_eq!(err.label, "cell 23");
+        assert!(err.message.contains("injected fault in unit 23"));
+    }
+
+    #[test]
+    fn fold_memory_is_bounded_by_leaves_not_tasks() {
+        // 10⁵ units fold into one u64: the accumulator count the reducer
+        // ever holds is bounded by the leaf count, not the unit count.
+        let sum = Engine::new(8)
+            .fold_seeded(
+                1,
+                FoldSpan::all(100_000),
+                || 0u64,
+                |acc, i, _| *acc += i as u64,
+                |a, b| *a += b,
+                |i| format!("unit {i}"),
+            )
+            .unwrap();
+        assert_eq!(sum, 100_000u64 * 99_999 / 2);
     }
 }

@@ -1,0 +1,290 @@
+//! Process-level sharding for streaming folds (`--shards P`).
+//!
+//! Threads share one address space; processes don't — so sharding a fold
+//! across child processes bounds *peak RSS per process* and sidesteps any
+//! allocator-level contention entirely. The protocol is deliberately dumb:
+//!
+//! 1. The parent re-executes its own binary `P` times with
+//!    `WSC_SHARD=<shard>/<shards>` in the environment (everything else —
+//!    scale, seeds, thread count — rides along in the inherited
+//!    environment and argv).
+//! 2. Each child detects the role via [`ShardRole::from_env`], folds its
+//!    leaf-aligned sub-span ([`crate::process_shard_span`]), and streams
+//!    the folded accumulator's byte encoding back over stdout between
+//!    [`PAYLOAD_BEGIN`]/[`PAYLOAD_END`] marker lines (hex, so ordinary
+//!    prints cannot corrupt the frame).
+//! 3. The parent decodes the `P` payloads and merges them **in shard
+//!    order**, which — because shard spans are leaf-aligned and the merge
+//!    is associative — reproduces the exact byte result of the
+//!    single-process fold.
+//!
+//! Everything here is transport; determinism comes from the fold tree in
+//! the crate root plus the exactly-mergeable summaries in
+//! `wsc_telemetry::summary`.
+
+use std::fmt;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+/// Environment variable carrying a child's shard role as `<shard>/<shards>`.
+pub const SHARD_ENV: &str = "WSC_SHARD";
+
+/// First line of a framed shard payload on stdout.
+pub const PAYLOAD_BEGIN: &str = "WSC-SHARD-PAYLOAD-BEGIN";
+
+/// Last line of a framed shard payload on stdout.
+pub const PAYLOAD_END: &str = "WSC-SHARD-PAYLOAD-END";
+
+/// Hex characters per payload line (keeps frames diff- and pipe-friendly).
+const HEX_LINE: usize = 120;
+
+/// A child process's position in a sharded fold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRole {
+    /// This process's shard index, `0 <= shard < shards`.
+    pub shard: usize,
+    /// Total shard count.
+    pub shards: usize,
+}
+
+impl ShardRole {
+    /// Reads the role from [`SHARD_ENV`], if this process is a shard child.
+    /// Malformed values are treated as absent (the parent controls the
+    /// variable; a stray value must not silently misconfigure a fold).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(SHARD_ENV).ok()?;
+        let (s, p) = raw.split_once('/')?;
+        let shard = s.trim().parse::<usize>().ok()?;
+        let shards = p.trim().parse::<usize>().ok()?;
+        (shards >= 1 && shard < shards).then_some(Self { shard, shards })
+    }
+
+    /// The [`SHARD_ENV`] value encoding this role.
+    pub fn env_value(&self) -> String {
+        format!("{}/{}", self.shard, self.shards)
+    }
+}
+
+/// Structured failure of one shard child.
+#[derive(Clone, Debug)]
+pub struct ShardError {
+    /// The failing shard's index.
+    pub shard: usize,
+    /// What went wrong (spawn failure, non-zero exit, bad payload).
+    pub message: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} failed: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Frames `bytes` as the stdout payload block a shard child emits.
+pub fn encode_payload(bytes: &[u8]) -> String {
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    let mut out = String::with_capacity(hex.len() + hex.len() / HEX_LINE + 64);
+    out.push_str(PAYLOAD_BEGIN);
+    out.push('\n');
+    for chunk in hex.as_bytes().chunks(HEX_LINE) {
+        out.push_str(std::str::from_utf8(chunk).expect("hex is ASCII"));
+        out.push('\n');
+    }
+    out.push_str(PAYLOAD_END);
+    out
+}
+
+/// Extracts and decodes the framed payload from a child's stdout.
+///
+/// # Errors
+///
+/// Returns a description when the frame markers are missing or the hex
+/// body is malformed.
+pub fn decode_payload(stdout_text: &str) -> Result<Vec<u8>, String> {
+    let mut hex = String::new();
+    let mut inside = false;
+    let mut seen_end = false;
+    for line in stdout_text.lines() {
+        match line.trim() {
+            PAYLOAD_BEGIN => inside = true,
+            PAYLOAD_END if inside => {
+                seen_end = true;
+                inside = false;
+            }
+            body if inside => hex.push_str(body),
+            _ => {}
+        }
+    }
+    if !seen_end {
+        return Err("no framed shard payload in child stdout".to_string());
+    }
+    if !hex.len().is_multiple_of(2) {
+        return Err("shard payload has odd hex length".to_string());
+    }
+    let nibble = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            other => Err(format!("invalid hex byte {other:#04x} in shard payload")),
+        }
+    };
+    hex.as_bytes()
+        .chunks(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
+}
+
+/// Spawns `shards` copies of `program` (each with [`SHARD_ENV`] set to its
+/// role), runs them concurrently, and returns their decoded payloads in
+/// shard order. Children inherit the parent's environment and receive
+/// `args` verbatim; `extra_env` overrides ride on top (e.g. a per-child
+/// thread budget).
+///
+/// # Errors
+///
+/// Returns the lowest-index failing shard's [`ShardError`] if any child
+/// fails to spawn, exits non-zero, or emits no decodable payload.
+pub fn run_shard_processes(
+    program: &Path,
+    args: &[String],
+    extra_env: &[(String, String)],
+    shards: usize,
+) -> Result<Vec<Vec<u8>>, ShardError> {
+    let shards = shards.max(1);
+    let mut children = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let role = ShardRole { shard, shards };
+        let mut cmd = Command::new(program);
+        cmd.args(args)
+            .env(SHARD_ENV, role.env_value())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in extra_env {
+            cmd.env(k, v);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                // Reap what already started before reporting.
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(ShardError {
+                    shard,
+                    message: format!("spawn failed: {e}"),
+                });
+            }
+        }
+    }
+    let mut payloads = Vec::with_capacity(shards);
+    let mut first_err: Option<ShardError> = None;
+    for (shard, child) in children.into_iter().enumerate() {
+        let fail = |message: String| ShardError { shard, message };
+        match child.wait_with_output() {
+            Err(e) => {
+                first_err.get_or_insert(fail(format!("wait failed: {e}")));
+            }
+            Ok(out) if !out.status.success() => {
+                first_err.get_or_insert(fail(format!("exited with {}", out.status)));
+            }
+            Ok(out) => match String::from_utf8(out.stdout)
+                .map_err(|e| e.to_string())
+                .and_then(|text| decode_payload(&text))
+            {
+                Ok(bytes) => payloads.push(bytes),
+                Err(msg) => {
+                    first_err.get_or_insert(fail(msg));
+                }
+            },
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(payloads),
+    }
+}
+
+#[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let bytes: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let framed = encode_payload(&bytes);
+        assert!(framed.starts_with(PAYLOAD_BEGIN));
+        assert!(framed.ends_with(PAYLOAD_END));
+        let back = decode_payload(&framed).unwrap();
+        assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn payload_survives_surrounding_noise() {
+        let bytes = vec![0xde, 0xad, 0xbe, 0xef];
+        let noisy = format!(
+            "# fleet survey table\nrows...\n{}\ntrailing prints\n",
+            encode_payload(&bytes)
+        );
+        assert_eq!(decode_payload(&noisy).unwrap(), bytes);
+    }
+
+    #[test]
+    fn payload_errors_are_structured() {
+        assert!(decode_payload("no frame here").is_err());
+        let truncated = format!("{PAYLOAD_BEGIN}\nabc\n{PAYLOAD_END}");
+        assert!(decode_payload(&truncated).is_err(), "odd hex length");
+        let bad = format!("{PAYLOAD_BEGIN}\nzz\n{PAYLOAD_END}");
+        assert!(decode_payload(&bad).is_err(), "non-hex body");
+    }
+
+    #[test]
+    fn role_env_roundtrip_and_rejection() {
+        let role = ShardRole {
+            shard: 2,
+            shards: 4,
+        };
+        assert_eq!(role.env_value(), "2/4");
+        // from_env reads ambient state; parse logic is exercised through
+        // the same split used there.
+        assert_eq!("2/4".split_once('/'), Some(("2", "4")));
+        for bad in ["", "3", "4/4", "a/b", "1/0"] {
+            let parsed = bad.split_once('/').and_then(|(s, p)| {
+                let shard = s.trim().parse::<usize>().ok()?;
+                let shards = p.trim().parse::<usize>().ok()?;
+                (shards >= 1 && shard < shards).then_some((shard, shards))
+            });
+            assert!(parsed.is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn shard_spans_tile_the_fold_tree() {
+        for total in [0usize, 1, 5, 97, 1_000, 100_000] {
+            for shards in [1usize, 2, 3, 4, 7] {
+                let spans: Vec<_> = (0..shards)
+                    .map(|s| crate::process_shard_span(total, s, shards))
+                    .collect();
+                assert_eq!(spans[0].lo, 0);
+                assert_eq!(spans[shards - 1].hi, total);
+                for w in spans.windows(2) {
+                    assert_eq!(w[0].hi, w[1].lo, "contiguous tiling");
+                }
+                // Every span boundary is a leaf boundary.
+                let bounds: Vec<usize> = (0..crate::fold_leaf_count(total))
+                    .map(|l| crate::fold_leaf_bounds(total, l).0)
+                    .chain([total])
+                    .collect();
+                for s in &spans {
+                    assert!(bounds.contains(&s.lo), "lo {} leaf-aligned", s.lo);
+                    assert!(bounds.contains(&s.hi), "hi {} leaf-aligned", s.hi);
+                }
+            }
+        }
+    }
+}

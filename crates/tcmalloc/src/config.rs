@@ -53,12 +53,15 @@ impl FreeArm {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum PagemapArm {
     /// Two-level radix tree over page numbers — production TCMalloc's
-    /// layout, and the byte-identical default.
-    #[default]
+    /// layout. Kept fully selectable for comparison runs.
     Radix,
     /// Aligned-segment address masking (`ptr & SEGMENT_MASK` → slot),
     /// rpmalloc/mimalloc-style: one flat segment-aligned window, a lookup
-    /// is pure address arithmetic plus a single bounds-checked load.
+    /// is pure address arithmetic plus a single bounds-checked load. The
+    /// default: fleet A/B confirmed it simulation-identical to the radix
+    /// arm (byte-equal run reports across configs and workloads) at lower
+    /// bookkeeping cost.
+    #[default]
     Masking,
 }
 
@@ -134,7 +137,9 @@ pub struct TcmallocConfig {
     /// keeps the pre-ownership behaviour byte-identical.
     pub free_arm: FreeArm,
     /// Pagemap structure for the address → span lookup. Both arms are
-    /// contract-identical; [`PagemapArm::Radix`] is the default.
+    /// contract-identical; [`PagemapArm::Masking`] is the default, with
+    /// the radix arm selectable via
+    /// [`with_pagemap_arm`](Self::with_pagemap_arm).
     pub pagemap_arm: PagemapArm,
     /// Batch fast-path event emission: per-CPU hit counters and fast-path
     /// completion charges accumulate in the bus and flush as aggregate
@@ -179,7 +184,7 @@ impl TcmallocConfig {
             hard_limit: None,
             os_faults: None,
             free_arm: FreeArm::OwnerOnly,
-            pagemap_arm: PagemapArm::Radix,
+            pagemap_arm: PagemapArm::Masking,
             batch_fastpath_events: false,
         }
     }
@@ -325,20 +330,20 @@ mod tests {
         // Ownership routing defaults to pass-through: remote frees behave
         // exactly like local ones unless an arm is opted into.
         assert_eq!(c.free_arm, FreeArm::OwnerOnly);
-        // Hot-path structure defaults: the radix tree and per-op emission
-        // stay the byte-identical reference behaviour.
-        assert_eq!(c.pagemap_arm, PagemapArm::Radix);
+        // Hot-path structure defaults: the masking pagemap (verified
+        // simulation-identical to the radix arm) and per-op emission.
+        assert_eq!(c.pagemap_arm, PagemapArm::Masking);
         assert!(!c.batch_fastpath_events);
     }
 
     #[test]
     fn pagemap_arm_builder_and_names() {
-        let c = TcmallocConfig::optimized().with_pagemap_arm(PagemapArm::Masking);
-        assert_eq!(c.pagemap_arm, PagemapArm::Masking);
+        let c = TcmallocConfig::optimized().with_pagemap_arm(PagemapArm::Radix);
+        assert_eq!(c.pagemap_arm, PagemapArm::Radix, "radix stays selectable");
         assert_eq!(
             TcmallocConfig::optimized().pagemap_arm,
-            PagemapArm::Radix,
-            "optimized() must not silently change the lookup structure"
+            PagemapArm::Masking,
+            "optimized() follows the (masking) default lookup structure"
         );
         assert_eq!(PagemapArm::Radix.name(), "radix");
         assert_eq!(PagemapArm::Masking.name(), "masking");

@@ -12,6 +12,10 @@
 //! * [`stats`] — summary statistics plus Pearson and Spearman correlation
 //!   (the paper reports a Spearman coefficient of −0.75 in Figure 16),
 //! * [`timeseries::TimeSeries`] — time-indexed samples (Figure 9a),
+//! * [`summary::MetricSummary`] / [`summary::BucketSeries`] — constant-size,
+//!   exactly-mergeable accumulators the streaming fleet engine folds
+//!   per-cell telemetry into (any thread/shard partition reduces to the
+//!   same bytes),
 //! * [`metrics::MetricRegistry`] — named counters and gauges shared by the
 //!   allocator and the workload driver,
 //! * [`gwp`] — the byte-threshold allocation sampler (1 sample / 2 MiB, as in
@@ -38,9 +42,11 @@ pub mod gwp;
 pub mod histogram;
 pub mod metrics;
 pub mod stats;
+pub mod summary;
 pub mod timeseries;
 
 pub use cdf::Cdf;
 pub use histogram::LogHistogram;
 pub use metrics::MetricRegistry;
+pub use summary::{BucketSeries, MetricSummary};
 pub use timeseries::TimeSeries;

@@ -100,6 +100,18 @@ impl TimeSeries {
         if other.is_empty() {
             return;
         }
+        // Append fast path: when `other` starts at or after our last sample
+        // (the common case when cells are merged in canonical time order),
+        // extend in place instead of rebuilding both vectors. This is what
+        // keeps repeated merges from churning one fresh allocation pair per
+        // cell.
+        if self.times.last().is_none_or(|&last| other.times[0] >= last) {
+            self.times.reserve(other.len());
+            self.values.reserve(other.len());
+            self.times.extend_from_slice(&other.times);
+            self.values.extend_from_slice(&other.values);
+            return;
+        }
         let n = self.len() + other.len();
         let mut times = Vec::with_capacity(n);
         let mut values = Vec::with_capacity(n);

@@ -260,6 +260,7 @@ pub fn fleet_mix() -> WorkloadSpec {
             base: 16.0,
             amplitude: 0.35,
             period_ns: 20 * NS_PER_SEC, // compressed diurnal cycle
+            phase_ns: 0,
             spike_prob: 0.02,
             spike_mult: 1.8,
             max: 48,
@@ -361,6 +362,7 @@ pub fn spanner() -> WorkloadSpec {
             base: 24.0,
             amplitude: 0.25,
             period_ns: 25 * NS_PER_SEC,
+            phase_ns: 0,
             spike_prob: 0.01,
             spike_mult: 1.5,
             max: 48,
@@ -424,6 +426,7 @@ pub fn monarch() -> WorkloadSpec {
             base: 20.0,
             amplitude: 0.4,
             period_ns: 15 * NS_PER_SEC,
+            phase_ns: 0,
             spike_prob: 0.03,
             spike_mult: 2.0,
             max: 40,
@@ -516,6 +519,7 @@ pub fn bigtable() -> WorkloadSpec {
             base: 22.0,
             amplitude: 0.3,
             period_ns: 18 * NS_PER_SEC,
+            phase_ns: 0,
             spike_prob: 0.02,
             spike_mult: 1.6,
             max: 44,
@@ -606,6 +610,7 @@ pub fn f1_query() -> WorkloadSpec {
             base: 26.0,
             amplitude: 0.45,
             period_ns: 12 * NS_PER_SEC,
+            phase_ns: 0,
             spike_prob: 0.05,
             spike_mult: 1.8,
             max: 52,
@@ -699,6 +704,7 @@ pub fn disk() -> WorkloadSpec {
             base: 18.0,
             amplitude: 0.2,
             period_ns: 22 * NS_PER_SEC,
+            phase_ns: 0,
             spike_prob: 0.02,
             spike_mult: 1.5,
             max: 36,
@@ -811,6 +817,7 @@ pub fn data_pipeline() -> WorkloadSpec {
             base: 8.0,
             amplitude: 0.0,
             period_ns: 1,
+            phase_ns: 0,
             spike_prob: 0.0,
             spike_mult: 1.0,
             max: 8,
@@ -876,6 +883,7 @@ pub fn image_processing() -> WorkloadSpec {
             base: 16.0,
             amplitude: 0.15,
             period_ns: 10 * NS_PER_SEC,
+            phase_ns: 0,
             spike_prob: 0.02,
             spike_mult: 1.5,
             max: 32,
@@ -958,6 +966,7 @@ pub fn tensorflow() -> WorkloadSpec {
             base: 16.0,
             amplitude: 0.1,
             period_ns: 10 * NS_PER_SEC,
+            phase_ns: 0,
             spike_prob: 0.01,
             spike_mult: 1.4,
             max: 32,
@@ -1032,6 +1041,7 @@ pub fn middle_tier_service() -> WorkloadSpec {
         base: 24.0,
         amplitude: 0.5,
         period_ns: 16 * NS_PER_SEC,
+        phase_ns: 0,
         spike_prob: 0.06,
         spike_mult: 2.2,
         max: 64,

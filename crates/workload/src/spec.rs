@@ -167,6 +167,10 @@ pub struct ThreadModel {
     pub amplitude: f64,
     /// Diurnal period, ns.
     pub period_ns: u64,
+    /// Diurnal phase offset, ns. A fleet spans timezones: two machines
+    /// running the same binary sit at different points of the load curve,
+    /// so the fleet survey gives each machine its own offset.
+    pub phase_ns: u64,
     /// Per-evaluation probability of a load spike.
     pub spike_prob: f64,
     /// Spike multiplier on the current level.
@@ -182,6 +186,7 @@ impl ThreadModel {
             base: 1.0,
             amplitude: 0.0,
             period_ns: 1,
+            phase_ns: 0,
             spike_prob: 0.0,
             spike_mult: 1.0,
             max: 1,
@@ -190,7 +195,8 @@ impl ThreadModel {
 
     /// Thread count at simulated time `t_ns`.
     pub fn at(&self, t_ns: u64, rng: &mut SmallRng) -> usize {
-        let phase = (t_ns % self.period_ns.max(1)) as f64 / self.period_ns.max(1) as f64
+        let shifted = t_ns.wrapping_add(self.phase_ns);
+        let phase = (shifted % self.period_ns.max(1)) as f64 / self.period_ns.max(1) as f64
             * std::f64::consts::TAU;
         let mut level = self.base * (1.0 + self.amplitude * phase.sin());
         if rng.gen::<f64>() < self.spike_prob {
@@ -404,6 +410,7 @@ mod tests {
             base: 20.0,
             amplitude: 0.5,
             period_ns: 1_000_000,
+            phase_ns: 0,
             spike_prob: 0.0,
             spike_mult: 1.0,
             max: 64,
@@ -417,11 +424,35 @@ mod tests {
     }
 
     #[test]
+    fn phase_offset_shifts_the_diurnal_curve() {
+        let m = ThreadModel {
+            base: 20.0,
+            amplitude: 0.5,
+            period_ns: 1_000_000,
+            phase_ns: 0,
+            spike_prob: 0.0,
+            spike_mult: 1.0,
+            max: 64,
+        };
+        let shifted = ThreadModel {
+            phase_ns: 250_000,
+            ..m
+        };
+        let mut r = rng();
+        // A machine a quarter-period "east" sees the peak a quarter-period
+        // earlier in its own clock.
+        assert_eq!(shifted.at(0, &mut r), m.at(250_000, &mut r));
+        assert_eq!(shifted.at(500_000, &mut r), m.at(750_000, &mut r));
+        assert!(shifted.at(0, &mut r) > shifted.at(500_000, &mut r));
+    }
+
+    #[test]
     fn spike_multiplies() {
         let m = ThreadModel {
             base: 10.0,
             amplitude: 0.0,
             period_ns: 1,
+            phase_ns: 0,
             spike_prob: 1.0,
             spike_mult: 3.0,
             max: 100,

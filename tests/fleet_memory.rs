@@ -1,0 +1,70 @@
+//! Constant-memory property of the streaming fleet survey: peak RSS must
+//! not grow with machine count, because the engine folds each machine into
+//! a constant-size summary instead of collecting per-machine results.
+//!
+//! `VmHWM` (the kernel's high-water mark) is monotone over the process
+//! lifetime, so this test lives in its own binary: it runs the small fleet
+//! first, snapshots the peak, runs a fleet 10× larger, and requires the
+//! peak to stay within 1.2×. A collect-then-merge engine fails this
+//! immediately — 10× the machines is 10× the result vector.
+
+use warehouse_alloc::fleet::experiment::{try_run_fleet_survey, FleetSurveyConfig};
+use warehouse_alloc::parallel::Engine;
+use warehouse_alloc::sim_hw::topology::Platform;
+use warehouse_alloc::tcmalloc::TcmallocConfig;
+
+/// Peak resident set size (VmHWM) of this process, in KiB.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|l| {
+        l.strip_prefix("VmHWM:")?
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()
+    })
+}
+
+/// A deliberately small per-machine simulation (tiny platform, few
+/// requests): the test measures the *engine's* memory behaviour, so the
+/// per-cell cost is minimized and the machine count is the variable.
+fn survey_cfg(machines: usize) -> FleetSurveyConfig {
+    FleetSurveyConfig {
+        machines,
+        requests_per_machine: 6,
+        seed: 29,
+        platform_mix: vec![(1.0, Platform::monolithic("m4", 1, 4, 1))],
+        population: 100,
+        diurnal_period_ns: 500_000,
+        rollout_stage: 2,
+    }
+}
+
+#[test]
+fn peak_rss_is_constant_in_machine_count() {
+    let Some(baseline_kb) = peak_rss_kb() else {
+        eprintln!("skipping: /proc/self/status unavailable");
+        return;
+    };
+    let engine = Engine::new(1);
+    let control = TcmallocConfig::baseline();
+    let experiment = TcmallocConfig::optimized();
+
+    let small = try_run_fleet_survey(&engine, control, experiment, &survey_cfg(1_000))
+        .expect("no machine panics");
+    assert_eq!(small.summary.cells, 1_000);
+    let after_small = peak_rss_kb().expect("VmHWM read once already");
+
+    let large = try_run_fleet_survey(&engine, control, experiment, &survey_cfg(10_000))
+        .expect("no machine panics");
+    assert_eq!(large.summary.cells, 10_000);
+    let after_large = peak_rss_kb().expect("VmHWM read once already");
+
+    assert!(
+        after_large as f64 <= after_small as f64 * 1.2,
+        "peak RSS grew with machine count: {after_small} kB at 10^3 machines, \
+         {after_large} kB at 10^4 (startup peak {baseline_kb} kB) — \
+         the fold is no longer constant-memory"
+    );
+}
