@@ -15,7 +15,15 @@
 //! `--shards P` runs the `fleet` streaming survey across P child
 //! *processes*, each re-executing this binary over one leaf-aligned span
 //! of the fleet (`WSC_SHARD=<shard>/<shards>`) and piping its folded
-//! constant-size summary back. Output is byte-identical to `--shards 1`.
+//! constant-size summary back in a CRC-checksummed frame. A supervisor
+//! retries failed shards (`WSC_SHARD_RETRIES`, exponential backoff via
+//! `WSC_SHARD_BACKOFF_MS`), kills hung ones (`WSC_SHARD_DEADLINE_MS`),
+//! splits persistently failing spans in half (`WSC_SHARD_SPLIT`), and
+//! hedges stragglers (`WSC_SHARD_HEDGE_MS`). Output is byte-identical to
+//! `--shards 1` — including under injected crashes (`WSC_SHARD_FAULT`),
+//! as long as every span recovers; otherwise the survey degrades
+//! gracefully and the printed coverage line reports the exact surveyed
+//! fraction.
 
 use wsc_bench::experiments as ex;
 use wsc_bench::Scale;
@@ -92,6 +100,9 @@ fn main() {
         eprintln!("scale: set REPRO_SCALE=quick|default|full|fleet (default: default)");
         eprintln!("threads: --threads N or WSC_THREADS=N (results are thread-count-invariant)");
         eprintln!("shards: --shards P runs the fleet survey across P processes (byte-identical)");
+        eprintln!("supervision: WSC_SHARD_RETRIES, WSC_SHARD_DEADLINE_MS, WSC_SHARD_BACKOFF_MS,");
+        eprintln!("  WSC_SHARD_SPLIT=0|1, WSC_SHARD_HEDGE_MS tune shard fault tolerance;");
+        eprintln!("  WSC_SHARD_FAULT=<kind>@<shard|*>[:<attempts>] injects chaos (crash|hang|corrupt|partial|exit)");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let mut scale = Scale::from_env();

@@ -8,6 +8,7 @@ use wsc_fleet::experiment::{try_run_fleet_ab, CellSummary, Comparison, MetricSet
 use wsc_fleet::population::Population;
 use wsc_fleet::report::{pct, Table};
 use wsc_fleet::rollout;
+use wsc_parallel::supervisor::{self, SupervisorConfig, SupervisorStats};
 use wsc_sim_hw::cost::{AllocPath, CostModel};
 use wsc_sim_hw::latency::{measure, LatencyModel};
 use wsc_sim_hw::topology::{CpuId, Platform};
@@ -1190,12 +1191,17 @@ pub const SURVEY_SEED: u64 = 0xF1EE7;
 /// thing in `main`.
 ///
 /// The child rebuilds its configuration from the environment
-/// (`REPRO_SCALE`, `WSC_THREADS`), which the parent pins explicitly when
-/// spawning, so parent and children always agree on the fold tree.
+/// (`REPRO_SCALE`, `WSC_THREADS`, and the `WSC_SURVEY_*` sizing pins),
+/// which the parent sets explicitly when spawning, so parent and children
+/// always agree on the fold tree. The supervisor's fault hooks
+/// ([`supervisor::child_preflight`] / [`supervisor::child_emit_payload`])
+/// bracket the fold so `WSC_SHARD_FAULT` chaos plans strike at the real
+/// protocol points; an injected nonzero exit terminates the process here.
 pub fn shard_child_main() -> bool {
     let Some(role) = wsc_parallel::proc::ShardRole::from_env() else {
         return false;
     };
+    supervisor::child_preflight(role);
     let scale = Scale::from_env();
     let cfg = scale.survey_config(SURVEY_SEED);
     let span = wsc_parallel::process_shard_span(cfg.machines, role.shard, role.shards);
@@ -1207,18 +1213,41 @@ pub fn shard_child_main() -> bool {
         span,
     )
     .unwrap_or_else(|e| panic!("survey shard {} aborted: {e}", role.shard));
-    println!("{}", wsc_parallel::proc::encode_payload(&summary.encode()));
+    let code = supervisor::child_emit_payload(role, &summary.encode());
+    if code != 0 {
+        std::process::exit(code);
+    }
     true
 }
 
 /// Computes the fleet-survey summary at `scale`, either in-process
-/// (`shards <= 1`) or by fanning out `shards` child processes that each
-/// fold one leaf-aligned span and stream their constant-size summary back
-/// over a pipe. Byte-identical either way.
+/// (`shards <= 1`) or by fanning out `shards` supervised child processes
+/// that each fold one leaf-aligned span and stream their checksummed
+/// summary back over a pipe. Byte-identical either way — including under
+/// injected shard crashes, as long as every span recovers within the
+/// supervisor's retry budget (`WSC_SHARD_RETRIES` etc.; see
+/// [`SupervisorConfig::from_env`]).
 pub fn fleet_summary(scale: &Scale, shards: usize) -> CellSummary {
+    fleet_summary_supervised(scale, shards, &SupervisorConfig::from_env(), &[]).0
+}
+
+/// [`fleet_summary`] with an explicit supervision policy and extra child
+/// environment (chaos tests inject `WSC_SHARD_FAULT` here rather than
+/// mutating the parent's ambient environment). Returns the merged summary
+/// plus the supervisor's run counters (`None` for the in-process path).
+///
+/// Lost spans degrade gracefully: the merged summary covers the surviving
+/// spans exactly and [`CellSummary::note_uncovered`] records the lost
+/// machines, so `coverage` reports the true surveyed fraction.
+pub fn fleet_summary_supervised(
+    scale: &Scale,
+    shards: usize,
+    sup: &SupervisorConfig,
+    extra_env: &[(String, String)],
+) -> (CellSummary, Option<SupervisorStats>) {
     let cfg = scale.survey_config(SURVEY_SEED);
     if shards <= 1 {
-        return wsc_fleet::experiment::try_run_fleet_survey(
+        let summary = wsc_fleet::experiment::try_run_fleet_survey(
             &scale.engine,
             TcmallocConfig::baseline(),
             TcmallocConfig::optimized(),
@@ -1226,25 +1255,59 @@ pub fn fleet_summary(scale: &Scale, shards: usize) -> CellSummary {
         )
         .unwrap_or_else(|e| panic!("fleet survey aborted: {e}"))
         .summary;
+        return (summary, None);
     }
     let exe = std::env::current_exe().expect("own executable path");
-    let extra_env = vec![
+    // Pin every knob the child derives its fold tree from: scale name,
+    // thread budget, and the survey sizing (which may itself have come
+    // from env overrides in this process — children must see the same
+    // effective values, not re-derive their own).
+    let mut env = vec![
         ("REPRO_SCALE".to_string(), scale.name.to_string()),
         (
             "WSC_THREADS".to_string(),
             scale.engine.threads().to_string(),
         ),
+        (
+            crate::scale::SURVEY_MACHINES_ENV.to_string(),
+            cfg.machines.to_string(),
+        ),
+        (
+            crate::scale::SURVEY_REQUESTS_ENV.to_string(),
+            cfg.requests_per_machine.to_string(),
+        ),
+        (
+            crate::scale::SURVEY_POPULATION_ENV.to_string(),
+            cfg.population.to_string(),
+        ),
     ];
-    let payloads =
-        wsc_parallel::proc::run_shard_processes(&exe, &["fleet".to_string()], &extra_env, shards)
-            .unwrap_or_else(|e| panic!("fleet survey shards aborted: {e}"));
+    env.extend(extra_env.iter().cloned());
+    let fold = supervisor::run_supervised(
+        &exe,
+        &["fleet".to_string()],
+        &env,
+        shards,
+        cfg.machines,
+        sup,
+    );
     let mut acc = CellSummary::new();
-    for (i, p) in payloads.iter().enumerate() {
-        let part =
-            CellSummary::decode(p).unwrap_or_else(|e| panic!("shard {i} payload malformed: {e}"));
+    for b in &fold.blocks {
+        let part = CellSummary::decode(&b.payload).unwrap_or_else(|e| {
+            panic!(
+                "shard {}/{} payload malformed: {e}",
+                b.role.shard, b.role.shards
+            )
+        });
         acc.merge(&part);
     }
-    acc
+    for f in &fold.failures {
+        eprintln!(
+            "fleet survey: machines [{}, {}) lost after {} attempts: {}",
+            f.span.lo, f.span.hi, f.attempts, f.error
+        );
+        acc.note_uncovered((f.span.hi - f.span.lo) as u64);
+    }
+    (acc, Some(fold.stats))
 }
 
 /// The streaming fleet survey: 50%-wave rollout of the optimized allocator
@@ -1290,11 +1353,17 @@ pub fn fleet(scale: &Scale, shards: usize) -> (Comparison, CellSummary) {
     ]);
     println!("{}", t.render());
     println!(
-        "machines {} (control {}, experiment {}) | resident samples {}\n",
+        "machines {} (control {}, experiment {}) | resident samples {}",
         summary.cells,
         summary.control.metrics[0].count(),
         summary.experiment.metrics[0].count(),
         summary.resident.samples()
+    );
+    println!(
+        "coverage {:.2}% ({}/{} machines)\n",
+        summary.coverage.fraction() * 100.0,
+        summary.coverage.folded(),
+        summary.coverage.planned()
     );
     (fleet, summary)
 }

@@ -211,6 +211,28 @@ impl JsonReport {
         self.push(key, format!("\"{escaped}\""))
     }
 
+    /// Adds a float array field (curves: one value per sweep point;
+    /// non-finite values render as `null`).
+    pub fn num_list(&mut self, key: &str, vs: &[f64]) -> &mut Self {
+        let items: Vec<String> = vs
+            .iter()
+            .map(|v| {
+                if v.is_finite() {
+                    format!("{v:.3}")
+                } else {
+                    "null".to_string()
+                }
+            })
+            .collect();
+        self.push(key, format!("[{}]", items.join(", ")))
+    }
+
+    /// Adds an integer array field.
+    pub fn int_list(&mut self, key: &str, vs: &[u64]) -> &mut Self {
+        let items: Vec<String> = vs.iter().map(u64::to_string).collect();
+        self.push(key, format!("[{}]", items.join(", ")))
+    }
+
     /// Renders the report as pretty-printed JSON.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n");
@@ -230,5 +252,30 @@ impl JsonReport {
     /// Propagates the underlying I/O error.
     pub fn write(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::JsonReport;
+
+    #[test]
+    fn json_report_renders_scalars_and_lists() {
+        let mut r = JsonReport::new();
+        r.num("a", 1.5)
+            .int("b", 2)
+            .flag("c", true)
+            .text("d", "x\"y")
+            .num_list("curve", &[0.25, f64::NAN, 2.0])
+            .int_list("counts", &[1, 2, 3]);
+        let out = r.render();
+        assert!(out.contains("\"a\": 1.500,"), "{out}");
+        assert!(out.contains("\"curve\": [0.250, null, 2.000],"), "{out}");
+        assert!(out.contains("\"counts\": [1, 2, 3]\n"), "{out}");
+        assert!(out.contains("\"d\": \"x\\\"y\","), "{out}");
+        // Insertion order is preserved.
+        assert!(out.find("\"a\"").unwrap() < out.find("\"curve\"").unwrap());
     }
 }

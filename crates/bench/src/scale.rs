@@ -8,6 +8,15 @@
 use wsc_fleet::experiment::{FleetExperimentConfig, FleetSurveyConfig};
 use wsc_parallel::Engine;
 
+/// Environment override: survey machine count (chaos tests shrink it so
+/// debug-build shard children stay fast; the supervisor pins it to shard
+/// children so every process agrees on the fold tree).
+pub const SURVEY_MACHINES_ENV: &str = "WSC_SURVEY_MACHINES";
+/// Environment override: requests simulated per survey machine.
+pub const SURVEY_REQUESTS_ENV: &str = "WSC_SURVEY_REQUESTS";
+/// Environment override: binary population behind the survey.
+pub const SURVEY_POPULATION_ENV: &str = "WSC_SURVEY_POPULATION";
+
 /// Experiment sizing knobs.
 #[derive(Clone, Debug)]
 pub struct Scale {
@@ -35,14 +44,41 @@ pub struct Scale {
 
 impl Scale {
     /// Reads `REPRO_SCALE` from the environment (default: `default`).
-    /// The engine honours `WSC_THREADS`.
+    /// The engine honours `WSC_THREADS`. The survey knobs additionally
+    /// honour [`apply_survey_overrides`](Self::apply_survey_overrides) —
+    /// the shard supervisor pins them in child environments so parent and
+    /// children always agree on the fold tree.
     pub fn from_env() -> Self {
-        match std::env::var("REPRO_SCALE").as_deref() {
+        let base = match std::env::var("REPRO_SCALE").as_deref() {
             Ok("quick") => Self::quick(),
             Ok("full") => Self::full(),
             Ok("fleet") => Self::fleet(),
             _ => Self::default_scale(),
+        };
+        base.apply_survey_overrides(|k| std::env::var(k).ok())
+    }
+
+    /// Applies the survey-sizing environment overrides
+    /// ([`SURVEY_MACHINES_ENV`], [`SURVEY_REQUESTS_ENV`],
+    /// [`SURVEY_POPULATION_ENV`]) via `get` (factored out so the parse is
+    /// testable without ambient process state). Zero and garbage values
+    /// are ignored.
+    pub fn apply_survey_overrides(mut self, get: impl Fn(&str) -> Option<String>) -> Self {
+        let parse = |k: &str| {
+            get(k)
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&v| v > 0)
+        };
+        if let Some(m) = parse(SURVEY_MACHINES_ENV) {
+            self.survey_machines = usize::try_from(m).unwrap_or(usize::MAX);
         }
+        if let Some(r) = parse(SURVEY_REQUESTS_ENV) {
+            self.survey_requests = r;
+        }
+        if let Some(p) = parse(SURVEY_POPULATION_ENV) {
+            self.survey_population = usize::try_from(p).unwrap_or(usize::MAX);
+        }
+        self
     }
 
     /// CI smoke scale.
@@ -164,5 +200,27 @@ mod tests {
         assert_eq!(c.requests_per_machine, s.survey_requests);
         // The paired A/B experiments stay at the everyday scale.
         assert_eq!(s.fleet_machines, Scale::default_scale().fleet_machines);
+    }
+
+    #[test]
+    fn survey_overrides_resize_only_the_survey() {
+        let s = Scale::quick().apply_survey_overrides(|k| match k {
+            SURVEY_MACHINES_ENV => Some("120".to_string()),
+            SURVEY_REQUESTS_ENV => Some("8".to_string()),
+            SURVEY_POPULATION_ENV => Some("64".to_string()),
+            _ => None,
+        });
+        assert_eq!(s.survey_machines, 120);
+        assert_eq!(s.survey_requests, 8);
+        assert_eq!(s.survey_population, 64);
+        assert_eq!(s.requests, Scale::quick().requests, "A/B knobs untouched");
+        // Garbage and zero are ignored.
+        let s = Scale::quick().apply_survey_overrides(|k| match k {
+            SURVEY_MACHINES_ENV => Some("0".to_string()),
+            SURVEY_REQUESTS_ENV => Some("nope".to_string()),
+            _ => None,
+        });
+        assert_eq!(s.survey_machines, Scale::quick().survey_machines);
+        assert_eq!(s.survey_requests, Scale::quick().survey_requests);
     }
 }

@@ -1,0 +1,236 @@
+//! Chaos matrix for the shard supervisor: every `WSC_SHARD_FAULT` kind ×
+//! retry budgets, end-to-end through the real `repro fleet --shards P`
+//! pipeline.
+//!
+//! Two claims are on trial (ISSUE 10's acceptance criteria):
+//!
+//! 1. **Byte-identity under recovery.** With faults injected into one or
+//!    all shards and enough retry budget, the supervised fold's stdout is
+//!    byte-identical to the serial fold — crashes, hangs, corrupt frames,
+//!    partial writes, and lying exit codes included. Recovery re-executes
+//!    the failed span deterministically, so nothing the supervisor does is
+//!    allowed to show in the survey output.
+//! 2. **Exact coverage under degradation.** When retries are exhausted
+//!    and splitting is disabled, the run still succeeds but reports
+//!    *exactly* the surviving leaf spans — computed independently here via
+//!    `wsc_parallel::process_shard_span` — in the machines and coverage
+//!    lines.
+//!
+//! The survey is shrunk via `WSC_SURVEY_*` so debug-build children finish
+//! in well under a second; the parent pins the same values into child
+//! environments, so the fold tree is identical everywhere.
+
+use std::process::Command;
+
+/// Tiny survey: big enough for two shards × many leaves (120 leaves), small
+/// enough for debug children (~0.4 s per full run).
+const MACHINES: usize = 120;
+
+struct Run {
+    stdout: String,
+    stderr: String,
+    ok: bool,
+}
+
+fn run_fleet(shards: usize, supervision: &[(&str, &str)]) -> Run {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let mut cmd = Command::new(exe);
+    cmd.env("REPRO_SCALE", "quick")
+        .env("WSC_THREADS", "2")
+        .env("WSC_SURVEY_MACHINES", MACHINES.to_string())
+        .env("WSC_SURVEY_REQUESTS", "8")
+        .env("WSC_SURVEY_POPULATION", "64")
+        // Deterministic defaults for every knob a test doesn't set: no
+        // ambient fault plan, immediate retries, no deadline, no split.
+        .env_remove("WSC_SHARD")
+        .env_remove("WSC_SHARD_FAULT")
+        .env("WSC_SHARD_BACKOFF_MS", "1")
+        .env("WSC_SHARD_DEADLINE_MS", "0")
+        .env("WSC_SHARD_SPLIT", "0")
+        .env("WSC_SHARD_HEDGE_MS", "0");
+    for (k, v) in supervision {
+        cmd.env(k, v);
+    }
+    if shards > 1 {
+        cmd.arg("--shards").arg(shards.to_string());
+    }
+    let out = cmd.arg("fleet").output().expect("spawn repro");
+    Run {
+        stdout: String::from_utf8(out.stdout).expect("utf8 stdout"),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        ok: out.status.success(),
+    }
+}
+
+fn serial_baseline() -> String {
+    let run = run_fleet(1, &[]);
+    assert!(run.ok, "serial fleet failed:\n{}", run.stderr);
+    assert!(run.stdout.contains("coverage 100.00%"), "{}", run.stdout);
+    run.stdout
+}
+
+#[test]
+fn recovered_folds_are_byte_identical_to_serial() {
+    let serial = serial_baseline();
+    // kind × target × budget: every fault strikes attempt 1 (and for the
+    // two-attempt rows, attempt 2 as well); the budget always has one
+    // clean attempt left, so every span must recover.
+    let matrix: &[(&str, &str)] = &[
+        ("crash@1", "1"),
+        ("crash@1:2", "2"),
+        ("crash@*", "1"),
+        ("corrupt@0", "1"),
+        ("corrupt@*:2", "2"),
+        ("partial@1", "1"),
+        ("partial@*", "2"),
+        ("exit@0", "1"),
+        ("exit@1:2", "3"),
+    ];
+    for (plan, retries) in matrix {
+        let run = run_fleet(
+            2,
+            &[("WSC_SHARD_FAULT", plan), ("WSC_SHARD_RETRIES", retries)],
+        );
+        assert!(run.ok, "fault {plan} run failed:\n{}", run.stderr);
+        assert_eq!(
+            serial, run.stdout,
+            "fault {plan} (retries {retries}): recovered fold must be \
+             byte-identical to serial\nstderr:\n{}",
+            run.stderr
+        );
+        assert!(
+            run.stderr.contains("wsc-shard-fault: injected"),
+            "fault {plan} never fired:\n{}",
+            run.stderr
+        );
+        assert!(
+            run.stderr.contains("wsc-shard-supervisor:"),
+            "fault {plan}: supervisor never intervened:\n{}",
+            run.stderr
+        );
+    }
+}
+
+#[test]
+fn hung_shard_is_deadline_killed_and_recovers() {
+    let serial = serial_baseline();
+    let run = run_fleet(
+        2,
+        &[
+            ("WSC_SHARD_FAULT", "hang@1"),
+            ("WSC_SHARD_RETRIES", "1"),
+            // Generous for debug children (~0.4 s healthy): a healthy
+            // retry must never be killed by the hang deadline.
+            ("WSC_SHARD_DEADLINE_MS", "20000"),
+        ],
+    );
+    assert!(run.ok, "hang run failed:\n{}", run.stderr);
+    assert_eq!(serial, run.stdout, "stderr:\n{}", run.stderr);
+    assert!(
+        run.stderr.contains("deadline exceeded"),
+        "deadline kill not reported:\n{}",
+        run.stderr
+    );
+}
+
+#[test]
+fn persistent_failure_splits_and_recovers_byte_identical() {
+    let serial = serial_baseline();
+    // Shard 1/2 fails forever, but its halves re-run as 2/4 and 3/4 —
+    // indices the `@1` rule no longer matches — so the split recovers.
+    let run = run_fleet(
+        2,
+        &[
+            ("WSC_SHARD_FAULT", "crash@1:forever"),
+            ("WSC_SHARD_RETRIES", "0"),
+            ("WSC_SHARD_SPLIT", "1"),
+        ],
+    );
+    assert!(run.ok, "split run failed:\n{}", run.stderr);
+    assert_eq!(serial, run.stdout, "stderr:\n{}", run.stderr);
+    assert!(
+        run.stderr.contains("splitting into 2/4 and 3/4"),
+        "split not reported:\n{}",
+        run.stderr
+    );
+}
+
+#[test]
+fn exhausted_retries_report_exact_surviving_coverage() {
+    for (plan, retries, lost_shards) in [
+        ("crash@1:forever", 1u32, vec![1usize]),
+        ("exit@0:forever", 0, vec![0]),
+        ("partial@1:forever", 2, vec![1]),
+    ] {
+        let run = run_fleet(
+            2,
+            &[
+                ("WSC_SHARD_FAULT", plan),
+                ("WSC_SHARD_RETRIES", &retries.to_string()),
+            ],
+        );
+        assert!(
+            run.ok,
+            "degraded run must still succeed ({plan}):\n{}",
+            run.stderr
+        );
+        // Expected surviving machine count from the fold tree itself.
+        let lost: usize = lost_shards
+            .iter()
+            .map(|&s| {
+                let span = wsc_parallel::process_shard_span(MACHINES, s, 2);
+                span.hi - span.lo
+            })
+            .sum();
+        let survived = MACHINES - lost;
+        let pct = 100.0 * survived as f64 / MACHINES as f64;
+        let coverage_line = format!("coverage {pct:.2}% ({survived}/{MACHINES} machines)");
+        assert!(
+            run.stdout.contains(&coverage_line),
+            "{plan}: expected {coverage_line:?} in:\n{}",
+            run.stdout
+        );
+        let machines_line = format!("machines {survived} (");
+        assert!(
+            run.stdout.contains(&machines_line),
+            "{plan}: folded population must be exactly the surviving spans:\n{}",
+            run.stdout
+        );
+        assert!(
+            run.stderr.contains("LOST after"),
+            "{plan}: loss not reported on stderr:\n{}",
+            run.stderr
+        );
+        // The exhausted attempt count is budget = retries + 1.
+        assert!(
+            run.stderr
+                .contains(&format!("LOST after {} attempts", retries + 1)),
+            "{plan}: wrong attempt accounting:\n{}",
+            run.stderr
+        );
+    }
+}
+
+#[test]
+fn retry_budgets_bound_recovery() {
+    let serial = serial_baseline();
+    // The same two-strike fault recovers with retries=2 and degrades with
+    // retries=1: the budget — not luck — decides.
+    let fault = ("WSC_SHARD_FAULT", "crash@1:2");
+    let recovered = run_fleet(2, &[fault, ("WSC_SHARD_RETRIES", "2")]);
+    assert!(recovered.ok);
+    assert_eq!(serial, recovered.stdout, "stderr:\n{}", recovered.stderr);
+    let degraded = run_fleet(2, &[fault, ("WSC_SHARD_RETRIES", "1")]);
+    assert!(degraded.ok);
+    assert_ne!(
+        serial, degraded.stdout,
+        "budget 1 cannot beat a 2-strike fault"
+    );
+    assert!(
+        degraded
+            .stdout
+            .contains("coverage 50.00% (60/120 machines)"),
+        "{}",
+        degraded.stdout
+    );
+}

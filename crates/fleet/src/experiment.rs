@@ -29,7 +29,7 @@ use wsc_prng::{derive_seed, SmallRng};
 
 use wsc_sim_hw::topology::{CpuId, Platform};
 use wsc_tcmalloc::TcmallocConfig;
-use wsc_telemetry::summary::{quantize_weight, BucketSeries, MetricSummary};
+use wsc_telemetry::summary::{quantize_weight, BucketSeries, Coverage, MetricSummary};
 use wsc_workload::driver::{self, DriverConfig, RunReport};
 use wsc_workload::WorkloadSpec;
 
@@ -168,6 +168,12 @@ pub struct CellSummary {
     /// Control-arm resident-bytes samples, bucketed on normalized run time
     /// (the longitudinal fleet memory trace, at fixed size).
     pub resident: BucketSeries,
+    /// Exact planned-vs-folded accounting. On the healthy path it always
+    /// reads 100%; a fault-tolerant fold that lost a span after exhausting
+    /// retries records the lost cells via
+    /// [`note_uncovered`](Self::note_uncovered), so a degraded aggregate
+    /// states its population honestly.
+    pub coverage: Coverage,
 }
 
 impl CellSummary {
@@ -178,6 +184,7 @@ impl CellSummary {
             control: ArmSummary::new(),
             experiment: ArmSummary::new(),
             resident: BucketSeries::new(),
+            coverage: Coverage::new(),
         }
     }
 
@@ -185,6 +192,7 @@ impl CellSummary {
     /// same seed and cpuset, weighted by the binary's cycle share.
     pub fn fold_pair(&mut self, control: &RunReport, experiment: &RunReport, weight_q: u64) {
         self.cells += 1;
+        self.coverage.fold_one();
         self.control
             .record(&MetricSet::from_report(control), weight_q);
         self.experiment
@@ -196,6 +204,7 @@ impl CellSummary {
     /// not pairing — decide which arm a machine runs).
     pub fn fold_arm(&mut self, experiment_arm: bool, report: &RunReport, weight_q: u64) {
         self.cells += 1;
+        self.coverage.fold_one();
         let set = MetricSet::from_report(report);
         if experiment_arm {
             self.experiment.record(&set, weight_q);
@@ -205,6 +214,13 @@ impl CellSummary {
         self.resident.record(&report.resident_ts);
     }
 
+    /// Records `n` cells that were planned but never folded (a shard span
+    /// lost after its retries were exhausted). Touches only the coverage
+    /// ledger: metric accumulators stay exact over the folded population.
+    pub fn note_uncovered(&mut self, n: u64) {
+        self.coverage.note_uncovered(n);
+    }
+
     /// Exact merge: associative and commutative, so any thread or shard
     /// partition folds to identical bytes.
     pub fn merge(&mut self, other: &CellSummary) {
@@ -212,6 +228,7 @@ impl CellSummary {
         self.control.merge(&other.control);
         self.experiment.merge(&other.experiment);
         self.resident.merge(&other.resident);
+        self.coverage.merge(&other.coverage);
     }
 
     /// The cycle-weighted fleet comparison.
@@ -227,6 +244,7 @@ impl CellSummary {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.cells.to_le_bytes());
+        self.coverage.encode_into(&mut out);
         for arm in [&self.control, &self.experiment] {
             for m in &arm.metrics {
                 m.encode_into(&mut out);
@@ -250,6 +268,7 @@ impl CellSummary {
         let (head, rest) = cur.split_at(8);
         let cells = u64::from_le_bytes(head.try_into().expect("split_at(8)"));
         cur = rest;
+        let coverage = Coverage::decode_from(&mut cur)?;
         let mut arm = || -> Result<ArmSummary, String> {
             let mut out = ArmSummary::new();
             for m in &mut out.metrics {
@@ -268,6 +287,7 @@ impl CellSummary {
             control,
             experiment,
             resident,
+            coverage,
         })
     }
 }
@@ -883,6 +903,40 @@ mod tests {
         let exp = whole.summary.experiment.metrics[0].count();
         assert_eq!(ctrl + exp, 40);
         assert!(ctrl >= 8 && exp >= 8, "arms balanced-ish: {ctrl}/{exp}");
+        assert!(whole.summary.coverage.complete());
+        assert_eq!(whole.summary.coverage.planned(), 40);
+    }
+
+    #[test]
+    fn degraded_merge_reports_exact_coverage() {
+        let cfg = FleetSurveyConfig {
+            machines: 30,
+            requests_per_machine: 16,
+            seed: 5,
+            platform_mix: default_platform_mix(),
+            population: 20,
+            diurnal_period_ns: 500_000,
+            rollout_stage: 2,
+        };
+        let engine = Engine::serial();
+        let control = TcmallocConfig::baseline();
+        let experiment = TcmallocConfig::optimized();
+        // Shard 1 of 3 is "lost": fold the other spans, note the gap.
+        let mut degraded = CellSummary::new();
+        for s in [0usize, 2] {
+            let span = wsc_parallel::process_shard_span(cfg.machines, s, 3);
+            let part = try_run_fleet_survey_span(&engine, control, experiment, &cfg, span).unwrap();
+            degraded.merge(&part);
+        }
+        let lost = wsc_parallel::process_shard_span(cfg.machines, 1, 3);
+        degraded.note_uncovered((lost.hi - lost.lo) as u64);
+        assert!(!degraded.coverage.complete());
+        assert_eq!(degraded.coverage.planned(), 30);
+        assert_eq!(degraded.coverage.folded(), 30 - (lost.hi - lost.lo) as u64);
+        assert_eq!(degraded.cells, degraded.coverage.folded());
+        // The ledger survives the wire format.
+        let back = CellSummary::decode(&degraded.encode()).unwrap();
+        assert_eq!(back.coverage, degraded.coverage);
     }
 
     #[test]

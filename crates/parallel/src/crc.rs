@@ -1,0 +1,79 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for shard frame
+//! integrity.
+//!
+//! The process-shard protocol streams folded accumulators over pipes; a
+//! truncated or bit-flipped payload that still decoded as hex would merge
+//! silently and poison a whole fleet survey. Every frame therefore carries
+//! a CRC-32 trailer computed over the *raw payload bytes* (not the hex
+//! encoding), checked before any merge. The table is built at compile time
+//! so the implementation stays dependency-free and branch-predictable.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (IEEE, as used by zlib/PNG/Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+// Tests may unwrap: a panic IS the failure report here.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The catalogue check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let reference = crc32(&base);
+        for i in [0usize, 17, 128, 255] {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_a_pure_function() {
+        let data = b"shard payload bytes";
+        assert_eq!(crc32(data), crc32(data));
+    }
+}

@@ -77,7 +77,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod crc;
 pub mod proc;
+pub mod supervisor;
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "WSC_THREADS";

@@ -10,29 +10,39 @@
 //!    environment and argv).
 //! 2. Each child detects the role via [`ShardRole::from_env`], folds its
 //!    leaf-aligned sub-span ([`crate::process_shard_span`]), and streams
-//!    the folded accumulator's byte encoding back over stdout between
-//!    [`PAYLOAD_BEGIN`]/[`PAYLOAD_END`] marker lines (hex, so ordinary
-//!    prints cannot corrupt the frame).
-//! 3. The parent decodes the `P` payloads and merges them **in shard
-//!    order**, which — because shard spans are leaf-aligned and the merge
-//!    is associative — reproduces the exact byte result of the
-//!    single-process fold.
+//!    the folded accumulator's byte encoding back over stdout as a framed
+//!    block: a [`PAYLOAD_BEGIN`] line carrying the payload's byte length,
+//!    hex body lines (so ordinary prints cannot corrupt the frame), and a
+//!    [`PAYLOAD_END`] line carrying a CRC-32 trailer over the raw bytes.
+//! 3. The parent verifies the frame — exactly one begin/end pair, the
+//!    advertised length, the checksum — and merges the `P` payloads **in
+//!    shard order**, which — because shard spans are leaf-aligned and the
+//!    merge is associative — reproduces the exact byte result of the
+//!    single-process fold. A truncated, duplicated, or corrupted frame is
+//!    a structured error, never a silent partial merge.
 //!
 //! Everything here is transport; determinism comes from the fold tree in
 //! the crate root plus the exactly-mergeable summaries in
-//! `wsc_telemetry::summary`.
+//! `wsc_telemetry::summary`. Fault tolerance (retries, deadlines,
+//! recovery, degradation) lives one layer up in [`crate::supervisor`].
 
 use std::fmt;
 use std::path::Path;
-use std::process::{Command, Stdio};
+
+use crate::crc::crc32;
+use crate::supervisor::{run_supervised, SupervisorConfig};
 
 /// Environment variable carrying a child's shard role as `<shard>/<shards>`.
 pub const SHARD_ENV: &str = "WSC_SHARD";
 
-/// First line of a framed shard payload on stdout.
+/// Marker prefix of the first line of a framed shard payload on stdout.
+/// The full line is `WSC-SHARD-PAYLOAD-BEGIN <len>` where `<len>` is the
+/// decimal byte length of the raw (pre-hex) payload.
 pub const PAYLOAD_BEGIN: &str = "WSC-SHARD-PAYLOAD-BEGIN";
 
-/// Last line of a framed shard payload on stdout.
+/// Marker prefix of the last line of a framed shard payload on stdout.
+/// The full line is `WSC-SHARD-PAYLOAD-END crc32=<8 hex digits>` where the
+/// checksum is [`crc32`] over the raw payload bytes.
 pub const PAYLOAD_END: &str = "WSC-SHARD-PAYLOAD-END";
 
 /// Hex characters per payload line (keeps frames diff- and pipe-friendly).
@@ -70,56 +80,99 @@ impl ShardRole {
 pub struct ShardError {
     /// The failing shard's index.
     pub shard: usize,
-    /// What went wrong (spawn failure, non-zero exit, bad payload).
+    /// What went wrong (spawn failure, non-zero exit, bad payload,
+    /// deadline exceeded).
     pub message: String,
+    /// The last [`crate::supervisor::STDERR_TAIL_LINES`] lines of the
+    /// child's stderr, captured so a failed shard is diagnosable from the
+    /// parent's report alone. Empty when the child wrote nothing (or
+    /// never spawned).
+    pub stderr_tail: Vec<String>,
 }
 
 impl fmt::Display for ShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "shard {} failed: {}", self.shard, self.message)
+        write!(f, "shard {} failed: {}", self.shard, self.message)?;
+        if !self.stderr_tail.is_empty() {
+            write!(
+                f,
+                "\n  child stderr (last {} lines):",
+                self.stderr_tail.len()
+            )?;
+            for line in &self.stderr_tail {
+                write!(f, "\n    {line}")?;
+            }
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for ShardError {}
 
-/// Frames `bytes` as the stdout payload block a shard child emits.
+/// Frames `bytes` as the stdout payload block a shard child emits: a
+/// length-carrying begin line, [`HEX_LINE`]-character hex body lines, and
+/// a CRC-32 trailer over the raw bytes.
 pub fn encode_payload(bytes: &[u8]) -> String {
     let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
-    let mut out = String::with_capacity(hex.len() + hex.len() / HEX_LINE + 64);
+    let mut out = String::with_capacity(hex.len() + hex.len() / HEX_LINE + 96);
     out.push_str(PAYLOAD_BEGIN);
-    out.push('\n');
+    out.push_str(&format!(" {}\n", bytes.len()));
     for chunk in hex.as_bytes().chunks(HEX_LINE) {
         out.push_str(std::str::from_utf8(chunk).expect("hex is ASCII"));
         out.push('\n');
     }
-    out.push_str(PAYLOAD_END);
+    out.push_str(&format!("{PAYLOAD_END} crc32={:08x}", crc32(bytes)));
     out
 }
 
-/// Extracts and decodes the framed payload from a child's stdout.
+/// Extracts, validates, and decodes the framed payload from a child's
+/// stdout. Lines outside the frame are ignored (ordinary prints coexist
+/// with the protocol); everything inside is held to the wire contract.
 ///
 /// # Errors
 ///
-/// Returns a description when the frame markers are missing or the hex
-/// body is malformed.
+/// Returns a description when the frame is missing or truncated (no end
+/// marker, or fewer bytes than the begin line advertised — a partial
+/// write), duplicated (two begin markers — two children writing to one
+/// pipe, or a retried child flushing twice), or corrupted (non-hex body
+/// bytes, a length mismatch, or a CRC-32 trailer that does not match).
 pub fn decode_payload(stdout_text: &str) -> Result<Vec<u8>, String> {
-    let mut hex = String::new();
-    let mut inside = false;
-    let mut seen_end = false;
+    let mut frame: Option<(usize, String)> = None; // (advertised len, hex)
+    let mut done: Option<(usize, String, u32)> = None; // + crc trailer
     for line in stdout_text.lines() {
-        match line.trim() {
-            PAYLOAD_BEGIN => inside = true,
-            PAYLOAD_END if inside => {
-                seen_end = true;
-                inside = false;
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix(PAYLOAD_BEGIN) {
+            if frame.is_some() || done.is_some() {
+                return Err("duplicate shard frame begin marker".to_string());
             }
-            body if inside => hex.push_str(body),
-            _ => {}
+            let len = rest
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("malformed frame begin line {line:?}"))?;
+            frame = Some((len, String::new()));
+        } else if let Some(rest) = line.strip_prefix(PAYLOAD_END) {
+            let Some((len, hex)) = frame.take() else {
+                return Err("shard frame end marker without begin".to_string());
+            };
+            let crc = rest
+                .trim()
+                .strip_prefix("crc32=")
+                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                .ok_or_else(|| format!("malformed frame end line {line:?}"))?;
+            done = Some((len, hex, crc));
+        } else if let Some((_, hex)) = frame.as_mut() {
+            if !line.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!("non-hex bytes inside shard frame: {line:?}"));
+            }
+            hex.push_str(line);
         }
     }
-    if !seen_end {
-        return Err("no framed shard payload in child stdout".to_string());
+    if frame.is_some() {
+        return Err("shard frame truncated: no end marker (partial write?)".to_string());
     }
+    let Some((len, hex, crc)) = done else {
+        return Err("no framed shard payload in child stdout".to_string());
+    };
     if !hex.len().is_multiple_of(2) {
         return Err("shard payload has odd hex length".to_string());
     }
@@ -131,10 +184,24 @@ pub fn decode_payload(stdout_text: &str) -> Result<Vec<u8>, String> {
             other => Err(format!("invalid hex byte {other:#04x} in shard payload")),
         }
     };
-    hex.as_bytes()
+    let bytes: Vec<u8> = hex
+        .as_bytes()
         .chunks(2)
         .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
-        .collect()
+        .collect::<Result<_, String>>()?;
+    if bytes.len() != len {
+        return Err(format!(
+            "shard payload truncated: frame advertised {len} bytes, decoded {}",
+            bytes.len()
+        ));
+    }
+    let actual = crc32(&bytes);
+    if actual != crc {
+        return Err(format!(
+            "shard payload corrupted: crc32 {actual:08x} != trailer {crc:08x}"
+        ));
+    }
+    Ok(bytes)
 }
 
 /// Spawns `shards` copies of `program` (each with [`SHARD_ENV`] set to its
@@ -143,69 +210,34 @@ pub fn decode_payload(stdout_text: &str) -> Result<Vec<u8>, String> {
 /// `args` verbatim; `extra_env` overrides ride on top (e.g. a per-child
 /// thread budget).
 ///
+/// This is the *strict* (all-or-nothing) entry point: one attempt per
+/// shard, no deadline, no recovery. Fault-tolerant folds go through
+/// [`crate::supervisor::run_supervised`], which this wraps with a
+/// zero-retry configuration.
+///
 /// # Errors
 ///
-/// Returns the lowest-index failing shard's [`ShardError`] if any child
-/// fails to spawn, exits non-zero, or emits no decodable payload.
+/// Returns the lowest-index failing shard's [`ShardError`] (child stderr
+/// tail attached) if any child fails to spawn, exits non-zero, or emits no
+/// valid frame.
 pub fn run_shard_processes(
     program: &Path,
     args: &[String],
     extra_env: &[(String, String)],
     shards: usize,
 ) -> Result<Vec<Vec<u8>>, ShardError> {
-    let shards = shards.max(1);
-    let mut children = Vec::with_capacity(shards);
-    for shard in 0..shards {
-        let role = ShardRole { shard, shards };
-        let mut cmd = Command::new(program);
-        cmd.args(args)
-            .env(SHARD_ENV, role.env_value())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
-        for (k, v) in extra_env {
-            cmd.env(k, v);
-        }
-        match cmd.spawn() {
-            Ok(child) => children.push(child),
-            Err(e) => {
-                // Reap what already started before reporting.
-                for mut c in children {
-                    let _ = c.kill();
-                    let _ = c.wait();
-                }
-                return Err(ShardError {
-                    shard,
-                    message: format!("spawn failed: {e}"),
-                });
-            }
-        }
+    let fold = run_supervised(
+        program,
+        args,
+        extra_env,
+        shards.max(1),
+        0, // total unknown: spans degenerate, ordering falls back to shard index
+        &SupervisorConfig::strict(),
+    );
+    if let Some(f) = fold.failures.first() {
+        return Err(f.error.clone());
     }
-    let mut payloads = Vec::with_capacity(shards);
-    let mut first_err: Option<ShardError> = None;
-    for (shard, child) in children.into_iter().enumerate() {
-        let fail = |message: String| ShardError { shard, message };
-        match child.wait_with_output() {
-            Err(e) => {
-                first_err.get_or_insert(fail(format!("wait failed: {e}")));
-            }
-            Ok(out) if !out.status.success() => {
-                first_err.get_or_insert(fail(format!("exited with {}", out.status)));
-            }
-            Ok(out) => match String::from_utf8(out.stdout)
-                .map_err(|e| e.to_string())
-                .and_then(|text| decode_payload(&text))
-            {
-                Ok(bytes) => payloads.push(bytes),
-                Err(msg) => {
-                    first_err.get_or_insert(fail(msg));
-                }
-            },
-        }
-    }
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(payloads),
-    }
+    Ok(fold.blocks.into_iter().map(|b| b.payload).collect())
 }
 
 #[cfg(test)]
@@ -219,9 +251,16 @@ mod tests {
         let bytes: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
         let framed = encode_payload(&bytes);
         assert!(framed.starts_with(PAYLOAD_BEGIN));
-        assert!(framed.ends_with(PAYLOAD_END));
+        assert!(framed.contains(&format!("{PAYLOAD_BEGIN} 1000")));
+        assert!(framed.contains("crc32="));
         let back = decode_payload(&framed).unwrap();
         assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let framed = encode_payload(&[]);
+        assert_eq!(decode_payload(&framed).unwrap(), Vec::<u8>::new());
     }
 
     #[test]
@@ -235,12 +274,53 @@ mod tests {
     }
 
     #[test]
-    fn payload_errors_are_structured() {
+    fn truncation_is_rejected() {
         assert!(decode_payload("no frame here").is_err());
-        let truncated = format!("{PAYLOAD_BEGIN}\nabc\n{PAYLOAD_END}");
-        assert!(decode_payload(&truncated).is_err(), "odd hex length");
-        let bad = format!("{PAYLOAD_BEGIN}\nzz\n{PAYLOAD_END}");
-        assert!(decode_payload(&bad).is_err(), "non-hex body");
+        // Partial write: begin + some body, no end marker.
+        let full = encode_payload(&[1u8; 300]);
+        let cut = &full[..full.len() / 2];
+        let err = decode_payload(cut).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // Body shorter than the advertised length, end marker intact.
+        let bytes = vec![7u8; 120];
+        let framed = encode_payload(&bytes);
+        let mut lines: Vec<&str> = framed.lines().collect();
+        lines.remove(1); // drop one full hex line
+        let err = decode_payload(&lines.join("\n")).unwrap_err();
+        assert!(err.contains("advertised"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_markers_are_rejected() {
+        let framed = encode_payload(&[1, 2, 3]);
+        let doubled = format!("{framed}\n{framed}");
+        let err = decode_payload(&doubled).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let orphan_end = format!("{PAYLOAD_END} crc32=00000000");
+        let err = decode_payload(&orphan_end).unwrap_err();
+        assert!(err.contains("without begin"), "{err}");
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let bytes: Vec<u8> = (0..200u8).collect();
+        let framed = encode_payload(&bytes);
+        // Flip one hex digit in the body: still valid hex, CRC catches it.
+        let body_start = framed.find('\n').unwrap() + 1;
+        let target = body_start + 10;
+        let mut flipped = framed.clone().into_bytes();
+        flipped[target] = if flipped[target] == b'0' { b'1' } else { b'0' };
+        let err = decode_payload(std::str::from_utf8(&flipped).unwrap()).unwrap_err();
+        assert!(err.contains("crc32"), "{err}");
+        // Non-hex bytes mid-frame are rejected before any decode.
+        let mut garbled = framed.clone().into_bytes();
+        garbled[target] = b'z';
+        let err = decode_payload(std::str::from_utf8(&garbled).unwrap()).unwrap_err();
+        assert!(err.contains("non-hex"), "{err}");
+        // A tampered CRC trailer is a corruption error too.
+        let bad_trailer = framed.replace("crc32=", "crc32=0");
+        let bad_trailer = format!("{}\n", &bad_trailer[..bad_trailer.len().saturating_sub(1)]);
+        assert!(decode_payload(&bad_trailer).is_err());
     }
 
     #[test]
@@ -261,6 +341,22 @@ mod tests {
             });
             assert!(parsed.is_none(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn shard_error_display_carries_stderr_tail() {
+        let e = ShardError {
+            shard: 3,
+            message: "exited with exit status: 7".to_string(),
+            stderr_tail: vec![
+                "panic at foo.rs:10".to_string(),
+                "note: run again".to_string(),
+            ],
+        };
+        let shown = e.to_string();
+        assert!(shown.contains("shard 3 failed"), "{shown}");
+        assert!(shown.contains("panic at foo.rs:10"), "{shown}");
+        assert!(shown.contains("last 2 lines"), "{shown}");
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod timeseries;
 pub use cdf::Cdf;
 pub use histogram::LogHistogram;
 pub use metrics::MetricRegistry;
-pub use summary::{BucketSeries, MetricSummary};
+pub use summary::{BucketSeries, Coverage, MetricSummary};
 pub use timeseries::TimeSeries;

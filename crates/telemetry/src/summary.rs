@@ -321,6 +321,96 @@ impl BucketSeries {
     }
 }
 
+/// Exact coverage accounting for a (possibly degraded) fold: how many
+/// units were *planned* versus how many were actually *folded* into the
+/// accumulator. A fault-tolerant fold that loses a span after exhausting
+/// retries merges the surviving blocks and records the lost units here, so
+/// a downstream report can state "97.3% of machines surveyed" instead of
+/// silently presenting a partial aggregate as the whole population.
+///
+/// Merges like every other summary: integer adds, exactly associative and
+/// commutative, so coverage reduces to identical bytes under any
+/// partition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    planned: u64,
+    folded: u64,
+}
+
+impl Coverage {
+    /// Empty coverage (nothing planned, nothing folded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one unit planned and folded (the healthy path).
+    pub fn fold_one(&mut self) {
+        self.planned += 1;
+        self.folded += 1;
+    }
+
+    /// Records `n` units that were planned but lost (a span whose retries
+    /// were exhausted).
+    pub fn note_uncovered(&mut self, n: u64) {
+        self.planned += n;
+    }
+
+    /// Folds `other` in. Exactly associative and commutative.
+    pub fn merge(&mut self, other: &Coverage) {
+        self.planned += other.planned;
+        self.folded += other.folded;
+    }
+
+    /// Units planned (folded + lost).
+    pub fn planned(&self) -> u64 {
+        self.planned
+    }
+
+    /// Units actually folded into the accumulator.
+    pub fn folded(&self) -> u64 {
+        self.folded
+    }
+
+    /// Fraction of planned units folded, in `[0, 1]`. An empty fold is
+    /// complete by convention (nothing was lost).
+    pub fn fraction(&self) -> f64 {
+        if self.planned == 0 {
+            1.0
+        } else {
+            self.folded as f64 / self.planned as f64
+        }
+    }
+
+    /// Did every planned unit fold?
+    pub fn complete(&self) -> bool {
+        self.folded == self.planned
+    }
+
+    /// Serializes to the little-endian wire layout.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.planned.to_le_bytes());
+        buf.extend_from_slice(&self.folded.to_le_bytes());
+    }
+
+    /// Deserializes, consuming from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `buf` is shorter than the wire layout or
+    /// claims more folded than planned units (a corrupt or hand-rolled
+    /// payload — the healthy encoder can never produce it).
+    pub fn decode_from(buf: &mut &[u8]) -> Result<Self, String> {
+        let planned = take_u64(buf)?;
+        let folded = take_u64(buf)?;
+        if folded > planned {
+            return Err(format!(
+                "coverage claims {folded} folded of {planned} planned"
+            ));
+        }
+        Ok(Self { planned, folded })
+    }
+}
+
 fn take<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N], String> {
     if buf.len() < N {
         return Err(format!(
@@ -503,5 +593,60 @@ mod tests {
         assert_eq!(MetricSummary::new().mean(), None);
         assert_eq!(MetricSummary::new().weighted_mean(), None);
         assert_eq!(BucketSeries::new().mean(), None);
+    }
+
+    #[test]
+    fn coverage_accounts_exactly() {
+        let mut c = Coverage::new();
+        assert!(c.complete());
+        assert_eq!(c.fraction(), 1.0, "empty fold is complete by convention");
+        for _ in 0..97 {
+            c.fold_one();
+        }
+        c.note_uncovered(3);
+        assert_eq!(c.planned(), 100);
+        assert_eq!(c.folded(), 97);
+        assert!(!c.complete());
+        assert_eq!(c.fraction(), 0.97);
+    }
+
+    #[test]
+    fn coverage_merge_is_partition_invariant() {
+        let mut whole = Coverage::new();
+        for _ in 0..10 {
+            whole.fold_one();
+        }
+        whole.note_uncovered(5);
+        let mut left = Coverage::new();
+        for _ in 0..4 {
+            left.fold_one();
+        }
+        let mut right = Coverage::new();
+        for _ in 0..6 {
+            right.fold_one();
+        }
+        right.note_uncovered(5);
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn coverage_codec_roundtrips_and_rejects_impossible_claims() {
+        let mut c = Coverage::new();
+        c.fold_one();
+        c.fold_one();
+        c.note_uncovered(1);
+        let mut buf = Vec::new();
+        c.encode_into(&mut buf);
+        assert_eq!(buf.len(), 16);
+        let mut rest = buf.as_slice();
+        assert_eq!(Coverage::decode_from(&mut rest).unwrap(), c);
+        assert!(rest.is_empty());
+        // folded > planned can only come from corruption.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&2u64.to_le_bytes());
+        assert!(Coverage::decode_from(&mut bad.as_slice()).is_err());
+        assert!(Coverage::decode_from(&mut &buf[..7]).is_err(), "truncation");
     }
 }
